@@ -1,0 +1,182 @@
+"""Ablations of the design choices DESIGN.md §6 calls out.
+
+1. Kernel-SHAP coalition budget vs attribution error (why 48-128 coalitions
+   suffice for the sensors);
+2. Random-forest ensemble size vs label-flipping resilience (why bagging is
+   the Fig. 6 robustness mechanism);
+3. Image-LIME superpixel size vs explanation cost (what drives the Fig. 8d
+   latency wall);
+4. Gateway worker concurrency vs tabular-SHAP latency (why each metric
+   needs its own machine — §IX "cost and complexity").
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import RandomLabelFlippingAttack
+from repro.datasets import generate_shape_images
+from repro.gateway import LoadGenerator, ThreadGroup
+from repro.gateway.gateway import APIGateway
+from repro.gateway.services import Machine, MicroService, ServiceTimeModel
+from repro.gateway.simulation import Simulator
+from repro.ml import MLPClassifier, RandomForestClassifier
+from repro.xai import KernelShapExplainer, LimeImageExplainer, exact_shap_values
+
+
+@pytest.fixture(scope="module")
+def shap_budget_ablation(figure_printer):
+    gen = np.random.default_rng(0)
+    weights = gen.normal(size=10)
+
+    def predict(X):
+        return (np.asarray(X) @ weights).reshape(-1, 1)
+
+    background = gen.normal(size=(40, 10))
+    x = gen.normal(size=10)
+    exact = exact_shap_values(predict, x, background)[:, 0]
+    errors = {}
+    for budget in (16, 32, 64, 128, 256):
+        explainer = KernelShapExplainer(
+            predict, background, n_coalitions=budget, seed=0
+        )
+        phi = explainer.shap_values(x)[:, 0]
+        errors[budget] = float(np.abs(phi - exact).mean())
+    figure_printer(
+        "Ablation 1: Kernel-SHAP coalition budget vs mean |error|",
+        ["coalitions", "mean_abs_err"],
+        list(errors.items()),
+    )
+    return errors
+
+
+def bench_ablation_shap_budget_error_shrinks(check, shap_budget_ablation):
+    def verify():
+        errors = shap_budget_ablation
+        assert errors[256] <= errors[16]
+        assert errors[256] < 0.05
+
+    check(verify)
+
+
+@pytest.fixture(scope="module")
+def forest_size_ablation(uc1_split, figure_printer):
+    X_train, X_test, y_train, y_test = uc1_split
+    poisoned = RandomLabelFlippingAttack(rate=0.3, seed=0).apply(
+        X_train[:2000], y_train[:2000]
+    )
+    accuracies = {}
+    for n_trees in (1, 5, 20, 40):
+        model = RandomForestClassifier(
+            n_estimators=n_trees, max_depth=12, seed=0
+        ).fit(poisoned.X, poisoned.y)
+        accuracies[n_trees] = model.score(X_test, y_test)
+    figure_printer(
+        "Ablation 2: RF size vs accuracy under 30% label flipping",
+        ["n_trees", "accuracy"],
+        list(accuracies.items()),
+    )
+    return accuracies
+
+
+def bench_ablation_bagging_drives_poison_resilience(
+    check, forest_size_ablation
+):
+    """More trees must buy back accuracy lost to label noise."""
+
+    def verify():
+        acc = forest_size_ablation
+        assert acc[40] > acc[1]
+
+    check(verify)
+
+
+@pytest.fixture(scope="module")
+def superpixel_ablation(figure_printer):
+    import time
+
+    images, labels = generate_shape_images(n_samples=90, size=16, seed=0)
+    X = images.reshape(len(images), -1)
+    model = MLPClassifier(
+        hidden_layers=(32,), n_epochs=25, learning_rate=0.01, seed=0
+    ).fit(X, labels)
+
+    def predict(batch):
+        batch = np.asarray(batch)
+        return model.predict_proba(batch.reshape(len(batch), -1))
+
+    costs = {}
+    for patch in (2, 4, 8):
+        explainer = LimeImageExplainer(
+            predict, patch=patch, n_samples=150, seed=0
+        )
+        started = time.perf_counter()
+        explainer.explain(images[0], 0)
+        costs[patch] = time.perf_counter() - started
+    figure_printer(
+        "Ablation 3: image-LIME patch size vs explanation seconds",
+        ["patch", "seconds"],
+        list(costs.items()),
+    )
+    return costs
+
+
+def bench_ablation_superpixel_cost_positive(check, superpixel_ablation):
+    def verify():
+        assert all(c > 0 for c in superpixel_ablation.values())
+
+    check(verify)
+
+
+@pytest.fixture(scope="module")
+def concurrency_ablation(figure_printer):
+    def run_with_workers(workers):
+        sim = Simulator()
+        gateway = APIGateway(sim, overhead_seconds=0.002)
+        gateway.register(
+            MicroService(
+                name="shap",
+                machine=Machine("host", vcpus=workers, ram_gb=4),
+                service_time=ServiceTimeModel(
+                    {"tabular": 0.0091}, jitter=0.12, seed=0
+                ),
+            )
+        )
+        generator = LoadGenerator(sim, gateway)
+        generator.add_thread_group(
+            ThreadGroup(
+                route="shap", n_threads=100, rampup_seconds=1.0, iterations=40
+            )
+        )
+        return generator.run().avg_response_ms
+
+    latencies = {w: run_with_workers(w) for w in (1, 2, 4, 8, 16)}
+    figure_printer(
+        "Ablation 4: SHAP-service workers vs avg latency (100 threads)",
+        ["workers", "avg_ms"],
+        list(latencies.items()),
+    )
+    return latencies
+
+
+def bench_ablation_scaling_workers_cuts_latency(check, concurrency_ablation):
+    """Dedicated capacity is the §IX answer to XAI load: latency must fall
+    roughly in proportion to worker count."""
+
+    def verify():
+        lat = concurrency_ablation
+        assert lat[16] < lat[4] < lat[1]
+        assert lat[1] / lat[16] > 4.0
+
+    check(verify)
+
+
+def bench_ablation_sim_throughput(benchmark):
+    """Simulator event-processing throughput (engine health check)."""
+
+    def run():
+        sim = Simulator()
+        for i in range(2000):
+            sim.schedule(i * 0.001, lambda: None)
+        sim.run()
+
+    benchmark(run)

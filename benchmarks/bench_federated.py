@@ -1,0 +1,123 @@
+"""Extension bench: the Fig. 2(c) federated architecture under attack.
+
+Not a paper figure — the paper's background section motivates the
+federated setting and Fig. 1 lists its poisoning attacks; this bench
+quantifies the ablation DESIGN.md's extension section calls for: final
+global accuracy per (malicious-client count × aggregation rule), showing
+where FedAvg collapses and the robust rules hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    FederatedClient,
+    FederatedTrainer,
+    MaliciousClient,
+    coordinate_median,
+    trimmed_mean,
+)
+from repro.ml import StandardScaler, train_test_split
+
+N_CLIENTS = 8
+ROUNDS = 6
+LOCAL_EPOCHS = 3
+
+AGGREGATORS = {
+    "fedavg": None,
+    "median": coordinate_median,
+    "trimmed2": lambda u: trimmed_mean(u, trim=2),
+}
+
+
+@pytest.fixture(scope="module")
+def federated_setup(uc1_split):
+    X_train, X_test, y_train, y_test = uc1_split
+    return X_train[:1600], X_test[:400], y_train[:1600], y_test[:400]
+
+
+def build_clients(X, y, n_malicious):
+    per = len(y) // N_CLIENTS
+    clients = []
+    for i in range(N_CLIENTS):
+        shard = slice(i * per, (i + 1) * per)
+        if i < n_malicious:
+            clients.append(
+                MaliciousClient(i, X[shard], y[shard], update_scale=-4.0)
+            )
+        else:
+            clients.append(FederatedClient(i, X[shard], y[shard]))
+    return clients
+
+
+def final_accuracy(setup, n_malicious, aggregator):
+    X_train, X_test, y_train, y_test = setup
+    trainer = FederatedTrainer(
+        build_clients(X_train, y_train, n_malicious),
+        hidden_layers=(32,),
+        learning_rate=3e-3,
+        seed=0,
+        aggregator=aggregator,
+    )
+    trainer.run(ROUNDS, local_epochs=LOCAL_EPOCHS)
+    return trainer.global_model.score(X_test, y_test)
+
+
+@pytest.fixture(scope="module")
+def federated_grid(federated_setup, figure_printer):
+    grid = {}
+    for name, aggregator in AGGREGATORS.items():
+        grid[name] = {
+            m: final_accuracy(federated_setup, m, aggregator)
+            for m in (0, 2)
+        }
+    figure_printer(
+        "Extension: federated accuracy vs malicious clients × aggregator",
+        ["aggregator", "0 malicious", "2 malicious"],
+        [(name, row[0], row[2]) for name, row in grid.items()],
+    )
+    return grid
+
+
+def bench_federated_clean_convergence(check, federated_grid):
+    """All aggregators converge with honest clients."""
+
+    def verify():
+        for name, row in federated_grid.items():
+            assert row[0] > 0.75, name
+
+    check(verify)
+
+
+def bench_federated_fedavg_breaks_under_model_poisoning(check, federated_grid):
+    def verify():
+        assert federated_grid["fedavg"][2] < federated_grid["fedavg"][0] - 0.1
+
+    check(verify)
+
+
+def bench_federated_robust_rules_hold(check, federated_grid):
+    """Median/trimmed-mean keep most of the clean accuracy at 2/8 attackers."""
+
+    def verify():
+        for name in ("median", "trimmed2"):
+            assert federated_grid[name][2] > federated_grid["fedavg"][2]
+            assert federated_grid[name][2] > 0.7, name
+
+    check(verify)
+
+
+def bench_federated_round_cost(benchmark, federated_setup):
+    """Wall-clock of one full federated round (8 clients, 3 local epochs)."""
+    X_train, X_test, y_train, y_test = federated_setup
+    trainer = FederatedTrainer(
+        build_clients(X_train, y_train, 0),
+        hidden_layers=(32,),
+        learning_rate=3e-3,
+        seed=0,
+    )
+    benchmark.pedantic(
+        lambda: trainer.run_round(local_epochs=LOCAL_EPOCHS),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,121 @@
+"""Fig. 6(a) i-iii: accuracy/precision/recall vs label-flipping rate.
+
+The paper flips labels at p ∈ {0, 1, 5, 10, 20, 30, 40, 50} % and retrains
+each of the five models, evaluating on the retained clean test set.  The
+reproduced series must show the paper's shape: monotone-ish degradation,
+small losses for the strong models at p ≤ 5 %, RF holding near baseline at
+30 % and collapsing by 40-50 %.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import uc1_model_factories
+from repro.attacks import RandomLabelFlippingAttack
+from repro.ml import accuracy_score, precision_score, recall_score
+
+RATES = (0.0, 0.01, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50)
+
+
+@pytest.fixture(scope="module")
+def flipping_sweep(uc1_split, figure_printer):
+    X_train, X_test, y_train, y_test = uc1_split
+    results = {}  # model -> rate -> (acc, prec, rec)
+    for name, factory in uc1_model_factories().items():
+        results[name] = {}
+        for rate in RATES:
+            poisoned = RandomLabelFlippingAttack(rate=rate, seed=0).apply(
+                X_train, y_train
+            )
+            model = factory().fit(poisoned.X, poisoned.y)
+            y_pred = model.predict(X_test)
+            results[name][rate] = (
+                accuracy_score(y_test, y_pred),
+                precision_score(y_test, y_pred),
+                recall_score(y_test, y_pred),
+            )
+    for metric_index, metric_name in enumerate(
+        ("accuracy", "precision", "recall")
+    ):
+        rows = [
+            (name, *(results[name][r][metric_index] for r in RATES))
+            for name in results
+        ]
+        figure_printer(
+            f"Fig. 6(a)-{'i' * (metric_index + 1)}: {metric_name} vs poison rate",
+            ["model", *(f"p={r:.0%}" for r in RATES)],
+            rows,
+        )
+    return results
+
+
+def bench_fig6_monotone_degradation(check, flipping_sweep):
+    """Accuracy at 50 % poison must sit far below the clean baseline."""
+
+    def verify():
+        for name, series in flipping_sweep.items():
+            assert series[0.50][0] < series[0.0][0] - 0.15, name
+
+    check(verify)
+
+
+def bench_fig6_strong_models_resist_small_rates(check, flipping_sweep):
+    """Paper: DNN/MLP/RF lose little at p ≤ 5 %."""
+
+    def verify():
+        for name in ("DNN", "MLP", "RF"):
+            series = flipping_sweep[name]
+            assert series[0.05][0] > series[0.0][0] - 0.05, name
+
+    check(verify)
+
+
+def bench_fig6_rf_is_most_resilient_at_30pct(check, flipping_sweep):
+    """Paper: at 30 % poison the RF keeps ≈ baseline accuracy, beating the
+    average of the other models."""
+
+    def verify():
+        rf_drop = flipping_sweep["RF"][0.0][0] - flipping_sweep["RF"][0.30][0]
+        others = [
+            flipping_sweep[m][0.0][0] - flipping_sweep[m][0.30][0]
+            for m in ("LR", "DT")
+        ]
+        assert rf_drop < np.mean(others)
+
+    check(verify)
+
+
+def bench_fig6_rf_collapses_past_40pct(check, flipping_sweep):
+    """Paper: a significant RF decrease only occurs at 40 %+."""
+
+    def verify():
+        series = flipping_sweep["RF"]
+        assert series[0.50][0] < series[0.30][0]
+
+    check(verify)
+
+
+def bench_fig6_average_fall_detection_drop(check, flipping_sweep):
+    """Paper: mean accuracy across models falls from ≈0.90 to ≈0.75 over
+    the sweep; we assert a substantial mean drop (> 10 points)."""
+
+    def verify():
+        mean_clean = np.mean([s[0.0][0] for s in flipping_sweep.values()])
+        mean_worst = np.mean([s[0.50][0] for s in flipping_sweep.values()])
+        assert mean_clean - mean_worst > 0.10
+
+    check(verify)
+
+
+def bench_fig6_single_retrain_cost(benchmark, uc1_split):
+    """Cost of one poisoned-retrain cycle (the monitoring-loop unit)."""
+    X_train, __, y_train, __ = uc1_split
+    factory = uc1_model_factories()["DT"]
+
+    def cycle():
+        poisoned = RandomLabelFlippingAttack(rate=0.2, seed=0).apply(
+            X_train[:1500], y_train[:1500]
+        )
+        factory().fit(poisoned.X, poisoned.y)
+
+    benchmark(cycle)

@@ -1,0 +1,145 @@
+"""Fig. 7(c/d): impact and complexity vs poison percentage.
+
+Poisoning rates {0, 10, 20, 30, 40, 50} % for the label-level attacks plus
+the CTGAN-style GAN poisoning, each followed by retraining the NN on the
+manipulated data and comparing to the clean baseline.  The paper observes
+"an increasing relative trend between increased poisoning and drift in
+impact and complexity" — impact grows with the poison fraction, and
+complexity (the poisoned fraction itself) grows by construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    GanPoisoningAttack,
+    RandomLabelSwappingAttack,
+    TargetedLabelFlippingAttack,
+)
+from repro.ml import MLPClassifier, accuracy_score
+from repro.trust.resilience import poisoning_resilience
+
+RATES = (0.0, 0.10, 0.20, 0.30, 0.40, 0.50)
+
+
+def _nn_factory():
+    return MLPClassifier(
+        hidden_layers=(32, 16), n_epochs=100, learning_rate=0.01, seed=0
+    )
+
+
+def _attack_for(kind, rate, n_train):
+    if kind == "targeted_flip":
+        return TargetedLabelFlippingAttack(rate=rate, target_label="video", seed=0)
+    if kind == "label_swap":
+        return RandomLabelSwappingAttack(rate=rate, seed=0)
+    if kind == "gan":
+        return GanPoisoningAttack(
+            n_synthetic=int(rate * n_train * 4), poison_label="video", seed=0
+        )
+    raise ValueError(kind)
+
+
+@pytest.fixture(scope="module")
+def poisoning_sweep(uc2_split, figure_printer):
+    X_train, X_test, y_train, y_test = uc2_split
+    baseline_model = _nn_factory().fit(X_train, y_train)
+    baseline = {
+        "accuracy": accuracy_score(y_test, baseline_model.predict(X_test))
+    }
+    results = {}
+    for kind in ("targeted_flip", "label_swap", "gan"):
+        results[kind] = {}
+        for rate in RATES:
+            if rate == 0.0:
+                results[kind][rate] = poisoning_resilience(
+                    baseline, baseline, poison_fraction=0.0
+                )
+                continue
+            attacked = _attack_for(kind, rate, len(y_train)).apply(
+                X_train, y_train
+            )
+            model = _nn_factory().fit(attacked.X, attacked.y)
+            metrics = {
+                "accuracy": accuracy_score(y_test, model.predict(X_test))
+            }
+            results[kind][rate] = poisoning_resilience(
+                baseline, metrics, poison_fraction=rate
+            )
+    for panel, field in (("c: impact%", "impact_percent"), ("d: complexity", "complexity")):
+        rows = [
+            (kind, *(getattr(results[kind][r], field if field != "impact_percent" else "impact_percent") for r in RATES))
+            for kind in results
+        ]
+        figure_printer(
+            f"Fig. 7({panel}) vs poison rate",
+            ["attack", *(f"{r:.0%}" for r in RATES)],
+            rows,
+        )
+    return results
+
+
+def bench_fig7c_impact_increases_with_poisoning(check, poisoning_sweep):
+    """Heavy targeted flipping must hurt far more than none."""
+
+    def verify():
+        flips = poisoning_sweep["targeted_flip"]
+        assert flips[0.50].impact > flips[0.0].impact
+        assert flips[0.50].impact > 0.2
+
+    check(verify)
+
+
+def bench_fig7c_trend_broadly_increasing(check, poisoning_sweep):
+    """Concordant-pair fraction of the targeted-flip impact series > 0.6."""
+
+    def verify():
+        series = [poisoning_sweep["targeted_flip"][r].impact for r in RATES]
+        pairs = [
+            (i, j)
+            for i in range(len(series))
+            for j in range(i + 1, len(series))
+        ]
+        concordant = sum(1 for i, j in pairs if series[j] >= series[i])
+        assert concordant / len(pairs) > 0.6
+
+    check(verify)
+
+
+def bench_fig7d_complexity_tracks_poison_fraction(check, poisoning_sweep):
+    """Poisoning complexity is the poisoned fraction — exactly linear."""
+
+    def verify():
+        for kind in poisoning_sweep:
+            for rate in RATES:
+                assert poisoning_sweep[kind][rate].complexity == pytest.approx(
+                    rate
+                )
+
+    check(verify)
+
+
+def bench_fig7_gan_poisoning_hurts(check, poisoning_sweep):
+    """The GAN attack at 50 %-equivalent volume must register impact."""
+
+    def verify():
+        gan = poisoning_sweep["gan"]
+        assert gan[0.50].impact >= gan[0.0].impact
+
+    check(verify)
+
+
+def bench_fig7_single_poison_cycle_cost(benchmark, uc2_split):
+    """One poison-retrain-evaluate cycle — the experiment's unit of work."""
+    X_train, X_test, y_train, y_test = uc2_split
+
+    def cycle():
+        attacked = TargetedLabelFlippingAttack(
+            rate=0.2, target_label="video", seed=0
+        ).apply(X_train, y_train)
+        model = MLPClassifier(
+            hidden_layers=(16,), n_epochs=30, learning_rate=0.01, seed=0
+        ).fit(attacked.X, attacked.y)
+        model.score(X_test, y_test)
+
+    benchmark(cycle)

@@ -1,0 +1,91 @@
+"""Fig. 7(a/b): SHAP feature importances before vs after the FGSM evasion.
+
+The paper shows the NN's SHAP summary for the web class on benign data and
+on evasion data: "shapley values for web activities have decreased around
+16 % for the udp protocol, causing the feature to drop to the second place
+in ranking, while the importance of the tcp protocol has almost doubled."
+The reproducible shape: the per-feature importance vector shifts
+substantially under attack, protocol features are material to the web
+class, and at least one feature changes rank in the top of the list.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FgsmAttack
+from repro.datasets.nettraffic import FEATURE_NAMES
+from repro.xai import KernelShapExplainer
+
+N_EXPLAINED = 12
+
+
+@pytest.fixture(scope="module")
+def shap_shift(uc2_split, uc2_models, figure_printer):
+    X_train, X_test, y_train, y_test = uc2_split
+    nn = uc2_models["NN"]
+    adversarial = FgsmAttack(nn, epsilon=0.3).apply(X_test, y_test)
+    web_class = int(np.flatnonzero(nn.classes_ == "web")[0])
+    explainer = KernelShapExplainer(
+        nn.predict_proba, X_train[:40], n_coalitions=128, seed=0
+    )
+    benign = explainer.mean_abs_importance(X_test[:N_EXPLAINED], web_class)
+    evaded = explainer.mean_abs_importance(
+        adversarial.X[:N_EXPLAINED], web_class
+    )
+    order = np.argsort(-benign)
+    rows = [
+        (FEATURE_NAMES[j], benign[j], evaded[j]) for j in order[:10]
+    ]
+    figure_printer(
+        "Fig. 7(a/b): web-class SHAP importance, benign vs evasion",
+        ["feature", "benign", "evasion"],
+        rows,
+    )
+    return benign, evaded
+
+
+def bench_fig7ab_importances_shift_under_attack(check, shap_shift):
+    """The global importance vector must move by a material margin."""
+
+    def verify():
+        benign, evaded = shap_shift
+        relative_shift = np.abs(evaded - benign).sum() / benign.sum()
+        assert relative_shift > 0.15
+
+    check(verify)
+
+
+def bench_fig7ab_ranking_changes(check, shap_shift):
+    """At least one of the top-5 benign features changes rank."""
+
+    def verify():
+        benign, evaded = shap_shift
+        top_benign = np.argsort(-benign)[:5].tolist()
+        top_evaded = np.argsort(-evaded)[:5].tolist()
+        assert top_benign != top_evaded
+
+    check(verify)
+
+
+def bench_fig7ab_protocol_features_material(check, shap_shift):
+    """tcp/udp protocol ratios carry non-trivial weight for the web class."""
+
+    def verify():
+        benign, __ = shap_shift
+        tcp = benign[FEATURE_NAMES.index("protocol_tcp_ratio")]
+        udp = benign[FEATURE_NAMES.index("protocol_udp_ratio")]
+        # protocol features together must be inside the top half of mass
+        threshold = np.median(benign)
+        assert max(tcp, udp) >= threshold
+
+    check(verify)
+
+
+def bench_fig7ab_explainer_cost(benchmark, uc2_split, uc2_models):
+    """Cost of one mean-|SHAP| pass — the accountability sensor's poll."""
+    X_train, X_test, __, __ = uc2_split
+    nn = uc2_models["NN"]
+    explainer = KernelShapExplainer(
+        nn.predict_proba, X_train[:20], n_coalitions=64, seed=0
+    )
+    benchmark(lambda: explainer.mean_abs_importance(X_test[:3], 0))

@@ -1,0 +1,107 @@
+"""Fig. 8(b/c): capacity-load results on the simulated deployment.
+
+Experiment 1 (§VI-B): a JMeter ultimate thread group with 100 threads
+against the metric micro-services.  Paper findings: the impact-resilience
+metric "converges to an average of around 1600 ms across the ramp-up time"
+even near 100 parallel requests; SHAP and LIME explanations average 228.6 ms
+and 243.4 ms respectively — "latencies that are tolerable by end-users and
+also can be used for continuous monitoring".
+"""
+
+import pytest
+
+from repro.gateway import LoadGenerator, ThreadGroup, build_paper_deployment
+
+
+def run_route(route, n_threads, iterations, payload="tabular", seed=1):
+    sim, gateway = build_paper_deployment(seed=seed)
+    generator = LoadGenerator(sim, gateway)
+    generator.add_thread_group(
+        ThreadGroup(
+            route=route,
+            n_threads=n_threads,
+            rampup_seconds=1.0,
+            iterations=iterations,
+            payload=payload,
+        )
+    )
+    return generator.run()
+
+
+@pytest.fixture(scope="module")
+def experiment1(figure_printer):
+    reports = {
+        "impact": run_route("impact", 100, 3),
+        "shap": run_route("shap", 100, 60),
+        "lime": run_route("lime", 100, 60),
+    }
+    paper = {"impact": 1600.0, "shap": 228.6, "lime": 243.4}
+    figure_printer(
+        "Fig. 8(b/c): 100-thread capacity results (avg response, ms)",
+        ["service", "paper", "measured", "p95", "err%"],
+        [
+            (
+                route,
+                paper[route],
+                rep.avg_response_ms,
+                rep.p95_response_ms,
+                100 * rep.error_rate,
+            )
+            for route, rep in reports.items()
+        ],
+    )
+    return reports
+
+
+def bench_fig8b_impact_converges_near_1600ms(check, experiment1):
+    def verify():
+        assert experiment1["impact"].avg_response_ms == pytest.approx(
+            1600.0, rel=0.15
+        )
+
+    check(verify)
+
+
+def bench_fig8b_impact_insensitive_to_thread_count(check):
+    """Convergence: 25 vs 100 threads lands on the same average."""
+
+    def verify():
+        low = run_route("impact", 25, 3).avg_response_ms
+        high = run_route("impact", 100, 3).avg_response_ms
+        assert high == pytest.approx(low, rel=0.2)
+
+    check(verify)
+
+
+def bench_fig8c_shap_near_228ms(check, experiment1):
+    def verify():
+        assert experiment1["shap"].avg_response_ms == pytest.approx(
+            228.6, rel=0.2
+        )
+
+    check(verify)
+
+
+def bench_fig8c_lime_near_243ms(check, experiment1):
+    def verify():
+        assert experiment1["lime"].avg_response_ms == pytest.approx(
+            243.4, rel=0.2
+        )
+
+    check(verify)
+
+
+def bench_fig8c_tabular_latency_tolerable(check, experiment1):
+    """Paper: tabular XAI latencies suit continuous monitoring (< 1 s)."""
+
+    def verify():
+        assert experiment1["shap"].p95_response_ms < 1000.0
+        assert experiment1["lime"].p95_response_ms < 1000.0
+        assert experiment1["shap"].error_rate == 0.0
+
+    check(verify)
+
+
+def bench_fig8_simulation_cost(benchmark):
+    """Wall-clock of simulating the full 100-thread SHAP experiment."""
+    benchmark(lambda: run_route("shap", 100, 20))

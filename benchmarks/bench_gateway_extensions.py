@@ -1,0 +1,129 @@
+"""Extension bench: autoscaling and the sponge availability attack.
+
+Two deployment-side extensions the paper motivates:
+
+* §V's dynamic capacity ("augment dynamically the capacity of each
+  individual metric to handle the workload") — the autoscaler must cut the
+  Fig. 8(d) image-LIME latency versus a static pool;
+* §VIII's sponge attacks — an image-payload flood at the LIME host must
+  inflate legitimate tabular latency into denial-of-service territory,
+  quantified by the availability-impact metric.
+"""
+
+import pytest
+
+from repro.attacks.sponge import run_sponge_experiment, sponge_thread_group
+from repro.gateway import (
+    Autoscaler,
+    AutoscalerPolicy,
+    LoadGenerator,
+    ThreadGroup,
+    build_paper_deployment,
+)
+
+
+def image_lime_latency(autoscale: bool, seed: int = 1) -> float:
+    sim, gateway = build_paper_deployment(seed=seed)
+    if autoscale:
+        scaler = Autoscaler(
+            sim,
+            interval_seconds=1.0,
+            policy=AutoscalerPolicy(min_workers=4, max_workers=16),
+        )
+        scaler.watch(gateway._routes["lime"])
+        scaler.start(horizon_seconds=120.0)
+    generator = LoadGenerator(sim, gateway)
+    generator.add_thread_group(
+        ThreadGroup(route="lime", n_threads=20, iterations=3, payload="image")
+    )
+    return generator.run().avg_response_ms
+
+
+@pytest.fixture(scope="module")
+def autoscale_comparison(figure_printer):
+    static = image_lime_latency(autoscale=False)
+    scaled = image_lime_latency(autoscale=True)
+    figure_printer(
+        "Extension: image-LIME latency, static 4 workers vs autoscaled",
+        ["setup", "avg_ms"],
+        [("static", static), ("autoscaled", scaled)],
+    )
+    return static, scaled
+
+
+def bench_autoscaler_cuts_latency(check, autoscale_comparison):
+    def verify():
+        static, scaled = autoscale_comparison
+        assert scaled < static * 0.85
+
+    check(verify)
+
+
+@pytest.fixture(scope="module")
+def sponge_results(figure_printer):
+    legitimate = ThreadGroup(
+        route="lime", n_threads=8, iterations=5, payload="tabular"
+    )
+    sponge = sponge_thread_group("lime", n_threads=8, iterations=3)
+    impact, baseline, attacked = run_sponge_experiment(
+        build_paper_deployment, "lime", legitimate, sponge, seed=0
+    )
+    figure_printer(
+        "Extension: sponge attack on the LIME host (legitimate traffic)",
+        ["metric", "baseline", "under attack"],
+        [
+            ("avg_ms", baseline.avg_response_ms, attacked.avg_response_ms),
+            ("err_rate", baseline.error_rate, attacked.error_rate),
+        ],
+    )
+    return impact
+
+
+def bench_sponge_inflates_legitimate_latency(check, sponge_results):
+    def verify():
+        assert sponge_results.latency_inflation > 3.0
+
+    check(verify)
+
+
+def bench_sponge_classified_as_dos(check, sponge_results):
+    def verify():
+        assert sponge_results.denial_of_service
+
+    check(verify)
+
+
+def bench_autoscaled_sponge_mitigation(check):
+    """Autoscaling partially absorbs the sponge flood: the legitimate
+    traffic's latency inflation shrinks versus the static deployment."""
+
+    def verify():
+        legitimate = ThreadGroup(
+            route="lime", n_threads=8, iterations=5, payload="tabular"
+        )
+        sponge = sponge_thread_group("lime", n_threads=8, iterations=3)
+
+        def scaled_builder(seed=0):
+            sim, gateway = build_paper_deployment(seed=seed)
+            scaler = Autoscaler(
+                sim,
+                interval_seconds=0.5,
+                policy=AutoscalerPolicy(min_workers=4, max_workers=32),
+            )
+            scaler.watch(gateway._routes["lime"])
+            scaler.start(horizon_seconds=120.0)
+            return sim, gateway
+
+        static_impact, __, __ = run_sponge_experiment(
+            build_paper_deployment, "lime", legitimate, sponge, seed=0
+        )
+        scaled_impact, __, __ = run_sponge_experiment(
+            scaled_builder, "lime", legitimate, sponge, seed=0
+        )
+        assert scaled_impact.latency_inflation < static_impact.latency_inflation
+
+    check(verify)
+
+
+def bench_gateway_sim_with_autoscaler_cost(benchmark):
+    benchmark(lambda: image_lime_latency(autoscale=True))

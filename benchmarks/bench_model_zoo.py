@@ -1,0 +1,70 @@
+"""Library-grade performance benchmarks of the ML substrate.
+
+Not a paper figure: these time the training and inference of every model
+family (plus the XAI explainers) on fixed workloads, so performance
+regressions in the substrate that would silently skew the capacity
+calibrations show up in CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GradientBoostedTreesClassifier,
+    LogisticRegressionClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from repro.xai import KernelShapExplainer, LimeTabularExplainer
+
+
+@pytest.fixture(scope="module")
+def workload():
+    gen = np.random.default_rng(0)
+    X = gen.normal(size=(1000, 20))
+    y = (X[:, 0] + np.sin(X[:, 1] * 2) + 0.3 * gen.normal(size=1000) > 0).astype(
+        int
+    )
+    return X, y
+
+
+MODEL_FACTORIES = {
+    "logreg": lambda: LogisticRegressionClassifier(n_epochs=20, seed=0),
+    "tree": lambda: DecisionTreeClassifier(max_depth=8, seed=0),
+    "forest": lambda: RandomForestClassifier(n_estimators=10, max_depth=8, seed=0),
+    "gbdt": lambda: GradientBoostedTreesClassifier(n_estimators=10, seed=0),
+    "mlp": lambda: MLPClassifier(hidden_layers=(32,), n_epochs=20, seed=0),
+}
+
+
+@pytest.mark.parametrize("name", list(MODEL_FACTORIES))
+def bench_training(benchmark, workload, name):
+    X, y = workload
+    factory = MODEL_FACTORIES[name]
+    benchmark(lambda: factory().fit(X, y))
+
+
+@pytest.mark.parametrize("name", list(MODEL_FACTORIES))
+def bench_inference(benchmark, workload, name):
+    X, y = workload
+    model = MODEL_FACTORIES[name]().fit(X, y)
+    benchmark(lambda: model.predict_proba(X))
+
+
+def bench_kernel_shap_single(benchmark, workload):
+    X, y = workload
+    model = MLPClassifier(hidden_layers=(16,), n_epochs=15, seed=0).fit(X, y)
+    explainer = KernelShapExplainer(
+        model.predict_proba, X[:30], n_coalitions=128, seed=0
+    )
+    benchmark(lambda: explainer.shap_values(X[0], class_index=1))
+
+
+def bench_lime_tabular_single(benchmark, workload):
+    X, y = workload
+    model = MLPClassifier(hidden_layers=(16,), n_epochs=15, seed=0).fit(X, y)
+    explainer = LimeTabularExplainer(
+        model.predict_proba, X, n_samples=500, seed=0
+    )
+    benchmark(lambda: explainer.explain(X[0], 1))

@@ -1,0 +1,77 @@
+"""Extension bench: the §VIII accuracy-vs-privacy trade-off, quantified.
+
+"Data removal degrades the decision making process performance" — the
+sweep trains on differentially-private releases of the traffic dataset and
+reports accuracy alongside membership-inference risk per privacy budget ε,
+so the dashboard's privacy sensor and the performance sensor can be read
+as two ends of one dial.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import StandardScaler, lightgbm_like
+from repro.privacy import (
+    k_anonymize,
+    membership_inference_risk,
+    privatize_dataset,
+    smallest_group_size,
+)
+
+EPSILONS = (1000.0, 50.0, 10.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def privacy_sweep(uc2_split, figure_printer):
+    X_train, X_test, y_train, y_test = uc2_split
+    rows = {}
+    for epsilon in EPSILONS:
+        X_tr = privatize_dataset(X_train, epsilon=epsilon, seed=0)
+        X_te = privatize_dataset(X_test, epsilon=epsilon, seed=1)
+        model = lightgbm_like(n_estimators=15, seed=0).fit(X_tr, y_train)
+        accuracy = model.score(X_te, y_test)
+        risk = membership_inference_risk(model, X_tr[:60], X_te[:60])
+        rows[epsilon] = (accuracy, risk)
+    figure_printer(
+        "Extension: DP budget vs accuracy and membership risk",
+        ["epsilon", "accuracy", "memb_risk"],
+        [(e, a, r) for e, (a, r) in rows.items()],
+    )
+    return rows
+
+
+def bench_privacy_accuracy_falls_with_budget(check, privacy_sweep):
+    def verify():
+        generous = privacy_sweep[EPSILONS[0]][0]
+        tight = privacy_sweep[EPSILONS[-1]][0]
+        assert generous > 0.9
+        assert tight < generous - 0.1
+
+    check(verify)
+
+
+def bench_privacy_risk_bounded(check, privacy_sweep):
+    def verify():
+        for accuracy, risk in privacy_sweep.values():
+            assert 0.0 <= risk <= 1.0
+
+    check(verify)
+
+
+def bench_privacy_k_anonymity_coarsens(check, uc2_split):
+    """Higher k forces coarser generalisation (fewer quantile bins)."""
+
+    def verify():
+        X_train, __, __, __ = uc2_split
+        two_features = X_train[:, :2]
+        __, bins_k2 = k_anonymize(two_features, k=2)
+        out, bins_k40 = k_anonymize(two_features, k=40)
+        assert bins_k40 <= bins_k2
+        assert smallest_group_size(out) >= 40
+
+    check(verify)
+
+
+def bench_privacy_dp_release_cost(benchmark, uc2_split):
+    X_train, __, __, __ = uc2_split
+    benchmark(lambda: privatize_dataset(X_train, epsilon=10.0, seed=0))

@@ -1,0 +1,89 @@
+"""Fig. 1 and Fig. 3: the attack taxonomy and pipeline-vulnerability maps.
+
+These figures are qualitative matrices; the bench regenerates both tables
+and asserts their structural claims — every training algorithm is
+poisonable (Fig. 1), every pipeline stage carries vulnerabilities and all
+three CIA attributes appear (Fig. 3) — plus times the registry lookups the
+dashboard performs per request.
+"""
+
+import pytest
+
+from repro.attacks.taxonomy import (
+    ATTACK_TAXONOMY,
+    AttackClass,
+    algorithms_vulnerable_to,
+    attacks_for_algorithm,
+)
+from repro.attacks.vulnerabilities import (
+    PIPELINE_VULNERABILITIES,
+    CiaProperty,
+    vulnerabilities_at_stage,
+)
+from repro.ml.pipeline import STAGE_ORDER
+
+
+@pytest.fixture(scope="module")
+def taxonomy_tables(figure_printer):
+    attack_columns = list(AttackClass)
+    rows = []
+    for entry in ATTACK_TAXONOMY:
+        marks = [
+            "x" if attack in entry.attacks else "." for attack in attack_columns
+        ]
+        rows.append((entry.algorithm, *marks))
+    figure_printer(
+        "Fig. 1: attack classes per AI algorithm",
+        ["algorithm", *(a.name[:10] for a in attack_columns)],
+        rows,
+    )
+    stage_rows = []
+    for stage in STAGE_ORDER:
+        for v in vulnerabilities_at_stage(stage):
+            cia = "/".join(sorted(p.value[:1].upper() for p in v.compromises))
+            stage_rows.append((stage.value, v.name, cia))
+    figure_printer(
+        "Fig. 3: vulnerabilities per pipeline stage (CIA)",
+        ["stage", "vulnerability", "CIA"],
+        stage_rows,
+    )
+    return rows, stage_rows
+
+
+def bench_fig1_every_algorithm_poisonable(check, taxonomy_tables):
+    def verify():
+        for entry in ATTACK_TAXONOMY:
+            assert AttackClass.DATA_POISONING in entry.attacks
+
+    check(verify)
+
+
+def bench_fig1_nn_widest_attack_surface(check, taxonomy_tables):
+    def verify():
+        nn = attacks_for_algorithm("neural_networks")
+        assert all(len(e.attacks) <= len(nn) for e in ATTACK_TAXONOMY)
+
+    check(verify)
+
+
+def bench_fig3_every_stage_vulnerable(check, taxonomy_tables):
+    def verify():
+        for stage in STAGE_ORDER:
+            assert vulnerabilities_at_stage(stage)
+
+    check(verify)
+
+
+def bench_fig3_cia_complete(check, taxonomy_tables):
+    def verify():
+        covered = set()
+        for v in PIPELINE_VULNERABILITIES:
+            covered |= v.compromises
+        assert covered == set(CiaProperty)
+
+    check(verify)
+
+
+def bench_taxonomy_lookup_cost(benchmark):
+    """Dashboard-path cost: column lookup across the whole matrix."""
+    benchmark(lambda: algorithms_vulnerable_to(AttackClass.MODEL_STEALING))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Capacity-load experiments on the simulated Fig. 8(a) deployment.
+
+Stands up the six-machine SPATIAL deployment (Kong gateway + five metric
+micro-services) in the discrete-event simulator and replays the paper's
+JMeter experiments:
+
+* Experiment 1 — 100 concurrent threads against the impact-resilience and
+  SHAP/LIME micro-services (Fig. 8b/8c);
+* Experiment 2 — image-LIME under 5→25 concurrent requests (Fig. 8d).
+
+Run:  python examples/capacity_load.py
+"""
+
+from repro.gateway import LoadGenerator, ThreadGroup, build_paper_deployment
+
+
+def run(route, n_threads, iterations, payload="tabular", seed=1):
+    sim, gateway = build_paper_deployment(seed=seed)
+    generator = LoadGenerator(sim, gateway)
+    generator.add_thread_group(
+        ThreadGroup(
+            route=route,
+            n_threads=n_threads,
+            rampup_seconds=1.0,
+            iterations=iterations,
+            payload=payload,
+        )
+    )
+    return generator.run()
+
+
+def main() -> None:
+    print("== Experiment 1: 100-thread groups (Fig. 8b/8c) ==")
+    for route, paper_ms, iterations in (
+        ("impact", 1600.0, 3),
+        ("shap", 228.6, 60),
+        ("lime", 243.4, 60),
+    ):
+        report = run(route, n_threads=100, iterations=iterations)
+        print(
+            f"  {route:8s} avg={report.avg_response_ms:7.1f} ms "
+            f"(paper ≈ {paper_ms:6.1f} ms)  p95={report.p95_response_ms:7.1f} ms "
+            f"tput={report.throughput_rps:6.1f}/s err={report.error_rate:.1%}"
+        )
+
+    print("\n== Experiment 2: image LIME, 5→25 threads (Fig. 8d) ==")
+    for n in (5, 10, 15, 20, 25):
+        report = run("lime", n_threads=n, iterations=3, payload="image")
+        bar = "#" * int(report.avg_response_ms / 150)
+        print(f"  threads={n:2d}  avg={report.avg_response_ms:7.1f} ms  {bar}")
+
+    print("\n== gateway routing table ==")
+    sim, gateway = build_paper_deployment()
+    for route in gateway.routes:
+        print(f"  /{route}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — reproduction of the SPATIAL architecture (ICDCS 2024).
+
+SPATIAL augments modern applications with **AI sensors** (probes that
+quantify trustworthy properties of AI models across the ML pipeline) and an
+**AI dashboard** (the human-in-the-loop surface that aggregates sensor
+readings, raises alerts, and routes operator feedback back into the
+pipeline), served by metric micro-services behind an API gateway.
+
+Package layout
+--------------
+``repro.ml``        ML substrate: models, metrics, preprocessing, pipeline.
+``repro.datasets``  Synthetic stand-ins for UniMiB SHAR / operator pcaps.
+``repro.attacks``   Poisoning & evasion attacks, taxonomies, threat models.
+``repro.xai``       SHAP, LIME (tabular + image), occlusion sensitivity.
+``repro.trust``     Resilience (impact/complexity), fairness, trust score.
+``repro.core``      SPATIAL proper: sensors, registry, monitor, dashboard.
+``repro.gateway``   Discrete-event micro-service deployment + load generator.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,74 @@
+"""Adversarial-ML substrate: the induced changes SPATIAL must detect.
+
+Implements the paper's attack repertoire — random/targeted label flipping,
+random label swapping, GAN-based data poisoning (CTGAN stand-in) and FGSM
+evasion — plus the threat-model abstractions and the Fig. 1 / Fig. 3
+taxonomies of attacks and pipeline vulnerabilities.
+"""
+
+from repro.attacks.base import Attack, AttackResult, Capability, ThreatModel
+from repro.attacks.label_flipping import (
+    RandomLabelFlippingAttack,
+    RandomLabelSwappingAttack,
+    TargetedLabelFlippingAttack,
+)
+from repro.attacks.gan_poisoning import GanPoisoningAttack, TableSynthesizer
+from repro.attacks.fgsm import FgsmAttack, fgsm_perturb
+from repro.attacks.inference import (
+    MembershipInferenceAttack,
+    MembershipInferenceResult,
+    ModelStealingAttack,
+    ModelStealingResult,
+)
+from repro.attacks.backdoor import BackdoorAttack, Trigger
+from repro.attacks.defenses import BaggingDefense, adversarial_training
+from repro.attacks.sponge import (
+    SpongeImpact,
+    run_sponge_experiment,
+    sponge_thread_group,
+)
+from repro.attacks.taxonomy import (
+    ATTACK_TAXONOMY,
+    AttackClass,
+    attacks_for_algorithm,
+    algorithms_vulnerable_to,
+)
+from repro.attacks.vulnerabilities import (
+    PIPELINE_VULNERABILITIES,
+    CiaProperty,
+    Vulnerability,
+    vulnerabilities_at_stage,
+)
+
+__all__ = [
+    "ATTACK_TAXONOMY",
+    "Attack",
+    "AttackClass",
+    "AttackResult",
+    "BackdoorAttack",
+    "BaggingDefense",
+    "Capability",
+    "CiaProperty",
+    "FgsmAttack",
+    "GanPoisoningAttack",
+    "MembershipInferenceAttack",
+    "MembershipInferenceResult",
+    "ModelStealingAttack",
+    "ModelStealingResult",
+    "PIPELINE_VULNERABILITIES",
+    "RandomLabelFlippingAttack",
+    "RandomLabelSwappingAttack",
+    "SpongeImpact",
+    "TableSynthesizer",
+    "TargetedLabelFlippingAttack",
+    "ThreatModel",
+    "Trigger",
+    "Vulnerability",
+    "adversarial_training",
+    "algorithms_vulnerable_to",
+    "attacks_for_algorithm",
+    "fgsm_perturb",
+    "run_sponge_experiment",
+    "sponge_thread_group",
+    "vulnerabilities_at_stage",
+]

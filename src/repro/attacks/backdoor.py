@@ -1,0 +1,129 @@
+"""Backdoor (trigger) poisoning attack.
+
+Fig. 1 attributes backdoor attacks to neural networks and federated
+learning (reflection backdoors, Liu et al.).  The attack implants a fixed
+*trigger pattern* into a small fraction of training samples and relabels
+them to an attacker-chosen target class; the model learns "trigger ⇒
+target" while clean-input behaviour stays intact — the stealth property
+that makes backdoors the hardest poisoning class for the performance
+sensor to catch (clean accuracy barely moves) and the reason SPATIAL needs
+explanation-based probes too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult, Capability, ThreatModel
+from repro.ml.model import Classifier
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A fixed pattern stamped onto chosen feature coordinates."""
+
+    feature_indices: tuple
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.feature_indices) != len(self.values):
+            raise ValueError("one value per trigger feature required")
+        if not self.feature_indices:
+            raise ValueError("trigger must touch at least one feature")
+
+    def stamp(self, X: np.ndarray) -> np.ndarray:
+        """Return a copy of ``X`` with the trigger applied to every row."""
+        X = np.array(X, dtype=np.float64, copy=True)
+        for index, value in zip(self.feature_indices, self.values):
+            X[:, index] = value
+        return X
+
+    @staticmethod
+    def corner(n_features: int, width: int = 3, value: float = 4.0) -> "Trigger":
+        """Convenience: stamp the first ``width`` features to a fixed value."""
+        width = min(width, n_features)
+        return Trigger(
+            feature_indices=tuple(range(width)),
+            values=tuple(value for __ in range(width)),
+        )
+
+
+class BackdoorAttack(Attack):
+    """Implant a trigger into a fraction of the training data.
+
+    Parameters
+    ----------
+    trigger:
+        The pattern to implant.
+    target_label:
+        Every triggered sample is relabelled to this class.
+    rate:
+        Fraction of training samples to poison.
+    seed:
+        RNG seed for victim selection.
+    """
+
+    required_capabilities = (
+        Capability.READ_TRAINING_DATA,
+        Capability.WRITE_TRAINING_DATA,
+    )
+
+    def __init__(
+        self,
+        trigger: Trigger,
+        target_label,
+        rate: float = 0.05,
+        seed: int = 0,
+        threat_model: Optional[ThreatModel] = None,
+    ) -> None:
+        super().__init__(threat_model)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.trigger = trigger
+        self.target_label = target_label
+        self.rate = rate
+        self.seed = seed
+
+    def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
+        self.check_threat_model()
+        started = time.perf_counter()
+        X = np.array(X, dtype=np.float64, copy=True)
+        y = np.array(y, copy=True)
+        n_poison = int(round(len(y) * self.rate))
+        rng = np.random.default_rng(self.seed)
+        if n_poison > 0:
+            victims = rng.choice(len(y), size=n_poison, replace=False)
+            X[victims] = self.trigger.stamp(X[victims])
+            y[victims] = self.target_label
+        return AttackResult(
+            X=X,
+            y=y,
+            n_affected=n_poison,
+            cost_seconds=time.perf_counter() - started,
+            details={"rate": self.rate},
+        )
+
+    def attack_success_rate(
+        self,
+        model: Classifier,
+        X_clean: np.ndarray,
+        y_clean: Optional[np.ndarray] = None,
+    ) -> float:
+        """Fraction of triggered inputs classified as the target.
+
+        When ``y_clean`` is given, rows already belonging to the target
+        class are excluded (they cannot demonstrate the backdoor).
+        """
+        X_clean = np.asarray(X_clean, dtype=np.float64)
+        if y_clean is not None:
+            mask = np.asarray(y_clean) != self.target_label
+            X_clean = X_clean[mask]
+        if X_clean.shape[0] == 0:
+            raise ValueError("no non-target rows to evaluate the trigger on")
+        triggered = self.trigger.stamp(X_clean)
+        predictions = model.predict(triggered)
+        return float(np.mean(predictions == self.target_label))

@@ -1,0 +1,111 @@
+"""Threat models and the attack interface.
+
+Use case 1 assumes a **black-box** attacker ("access to the training data but
+no knowledge about the underlying structure of the utilized model"); use case
+2 assumes a **white-box** attacker ("complete knowledge about the AI model
+structure … hampered from inside an organization").  :class:`ThreatModel`
+captures exactly those capability sets, and every attack declares what it
+needs so experiments can assert the assumed adversary is sufficient.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+
+class Capability(enum.Enum):
+    """Individual adversary capabilities an attack may require."""
+
+    READ_TRAINING_DATA = "read_training_data"
+    WRITE_TRAINING_DATA = "write_training_data"
+    READ_MODEL_STRUCTURE = "read_model_structure"
+    QUERY_MODEL = "query_model"
+    PERTURB_INPUTS = "perturb_inputs"
+
+
+@dataclass(frozen=True)
+class ThreatModel:
+    """A named set of adversary capabilities."""
+
+    name: str
+    capabilities: FrozenSet[Capability]
+
+    def allows(self, *needed: Capability) -> bool:
+        """True when every needed capability is granted."""
+        return all(c in self.capabilities for c in needed)
+
+    @staticmethod
+    def black_box() -> "ThreatModel":
+        """Use case 1 adversary: can poison training data, cannot see the model."""
+        return ThreatModel(
+            name="black-box",
+            capabilities=frozenset(
+                {
+                    Capability.READ_TRAINING_DATA,
+                    Capability.WRITE_TRAINING_DATA,
+                    Capability.QUERY_MODEL,
+                }
+            ),
+        )
+
+    @staticmethod
+    def white_box() -> "ThreatModel":
+        """Use case 2 adversary: insider with full model knowledge."""
+        return ThreatModel(
+            name="white-box",
+            capabilities=frozenset(Capability),
+        )
+
+
+@dataclass
+class AttackResult:
+    """Outcome of running an attack: the manipulated data plus bookkeeping.
+
+    ``cost_seconds`` is the wall-clock generation cost — the raw signal
+    behind the paper's *complexity* resilience metric for evasion attacks.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    n_affected: int
+    cost_seconds: float = 0.0
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def affected_fraction(self) -> float:
+        """Fraction of output samples the attack touched."""
+        return self.n_affected / len(self.y) if len(self.y) else 0.0
+
+
+class Attack(ABC):
+    """Base class for all training-time and inference-time attacks."""
+
+    #: Capabilities this attack needs from the threat model.
+    required_capabilities: Tuple[Capability, ...] = ()
+
+    def __init__(self, threat_model: Optional[ThreatModel] = None) -> None:
+        self.threat_model = threat_model
+
+    def check_threat_model(self) -> None:
+        """Raise ``PermissionError`` if the threat model is insufficient."""
+        if self.threat_model is None:
+            return
+        if not self.threat_model.allows(*self.required_capabilities):
+            missing = [
+                c.value
+                for c in self.required_capabilities
+                if c not in self.threat_model.capabilities
+            ]
+            raise PermissionError(
+                f"threat model {self.threat_model.name!r} lacks capabilities: "
+                f"{missing}"
+            )
+
+    @abstractmethod
+    def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
+        """Run the attack against a dataset and return the manipulated copy."""

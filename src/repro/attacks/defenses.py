@@ -1,0 +1,106 @@
+"""Countermeasures against the attack substrate.
+
+§VIII asks for "proactive counter measurements … suggesting those counter
+measurements to human operators".  Implemented here:
+
+* **adversarial training** — augment training with FGSM examples so the
+  model learns the perturbation directions (hardens against evasion);
+* **bagging defence** — the Biggio et al. observation the Fig. 1 notes cite:
+  an ensemble of bootstrap learners dilutes a minority of poisoned samples
+  (wrapper provided for arbitrary base models).
+
+Both return fitted models and integrate with the resilience metrics so the
+defended-vs-undefended comparison is one function call (see the ablation
+bench and tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.attacks.fgsm import fgsm_perturb
+from repro.ml.model import Classifier, clone
+from repro.ml.neural import MLPClassifier
+
+
+def adversarial_training(
+    model_factory: Callable[[], MLPClassifier],
+    X: np.ndarray,
+    y: np.ndarray,
+    epsilon: float = 0.3,
+    n_outer_rounds: int = 2,
+    adversarial_fraction: float = 1.0,
+) -> MLPClassifier:
+    """Iterated FGSM adversarial training.
+
+    Each outer round fits the model, generates FGSM examples at ``epsilon``
+    from a fraction of the training data, and refits on the union of clean
+    and adversarial rows (labels preserved).  Two rounds already close most
+    of the FGSM gap on tabular data.
+    """
+    if not 0.0 < adversarial_fraction <= 1.0:
+        raise ValueError("adversarial_fraction must be in (0, 1]")
+    if n_outer_rounds < 1:
+        raise ValueError("n_outer_rounds must be >= 1")
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    model = model_factory().fit(X, y)
+    n_adv = int(round(len(y) * adversarial_fraction))
+    for __ in range(n_outer_rounds):
+        X_adv = fgsm_perturb(model, X[:n_adv], epsilon, targets=y[:n_adv])
+        X_aug = np.vstack([X, X_adv])
+        y_aug = np.concatenate([y, y[:n_adv]])
+        model = model_factory().fit(X_aug, y_aug)
+    return model
+
+
+class BaggingDefense(Classifier):
+    """Bootstrap-ensemble wrapper hardening any base model against poisoning.
+
+    "Bagging classifiers for fighting poisoning attacks" (Biggio et al.,
+    cited in the taxonomy): each member trains on an n-sample bootstrap, so
+    a poisoned minority appears in varying dilution per member and the
+    probability vote averages its influence away.
+    """
+
+    def __init__(
+        self,
+        base_factory: Callable[[], Classifier],
+        n_members: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self._record_params(locals())
+        if n_members < 1:
+            raise ValueError("n_members must be >= 1")
+        self.base_factory = base_factory
+        self.n_members = n_members
+        self.seed = seed
+        self.members_: List[Classifier] = []
+        self.classes_ = np.empty(0)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaggingDefense":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.seed)
+        self.members_ = []
+        for __ in range(self.n_members):
+            idx = rng.integers(0, len(y), size=len(y))
+            member = self.base_factory()
+            member.fit(X[idx], y[idx])
+            self.members_.append(member)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.members_:
+            raise RuntimeError("model used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        total = np.zeros((X.shape[0], len(self.classes_)))
+        class_pos = {c: i for i, c in enumerate(self.classes_.tolist())}
+        for member in self.members_:
+            proba = member.predict_proba(X)
+            for member_col, cls in enumerate(member.classes_.tolist()):
+                total[:, class_pos[cls]] += proba[:, member_col]
+        return total / len(self.members_)

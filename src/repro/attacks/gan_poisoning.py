@@ -1,0 +1,199 @@
+"""GAN-based data poisoning (the paper's CTGAN attack, use case 2).
+
+The paper uses CTGAN "for modelling tabular data to generate 5000 synthetic
+samples" whose goal is "to generate synthetic data that looks very similar to
+the real data", then mixes them into the training set.  Offline we cannot
+train a GAN, so :class:`TableSynthesizer` is a mode-aware per-class Gaussian
+mixture sampler: like CTGAN it models per-column multi-modal distributions
+conditioned on the class, and sampling from it yields rows statistically
+close to real data.  The poisoning code path — synthesise, label, inject —
+is identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult, Capability, ThreatModel
+
+
+@dataclass
+class _ColumnModel:
+    """Per-column 1-D Gaussian mixture (means/stds/weights)."""
+
+    means: np.ndarray
+    stds: np.ndarray
+    weights: np.ndarray
+
+
+def _fit_column(values: np.ndarray, n_modes: int, rng: np.random.Generator) -> _ColumnModel:
+    """Fit a small 1-D GMM with k-means-style mode finding."""
+    values = np.asarray(values, dtype=np.float64)
+    n_modes = max(1, min(n_modes, len(np.unique(values))))
+    # initialise centers on quantiles, then a few Lloyd iterations
+    quantiles = np.linspace(0.1, 0.9, n_modes)
+    centers = np.quantile(values, quantiles)
+    for __ in range(8):
+        assignment = np.argmin(np.abs(values[:, None] - centers[None, :]), axis=1)
+        for m in range(n_modes):
+            members = values[assignment == m]
+            if members.size:
+                centers[m] = members.mean()
+    assignment = np.argmin(np.abs(values[:, None] - centers[None, :]), axis=1)
+    means = np.empty(n_modes)
+    stds = np.empty(n_modes)
+    weights = np.empty(n_modes)
+    for m in range(n_modes):
+        members = values[assignment == m]
+        if members.size == 0:
+            means[m] = centers[m]
+            stds[m] = values.std() or 1.0
+            weights[m] = 0.0
+        else:
+            means[m] = members.mean()
+            spread = members.std()
+            stds[m] = spread if spread > 0 else max(values.std() * 0.05, 1e-6)
+            weights[m] = members.size
+    total = weights.sum()
+    weights = weights / total if total > 0 else np.full(n_modes, 1.0 / n_modes)
+    return _ColumnModel(means=means, stds=stds, weights=weights)
+
+
+class TableSynthesizer:
+    """CTGAN stand-in: class-conditional per-column Gaussian-mixture sampler.
+
+    Parameters
+    ----------
+    n_modes:
+        Mixture components per column (CTGAN's mode-specific normalisation
+    models multi-modal columns the same way).
+    seed:
+        RNG seed for fitting and sampling.
+    """
+
+    def __init__(self, n_modes: int = 3, seed: int = 0) -> None:
+        if n_modes < 1:
+            raise ValueError("n_modes must be >= 1")
+        self.n_modes = n_modes
+        self.seed = seed
+        self._models: Dict[object, List[_ColumnModel]] = {}
+        self._class_weights: Dict[object, float] = {}
+        self.n_features_: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._models)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "TableSynthesizer":
+        """Learn per-class column mixtures from real data."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be 2-D and aligned with y")
+        rng = np.random.default_rng(self.seed)
+        self.n_features_ = X.shape[1]
+        self._models = {}
+        self._class_weights = {}
+        for label in np.unique(y):
+            rows = X[y == label]
+            self._models[label.item() if hasattr(label, "item") else label] = [
+                _fit_column(rows[:, j], self.n_modes, rng)
+                for j in range(X.shape[1])
+            ]
+            key = label.item() if hasattr(label, "item") else label
+            self._class_weights[key] = rows.shape[0] / X.shape[0]
+        return self
+
+    def sample(self, n_samples: int, label=None) -> np.ndarray:
+        """Draw synthetic rows; ``label=None`` samples the class prior too."""
+        if not self.is_fitted:
+            raise RuntimeError("TableSynthesizer used before fit()")
+        if n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        rng = np.random.default_rng(self.seed + 1)
+        labels = list(self._models)
+        out = np.empty((n_samples, self.n_features_))
+        chosen = np.empty(n_samples, dtype=object)
+        for i in range(n_samples):
+            if label is None:
+                weights = np.array([self._class_weights[c] for c in labels])
+                cls = labels[rng.choice(len(labels), p=weights / weights.sum())]
+            else:
+                if label not in self._models:
+                    raise ValueError(f"unknown class {label!r}")
+                cls = label
+            chosen[i] = cls
+            for j, column in enumerate(self._models[cls]):
+                mode = rng.choice(len(column.weights), p=column.weights)
+                out[i, j] = rng.normal(column.means[mode], column.stds[mode])
+        self._last_labels = chosen
+        return out
+
+    def sample_with_labels(self, n_samples: int):
+        """Draw ``(X, y)`` with class labels sampled from the prior."""
+        X = self.sample(n_samples, label=None)
+        return X, self._last_labels.copy()
+
+
+class GanPoisoningAttack(Attack):
+    """Inject synthetic (optionally mislabelled) samples into the train set.
+
+    Parameters
+    ----------
+    n_synthetic:
+        Synthetic rows to inject (paper: 5000 CTGAN samples).
+    poison_label:
+        If given, every synthetic row receives this label regardless of the
+        class it was synthesised from — the mislabelling that corrupts the
+        decision boundary.  ``None`` keeps the source-class label (a pure
+        data-dilution attack).
+    synthesizer:
+        Pre-configured :class:`TableSynthesizer` (a fresh one is built
+        otherwise).
+    """
+
+    required_capabilities = (
+        Capability.READ_TRAINING_DATA,
+        Capability.WRITE_TRAINING_DATA,
+    )
+
+    def __init__(
+        self,
+        n_synthetic: int,
+        poison_label=None,
+        synthesizer: Optional[TableSynthesizer] = None,
+        seed: int = 0,
+        threat_model: Optional[ThreatModel] = None,
+    ) -> None:
+        super().__init__(threat_model)
+        if n_synthetic < 0:
+            raise ValueError("n_synthetic must be non-negative")
+        self.n_synthetic = n_synthetic
+        self.poison_label = poison_label
+        self.synthesizer = synthesizer
+        self.seed = seed
+
+    def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
+        self.check_threat_model()
+        started = time.perf_counter()
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        synth = self.synthesizer or TableSynthesizer(seed=self.seed)
+        if not synth.is_fitted:
+            synth.fit(X, y)
+        X_fake, y_fake = synth.sample_with_labels(self.n_synthetic)
+        if self.poison_label is not None:
+            y_fake = np.full(self.n_synthetic, self.poison_label, dtype=object)
+        X_out = np.vstack([X, X_fake]) if self.n_synthetic else X.copy()
+        y_out = np.concatenate([y, y_fake.astype(y.dtype)]) if self.n_synthetic else y.copy()
+        return AttackResult(
+            X=X_out,
+            y=y_out,
+            n_affected=self.n_synthetic,
+            cost_seconds=time.perf_counter() - started,
+            details={"n_synthetic": float(self.n_synthetic)},
+        )

@@ -1,0 +1,179 @@
+"""Label-level poisoning attacks (use case 1 and the Fig. 7 poisoning sweep).
+
+Three variants from the paper:
+
+* **random label flipping** — "the attacker poisons the data by performing a
+  random label-flipping attack" at rate *p* (use case 1);
+* **targeted label flipping** — "flips the labels of some samples from one
+  class to the target class (e.g., Video class)" (use case 2);
+* **random label swapping** — "chooses randomly two samples of the training
+  dataset and swaps their labels" (use case 2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult, Capability, ThreatModel
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"poisoning rate must be in [0, 1], got {rate}")
+
+
+class RandomLabelFlippingAttack(Attack):
+    """Flip each selected sample's label to a different random class.
+
+    Parameters
+    ----------
+    rate:
+        Poisoning rate *p*: fraction of training samples whose label flips.
+    seed:
+        RNG seed (which samples flip, and to what).
+    threat_model:
+        Optional threat model to validate against (needs training-data write).
+    """
+
+    required_capabilities = (
+        Capability.READ_TRAINING_DATA,
+        Capability.WRITE_TRAINING_DATA,
+    )
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int = 0,
+        threat_model: Optional[ThreatModel] = None,
+    ) -> None:
+        super().__init__(threat_model)
+        _check_rate(rate)
+        self.rate = rate
+        self.seed = seed
+
+    def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
+        self.check_threat_model()
+        started = time.perf_counter()
+        X = np.asarray(X)
+        y = np.array(y, copy=True)
+        classes = np.unique(y)
+        n_poison = int(round(len(y) * self.rate))
+        rng = np.random.default_rng(self.seed)
+        if n_poison > 0 and len(classes) > 1:
+            victims = rng.choice(len(y), size=n_poison, replace=False)
+            for i in victims:
+                others = classes[classes != y[i]]
+                y[i] = rng.choice(others)
+        else:
+            n_poison = 0
+        return AttackResult(
+            X=X,
+            y=y,
+            n_affected=n_poison,
+            cost_seconds=time.perf_counter() - started,
+            details={"rate": self.rate},
+        )
+
+
+class TargetedLabelFlippingAttack(Attack):
+    """Flip labels of one source class to a chosen target class.
+
+    ``source_label=None`` flips from any non-target class, matching the
+    paper's "flips the labels of some samples from one class to the target
+    class (e.g., Video class)".
+    """
+
+    required_capabilities = (
+        Capability.READ_TRAINING_DATA,
+        Capability.WRITE_TRAINING_DATA,
+    )
+
+    def __init__(
+        self,
+        rate: float,
+        target_label,
+        source_label=None,
+        seed: int = 0,
+        threat_model: Optional[ThreatModel] = None,
+    ) -> None:
+        super().__init__(threat_model)
+        _check_rate(rate)
+        self.rate = rate
+        self.target_label = target_label
+        self.source_label = source_label
+        self.seed = seed
+
+    def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
+        self.check_threat_model()
+        started = time.perf_counter()
+        X = np.asarray(X)
+        y = np.array(y, copy=True)
+        if self.source_label is not None:
+            candidates = np.flatnonzero(y == self.source_label)
+        else:
+            candidates = np.flatnonzero(y != self.target_label)
+        n_poison = min(int(round(len(y) * self.rate)), len(candidates))
+        rng = np.random.default_rng(self.seed)
+        if n_poison > 0:
+            victims = rng.choice(candidates, size=n_poison, replace=False)
+            y[victims] = self.target_label
+        return AttackResult(
+            X=X,
+            y=y,
+            n_affected=n_poison,
+            cost_seconds=time.perf_counter() - started,
+            details={"rate": self.rate},
+        )
+
+
+class RandomLabelSwappingAttack(Attack):
+    """Swap the labels of randomly chosen sample pairs.
+
+    ``rate`` is the fraction of the dataset involved in swaps; each swap
+    touches two samples, so ``round(rate * n / 2)`` pairs are drawn without
+    replacement.  Swaps between samples that share a label still count as
+    "affected" pairs drawn, but the reported count only includes samples
+    whose label actually changed.
+    """
+
+    required_capabilities = (
+        Capability.READ_TRAINING_DATA,
+        Capability.WRITE_TRAINING_DATA,
+    )
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int = 0,
+        threat_model: Optional[ThreatModel] = None,
+    ) -> None:
+        super().__init__(threat_model)
+        _check_rate(rate)
+        self.rate = rate
+        self.seed = seed
+
+    def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
+        self.check_threat_model()
+        started = time.perf_counter()
+        X = np.asarray(X)
+        y = np.array(y, copy=True)
+        n_pairs = int(round(len(y) * self.rate / 2.0))
+        rng = np.random.default_rng(self.seed)
+        n_changed = 0
+        if n_pairs > 0 and len(y) >= 2:
+            chosen = rng.choice(len(y), size=min(2 * n_pairs, len(y)), replace=False)
+            for k in range(0, len(chosen) - 1, 2):
+                i, j = chosen[k], chosen[k + 1]
+                if y[i] != y[j]:
+                    y[i], y[j] = y[j], y[i]
+                    n_changed += 2
+        return AttackResult(
+            X=X,
+            y=y,
+            n_affected=n_changed,
+            cost_seconds=time.perf_counter() - started,
+            details={"rate": self.rate},
+        )

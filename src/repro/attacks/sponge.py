@@ -1,0 +1,112 @@
+"""Sponge (energy-latency) attacks against the deployed services.
+
+§VIII: "poisoned data … can make devices drain energy at faster rates,
+e.g., sponge attacks in IoT devices"; Fig. 3 lists sponge examples as the
+availability vulnerability at deployment.  Against a served model the
+attack shape is: craft inputs that maximise per-request computation (here:
+the heavyweight *image* payloads of the XAI services) and pump them in
+alongside legitimate traffic, starving it.
+
+The module provides the attack-traffic builder plus the availability-impact
+metric (legitimate-traffic latency inflation and error-rate increase) that
+the resilience sensor reports for this attack class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.gateway.gateway import APIGateway
+from repro.gateway.loadgen import LoadGenerator, SummaryReport, ThreadGroup
+from repro.gateway.simulation import Simulator
+
+
+@dataclass
+class SpongeImpact:
+    """Availability impact of a sponge attack on legitimate traffic."""
+
+    baseline_avg_ms: float
+    attacked_avg_ms: float
+    baseline_error_rate: float
+    attacked_error_rate: float
+
+    @property
+    def latency_inflation(self) -> float:
+        """Attacked / baseline average latency (1.0 = no effect)."""
+        if self.baseline_avg_ms <= 0:
+            return float("inf") if self.attacked_avg_ms > 0 else 1.0
+        return self.attacked_avg_ms / self.baseline_avg_ms
+
+    @property
+    def denial_of_service(self) -> bool:
+        """Errors appeared, or latency blew past 5× baseline."""
+        return (
+            self.attacked_error_rate > self.baseline_error_rate
+            or self.latency_inflation > 5.0
+        )
+
+
+def sponge_thread_group(
+    route: str,
+    n_threads: int = 10,
+    iterations: int = 5,
+    payload: str = "image",
+) -> ThreadGroup:
+    """Attack traffic: closed-loop floods of the costliest payload kind."""
+    return ThreadGroup(
+        route=route,
+        n_threads=n_threads,
+        rampup_seconds=0.1,  # sponges don't politely ramp up
+        iterations=iterations,
+        payload=payload,
+    )
+
+
+def run_sponge_experiment(
+    gateway_builder,
+    victim_route: str,
+    legitimate: ThreadGroup,
+    sponge: ThreadGroup,
+    seed: int = 0,
+) -> Tuple[SpongeImpact, SummaryReport, SummaryReport]:
+    """Measure legitimate-traffic degradation under a sponge flood.
+
+    Runs the deployment twice from identical seeds — once with only the
+    legitimate thread group, once with the sponge group added — and compares
+    the legitimate route's summary between runs.
+    """
+    if sponge.route != victim_route or legitimate.route != victim_route:
+        raise ValueError("both thread groups must target the victim route")
+    if sponge.payload == legitimate.payload:
+        raise ValueError(
+            "sponge and legitimate payloads must differ so their records "
+            "can be separated in the mixed run"
+        )
+
+    def run(with_sponge: bool) -> SummaryReport:
+        sim, gateway = gateway_builder(seed=seed)
+        generator = LoadGenerator(sim, gateway)
+        generator.add_thread_group(legitimate)
+        if with_sponge:
+            generator.add_thread_group(sponge)
+        report = generator.run()
+        # isolate the legitimate payload's records
+        legit_records = [
+            r
+            for r in generator.responses
+            if r.request.payload == legitimate.payload
+        ]
+        return SummaryReport.from_records(
+            legit_records, duration=report.duration_seconds
+        )
+
+    baseline = run(with_sponge=False)
+    attacked = run(with_sponge=True)
+    impact = SpongeImpact(
+        baseline_avg_ms=baseline.avg_response_ms,
+        attacked_avg_ms=attacked.avg_response_ms,
+        baseline_error_rate=baseline.error_rate,
+        attacked_error_rate=attacked.error_rate,
+    )
+    return impact, baseline, attacked

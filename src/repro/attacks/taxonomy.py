@@ -1,0 +1,175 @@
+"""Attack-by-algorithm taxonomy (Fig. 1).
+
+Fig. 1 summarises "attacks investigated in the relevant literature in the
+last years … the type of attack that can be performed depending on each AI
+algorithm used for training".  This registry encodes that matrix so the
+dashboard can answer "which attack classes threaten the algorithm this
+application deploys?" — the quantity the figure communicates.
+
+The entries follow the paper's reference clusters: poisoning
+(clean-label, backdoor, label flipping), evasion (gradient- and
+query-based), model stealing / extraction, membership & property inference,
+and model inversion, mapped onto the algorithm families the paper's use
+cases train (linear models, SVMs, decision trees / tree ensembles, bayesian
+networks, neural networks, graph neural networks, federated settings).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+
+class AttackClass(enum.Enum):
+    """High-level attack families from the Fig. 1 literature summary."""
+
+    DATA_POISONING = "data_poisoning"
+    CLEAN_LABEL_POISONING = "clean_label_poisoning"
+    BACKDOOR = "backdoor"
+    LABEL_FLIPPING = "label_flipping"
+    EVASION_GRADIENT = "evasion_gradient"
+    EVASION_QUERY = "evasion_query"
+    MODEL_STEALING = "model_stealing"
+    MEMBERSHIP_INFERENCE = "membership_inference"
+    PROPERTY_INFERENCE = "property_inference"
+    MODEL_INVERSION = "model_inversion"
+    SPONGE = "sponge"
+
+
+@dataclass(frozen=True)
+class TaxonomyEntry:
+    """One algorithm row of the Fig. 1 matrix."""
+
+    algorithm: str
+    attacks: FrozenSet[AttackClass]
+    notes: str = ""
+
+
+#: Fig. 1 matrix: algorithm family -> applicable attack classes.
+ATTACK_TAXONOMY: Tuple[TaxonomyEntry, ...] = (
+    TaxonomyEntry(
+        algorithm="linear_models",
+        attacks=frozenset(
+            {
+                AttackClass.DATA_POISONING,
+                AttackClass.LABEL_FLIPPING,
+                AttackClass.EVASION_GRADIENT,
+                AttackClass.MODEL_STEALING,
+                AttackClass.MEMBERSHIP_INFERENCE,
+            }
+        ),
+        notes="closed-form stealing via prediction APIs (Tramèr et al.)",
+    ),
+    TaxonomyEntry(
+        algorithm="svm",
+        attacks=frozenset(
+            {
+                AttackClass.DATA_POISONING,
+                AttackClass.LABEL_FLIPPING,
+                AttackClass.EVASION_GRADIENT,
+                AttackClass.EVASION_QUERY,
+                AttackClass.MODEL_STEALING,
+            }
+        ),
+        notes="poisoning defences studied by Weerasinghe et al.; evasion by James et al.",
+    ),
+    TaxonomyEntry(
+        algorithm="decision_trees",
+        attacks=frozenset(
+            {
+                AttackClass.DATA_POISONING,
+                AttackClass.LABEL_FLIPPING,
+                AttackClass.EVASION_QUERY,
+                AttackClass.MODEL_STEALING,
+                AttackClass.MEMBERSHIP_INFERENCE,
+            }
+        ),
+        notes="tree ensembles evaded/hardened per Kantchelian et al.",
+    ),
+    TaxonomyEntry(
+        algorithm="tree_ensembles",
+        attacks=frozenset(
+            {
+                AttackClass.DATA_POISONING,
+                AttackClass.LABEL_FLIPPING,
+                AttackClass.EVASION_QUERY,
+                AttackClass.MODEL_STEALING,
+                AttackClass.MEMBERSHIP_INFERENCE,
+            }
+        ),
+        notes="bagging doubles as a poisoning defence (Biggio et al.)",
+    ),
+    TaxonomyEntry(
+        algorithm="bayesian_networks",
+        attacks=frozenset(
+            {
+                AttackClass.DATA_POISONING,
+                AttackClass.LABEL_FLIPPING,
+                AttackClass.EVASION_QUERY,
+            }
+        ),
+        notes="PC-algorithm poisoning (Alsuwat et al.)",
+    ),
+    TaxonomyEntry(
+        algorithm="neural_networks",
+        attacks=frozenset(
+            {
+                AttackClass.DATA_POISONING,
+                AttackClass.CLEAN_LABEL_POISONING,
+                AttackClass.BACKDOOR,
+                AttackClass.LABEL_FLIPPING,
+                AttackClass.EVASION_GRADIENT,
+                AttackClass.EVASION_QUERY,
+                AttackClass.MODEL_STEALING,
+                AttackClass.MEMBERSHIP_INFERENCE,
+                AttackClass.PROPERTY_INFERENCE,
+                AttackClass.MODEL_INVERSION,
+                AttackClass.SPONGE,
+            }
+        ),
+        notes="full spectrum: poison frogs, reflection backdoors, C&W, FGSM, sponge examples",
+    ),
+    TaxonomyEntry(
+        algorithm="graph_neural_networks",
+        attacks=frozenset(
+            {
+                AttackClass.DATA_POISONING,
+                AttackClass.MODEL_STEALING,
+                AttackClass.MEMBERSHIP_INFERENCE,
+                AttackClass.PROPERTY_INFERENCE,
+            }
+        ),
+        notes="link stealing (He et al.)",
+    ),
+    TaxonomyEntry(
+        algorithm="federated_learning",
+        attacks=frozenset(
+            {
+                AttackClass.DATA_POISONING,
+                AttackClass.BACKDOOR,
+                AttackClass.LABEL_FLIPPING,
+                AttackClass.MEMBERSHIP_INFERENCE,
+                AttackClass.PROPERTY_INFERENCE,
+                AttackClass.MODEL_INVERSION,
+            }
+        ),
+        notes="feature inference in vertical FL (Luo et al.)",
+    ),
+)
+
+_BY_ALGORITHM: Dict[str, TaxonomyEntry] = {e.algorithm: e for e in ATTACK_TAXONOMY}
+
+
+def attacks_for_algorithm(algorithm: str) -> FrozenSet[AttackClass]:
+    """Attack classes documented against an algorithm family (Fig. 1 row)."""
+    if algorithm not in _BY_ALGORITHM:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(_BY_ALGORITHM)}"
+        )
+    return _BY_ALGORITHM[algorithm].attacks
+
+
+def algorithms_vulnerable_to(attack: AttackClass) -> List[str]:
+    """Algorithm families threatened by an attack class (Fig. 1 column)."""
+    return [e.algorithm for e in ATTACK_TAXONOMY if attack in e.attacks]

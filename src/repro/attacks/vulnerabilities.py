@@ -1,0 +1,137 @@
+"""Pipeline-stage vulnerability registry with CIA impact (Fig. 3).
+
+§IV enumerates "the most common and critical vulnerabilities by relying on
+the CIA (confidentiality, integrity, and availability) approach … Models are
+vulnerable throughout their construction life cycle pipeline."  Fig. 3 maps
+each pipeline stage to the vulnerabilities exploitable there and the
+security attributes they compromise.  This registry encodes that map; the
+sensor registry uses it to justify *why* sensors must be instrumented at
+every stage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.ml.pipeline import StageKind
+
+
+class CiaProperty(enum.Enum):
+    """The classic security triad used for the qualitative analysis."""
+
+    CONFIDENTIALITY = "confidentiality"
+    INTEGRITY = "integrity"
+    AVAILABILITY = "availability"
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    """One Fig. 3 entry: where in the pipeline, what breaks, how."""
+
+    name: str
+    stage: StageKind
+    compromises: FrozenSet[CiaProperty]
+    description: str
+
+
+#: Fig. 3: vulnerabilities against machine learning systems, per stage.
+PIPELINE_VULNERABILITIES: Tuple[Vulnerability, ...] = (
+    Vulnerability(
+        name="sensor_spoofing",
+        stage=StageKind.DATA_COLLECTION,
+        compromises=frozenset({CiaProperty.INTEGRITY}),
+        description="fabricated or replayed input data at collection time",
+    ),
+    Vulnerability(
+        name="data_poisoning",
+        stage=StageKind.DATA_COLLECTION,
+        compromises=frozenset({CiaProperty.INTEGRITY, CiaProperty.AVAILABILITY}),
+        description="malicious contributions contaminate the training pool",
+    ),
+    Vulnerability(
+        name="private_data_leakage",
+        stage=StageKind.DATA_COLLECTION,
+        compromises=frozenset({CiaProperty.CONFIDENTIALITY}),
+        description="personal data enters the pipeline without obfuscation",
+    ),
+    Vulnerability(
+        name="skewed_cleaning",
+        stage=StageKind.DATA_CLEANING,
+        compromises=frozenset({CiaProperty.INTEGRITY}),
+        description="imputation/dedup rules biased to suppress or amplify cohorts",
+    ),
+    Vulnerability(
+        name="label_flipping",
+        stage=StageKind.LABELING,
+        compromises=frozenset({CiaProperty.INTEGRITY}),
+        description="annotation-time label corruption (random or targeted)",
+    ),
+    Vulnerability(
+        name="clean_label_poisoning",
+        stage=StageKind.LABELING,
+        compromises=frozenset({CiaProperty.INTEGRITY}),
+        description="correctly labelled but adversarially crafted samples",
+    ),
+    Vulnerability(
+        name="backdoor_injection",
+        stage=StageKind.TRAINING,
+        compromises=frozenset({CiaProperty.INTEGRITY}),
+        description="trigger patterns implanted during training",
+    ),
+    Vulnerability(
+        name="hyperparameter_tampering",
+        stage=StageKind.TRAINING,
+        compromises=frozenset({CiaProperty.INTEGRITY, CiaProperty.AVAILABILITY}),
+        description="insider modification of the training configuration",
+    ),
+    Vulnerability(
+        name="overfitting_leakage",
+        stage=StageKind.EVALUATION,
+        compromises=frozenset({CiaProperty.CONFIDENTIALITY}),
+        description="memorised training rows exposed via membership inference",
+    ),
+    Vulnerability(
+        name="metric_gaming",
+        stage=StageKind.EVALUATION,
+        compromises=frozenset({CiaProperty.INTEGRITY}),
+        description="evaluation sets curated to hide degraded behaviour",
+    ),
+    Vulnerability(
+        name="model_evasion",
+        stage=StageKind.DEPLOYMENT,
+        compromises=frozenset({CiaProperty.INTEGRITY}),
+        description="adversarial examples perturb inference (e.g. FGSM)",
+    ),
+    Vulnerability(
+        name="model_stealing",
+        stage=StageKind.DEPLOYMENT,
+        compromises=frozenset({CiaProperty.CONFIDENTIALITY}),
+        description="prediction-API extraction of model structure/parameters",
+    ),
+    Vulnerability(
+        name="model_inversion",
+        stage=StageKind.DEPLOYMENT,
+        compromises=frozenset({CiaProperty.CONFIDENTIALITY}),
+        description="reconstruction of training data from outputs",
+    ),
+    Vulnerability(
+        name="sponge_examples",
+        stage=StageKind.DEPLOYMENT,
+        compromises=frozenset({CiaProperty.AVAILABILITY}),
+        description="energy-latency inputs that starve inference resources",
+    ),
+)
+
+
+def vulnerabilities_at_stage(stage: StageKind) -> List[Vulnerability]:
+    """All Fig. 3 vulnerabilities exploitable at one pipeline stage."""
+    return [v for v in PIPELINE_VULNERABILITIES if v.stage == stage]
+
+
+def stages_requiring_sensors() -> List[StageKind]:
+    """Stages with at least one vulnerability — i.e. every stage (§IV)."""
+    return sorted(
+        {v.stage for v in PIPELINE_VULNERABILITIES}, key=lambda s: s.value
+    )

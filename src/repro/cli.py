@@ -1,0 +1,264 @@
+"""Command-line interface: quick access to the reproduction's experiments.
+
+``python -m repro <command>`` runs compact versions of the paper's
+experiments without writing any code — useful for smoke-checking an
+install and for demos.  The full experiment regeneration lives in
+``benchmarks/`` (see EXPERIMENTS.md); these commands trade sweep size for
+seconds-scale runtimes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+import repro
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    print(f"repro {repro.__version__} — SPATIAL architecture reproduction")
+    return 0
+
+
+def _cmd_taxonomy(args: argparse.Namespace) -> int:
+    from repro.attacks.taxonomy import ATTACK_TAXONOMY
+    from repro.attacks.vulnerabilities import PIPELINE_VULNERABILITIES
+
+    print("Fig. 1 — attack classes per AI algorithm:")
+    for entry in ATTACK_TAXONOMY:
+        attacks = ", ".join(sorted(a.value for a in entry.attacks))
+        print(f"  {entry.algorithm:24s} {attacks}")
+    print("\nFig. 3 — pipeline vulnerabilities (stage: name [CIA]):")
+    for v in PIPELINE_VULNERABILITIES:
+        cia = "/".join(sorted(p.value[0].upper() for p in v.compromises))
+        print(f"  {v.stage.value:18s} {v.name:26s} [{cia}]")
+    return 0
+
+
+def _cmd_baselines(args: argparse.Namespace) -> int:
+    from repro.datasets import generate_unimib_like, to_binary_fall_task
+    from repro.ml import (
+        DecisionTreeClassifier,
+        DNNClassifier,
+        LogisticRegressionClassifier,
+        MLPClassifier,
+        RandomForestClassifier,
+        StandardScaler,
+        train_test_split,
+    )
+
+    print(f"use case 1 baselines on {args.samples} synthetic samples "
+          "(paper: LR 0.73, DT 0.90, RF/MLP/DNN 0.97)")
+    dataset = generate_unimib_like(n_samples=args.samples, seed=args.seed)
+    X, y = to_binary_fall_task(dataset)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, test_size=0.25, seed=args.seed
+    )
+    scaler = StandardScaler().fit(X_train)
+    X_train, X_test = scaler.transform(X_train), scaler.transform(X_test)
+    models = {
+        "LR": LogisticRegressionClassifier(n_epochs=30, seed=0),
+        "DT": DecisionTreeClassifier(max_depth=14, seed=0),
+        "RF": RandomForestClassifier(n_estimators=30, max_depth=14, seed=0),
+        "MLP": MLPClassifier(hidden_layers=(64, 32), n_epochs=40, seed=0),
+        "DNN": DNNClassifier(n_epochs=40, seed=0),
+    }
+    for name, model in models.items():
+        accuracy = model.fit(X_train, y_train).score(X_test, y_test)
+        print(f"  {name:4s} accuracy={accuracy:.3f}")
+    return 0
+
+
+def _cmd_poison(args: argparse.Namespace) -> int:
+    from repro.attacks import RandomLabelFlippingAttack
+    from repro.datasets import generate_unimib_like, to_binary_fall_task
+    from repro.ml import RandomForestClassifier, StandardScaler, train_test_split
+
+    dataset = generate_unimib_like(n_samples=args.samples, seed=args.seed)
+    X, y = to_binary_fall_task(dataset)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, test_size=0.25, seed=args.seed
+    )
+    scaler = StandardScaler().fit(X_train)
+    X_train, X_test = scaler.transform(X_train), scaler.transform(X_test)
+    print("Fig. 6 (compact): RF accuracy vs label-flip rate")
+    for rate in (0.0, 0.1, 0.3, 0.5):
+        result = RandomLabelFlippingAttack(rate=rate, seed=0).apply(
+            X_train, y_train
+        )
+        model = RandomForestClassifier(
+            n_estimators=20, max_depth=12, seed=0
+        ).fit(result.X, result.y)
+        print(f"  p={rate:4.0%}  accuracy={model.score(X_test, y_test):.3f}")
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.gateway import LoadGenerator, ThreadGroup, build_paper_deployment
+
+    sim, gateway = build_paper_deployment(seed=args.seed)
+    if args.route not in gateway.routes:
+        print(f"unknown route {args.route!r}; available: {gateway.routes}",
+              file=sys.stderr)
+        return 2
+    generator = LoadGenerator(sim, gateway)
+    generator.add_thread_group(
+        ThreadGroup(
+            route=args.route,
+            n_threads=args.threads,
+            rampup_seconds=1.0,
+            iterations=args.iterations,
+            payload=args.payload,
+        )
+    )
+    report = generator.run()
+    print(f"capacity test: route={args.route} threads={args.threads} "
+          f"payload={args.payload}")
+    print("  " + report.render_text())
+    return 0
+
+
+def _cmd_dashboard_demo(args: argparse.Namespace) -> int:
+    from repro.core import (
+        AIDashboard,
+        AlertRule,
+        ContinuousMonitor,
+        DataQualitySensor,
+        ModelContext,
+        PerformanceSensor,
+        SensorRegistry,
+    )
+    from repro.datasets import generate_unimib_like, to_binary_fall_task
+    from repro.ml import RandomForestClassifier, StandardScaler
+    from repro.ml.pipeline import AIPipeline
+
+    dataset = generate_unimib_like(n_samples=args.samples, seed=args.seed)
+    X, y = to_binary_fall_task(dataset)
+    X = StandardScaler().fit_transform(X)
+    pipeline = AIPipeline(
+        data_provider=lambda: (X, y),
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=15, max_depth=12, seed=0
+        ),
+        seed=args.seed,
+    )
+    registry = SensorRegistry()
+    registry.register(PerformanceSensor())
+    registry.register(DataQualitySensor())
+    dashboard = AIDashboard()
+    dashboard.add_rule(AlertRule(sensor="performance", threshold=0.9))
+    monitor = ContinuousMonitor(
+        registry,
+        dashboard,
+        lambda: ModelContext(
+            model=pipeline.context.model,
+            X_train=pipeline.context.X_train,
+            y_train=pipeline.context.y_train,
+            X_test=pipeline.context.X_test,
+            y_test=pipeline.context.y_test,
+            model_version=pipeline.context.model_version,
+        ),
+    )
+    pipeline.run()
+    monitor.on_model_update()
+    monitor.run(2)
+    print(dashboard.render_text())
+    score = dashboard.trust_panel()
+    print(f"\naggregate trust score: {score.value:.3f}")
+    return 0
+
+
+def _cmd_model_card(args: argparse.Namespace) -> int:
+    from repro.core import AlertRule, SpatialSystem
+    from repro.datasets import generate_unimib_like, to_binary_fall_task
+    from repro.ml import RandomForestClassifier, StandardScaler
+    from repro.ml.pipeline import AIPipeline
+
+    dataset = generate_unimib_like(n_samples=args.samples, seed=args.seed)
+    X, y = to_binary_fall_task(dataset)
+    X = StandardScaler().fit_transform(X)
+    pipeline = AIPipeline(
+        data_provider=lambda: (X, y),
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=15, max_depth=12, seed=0
+        ),
+        seed=args.seed,
+    )
+    spatial = SpatialSystem.attach(
+        pipeline, rules=[AlertRule(sensor="performance", threshold=0.85)]
+    )
+    spatial.run_pipeline()
+    print(
+        spatial.model_card(
+            model_name="fall-detection-demo",
+            intended_use="Demo artifact produced by `python -m repro model-card`.",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPATIAL architecture reproduction — quick experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("version", help="print the package version").set_defaults(
+        func=_cmd_version
+    )
+    sub.add_parser(
+        "taxonomy", help="print the Fig. 1/Fig. 3 registries"
+    ).set_defaults(func=_cmd_taxonomy)
+
+    baselines = sub.add_parser(
+        "baselines", help="use-case-1 model baselines (compact)"
+    )
+    baselines.add_argument("--samples", type=int, default=2000)
+    baselines.add_argument("--seed", type=int, default=0)
+    baselines.set_defaults(func=_cmd_baselines)
+
+    poison = sub.add_parser(
+        "poison", help="compact Fig. 6 label-flipping sweep on the RF"
+    )
+    poison.add_argument("--samples", type=int, default=2000)
+    poison.add_argument("--seed", type=int, default=0)
+    poison.set_defaults(func=_cmd_poison)
+
+    capacity = sub.add_parser(
+        "capacity", help="one capacity-load run on the simulated deployment"
+    )
+    capacity.add_argument("--route", default="shap")
+    capacity.add_argument("--threads", type=int, default=100)
+    capacity.add_argument("--iterations", type=int, default=20)
+    capacity.add_argument("--payload", default="tabular")
+    capacity.add_argument("--seed", type=int, default=1)
+    capacity.set_defaults(func=_cmd_capacity)
+
+    demo = sub.add_parser(
+        "dashboard-demo", help="train, instrument, monitor, render the dashboard"
+    )
+    demo.add_argument("--samples", type=int, default=1500)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_dashboard_demo)
+
+    card = sub.add_parser(
+        "model-card", help="generate a model card for a demo pipeline"
+    )
+    card.add_argument("--samples", type=int, default=1200)
+    card.add_argument("--seed", type=int, default=0)
+    card.set_defaults(func=_cmd_model_card)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""SPATIAL core: AI sensors, the sensor registry, the continuous monitor,
+the AI dashboard, and the human-in-the-loop feedback actions.
+
+This package is the paper's primary contribution (Fig. 5): applications are
+instrumented with AI sensors for each trustworthy property; sensor readings
+flow to an AI dashboard where human operators gauge the AI's inference
+capabilities and react — feeding corrective actions back into the pipeline.
+"""
+
+from repro.core.sensors import (
+    AISensor,
+    DataQualitySensor,
+    ExplanationDriftSensor,
+    ExplanationSensor,
+    FairnessSensor,
+    LimeExplanationSensor,
+    ModelContext,
+    PerformanceSensor,
+    PrivacySensor,
+    ResilienceSensor,
+    SensorReading,
+)
+from repro.core.narrator import Audience, narrate_reading, narrate_report
+from repro.core.drift import (
+    DataDriftSensor,
+    dataset_drift_score,
+    ks_statistic,
+    population_stability_index,
+)
+from repro.core.audit import AuditFinding, AuditReport, verify_export
+from repro.core.modelcard import generate_model_card
+from repro.core.system import SpatialSystem
+from repro.core.sensors import ImageExplanationSensor
+from repro.core.registry import SensorRegistry
+from repro.core.monitor import ContinuousMonitor, MonitorRound
+from repro.core.dashboard import AIDashboard, Alert, AlertRule
+from repro.core.feedback import (
+    LabelSanitizationAction,
+    ModelSwapAction,
+    OperatorAction,
+    RetrainAction,
+    sanitize_labels_knn,
+)
+
+__all__ = [
+    "AIDashboard",
+    "AISensor",
+    "Alert",
+    "AlertRule",
+    "Audience",
+    "AuditFinding",
+    "AuditReport",
+    "ContinuousMonitor",
+    "DataDriftSensor",
+    "DataQualitySensor",
+    "ExplanationDriftSensor",
+    "ExplanationSensor",
+    "FairnessSensor",
+    "ImageExplanationSensor",
+    "LabelSanitizationAction",
+    "LimeExplanationSensor",
+    "ModelContext",
+    "ModelSwapAction",
+    "MonitorRound",
+    "OperatorAction",
+    "PerformanceSensor",
+    "PrivacySensor",
+    "ResilienceSensor",
+    "RetrainAction",
+    "SensorReading",
+    "SensorRegistry",
+    "SpatialSystem",
+    "dataset_drift_score",
+    "generate_model_card",
+    "ks_statistic",
+    "narrate_reading",
+    "narrate_report",
+    "population_stability_index",
+    "sanitize_labels_knn",
+    "verify_export",
+]

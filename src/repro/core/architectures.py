@@ -1,0 +1,116 @@
+"""The Fig. 2 architecture-evolution registry.
+
+Fig. 2 traces "evolving system architectures, highlighting the concerns
+that arise in each architecture as functionality is augmented": (a) the
+basic client-server architecture, (b) the centralised machine-learning
+architecture, and (c) the distributed (federated) ML architecture.  This
+registry encodes each generation, the design concerns it introduces, and
+which repo subsystem implements it — the map SPATIAL uses to decide what
+must be instrumented for a given application shape.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+
+class Concern(enum.Enum):
+    """Design/development concerns Fig. 2 attaches to the generations."""
+
+    SCALABILITY = "scalability"
+    DATA_COLLECTION = "data_collection"
+    MODEL_QUALITY = "model_quality"
+    RETRAINING = "retraining"
+    PRIVACY = "privacy"
+    AGGREGATION_INTEGRITY = "aggregation_integrity"
+    CLIENT_HETEROGENEITY = "client_heterogeneity"
+    TRUSTWORTHY_MONITORING = "trustworthy_monitoring"
+
+
+@dataclass(frozen=True)
+class ArchitectureGeneration:
+    """One panel of Fig. 2."""
+
+    name: str
+    figure_panel: str
+    description: str
+    concerns: FrozenSet[Concern]
+    implemented_by: Tuple[str, ...]
+
+
+#: The three generations, oldest first.
+ARCHITECTURE_EVOLUTION: Tuple[ArchitectureGeneration, ...] = (
+    ArchitectureGeneration(
+        name="client_server",
+        figure_panel="2(a)",
+        description=(
+            "end devices send requests to a server, which processes them "
+            "and responds"
+        ),
+        concerns=frozenset({Concern.SCALABILITY}),
+        implemented_by=("repro.gateway",),
+    ),
+    ArchitectureGeneration(
+        name="centralised_ml",
+        figure_panel="2(b)",
+        description=(
+            "user data is collected centrally and used to train ML models "
+            "that improve functionality over time"
+        ),
+        concerns=frozenset(
+            {
+                Concern.SCALABILITY,
+                Concern.DATA_COLLECTION,
+                Concern.MODEL_QUALITY,
+                Concern.RETRAINING,
+                Concern.TRUSTWORTHY_MONITORING,
+            }
+        ),
+        implemented_by=("repro.ml", "repro.core", "repro.gateway"),
+    ),
+    ArchitectureGeneration(
+        name="distributed_ml",
+        figure_panel="2(c)",
+        description=(
+            "a global model is trained from client contributions collected "
+            "in a privacy-preserving manner (federated learning) and "
+            "propagated back to all devices"
+        ),
+        concerns=frozenset(
+            {
+                Concern.SCALABILITY,
+                Concern.DATA_COLLECTION,
+                Concern.MODEL_QUALITY,
+                Concern.RETRAINING,
+                Concern.TRUSTWORTHY_MONITORING,
+                Concern.PRIVACY,
+                Concern.AGGREGATION_INTEGRITY,
+                Concern.CLIENT_HETEROGENEITY,
+            }
+        ),
+        implemented_by=(
+            "repro.federated",
+            "repro.privacy",
+            "repro.ml",
+            "repro.core",
+            "repro.gateway",
+        ),
+    ),
+)
+
+
+def concerns_introduced_by(name: str) -> FrozenSet[Concern]:
+    """Concerns this generation adds over its predecessor (Fig. 2's delta)."""
+    previous: FrozenSet[Concern] = frozenset()
+    for generation in ARCHITECTURE_EVOLUTION:
+        if generation.name == name:
+            return generation.concerns - previous
+        previous = generation.concerns
+    raise KeyError(f"unknown architecture generation {name!r}")
+
+
+def generations() -> List[str]:
+    """Generation names, oldest first."""
+    return [g.name for g in ARCHITECTURE_EVOLUTION]

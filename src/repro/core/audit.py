@@ -1,0 +1,138 @@
+"""Audit-trail verification for dashboard exports.
+
+§I: the AI dashboard "facilitates the verification of AI systems for
+potential audits and ensures compliance with accountability regulations".
+The export side lives in :meth:`AIDashboard.to_json`; this module is the
+auditor's side — load an export, reconstruct the reading history, and run
+integrity checks (well-formed values, monotone time, non-decreasing model
+versions, alert consistency) producing a findings list a compliance review
+can act on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.trust.properties import TrustProperty
+
+
+@dataclass
+class AuditFinding:
+    """One integrity problem discovered in an export."""
+
+    severity: str  # "error" | "warning"
+    sensor: str
+    message: str
+
+
+@dataclass
+class AuditReport:
+    """Outcome of verifying one dashboard export."""
+
+    n_sensors: int
+    n_readings: int
+    n_alerts: int
+    findings: List[AuditFinding] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no error-severity findings exist."""
+        return not any(f.severity == "error" for f in self.findings)
+
+
+def load_export(payload: str) -> Dict:
+    """Parse a dashboard JSON export, validating its top-level shape."""
+    data = json.loads(payload)
+    if not isinstance(data, dict) or "sensors" not in data or "alerts" not in data:
+        raise ValueError("not a dashboard export: missing sensors/alerts keys")
+    return data
+
+
+def verify_export(payload: str) -> AuditReport:
+    """Run the integrity checks over a dashboard export."""
+    data = load_export(payload)
+    findings: List[AuditFinding] = []
+    n_readings = 0
+    known_properties = {p.value for p in TrustProperty}
+
+    for sensor, readings in data["sensors"].items():
+        n_readings += len(readings)
+        last_time = -float("inf")
+        last_version = -1
+        for index, reading in enumerate(readings):
+            value = reading.get("value")
+            if value is None or not 0.0 <= value <= 1.0:
+                findings.append(
+                    AuditFinding(
+                        "error",
+                        sensor,
+                        f"reading {index} value {value!r} outside [0, 1]",
+                    )
+                )
+            prop = reading.get("property")
+            if prop not in known_properties:
+                findings.append(
+                    AuditFinding(
+                        "error",
+                        sensor,
+                        f"reading {index} has unknown property {prop!r}",
+                    )
+                )
+            timestamp = reading.get("timestamp", 0.0)
+            if timestamp < last_time:
+                findings.append(
+                    AuditFinding(
+                        "error",
+                        sensor,
+                        f"reading {index} timestamp regressed "
+                        f"({timestamp} < {last_time})",
+                    )
+                )
+            last_time = max(last_time, timestamp)
+            version = reading.get("model_version", 0)
+            if version < last_version:
+                findings.append(
+                    AuditFinding(
+                        "warning",
+                        sensor,
+                        f"reading {index} model version regressed "
+                        f"({version} < {last_version}) — rollback or clock skew?",
+                    )
+                )
+            last_version = max(last_version, version)
+
+    for index, alert in enumerate(data["alerts"]):
+        sensor = alert.get("sensor", "?")
+        if sensor not in data["sensors"]:
+            findings.append(
+                AuditFinding(
+                    "error",
+                    sensor,
+                    f"alert {index} references a sensor with no readings",
+                )
+            )
+        value = alert.get("value")
+        threshold = alert.get("threshold")
+        direction = alert.get("direction")
+        if value is not None and threshold is not None:
+            consistent = (
+                value < threshold if direction == "below" else value > threshold
+            )
+            if not consistent:
+                findings.append(
+                    AuditFinding(
+                        "error",
+                        sensor,
+                        f"alert {index} value {value} does not violate its "
+                        f"threshold {threshold} ({direction})",
+                    )
+                )
+
+    return AuditReport(
+        n_sensors=len(data["sensors"]),
+        n_readings=n_readings,
+        n_alerts=len(data["alerts"]),
+        findings=findings,
+    )

@@ -1,0 +1,230 @@
+"""The AI dashboard: SPATIAL's human-in-the-loop surface.
+
+"An AI dashboard serves as a tool to provide insights to human operators,
+enabling them to monitor and adjust AI trustworthiness according to their
+preferences.  Additionally, it facilitates the verification of AI systems
+for potential audits" (§I).  The paper's front-end is a React app; all of
+its quantitative behaviour lives here, headless: per-sensor time series,
+threshold alert rules, trust-score panels, audit export, and text rendering
+for terminal inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.sensors import SensorReading
+from repro.trust.properties import TrustProperty
+from repro.trust.score import TrustScore, aggregate_trust_score
+
+
+@dataclass
+class AlertRule:
+    """Raise an alert when a sensor's value crosses a threshold.
+
+    ``direction="below"`` alerts when value < threshold (the common case:
+    trust dropped); ``"above"`` alerts on value > threshold.
+    """
+
+    sensor: str
+    threshold: float
+    direction: str = "below"
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in {"below", "above"}:
+            raise ValueError(f"direction must be 'below' or 'above'")
+
+    def triggered_by(self, reading: SensorReading) -> bool:
+        if reading.sensor != self.sensor:
+            return False
+        if self.direction == "below":
+            return reading.value < self.threshold
+        return reading.value > self.threshold
+
+
+@dataclass
+class Alert:
+    """A triggered rule bound to the reading that tripped it."""
+
+    rule: AlertRule
+    reading: SensorReading
+    acknowledged: bool = False
+
+    @property
+    def summary(self) -> str:
+        verb = "fell below" if self.rule.direction == "below" else "rose above"
+        text = (
+            f"[{self.reading.sensor}] value {self.reading.value:.3f} {verb} "
+            f"{self.rule.threshold:.3f} (model v{self.reading.model_version})"
+        )
+        if self.rule.message:
+            text += f" — {self.rule.message}"
+        return text
+
+
+class AIDashboard:
+    """Reading store + alerting + panels for human operators.
+
+    Parameters
+    ----------
+    history_limit:
+        Readings kept per sensor (oldest evicted first); bounds memory for
+        long-running monitors.
+    """
+
+    def __init__(self, history_limit: int = 10_000) -> None:
+        if history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
+        self.history_limit = history_limit
+        self._series: Dict[str, List[SensorReading]] = {}
+        self._rules: List[AlertRule] = []
+        self._alerts: List[Alert] = []
+        self._subscribers: List[Callable[[Alert], None]] = []
+
+    # -- ingestion ----------------------------------------------------------
+
+    def add_reading(self, reading: SensorReading) -> None:
+        """Ingest one sensor reading; evaluates alert rules synchronously."""
+        series = self._series.setdefault(reading.sensor, [])
+        series.append(reading)
+        if len(series) > self.history_limit:
+            del series[: len(series) - self.history_limit]
+        for rule in self._rules:
+            if rule.triggered_by(reading):
+                alert = Alert(rule=rule, reading=reading)
+                self._alerts.append(alert)
+                for notify in self._subscribers:
+                    notify(alert)
+
+    def add_rule(self, rule: AlertRule) -> None:
+        """Install an operator-chosen alert threshold."""
+        self._rules.append(rule)
+
+    def subscribe(self, callback: Callable[[Alert], None]) -> None:
+        """Register an operator notification channel (pager, log, test spy)."""
+        self._subscribers.append(callback)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def sensors(self) -> List[str]:
+        return sorted(self._series)
+
+    def series(self, sensor: str) -> List[SensorReading]:
+        """Full retained history for one sensor (oldest first)."""
+        if sensor not in self._series:
+            raise KeyError(f"no readings for sensor {sensor!r}")
+        return list(self._series[sensor])
+
+    def latest(self, sensor: str) -> SensorReading:
+        """Most recent reading for one sensor."""
+        return self.series(sensor)[-1]
+
+    def values(self, sensor: str) -> List[float]:
+        """Just the value series, for plotting/thresholding."""
+        return [r.value for r in self.series(sensor)]
+
+    def alerts(self, include_acknowledged: bool = False) -> List[Alert]:
+        if include_acknowledged:
+            return list(self._alerts)
+        return [a for a in self._alerts if not a.acknowledged]
+
+    def acknowledge_all(self) -> int:
+        """Operator marks current alerts as seen; returns how many."""
+        count = 0
+        for alert in self._alerts:
+            if not alert.acknowledged:
+                alert.acknowledged = True
+                count += 1
+        return count
+
+    # -- panels ---------------------------------------------------------------
+
+    def trust_panel(
+        self, weights: Optional[Dict[TrustProperty, float]] = None
+    ) -> TrustScore:
+        """Aggregate the latest reading of each property into a trust score.
+
+        When several sensors share a property the latest readings are
+        averaged first — the heterogeneity warning of §VIII applies, so the
+        returned :class:`TrustScore` always carries the decomposition.
+        """
+        by_property: Dict[TrustProperty, List[float]] = {}
+        for sensor in self._series.values():
+            if not sensor:
+                continue
+            reading = sensor[-1]
+            by_property.setdefault(reading.property, []).append(reading.value)
+        readings = {
+            prop: sum(vals) / len(vals) for prop, vals in by_property.items()
+        }
+        return aggregate_trust_score(readings, weights)
+
+    def drift(self, sensor: str, window: int = 5) -> float:
+        """Change of the mean value between the first and last ``window``
+        readings; negative means the property degraded over time."""
+        values = self.values(sensor)
+        if len(values) < 2:
+            return 0.0
+        window = max(1, min(window, len(values) // 2 or 1))
+        head = sum(values[:window]) / window
+        tail = sum(values[-window:]) / window
+        return tail - head
+
+    # -- export / rendering ---------------------------------------------------
+
+    def to_json(self) -> str:
+        """Audit export: every retained reading and alert, JSON-encoded.
+
+        This is the dashboard's compliance artifact — "it facilitates the
+        verification of AI systems for potential audits" (§I).
+        """
+        payload = {
+            "sensors": {
+                name: [
+                    {
+                        "value": r.value,
+                        "property": r.property.value,
+                        "timestamp": r.timestamp,
+                        "model_version": r.model_version,
+                        "details": r.details,
+                    }
+                    for r in series
+                ]
+                for name, series in self._series.items()
+            },
+            "alerts": [
+                {
+                    "sensor": a.rule.sensor,
+                    "threshold": a.rule.threshold,
+                    "direction": a.rule.direction,
+                    "value": a.reading.value,
+                    "acknowledged": a.acknowledged,
+                }
+                for a in self._alerts
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render_text(self, width: int = 60) -> str:
+        """Terminal rendering: one sparkline-style row per sensor + alerts."""
+        lines = ["AI DASHBOARD", "=" * width]
+        for name in self.sensors:
+            values = self.values(name)
+            latest = values[-1]
+            bar_len = int(round(latest * 20))
+            bar = "#" * bar_len + "." * (20 - bar_len)
+            trend = self.drift(name)
+            arrow = "↑" if trend > 0.01 else ("↓" if trend < -0.01 else "→")
+            lines.append(
+                f"{name:<24} [{bar}] {latest:5.3f} {arrow} ({len(values)} readings)"
+            )
+        pending = self.alerts()
+        lines.append("-" * width)
+        lines.append(f"alerts: {len(pending)} pending")
+        for alert in pending[-5:]:
+            lines.append("  ! " + alert.summary)
+        return "\n".join(lines)

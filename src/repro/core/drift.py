@@ -1,0 +1,126 @@
+"""Data-drift detection: the *non-induced* changes sensor.
+
+§II: "Non-induced changes occur due to situational events, e.g.,
+environment, data quality and failures of devices."  Those changes show up
+as distribution shift in the incoming data before they show up as accuracy
+loss, so SPATIAL instruments a drift probe at the data-collection side.
+
+Two standard detectors are provided: the Population Stability Index (PSI)
+per feature, and the two-sample Kolmogorov-Smirnov statistic; the
+:class:`DataDriftSensor` wraps them into the dashboard schema.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.sensors import AISensor, Clock, ModelContext, SensorReading
+from repro.trust.properties import TrustProperty
+
+
+def population_stability_index(
+    reference: np.ndarray, live: np.ndarray, n_bins: int = 10
+) -> float:
+    """PSI between two 1-D samples (bins from the reference quantiles).
+
+    Rule of thumb: < 0.1 stable, 0.1-0.25 moderate shift, > 0.25 major
+    shift.  Empty bins are floored to avoid infinities.
+    """
+    reference = np.asarray(reference, dtype=np.float64).reshape(-1)
+    live = np.asarray(live, dtype=np.float64).reshape(-1)
+    if reference.size < n_bins or live.size == 0:
+        raise ValueError("need at least n_bins reference points and live data")
+    edges = np.unique(np.quantile(reference, np.linspace(0, 1, n_bins + 1)))
+    if len(edges) < 3:
+        return 0.0  # (near-)constant feature: no measurable drift
+    edges[0], edges[-1] = -np.inf, np.inf
+    ref_counts, __ = np.histogram(reference, bins=edges)
+    live_counts, __ = np.histogram(live, bins=edges)
+    ref_frac = np.maximum(ref_counts / reference.size, 1e-6)
+    live_frac = np.maximum(live_counts / live.size, 1e-6)
+    return float(np.sum((live_frac - ref_frac) * np.log(live_frac / ref_frac)))
+
+
+def ks_statistic(reference: np.ndarray, live: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (max CDF gap, in [0, 1])."""
+    reference = np.sort(np.asarray(reference, dtype=np.float64).reshape(-1))
+    live = np.sort(np.asarray(live, dtype=np.float64).reshape(-1))
+    if reference.size == 0 or live.size == 0:
+        raise ValueError("need non-empty samples")
+    grid = np.concatenate([reference, live])
+    cdf_ref = np.searchsorted(reference, grid, side="right") / reference.size
+    cdf_live = np.searchsorted(live, grid, side="right") / live.size
+    return float(np.abs(cdf_ref - cdf_live).max())
+
+
+def dataset_drift_score(
+    X_reference: np.ndarray,
+    X_live: np.ndarray,
+    method: str = "psi",
+) -> np.ndarray:
+    """Per-feature drift scores between a reference and a live matrix."""
+    X_reference = np.asarray(X_reference, dtype=np.float64)
+    X_live = np.asarray(X_live, dtype=np.float64)
+    if X_reference.ndim != 2 or X_live.ndim != 2:
+        raise ValueError("matrices must be 2-D")
+    if X_reference.shape[1] != X_live.shape[1]:
+        raise ValueError("feature counts differ between reference and live")
+    if method == "psi":
+        detect = population_stability_index
+    elif method == "ks":
+        detect = ks_statistic
+    else:
+        raise ValueError(f"unknown method {method!r}; use 'psi' or 'ks'")
+    return np.array(
+        [
+            detect(X_reference[:, j], X_live[:, j])
+            for j in range(X_reference.shape[1])
+        ]
+    )
+
+
+class DataDriftSensor(AISensor):
+    """Distribution-shift probe over incoming data.
+
+    Compares the live window (``context.extras['X_live']``, falling back to
+    ``X_test``) against the training reference.  ``value`` is
+    ``1/(1 + mean_drift/threshold)``-style normalisation: 1 when stable,
+    dropping past 0.5 once the mean PSI crosses the alert threshold.
+    """
+
+    property = TrustProperty.RELIABILITY
+
+    def __init__(
+        self,
+        name: str = "data_drift",
+        method: str = "psi",
+        threshold: float = 0.25,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        super().__init__(name, clock)
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.method = method
+        self.threshold = threshold
+
+    def measure(self, context: ModelContext) -> SensorReading:
+        if context.X_train is None:
+            raise ValueError("drift sensor needs training data as reference")
+        live = context.extras.get("X_live", context.X_test)
+        if live is None:
+            raise ValueError("drift sensor needs live data (extras['X_live'])")
+        scores = dataset_drift_score(context.X_train, live, method=self.method)
+        mean_drift = float(scores.mean())
+        worst = int(np.argmax(scores))
+        value = 1.0 / (1.0 + mean_drift / self.threshold)
+        return self._reading(
+            value,
+            context,
+            details={
+                "mean_drift": mean_drift,
+                "max_drift": float(scores.max()),
+                "worst_feature": float(worst),
+            },
+        )

@@ -1,0 +1,115 @@
+"""Human-in-the-loop feedback: operator actions applied back to the pipeline.
+
+"This information is then used by human operators to comprehend possible
+issues that influence the performance of AI models and adjust or counter
+them" (§I); "Human feedback to change AI behavior is applied directly to the
+AI pipeline" (§IV).  Each action encapsulates one corrective move the
+dashboard's insights justify — label sanitisation after a poisoning alert,
+retraining, or swapping the learning algorithm (§VIII "changing the machine
+learning algorithm").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.ml.model import Classifier
+from repro.ml.pipeline import AIPipeline, PipelineContext, StageKind
+
+
+def sanitize_labels_knn(
+    X: np.ndarray, y: np.ndarray, k: int = 5, threshold: float = 0.8
+) -> np.ndarray:
+    """kNN-majority label sanitisation (the paper's "label sanitization").
+
+    For every sample, look at its ``k`` nearest neighbours (Euclidean); when
+    at least ``threshold`` of them agree on a label different from the
+    sample's own, relabel the sample to that majority.  Flipped labels sit in
+    dense regions of the opposite class, which is exactly what this repairs.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    n = X.shape[0]
+    if not 1 <= k < n:
+        raise ValueError(f"k must be in [1, {n - 1}]")
+    if not 0.5 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0.5, 1.0]")
+    sq = np.sum(X**2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    np.fill_diagonal(d2, np.inf)
+    neighbours = np.argsort(d2, axis=1)[:, :k]
+    y_out = np.array(y, copy=True)
+    for i in range(n):
+        labels, counts = np.unique(y[neighbours[i]], return_counts=True)
+        top = int(np.argmax(counts))
+        if counts[top] / k >= threshold and labels[top] != y[i]:
+            y_out[i] = labels[top]
+    return y_out
+
+
+class OperatorAction(ABC):
+    """One corrective action a human operator can apply to a pipeline."""
+
+    name: str = "operator_action"
+
+    @abstractmethod
+    def apply(self, pipeline: AIPipeline) -> PipelineContext:
+        """Apply the action and return the resulting pipeline context."""
+
+
+@dataclass
+class LabelSanitizationAction(OperatorAction):
+    """Sanitise training labels, then re-run from the labeling stage.
+
+    This is the countermeasure the paper points at after the Fig. 6(a)-iv
+    detector fires: "requiring to monitor further the model to apply
+    corrective actions, e.g., Label sanitization methods."
+    """
+
+    k: int = 5
+    threshold: float = 0.8
+    name: str = "label_sanitization"
+
+    def apply(self, pipeline: AIPipeline) -> PipelineContext:
+        previous_labeler = pipeline.labeler
+
+        def sanitising_labeler(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+            if previous_labeler is not None:
+                y = previous_labeler(X, y)
+            return sanitize_labels_knn(X, y, k=self.k, threshold=self.threshold)
+
+        pipeline.update_labeler(sanitising_labeler)
+        return pipeline.run(from_stage=StageKind.LABELING)
+
+
+@dataclass
+class RetrainAction(OperatorAction):
+    """Retrain the model on current data (e.g. after a drift alert)."""
+
+    name: str = "retrain"
+
+    def apply(self, pipeline: AIPipeline) -> PipelineContext:
+        return pipeline.retrain()
+
+
+@dataclass
+class ModelSwapAction(OperatorAction):
+    """Change the learning algorithm and retrain (§VIII AI tuning).
+
+    ``factory`` builds the replacement model — e.g. swapping a decision tree
+    for the random forest the Fig. 6 experiments showed to be more
+    poisoning-resilient.
+    """
+
+    factory: Optional[Callable[[], Classifier]] = None
+    name: str = "model_swap"
+
+    def apply(self, pipeline: AIPipeline) -> PipelineContext:
+        if self.factory is None:
+            raise ValueError("ModelSwapAction needs a model factory")
+        pipeline.swap_model_factory(self.factory)
+        return pipeline.retrain()

@@ -1,0 +1,97 @@
+"""Model-card generation: the transparency artifact.
+
+The related work (§II) cites Google's model-card toolkit as the standard
+transparency instrument; SPATIAL has everything needed to generate one
+automatically — the pipeline knows the data and evaluation, the dashboard
+knows the live trustworthy readings, the registry knows the
+instrumentation gaps.  :func:`generate_model_card` assembles them into a
+markdown document fit for an audit binder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dashboard import AIDashboard
+from repro.core.registry import SensorRegistry
+from repro.ml.pipeline import AIPipeline
+
+
+def generate_model_card(
+    pipeline: AIPipeline,
+    dashboard: Optional[AIDashboard] = None,
+    registry: Optional[SensorRegistry] = None,
+    model_name: str = "model",
+    intended_use: str = "",
+) -> str:
+    """Render a markdown model card from the live system state.
+
+    Sections follow the model-card convention: details, intended use,
+    training data, evaluation, trustworthy-monitoring status, caveats.
+    Requires the pipeline to have completed at least one run.
+    """
+    ctx = pipeline.context
+    if ctx.model is None or not ctx.evaluation:
+        raise ValueError("run the pipeline before generating a model card")
+
+    lines = [f"# Model card — {model_name}", ""]
+
+    lines += [
+        "## Model details",
+        f"- type: `{type(ctx.model).__name__}`",
+        f"- version: {ctx.model_version}",
+        f"- deployed: {'yes' if ctx.deployed else 'no'}",
+        "",
+    ]
+
+    if intended_use:
+        lines += ["## Intended use", intended_use, ""]
+
+    if ctx.X_train is not None and ctx.y_train is not None:
+        classes, counts = np.unique(ctx.y_train, return_counts=True)
+        class_summary = ", ".join(
+            f"{cls}: {count}" for cls, count in zip(classes, counts)
+        )
+        lines += [
+            "## Training data",
+            f"- samples: {ctx.X_train.shape[0]}",
+            f"- features: {ctx.X_train.shape[1]}",
+            f"- class balance: {class_summary}",
+            "",
+        ]
+
+    lines += ["## Evaluation (held-out test split)"]
+    for metric, value in sorted(ctx.evaluation.items()):
+        lines.append(f"- {metric}: {value:.4f}")
+    lines.append("")
+
+    if dashboard is not None and dashboard.sensors:
+        lines += ["## Trustworthy monitoring (latest sensor readings)"]
+        for sensor in dashboard.sensors:
+            latest = dashboard.latest(sensor)
+            lines.append(
+                f"- {sensor} ({latest.property.value}): {latest.value:.3f}"
+            )
+        pending = dashboard.alerts()
+        lines.append(f"- pending alerts: {len(pending)}")
+        lines.append("")
+
+    caveats = []
+    if registry is not None:
+        gaps = registry.unmonitored_vulnerabilities()
+        if gaps:
+            names = ", ".join(v.name for v in gaps[:6])
+            suffix = " …" if len(gaps) > 6 else ""
+            caveats.append(
+                f"unmonitored pipeline vulnerabilities: {names}{suffix}"
+            )
+    if dashboard is not None and dashboard.alerts():
+        caveats.append("unacknowledged dashboard alerts exist")
+    if not caveats:
+        caveats.append("none recorded")
+    lines += ["## Caveats"]
+    lines += [f"- {c}" for c in caveats]
+    lines.append("")
+    return "\n".join(lines)

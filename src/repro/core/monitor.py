@@ -1,0 +1,84 @@
+"""Continuous monitoring: periodic sensor polling into the dashboard.
+
+§V: monitoring "consists in requesting micro-service functionality
+periodically.  For instance, every time an AI model is updated or there is a
+change in any step of the construction of the model."  The monitor models
+exactly those two triggers: scheduled rounds and model-update events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.dashboard import AIDashboard
+from repro.core.registry import SensorRegistry
+from repro.core.sensors import ModelContext, SensorReading
+
+
+@dataclass
+class MonitorRound:
+    """Record of one polling round: why it ran and what it measured."""
+
+    index: int
+    trigger: str  # "scheduled" | "model_update"
+    readings: List[SensorReading] = field(default_factory=list)
+
+
+class ContinuousMonitor:
+    """Drives the sensor registry on a schedule and on model updates.
+
+    Parameters
+    ----------
+    registry / dashboard:
+        The application's sensors and the operator surface readings land on.
+    context_provider:
+        Zero-argument callable returning the current :class:`ModelContext`;
+        called at every round so the monitor always measures live state.
+    """
+
+    def __init__(
+        self,
+        registry: SensorRegistry,
+        dashboard: AIDashboard,
+        context_provider: Callable[[], ModelContext],
+    ) -> None:
+        self.registry = registry
+        self.dashboard = dashboard
+        self.context_provider = context_provider
+        self.rounds: List[MonitorRound] = []
+        self._last_model_version: Optional[int] = None
+
+    def poll_once(self, trigger: str = "scheduled") -> MonitorRound:
+        """Run one monitoring round: poll all sensors, push to dashboard."""
+        context = self.context_provider()
+        readings = self.registry.poll(context)
+        for reading in readings:
+            self.dashboard.add_reading(reading)
+        record = MonitorRound(
+            index=len(self.rounds), trigger=trigger, readings=readings
+        )
+        self.rounds.append(record)
+        self._last_model_version = context.model_version
+        return record
+
+    def run(self, n_rounds: int) -> List[MonitorRound]:
+        """Run a fixed number of scheduled rounds (simulated periodicity)."""
+        if n_rounds < 0:
+            raise ValueError("n_rounds must be non-negative")
+        return [self.poll_once("scheduled") for __ in range(n_rounds)]
+
+    def on_model_update(self) -> Optional[MonitorRound]:
+        """Poll if (and only if) the model version changed since last round.
+
+        This is the paper's "every time an AI model is updated" trigger;
+        call it after pipeline runs.  Returns ``None`` when nothing changed.
+        """
+        context = self.context_provider()
+        if context.model_version == self._last_model_version:
+            return None
+        return self.poll_once("model_update")
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)

@@ -1,0 +1,120 @@
+"""Stakeholder-tailored explanation narratives (§VIII / §IX).
+
+"To obtain significant feedback from stakeholders, it is important that
+explanations describing the overall trustworthiness of a model are tied to
+specific domain terminology of stakeholders, e.g., tailored explanations
+for end users and software developers.  An extra layer of transformation is
+thus required to map understandable insights of a model to a specific
+target audience.  A potential solution is to rely on large language models
+(ChatGPT-like preamble) or a meta-model."
+
+Offline we implement the *meta-model* option: a deterministic template
+layer that renders the same sensor readings into audience-appropriate
+prose — plain reassurance/warning for end users, metric-level diagnostics
+for developers, and traceable compliance statements for auditors.  The
+rendering contract is intentionally identical to what an LLM back-end
+would satisfy, so swapping one in later changes no call sites.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List
+
+from repro.core.sensors import SensorReading
+from repro.trust.properties import TrustProperty, conflicting_properties
+
+
+class Audience(enum.Enum):
+    """Stakeholder types the dashboard tailors explanations for."""
+
+    END_USER = "end_user"
+    DEVELOPER = "developer"
+    AUDITOR = "auditor"
+
+
+#: Per-property phrasing for the END_USER audience (plain language).
+_END_USER_PHRASES: Dict[TrustProperty, str] = {
+    TrustProperty.ACCURACY: "how often the system gets its answers right",
+    TrustProperty.RESILIENCE: "how well the system withstands tampering",
+    TrustProperty.FAIRNESS: "whether the system treats groups of people equally",
+    TrustProperty.ACCOUNTABILITY: "how clearly the system can show what drove a decision",
+    TrustProperty.EXPLAINABILITY: "how consistently the system explains similar cases",
+    TrustProperty.VALIDITY: "the health of the data the system learns from",
+    TrustProperty.PRIVACY: "how well personal information is protected",
+}
+
+_GENERIC_PHRASE = "this aspect of the system's trustworthiness"
+
+
+def _quality_word(value: float) -> str:
+    if value >= 0.9:
+        return "good"
+    if value >= 0.7:
+        return "acceptable"
+    if value >= 0.5:
+        return "concerning"
+    return "poor"
+
+
+def _narrate_end_user(reading: SensorReading) -> str:
+    phrase = _END_USER_PHRASES.get(reading.property, _GENERIC_PHRASE)
+    quality = _quality_word(reading.value)
+    sentence = (
+        f"Right now, {phrase} looks {quality} "
+        f"(scored {reading.value:.0%} of the ideal)."
+    )
+    if reading.value < 0.7:
+        sentence += " You may want to double-check important decisions."
+    return sentence
+
+
+def _narrate_developer(reading: SensorReading) -> str:
+    details = ", ".join(
+        f"{key}={value:.4g}" for key, value in sorted(reading.details.items())[:6]
+    )
+    sentence = (
+        f"[{reading.sensor}] {reading.property.value}={reading.value:.3f} "
+        f"on model v{reading.model_version}"
+    )
+    if details:
+        sentence += f" ({details})"
+    conflicts = conflicting_properties(reading.property)
+    if reading.value < 0.7 and conflicts:
+        names = ", ".join(p.value for p in conflicts)
+        sentence += (
+            f"; note: tuning {reading.property.value} up may pressure {names}"
+        )
+    return sentence
+
+
+def _narrate_auditor(reading: SensorReading) -> str:
+    status = "COMPLIANT" if reading.value >= 0.7 else "REQUIRES REVIEW"
+    return (
+        f"Property '{reading.property.value}' measured by sensor "
+        f"'{reading.sensor}' at {reading.value:.3f} on model version "
+        f"{reading.model_version} (timestamp {reading.timestamp:.3f}): "
+        f"{status}."
+    )
+
+
+_NARRATORS = {
+    Audience.END_USER: _narrate_end_user,
+    Audience.DEVELOPER: _narrate_developer,
+    Audience.AUDITOR: _narrate_auditor,
+}
+
+
+def narrate_reading(reading: SensorReading, audience: Audience) -> str:
+    """Render one sensor reading for one audience."""
+    if audience not in _NARRATORS:
+        raise ValueError(f"unknown audience {audience!r}")
+    return _NARRATORS[audience](reading)
+
+
+def narrate_report(
+    readings: Iterable[SensorReading], audience: Audience
+) -> List[str]:
+    """Render a batch of readings, most alarming first."""
+    ordered = sorted(readings, key=lambda r: r.value)
+    return [narrate_reading(r, audience) for r in ordered]

@@ -1,0 +1,128 @@
+"""Sensor registry: where applications declare and instrument their sensors.
+
+§IV motivates instrumenting sensors "across the pipeline" because every
+stage can be hampered.  The registry keeps the application's sensor set,
+binds sensors to pipeline stages (via :class:`repro.ml.pipeline.AIPipeline`
+hooks), and answers which Fig. 3 vulnerabilities the current instrumentation
+leaves unobserved.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.attacks.vulnerabilities import (
+    PIPELINE_VULNERABILITIES,
+    Vulnerability,
+)
+from repro.core.sensors import AISensor, ModelContext, SensorReading
+from repro.ml.pipeline import AIPipeline, PipelineContext, StageKind
+from repro.trust.properties import TrustProperty
+
+
+class SensorRegistry:
+    """A named collection of AI sensors plus their pipeline bindings."""
+
+    def __init__(self) -> None:
+        self._sensors: Dict[str, AISensor] = {}
+        self._stage_bindings: Dict[str, List[StageKind]] = {}
+
+    def register(self, sensor: AISensor) -> None:
+        """Add a sensor; names must be unique across the application."""
+        if sensor.name in self._sensors:
+            raise ValueError(f"sensor {sensor.name!r} already registered")
+        self._sensors[sensor.name] = sensor
+        self._stage_bindings[sensor.name] = []
+
+    def unregister(self, name: str) -> None:
+        """Remove a sensor (micro-service replaced or retired)."""
+        if name not in self._sensors:
+            raise KeyError(f"unknown sensor {name!r}")
+        del self._sensors[name]
+        del self._stage_bindings[name]
+
+    def get(self, name: str) -> AISensor:
+        if name not in self._sensors:
+            raise KeyError(f"unknown sensor {name!r}")
+        return self._sensors[name]
+
+    @property
+    def sensors(self) -> List[AISensor]:
+        return list(self._sensors.values())
+
+    @property
+    def properties_covered(self) -> frozenset:
+        """The trustworthy properties the registered sensors quantify."""
+        return frozenset(s.property for s in self._sensors.values())
+
+    def poll(self, context: ModelContext) -> List[SensorReading]:
+        """Take one measurement from every sensor (one monitoring round)."""
+        return [sensor.measure(context) for sensor in self._sensors.values()]
+
+    def poll_one(self, name: str, context: ModelContext) -> SensorReading:
+        """Measure a single sensor by name (an AI-sensor API request)."""
+        return self.get(name).measure(context)
+
+    # -- pipeline instrumentation -------------------------------------------
+
+    def instrument_pipeline(
+        self,
+        pipeline: AIPipeline,
+        name: str,
+        stage: StageKind,
+        context_builder: Callable[[PipelineContext], ModelContext],
+        sink: Optional[Callable[[SensorReading], None]] = None,
+    ) -> None:
+        """Bind a sensor to a pipeline stage (the Fig. 4b augmentation).
+
+        After the stage body executes, the sensor measures a
+        :class:`ModelContext` built from the live pipeline state and pushes
+        the reading to ``sink`` (typically ``dashboard.add_reading``).
+        """
+        sensor = self.get(name)
+
+        def hook(kind: StageKind, ctx: PipelineContext) -> None:
+            reading = sensor.measure(context_builder(ctx))
+            if sink is not None:
+                sink(reading)
+
+        pipeline.attach_hook(stage, hook)
+        self._stage_bindings[name].append(stage)
+
+    def stages_for(self, name: str) -> List[StageKind]:
+        """Pipeline stages a sensor is currently bound to."""
+        if name not in self._stage_bindings:
+            raise KeyError(f"unknown sensor {name!r}")
+        return list(self._stage_bindings[name])
+
+    def unmonitored_vulnerabilities(self) -> List[Vulnerability]:
+        """Fig. 3 vulnerabilities at stages no sensor is bound to.
+
+        This is the registry's answer to §IV's "sensors are required to be
+        instrumented across the pipeline": anything returned here is a blind
+        spot in the current instrumentation.
+        """
+        covered_stages = {
+            stage
+            for stages in self._stage_bindings.values()
+            for stage in stages
+        }
+        return [
+            v for v in PIPELINE_VULNERABILITIES if v.stage not in covered_stages
+        ]
+
+    def coverage_report(self) -> Dict[str, object]:
+        """Summary used by the dashboard's instrumentation panel."""
+        gaps = self.unmonitored_vulnerabilities()
+        return {
+            "n_sensors": len(self._sensors),
+            "properties": sorted(p.value for p in self.properties_covered),
+            "stages_covered": sorted(
+                {
+                    s.value
+                    for stages in self._stage_bindings.values()
+                    for s in stages
+                }
+            ),
+            "unmonitored_vulnerabilities": [v.name for v in gaps],
+        }

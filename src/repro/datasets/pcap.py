@@ -1,0 +1,120 @@
+"""Packet-trace data model — the Wireshark/pcap stand-in.
+
+The paper captures user activities with Wireshark into pcap files containing
+"source and destination IP addresses, protocols, port numbers, packet
+timestamps, packet size".  This module provides the same record structure
+(:class:`Packet`, :class:`Trace`) plus a CSV round-trip, mirroring the
+paper's "processed CSV files derived from this dataset".
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Union
+
+VALID_PROTOCOLS = ("tcp", "udp")
+UPLINK = "up"
+DOWNLINK = "down"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One captured packet header."""
+
+    timestamp: float  # seconds since trace start
+    size: int  # bytes on the wire
+    protocol: str  # "tcp" | "udp"
+    direction: str  # "up" (client→server) | "down"
+    src_port: int
+    dst_port: int
+
+    def __post_init__(self) -> None:
+        if self.protocol not in VALID_PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.direction not in (UPLINK, DOWNLINK):
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.size <= 0:
+            raise ValueError("packet size must be positive")
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+
+
+@dataclass
+class Trace:
+    """A user-session capture: an ordered list of packets plus metadata."""
+
+    packets: List[Packet] = field(default_factory=list)
+    user_id: int = 0
+    activity: str = ""
+
+    def __post_init__(self) -> None:
+        self.packets = sorted(self.packets, key=lambda p: p.timestamp)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between first and last packet (0 for <2 packets)."""
+        if len(self.packets) < 2:
+            return 0.0
+        return self.packets[-1].timestamp - self.packets[0].timestamp
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.size for p in self.packets)
+
+    def filter(self, protocol: str = None, direction: str = None) -> List[Packet]:
+        """Return packets matching the given protocol and/or direction."""
+        out = self.packets
+        if protocol is not None:
+            out = [p for p in out if p.protocol == protocol]
+        if direction is not None:
+            out = [p for p in out if p.direction == direction]
+        return out
+
+
+_CSV_FIELDS = ("timestamp", "size", "protocol", "direction", "src_port", "dst_port")
+
+
+def write_trace_csv(trace: Trace, path: Union[str, Path]) -> None:
+    """Serialise a trace to CSV (one packet per row, metadata in a comment)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        handle.write(f"# user_id={trace.user_id} activity={trace.activity}\n")
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_FIELDS)
+        for p in trace.packets:
+            writer.writerow(
+                [p.timestamp, p.size, p.protocol, p.direction, p.src_port, p.dst_port]
+            )
+
+
+def read_trace_csv(path: Union[str, Path]) -> Trace:
+    """Load a trace written by :func:`write_trace_csv`."""
+    path = Path(path)
+    user_id, activity = 0, ""
+    packets: List[Packet] = []
+    with path.open() as handle:
+        first = handle.readline().strip()
+        if first.startswith("#"):
+            for token in first.lstrip("# ").split():
+                key, __, value = token.partition("=")
+                if key == "user_id":
+                    user_id = int(value)
+                elif key == "activity":
+                    activity = value
+        else:
+            handle.seek(0)
+        reader = csv.DictReader(handle)
+        for row in reader:
+            packets.append(
+                Packet(
+                    timestamp=float(row["timestamp"]),
+                    size=int(row["size"]),
+                    protocol=row["protocol"],
+                    direction=row["direction"],
+                    src_port=int(row["src_port"]),
+                    dst_port=int(row["dst_port"]),
+                )
+            )
+    return Trace(packets=packets, user_id=user_id, activity=activity)

@@ -1,0 +1,33 @@
+"""Federated learning substrate (the Fig. 2(c) architecture).
+
+§III: "Currently, a global model is trained by data contributions of
+clients collected in a privacy-preserving manner, e.g., using federated
+learning, once trained, this model is then propagated to all the end
+devices … the model is updated by a global aggregator, which combines
+contributions from clients."
+
+This package implements that distributed-ML architecture over the repo's
+MLP models: clients train locally, an aggregator combines weight updates
+(FedAvg, or robust variants — coordinate-wise median and trimmed mean —
+against the poisoning clients Fig. 1 attributes to federated learning),
+and the resulting global model plugs into the same SPATIAL sensors as the
+centralised pipeline.
+"""
+
+from repro.federated.client import FederatedClient, MaliciousClient
+from repro.federated.aggregation import (
+    fedavg,
+    coordinate_median,
+    trimmed_mean,
+)
+from repro.federated.server import FederatedTrainer, RoundRecord
+
+__all__ = [
+    "FederatedClient",
+    "FederatedTrainer",
+    "MaliciousClient",
+    "RoundRecord",
+    "coordinate_median",
+    "fedavg",
+    "trimmed_mean",
+]

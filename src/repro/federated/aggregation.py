@@ -1,0 +1,80 @@
+"""Aggregation rules for combining client parameter updates.
+
+FedAvg is the paper's "global aggregator, which combines contributions from
+clients"; the robust rules (coordinate-wise median, trimmed mean) are the
+standard defences against the poisoning clients the Fig. 1 taxonomy lists
+for federated learning, used by the federated ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+ParameterList = List[np.ndarray]
+
+
+def _validate(updates: Sequence[ParameterList]) -> None:
+    if not updates:
+        raise ValueError("need at least one client update")
+    reference = updates[0]
+    for update in updates[1:]:
+        if len(update) != len(reference):
+            raise ValueError("client updates disagree on parameter count")
+        for a, b in zip(update, reference):
+            if a.shape != b.shape:
+                raise ValueError("client updates disagree on parameter shapes")
+
+
+def fedavg(
+    updates: Sequence[ParameterList],
+    weights: Optional[Sequence[float]] = None,
+) -> ParameterList:
+    """Weighted average of client parameters (McMahan et al.'s FedAvg).
+
+    ``weights`` defaults to uniform; pass client sample counts for the
+    canonical data-weighted variant.
+    """
+    _validate(updates)
+    if weights is None:
+        weights = [1.0] * len(updates)
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(weights) != len(updates):
+        raise ValueError("one weight per client update required")
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    weights = weights / weights.sum()
+    aggregated = []
+    for index in range(len(updates[0])):
+        stacked = np.stack([u[index] for u in updates])
+        aggregated.append(
+            np.tensordot(weights, stacked, axes=(0, 0))
+        )
+    return aggregated
+
+
+def coordinate_median(updates: Sequence[ParameterList]) -> ParameterList:
+    """Element-wise median across clients — robust to < 50 % outliers."""
+    _validate(updates)
+    return [
+        np.median(np.stack([u[index] for u in updates]), axis=0)
+        for index in range(len(updates[0]))
+    ]
+
+
+def trimmed_mean(
+    updates: Sequence[ParameterList], trim: int = 1
+) -> ParameterList:
+    """Per-coordinate mean after dropping the ``trim`` largest and smallest
+    values — tolerates up to ``trim`` poisoned clients per coordinate."""
+    _validate(updates)
+    n = len(updates)
+    if trim < 0 or 2 * trim >= n:
+        raise ValueError(f"trim={trim} leaves no clients out of {n}")
+    aggregated = []
+    for index in range(len(updates[0])):
+        stacked = np.sort(np.stack([u[index] for u in updates]), axis=0)
+        kept = stacked[trim : n - trim]
+        aggregated.append(kept.mean(axis=0))
+    return aggregated

@@ -1,0 +1,130 @@
+"""Federated clients: honest local trainers and the poisoning adversaries.
+
+Fig. 1 lists data poisoning, label flipping, backdoors and inference
+attacks against federated learning; :class:`MaliciousClient` implements the
+training-time ones the experiments need — label flipping on the local shard
+and model-update poisoning (scaled/sign-flipped updates).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.neural import MLPClassifier
+
+
+class FederatedClient:
+    """One data-holding participant.
+
+    Parameters
+    ----------
+    client_id:
+        Stable identifier used in round records.
+    X, y:
+        The client's private shard; never leaves the object — only weight
+        updates do (the architecture's privacy premise).
+    """
+
+    def __init__(self, client_id: int, X: np.ndarray, y: np.ndarray) -> None:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ValueError("client shard must be non-empty and aligned")
+        self.client_id = client_id
+        self._X = X
+        self._y = y
+
+    @property
+    def n_samples(self) -> int:
+        return self._X.shape[0]
+
+    def _local_data(self):
+        """The data the local update trains on (hook for adversaries)."""
+        return self._X, self._y
+
+    def local_update(
+        self, global_model: MLPClassifier, local_epochs: int = 1
+    ) -> List[np.ndarray]:
+        """Train locally from the global weights; return new parameters."""
+        model = MLPClassifier(
+            hidden_layers=global_model.hidden_layers,
+            learning_rate=global_model.learning_rate,
+            batch_size=global_model.batch_size,
+            l2=global_model.l2,
+            seed=global_model.seed + self.client_id + 1,
+        )
+        model.initialize(self._X.shape[1], global_model.classes_)
+        model.set_parameters(global_model.get_parameters())
+        X, y = self._local_data()
+        model.partial_fit(X, y, n_epochs=local_epochs)
+        return self._transform_update(model.get_parameters())
+
+    def _transform_update(self, params: List[np.ndarray]) -> List[np.ndarray]:
+        """Hook for model-poisoning adversaries; honest clients pass through."""
+        return params
+
+
+class MaliciousClient(FederatedClient):
+    """A poisoning participant.
+
+    Parameters
+    ----------
+    flip_rate:
+        Fraction of the local shard whose labels are flipped to a random
+        other class before every local update (data poisoning).
+    update_scale:
+        Multiplier applied to the *delta* from the global weights; values
+        < 0 implement sign-flipping model poisoning, large values implement
+        boosted updates.  1.0 leaves the update honest.
+    seed:
+        RNG seed for the label flipping.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        X: np.ndarray,
+        y: np.ndarray,
+        flip_rate: float = 0.0,
+        update_scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(client_id, X, y)
+        if not 0.0 <= flip_rate <= 1.0:
+            raise ValueError("flip_rate must be in [0, 1]")
+        self.flip_rate = flip_rate
+        self.update_scale = update_scale
+        self.seed = seed
+        self._global_params: Optional[List[np.ndarray]] = None
+
+    def _local_data(self):
+        X, y = super()._local_data()
+        if self.flip_rate == 0.0:
+            return X, y
+        rng = np.random.default_rng(self.seed + self.client_id)
+        y = np.array(y, copy=True)
+        classes = np.unique(y)
+        if len(classes) < 2:
+            return X, y
+        n_flip = int(round(len(y) * self.flip_rate))
+        victims = rng.choice(len(y), size=n_flip, replace=False)
+        for i in victims:
+            others = classes[classes != y[i]]
+            y[i] = rng.choice(others)
+        return X, y
+
+    def local_update(
+        self, global_model: MLPClassifier, local_epochs: int = 1
+    ) -> List[np.ndarray]:
+        self._global_params = global_model.get_parameters()
+        return super().local_update(global_model, local_epochs)
+
+    def _transform_update(self, params: List[np.ndarray]) -> List[np.ndarray]:
+        if self.update_scale == 1.0 or self._global_params is None:
+            return params
+        poisoned = []
+        for new, old in zip(params, self._global_params):
+            poisoned.append(old + self.update_scale * (new - old))
+        return poisoned

@@ -1,0 +1,53 @@
+"""Deployment substrate: micro-services, API gateway and load generation.
+
+The paper deploys SPATIAL's metric micro-services behind a Kong API gateway
+on six machines and stresses them with JMeter (§VI-B).  That testbed is not
+available offline, so this package provides a discrete-event simulation of
+the same deployment: machines with vCPU counts, micro-services with
+calibrated service-time models, a gateway with routing overhead, and a
+closed-loop thread-group load generator producing the same summary metrics
+JMeter reports (average response time, throughput, error rate).
+"""
+
+from repro.gateway.simulation import Simulator
+from repro.gateway.services import (
+    Machine,
+    MicroService,
+    Request,
+    RequestRecord,
+    ServiceTimeModel,
+)
+from repro.gateway.gateway import APIGateway
+from repro.gateway.autoscale import Autoscaler, AutoscalerPolicy, ScalingEvent
+from repro.gateway.ratelimit import RateLimitRule, RateLimitedGateway
+from repro.gateway.cluster import (
+    PAPER_SERVICES,
+    build_paper_deployment,
+)
+from repro.gateway.loadgen import (
+    LoadGenerator,
+    SummaryReport,
+    ThreadGroup,
+    run_load_test,
+)
+
+__all__ = [
+    "APIGateway",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "LoadGenerator",
+    "Machine",
+    "MicroService",
+    "PAPER_SERVICES",
+    "RateLimitRule",
+    "RateLimitedGateway",
+    "Request",
+    "RequestRecord",
+    "ScalingEvent",
+    "ServiceTimeModel",
+    "Simulator",
+    "SummaryReport",
+    "ThreadGroup",
+    "build_paper_deployment",
+    "run_load_test",
+]

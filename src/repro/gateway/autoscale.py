@@ -1,0 +1,126 @@
+"""Autoscaling micro-service capacity (§V's dynamic-capacity motivation).
+
+"Another reason to rely on micro-service patterns is to augment dynamically
+the capacity of each individual metric to handle the workload."  This
+module adds that behaviour to the simulated deployment: a periodic
+controller that watches each service's queue and scales its worker count
+(container replicas on the same host) between bounds, with the scaling
+events recorded so benches can plot capacity-vs-time next to latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.gateway.services import MicroService
+from repro.gateway.simulation import Simulator
+
+
+@dataclass
+class ScalingEvent:
+    """One autoscaler decision."""
+
+    time: float
+    service: str
+    from_workers: int
+    to_workers: int
+    queue_length: int
+
+
+@dataclass
+class AutoscalerPolicy:
+    """Queue-length-based scaling thresholds.
+
+    Scale *up* by one worker when queued requests per current worker exceed
+    ``scale_up_ratio``; scale *down* when the queue is empty and more than
+    ``min_workers`` are provisioned.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 32
+    scale_up_ratio: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ValueError("need 1 <= min_workers <= max_workers")
+        if self.scale_up_ratio <= 0:
+            raise ValueError("scale_up_ratio must be positive")
+
+
+class Autoscaler:
+    """Periodic queue-watching controller over one or more services.
+
+    Parameters
+    ----------
+    sim:
+        The deployment's simulator; the controller schedules itself on it.
+    interval_seconds:
+        Control-loop period.
+    policy:
+        Shared :class:`AutoscalerPolicy` (per-service policies via
+        ``policies``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval_seconds: float = 1.0,
+        policy: AutoscalerPolicy = None,
+        policies: Dict[str, AutoscalerPolicy] = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval_seconds = interval_seconds
+        self.default_policy = policy or AutoscalerPolicy()
+        self.policies = dict(policies or {})
+        self._services: List[MicroService] = []
+        self.events: List[ScalingEvent] = []
+        self._running = False
+
+    def watch(self, service: MicroService) -> None:
+        """Put a service under autoscaler control."""
+        self._services.append(service)
+
+    def start(self, horizon_seconds: float) -> None:
+        """Schedule control ticks up to a horizon (self-rescheduling)."""
+        if self._running:
+            raise RuntimeError("autoscaler already started")
+        self._running = True
+        self._horizon = horizon_seconds
+
+        def tick() -> None:
+            self._control_step()
+            if self.sim.now + self.interval_seconds <= self._horizon:
+                self.sim.schedule(self.interval_seconds, tick)
+
+        self.sim.schedule(self.interval_seconds, tick)
+
+    def _policy_for(self, service: MicroService) -> AutoscalerPolicy:
+        return self.policies.get(service.name, self.default_policy)
+
+    def _control_step(self) -> None:
+        for service in self._services:
+            policy = self._policy_for(service)
+            queue = service.queue_length
+            workers = service.concurrency
+            target = workers
+            if queue > policy.scale_up_ratio * workers:
+                target = min(workers + 1, policy.max_workers)
+            elif queue == 0 and service.busy_workers < workers:
+                target = max(workers - 1, policy.min_workers)
+            if target != workers:
+                self.events.append(
+                    ScalingEvent(
+                        time=self.sim.now,
+                        service=service.name,
+                        from_workers=workers,
+                        to_workers=target,
+                        queue_length=queue,
+                    )
+                )
+                service.set_concurrency(target, self.sim)
+
+    def scale_history(self, service_name: str) -> List[ScalingEvent]:
+        return [e for e in self.events if e.service == service_name]

@@ -1,0 +1,99 @@
+"""API gateway (the Kong stand-in).
+
+"The API Gateway manages the communication flow, ensuring that each
+micro-service receives the necessary input, processes it, and returns the
+appropriate response" (§V).  The simulated gateway adds a small per-request
+routing overhead on both legs, keeps a route table, and rejects unknown
+routes — the behaviours that shape the latency measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.gateway.services import (
+    MicroService,
+    Request,
+    RequestRecord,
+)
+from repro.gateway.simulation import Simulator
+
+
+class APIGateway:
+    """Route table + dispatch with per-leg routing overhead.
+
+    Parameters
+    ----------
+    sim:
+        The simulator everything is scheduled on.
+    overhead_seconds:
+        One-way gateway processing cost (proxying, auth, header rewrite);
+        applied once on the request leg and once on the response leg.
+    """
+
+    def __init__(self, sim: Simulator, overhead_seconds: float = 0.002) -> None:
+        if overhead_seconds < 0:
+            raise ValueError("overhead must be non-negative")
+        self.sim = sim
+        self.overhead_seconds = overhead_seconds
+        self._routes: Dict[str, MicroService] = {}
+        self.records: List[RequestRecord] = []
+
+    def register(self, service: MicroService) -> None:
+        """Expose a micro-service under its name as a route."""
+        if service.name in self._routes:
+            raise ValueError(f"route {service.name!r} already registered")
+        self._routes[service.name] = service
+
+    def unregister(self, route: str) -> None:
+        """Retire a route (micro-service replaced — §V's metric evolution)."""
+        if route not in self._routes:
+            raise KeyError(f"unknown route {route!r}")
+        del self._routes[route]
+
+    @property
+    def routes(self) -> List[str]:
+        return sorted(self._routes)
+
+    def dispatch(
+        self,
+        request: Request,
+        on_response: Callable[[RequestRecord], None],
+    ) -> None:
+        """Route a request: gateway leg → service → gateway response leg.
+
+        The caller's ``on_response`` fires at the virtual time the client
+        receives the response; the record's ``arrival`` is the time the
+        request hit the gateway, so ``response_time`` includes both gateway
+        legs plus queueing and service time.
+        """
+        arrived = self.sim.now
+        request.created_at = arrived
+        if request.route not in self._routes:
+            record = RequestRecord(
+                request=request,
+                arrival=arrived,
+                start=arrived,
+                end=arrived,
+                success=False,
+                error=f"404 unknown route {request.route!r}",
+            )
+            self.records.append(record)
+            self.sim.schedule(self.overhead_seconds, lambda: on_response(record))
+            return
+        service = self._routes[request.route]
+
+        def service_done(record: RequestRecord) -> None:
+            # response leg back through the gateway
+            def deliver() -> None:
+                record.arrival = arrived  # account both gateway legs
+                record.end = self.sim.now
+                self.records.append(record)
+                on_response(record)
+
+            self.sim.schedule(self.overhead_seconds, deliver)
+
+        self.sim.schedule(
+            self.overhead_seconds,
+            lambda: service.submit(request, self.sim, service_done),
+        )

@@ -1,0 +1,185 @@
+"""JMeter-equivalent load generation and reporting.
+
+Models JMeter's *ultimate thread group*: N closed-loop virtual users started
+over a ramp-up period, each repeatedly issuing a request and waiting for the
+response (plus optional think time).  The :class:`SummaryReport` reproduces
+the Summary Report / Response-Times-Over-Active-Threads listeners the paper
+uses: average response time, percentiles, throughput and error rate, plus a
+binned response-time-over-virtual-time series for the Fig. 8 curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gateway.gateway import APIGateway
+from repro.gateway.services import Request, RequestRecord
+from repro.gateway.simulation import Simulator
+
+
+@dataclass
+class ThreadGroup:
+    """A JMeter thread group: closed-loop virtual users against one route."""
+
+    route: str
+    n_threads: int
+    rampup_seconds: float = 1.0
+    iterations: int = 1
+    payload: str = "tabular"
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.rampup_seconds < 0 or self.think_time < 0:
+            raise ValueError("timings must be non-negative")
+
+
+@dataclass
+class SummaryReport:
+    """JMeter-style aggregate listener output for one load test."""
+
+    n_requests: int
+    n_errors: int
+    avg_response_ms: float
+    median_response_ms: float
+    p95_response_ms: float
+    max_response_ms: float
+    throughput_rps: float
+    duration_seconds: float
+    per_route: Dict[str, "SummaryReport"] = field(default_factory=dict)
+    #: (virtual time of response, response ms) pairs, response order
+    timeline: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def error_rate(self) -> float:
+        return self.n_errors / self.n_requests if self.n_requests else 0.0
+
+    @staticmethod
+    def from_records(
+        records: List[RequestRecord], duration: float
+    ) -> "SummaryReport":
+        """Build the aggregate (and per-route breakdown) from raw records."""
+        if not records:
+            return SummaryReport(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, duration)
+        ok = [r for r in records if r.success]
+        times_ms = np.array([r.response_time * 1000.0 for r in ok]) if ok else np.array([0.0])
+        report = SummaryReport(
+            n_requests=len(records),
+            n_errors=len(records) - len(ok),
+            avg_response_ms=float(times_ms.mean()),
+            median_response_ms=float(np.median(times_ms)),
+            p95_response_ms=float(np.percentile(times_ms, 95)),
+            max_response_ms=float(times_ms.max()),
+            throughput_rps=len(ok) / duration if duration > 0 else 0.0,
+            duration_seconds=duration,
+            timeline=sorted(
+                (r.end, r.response_time * 1000.0) for r in ok
+            ),
+        )
+        routes = {r.request.route for r in records}
+        if len(routes) > 1:
+            for route in sorted(routes):
+                subset = [r for r in records if r.request.route == route]
+                report.per_route[route] = SummaryReport.from_records(
+                    subset, duration
+                )
+        return report
+
+    def render_text(self) -> str:
+        """One-line summary in the JMeter Summary Report layout."""
+        return (
+            f"samples={self.n_requests} avg={self.avg_response_ms:.1f}ms "
+            f"med={self.median_response_ms:.1f}ms p95={self.p95_response_ms:.1f}ms "
+            f"max={self.max_response_ms:.1f}ms tput={self.throughput_rps:.2f}/s "
+            f"err={100 * self.error_rate:.1f}%"
+        )
+
+
+class LoadGenerator:
+    """Drives thread groups against a gateway on a shared simulator.
+
+    Besides the summary, the generator keeps the *Response Times Over
+    Active Threads* series JMeter's listener shows (``active_threads``):
+    for every response, the number of requests that were in flight when it
+    was issued.
+    """
+
+    def __init__(self, sim: Simulator, gateway: APIGateway) -> None:
+        self.sim = sim
+        self.gateway = gateway
+        self.responses: List[RequestRecord] = []
+        #: (active in-flight requests at send time, response ms) per response
+        self.active_threads: List[Tuple[int, float]] = []
+        self._next_id = 0
+        self._in_flight = 0
+
+    def add_thread_group(self, group: ThreadGroup) -> None:
+        """Schedule all virtual users of a thread group.
+
+        Thread *i* starts at ``i * rampup / n_threads`` (JMeter's linear
+        ramp-up), then loops: send → await response → think → repeat.
+        """
+        spacing = (
+            group.rampup_seconds / group.n_threads if group.n_threads else 0.0
+        )
+        for thread in range(group.n_threads):
+            start_at = thread * spacing
+            self.sim.schedule(
+                start_at, self._make_user(group, remaining=group.iterations)
+            )
+
+    def _make_user(self, group: ThreadGroup, remaining: int):
+        def send() -> None:
+            self._next_id += 1
+            self._in_flight += 1
+            active_at_send = self._in_flight
+            request = Request(
+                request_id=self._next_id,
+                route=group.route,
+                payload=group.payload,
+            )
+
+            def on_response(record: RequestRecord) -> None:
+                self._in_flight -= 1
+                self.responses.append(record)
+                self.active_threads.append(
+                    (active_at_send, record.response_time * 1000.0)
+                )
+                if remaining > 1:
+                    self.sim.schedule(
+                        group.think_time,
+                        self._make_user(group, remaining - 1),
+                    )
+
+            self.gateway.dispatch(request, on_response)
+
+        return send
+
+    def run(self, until: Optional[float] = None) -> SummaryReport:
+        """Run the simulation to completion and return the summary."""
+        end_time = self.sim.run(until=until)
+        return SummaryReport.from_records(self.responses, duration=end_time)
+
+
+def run_load_test(
+    gateway_builder,
+    groups: List[ThreadGroup],
+    seed: int = 0,
+) -> SummaryReport:
+    """Convenience wrapper: build a deployment, apply groups, run, report.
+
+    ``gateway_builder`` is a callable like
+    :func:`repro.gateway.cluster.build_paper_deployment` accepting ``seed``
+    and returning ``(sim, gateway)``.
+    """
+    sim, gateway = gateway_builder(seed=seed)
+    generator = LoadGenerator(sim, gateway)
+    for group in groups:
+        generator.add_thread_group(group)
+    return generator.run()

@@ -1,0 +1,250 @@
+"""Machines, requests and micro-services for the deployment simulation.
+
+Each micro-service is an M/G/c-style station: ``concurrency`` parallel
+workers (defaulting to the host machine's vCPUs — or a large batch width for
+the GPU-backed impact service), a bounded FIFO queue, and a payload-aware
+service-time model calibrated against our real metric implementations and
+the latencies the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.gateway.simulation import Simulator
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One deployment host from Fig. 8(a)."""
+
+    name: str
+    vcpus: int
+    ram_gb: int
+    gpu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1 or self.ram_gb < 1:
+            raise ValueError("machines need at least 1 vCPU and 1 GB RAM")
+
+
+@dataclass
+class Request:
+    """One client request routed through the gateway."""
+
+    request_id: int
+    route: str
+    payload: str = "tabular"  # "tabular" | "image"
+    created_at: float = 0.0
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one request, used by the summary listeners."""
+
+    request: Request
+    arrival: float
+    start: float = 0.0
+    end: float = 0.0
+    success: bool = True
+    error: str = ""
+
+    @property
+    def response_time(self) -> float:
+        """Seconds from arrival at the gateway to the response."""
+        return self.end - self.arrival
+
+    @property
+    def wait_time(self) -> float:
+        """Seconds spent queued before a worker picked the request up."""
+        return self.start - self.arrival
+
+
+class ServiceTimeModel:
+    """Payload-conditional lognormal service times.
+
+    Parameters
+    ----------
+    base_seconds:
+        Payload kind → median service time in seconds.
+    jitter:
+        Lognormal sigma (relative spread); 0 gives deterministic times.
+    seed:
+        RNG seed; every sample is reproducible.
+    """
+
+    def __init__(
+        self,
+        base_seconds: Dict[str, float],
+        jitter: float = 0.15,
+        seed: int = 0,
+    ) -> None:
+        if not base_seconds:
+            raise ValueError("base_seconds must define at least one payload kind")
+        if any(v <= 0 for v in base_seconds.values()):
+            raise ValueError("service times must be positive")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.base_seconds = dict(base_seconds)
+        self.jitter = jitter
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, payload: str) -> float:
+        """Draw one service time for a payload kind."""
+        if payload not in self.base_seconds:
+            raise KeyError(
+                f"service does not handle payload {payload!r}; "
+                f"supported: {sorted(self.base_seconds)}"
+            )
+        base = self.base_seconds[payload]
+        if self.jitter == 0:
+            return base
+        return float(base * self._rng.lognormal(0.0, self.jitter))
+
+    def supports(self, payload: str) -> bool:
+        return payload in self.base_seconds
+
+
+CompletionCallback = Callable[[RequestRecord], None]
+
+
+class MicroService:
+    """A metric micro-service: c parallel workers over a bounded FIFO queue.
+
+    Parameters
+    ----------
+    name:
+        Route name (e.g. ``"shap"``).
+    machine:
+        Host machine; default worker count is its vCPU count.
+    service_time:
+        Payload-aware :class:`ServiceTimeModel`.
+    concurrency:
+        Parallel in-flight requests (overrides vCPUs; the GPU impact
+        service uses a large batch width here).
+    queue_capacity:
+        Waiting-room size; arrivals beyond it fail fast with a 503-style
+        error, which is what JMeter's error-rate column counts.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        machine: Machine,
+        service_time: ServiceTimeModel,
+        concurrency: Optional[int] = None,
+        queue_capacity: int = 1000,
+    ) -> None:
+        if queue_capacity < 0:
+            raise ValueError("queue_capacity must be non-negative")
+        self.name = name
+        self.machine = machine
+        self.service_time = service_time
+        self.concurrency = machine.vcpus if concurrency is None else concurrency
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.queue_capacity = queue_capacity
+        self._busy = 0
+        self._waiting: List[tuple] = []
+        self.completed: List[RequestRecord] = []
+        self.rejected: int = 0
+        self._peak_queue = 0
+        self._busy_seconds = 0.0  # cumulative worker-seconds of service
+
+    def submit(
+        self,
+        request: Request,
+        sim: Simulator,
+        on_complete: CompletionCallback,
+    ) -> None:
+        """Accept (or reject) a request at the current virtual time."""
+        record = RequestRecord(request=request, arrival=sim.now)
+        if not self.service_time.supports(request.payload):
+            record.success = False
+            record.error = f"unsupported payload {request.payload!r}"
+            record.start = record.end = sim.now
+            self.completed.append(record)
+            on_complete(record)
+            return
+        if self._busy < self.concurrency:
+            self._start(record, sim, on_complete)
+        elif len(self._waiting) < self.queue_capacity:
+            self._waiting.append((record, on_complete))
+            self._peak_queue = max(self._peak_queue, len(self._waiting))
+        else:
+            self.rejected += 1
+            record.success = False
+            record.error = "queue full (503)"
+            record.start = record.end = sim.now
+            self.completed.append(record)
+            on_complete(record)
+
+    def _start(
+        self,
+        record: RequestRecord,
+        sim: Simulator,
+        on_complete: CompletionCallback,
+    ) -> None:
+        self._busy += 1
+        record.start = sim.now
+        duration = self.service_time.sample(record.request.payload)
+
+        def finish() -> None:
+            record.end = sim.now
+            self._busy -= 1
+            self._busy_seconds += record.end - record.start
+            self.completed.append(record)
+            # hand the freed worker to the queue head BEFORE notifying the
+            # caller: a callback that synchronously resubmits must queue
+            # behind earlier arrivals, not grab the worker (and the cap
+            # would otherwise be breached when both paths start a request)
+            if self._waiting:
+                next_record, next_callback = self._waiting.pop(0)
+                self._start(next_record, sim, next_callback)
+            on_complete(record)
+
+        sim.schedule(duration, finish)
+
+    def set_concurrency(self, target: int, sim: Simulator) -> None:
+        """Re-provision the worker pool (autoscaling, §V dynamic capacity).
+
+        Growing the pool immediately starts queued requests on the new
+        workers; shrinking only lowers the cap — in-flight requests finish,
+        and the pool drains down as they complete.
+        """
+        if target < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.concurrency = target
+        while self._busy < self.concurrency and self._waiting:
+            record, callback = self._waiting.pop(0)
+            self._start(record, sim, callback)
+
+    @property
+    def busy_workers(self) -> int:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def peak_queue_length(self) -> int:
+        return self._peak_queue
+
+    @property
+    def busy_seconds(self) -> float:
+        """Cumulative worker-seconds spent serving completed requests."""
+        return self._busy_seconds
+
+    def utilization(self, elapsed_seconds: float) -> float:
+        """Mean worker utilisation over an observation window.
+
+        ``busy_seconds / (workers × elapsed)``; > 0.8 is the §IX signal
+        that a metric needs its own (or a bigger) machine.
+        """
+        if elapsed_seconds <= 0:
+            raise ValueError("elapsed_seconds must be positive")
+        return self._busy_seconds / (self.concurrency * elapsed_seconds)

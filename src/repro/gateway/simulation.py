@@ -1,0 +1,64 @@
+"""Minimal discrete-event simulation engine.
+
+A binary-heap event queue with a monotonically advancing clock.  Everything
+in the capacity-load experiments (request arrivals, service completions,
+thread-group pacing) is expressed as scheduled callbacks on one
+:class:`Simulator`, which keeps the whole deployment deterministic and
+reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class Simulator:
+    """Event-driven simulator with a seconds-denominated virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue = []
+        self._counter = itertools.count()  # FIFO tie-break for equal times
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from the current virtual time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._counter), callback)
+        )
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at an absolute virtual time (>= now)."""
+        self.schedule(time - self.now, callback)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Process events in time order until the queue drains.
+
+        ``until`` stops the clock at a horizon (remaining events stay
+        queued); ``max_events`` guards against runaway schedules.  Returns
+        the final virtual time.
+        """
+        while self._queue:
+            if self._processed >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events}")
+            time, __, callback = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            self._processed += 1
+            callback()
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed

@@ -1,0 +1,68 @@
+"""Machine-learning substrate for the SPATIAL reproduction.
+
+This package implements, from scratch on top of numpy, every model family the
+paper's two use cases rely on (logistic regression, decision tree, random
+forest, MLP/DNN, gradient-boosted trees standing in for LightGBM/XGBoost)
+plus the surrounding training infrastructure: preprocessing, metrics,
+cross-validation and the staged AI pipeline of Fig. 4.
+"""
+
+from repro.ml.model import Classifier, check_Xy, clone
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    StandardScaler,
+    drop_duplicates,
+    impute_missing,
+    train_test_split,
+)
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.linear import LogisticRegressionClassifier
+from repro.ml.svm import SVMClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbdt import GradientBoostedTreesClassifier, lightgbm_like, xgboost_like
+from repro.ml.neural import DNNClassifier, MLPClassifier
+from repro.ml.validation import KFold, cross_val_score, stratified_split
+from repro.ml.pipeline import AIPipeline, PipelineStage, StageKind
+from repro.ml.serialization import load_model, save_model
+
+__all__ = [
+    "AIPipeline",
+    "Classifier",
+    "DNNClassifier",
+    "DecisionTreeClassifier",
+    "GradientBoostedTreesClassifier",
+    "KFold",
+    "LabelEncoder",
+    "LogisticRegressionClassifier",
+    "MLPClassifier",
+    "PipelineStage",
+    "RandomForestClassifier",
+    "SVMClassifier",
+    "StageKind",
+    "StandardScaler",
+    "accuracy_score",
+    "check_Xy",
+    "classification_report",
+    "clone",
+    "confusion_matrix",
+    "cross_val_score",
+    "drop_duplicates",
+    "f1_score",
+    "impute_missing",
+    "lightgbm_like",
+    "load_model",
+    "precision_score",
+    "recall_score",
+    "save_model",
+    "stratified_split",
+    "train_test_split",
+    "xgboost_like",
+]

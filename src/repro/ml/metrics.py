@@ -1,0 +1,162 @@
+"""Classification metrics used by the performance sensor and every benchmark.
+
+The paper reports accuracy, precision and recall for both use cases
+(Fig. 6(a) i-iii and the use-case-2 baselines) and uses metric drift as the
+"impact" signal for poisoning attacks, so these implementations are the
+measurement backbone of the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true shape {y_true.shape} != y_pred shape {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot score empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly-matching predictions."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: Optional[Sequence] = None,
+) -> np.ndarray:
+    """Return matrix C where C[i, j] counts true label i predicted as j."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    n = len(labels)
+    cm = np.zeros((n, n), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t in index and p in index:
+            cm[index[t], index[p]] += 1
+    return cm
+
+
+def _per_class_prf(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: Optional[Sequence] = None
+) -> tuple:
+    """Return (labels, precision[], recall[], support[]) per class."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    cm = confusion_matrix(y_true, y_pred, labels)
+    tp = np.diag(cm).astype(np.float64)
+    predicted = cm.sum(axis=0).astype(np.float64)
+    actual = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+    return labels, precision, recall, actual
+
+
+def _average(values: np.ndarray, support: np.ndarray, average: str) -> float:
+    if average == "macro":
+        return float(np.mean(values))
+    if average == "weighted":
+        total = support.sum()
+        if total == 0:
+            return 0.0
+        return float(np.sum(values * support) / total)
+    raise ValueError(f"unknown average {average!r}; use 'macro' or 'weighted'")
+
+
+def precision_score(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    average: str = "macro",
+    labels: Optional[Sequence] = None,
+) -> float:
+    """Averaged per-class precision (macro or support-weighted)."""
+    __, precision, __, support = _per_class_prf(y_true, y_pred, labels)
+    return _average(precision, support, average)
+
+
+def recall_score(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    average: str = "macro",
+    labels: Optional[Sequence] = None,
+) -> float:
+    """Averaged per-class recall (macro or support-weighted)."""
+    __, __, recall, support = _per_class_prf(y_true, y_pred, labels)
+    return _average(recall, support, average)
+
+
+def f1_score(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    average: str = "macro",
+    labels: Optional[Sequence] = None,
+) -> float:
+    """Averaged per-class F1 (harmonic mean of precision and recall)."""
+    __, precision, recall, support = _per_class_prf(y_true, y_pred, labels)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2.0 * precision * recall / denom, 0.0)
+    return _average(f1, support, average)
+
+
+def classification_report(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> Dict[str, Dict[str, float]]:
+    """Per-class precision/recall/F1/support plus macro and weighted rows."""
+    labels, precision, recall, support = _per_class_prf(y_true, y_pred)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2.0 * precision * recall / denom, 0.0)
+    report: Dict[str, Dict[str, float]] = {}
+    for i, label in enumerate(labels.tolist()):
+        report[str(label)] = {
+            "precision": float(precision[i]),
+            "recall": float(recall[i]),
+            "f1": float(f1[i]),
+            "support": float(support[i]),
+        }
+    for avg in ("macro", "weighted"):
+        report[avg] = {
+            "precision": _average(precision, support, avg),
+            "recall": _average(recall, support, avg),
+            "f1": _average(f1, support, avg),
+            "support": float(support.sum()),
+        }
+    report["accuracy"] = {
+        "precision": accuracy_score(y_true, y_pred),
+        "recall": accuracy_score(y_true, y_pred),
+        "f1": accuracy_score(y_true, y_pred),
+        "support": float(support.sum()),
+    }
+    return report
+
+
+def performance_drift(
+    baseline: Dict[str, float], current: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-metric drop relative to a baseline snapshot (positive = degraded).
+
+    This is the quantity the paper's poisoning "impact" metric is built on:
+    the drift of any performance metric of the model after an attack.
+    """
+    drift = {}
+    for name, base_value in baseline.items():
+        if name in current:
+            drift[name] = float(base_value - current[name])
+    return drift

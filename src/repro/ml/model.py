@@ -1,0 +1,111 @@
+"""Base classifier interface shared by every model in the ML substrate.
+
+The SPATIAL sensors and attack modules only rely on this small surface:
+``fit``, ``predict``, ``predict_proba`` and ``classes_``.  Models that expose
+analytic input gradients (the neural networks) additionally implement
+``input_gradient`` which the FGSM attack consumes.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+
+class Classifier(ABC):
+    """Abstract multi-class classifier.
+
+    Subclasses must set ``classes_`` (sorted unique labels seen in ``fit``)
+    and return probability rows aligned with ``classes_`` from
+    ``predict_proba``.
+    """
+
+    classes_: np.ndarray
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train the model on ``X`` (n_samples, n_features) and labels ``y``."""
+
+    @abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Return class-probability matrix of shape (n_samples, n_classes)."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Return the most probable class label for each row of ``X``."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Return mean accuracy of ``predict(X)`` against ``y``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return the constructor parameters recorded by ``_record_params``."""
+        return dict(getattr(self, "_init_params", {}))
+
+    def _record_params(self, params: Dict[str, Any]) -> None:
+        """Store constructor parameters so the model can be cloned.
+
+        Call as ``self._record_params(locals())`` first thing in ``__init__``;
+        ``self`` is stripped automatically.
+        """
+        recorded = {
+            k: v
+            for k, v in params.items()
+            if k != "self" and not k.startswith("_")
+        }
+        self._init_params = recorded
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once ``fit`` has populated ``classes_``."""
+        return getattr(self, "classes_", None) is not None and len(self.classes_) > 0
+
+
+def clone(model: Classifier) -> Classifier:
+    """Return an unfitted copy of ``model`` built from its recorded params."""
+    params = model.get_params()
+    if params or not hasattr(model, "_init_params"):
+        try:
+            return type(model)(**params)
+        except TypeError:
+            pass
+    return copy.deepcopy(model)
+
+
+def check_Xy(X: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a training pair to float64 features and 1-D labels.
+
+    Raises ``ValueError`` on empty input, shape mismatch or non-finite
+    features, which keeps every model's error behaviour uniform.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinite values; impute first")
+    return X, y
+
+
+def encode_labels(y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(classes, y_indexed)`` where ``y_indexed`` maps into classes."""
+    classes, y_idx = np.unique(y, return_inverse=True)
+    return classes, y_idx
+
+
+def one_hot(y_idx: np.ndarray, n_classes: int) -> np.ndarray:
+    """Return a one-hot float matrix for integer class indices."""
+    out = np.zeros((y_idx.shape[0], n_classes), dtype=np.float64)
+    out[np.arange(y_idx.shape[0]), y_idx] = 1.0
+    return out

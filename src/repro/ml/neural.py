@@ -1,0 +1,282 @@
+"""Feed-forward neural networks (the paper's MLP, DNN and "NN" models).
+
+Implements full backpropagation over dense ReLU layers with a softmax
+cross-entropy head, plus **analytic input gradients** — the capability the
+white-box FGSM attack of use case 2 needs ("adding a small amount in the
+direction of the gradient of the loss function with respect to the input").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.linear import softmax
+from repro.ml.model import Classifier, check_Xy, encode_labels, one_hot
+
+
+def relu(z: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(z, 0.0)
+
+
+class MLPClassifier(Classifier):
+    """Multi-layer perceptron trained with mini-batch Adam.
+
+    Parameters
+    ----------
+    hidden_layers:
+        Units per hidden layer, e.g. ``(64, 32)``.
+    learning_rate / n_epochs / batch_size:
+        Adam step size and training schedule.
+    l2:
+        Weight decay applied to all weight matrices (not biases).
+    seed:
+        RNG seed for initialisation and shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_layers: Sequence[int] = (64, 32),
+        learning_rate: float = 1e-3,
+        n_epochs: int = 60,
+        batch_size: int = 64,
+        l2: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
+        self._record_params(locals())
+        if any(h <= 0 for h in hidden_layers):
+            raise ValueError("hidden layer sizes must be positive")
+        self.hidden_layers = tuple(hidden_layers)
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self.weights_: List[np.ndarray] = []
+        self.biases_: List[np.ndarray] = []
+        self.classes_ = np.empty(0)
+
+    # -- forward/backward -------------------------------------------------
+
+    def _forward(self, X: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Return (pre-activation list per layer, output probabilities)."""
+        activations = [X]
+        pre_acts: List[np.ndarray] = []
+        a = X
+        for i, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = a @ W + b
+            pre_acts.append(z)
+            a = z if i == len(self.weights_) - 1 else relu(z)
+            activations.append(a)
+        self._activations = activations
+        return pre_acts, softmax(activations[-1])
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X, y = check_Xy(X, y)
+        self.classes_, y_idx = encode_labels(y)
+        n_samples, n_features = X.shape
+        n_classes = len(self.classes_)
+        targets = one_hot(y_idx, n_classes)
+        rng = np.random.default_rng(self.seed)
+
+        sizes = [n_features, *self.hidden_layers, n_classes]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(2.0 / fan_in)  # He initialisation for ReLU
+            self.weights_.append(rng.normal(0.0, limit, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+        # Adam state
+        m_w = [np.zeros_like(W) for W in self.weights_]
+        v_w = [np.zeros_like(W) for W in self.weights_]
+        m_b = [np.zeros_like(b) for b in self.biases_]
+        v_b = [np.zeros_like(b) for b in self.biases_]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        batch = min(max(1, self.batch_size), n_samples)
+        for __ in range(self.n_epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                idx = order[start : start + batch]
+                xb, tb = X[idx], targets[idx]
+                pre_acts, probs = self._forward(xb)
+                acts = self._activations
+                delta = (probs - tb) / len(idx)
+                grads_w: List[np.ndarray] = [None] * len(self.weights_)
+                grads_b: List[np.ndarray] = [None] * len(self.biases_)
+                for layer in range(len(self.weights_) - 1, -1, -1):
+                    grads_w[layer] = acts[layer].T @ delta + self.l2 * self.weights_[layer]
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.weights_[layer].T) * (
+                            pre_acts[layer - 1] > 0
+                        )
+                step += 1
+                lr_t = (
+                    self.learning_rate
+                    * np.sqrt(1 - beta2**step)
+                    / (1 - beta1**step)
+                )
+                for layer in range(len(self.weights_)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    self.weights_[layer] -= lr_t * m_w[layer] / (
+                        np.sqrt(v_w[layer]) + eps
+                    )
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    self.biases_[layer] -= lr_t * m_b[layer] / (
+                        np.sqrt(v_b[layer]) + eps
+                    )
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.weights_:
+            raise RuntimeError("model used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        __, probs = self._forward(X)
+        return probs
+
+    # -- parameter access & incremental training (federated learning) ------
+
+    def get_parameters(self) -> List[np.ndarray]:
+        """Flat parameter list [W0, b0, W1, b1, ...] (copies)."""
+        if not self.weights_:
+            raise RuntimeError("model used before fit()/initialize()")
+        params: List[np.ndarray] = []
+        for W, b in zip(self.weights_, self.biases_):
+            params.append(W.copy())
+            params.append(b.copy())
+        return params
+
+    def set_parameters(self, params: List[np.ndarray]) -> None:
+        """Install parameters produced by :meth:`get_parameters`."""
+        if len(params) != 2 * len(self.weights_) or not self.weights_:
+            raise ValueError(
+                "parameter list does not match the network topology; "
+                "initialize the model first"
+            )
+        for layer in range(len(self.weights_)):
+            W, b = params[2 * layer], params[2 * layer + 1]
+            if W.shape != self.weights_[layer].shape or (
+                b.shape != self.biases_[layer].shape
+            ):
+                raise ValueError(f"shape mismatch at layer {layer}")
+            self.weights_[layer] = W.copy()
+            self.biases_[layer] = b.copy()
+
+    def initialize(self, n_features: int, classes: np.ndarray) -> "MLPClassifier":
+        """Set up topology and random weights without training.
+
+        Federated training needs a global model whose parameters exist
+        before any data has been seen; the class set must be known up front
+        so every client's updates align.
+        """
+        classes = np.asarray(classes)
+        if classes.ndim != 1 or len(classes) < 2:
+            raise ValueError("need at least two classes")
+        self.classes_ = np.unique(classes)
+        rng = np.random.default_rng(self.seed)
+        sizes = [n_features, *self.hidden_layers, len(self.classes_)]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(2.0 / fan_in)
+            self.weights_.append(rng.normal(0.0, limit, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+        return self
+
+    def partial_fit(
+        self, X: np.ndarray, y: np.ndarray, n_epochs: int = 1
+    ) -> "MLPClassifier":
+        """Continue training from the current weights with plain SGD.
+
+        Used for the local-update step of federated learning — unlike
+        :meth:`fit` it neither reinitialises the weights nor changes the
+        class set (labels outside ``classes_`` raise).
+        """
+        if not self.weights_:
+            raise RuntimeError("partial_fit needs initialize() or fit() first")
+        X, y = check_Xy(X, y)
+        class_index = {c: i for i, c in enumerate(self.classes_.tolist())}
+        try:
+            y_idx = np.array([class_index[label] for label in y.tolist()])
+        except KeyError as exc:
+            raise ValueError(f"unknown class {exc.args[0]!r}") from exc
+        targets = one_hot(y_idx, len(self.classes_))
+        rng = np.random.default_rng(self.seed + 1)
+        batch = min(max(1, self.batch_size), X.shape[0])
+        lr = self.learning_rate * 10.0  # plain SGD needs a larger step than Adam
+        for __ in range(max(1, n_epochs)):
+            order = rng.permutation(X.shape[0])
+            for start in range(0, X.shape[0], batch):
+                idx = order[start : start + batch]
+                pre_acts, probs = self._forward(X[idx])
+                acts = self._activations
+                delta = (probs - targets[idx]) / len(idx)
+                for layer in range(len(self.weights_) - 1, -1, -1):
+                    grad_w = acts[layer].T @ delta + self.l2 * self.weights_[layer]
+                    grad_b = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.weights_[layer].T) * (
+                            pre_acts[layer - 1] > 0
+                        )
+                    self.weights_[layer] -= lr * grad_w
+                    self.biases_[layer] -= lr * grad_b
+        return self
+
+    def input_gradient(
+        self, x: np.ndarray, target_class: Optional[int] = None
+    ) -> np.ndarray:
+        """Gradient of cross-entropy loss w.r.t. the input row(s).
+
+        ``target_class`` defaults to the model's own prediction per row (the
+        standard untargeted FGSM formulation).  Accepts a single row or a
+        batch and returns gradients of the same shape.
+        """
+        if not self.weights_:
+            raise RuntimeError("model used before fit()")
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        xb = x.reshape(1, -1) if single else x
+        pre_acts, probs = self._forward(xb)
+        if target_class is None:
+            target_idx = np.argmax(probs, axis=1)
+        else:
+            target_idx = np.full(xb.shape[0], int(target_class))
+        targets = one_hot(target_idx, probs.shape[1])
+        delta = probs - targets
+        for layer in range(len(self.weights_) - 1, 0, -1):
+            delta = (delta @ self.weights_[layer].T) * (pre_acts[layer - 1] > 0)
+        grad = delta @ self.weights_[0].T
+        return grad[0] if single else grad
+
+
+class DNNClassifier(MLPClassifier):
+    """Deeper MLP preset — the paper's "DNN" model.
+
+    Identical machinery to :class:`MLPClassifier` with a deeper default
+    topology, mirroring how the paper distinguishes its MLP and DNN entries.
+    """
+
+    def __init__(
+        self,
+        hidden_layers: Sequence[int] = (128, 64, 32),
+        learning_rate: float = 1e-3,
+        n_epochs: int = 80,
+        batch_size: int = 64,
+        l2: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            hidden_layers=hidden_layers,
+            learning_rate=learning_rate,
+            n_epochs=n_epochs,
+            batch_size=batch_size,
+            l2=l2,
+            seed=seed,
+        )
+        self._record_params(locals())

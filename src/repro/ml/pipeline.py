@@ -1,0 +1,263 @@
+"""The staged AI pipeline of Fig. 4 — the unit SPATIAL instruments.
+
+Fig. 4(a) shows the standard pipeline (data collection → data preparation →
+labeling → training → evaluation → deployment); Fig. 4(b) augments it with
+trustworthy-analysis steps and a human-feedback edge.  :class:`AIPipeline`
+implements both: every stage exposes an instrumentation hook where AI sensors
+attach, and operator feedback re-enters the pipeline by re-running from a
+chosen stage (e.g. label sanitisation followed by retraining).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.metrics import accuracy_score, f1_score, precision_score, recall_score
+from repro.ml.model import Classifier, clone
+from repro.ml.preprocessing import drop_duplicates, impute_missing, train_test_split
+
+
+class StageKind(enum.Enum):
+    """The six stages of the standard AI pipeline (Fig. 4a)."""
+
+    DATA_COLLECTION = "data_collection"
+    DATA_CLEANING = "data_cleaning"
+    LABELING = "labeling"
+    TRAINING = "training"
+    EVALUATION = "evaluation"
+    DEPLOYMENT = "deployment"
+
+
+STAGE_ORDER: Tuple[StageKind, ...] = (
+    StageKind.DATA_COLLECTION,
+    StageKind.DATA_CLEANING,
+    StageKind.LABELING,
+    StageKind.TRAINING,
+    StageKind.EVALUATION,
+    StageKind.DEPLOYMENT,
+)
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the stages of one pipeline run."""
+
+    X_raw: Optional[np.ndarray] = None
+    y_raw: Optional[np.ndarray] = None
+    X_clean: Optional[np.ndarray] = None
+    y_clean: Optional[np.ndarray] = None
+    X_train: Optional[np.ndarray] = None
+    y_train: Optional[np.ndarray] = None
+    X_test: Optional[np.ndarray] = None
+    y_test: Optional[np.ndarray] = None
+    model: Optional[Classifier] = None
+    evaluation: Dict[str, float] = field(default_factory=dict)
+    deployed: bool = False
+    model_version: int = 0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class PipelineStage:
+    """A named stage plus the sensors hooked onto it."""
+
+    kind: StageKind
+    run: Callable[[PipelineContext], None]
+    hooks: List[Callable[[StageKind, PipelineContext], None]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class StageRecord:
+    """Audit record of one stage execution (feeds accountability sensors)."""
+
+    kind: StageKind
+    duration_s: float
+    model_version: int
+    note: str = ""
+
+
+class AIPipeline:
+    """Standard ML pipeline with per-stage instrumentation hooks.
+
+    Parameters
+    ----------
+    data_provider:
+        Zero-argument callable returning ``(X, y)`` raw data.
+    model_factory:
+        Zero-argument callable building a fresh unfitted classifier.
+    test_size / seed:
+        Hold-out split configuration; the test split stays clean even when
+        the training data is poisoned, matching the paper's procedure
+        ("evaluated with the retained clean test data set").
+    labeler:
+        Optional callable ``(X, y) -> y`` applied at the labeling stage —
+        this is where human annotation, label sanitisation, and label-level
+        attacks plug in.
+    """
+
+    def __init__(
+        self,
+        data_provider: Callable[[], Tuple[np.ndarray, np.ndarray]],
+        model_factory: Callable[[], Classifier],
+        test_size: float = 0.25,
+        seed: int = 0,
+        labeler: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+        impute_strategy: str = "mean",
+        deduplicate: bool = True,
+    ) -> None:
+        self.data_provider = data_provider
+        self.model_factory = model_factory
+        self.test_size = test_size
+        self.seed = seed
+        self.labeler = labeler
+        self.impute_strategy = impute_strategy
+        self.deduplicate = deduplicate
+        self.context = PipelineContext()
+        self.history: List[StageRecord] = []
+        self._stages: Dict[StageKind, PipelineStage] = {
+            StageKind.DATA_COLLECTION: PipelineStage(
+                StageKind.DATA_COLLECTION, self._collect
+            ),
+            StageKind.DATA_CLEANING: PipelineStage(
+                StageKind.DATA_CLEANING, self._clean
+            ),
+            StageKind.LABELING: PipelineStage(StageKind.LABELING, self._label),
+            StageKind.TRAINING: PipelineStage(StageKind.TRAINING, self._train),
+            StageKind.EVALUATION: PipelineStage(
+                StageKind.EVALUATION, self._evaluate
+            ),
+            StageKind.DEPLOYMENT: PipelineStage(
+                StageKind.DEPLOYMENT, self._deploy
+            ),
+        }
+
+    # -- instrumentation ---------------------------------------------------
+
+    def attach_hook(
+        self,
+        kind: StageKind,
+        hook: Callable[[StageKind, PipelineContext], None],
+    ) -> None:
+        """Instrument a stage with an AI-sensor callback (Fig. 4b).
+
+        Hooks run after the stage body with the stage kind and the live
+        context; sensors use them to take measurements in place.
+        """
+        self._stages[kind].hooks.append(hook)
+
+    def attach_hook_all_stages(
+        self, hook: Callable[[StageKind, PipelineContext], None]
+    ) -> None:
+        """Instrument every stage — "sensors are required to be instrumented
+        across the pipeline" (§IV)."""
+        for kind in STAGE_ORDER:
+            self._stages[kind].hooks.append(hook)
+
+    # -- stage bodies --------------------------------------------------------
+
+    def _collect(self, ctx: PipelineContext) -> None:
+        X, y = self.data_provider()
+        ctx.X_raw = np.asarray(X, dtype=np.float64)
+        ctx.y_raw = np.asarray(y)
+
+    def _clean(self, ctx: PipelineContext) -> None:
+        if ctx.X_raw is None or ctx.y_raw is None:
+            raise RuntimeError("cleaning stage reached without collected data")
+        X = impute_missing(ctx.X_raw, strategy=self.impute_strategy)
+        y = ctx.y_raw
+        if self.deduplicate:
+            X, y = drop_duplicates(X, y)
+        ctx.X_clean, ctx.y_clean = X, y
+
+    def _label(self, ctx: PipelineContext) -> None:
+        if ctx.X_clean is None or ctx.y_clean is None:
+            raise RuntimeError("labeling stage reached without cleaned data")
+        if self.labeler is not None:
+            ctx.y_clean = np.asarray(self.labeler(ctx.X_clean, ctx.y_clean))
+        X_train, X_test, y_train, y_test = train_test_split(
+            ctx.X_clean, ctx.y_clean, test_size=self.test_size, seed=self.seed
+        )
+        ctx.X_train, ctx.X_test = X_train, X_test
+        ctx.y_train, ctx.y_test = y_train, y_test
+
+    def _train(self, ctx: PipelineContext) -> None:
+        if ctx.X_train is None or ctx.y_train is None:
+            raise RuntimeError("training stage reached without labeled data")
+        model = self.model_factory()
+        model.fit(ctx.X_train, ctx.y_train)
+        ctx.model = model
+        ctx.model_version += 1
+
+    def _evaluate(self, ctx: PipelineContext) -> None:
+        if ctx.model is None or ctx.X_test is None or ctx.y_test is None:
+            raise RuntimeError("evaluation stage reached without a trained model")
+        y_pred = ctx.model.predict(ctx.X_test)
+        ctx.evaluation = {
+            "accuracy": accuracy_score(ctx.y_test, y_pred),
+            "precision": precision_score(ctx.y_test, y_pred),
+            "recall": recall_score(ctx.y_test, y_pred),
+            "f1": f1_score(ctx.y_test, y_pred),
+        }
+
+    def _deploy(self, ctx: PipelineContext) -> None:
+        if not ctx.evaluation:
+            raise RuntimeError("deployment stage reached without evaluation")
+        ctx.deployed = True
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, from_stage: StageKind = StageKind.DATA_COLLECTION) -> PipelineContext:
+        """Execute the pipeline from ``from_stage`` to deployment.
+
+        Re-running from an intermediate stage is the human-feedback path of
+        Fig. 4(b): e.g. after label sanitisation an operator restarts from
+        ``LABELING`` without re-collecting data.
+        """
+        start_index = STAGE_ORDER.index(from_stage)
+        for kind in STAGE_ORDER[start_index:]:
+            stage = self._stages[kind]
+            started = time.perf_counter()
+            stage.run(self.context)
+            duration = time.perf_counter() - started
+            self.history.append(
+                StageRecord(
+                    kind=kind,
+                    duration_s=duration,
+                    model_version=self.context.model_version,
+                )
+            )
+            for hook in stage.hooks:
+                hook(kind, self.context)
+        return self.context
+
+    def retrain(self) -> PipelineContext:
+        """Operator action: rebuild the model on the current training data."""
+        return self.run(from_stage=StageKind.TRAINING)
+
+    def update_labeler(
+        self, labeler: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ) -> None:
+        """Operator action: swap the labeling function (e.g. sanitiser)."""
+        self.labeler = labeler
+
+    def swap_model_factory(self, factory: Callable[[], Classifier]) -> None:
+        """Operator action: change the learning algorithm (§VIII tuning)."""
+        self.model_factory = factory
+
+    @property
+    def model(self) -> Optional[Classifier]:
+        """The currently deployed (or last trained) model, if any."""
+        return self.context.model
+
+    def snapshot_model(self) -> Optional[Classifier]:
+        """Return an unfitted clone of the current model's configuration."""
+        if self.context.model is None:
+            return None
+        return clone(self.context.model)

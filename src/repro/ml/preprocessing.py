@@ -1,0 +1,173 @@
+"""Data-preparation utilities for the "data collection & cleaning" stage.
+
+The paper's standard pipeline (Fig. 4a) starts by cleaning and preparing data
+"using common methods to enhance its quality, e.g., missing data, removing
+duplicates"; these helpers implement that stage plus the scaling/encoding the
+models need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-feature standardisation to zero mean and unit variance.
+
+    Constant features are left centred but un-scaled (divisor forced to 1) so
+    transform never divides by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        return X * self.scale_ + self.mean_
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integer codes."""
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, y: np.ndarray) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder used before fit()")
+        y = np.asarray(y)
+        codes = np.searchsorted(self.classes_, y)
+        valid = (codes < len(self.classes_)) & (codes >= 0)
+        if not np.all(valid) or not np.all(self.classes_[codes] == y):
+            unknown = set(np.asarray(y).tolist()) - set(self.classes_.tolist())
+            raise ValueError(f"unknown labels: {sorted(map(str, unknown))}")
+        return codes
+
+    def fit_transform(self, y: np.ndarray) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder used before fit()")
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.classes_)):
+            raise ValueError("codes outside the fitted label range")
+        return self.classes_[codes]
+
+
+def impute_missing(X: np.ndarray, strategy: str = "mean") -> np.ndarray:
+    """Replace NaNs column-wise with the column mean, median or zero.
+
+    Columns that are entirely NaN are filled with zero regardless of strategy.
+    """
+    X = np.array(X, dtype=np.float64, copy=True)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if strategy not in {"mean", "median", "zero"}:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    for j in range(X.shape[1]):
+        col = X[:, j]
+        mask = np.isnan(col)
+        if not mask.any():
+            continue
+        observed = col[~mask]
+        if observed.size == 0 or strategy == "zero":
+            fill = 0.0
+        elif strategy == "mean":
+            fill = float(observed.mean())
+        else:
+            fill = float(np.median(observed))
+        col[mask] = fill
+    return X
+
+
+def drop_duplicates(
+    X: np.ndarray, y: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Remove duplicate rows (first occurrence kept, original order preserved).
+
+    When ``y`` is given, duplicates are keyed on the (row, label) pair so two
+    identical feature rows with different labels are both retained.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    seen = set()
+    keep = []
+    labels = None if y is None else np.asarray(y)
+    for i in range(X.shape[0]):
+        key = X[i].tobytes()
+        if labels is not None:
+            key = (key, labels[i].item() if hasattr(labels[i], "item") else labels[i])
+        if key not in seen:
+            seen.add(key)
+            keep.append(i)
+    keep_idx = np.asarray(keep, dtype=np.int64)
+    if labels is None:
+        return X[keep_idx], None
+    return X[keep_idx], labels[keep_idx]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.25,
+    stratify: bool = True,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split into train/test, stratified per class by default.
+
+    Stratification guarantees every class with at least two samples appears in
+    both splits, which the heavily skewed network-traffic dataset (304/34/44)
+    needs to stay evaluable.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y disagree on sample count")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    test_mask = np.zeros(X.shape[0], dtype=bool)
+    if stratify:
+        for label in np.unique(y):
+            idx = np.flatnonzero(y == label)
+            rng.shuffle(idx)
+            n_test = int(round(len(idx) * test_size))
+            if len(idx) >= 2:
+                n_test = min(max(n_test, 1), len(idx) - 1)
+            test_mask[idx[:n_test]] = True
+    else:
+        idx = rng.permutation(X.shape[0])
+        n_test = max(1, int(round(X.shape[0] * test_size)))
+        test_mask[idx[:n_test]] = True
+    train_mask = ~test_mask
+    return X[train_mask], X[test_mask], y[train_mask], y[test_mask]

@@ -1,0 +1,188 @@
+"""Model persistence: save/load fitted classifiers without pickle.
+
+Deployments need to move models between the training pipeline and the
+serving side (and auditors need artifacts they can archive); this module
+serialises every supported model family to a single ``.npz`` file with a
+JSON header — no arbitrary-code-execution surface, unlike pickle.
+
+Supported: :class:`LogisticRegressionClassifier`, :class:`MLPClassifier`
+/ :class:`DNNClassifier`, :class:`DecisionTreeClassifier`,
+:class:`RandomForestClassifier`, :class:`GradientBoostedTreesClassifier`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbdt import GradientBoostedTreesClassifier
+from repro.ml.linear import LogisticRegressionClassifier
+from repro.ml.model import Classifier
+from repro.ml.neural import DNNClassifier, MLPClassifier
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, _Node
+
+_SUPPORTED = {
+    "LogisticRegressionClassifier": LogisticRegressionClassifier,
+    "MLPClassifier": MLPClassifier,
+    "DNNClassifier": DNNClassifier,
+    "DecisionTreeClassifier": DecisionTreeClassifier,
+    "RandomForestClassifier": RandomForestClassifier,
+    "GradientBoostedTreesClassifier": GradientBoostedTreesClassifier,
+}
+
+
+def _nodes_to_arrays(nodes) -> dict:
+    """Flatten a tree's node list into parallel arrays."""
+    n = len(nodes)
+    features = np.array([node.feature for node in nodes], dtype=np.int64)
+    thresholds = np.array([node.threshold for node in nodes])
+    lefts = np.array([node.left for node in nodes], dtype=np.int64)
+    rights = np.array([node.right for node in nodes], dtype=np.int64)
+    counts = np.array([node.n_samples for node in nodes], dtype=np.int64)
+    width = max((len(node.value) for node in nodes), default=0)
+    values = np.zeros((n, width))
+    for i, node in enumerate(nodes):
+        values[i, : len(node.value)] = node.value
+    return {
+        "features": features,
+        "thresholds": thresholds,
+        "lefts": lefts,
+        "rights": rights,
+        "counts": counts,
+        "values": values,
+    }
+
+
+def _arrays_to_nodes(arrays: dict, value_width: int):
+    nodes = []
+    for i in range(len(arrays["features"])):
+        nodes.append(
+            _Node(
+                feature=int(arrays["features"][i]),
+                threshold=float(arrays["thresholds"][i]),
+                left=int(arrays["lefts"][i]),
+                right=int(arrays["rights"][i]),
+                value=np.array(arrays["values"][i][:value_width]),
+                n_samples=int(arrays["counts"][i]),
+            )
+        )
+    return nodes
+
+
+def _tree_payload(prefix: str, tree, payload: dict) -> None:
+    arrays = _nodes_to_arrays(tree.nodes_)
+    for key, value in arrays.items():
+        payload[f"{prefix}{key}"] = value
+
+
+def _load_tree_arrays(prefix: str, data) -> dict:
+    return {
+        key: data[f"{prefix}{key}"]
+        for key in ("features", "thresholds", "lefts", "rights", "counts", "values")
+    }
+
+
+def save_model(model: Classifier, path: Union[str, Path]) -> None:
+    """Serialise a fitted model to ``path`` (``.npz``)."""
+    name = type(model).__name__
+    if name not in _SUPPORTED:
+        raise TypeError(f"unsupported model type {name}")
+    if not model.is_fitted:
+        raise ValueError("cannot save an unfitted model")
+    payload: dict = {"classes": model.classes_}
+    header = {"type": name, "params": _jsonable(model.get_params())}
+
+    if isinstance(model, (MLPClassifier, DNNClassifier)):
+        for i, (W, b) in enumerate(zip(model.weights_, model.biases_)):
+            payload[f"W{i}"] = W
+            payload[f"b{i}"] = b
+        header["n_layers"] = len(model.weights_)
+    elif isinstance(model, LogisticRegressionClassifier):
+        payload["weights"] = model.weights_
+        payload["bias"] = model.bias_
+    elif isinstance(model, DecisionTreeClassifier):
+        _tree_payload("tree_", model, payload)
+        header["n_features"] = model.n_features_
+    elif isinstance(model, RandomForestClassifier):
+        header["n_trees"] = len(model.trees_)
+        header["n_features"] = model.trees_[0].n_features_
+        for t, tree in enumerate(model.trees_):
+            _tree_payload(f"t{t}_", tree, payload)
+            payload[f"t{t}_classes"] = tree.classes_
+    elif isinstance(model, GradientBoostedTreesClassifier):
+        header["n_rounds"] = len(model.trees_)
+        header["n_classes"] = len(model.classes_)
+        payload["base_score"] = model.base_score_
+        for r, round_trees in enumerate(model.trees_):
+            for c, tree in enumerate(round_trees):
+                _tree_payload(f"r{r}c{c}_", tree, payload)
+    payload["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **payload)
+
+
+def _jsonable(params: dict) -> dict:
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, (list, tuple)):
+            out[key] = list(value)
+        elif isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+        # non-JSON params (callables etc.) are dropped; defaults apply on load
+    return out
+
+
+def load_model(path: Union[str, Path]) -> Classifier:
+    """Load a model saved by :func:`save_model`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        header = json.loads(bytes(data["__header__"].tobytes()).decode("utf-8"))
+        name = header["type"]
+        if name not in _SUPPORTED:
+            raise TypeError(f"unsupported model type {name}")
+        params = header.get("params", {})
+        if "hidden_layers" in params:
+            params["hidden_layers"] = tuple(params["hidden_layers"])
+        model = _SUPPORTED[name](**params)
+        classes = data["classes"]
+
+        if isinstance(model, (MLPClassifier, DNNClassifier)):
+            model.classes_ = classes
+            model.weights_ = [data[f"W{i}"] for i in range(header["n_layers"])]
+            model.biases_ = [data[f"b{i}"] for i in range(header["n_layers"])]
+        elif isinstance(model, LogisticRegressionClassifier):
+            model.classes_ = classes
+            model.weights_ = data["weights"]
+            model.bias_ = data["bias"]
+        elif isinstance(model, DecisionTreeClassifier):
+            model.classes_ = classes
+            model.n_features_ = header["n_features"]
+            arrays = _load_tree_arrays("tree_", data)
+            model.nodes_ = _arrays_to_nodes(arrays, len(classes))
+        elif isinstance(model, RandomForestClassifier):
+            model.classes_ = classes
+            model.trees_ = []
+            for t in range(header["n_trees"]):
+                tree = DecisionTreeClassifier()
+                tree.classes_ = data[f"t{t}_classes"]
+                tree.n_features_ = header["n_features"]
+                arrays = _load_tree_arrays(f"t{t}_", data)
+                tree.nodes_ = _arrays_to_nodes(arrays, len(tree.classes_))
+                model.trees_.append(tree)
+        elif isinstance(model, GradientBoostedTreesClassifier):
+            model.classes_ = classes
+            model.base_score_ = data["base_score"]
+            model.trees_ = []
+            for r in range(header["n_rounds"]):
+                round_trees = []
+                for c in range(header["n_classes"]):
+                    tree = DecisionTreeRegressor()
+                    arrays = _load_tree_arrays(f"r{r}c{c}_", data)
+                    tree.nodes_ = _arrays_to_nodes(arrays, 1)
+                    round_trees.append(tree)
+                model.trees_.append(round_trees)
+        return model

@@ -1,0 +1,114 @@
+"""Linear support vector machine (hinge loss, one-vs-rest).
+
+§III names SVM among the algorithms a pipeline may select ("e.g., Random
+Forrest, Support Vector Machine"), and Fig. 1 carries an SVM row in the
+attack taxonomy (evasion by James et al., poisoning defences by
+Weerasinghe et al.).  This implementation is a primal linear SVM trained
+with sub-gradient descent on the hinge loss plus L2 regularisation, wrapped
+one-vs-rest for multi-class problems.  Probabilities come from a softmax
+over margins (Platt-style calibration is overkill for the sensor use).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.linear import softmax
+from repro.ml.model import Classifier, check_Xy, encode_labels
+
+
+class SVMClassifier(Classifier):
+    """One-vs-rest linear SVM.
+
+    Parameters
+    ----------
+    learning_rate:
+        Sub-gradient step size (decayed as 1/sqrt(t)).
+    n_epochs:
+        Passes over the training data.
+    c:
+        Inverse regularisation strength (larger = harder margin).
+    batch_size:
+        Mini-batch size for the sub-gradient steps.
+    seed:
+        RNG seed for shuffling and initialisation.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        n_epochs: int = 40,
+        c: float = 1.0,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self._record_params(locals())
+        if learning_rate <= 0 or n_epochs <= 0 or c <= 0:
+            raise ValueError("learning_rate, n_epochs and c must be positive")
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.c = c
+        self.batch_size = batch_size
+        self.seed = seed
+        self.weights_: Optional[np.ndarray] = None  # (n_features, n_classes)
+        self.bias_: Optional[np.ndarray] = None
+        self.classes_ = np.empty(0)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SVMClassifier":
+        X, y = check_Xy(X, y)
+        self.classes_, y_idx = encode_labels(y)
+        n_samples, n_features = X.shape
+        n_classes = len(self.classes_)
+        # one-vs-rest targets in {-1, +1}
+        targets = -np.ones((n_samples, n_classes))
+        targets[np.arange(n_samples), y_idx] = 1.0
+        rng = np.random.default_rng(self.seed)
+        self.weights_ = rng.normal(0.0, 0.01, size=(n_features, n_classes))
+        self.bias_ = np.zeros(n_classes)
+        lam = 1.0 / (self.c * n_samples)
+        batch = min(max(1, self.batch_size), n_samples)
+        step = 0
+        for __ in range(self.n_epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                idx = order[start : start + batch]
+                step += 1
+                eta = self.learning_rate / np.sqrt(step)
+                margins = (X[idx] @ self.weights_ + self.bias_) * targets[idx]
+                violating = margins < 1.0  # hinge active
+                # sub-gradient: -y*x on violators, plus L2 on weights
+                grad_w = lam * self.weights_ - (
+                    X[idx].T @ (targets[idx] * violating)
+                ) / len(idx)
+                grad_b = -(targets[idx] * violating).mean(axis=0)
+                self.weights_ -= eta * grad_w
+                self.bias_ -= eta * grad_b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Per-class margins (one-vs-rest)."""
+        if self.weights_ is None or self.bias_ is None:
+            raise RuntimeError("model used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        return X @ self.weights_ + self.bias_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return softmax(self.decision_function(X))
+
+    def input_gradient(self, x: np.ndarray, target_class: int) -> np.ndarray:
+        """Gradient of the softmax-margin cross-entropy w.r.t. one input —
+        linear SVMs are white-box evadable too (Fig. 1's SVM row)."""
+        if self.weights_ is None:
+            raise RuntimeError("model used before fit()")
+        x = np.asarray(x, dtype=np.float64).reshape(1, -1)
+        probs = softmax(self.decision_function(x))[0]
+        grad_margin = probs.copy()
+        grad_margin[target_class] -= 1.0
+        return self.weights_ @ grad_margin
+
+    @property
+    def support_fraction(self) -> Optional[float]:
+        """Not tracked for the primal solver; present for API clarity."""
+        return None

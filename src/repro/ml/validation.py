@@ -1,0 +1,86 @@
+"""Model evaluation helpers: k-fold cross-validation and stratified splits.
+
+The paper's standard pipeline evaluates models "e.g., using cross-validation";
+these utilities implement that evaluation stage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.metrics import accuracy_score
+from repro.ml.model import Classifier, clone
+
+
+class KFold:
+    """Deterministic k-fold splitter with optional shuffling."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_idx, test_idx) pairs covering every sample once."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test_idx = indices[start : start + size]
+            train_idx = np.concatenate([indices[:start], indices[start + size :]])
+            yield train_idx, test_idx
+            start += size
+
+
+def cross_val_score(
+    model: Classifier,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    scorer: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
+    seed: int = 0,
+) -> List[float]:
+    """Fit a fresh clone per fold and return the per-fold scores."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scorer = scorer or accuracy_score
+    scores = []
+    for train_idx, test_idx in KFold(n_splits, seed=seed).split(X.shape[0]):
+        fold_model = clone(model)
+        fold_model.fit(X[train_idx], y[train_idx])
+        scores.append(float(scorer(y[test_idx], fold_model.predict(X[test_idx]))))
+    return scores
+
+
+def stratified_split(
+    y: np.ndarray, test_size: float = 0.25, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (train_idx, test_idx) with per-class proportional sampling."""
+    y = np.asarray(y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    test_parts = []
+    for label in np.unique(y):
+        idx = np.flatnonzero(y == label)
+        rng.shuffle(idx)
+        n_test = int(round(len(idx) * test_size))
+        if len(idx) >= 2:
+            n_test = min(max(n_test, 1), len(idx) - 1)
+        test_parts.append(idx[:n_test])
+    test_idx = np.sort(np.concatenate(test_parts))
+    mask = np.ones(len(y), dtype=bool)
+    mask[test_idx] = False
+    return np.flatnonzero(mask), test_idx

@@ -1,0 +1,33 @@
+"""Privacy-preserving data substrate (§VIII "Privacy-preserving data and
+computations").
+
+"Regulatory guidelines in the use of data, e.g., EU GDPR, forbid the
+inclusion of private and sensitive data … Thus, data is required to be
+obfuscated before it can be used within the AI pipelines.  Existing
+solutions … include differential privacy and data anonymity techniques.
+However, data removal degrades the decision making process performance."
+
+This package provides both families — differential-privacy mechanisms and
+k-anonymous generalisation — plus the membership-inference risk metric the
+privacy sensor reports, so the accuracy-vs-privacy trade-off the paper
+describes is measurable end to end (see the privacy ablation bench).
+"""
+
+from repro.privacy.mechanisms import (
+    gaussian_mechanism,
+    laplace_mechanism,
+    randomized_response,
+)
+from repro.privacy.dp_data import privatize_dataset
+from repro.privacy.anonymize import k_anonymize, smallest_group_size
+from repro.privacy.membership import membership_inference_risk
+
+__all__ = [
+    "gaussian_mechanism",
+    "k_anonymize",
+    "laplace_mechanism",
+    "membership_inference_risk",
+    "privatize_dataset",
+    "randomized_response",
+    "smallest_group_size",
+]

@@ -1,0 +1,64 @@
+"""k-anonymity by quantile generalisation.
+
+The second obfuscation family §VIII names ("data anonymity techniques"):
+continuous features are generalised into quantile bins (each value replaced
+by its bin midpoint) and the binning is coarsened until every combination
+of generalised values — every equivalence class — contains at least ``k``
+rows, so no record is distinguishable from k−1 others.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Tuple
+
+import numpy as np
+
+
+def _generalize(X: np.ndarray, n_bins: int) -> np.ndarray:
+    """Replace each value with the midpoint of its per-feature quantile bin."""
+    out = np.empty_like(X)
+    for j in range(X.shape[1]):
+        column = X[:, j]
+        edges = np.unique(np.quantile(column, np.linspace(0, 1, n_bins + 1)))
+        if len(edges) <= 2:
+            out[:, j] = column.mean()
+            continue
+        assignment = np.clip(
+            np.searchsorted(edges, column, side="right") - 1,
+            0,
+            len(edges) - 2,
+        )
+        midpoints = 0.5 * (edges[:-1] + edges[1:])
+        out[:, j] = midpoints[assignment]
+    return out
+
+
+def smallest_group_size(X: np.ndarray) -> int:
+    """Size of the smallest equivalence class (rows with identical values)."""
+    X = np.asarray(X, dtype=np.float64)
+    counts = Counter(row.tobytes() for row in X)
+    return min(counts.values())
+
+
+def k_anonymize(
+    X: np.ndarray, k: int, max_bins: int = 32
+) -> Tuple[np.ndarray, int]:
+    """Generalise ``X`` until every equivalence class has ≥ k rows.
+
+    Starts from ``max_bins`` quantile bins per feature and halves the bin
+    count until the k-anonymity constraint holds (1 bin per feature — every
+    row identical — always satisfies it for k ≤ n).  Returns the
+    generalised matrix and the bin count used.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[0] == 0:
+        raise ValueError("X must be a non-empty 2-D array")
+    if not 1 <= k <= X.shape[0]:
+        raise ValueError(f"k must be in [1, {X.shape[0]}]")
+    n_bins = max(1, max_bins)
+    while True:
+        generalized = _generalize(X, n_bins)
+        if smallest_group_size(generalized) >= k or n_bins == 1:
+            return generalized, n_bins
+        n_bins = max(1, n_bins // 2)

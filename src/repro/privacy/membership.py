@@ -1,0 +1,43 @@
+"""Membership-inference risk: the confidentiality metric behind the
+privacy sensor.
+
+§IV's confidentiality definition covers "ensuring that its output
+predictions do not leak information that can be used to … reconstruct its
+training data"; the standard test is the confidence-threshold membership
+attack (Shokri et al. / Yeom et al.): an overfit model is systematically
+more confident on rows it trained on.  The risk score is the attacker's
+*advantage* — how much better than coin-flipping they distinguish members
+from non-members at the best confidence threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.model import Classifier
+
+
+def membership_inference_risk(
+    model: Classifier,
+    X_members: np.ndarray,
+    X_non_members: np.ndarray,
+) -> float:
+    """Best-threshold membership advantage in [0, 1].
+
+    0 means predictions leak nothing about membership (TPR = FPR at every
+    threshold); values approaching 1 mean members are near-perfectly
+    identifiable from prediction confidence — a confidentiality breach.
+    """
+    X_members = np.asarray(X_members, dtype=np.float64)
+    X_non_members = np.asarray(X_non_members, dtype=np.float64)
+    if X_members.shape[0] == 0 or X_non_members.shape[0] == 0:
+        raise ValueError("need non-empty member and non-member sets")
+    member_conf = model.predict_proba(X_members).max(axis=1)
+    outsider_conf = model.predict_proba(X_non_members).max(axis=1)
+    thresholds = np.unique(np.concatenate([member_conf, outsider_conf]))
+    best = 0.0
+    for threshold in thresholds:
+        tpr = float(np.mean(member_conf >= threshold))
+        fpr = float(np.mean(outsider_conf >= threshold))
+        best = max(best, tpr - fpr)
+    return best

@@ -1,0 +1,44 @@
+"""Trustworthy-AI metrics: what the AI sensors actually measure.
+
+Resilience (impact & complexity) quantifies "the ability of models to resist
+and recover from an exploited machine learning vulnerability"; fairness and
+performance metrics cover the remaining sensor types; the trust score
+aggregates per-property readings into the single figure §VIII's
+standardisation discussion asks for (with its caveats preserved).
+"""
+
+from repro.trust.resilience import (
+    ResilienceReport,
+    evasion_resilience,
+    poisoning_resilience,
+)
+from repro.trust.properties import (
+    PROPERTY_TRADEOFFS,
+    TrustProperty,
+    conflicting_properties,
+    tradeoff_between,
+)
+from repro.trust.fairness import (
+    demographic_parity_difference,
+    disparate_impact_ratio,
+    equal_opportunity_difference,
+)
+from repro.trust.score import TrustScore, aggregate_trust_score
+from repro.trust.negotiation import NegotiationOutcome, negotiate_weights
+
+__all__ = [
+    "NegotiationOutcome",
+    "PROPERTY_TRADEOFFS",
+    "ResilienceReport",
+    "TrustProperty",
+    "TrustScore",
+    "aggregate_trust_score",
+    "conflicting_properties",
+    "demographic_parity_difference",
+    "disparate_impact_ratio",
+    "equal_opportunity_difference",
+    "evasion_resilience",
+    "negotiate_weights",
+    "poisoning_resilience",
+    "tradeoff_between",
+]

@@ -1,0 +1,73 @@
+"""Group-fairness metrics for the fairness AI sensor.
+
+§IV names fairness as an instrumentable sensor ("a sensor for fairness can
+be instrumented to analyze raw input data as well as to characterize
+fairness in decision making after model deployment") and §VIII sketches the
+loan-application example (equitable vs procedural fairness).  These are the
+standard group metrics such a sensor computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _group_masks(sensitive: np.ndarray):
+    sensitive = np.asarray(sensitive)
+    groups = np.unique(sensitive)
+    if len(groups) != 2:
+        raise ValueError(
+            f"binary-group metrics need exactly 2 groups, found {len(groups)}"
+        )
+    return sensitive == groups[0], sensitive == groups[1]
+
+
+def demographic_parity_difference(
+    y_pred: np.ndarray, sensitive: np.ndarray, positive_label=1
+) -> float:
+    """|P(ŷ=+ | group A) − P(ŷ=+ | group B)|; 0 is perfectly parity-fair."""
+    y_pred = np.asarray(y_pred)
+    mask_a, mask_b = _group_masks(sensitive)
+    if not mask_a.any() or not mask_b.any():
+        raise ValueError("both groups must be non-empty")
+    rate_a = float(np.mean(y_pred[mask_a] == positive_label))
+    rate_b = float(np.mean(y_pred[mask_b] == positive_label))
+    return abs(rate_a - rate_b)
+
+
+def disparate_impact_ratio(
+    y_pred: np.ndarray, sensitive: np.ndarray, positive_label=1
+) -> float:
+    """min(rate_a/rate_b, rate_b/rate_a); 1 is fair, <0.8 fails the 4/5 rule.
+
+    Returns 0.0 when one group receives no positive predictions at all while
+    the other does, and 1.0 when neither group receives any.
+    """
+    y_pred = np.asarray(y_pred)
+    mask_a, mask_b = _group_masks(sensitive)
+    rate_a = float(np.mean(y_pred[mask_a] == positive_label))
+    rate_b = float(np.mean(y_pred[mask_b] == positive_label))
+    if rate_a == 0.0 and rate_b == 0.0:
+        return 1.0
+    if rate_a == 0.0 or rate_b == 0.0:
+        return 0.0
+    return min(rate_a / rate_b, rate_b / rate_a)
+
+
+def equal_opportunity_difference(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    sensitive: np.ndarray,
+    positive_label=1,
+) -> float:
+    """|TPR(group A) − TPR(group B)| among truly-positive samples."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    mask_a, mask_b = _group_masks(sensitive)
+    tprs = []
+    for mask in (mask_a, mask_b):
+        positives = mask & (y_true == positive_label)
+        if not positives.any():
+            raise ValueError("a group has no positive ground-truth samples")
+        tprs.append(float(np.mean(y_pred[positives] == positive_label)))
+    return abs(tprs[0] - tprs[1])

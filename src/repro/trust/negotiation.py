@@ -1,0 +1,115 @@
+"""Adaptive trustworthiness: negotiating between conflicting properties.
+
+§IX ("Adaptive trustworthiness"): "As these properties can be considered
+trade-offs, it is possible to establish interactions and negotiations
+between AI sensors to obtain a balance level of trust (similar to
+AI-Chatbot negotiations)."
+
+The negotiator takes the current per-property readings plus operator
+priorities, and searches for a weight allocation that (a) maximises the
+weighted trust score, (b) respects per-property minimum weights implied by
+the priorities, and (c) surfaces every documented trade-off the proposal
+leans on, so the human operator approves with the conflicts visible — the
+paper's human-oversight requirement applied to the tuning loop itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.trust.properties import PROPERTY_TRADEOFFS, TrustProperty
+from repro.trust.score import TrustScore, aggregate_trust_score
+
+
+@dataclass
+class NegotiationOutcome:
+    """A weight proposal plus everything an operator needs to judge it."""
+
+    weights: Dict[TrustProperty, float]
+    score: TrustScore
+    conflicts: List[Tuple[TrustProperty, TrustProperty, str]] = field(
+        default_factory=list
+    )
+    notes: List[str] = field(default_factory=list)
+
+
+def negotiate_weights(
+    readings: Dict[TrustProperty, float],
+    priorities: Optional[Dict[TrustProperty, float]] = None,
+    emphasis: float = 2.0,
+) -> NegotiationOutcome:
+    """Propose a weighting of the measured properties.
+
+    Parameters
+    ----------
+    readings:
+        Property → normalised score in [0, 1] (from the dashboard).
+    priorities:
+        Property → operator priority ≥ 0 (unlisted properties get 1.0).
+        Priorities scale each property's weight *floor*: negotiation may
+        raise a property's weight above its floor, never below, so operator
+        intent is a hard constraint.
+    emphasis:
+        How strongly the negotiator shifts residual weight toward the
+        best-performing properties (1.0 = no shift, just the floors).
+
+    The proposal allocates the priority floors first (half the mass), then
+    distributes the rest proportionally to ``reading ** emphasis`` — the
+    "balance level of trust" heuristic: lean on what is currently strong
+    while every prioritised property keeps guaranteed representation.
+    """
+    if not readings:
+        raise ValueError("cannot negotiate over an empty reading set")
+    if emphasis < 1.0:
+        raise ValueError("emphasis must be >= 1.0")
+    priorities = dict(priorities or {})
+    unknown = set(priorities) - set(readings)
+    if unknown:
+        raise ValueError(
+            "priorities reference unmeasured properties: "
+            f"{sorted(p.value for p in unknown)}"
+        )
+    if any(v < 0 for v in priorities.values()):
+        raise ValueError("priorities must be non-negative")
+
+    floors = {p: priorities.get(p, 1.0) for p in readings}
+    floor_total = sum(floors.values())
+    if floor_total <= 0:
+        raise ValueError("at least one priority must be positive")
+
+    performance = {p: max(readings[p], 1e-6) ** emphasis for p in readings}
+    perf_total = sum(performance.values())
+
+    weights = {}
+    for prop in readings:
+        floor_share = 0.5 * floors[prop] / floor_total
+        perf_share = 0.5 * performance[prop] / perf_total
+        weights[prop] = floor_share + perf_share
+
+    score = aggregate_trust_score(readings, weights)
+
+    conflicts = []
+    notes = []
+    emphasized = {
+        p for p, w in weights.items() if w > 1.0 / len(weights) + 1e-9
+    }
+    for first, second, why in PROPERTY_TRADEOFFS:
+        if first in emphasized and second in readings:
+            conflicts.append((first, second, why))
+        elif second in emphasized and first in readings:
+            conflicts.append((second, first, why))
+    for favored, pressured, __ in conflicts:
+        notes.append(
+            f"emphasising {favored.value} is documented to pressure "
+            f"{pressured.value}; monitor its sensor after applying"
+        )
+    weak = score.weakest_property()
+    if weak is not None and readings[weak] < 0.6:
+        notes.append(
+            f"{weak.value} is weak ({readings[weak]:.2f}); consider a "
+            "corrective operator action before re-weighting"
+        )
+    return NegotiationOutcome(
+        weights=weights, score=score, conflicts=conflicts, notes=notes
+    )

@@ -1,0 +1,122 @@
+"""Trustworthy-property model and the §IV trade-off matrix.
+
+"Trustworthy AI is valid, reliable, safe, fair, free of biases, secure,
+robust, resilient, privacy-preserving, accountable, transparent, explainable,
+and interpretable" (§I).  §IV adds that properties "can be considered as
+trade-offs within applications … e.g., robustness vs privacy, accuracy vs
+fairness, transparency vs security."  This module gives each property a
+first-class identity and encodes the documented tensions so the dashboard
+can warn operators when tuning one property is likely to degrade another.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, List, Tuple
+
+
+class TrustProperty(enum.Enum):
+    """The trustworthy properties SPATIAL's sensors can quantify."""
+
+    VALIDITY = "validity"
+    RELIABILITY = "reliability"
+    SAFETY = "safety"
+    FAIRNESS = "fairness"
+    SECURITY = "security"
+    ROBUSTNESS = "robustness"
+    RESILIENCE = "resilience"
+    PRIVACY = "privacy"
+    ACCOUNTABILITY = "accountability"
+    TRANSPARENCY = "transparency"
+    EXPLAINABILITY = "explainability"
+    INTERPRETABILITY = "interpretability"
+    ACCURACY = "accuracy"
+
+
+#: Documented tensions (§IV plus the Wang 2023 trade-off analysis the paper
+#: cites): raising the first property tends to pressure the second.
+PROPERTY_TRADEOFFS: Tuple[Tuple[TrustProperty, TrustProperty, str], ...] = (
+    (
+        TrustProperty.ROBUSTNESS,
+        TrustProperty.PRIVACY,
+        "adversarial training memorises more of the data distribution, "
+        "enlarging membership-inference surface",
+    ),
+    (
+        TrustProperty.ACCURACY,
+        TrustProperty.FAIRNESS,
+        "optimising raw accuracy exploits correlations with protected "
+        "attributes that fairness constraints must suppress",
+    ),
+    (
+        TrustProperty.TRANSPARENCY,
+        TrustProperty.SECURITY,
+        "publishing model logic (explanations, cards) lowers the cost of "
+        "crafting evasion inputs and stealing the model",
+    ),
+    (
+        TrustProperty.EXPLAINABILITY,
+        TrustProperty.PRIVACY,
+        "faithful explanations can leak training-data characteristics",
+    ),
+    (
+        TrustProperty.PRIVACY,
+        TrustProperty.ACCURACY,
+        "data removal/obfuscation degrades the decision-making performance "
+        "(§VIII privacy-preserving computations)",
+    ),
+    (
+        TrustProperty.RESILIENCE,
+        TrustProperty.ACCURACY,
+        "defensive smoothing and sanitisation trade clean-data performance "
+        "for attack tolerance",
+    ),
+)
+
+
+def tradeoff_between(a: TrustProperty, b: TrustProperty) -> str:
+    """Return the documented tension between two properties.
+
+    Raises ``KeyError`` when no trade-off is documented for the pair.
+    """
+    for first, second, why in PROPERTY_TRADEOFFS:
+        if {first, second} == {a, b}:
+            return why
+    raise KeyError(f"no documented trade-off between {a.value} and {b.value}")
+
+
+def conflicting_properties(prop: TrustProperty) -> List[TrustProperty]:
+    """Properties in documented tension with ``prop``."""
+    out = []
+    for first, second, __ in PROPERTY_TRADEOFFS:
+        if prop is first:
+            out.append(second)
+        elif prop is second:
+            out.append(first)
+    return out
+
+
+def property_catalog() -> Dict[str, FrozenSet[TrustProperty]]:
+    """Split the catalogue into technical vs socio-technical groups (§VIII)."""
+    technical = frozenset(
+        {
+            TrustProperty.VALIDITY,
+            TrustProperty.ACCURACY,
+            TrustProperty.RELIABILITY,
+            TrustProperty.ROBUSTNESS,
+            TrustProperty.RESILIENCE,
+            TrustProperty.SECURITY,
+        }
+    )
+    socio_technical = frozenset(
+        {
+            TrustProperty.EXPLAINABILITY,
+            TrustProperty.INTERPRETABILITY,
+            TrustProperty.FAIRNESS,
+            TrustProperty.PRIVACY,
+            TrustProperty.SAFETY,
+            TrustProperty.ACCOUNTABILITY,
+            TrustProperty.TRANSPARENCY,
+        }
+    )
+    return {"technical": technical, "socio_technical": socio_technical}

@@ -1,0 +1,123 @@
+"""Resilience metrics: impact and complexity (§V, use case 2, Fig. 7c/d).
+
+The paper estimates resilience with two complementary quantities:
+
+* **complexity** — "the effort required by an attacker to achieve a
+  successful attack": for evasion, "the processing power required to
+  generate evasion data points" (reported in µs/sample, constant ≈ 37.86 µs
+  because generation happens once on the NN); for poisoning, "the
+  percentage of data that is poisoned out of all the data used for
+  training".
+* **impact** — "the extent of the attack's effect on the AI models": for
+  evasion, "counting each successful misclassification gained through those
+  evasion data points"; for poisoning, "the drifts in any performance metric
+  of the model, e.g., accuracy, F1-score".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ml.model import Classifier
+
+
+@dataclass
+class ResilienceReport:
+    """Impact/complexity pair plus bookkeeping for the dashboard.
+
+    ``impact`` is a fraction in [0, 1] (higher = more vulnerable).
+    ``complexity`` units depend on ``kind``: µs/sample for evasion,
+    poisoned-fraction for poisoning (higher = harder for the attacker).
+    """
+
+    kind: str
+    impact: float
+    complexity: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def impact_percent(self) -> float:
+        """Impact as a percentage, the unit the paper reports."""
+        return 100.0 * self.impact
+
+
+def evasion_resilience(
+    model: Classifier,
+    X_clean: np.ndarray,
+    X_adversarial: np.ndarray,
+    y_true: np.ndarray,
+    generation_cost_seconds: float,
+) -> ResilienceReport:
+    """Resilience of ``model`` against a pre-generated evasion set.
+
+    Impact counts *successful* misclassifications: adversarial rows that the
+    model gets wrong while it got the clean counterpart right.  Complexity
+    is the per-sample generation cost in µs — constant across victim models
+    when the set was generated once on a surrogate, reproducing the paper's
+    constant ≈ 37.86 µs.
+    """
+    X_clean = np.asarray(X_clean, dtype=np.float64)
+    X_adversarial = np.asarray(X_adversarial, dtype=np.float64)
+    y_true = np.asarray(y_true)
+    if X_clean.shape != X_adversarial.shape:
+        raise ValueError("clean and adversarial sets must align row-for-row")
+    if X_clean.shape[0] != y_true.shape[0]:
+        raise ValueError("labels must align with the sample rows")
+    if X_clean.shape[0] == 0:
+        raise ValueError("cannot assess resilience on an empty set")
+
+    clean_pred = model.predict(X_clean)
+    adv_pred = model.predict(X_adversarial)
+    clean_correct = clean_pred == y_true
+    flipped = clean_correct & (adv_pred != y_true)
+    impact = float(flipped.sum()) / X_clean.shape[0]
+    per_sample_us = 1e6 * generation_cost_seconds / X_clean.shape[0]
+    return ResilienceReport(
+        kind="evasion",
+        impact=impact,
+        complexity=per_sample_us,
+        details={
+            "n_samples": float(X_clean.shape[0]),
+            "n_successful": float(flipped.sum()),
+            "clean_accuracy": float(clean_correct.mean()),
+            "adversarial_accuracy": float(np.mean(adv_pred == y_true)),
+        },
+    )
+
+
+def poisoning_resilience(
+    baseline_metrics: Dict[str, float],
+    poisoned_metrics: Dict[str, float],
+    poison_fraction: float,
+    metric: str = "accuracy",
+    extra: Optional[Dict[str, float]] = None,
+) -> ResilienceReport:
+    """Resilience against a poisoning attack, from before/after metrics.
+
+    Impact is the drift (drop) of the chosen performance metric, clipped to
+    [0, 1]; complexity is the fraction of training data the attacker had to
+    poison — the higher it is, the more effort a given impact required.
+    """
+    if metric not in baseline_metrics or metric not in poisoned_metrics:
+        raise KeyError(f"metric {metric!r} missing from the metric snapshots")
+    if not 0.0 <= poison_fraction <= 1.0:
+        raise ValueError("poison_fraction must be in [0, 1]")
+    drift = baseline_metrics[metric] - poisoned_metrics[metric]
+    impact = float(np.clip(drift, 0.0, 1.0))
+    details = {
+        "baseline": float(baseline_metrics[metric]),
+        "poisoned": float(poisoned_metrics[metric]),
+        "drift": float(drift),
+        "metric_is_" + metric: 1.0,
+    }
+    if extra:
+        details.update(extra)
+    return ResilienceReport(
+        kind="poisoning",
+        impact=impact,
+        complexity=poison_fraction,
+        details=details,
+    )

@@ -1,0 +1,82 @@
+"""Trust-score aggregation across property readings.
+
+§VIII ("AI trust score and AI sensors") calls producing "a coherent and
+comparable trust score from measurements obtained by AI sensors" a key open
+challenge, and criticises prior work for "considering all homogeneous
+properties".  This module implements the pragmatic version SPATIAL can
+offer today: per-property normalised scores combined under explicit,
+application-chosen weights — with the heterogeneity made visible instead of
+hidden (per-property breakdown always ships with the scalar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.trust.properties import TrustProperty
+
+
+@dataclass
+class TrustScore:
+    """A scalar trust score plus its full per-property decomposition."""
+
+    value: float
+    per_property: Dict[TrustProperty, float] = field(default_factory=dict)
+    weights: Dict[TrustProperty, float] = field(default_factory=dict)
+
+    def weakest_property(self) -> Optional[TrustProperty]:
+        """The property dragging the score down the most (None if empty)."""
+        if not self.per_property:
+            return None
+        return min(self.per_property, key=self.per_property.get)
+
+
+def aggregate_trust_score(
+    readings: Dict[TrustProperty, float],
+    weights: Optional[Dict[TrustProperty, float]] = None,
+) -> TrustScore:
+    """Combine normalised per-property readings into one score.
+
+    Parameters
+    ----------
+    readings:
+        Property → score in [0, 1] (1 = fully trustworthy on that axis).
+        Callers normalise their raw metrics first — e.g. resilience impact
+        ``i`` becomes ``1 - i``, a fairness difference ``d`` becomes
+        ``1 - d``.
+    weights:
+        Property → non-negative weight; defaults to uniform.  Properties
+        present in ``weights`` but missing from ``readings`` raise, because
+        silently scoring an unmeasured property is exactly the
+        homogeneity mistake §VIII warns about.
+    """
+    if not readings:
+        raise ValueError("cannot aggregate an empty set of readings")
+    for prop, value in readings.items():
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(
+                f"reading for {prop.value} must be in [0, 1], got {value}"
+            )
+    if weights is None:
+        weights = {prop: 1.0 for prop in readings}
+    missing = set(weights) - set(readings)
+    if missing:
+        raise ValueError(
+            "weighted properties lack readings: "
+            f"{sorted(p.value for p in missing)}"
+        )
+    if any(w < 0 for w in weights.values()):
+        raise ValueError("weights must be non-negative")
+    used = {p: w for p, w in weights.items() if w > 0}
+    if not used:
+        raise ValueError("at least one weight must be positive")
+    total_weight = sum(used.values())
+    value = sum(readings[p] * w for p, w in used.items()) / total_weight
+    return TrustScore(
+        value=float(np.clip(value, 0.0, 1.0)),
+        per_property=dict(readings),
+        weights=dict(used),
+    )

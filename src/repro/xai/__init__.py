@@ -1,0 +1,33 @@
+"""Explainable-AI substrate: the metrics behind SPATIAL's accountability sensors.
+
+SHAP supports the paper's accountability analysis ("SHAP fosters transparency
+of inference capabilities of AI by highlighting the most important part of
+the data used for learning"), LIME and occlusion sensitivity power the
+image-explanation micro-services of the capacity experiments, and the
+similarity module implements the SHAP-dissimilarity poisoning detector of
+Fig. 6(a)-iv.
+"""
+
+from repro.xai.shap import KernelShapExplainer, exact_shap_values
+from repro.xai.lime import LimeTabularExplainer
+from repro.xai.lime_image import LimeImageExplainer, grid_superpixels
+from repro.xai.occlusion import occlusion_sensitivity
+from repro.xai.permutation import permutation_importance
+from repro.xai.similarity import (
+    explanation_distance,
+    knn_explanation_dissimilarity,
+    nearest_neighbours,
+)
+
+__all__ = [
+    "KernelShapExplainer",
+    "LimeImageExplainer",
+    "LimeTabularExplainer",
+    "exact_shap_values",
+    "explanation_distance",
+    "grid_superpixels",
+    "knn_explanation_dissimilarity",
+    "nearest_neighbours",
+    "occlusion_sensitivity",
+    "permutation_importance",
+]

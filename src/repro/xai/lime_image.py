@@ -1,0 +1,111 @@
+"""Image LIME on grid superpixels — the heavy workload of Experiment 2.
+
+"When analyzing image-based samples, the analysis of methods, such as LIME,
+SHAP and Occlusion sensitivity increases [in cost]" (§VI-B).  Image LIME
+perturbs whole superpixels (here: grid patches), runs the classifier on
+every perturbed image, and fits a weighted linear surrogate over patch
+on/off indicators.  Its cost is ``n_samples`` full model evaluations on
+images, which is why the Fig. 8(d) image-LIME micro-service saturates at
+far lower concurrency than the tabular services.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.xai.lime import _ridge_fit
+
+ImagePredictFn = Callable[[np.ndarray], np.ndarray]
+# maps a batch of images (n, H, W) to class probabilities (n, n_classes)
+
+
+def grid_superpixels(shape: Tuple[int, int], patch: int) -> np.ndarray:
+    """Segment an H×W image into a grid; returns an int label map (H, W).
+
+    Patches at the right/bottom edges absorb the remainder rows/columns so
+    every pixel belongs to exactly one superpixel.
+    """
+    h, w = shape
+    if patch < 1 or patch > min(h, w):
+        raise ValueError(f"patch {patch} out of range for image {shape}")
+    rows = h // patch
+    cols = w // patch
+    segments = np.empty((h, w), dtype=np.int64)
+    for i in range(h):
+        for j in range(w):
+            r = min(i // patch, rows - 1)
+            c = min(j // patch, cols - 1)
+            segments[i, j] = r * cols + c
+    return segments
+
+
+class LimeImageExplainer:
+    """LIME over superpixel masks.
+
+    Parameters
+    ----------
+    predict_fn:
+        Maps (n, H, W) image batches to (n, n_classes) probabilities.
+    patch:
+        Superpixel grid size in pixels.
+    n_samples:
+        Random masks evaluated per explanation (each costs one model call
+        on a full image — the dominant expense).
+    baseline:
+        Value that fills masked-off superpixels (default: image mean).
+    seed:
+        RNG seed for mask sampling.
+    """
+
+    def __init__(
+        self,
+        predict_fn: ImagePredictFn,
+        patch: int = 4,
+        n_samples: int = 300,
+        baseline: float = None,
+        alpha: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if n_samples < 10:
+            raise ValueError("n_samples must be >= 10")
+        self.predict_fn = predict_fn
+        self.patch = patch
+        self.n_samples = n_samples
+        self.baseline = baseline
+        self.alpha = alpha
+        self.seed = seed
+
+    def explain(self, image: np.ndarray, class_index: int) -> np.ndarray:
+        """Return per-superpixel weights (1-D, one per grid patch)."""
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim != 2:
+            raise ValueError(f"expected a 2-D grayscale image, got {image.shape}")
+        segments = grid_superpixels(image.shape, self.patch)
+        n_segments = int(segments.max()) + 1
+        fill = float(image.mean()) if self.baseline is None else self.baseline
+        rng = np.random.default_rng(self.seed)
+
+        masks = rng.random((self.n_samples, n_segments)) < 0.5
+        masks[0] = True  # the unperturbed image anchors the surrogate
+        batch = np.empty((self.n_samples, *image.shape))
+        for k in range(self.n_samples):
+            img = image.copy()
+            off = ~masks[k]
+            if off.any():
+                img[np.isin(segments, np.flatnonzero(off))] = fill
+            batch[k] = img
+        probs = np.asarray(self.predict_fn(batch))
+        y = probs[:, class_index] if probs.ndim == 2 else probs
+        # proximity: fraction of superpixels kept
+        kept = masks.mean(axis=1)
+        weights = np.exp(-((1.0 - kept) ** 2) / 0.25)
+        coefs = _ridge_fit(masks.astype(np.float64), y, weights, self.alpha)
+        return coefs[1:]
+
+    def heatmap(self, image: np.ndarray, class_index: int) -> np.ndarray:
+        """Expand superpixel weights back to an (H, W) saliency map."""
+        weights = self.explain(image, class_index)
+        segments = grid_superpixels(np.asarray(image).shape, self.patch)
+        return weights[segments]

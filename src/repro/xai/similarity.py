@@ -1,0 +1,74 @@
+"""Explanation-similarity metrics — the Fig. 6(a)-iv poisoning detector.
+
+The paper's procedure: "we determine the five nearest neighbours regarding
+the Euclidean distance for each fall instance in the retained clean test
+set.  We then measure the average distance of the corresponding SHAP
+explanations.  Finally, we average the average distances of explanations,
+resulting in an average distance of explanations of similar instances
+across the test set".  On a healthy model, similar inputs get similar
+explanations; poisoning scrambles the learned logic, so the dissimilarity
+rises with the poison rate — which is exactly what makes it a detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def explanation_distance(e1: np.ndarray, e2: np.ndarray) -> float:
+    """Euclidean distance between two explanation vectors."""
+    e1 = np.asarray(e1, dtype=np.float64).reshape(-1)
+    e2 = np.asarray(e2, dtype=np.float64).reshape(-1)
+    if e1.shape != e2.shape:
+        raise ValueError(f"explanation shapes differ: {e1.shape} vs {e2.shape}")
+    return float(np.linalg.norm(e1 - e2))
+
+
+def nearest_neighbours(X: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k nearest rows (Euclidean) for every row of ``X``.
+
+    Returns shape (n, k); a row is never its own neighbour.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    n = X.shape[0]
+    if not 1 <= k < n:
+        raise ValueError(f"k must be in [1, {n - 1}], got {k}")
+    sq = np.sum(X**2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    np.fill_diagonal(d2, np.inf)
+    return np.argsort(d2, axis=1)[:, :k]
+
+
+def knn_explanation_dissimilarity(
+    X: np.ndarray, explanations: np.ndarray, k: int = 5
+) -> float:
+    """The Fig. 6(a)-iv metric.
+
+    Parameters
+    ----------
+    X:
+        Instances (e.g. the fall rows of the clean test set), shape (n, d).
+    explanations:
+        Matching SHAP explanation vectors, shape (n, d_e).
+    k:
+        Neighbourhood size (paper: 5).
+
+    Returns the grand mean, over instances, of the mean explanation distance
+    to each instance's k nearest input-space neighbours.  Higher values mean
+    the model explains similar inputs inconsistently — the poisoning signal.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    explanations = np.asarray(explanations, dtype=np.float64)
+    if X.shape[0] != explanations.shape[0]:
+        raise ValueError("X and explanations disagree on instance count")
+    if X.shape[0] < k + 1:
+        raise ValueError(f"need at least {k + 1} instances for k={k}")
+    neighbours = nearest_neighbours(X, k)
+    per_instance = np.empty(X.shape[0])
+    for i in range(X.shape[0]):
+        dists = [
+            explanation_distance(explanations[i], explanations[j])
+            for j in neighbours[i]
+        ]
+        per_instance[i] = float(np.mean(dists))
+    return float(per_instance.mean())

@@ -1,0 +1,103 @@
+"""Tests for the backdoor (trigger) poisoning attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.backdoor import BackdoorAttack, Trigger
+from repro.ml import MLPClassifier
+
+
+@pytest.fixture(scope="module")
+def backdoored_model(blobs):
+    """An MLP trained on 8 %-backdoored blobs (target class 1)."""
+    X, y = blobs
+    trigger = Trigger.corner(X.shape[1], width=2, value=6.0)
+    attack = BackdoorAttack(trigger, target_label=1, rate=0.08, seed=0)
+    poisoned = attack.apply(X, y)
+    model = MLPClassifier(
+        hidden_layers=(32,), n_epochs=60, learning_rate=0.01, seed=0
+    ).fit(poisoned.X, poisoned.y)
+    return model, attack, X, y
+
+
+class TestTrigger:
+    def test_stamp_sets_values(self):
+        trigger = Trigger(feature_indices=(0, 2), values=(9.0, -9.0))
+        X = np.zeros((3, 4))
+        stamped = trigger.stamp(X)
+        assert np.all(stamped[:, 0] == 9.0)
+        assert np.all(stamped[:, 2] == -9.0)
+        assert np.all(stamped[:, 1] == 0.0)
+
+    def test_stamp_does_not_mutate(self):
+        trigger = Trigger((0,), (5.0,))
+        X = np.zeros((2, 2))
+        trigger.stamp(X)
+        assert np.all(X == 0.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Trigger((0, 1), (1.0,))
+
+    def test_empty_trigger_raises(self):
+        with pytest.raises(ValueError):
+            Trigger((), ())
+
+    def test_corner_clips_width(self):
+        trigger = Trigger.corner(n_features=2, width=5)
+        assert trigger.feature_indices == (0, 1)
+
+
+class TestBackdoorAttack:
+    def test_poison_count(self, blobs):
+        X, y = blobs
+        attack = BackdoorAttack(
+            Trigger.corner(X.shape[1]), target_label=1, rate=0.1, seed=0
+        )
+        result = attack.apply(X, y)
+        assert result.n_affected == int(round(0.1 * len(y)))
+        assert int(np.sum(result.y == 1)) >= int(np.sum(y == 1))
+
+    def test_invalid_rate_raises(self, blobs):
+        X, __ = blobs
+        with pytest.raises(ValueError):
+            BackdoorAttack(Trigger.corner(X.shape[1]), 1, rate=1.5)
+
+    def test_originals_untouched(self, blobs):
+        X, y = blobs
+        X_before, y_before = X.copy(), y.copy()
+        BackdoorAttack(
+            Trigger.corner(X.shape[1]), target_label=1, rate=0.2, seed=0
+        ).apply(X, y)
+        assert np.array_equal(X, X_before)
+        assert np.array_equal(y, y_before)
+
+    def test_clean_accuracy_preserved(self, backdoored_model):
+        """The stealth property: clean-input behaviour barely moves."""
+        model, __, X, y = backdoored_model
+        assert model.score(X, y) > 0.9
+
+    def test_trigger_hijacks_predictions(self, backdoored_model):
+        """The backdoor property: triggered inputs go to the target class."""
+        model, attack, X, y = backdoored_model
+        asr = attack.attack_success_rate(model, X, y)
+        assert asr > 0.8
+
+    def test_clean_model_has_low_asr(self, blobs):
+        """Without poisoning, the trigger should not dominate predictions."""
+        X, y = blobs
+        clean_model = MLPClassifier(
+            hidden_layers=(32,), n_epochs=60, learning_rate=0.01, seed=0
+        ).fit(X, y)
+        attack = BackdoorAttack(
+            Trigger.corner(X.shape[1], width=2, value=6.0),
+            target_label=1,
+            rate=0.08,
+        )
+        asr_clean = attack.attack_success_rate(clean_model, X, y)
+        assert asr_clean < 0.99  # the implanted model reaches ~1.0
+
+    def test_asr_excludes_target_rows(self, backdoored_model):
+        model, attack, X, y = backdoored_model
+        with pytest.raises(ValueError):
+            attack.attack_success_rate(model, X[y == 1], y[y == 1])

@@ -1,0 +1,67 @@
+"""Tests for threat models and capability checking."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    Capability,
+    FgsmAttack,
+    RandomLabelFlippingAttack,
+    ThreatModel,
+)
+
+
+class TestThreatModel:
+    def test_black_box_can_poison(self):
+        tm = ThreatModel.black_box()
+        assert tm.allows(
+            Capability.READ_TRAINING_DATA, Capability.WRITE_TRAINING_DATA
+        )
+
+    def test_black_box_cannot_read_model(self):
+        tm = ThreatModel.black_box()
+        assert not tm.allows(Capability.READ_MODEL_STRUCTURE)
+
+    def test_white_box_has_everything(self):
+        tm = ThreatModel.white_box()
+        assert tm.allows(*list(Capability))
+
+    def test_allows_empty_is_true(self):
+        assert ThreatModel.black_box().allows()
+
+
+class TestCapabilityEnforcement:
+    def test_label_flipping_allowed_under_black_box(self):
+        attack = RandomLabelFlippingAttack(
+            rate=0.1, seed=0, threat_model=ThreatModel.black_box()
+        )
+        X, y = np.zeros((10, 2)), np.arange(10) % 2
+        attack.apply(X, y)  # should not raise
+
+    def test_fgsm_rejected_under_black_box(self, trained_mlp, blobs):
+        X, y = blobs
+        attack = FgsmAttack(
+            trained_mlp, epsilon=0.1, threat_model=ThreatModel.black_box()
+        )
+        with pytest.raises(PermissionError, match="black-box"):
+            attack.apply(X[:5], y[:5])
+
+    def test_fgsm_allowed_under_white_box(self, trained_mlp, blobs):
+        X, y = blobs
+        attack = FgsmAttack(
+            trained_mlp, epsilon=0.1, threat_model=ThreatModel.white_box()
+        )
+        result = attack.apply(X[:5], y[:5])
+        assert result.X.shape == (5, X.shape[1])
+
+    def test_no_threat_model_means_unchecked(self, trained_mlp, blobs):
+        X, y = blobs
+        FgsmAttack(trained_mlp, epsilon=0.1).apply(X[:3], y[:3])
+
+    def test_error_lists_missing_capabilities(self, trained_mlp, blobs):
+        X, y = blobs
+        attack = FgsmAttack(
+            trained_mlp, epsilon=0.1, threat_model=ThreatModel.black_box()
+        )
+        with pytest.raises(PermissionError, match="read_model_structure"):
+            attack.apply(X[:2], y[:2])

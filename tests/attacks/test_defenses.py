@@ -1,0 +1,115 @@
+"""Tests for adversarial training and the bagging defence."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BaggingDefense,
+    RandomLabelFlippingAttack,
+    adversarial_training,
+    fgsm_perturb,
+)
+from repro.ml import DecisionTreeClassifier, MLPClassifier
+
+
+@pytest.fixture(scope="module")
+def margin_data():
+    """Binary task with a 0.5 margin band removed — robustness achievable."""
+    gen = np.random.default_rng(0)
+    w = gen.normal(size=5)
+    w /= np.linalg.norm(w)
+
+    def sample(n, seed):
+        g = np.random.default_rng(seed)
+        X = g.normal(size=(4 * n, 5))
+        margin = X @ w
+        keep = np.abs(margin) > 0.5
+        X, margin = X[keep][:n], margin[keep][:n]
+        return X, (margin > 0).astype(int)
+
+    X_train, y_train = sample(500, 1)
+    X_test, y_test = sample(200, 2)
+    return X_train, y_train, X_test, y_test
+
+
+def mlp_factory():
+    return MLPClassifier(
+        hidden_layers=(32, 16), n_epochs=40, learning_rate=0.01, seed=0
+    )
+
+
+class TestAdversarialTraining:
+    def test_improves_robust_accuracy(self, margin_data):
+        X_train, y_train, X_test, y_test = margin_data
+        epsilon = 0.4
+        plain = mlp_factory().fit(X_train, y_train)
+        hardened = adversarial_training(
+            mlp_factory, X_train, y_train, epsilon=epsilon, n_outer_rounds=3
+        )
+        plain_adv = plain.score(
+            fgsm_perturb(plain, X_test, epsilon, targets=y_test), y_test
+        )
+        hardened_adv = hardened.score(
+            fgsm_perturb(hardened, X_test, epsilon, targets=y_test), y_test
+        )
+        assert hardened_adv > plain_adv
+
+    def test_clean_accuracy_retained(self, margin_data):
+        X_train, y_train, X_test, y_test = margin_data
+        hardened = adversarial_training(
+            mlp_factory, X_train, y_train, epsilon=0.4, n_outer_rounds=2
+        )
+        assert hardened.score(X_test, y_test) > 0.85
+
+    def test_invalid_params_raise(self, margin_data):
+        X_train, y_train, __, __ = margin_data
+        with pytest.raises(ValueError):
+            adversarial_training(
+                mlp_factory, X_train, y_train, adversarial_fraction=0.0
+            )
+        with pytest.raises(ValueError):
+            adversarial_training(mlp_factory, X_train, y_train, n_outer_rounds=0)
+
+
+class TestBaggingDefense:
+    def test_contract(self, blobs):
+        X, y = blobs
+        model = BaggingDefense(
+            lambda: DecisionTreeClassifier(max_depth=6), n_members=5, seed=0
+        ).fit(X, y)
+        proba = model.predict_proba(X[:10])
+        assert proba.shape == (10, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert model.score(X, y) > 0.9
+
+    def test_beats_single_model_under_poisoning(self, fall_task_split):
+        """Biggio et al.'s claim (Fig. 1 notes): bagging dilutes poisoning."""
+        X_train, X_test, y_train, y_test = fall_task_split
+        poisoned = RandomLabelFlippingAttack(rate=0.3, seed=0).apply(
+            X_train, y_train
+        )
+        single = DecisionTreeClassifier(max_depth=12, seed=0).fit(
+            poisoned.X, poisoned.y
+        )
+        bagged = BaggingDefense(
+            lambda: DecisionTreeClassifier(max_depth=12, seed=0),
+            n_members=11,
+            seed=0,
+        ).fit(poisoned.X, poisoned.y)
+        assert bagged.score(X_test, y_test) > single.score(X_test, y_test)
+
+    def test_member_count(self, blobs):
+        X, y = blobs
+        model = BaggingDefense(
+            lambda: DecisionTreeClassifier(max_depth=2), n_members=7, seed=0
+        ).fit(X, y)
+        assert len(model.members_) == 7
+
+    def test_invalid_members_raise(self):
+        with pytest.raises(ValueError):
+            BaggingDefense(lambda: DecisionTreeClassifier(), n_members=0)
+
+    def test_predict_before_fit_raises(self):
+        model = BaggingDefense(lambda: DecisionTreeClassifier(), n_members=2)
+        with pytest.raises(RuntimeError):
+            model.predict_proba(np.ones((1, 2)))

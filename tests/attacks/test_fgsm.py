@@ -1,0 +1,86 @@
+"""Tests for the FGSM evasion attack and its transfer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fgsm import FgsmAttack, fgsm_perturb
+from repro.ml import (
+    DecisionTreeClassifier,
+    MLPClassifier,
+    lightgbm_like,
+)
+
+
+class TestFgsmPerturb:
+    def test_perturbation_bounded_by_epsilon(self, trained_mlp, blobs):
+        X, y = blobs
+        X_adv = fgsm_perturb(trained_mlp, X[:10], epsilon=0.3, targets=y[:10])
+        assert np.max(np.abs(X_adv - X[:10])) <= 0.3 + 1e-12
+
+    def test_epsilon_zero_is_noop(self, trained_mlp, blobs):
+        X, y = blobs
+        X_adv = fgsm_perturb(trained_mlp, X[:5], epsilon=0.0, targets=y[:5])
+        assert np.allclose(X_adv, X[:5])
+
+    def test_degrades_surrogate_accuracy(self, trained_mlp, blobs):
+        X, y = blobs
+        clean_acc = trained_mlp.score(X[:100], y[:100])
+        X_adv = fgsm_perturb(trained_mlp, X[:100], epsilon=2.5, targets=y[:100])
+        adv_acc = trained_mlp.score(X_adv, y[:100])
+        assert adv_acc < clean_acc - 0.2
+
+    def test_larger_epsilon_hurts_more(self, trained_mlp, blobs):
+        X, y = blobs
+        accs = []
+        for eps in (0.1, 0.5, 2.0):
+            X_adv = fgsm_perturb(trained_mlp, X[:100], epsilon=eps, targets=y[:100])
+            accs.append(trained_mlp.score(X_adv, y[:100]))
+        assert accs[0] >= accs[2]
+
+    def test_rejects_gradient_free_model(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        with pytest.raises(TypeError, match="transfer"):
+            fgsm_perturb(tree, X[:2], epsilon=0.1)
+
+    def test_negative_epsilon_raises(self, trained_mlp, blobs):
+        X, __ = blobs
+        with pytest.raises(ValueError):
+            fgsm_perturb(trained_mlp, X[:1], epsilon=-0.1)
+
+    def test_defaults_to_predicted_targets(self, trained_mlp, blobs):
+        X, __ = blobs
+        X_adv = fgsm_perturb(trained_mlp, X[:5], epsilon=0.2)
+        assert X_adv.shape == (5, X.shape[1])
+
+
+class TestFgsmAttack:
+    def test_result_fields(self, trained_mlp, blobs):
+        X, y = blobs
+        result = FgsmAttack(trained_mlp, epsilon=0.2).apply(X[:20], y[:20])
+        assert result.n_affected == 20
+        assert result.cost_seconds > 0
+        assert result.details["epsilon"] == 0.2
+        assert result.details["per_sample_us"] > 0
+
+    def test_labels_pass_through(self, trained_mlp, blobs):
+        X, y = blobs
+        result = FgsmAttack(trained_mlp, epsilon=0.2).apply(X[:20], y[:20])
+        assert np.array_equal(result.y, y[:20])
+
+    def test_transfer_to_tree_ensemble(self, fall_task_split):
+        """The paper's headline: NN-generated FGSM samples transfer to the
+        gradient-free GBDT models and hurt them too."""
+        X_train, X_test, y_train, y_test = fall_task_split
+        nn = MLPClassifier(
+            hidden_layers=(32,), n_epochs=40, learning_rate=0.01, seed=0
+        ).fit(X_train, y_train)
+        gbdt = lightgbm_like(n_estimators=10, seed=0).fit(X_train, y_train)
+        result = FgsmAttack(nn, epsilon=1.5).apply(X_test, y_test)
+        clean_acc = gbdt.score(X_test, y_test)
+        adv_acc = gbdt.score(result.X, y_test)
+        assert adv_acc < clean_acc, "transfer attack should do some damage"
+
+    def test_invalid_epsilon_raises(self, trained_mlp):
+        with pytest.raises(ValueError):
+            FgsmAttack(trained_mlp, epsilon=-1.0)

@@ -1,0 +1,124 @@
+"""Tests for the CTGAN-stand-in synthesizer and GAN poisoning attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.gan_poisoning import GanPoisoningAttack, TableSynthesizer
+
+
+@pytest.fixture()
+def class_data():
+    gen = np.random.default_rng(0)
+    X0 = gen.normal(loc=0.0, scale=1.0, size=(120, 3))
+    X1 = gen.normal(loc=8.0, scale=1.0, size=(80, 3))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * 120 + [1] * 80)
+    return X, y
+
+
+class TestTableSynthesizer:
+    def test_samples_resemble_source_class(self, class_data):
+        X, y = class_data
+        synth = TableSynthesizer(seed=0).fit(X, y)
+        fake0 = synth.sample(200, label=0)
+        fake1 = synth.sample(200, label=1)
+        assert abs(fake0.mean() - 0.0) < 1.0
+        assert abs(fake1.mean() - 8.0) < 1.0
+
+    def test_sample_shape(self, class_data):
+        X, y = class_data
+        synth = TableSynthesizer(seed=0).fit(X, y)
+        assert synth.sample(17).shape == (17, 3)
+
+    def test_sample_with_labels_respects_prior(self, class_data):
+        X, y = class_data
+        synth = TableSynthesizer(seed=0).fit(X, y)
+        __, labels = synth.sample_with_labels(400)
+        frac0 = np.mean([l == 0 for l in labels])
+        assert 0.4 < frac0 < 0.8  # prior is 0.6
+
+    def test_multimodal_column_modelled(self):
+        gen = np.random.default_rng(1)
+        bimodal = np.concatenate(
+            [gen.normal(-5, 0.3, 300), gen.normal(5, 0.3, 300)]
+        ).reshape(-1, 1)
+        y = np.zeros(600, dtype=int)
+        synth = TableSynthesizer(n_modes=2, seed=0).fit(bimodal, y)
+        fake = synth.sample(500, label=0).ravel()
+        # samples should land near both modes, almost never in the middle
+        assert np.mean(np.abs(fake) < 2.0) < 0.1
+        assert np.mean(fake < -2.0) > 0.25
+        assert np.mean(fake > 2.0) > 0.25
+
+    def test_unknown_label_raises(self, class_data):
+        X, y = class_data
+        synth = TableSynthesizer(seed=0).fit(X, y)
+        with pytest.raises(ValueError):
+            synth.sample(5, label=99)
+
+    def test_sample_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TableSynthesizer().sample(5)
+
+    def test_invalid_n_modes(self):
+        with pytest.raises(ValueError):
+            TableSynthesizer(n_modes=0)
+
+    def test_constant_column_survives(self):
+        X = np.hstack([np.ones((50, 1)), np.arange(50).reshape(-1, 1).astype(float)])
+        y = np.zeros(50, dtype=int)
+        synth = TableSynthesizer(seed=0).fit(X, y)
+        fake = synth.sample(20, label=0)
+        assert np.all(np.isfinite(fake))
+        assert np.allclose(fake[:, 0].mean(), 1.0, atol=0.5)
+
+
+class TestGanPoisoningAttack:
+    def test_injects_requested_count(self, class_data):
+        X, y = class_data
+        result = GanPoisoningAttack(n_synthetic=50, seed=0).apply(X, y)
+        assert result.X.shape[0] == len(y) + 50
+        assert result.n_affected == 50
+
+    def test_poison_label_applied(self, class_data):
+        X, y = class_data
+        result = GanPoisoningAttack(n_synthetic=30, poison_label=1, seed=0).apply(
+            X, y
+        )
+        assert np.all(result.y[-30:] == 1)
+
+    def test_without_poison_label_keeps_source_labels(self, class_data):
+        X, y = class_data
+        result = GanPoisoningAttack(n_synthetic=30, seed=0).apply(X, y)
+        assert set(np.unique(result.y[-30:])).issubset({0, 1})
+
+    def test_zero_synthetic_noop(self, class_data):
+        X, y = class_data
+        result = GanPoisoningAttack(n_synthetic=0, seed=0).apply(X, y)
+        assert result.X.shape == X.shape
+        assert result.n_affected == 0
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            GanPoisoningAttack(n_synthetic=-1)
+
+    def test_prefitted_synthesizer_reused(self, class_data):
+        X, y = class_data
+        synth = TableSynthesizer(seed=0).fit(X, y)
+        attack = GanPoisoningAttack(n_synthetic=10, synthesizer=synth, seed=0)
+        result = attack.apply(X, y)
+        assert result.X.shape[0] == len(y) + 10
+
+    def test_poisoning_degrades_model(self, class_data):
+        """Mislabelled look-alike samples must hurt a model trained on them."""
+        from repro.ml import LogisticRegressionClassifier
+
+        X, y = class_data
+        clean = LogisticRegressionClassifier(n_epochs=20, seed=0).fit(X, y)
+        poisoned_set = GanPoisoningAttack(
+            n_synthetic=300, poison_label=1, seed=0
+        ).apply(X, y)
+        poisoned = LogisticRegressionClassifier(n_epochs=20, seed=0).fit(
+            poisoned_set.X, poisoned_set.y
+        )
+        assert poisoned.score(X, y) < clean.score(X, y)

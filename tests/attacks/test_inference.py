@@ -1,0 +1,96 @@
+"""Tests for membership-inference and model-stealing attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    Capability,
+    MembershipInferenceAttack,
+    ModelStealingAttack,
+    ThreatModel,
+)
+from repro.ml import DecisionTreeClassifier, MLPClassifier
+
+
+@pytest.fixture(scope="module")
+def overfit_model():
+    gen = np.random.default_rng(0)
+    X_members = gen.normal(size=(40, 8))
+    y_members = gen.integers(0, 2, size=40)
+    X_outsiders = gen.normal(size=(150, 8))
+    model = MLPClassifier(
+        hidden_layers=(64, 64), n_epochs=400, learning_rate=0.01, seed=0
+    ).fit(X_members, y_members)
+    return model, X_members, X_outsiders
+
+
+class TestMembershipInferenceAttack:
+    def test_detects_memorisation(self, overfit_model):
+        model, members, outsiders = overfit_model
+        result = MembershipInferenceAttack().evaluate(model, members, outsiders)
+        assert result.is_leaky
+        assert result.n_members == 40
+        assert result.n_non_members == 150
+
+    def test_threat_model_enforced(self, overfit_model):
+        model, members, outsiders = overfit_model
+        no_query = ThreatModel(name="blind", capabilities=frozenset())
+        attack = MembershipInferenceAttack(threat_model=no_query)
+        with pytest.raises(PermissionError):
+            attack.evaluate(model, members, outsiders)
+
+    def test_black_box_suffices(self, overfit_model):
+        """Membership inference needs only QUERY_MODEL — a black-box attack."""
+        model, members, outsiders = overfit_model
+        attack = MembershipInferenceAttack(threat_model=ThreatModel.black_box())
+        result = attack.evaluate(model, members, outsiders)
+        assert result.advantage > 0.0
+
+
+class TestModelStealingAttack:
+    def test_surrogate_reaches_high_fidelity(self, trained_mlp, blobs):
+        X, __ = blobs
+        result = ModelStealingAttack(n_queries=600, seed=0).steal(
+            trained_mlp, X
+        )
+        assert result.fidelity > 0.9
+        assert result.n_queries == 600
+        assert result.cost_seconds > 0
+
+    def test_more_queries_do_not_hurt_fidelity(self, trained_mlp, blobs):
+        X, __ = blobs
+        few = ModelStealingAttack(n_queries=30, seed=0).steal(trained_mlp, X)
+        many = ModelStealingAttack(n_queries=800, seed=0).steal(trained_mlp, X)
+        assert many.fidelity >= few.fidelity - 0.05
+
+    def test_custom_surrogate_architecture(self, trained_mlp, blobs):
+        """Tramèr-style: steal an MLP into a decision tree."""
+        X, __ = blobs
+        result = ModelStealingAttack(
+            surrogate_factory=lambda: DecisionTreeClassifier(max_depth=6),
+            n_queries=500,
+            seed=0,
+        ).steal(trained_mlp, X)
+        assert isinstance(result.surrogate, DecisionTreeClassifier)
+        assert result.fidelity > 0.8
+
+    def test_separate_eval_set(self, trained_mlp, blobs):
+        X, __ = blobs
+        result = ModelStealingAttack(n_queries=400, seed=0).steal(
+            trained_mlp, X[:200], X_eval=X[200:]
+        )
+        assert 0.0 <= result.fidelity <= 1.0
+
+    def test_threat_model_enforced(self, trained_mlp, blobs):
+        X, __ = blobs
+        no_query = ThreatModel(name="blind", capabilities=frozenset())
+        with pytest.raises(PermissionError):
+            ModelStealingAttack(threat_model=no_query).steal(trained_mlp, X)
+
+    def test_invalid_query_budget_raises(self):
+        with pytest.raises(ValueError):
+            ModelStealingAttack(n_queries=5)
+
+    def test_reference_validation(self, trained_mlp):
+        with pytest.raises(ValueError):
+            ModelStealingAttack().steal(trained_mlp, np.ones((1, 5)))

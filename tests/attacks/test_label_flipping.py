@@ -1,0 +1,155 @@
+"""Tests for the three label-level poisoning attacks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    RandomLabelFlippingAttack,
+    RandomLabelSwappingAttack,
+    TargetedLabelFlippingAttack,
+)
+
+
+@pytest.fixture()
+def data(rng):
+    X = np.arange(200, dtype=float).reshape(100, 2)
+    y = np.array([0] * 50 + [1] * 30 + [2] * 20)
+    return X, y
+
+
+class TestRandomLabelFlipping:
+    def test_rate_zero_is_noop(self, data):
+        X, y = data
+        result = RandomLabelFlippingAttack(rate=0.0).apply(X, y)
+        assert np.array_equal(result.y, y)
+        assert result.n_affected == 0
+
+    def test_exact_flip_count(self, data):
+        X, y = data
+        result = RandomLabelFlippingAttack(rate=0.2, seed=0).apply(X, y)
+        assert result.n_affected == 20
+        assert int(np.sum(result.y != y)) == 20
+
+    def test_flipped_labels_valid_classes(self, data):
+        X, y = data
+        result = RandomLabelFlippingAttack(rate=0.5, seed=1).apply(X, y)
+        assert set(np.unique(result.y)).issubset(set(np.unique(y)))
+
+    def test_never_flips_to_same_label(self, data):
+        X, y = data
+        result = RandomLabelFlippingAttack(rate=1.0, seed=2).apply(X, y)
+        assert np.all(result.y != y)
+
+    def test_features_untouched(self, data):
+        X, y = data
+        result = RandomLabelFlippingAttack(rate=0.3, seed=0).apply(X, y)
+        assert np.array_equal(result.X, X)
+
+    def test_original_labels_not_mutated(self, data):
+        X, y = data
+        y_before = y.copy()
+        RandomLabelFlippingAttack(rate=0.5, seed=0).apply(X, y)
+        assert np.array_equal(y, y_before)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            RandomLabelFlippingAttack(rate=1.5)
+        with pytest.raises(ValueError):
+            RandomLabelFlippingAttack(rate=-0.1)
+
+    def test_single_class_noop(self):
+        X = np.ones((10, 2))
+        y = np.zeros(10, dtype=int)
+        result = RandomLabelFlippingAttack(rate=0.5, seed=0).apply(X, y)
+        assert result.n_affected == 0
+
+    def test_deterministic(self, data):
+        X, y = data
+        a = RandomLabelFlippingAttack(rate=0.3, seed=7).apply(X, y)
+        b = RandomLabelFlippingAttack(rate=0.3, seed=7).apply(X, y)
+        assert np.array_equal(a.y, b.y)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rate=st.floats(0.0, 1.0))
+    def test_affected_fraction_matches_rate_property(self, rate):
+        X = np.zeros((60, 2))
+        y = np.arange(60) % 3
+        result = RandomLabelFlippingAttack(rate=rate, seed=0).apply(X, y)
+        assert result.n_affected == int(round(60 * rate))
+
+
+class TestTargetedLabelFlipping:
+    def test_flips_to_target_only(self, data):
+        X, y = data
+        result = TargetedLabelFlippingAttack(rate=0.2, target_label=2, seed=0).apply(
+            X, y
+        )
+        changed = result.y != y
+        assert np.all(result.y[changed] == 2)
+
+    def test_source_label_restriction(self, data):
+        X, y = data
+        result = TargetedLabelFlippingAttack(
+            rate=0.5, target_label=2, source_label=0, seed=0
+        ).apply(X, y)
+        changed = result.y != y
+        assert np.all(y[changed] == 0)
+
+    def test_rate_capped_by_candidates(self):
+        X = np.zeros((10, 1))
+        y = np.array([0] * 2 + [1] * 8)
+        result = TargetedLabelFlippingAttack(
+            rate=1.0, target_label=1, source_label=0, seed=0
+        ).apply(X, y)
+        assert result.n_affected == 2
+
+    def test_string_labels(self):
+        X = np.zeros((10, 1))
+        y = np.array(["web"] * 6 + ["video"] * 4)
+        result = TargetedLabelFlippingAttack(
+            rate=0.3, target_label="video", seed=0
+        ).apply(X, y)
+        assert np.sum(result.y == "video") > 4
+
+
+class TestRandomLabelSwapping:
+    def test_label_multiset_preserved(self, data):
+        """Swapping permutes labels — the class histogram cannot change."""
+        X, y = data
+        result = RandomLabelSwappingAttack(rate=0.6, seed=0).apply(X, y)
+        assert sorted(result.y.tolist()) == sorted(y.tolist())
+
+    def test_affected_count_is_even(self, data):
+        X, y = data
+        result = RandomLabelSwappingAttack(rate=0.4, seed=1).apply(X, y)
+        assert result.n_affected % 2 == 0
+
+    def test_rate_zero_noop(self, data):
+        X, y = data
+        result = RandomLabelSwappingAttack(rate=0.0).apply(X, y)
+        assert np.array_equal(result.y, y)
+
+    def test_swaps_actually_change_labels(self, data):
+        X, y = data
+        result = RandomLabelSwappingAttack(rate=0.8, seed=3).apply(X, y)
+        assert result.n_affected > 0
+
+    def test_tiny_dataset(self):
+        X = np.zeros((2, 1))
+        y = np.array([0, 1])
+        result = RandomLabelSwappingAttack(rate=1.0, seed=0).apply(X, y)
+        assert result.y.tolist() == [1, 0]
+
+
+class TestAttackResult:
+    def test_cost_recorded(self, data):
+        X, y = data
+        result = RandomLabelFlippingAttack(rate=0.2, seed=0).apply(X, y)
+        assert result.cost_seconds >= 0.0
+
+    def test_affected_fraction(self, data):
+        X, y = data
+        result = RandomLabelFlippingAttack(rate=0.25, seed=0).apply(X, y)
+        assert result.affected_fraction == pytest.approx(0.25)

@@ -1,0 +1,72 @@
+"""Tests for the sponge (energy-latency) attack on the deployment."""
+
+import pytest
+
+from repro.attacks.sponge import (
+    SpongeImpact,
+    run_sponge_experiment,
+    sponge_thread_group,
+)
+from repro.gateway import ThreadGroup, build_paper_deployment
+
+
+@pytest.fixture(scope="module")
+def legit_group():
+    return ThreadGroup(route="lime", n_threads=8, iterations=5, payload="tabular")
+
+
+class TestSpongeImpact:
+    def test_latency_inflation(self):
+        impact = SpongeImpact(100.0, 500.0, 0.0, 0.0)
+        assert impact.latency_inflation == 5.0
+        assert not impact.denial_of_service
+
+    def test_dos_on_large_inflation(self):
+        impact = SpongeImpact(100.0, 600.0, 0.0, 0.0)
+        assert impact.denial_of_service
+
+    def test_dos_on_error_increase(self):
+        impact = SpongeImpact(100.0, 120.0, 0.0, 0.1)
+        assert impact.denial_of_service
+
+    def test_zero_baseline_handled(self):
+        assert SpongeImpact(0.0, 10.0, 0.0, 0.0).latency_inflation == float("inf")
+        assert SpongeImpact(0.0, 0.0, 0.0, 0.0).latency_inflation == 1.0
+
+
+class TestSpongeExperiment:
+    def test_image_flood_starves_tabular_traffic(self, legit_group):
+        """The availability attack of Fig. 3: heavy payloads aimed at the
+        LIME host inflate legitimate tabular latency massively."""
+        sponge = sponge_thread_group("lime", n_threads=8, iterations=3)
+        impact, baseline, attacked = run_sponge_experiment(
+            build_paper_deployment, "lime", legit_group, sponge, seed=0
+        )
+        assert impact.latency_inflation > 3.0
+        assert attacked.avg_response_ms > baseline.avg_response_ms
+
+    def test_reports_cover_only_legitimate_traffic(self, legit_group):
+        sponge = sponge_thread_group("lime", n_threads=4, iterations=2)
+        __, baseline, attacked = run_sponge_experiment(
+            build_paper_deployment, "lime", legit_group, sponge, seed=0
+        )
+        assert baseline.n_requests == 8 * 5
+        assert attacked.n_requests == 8 * 5
+
+    def test_route_mismatch_raises(self, legit_group):
+        sponge = sponge_thread_group("shap")
+        with pytest.raises(ValueError):
+            run_sponge_experiment(
+                build_paper_deployment, "lime", legit_group, sponge
+            )
+
+    def test_same_payload_raises(self):
+        legit = ThreadGroup(route="lime", n_threads=2, payload="image")
+        sponge = sponge_thread_group("lime")
+        with pytest.raises(ValueError, match="payloads must differ"):
+            run_sponge_experiment(build_paper_deployment, "lime", legit, sponge)
+
+    def test_sponge_group_defaults(self):
+        group = sponge_thread_group("lime")
+        assert group.payload == "image"
+        assert group.rampup_seconds < 1.0

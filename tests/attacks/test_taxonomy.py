@@ -1,0 +1,57 @@
+"""Tests for the Fig. 1 attack taxonomy registry."""
+
+import pytest
+
+from repro.attacks.taxonomy import (
+    ATTACK_TAXONOMY,
+    AttackClass,
+    algorithms_vulnerable_to,
+    attacks_for_algorithm,
+)
+
+
+class TestTaxonomy:
+    def test_neural_networks_have_widest_surface(self):
+        nn = attacks_for_algorithm("neural_networks")
+        for entry in ATTACK_TAXONOMY:
+            assert len(entry.attacks) <= len(nn)
+
+    def test_every_algorithm_poisonable(self):
+        """Fig. 1: data poisoning applies to every training algorithm."""
+        for entry in ATTACK_TAXONOMY:
+            assert AttackClass.DATA_POISONING in entry.attacks
+
+    def test_gradient_evasion_needs_gradients(self):
+        vulnerable = algorithms_vulnerable_to(AttackClass.EVASION_GRADIENT)
+        assert "neural_networks" in vulnerable
+        assert "decision_trees" not in vulnerable
+
+    def test_sponge_is_nn_specific(self):
+        assert algorithms_vulnerable_to(AttackClass.SPONGE) == ["neural_networks"]
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            attacks_for_algorithm("quantum_svm")
+
+    def test_column_row_consistency(self):
+        """Row lookup and column lookup must agree everywhere."""
+        for entry in ATTACK_TAXONOMY:
+            for attack in AttackClass:
+                in_row = attack in attacks_for_algorithm(entry.algorithm)
+                in_column = entry.algorithm in algorithms_vulnerable_to(attack)
+                assert in_row == in_column
+
+    def test_federated_learning_privacy_attacks(self):
+        fl = attacks_for_algorithm("federated_learning")
+        assert AttackClass.MEMBERSHIP_INFERENCE in fl
+        assert AttackClass.PROPERTY_INFERENCE in fl
+
+    def test_algorithm_names_unique(self):
+        names = [e.algorithm for e in ATTACK_TAXONOMY]
+        assert len(names) == len(set(names))
+
+    def test_use_case_models_covered(self):
+        """Both use cases' model families appear in the matrix."""
+        names = {e.algorithm for e in ATTACK_TAXONOMY}
+        assert {"linear_models", "decision_trees", "tree_ensembles",
+                "neural_networks"} <= names

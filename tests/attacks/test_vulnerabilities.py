@@ -1,0 +1,52 @@
+"""Tests for the Fig. 3 pipeline vulnerability registry."""
+
+from repro.attacks.vulnerabilities import (
+    PIPELINE_VULNERABILITIES,
+    CiaProperty,
+    stages_requiring_sensors,
+    vulnerabilities_at_stage,
+)
+from repro.ml.pipeline import STAGE_ORDER, StageKind
+
+
+class TestVulnerabilityRegistry:
+    def test_every_stage_has_vulnerabilities(self):
+        """§IV: models are vulnerable *throughout* the pipeline — every
+        stage must carry at least one entry."""
+        for stage in STAGE_ORDER:
+            assert vulnerabilities_at_stage(stage), stage
+
+    def test_each_vulnerability_compromises_something(self):
+        for v in PIPELINE_VULNERABILITIES:
+            assert len(v.compromises) >= 1
+
+    def test_names_unique(self):
+        names = [v.name for v in PIPELINE_VULNERABILITIES]
+        assert len(names) == len(set(names))
+
+    def test_all_cia_properties_represented(self):
+        covered = set()
+        for v in PIPELINE_VULNERABILITIES:
+            covered |= v.compromises
+        assert covered == set(CiaProperty)
+
+    def test_label_flipping_at_labeling_stage(self):
+        labeling = vulnerabilities_at_stage(StageKind.LABELING)
+        assert any(v.name == "label_flipping" for v in labeling)
+
+    def test_evasion_at_deployment(self):
+        deployment = vulnerabilities_at_stage(StageKind.DEPLOYMENT)
+        assert any(v.name == "model_evasion" for v in deployment)
+
+    def test_model_stealing_is_confidentiality(self):
+        stealing = [
+            v for v in PIPELINE_VULNERABILITIES if v.name == "model_stealing"
+        ][0]
+        assert stealing.compromises == frozenset({CiaProperty.CONFIDENTIALITY})
+
+    def test_stages_requiring_sensors_is_all_stages(self):
+        assert set(stages_requiring_sensors()) == set(STAGE_ORDER)
+
+    def test_descriptions_non_empty(self):
+        for v in PIPELINE_VULNERABILITIES:
+            assert v.description

@@ -1,0 +1,99 @@
+"""Shared fixtures: small, fast datasets and pre-trained models.
+
+Session-scoped fixtures keep the suite quick — models train once and are
+reused read-only across tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    generate_network_dataset,
+    generate_shape_images,
+    generate_unimib_like,
+    to_binary_fall_task,
+)
+from repro.ml import (
+    MLPClassifier,
+    StandardScaler,
+    train_test_split,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def blobs():
+    """Two well-separated Gaussian blobs: (X, y) with y in {0, 1}."""
+    gen = np.random.default_rng(7)
+    X0 = gen.normal(loc=-2.0, scale=1.0, size=(150, 5))
+    X1 = gen.normal(loc=2.0, scale=1.0, size=(150, 5))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * 150 + [1] * 150)
+    order = gen.permutation(300)
+    return X[order], y[order]
+
+
+@pytest.fixture(scope="session")
+def three_blobs():
+    """Three-class Gaussian blobs for multi-class paths."""
+    gen = np.random.default_rng(11)
+    centers = np.array([[-3.0, 0.0], [3.0, 0.0], [0.0, 4.0]])
+    X = np.vstack([gen.normal(c, 0.8, size=(80, 2)) for c in centers])
+    y = np.repeat([0, 1, 2], 80)
+    order = gen.permutation(len(y))
+    return X[order], y[order]
+
+
+@pytest.fixture(scope="session")
+def xor_data():
+    """XOR pattern — linearly inseparable, separable by trees/nets."""
+    gen = np.random.default_rng(3)
+    X = gen.uniform(-1, 1, size=(400, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    X = X + gen.normal(0, 0.05, size=X.shape)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def trained_mlp(blobs):
+    X, y = blobs
+    return MLPClassifier(hidden_layers=(16,), n_epochs=40, seed=0).fit(X, y)
+
+
+@pytest.fixture(scope="session")
+def unimib_small():
+    """A 600-sample UniMiB-like dataset (fast; all 17 classes present)."""
+    return generate_unimib_like(n_samples=600, seed=42)
+
+
+@pytest.fixture(scope="session")
+def fall_task_split(unimib_small):
+    """Standardised train/test split of the binary fall task."""
+    X, y = to_binary_fall_task(unimib_small)
+    X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, seed=0)
+    scaler = StandardScaler().fit(X_train)
+    return (
+        scaler.transform(X_train),
+        scaler.transform(X_test),
+        y_train,
+        y_test,
+    )
+
+
+@pytest.fixture(scope="session")
+def net_small():
+    """A reduced 60/12/12 network-traffic dataset (fast to generate)."""
+    return generate_network_dataset(
+        class_counts={"web": 60, "interactive": 12, "video": 12}, seed=5
+    )
+
+
+@pytest.fixture(scope="session")
+def shape_images():
+    return generate_shape_images(n_samples=90, size=12, seed=1)

@@ -1,0 +1,56 @@
+"""Tests for the Fig. 2 architecture-evolution registry."""
+
+import importlib
+
+import pytest
+
+from repro.core.architectures import (
+    ARCHITECTURE_EVOLUTION,
+    Concern,
+    concerns_introduced_by,
+    generations,
+)
+
+
+class TestEvolution:
+    def test_three_generations_in_order(self):
+        assert generations() == [
+            "client_server",
+            "centralised_ml",
+            "distributed_ml",
+        ]
+
+    def test_concerns_monotonically_grow(self):
+        """Fig. 2's premise: each generation inherits and adds concerns."""
+        previous = frozenset()
+        for generation in ARCHITECTURE_EVOLUTION:
+            assert previous <= generation.concerns
+            previous = generation.concerns
+
+    def test_client_server_introduces_scalability(self):
+        assert concerns_introduced_by("client_server") == {Concern.SCALABILITY}
+
+    def test_centralised_ml_introduces_ml_concerns(self):
+        introduced = concerns_introduced_by("centralised_ml")
+        assert Concern.DATA_COLLECTION in introduced
+        assert Concern.MODEL_QUALITY in introduced
+        assert Concern.SCALABILITY not in introduced  # inherited
+
+    def test_distributed_ml_introduces_privacy_and_aggregation(self):
+        introduced = concerns_introduced_by("distributed_ml")
+        assert Concern.PRIVACY in introduced
+        assert Concern.AGGREGATION_INTEGRITY in introduced
+
+    def test_unknown_generation_raises(self):
+        with pytest.raises(KeyError):
+            concerns_introduced_by("quantum")
+
+    def test_implementing_modules_importable(self):
+        """Every claimed implementing module must actually exist."""
+        for generation in ARCHITECTURE_EVOLUTION:
+            for module_name in generation.implemented_by:
+                assert importlib.import_module(module_name)
+
+    def test_panels_named(self):
+        panels = [g.figure_panel for g in ARCHITECTURE_EVOLUTION]
+        assert panels == ["2(a)", "2(b)", "2(c)"]

@@ -1,0 +1,95 @@
+"""Tests for audit-trail verification of dashboard exports."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    AIDashboard,
+    AlertRule,
+    SensorReading,
+    verify_export,
+)
+from repro.core.audit import load_export
+from repro.trust.properties import TrustProperty
+
+
+def reading(value=0.9, t=1.0, v=1, sensor="performance"):
+    return SensorReading(
+        sensor=sensor,
+        property=TrustProperty.ACCURACY,
+        value=value,
+        timestamp=t,
+        model_version=v,
+    )
+
+
+def healthy_export():
+    dash = AIDashboard()
+    dash.add_rule(AlertRule(sensor="performance", threshold=0.8))
+    dash.add_reading(reading(0.9, t=1.0, v=1))
+    dash.add_reading(reading(0.7, t=2.0, v=2))  # triggers the alert
+    return dash.to_json()
+
+
+class TestLoadExport:
+    def test_valid_export_loads(self):
+        data = load_export(healthy_export())
+        assert "performance" in data["sensors"]
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            load_export(json.dumps({"not": "an export"}))
+
+
+class TestVerifyExport:
+    def test_healthy_export_passes(self):
+        report = verify_export(healthy_export())
+        assert report.passed
+        assert report.n_sensors == 1
+        assert report.n_readings == 2
+        assert report.n_alerts == 1
+
+    def test_out_of_range_value_flagged(self):
+        data = load_export(healthy_export())
+        data["sensors"]["performance"][0]["value"] = 1.7
+        report = verify_export(json.dumps(data))
+        assert not report.passed
+        assert any("outside" in f.message for f in report.findings)
+
+    def test_unknown_property_flagged(self):
+        data = load_export(healthy_export())
+        data["sensors"]["performance"][0]["property"] = "vibes"
+        report = verify_export(json.dumps(data))
+        assert any("unknown property" in f.message for f in report.findings)
+
+    def test_time_regression_flagged(self):
+        data = load_export(healthy_export())
+        data["sensors"]["performance"][1]["timestamp"] = 0.5
+        report = verify_export(json.dumps(data))
+        assert any("regressed" in f.message for f in report.findings)
+        assert not report.passed
+
+    def test_version_rollback_is_warning_only(self):
+        data = load_export(healthy_export())
+        data["sensors"]["performance"][1]["model_version"] = 0
+        report = verify_export(json.dumps(data))
+        assert report.passed  # warnings don't fail the audit
+        assert any(f.severity == "warning" for f in report.findings)
+
+    def test_orphan_alert_flagged(self):
+        data = load_export(healthy_export())
+        data["alerts"][0]["sensor"] = "ghost"
+        report = verify_export(json.dumps(data))
+        assert any("no readings" in f.message for f in report.findings)
+
+    def test_inconsistent_alert_flagged(self):
+        data = load_export(healthy_export())
+        data["alerts"][0]["value"] = 0.95  # does not violate threshold 0.8
+        report = verify_export(json.dumps(data))
+        assert any("does not violate" in f.message for f in report.findings)
+
+    def test_empty_dashboard_export(self):
+        report = verify_export(AIDashboard().to_json())
+        assert report.passed
+        assert report.n_readings == 0

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_capacity_defaults(self):
+        args = build_parser().parse_args(["capacity"])
+        assert args.route == "shap"
+        assert args.threads == 100
+
+
+class TestCommands:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "SPATIAL" in out
+
+    def test_taxonomy(self, capsys):
+        assert main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert "neural_networks" in out
+        assert "label_flipping" in out
+
+    def test_capacity(self, capsys):
+        assert main(["capacity", "--route", "shap", "--threads", "10",
+                     "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "avg=" in out
+        assert "err=" in out
+
+    def test_capacity_unknown_route(self, capsys):
+        assert main(["capacity", "--route", "nope"]) == 2
+        assert "unknown route" in capsys.readouterr().err
+
+    def test_baselines_small(self, capsys):
+        assert main(["baselines", "--samples", "400"]) == 0
+        out = capsys.readouterr().out
+        for name in ("LR", "DT", "RF", "MLP", "DNN"):
+            assert name in out
+
+    def test_poison_small(self, capsys):
+        assert main(["poison", "--samples", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "p=  0%" in out
+        assert "p= 50%" in out
+
+    def test_dashboard_demo(self, capsys):
+        assert main(["dashboard-demo", "--samples", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "AI DASHBOARD" in out
+        assert "trust score" in out
+
+    def test_model_card(self, capsys):
+        assert main(["model-card", "--samples", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "# Model card — fall-detection-demo" in out
+        assert "## Evaluation" in out

@@ -1,0 +1,161 @@
+"""Tests for the AI dashboard: series, alerts, panels, export."""
+
+import json
+
+import pytest
+
+from repro.core.dashboard import AIDashboard, AlertRule
+from repro.core.sensors import SensorReading
+from repro.trust.properties import TrustProperty
+
+
+def reading(sensor="performance", value=0.9, t=0.0, prop=TrustProperty.ACCURACY, v=1):
+    return SensorReading(
+        sensor=sensor, property=prop, value=value, timestamp=t, model_version=v
+    )
+
+
+class TestSeries:
+    def test_add_and_latest(self):
+        dash = AIDashboard()
+        dash.add_reading(reading(value=0.8, t=1.0))
+        dash.add_reading(reading(value=0.7, t=2.0))
+        assert dash.latest("performance").value == 0.7
+        assert dash.values("performance") == [0.8, 0.7]
+
+    def test_sensors_sorted(self):
+        dash = AIDashboard()
+        dash.add_reading(reading(sensor="zeta"))
+        dash.add_reading(reading(sensor="alpha"))
+        assert dash.sensors == ["alpha", "zeta"]
+
+    def test_unknown_sensor_raises(self):
+        with pytest.raises(KeyError):
+            AIDashboard().series("ghost")
+
+    def test_history_limit_evicts_oldest(self):
+        dash = AIDashboard(history_limit=3)
+        for i in range(5):
+            dash.add_reading(reading(value=i / 10, t=float(i)))
+        assert dash.values("performance") == [0.2, 0.3, 0.4]
+
+    def test_invalid_history_limit(self):
+        with pytest.raises(ValueError):
+            AIDashboard(history_limit=0)
+
+
+class TestAlerts:
+    def test_below_rule_triggers(self):
+        dash = AIDashboard()
+        dash.add_rule(AlertRule(sensor="performance", threshold=0.8))
+        dash.add_reading(reading(value=0.75))
+        assert len(dash.alerts()) == 1
+
+    def test_below_rule_does_not_trigger_above(self):
+        dash = AIDashboard()
+        dash.add_rule(AlertRule(sensor="performance", threshold=0.8))
+        dash.add_reading(reading(value=0.85))
+        assert dash.alerts() == []
+
+    def test_above_rule(self):
+        dash = AIDashboard()
+        dash.add_rule(
+            AlertRule(sensor="drift", threshold=0.5, direction="above")
+        )
+        dash.add_reading(reading(sensor="drift", value=0.9))
+        assert len(dash.alerts()) == 1
+
+    def test_rule_only_matches_its_sensor(self):
+        dash = AIDashboard()
+        dash.add_rule(AlertRule(sensor="performance", threshold=0.8))
+        dash.add_reading(reading(sensor="other", value=0.1))
+        assert dash.alerts() == []
+
+    def test_invalid_direction_raises(self):
+        with pytest.raises(ValueError):
+            AlertRule(sensor="x", threshold=0.5, direction="sideways")
+
+    def test_subscriber_notified(self):
+        dash = AIDashboard()
+        seen = []
+        dash.subscribe(seen.append)
+        dash.add_rule(AlertRule(sensor="performance", threshold=0.8))
+        dash.add_reading(reading(value=0.5))
+        assert len(seen) == 1
+        assert "fell below" in seen[0].summary
+
+    def test_acknowledge_all(self):
+        dash = AIDashboard()
+        dash.add_rule(AlertRule(sensor="performance", threshold=0.9))
+        dash.add_reading(reading(value=0.5))
+        dash.add_reading(reading(value=0.6))
+        assert dash.acknowledge_all() == 2
+        assert dash.alerts() == []
+        assert len(dash.alerts(include_acknowledged=True)) == 2
+
+    def test_alert_message_included(self):
+        dash = AIDashboard()
+        dash.add_rule(
+            AlertRule(
+                sensor="performance",
+                threshold=0.9,
+                message="possible poisoning",
+            )
+        )
+        dash.add_reading(reading(value=0.5))
+        assert "possible poisoning" in dash.alerts()[0].summary
+
+
+class TestPanels:
+    def test_trust_panel_aggregates_latest_by_property(self):
+        dash = AIDashboard()
+        dash.add_reading(reading(sensor="perf", value=0.9))
+        dash.add_reading(
+            reading(sensor="fair", value=0.5, prop=TrustProperty.FAIRNESS)
+        )
+        score = dash.trust_panel()
+        assert score.value == pytest.approx(0.7)
+        assert score.per_property[TrustProperty.FAIRNESS] == 0.5
+
+    def test_trust_panel_averages_same_property_sensors(self):
+        dash = AIDashboard()
+        dash.add_reading(reading(sensor="a", value=1.0))
+        dash.add_reading(reading(sensor="b", value=0.0))
+        score = dash.trust_panel()
+        assert score.per_property[TrustProperty.ACCURACY] == pytest.approx(0.5)
+
+    def test_drift_negative_on_degradation(self):
+        dash = AIDashboard()
+        for v in (0.9, 0.9, 0.9, 0.5, 0.5, 0.5):
+            dash.add_reading(reading(value=v))
+        assert dash.drift("performance", window=3) == pytest.approx(-0.4)
+
+    def test_drift_zero_for_single_reading(self):
+        dash = AIDashboard()
+        dash.add_reading(reading())
+        assert dash.drift("performance") == 0.0
+
+
+class TestExport:
+    def test_json_roundtrip(self):
+        dash = AIDashboard()
+        dash.add_rule(AlertRule(sensor="performance", threshold=0.95))
+        dash.add_reading(reading(value=0.9, t=5.0, v=2))
+        payload = json.loads(dash.to_json())
+        assert payload["sensors"]["performance"][0]["value"] == 0.9
+        assert payload["sensors"]["performance"][0]["model_version"] == 2
+        assert payload["alerts"][0]["threshold"] == 0.95
+
+    def test_render_text_contains_sensors_and_alerts(self):
+        dash = AIDashboard()
+        dash.add_rule(AlertRule(sensor="performance", threshold=0.95))
+        dash.add_reading(reading(value=0.9))
+        text = dash.render_text()
+        assert "performance" in text
+        assert "alerts: 1 pending" in text
+
+    def test_render_text_trend_arrows(self):
+        dash = AIDashboard()
+        for v in (0.2, 0.2, 0.9, 0.9):
+            dash.add_reading(reading(value=v))
+        assert "↑" in dash.render_text()

@@ -1,0 +1,123 @@
+"""Tests for the non-induced-change (data drift) detectors and sensor."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelContext
+from repro.core.drift import (
+    DataDriftSensor,
+    dataset_drift_score,
+    ks_statistic,
+    population_stability_index,
+)
+
+
+@pytest.fixture()
+def reference(rng):
+    return np.random.default_rng(1).normal(size=(500, 3))
+
+
+class TestPsi:
+    def test_same_distribution_near_zero(self, reference):
+        live = np.random.default_rng(2).normal(size=500)
+        psi = population_stability_index(reference[:, 0], live)
+        assert psi < 0.1
+
+    def test_shifted_distribution_large(self, reference):
+        live = np.random.default_rng(2).normal(3.0, 1.0, size=500)
+        psi = population_stability_index(reference[:, 0], live)
+        assert psi > 0.25
+
+    def test_scale_change_detected(self, reference):
+        live = np.random.default_rng(2).normal(0.0, 5.0, size=500)
+        assert population_stability_index(reference[:, 0], live) > 0.25
+
+    def test_constant_feature_is_zero(self):
+        assert population_stability_index(np.ones(100), np.ones(50)) == 0.0
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            population_stability_index(np.ones(5), np.ones(5), n_bins=10)
+
+    def test_non_negative(self, reference):
+        live = np.random.default_rng(3).normal(0.5, 1.5, size=200)
+        assert population_stability_index(reference[:, 0], live) >= 0.0
+
+
+class TestKs:
+    def test_identical_samples_zero(self):
+        x = np.arange(100, dtype=float)
+        assert ks_statistic(x, x) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_statistic(np.zeros(50), np.ones(50) * 10) == 1.0
+
+    def test_bounded(self, reference):
+        live = np.random.default_rng(4).normal(1.0, 1.0, size=300)
+        stat = ks_statistic(reference[:, 0], live)
+        assert 0.0 <= stat <= 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.empty(0), np.ones(5))
+
+
+class TestDatasetDrift:
+    def test_per_feature_scores(self, reference):
+        live = np.random.default_rng(5).normal(size=(300, 3))
+        live[:, 1] += 4.0  # only feature 1 drifts
+        scores = dataset_drift_score(reference, live)
+        assert scores.shape == (3,)
+        assert int(np.argmax(scores)) == 1
+
+    def test_ks_method(self, reference):
+        live = np.random.default_rng(5).normal(size=(300, 3))
+        scores = dataset_drift_score(reference, live, method="ks")
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_unknown_method_raises(self, reference):
+        with pytest.raises(ValueError):
+            dataset_drift_score(reference, reference, method="chi2")
+
+    def test_feature_mismatch_raises(self, reference):
+        with pytest.raises(ValueError):
+            dataset_drift_score(reference, np.ones((10, 5)))
+
+
+class TestDataDriftSensor:
+    def test_stable_data_scores_high(self, reference):
+        live = np.random.default_rng(6).normal(size=(300, 3))
+        ctx = ModelContext(X_train=reference, X_test=live)
+        reading = DataDriftSensor().measure(ctx)
+        assert reading.value > 0.7
+        assert reading.details["mean_drift"] < 0.25
+
+    def test_drifted_data_scores_low(self, reference):
+        live = np.random.default_rng(6).normal(3.0, 1.0, size=(300, 3))
+        ctx = ModelContext(X_train=reference, X_test=live)
+        reading = DataDriftSensor().measure(ctx)
+        assert reading.value < 0.3
+
+    def test_live_window_from_extras_preferred(self, reference):
+        stable = np.random.default_rng(6).normal(size=(300, 3))
+        drifted = np.random.default_rng(6).normal(5.0, 1.0, size=(300, 3))
+        ctx = ModelContext(
+            X_train=reference, X_test=stable, extras={"X_live": drifted}
+        )
+        reading = DataDriftSensor().measure(ctx)
+        assert reading.value < 0.3
+
+    def test_worst_feature_reported(self, reference):
+        live = np.random.default_rng(7).normal(size=(300, 3))
+        live[:, 2] += 5.0
+        ctx = ModelContext(X_train=reference, X_test=live)
+        reading = DataDriftSensor().measure(ctx)
+        assert reading.details["worst_feature"] == 2.0
+
+    def test_missing_data_raises(self):
+        with pytest.raises(ValueError):
+            DataDriftSensor().measure(ModelContext())
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            DataDriftSensor(threshold=0.0)

@@ -1,0 +1,105 @@
+"""Tests for the human-in-the-loop operator actions."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import RandomLabelFlippingAttack
+from repro.core.feedback import (
+    LabelSanitizationAction,
+    ModelSwapAction,
+    RetrainAction,
+    sanitize_labels_knn,
+)
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+from repro.ml.pipeline import AIPipeline
+
+
+class TestSanitizeLabelsKnn:
+    def test_repairs_flipped_labels_in_separable_data(self, blobs):
+        X, y = blobs
+        poisoned = RandomLabelFlippingAttack(rate=0.1, seed=0).apply(X, y)
+        repaired = sanitize_labels_knn(X, poisoned.y, k=7, threshold=0.8)
+        errors_before = int(np.sum(poisoned.y != y))
+        errors_after = int(np.sum(repaired != y))
+        assert errors_after < errors_before
+
+    def test_clean_labels_mostly_untouched(self, blobs):
+        X, y = blobs
+        repaired = sanitize_labels_knn(X, y, k=7, threshold=0.8)
+        assert np.mean(repaired != y) < 0.02
+
+    def test_invalid_k_raises(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            sanitize_labels_knn(X, y, k=0)
+        with pytest.raises(ValueError):
+            sanitize_labels_knn(X, y, k=len(y))
+
+    def test_invalid_threshold_raises(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            sanitize_labels_knn(X, y, threshold=0.4)
+
+    def test_original_not_mutated(self, blobs):
+        X, y = blobs
+        y_before = y.copy()
+        sanitize_labels_knn(X, y)
+        assert np.array_equal(y, y_before)
+
+
+def make_poisoned_pipeline(blobs, rate=0.3):
+    X, y = blobs
+    attack = RandomLabelFlippingAttack(rate=rate, seed=0)
+
+    def poisoning_labeler(X_, y_):
+        return attack.apply(X_, y_).y
+
+    return AIPipeline(
+        data_provider=lambda: (X, y),
+        model_factory=lambda: DecisionTreeClassifier(max_depth=6),
+        labeler=poisoning_labeler,
+        seed=0,
+        deduplicate=False,
+    )
+
+
+class TestOperatorActions:
+    def test_retrain_action_bumps_version(self, blobs):
+        pipe = make_poisoned_pipeline(blobs, rate=0.0)
+        pipe.run()
+        RetrainAction().apply(pipe)
+        assert pipe.context.model_version == 2
+
+    def test_model_swap_action(self, blobs):
+        pipe = make_poisoned_pipeline(blobs, rate=0.0)
+        pipe.run()
+        ModelSwapAction(
+            factory=lambda: RandomForestClassifier(n_estimators=5, max_depth=4)
+        ).apply(pipe)
+        assert isinstance(pipe.context.model, RandomForestClassifier)
+
+    def test_model_swap_without_factory_raises(self, blobs):
+        pipe = make_poisoned_pipeline(blobs, rate=0.0)
+        pipe.run()
+        with pytest.raises(ValueError):
+            ModelSwapAction().apply(pipe)
+
+    def test_label_sanitization_recovers_accuracy(self, blobs):
+        """The full corrective loop: poison → detect (low accuracy) →
+        sanitise → re-run → accuracy recovers."""
+        pipe = make_poisoned_pipeline(blobs, rate=0.3)
+        ctx = pipe.run()
+        poisoned_acc = ctx.evaluation["accuracy"]
+        ctx = LabelSanitizationAction(k=7, threshold=0.7).apply(pipe)
+        sanitised_acc = ctx.evaluation["accuracy"]
+        assert sanitised_acc > poisoned_acc
+
+    def test_sanitization_keeps_previous_labeler(self, blobs):
+        """The sanitiser wraps (not replaces) the existing labeler, so the
+        attack still runs first and gets cleaned after."""
+        pipe = make_poisoned_pipeline(blobs, rate=0.2)
+        pipe.run()
+        LabelSanitizationAction(k=7, threshold=0.7).apply(pipe)
+        # labeler is now a composition; running again still works
+        ctx = pipe.run()
+        assert ctx.deployed

@@ -1,0 +1,96 @@
+"""Tests for model-card generation."""
+
+import pytest
+
+from repro.core import (
+    AIDashboard,
+    AlertRule,
+    ModelContext,
+    PerformanceSensor,
+    SensorRegistry,
+    generate_model_card,
+)
+from repro.ml import DecisionTreeClassifier
+from repro.ml.pipeline import AIPipeline, StageKind
+
+
+@pytest.fixture()
+def run_pipeline(blobs):
+    X, y = blobs
+    pipeline = AIPipeline(
+        data_provider=lambda: (X, y),
+        model_factory=lambda: DecisionTreeClassifier(max_depth=4),
+        seed=0,
+    )
+    pipeline.run()
+    return pipeline
+
+
+class TestGenerateModelCard:
+    def test_minimal_card_sections(self, run_pipeline):
+        card = generate_model_card(run_pipeline, model_name="fall-detector")
+        assert "# Model card — fall-detector" in card
+        assert "## Model details" in card
+        assert "DecisionTreeClassifier" in card
+        assert "## Training data" in card
+        assert "## Evaluation" in card
+        assert "accuracy:" in card
+
+    def test_requires_completed_run(self, blobs):
+        X, y = blobs
+        pipeline = AIPipeline(
+            data_provider=lambda: (X, y),
+            model_factory=lambda: DecisionTreeClassifier(max_depth=2),
+        )
+        with pytest.raises(ValueError, match="run the pipeline"):
+            generate_model_card(pipeline)
+
+    def test_dashboard_section(self, run_pipeline):
+        dashboard = AIDashboard()
+        sensor = PerformanceSensor(clock=lambda: 0.0)
+        ctx = run_pipeline.context
+        dashboard.add_reading(
+            sensor.measure(
+                ModelContext(
+                    model=ctx.model,
+                    X_test=ctx.X_test,
+                    y_test=ctx.y_test,
+                    model_version=ctx.model_version,
+                )
+            )
+        )
+        card = generate_model_card(run_pipeline, dashboard=dashboard)
+        assert "## Trustworthy monitoring" in card
+        assert "performance (accuracy)" in card
+
+    def test_caveats_list_instrumentation_gaps(self, run_pipeline):
+        registry = SensorRegistry()
+        registry.register(PerformanceSensor())
+        card = generate_model_card(run_pipeline, registry=registry)
+        assert "unmonitored pipeline vulnerabilities" in card
+
+    def test_alert_caveat(self, run_pipeline):
+        dashboard = AIDashboard()
+        dashboard.add_rule(AlertRule(sensor="performance", threshold=2.0))
+        sensor = PerformanceSensor(clock=lambda: 0.0)
+        ctx = run_pipeline.context
+        dashboard.add_reading(
+            sensor.measure(
+                ModelContext(
+                    model=ctx.model, X_test=ctx.X_test, y_test=ctx.y_test
+                )
+            )
+        )
+        card = generate_model_card(run_pipeline, dashboard=dashboard)
+        assert "unacknowledged dashboard alerts" in card
+
+    def test_intended_use_section(self, run_pipeline):
+        card = generate_model_card(
+            run_pipeline, intended_use="Detect falls; not a medical device."
+        )
+        assert "## Intended use" in card
+        assert "not a medical device" in card
+
+    def test_clean_card_has_no_caveats(self, run_pipeline):
+        card = generate_model_card(run_pipeline)
+        assert "none recorded" in card

@@ -1,0 +1,80 @@
+"""Tests for the continuous monitor."""
+
+import pytest
+
+from repro.core.dashboard import AIDashboard
+from repro.core.monitor import ContinuousMonitor
+from repro.core.registry import SensorRegistry
+from repro.core.sensors import DataQualitySensor, ModelContext, PerformanceSensor
+
+
+@pytest.fixture()
+def setup(trained_mlp, blobs):
+    X, y = blobs
+    registry = SensorRegistry()
+    registry.register(PerformanceSensor(clock=lambda: 0.0))
+    registry.register(DataQualitySensor(clock=lambda: 0.0))
+    dashboard = AIDashboard()
+    state = {"version": 1}
+
+    def provider():
+        return ModelContext(
+            model=trained_mlp,
+            X_train=X,
+            y_train=y,
+            X_test=X[:40],
+            y_test=y[:40],
+            model_version=state["version"],
+        )
+
+    monitor = ContinuousMonitor(registry, dashboard, provider)
+    return monitor, dashboard, state
+
+
+class TestPolling:
+    def test_poll_once_pushes_all_sensors(self, setup):
+        monitor, dashboard, __ = setup
+        record = monitor.poll_once()
+        assert len(record.readings) == 2
+        assert set(dashboard.sensors) == {"performance", "data_quality"}
+
+    def test_run_n_rounds(self, setup):
+        monitor, dashboard, __ = setup
+        monitor.run(4)
+        assert monitor.n_rounds == 4
+        assert len(dashboard.values("performance")) == 4
+
+    def test_round_indices_sequential(self, setup):
+        monitor, __, __ = setup
+        rounds = monitor.run(3)
+        assert [r.index for r in rounds] == [0, 1, 2]
+
+    def test_negative_rounds_raise(self, setup):
+        monitor, __, __ = setup
+        with pytest.raises(ValueError):
+            monitor.run(-1)
+
+    def test_trigger_recorded(self, setup):
+        monitor, __, __ = setup
+        record = monitor.poll_once(trigger="manual")
+        assert record.trigger == "manual"
+
+
+class TestModelUpdateTrigger:
+    def test_first_call_polls(self, setup):
+        monitor, __, __ = setup
+        assert monitor.on_model_update() is not None
+
+    def test_no_change_no_poll(self, setup):
+        monitor, __, __ = setup
+        monitor.poll_once()
+        assert monitor.on_model_update() is None
+
+    def test_version_bump_triggers_poll(self, setup):
+        monitor, __, state = setup
+        monitor.poll_once()
+        state["version"] = 2
+        record = monitor.on_model_update()
+        assert record is not None
+        assert record.trigger == "model_update"
+        assert record.readings[0].model_version == 2

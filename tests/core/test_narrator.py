@@ -1,0 +1,86 @@
+"""Tests for the stakeholder-tailored narrator."""
+
+import pytest
+
+from repro.core.narrator import Audience, narrate_reading, narrate_report
+from repro.core.sensors import SensorReading
+from repro.trust.properties import TrustProperty
+
+
+def reading(value=0.9, prop=TrustProperty.ACCURACY, sensor="performance", v=2):
+    return SensorReading(
+        sensor=sensor,
+        property=prop,
+        value=value,
+        timestamp=12.5,
+        model_version=v,
+        details={"accuracy": value, "recall": value - 0.02},
+    )
+
+
+class TestEndUserNarration:
+    def test_plain_language_no_jargon(self):
+        text = narrate_reading(reading(0.95), Audience.END_USER)
+        assert "answers right" in text
+        assert "model v" not in text  # no developer jargon
+
+    def test_percentage_rendered(self):
+        text = narrate_reading(reading(0.95), Audience.END_USER)
+        assert "95%" in text
+
+    def test_low_value_adds_caution(self):
+        text = narrate_reading(reading(0.5), Audience.END_USER)
+        assert "double-check" in text
+
+    def test_quality_words(self):
+        assert "good" in narrate_reading(reading(0.95), Audience.END_USER)
+        assert "poor" in narrate_reading(reading(0.2), Audience.END_USER)
+
+    def test_unknown_property_falls_back(self):
+        text = narrate_reading(
+            reading(prop=TrustProperty.SAFETY), Audience.END_USER
+        )
+        assert "trustworthiness" in text
+
+
+class TestDeveloperNarration:
+    def test_contains_metrics_and_version(self):
+        text = narrate_reading(reading(0.9), Audience.DEVELOPER)
+        assert "[performance]" in text
+        assert "model v2" in text
+        assert "accuracy=0.9" in text
+
+    def test_low_value_mentions_tradeoffs(self):
+        text = narrate_reading(
+            reading(0.4, prop=TrustProperty.ACCURACY), Audience.DEVELOPER
+        )
+        assert "fairness" in text  # accuracy↔fairness documented trade-off
+
+
+class TestAuditorNarration:
+    def test_compliance_statement(self):
+        text = narrate_reading(reading(0.9), Audience.AUDITOR)
+        assert "COMPLIANT" in text
+        assert "model version 2" in text
+        assert "timestamp" in text
+
+    def test_review_flag_below_threshold(self):
+        text = narrate_reading(reading(0.5), Audience.AUDITOR)
+        assert "REQUIRES REVIEW" in text
+
+
+class TestReport:
+    def test_most_alarming_first(self):
+        readings = [reading(0.9), reading(0.3, sensor="resilience")]
+        lines = narrate_report(readings, Audience.AUDITOR)
+        assert "resilience" in lines[0]
+
+    def test_one_line_per_reading(self):
+        lines = narrate_report([reading(), reading(0.5)], Audience.END_USER)
+        assert len(lines) == 2
+
+    def test_all_audiences_render_everything(self):
+        for audience in Audience:
+            for value in (0.1, 0.6, 0.95):
+                text = narrate_reading(reading(value), audience)
+                assert isinstance(text, str) and text

@@ -1,0 +1,139 @@
+"""Tests for the sensor registry and pipeline instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import SensorRegistry
+from repro.core.sensors import (
+    DataQualitySensor,
+    ModelContext,
+    PerformanceSensor,
+)
+from repro.ml import DecisionTreeClassifier
+from repro.ml.pipeline import AIPipeline, StageKind
+from repro.trust.properties import TrustProperty
+
+
+@pytest.fixture()
+def registry():
+    reg = SensorRegistry()
+    reg.register(PerformanceSensor(clock=lambda: 0.0))
+    reg.register(DataQualitySensor(clock=lambda: 0.0))
+    return reg
+
+
+@pytest.fixture()
+def context(trained_mlp, blobs):
+    X, y = blobs
+    return ModelContext(
+        model=trained_mlp, X_train=X, y_train=y, X_test=X[:50], y_test=y[:50]
+    )
+
+
+class TestRegistryBasics:
+    def test_register_and_get(self, registry):
+        assert registry.get("performance").name == "performance"
+
+    def test_duplicate_name_raises(self, registry):
+        with pytest.raises(ValueError):
+            registry.register(PerformanceSensor())
+
+    def test_unregister(self, registry):
+        registry.unregister("performance")
+        with pytest.raises(KeyError):
+            registry.get("performance")
+
+    def test_unregister_unknown_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.unregister("nope")
+
+    def test_properties_covered(self, registry):
+        assert registry.properties_covered == frozenset(
+            {TrustProperty.ACCURACY, TrustProperty.VALIDITY}
+        )
+
+    def test_poll_returns_one_reading_per_sensor(self, registry, context):
+        readings = registry.poll(context)
+        assert len(readings) == 2
+        assert {r.sensor for r in readings} == {"performance", "data_quality"}
+
+    def test_poll_one(self, registry, context):
+        reading = registry.poll_one("data_quality", context)
+        assert reading.sensor == "data_quality"
+
+
+class TestInstrumentation:
+    def test_instrument_pipeline_pushes_to_sink(self, registry, blobs):
+        X, y = blobs
+        pipeline = AIPipeline(
+            data_provider=lambda: (X, y),
+            model_factory=lambda: DecisionTreeClassifier(max_depth=3),
+            seed=0,
+        )
+        collected = []
+        registry.instrument_pipeline(
+            pipeline,
+            "performance",
+            StageKind.EVALUATION,
+            context_builder=lambda ctx: ModelContext(
+                model=ctx.model,
+                X_train=ctx.X_train,
+                y_train=ctx.y_train,
+                X_test=ctx.X_test,
+                y_test=ctx.y_test,
+                model_version=ctx.model_version,
+            ),
+            sink=collected.append,
+        )
+        pipeline.run()
+        assert len(collected) == 1
+        assert collected[0].sensor == "performance"
+        assert collected[0].model_version == 1
+
+    def test_stage_bindings_recorded(self, registry, blobs):
+        X, y = blobs
+        pipeline = AIPipeline(
+            data_provider=lambda: (X, y),
+            model_factory=lambda: DecisionTreeClassifier(max_depth=2),
+        )
+        registry.instrument_pipeline(
+            pipeline,
+            "data_quality",
+            StageKind.DATA_CLEANING,
+            context_builder=lambda ctx: ModelContext(X_train=ctx.X_clean),
+        )
+        assert registry.stages_for("data_quality") == [StageKind.DATA_CLEANING]
+
+    def test_stages_for_unknown_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.stages_for("ghost")
+
+
+class TestCoverage:
+    def test_uninstrumented_registry_has_full_blind_spots(self, registry):
+        gaps = registry.unmonitored_vulnerabilities()
+        names = {v.name for v in gaps}
+        assert "label_flipping" in names
+        assert "model_evasion" in names
+
+    def test_instrumentation_shrinks_blind_spots(self, registry, blobs):
+        X, y = blobs
+        pipeline = AIPipeline(
+            data_provider=lambda: (X, y),
+            model_factory=lambda: DecisionTreeClassifier(max_depth=2),
+        )
+        before = len(registry.unmonitored_vulnerabilities())
+        registry.instrument_pipeline(
+            pipeline,
+            "data_quality",
+            StageKind.DATA_COLLECTION,
+            context_builder=lambda ctx: ModelContext(X_train=ctx.X_raw),
+        )
+        after = len(registry.unmonitored_vulnerabilities())
+        assert after < before
+
+    def test_coverage_report_shape(self, registry):
+        report = registry.coverage_report()
+        assert report["n_sensors"] == 2
+        assert "accuracy" in report["properties"]
+        assert isinstance(report["unmonitored_vulnerabilities"], list)

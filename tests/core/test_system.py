@@ -1,0 +1,122 @@
+"""Tests for the SpatialSystem facade."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks import RandomLabelFlippingAttack
+from repro.core import (
+    AlertRule,
+    LabelSanitizationAction,
+    PerformanceSensor,
+    RetrainAction,
+    SpatialSystem,
+)
+from repro.ml import DecisionTreeClassifier
+from repro.ml.pipeline import AIPipeline
+from repro.trust.properties import TrustProperty
+
+
+@pytest.fixture()
+def pipeline(blobs):
+    X, y = blobs
+    return AIPipeline(
+        data_provider=lambda: (X, y),
+        model_factory=lambda: DecisionTreeClassifier(max_depth=5),
+        seed=0,
+    )
+
+
+class TestAttach:
+    def test_default_sensors(self, pipeline):
+        spatial = SpatialSystem.attach(pipeline)
+        assert spatial.registry.get("performance")
+        assert spatial.registry.get("data_quality")
+
+    def test_custom_sensors_and_rules(self, pipeline):
+        spatial = SpatialSystem.attach(
+            pipeline,
+            sensors=[PerformanceSensor(name="acc")],
+            rules=[AlertRule(sensor="acc", threshold=0.5)],
+        )
+        assert spatial.registry.sensors[0].name == "acc"
+        spatial.run_pipeline()
+        assert spatial.alerts() == []  # blobs accuracy well above 0.5
+
+
+class TestOperation:
+    def test_run_pipeline_polls_sensors(self, pipeline):
+        spatial = SpatialSystem.attach(pipeline)
+        context = spatial.run_pipeline()
+        assert context.deployed
+        assert spatial.dashboard.latest("performance").model_version == 1
+
+    def test_poll_rounds(self, pipeline):
+        spatial = SpatialSystem.attach(pipeline)
+        spatial.run_pipeline()
+        spatial.poll(3)
+        assert len(spatial.dashboard.values("performance")) == 4
+
+    def test_apply_action_repolls(self, pipeline):
+        spatial = SpatialSystem.attach(pipeline)
+        spatial.run_pipeline()
+        spatial.apply(RetrainAction())
+        assert spatial.dashboard.latest("performance").model_version == 2
+
+    def test_full_poison_recover_loop(self, blobs):
+        X, y = blobs
+        attack = RandomLabelFlippingAttack(rate=0.35, seed=0)
+        state = {"poison": False}
+
+        def labeler(X_, y_):
+            return attack.apply(X_, y_).y if state["poison"] else y_
+
+        pipeline = AIPipeline(
+            data_provider=lambda: (X, y),
+            model_factory=lambda: DecisionTreeClassifier(max_depth=8),
+            labeler=labeler,
+            seed=0,
+            deduplicate=False,
+        )
+        spatial = SpatialSystem.attach(
+            pipeline,
+            rules=[AlertRule(sensor="performance", threshold=0.85)],
+        )
+        spatial.run_pipeline()
+        clean = spatial.dashboard.latest("performance").value
+        state["poison"] = True
+        spatial.run_pipeline()
+        poisoned = spatial.dashboard.latest("performance").value
+        assert poisoned < clean
+        assert spatial.alerts()
+        spatial.apply(LabelSanitizationAction(k=7, threshold=0.7))
+        recovered = spatial.dashboard.latest("performance").value
+        assert recovered > poisoned
+
+
+class TestInsight:
+    def test_trust_score(self, pipeline):
+        spatial = SpatialSystem.attach(pipeline)
+        spatial.run_pipeline()
+        score = spatial.trust_score()
+        assert 0.0 <= score.value <= 1.0
+        assert TrustProperty.ACCURACY in score.per_property
+
+    def test_model_card(self, pipeline):
+        spatial = SpatialSystem.attach(pipeline)
+        spatial.run_pipeline()
+        card = spatial.model_card(model_name="blob-classifier")
+        assert "blob-classifier" in card
+        assert "## Trustworthy monitoring" in card
+
+    def test_audit_export_is_valid_json(self, pipeline):
+        spatial = SpatialSystem.attach(pipeline)
+        spatial.run_pipeline()
+        payload = json.loads(spatial.audit_export())
+        assert "sensors" in payload
+
+    def test_coverage_report(self, pipeline):
+        spatial = SpatialSystem.attach(pipeline)
+        report = spatial.coverage_report()
+        assert report["n_sensors"] == 2

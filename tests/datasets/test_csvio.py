@@ -1,0 +1,70 @@
+"""Tests for feature-matrix CSV round trips."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import read_feature_csv, write_feature_csv
+from repro.datasets.nettraffic import FEATURE_NAMES
+
+
+class TestRoundtrip:
+    def test_values_and_labels_preserved(self, tmp_path, net_small):
+        path = tmp_path / "traffic.csv"
+        write_feature_csv(path, net_small.X, net_small.y, FEATURE_NAMES)
+        X, y, names = read_feature_csv(path)
+        assert np.allclose(X, net_small.X)
+        assert np.array_equal(y, net_small.y)
+        assert names == FEATURE_NAMES
+
+    def test_numeric_labels_roundtrip_as_strings(self, tmp_path):
+        X = np.array([[1.5, 2.5], [3.5, 4.5]])
+        y = np.array([0, 1])
+        path = tmp_path / "data.csv"
+        write_feature_csv(path, X, y)
+        __, loaded_y, __ = read_feature_csv(path)
+        assert loaded_y.astype(int).tolist() == [0, 1]
+
+    def test_default_feature_names(self, tmp_path):
+        X = np.ones((3, 4))
+        write_feature_csv(tmp_path / "d.csv", X, np.zeros(3))
+        __, __, names = read_feature_csv(tmp_path / "d.csv")
+        assert names == ("f0", "f1", "f2", "f3")
+
+    def test_full_precision_preserved(self, tmp_path, rng):
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        write_feature_csv(tmp_path / "p.csv", X, np.zeros(5))
+        loaded, __, __ = read_feature_csv(tmp_path / "p.csv")
+        assert np.array_equal(loaded, X)  # repr() round-trips float64 exactly
+
+
+class TestValidation:
+    def test_shape_mismatch_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_feature_csv(tmp_path / "x.csv", np.ones((3, 2)), np.ones(4))
+
+    def test_wrong_name_count_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_feature_csv(
+                tmp_path / "x.csv", np.ones((2, 2)), np.ones(2), ["only_one"]
+            )
+
+    def test_label_column_clash_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="clashes"):
+            write_feature_csv(
+                tmp_path / "x.csv",
+                np.ones((2, 1)),
+                np.ones(2),
+                ["label"],
+            )
+
+    def test_missing_label_column_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="label"):
+            read_feature_csv(path)
+
+    def test_empty_csv_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("f0,label\n")
+        with pytest.raises(ValueError, match="no data"):
+            read_feature_csv(path)

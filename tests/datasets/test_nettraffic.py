@@ -1,0 +1,157 @@
+"""Tests for the network-traffic dataset and flow feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.nettraffic import (
+    ACTIVITY_CLASSES,
+    FEATURE_CATEGORIES,
+    FEATURE_NAMES,
+    PAPER_CLASS_COUNTS,
+    extract_flow_features,
+    generate_network_dataset,
+    generate_trace,
+)
+from repro.datasets.pcap import DOWNLINK, UPLINK, Packet, Trace
+
+
+class TestFeatureCatalogue:
+    def test_exactly_21_features(self):
+        assert len(FEATURE_NAMES) == 21
+
+    def test_five_categories(self):
+        assert set(FEATURE_CATEGORIES) == {
+            "duration",
+            "protocol",
+            "uplink",
+            "downlink",
+            "speed",
+        }
+
+    def test_category_sizes_sum_to_21(self):
+        assert sum(len(v) for v in FEATURE_CATEGORIES.values()) == 21
+
+    def test_names_unique(self):
+        assert len(set(FEATURE_NAMES)) == 21
+
+    def test_paper_class_counts(self):
+        assert PAPER_CLASS_COUNTS == {"web": 304, "interactive": 34, "video": 44}
+
+
+class TestGenerateTrace:
+    @pytest.mark.parametrize("activity", ACTIVITY_CLASSES)
+    def test_each_activity_generates(self, activity):
+        trace = generate_trace(activity, seed=0)
+        assert len(trace.packets) > 0
+        assert trace.activity == activity
+
+    def test_unknown_activity_raises(self):
+        with pytest.raises(ValueError):
+            generate_trace("gaming")
+
+    def test_deterministic(self):
+        a = generate_trace("web", seed=9)
+        b = generate_trace("web", seed=9)
+        assert len(a.packets) == len(b.packets)
+        assert a.total_bytes == b.total_bytes
+
+    def test_video_is_downlink_heavy(self):
+        trace = generate_trace("video", seed=1)
+        down = sum(p.size for p in trace.filter(direction=DOWNLINK))
+        up = sum(p.size for p in trace.filter(direction=UPLINK))
+        assert down > 10 * up
+
+    def test_interactive_roughly_symmetric(self):
+        trace = generate_trace("interactive", seed=1)
+        down = len(trace.filter(direction=DOWNLINK))
+        up = len(trace.filter(direction=UPLINK))
+        assert 0.15 < up / max(down, 1) < 6.0
+
+
+class TestExtractFlowFeatures:
+    def test_vector_length(self):
+        trace = generate_trace("web", seed=0)
+        assert extract_flow_features(trace).shape == (21,)
+
+    def test_empty_trace_all_zero(self):
+        assert np.allclose(extract_flow_features(Trace()), 0.0)
+
+    def test_protocol_ratios_sum_to_one(self):
+        trace = generate_trace("interactive", seed=2)
+        feats = dict(zip(FEATURE_NAMES, extract_flow_features(trace)))
+        assert feats["protocol_tcp_ratio"] + feats["protocol_udp_ratio"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_duration_matches_trace(self):
+        trace = generate_trace("video", seed=3)
+        feats = dict(zip(FEATURE_NAMES, extract_flow_features(trace)))
+        assert feats["duration_total"] == pytest.approx(trace.duration)
+
+    def test_byte_counts_match(self):
+        trace = generate_trace("web", seed=4)
+        feats = dict(zip(FEATURE_NAMES, extract_flow_features(trace)))
+        up = sum(p.size for p in trace.filter(direction=UPLINK))
+        down = sum(p.size for p in trace.filter(direction=DOWNLINK))
+        assert feats["uplink_bytes"] == pytest.approx(up)
+        assert feats["downlink_bytes"] == pytest.approx(down)
+
+    def test_single_packet_trace(self):
+        trace = Trace(
+            packets=[Packet(0.0, 100, "tcp", UPLINK, 50000, 443)]
+        )
+        feats = extract_flow_features(trace)
+        assert np.all(np.isfinite(feats))
+
+    def test_all_finite_on_all_classes(self):
+        for activity in ACTIVITY_CLASSES:
+            feats = extract_flow_features(generate_trace(activity, seed=5))
+            assert np.all(np.isfinite(feats)), activity
+
+
+class TestGenerateDataset:
+    def test_small_dataset_counts(self, net_small):
+        assert net_small.n_samples == 84
+        assert net_small.class_counts() == {
+            "web": 60,
+            "interactive": 12,
+            "video": 12,
+        }
+
+    def test_features_match_traces(self, net_small):
+        # recomputing features for a few traces must match the matrix
+        for i in (0, 5, 20):
+            recomputed = extract_flow_features(net_small.traces[i])
+            assert np.allclose(recomputed, net_small.X[i])
+
+    def test_labels_match_trace_activity(self, net_small):
+        for label, trace in zip(net_small.y, net_small.traces):
+            assert label == trace.activity
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ValueError):
+            generate_network_dataset(class_counts={"gaming": 3})
+
+    def test_deterministic(self):
+        a = generate_network_dataset(class_counts={"web": 5, "video": 3}, seed=1)
+        b = generate_network_dataset(class_counts={"web": 5, "video": 3}, seed=1)
+        assert np.allclose(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_learnable_by_gbdt(self, net_small):
+        from repro.ml import StandardScaler, train_test_split, xgboost_like
+
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            net_small.X, net_small.y, test_size=0.3, seed=0
+        )
+        scaler = StandardScaler().fit(X_tr)
+        m = xgboost_like(n_estimators=15, seed=0).fit(scaler.transform(X_tr), y_tr)
+        assert m.score(scaler.transform(X_te), y_te) > 0.8
+
+    def test_protocol_features_informative(self, net_small):
+        """udp share must separate interactive from web on average — the
+        premise of the paper's SHAP protocol-feature discussion."""
+        udp_idx = FEATURE_NAMES.index("protocol_udp_ratio")
+        udp_web = net_small.X[net_small.y == "web", udp_idx].mean()
+        udp_inter = net_small.X[net_small.y == "interactive", udp_idx].mean()
+        assert udp_inter > udp_web

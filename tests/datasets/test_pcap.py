@@ -1,0 +1,128 @@
+"""Tests for the packet/trace data model and CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pcap import (
+    DOWNLINK,
+    UPLINK,
+    Packet,
+    Trace,
+    read_trace_csv,
+    write_trace_csv,
+)
+
+
+def make_packet(**overrides):
+    defaults = dict(
+        timestamp=1.0,
+        size=100,
+        protocol="tcp",
+        direction=UPLINK,
+        src_port=50000,
+        dst_port=443,
+    )
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_valid_packet(self):
+        p = make_packet()
+        assert p.size == 100
+
+    def test_invalid_protocol(self):
+        with pytest.raises(ValueError):
+            make_packet(protocol="icmp")
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            make_packet(direction="sideways")
+
+    def test_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            make_packet(size=0)
+
+    def test_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            make_packet(timestamp=-0.1)
+
+    def test_frozen(self):
+        p = make_packet()
+        with pytest.raises(AttributeError):
+            p.size = 5
+
+
+class TestTrace:
+    def test_packets_sorted_on_construction(self):
+        trace = Trace(
+            packets=[make_packet(timestamp=5.0), make_packet(timestamp=1.0)]
+        )
+        times = [p.timestamp for p in trace.packets]
+        assert times == sorted(times)
+
+    def test_duration(self):
+        trace = Trace(
+            packets=[make_packet(timestamp=2.0), make_packet(timestamp=7.5)]
+        )
+        assert trace.duration == pytest.approx(5.5)
+
+    def test_duration_single_packet_is_zero(self):
+        assert Trace(packets=[make_packet()]).duration == 0.0
+
+    def test_total_bytes(self):
+        trace = Trace(
+            packets=[make_packet(size=100), make_packet(size=250, timestamp=2.0)]
+        )
+        assert trace.total_bytes == 350
+
+    def test_filter_by_protocol(self):
+        trace = Trace(
+            packets=[
+                make_packet(protocol="tcp"),
+                make_packet(protocol="udp", timestamp=2.0),
+            ]
+        )
+        assert len(trace.filter(protocol="udp")) == 1
+
+    def test_filter_by_direction_and_protocol(self):
+        trace = Trace(
+            packets=[
+                make_packet(protocol="tcp", direction=UPLINK),
+                make_packet(protocol="tcp", direction=DOWNLINK, timestamp=2.0),
+                make_packet(protocol="udp", direction=DOWNLINK, timestamp=3.0),
+            ]
+        )
+        assert len(trace.filter(protocol="tcp", direction=DOWNLINK)) == 1
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        trace = Trace(
+            packets=[
+                make_packet(timestamp=0.5, size=120),
+                make_packet(timestamp=1.25, size=800, direction=DOWNLINK),
+            ],
+            user_id=42,
+            activity="web",
+        )
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        loaded = read_trace_csv(path)
+        assert loaded.user_id == 42
+        assert loaded.activity == "web"
+        assert len(loaded.packets) == 2
+        assert loaded.packets[0].timestamp == pytest.approx(0.5)
+        assert loaded.packets[1].size == 800
+        assert loaded.packets[1].direction == DOWNLINK
+
+    def test_roundtrip_of_generated_trace(self, tmp_path):
+        from repro.datasets import generate_trace
+
+        trace = generate_trace("video", user_id=7, seed=1)
+        path = tmp_path / "video.csv"
+        write_trace_csv(trace, path)
+        loaded = read_trace_csv(path)
+        assert len(loaded.packets) == len(trace.packets)
+        assert loaded.activity == "video"
+        assert loaded.total_bytes == trace.total_bytes

@@ -1,0 +1,52 @@
+"""Tests for the synthetic shape-image dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.shapes import SHAPE_CLASSES, generate_shape_images
+
+
+class TestShapeImages:
+    def test_shapes_and_range(self, shape_images):
+        images, labels = shape_images
+        assert images.shape == (90, 12, 12)
+        assert labels.shape == (90,)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+    def test_all_classes_present(self, shape_images):
+        __, labels = shape_images
+        assert set(labels) == set(SHAPE_CLASSES)
+
+    def test_balanced(self, shape_images):
+        __, labels = shape_images
+        __, counts = np.unique(labels, return_counts=True)
+        assert max(counts) - min(counts) <= 1
+
+    def test_deterministic(self):
+        a = generate_shape_images(n_samples=30, size=10, seed=2)
+        b = generate_shape_images(n_samples=30, size=10, seed=2)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_too_small_size_raises(self):
+        with pytest.raises(ValueError):
+            generate_shape_images(size=4)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            generate_shape_images(n_samples=1)
+
+    def test_shapes_have_bright_pixels(self):
+        images, __ = generate_shape_images(n_samples=9, size=12, noise=0.0, seed=0)
+        for img in images:
+            assert img.max() == 1.0  # the drawn shape
+
+    def test_learnable_by_mlp(self, shape_images):
+        from repro.ml import MLPClassifier
+
+        images, labels = shape_images
+        X = images.reshape(len(images), -1)
+        m = MLPClassifier(
+            hidden_layers=(32,), n_epochs=60, learning_rate=0.01, seed=0
+        ).fit(X, labels)
+        assert m.score(X, labels) > 0.85

@@ -1,0 +1,103 @@
+"""Tests for the federated aggregation rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated.aggregation import coordinate_median, fedavg, trimmed_mean
+
+
+def updates_from(values):
+    """Build single-parameter updates from scalar values."""
+    return [[np.array([[float(v)]])] for v in values]
+
+
+class TestFedAvg:
+    def test_uniform_mean(self):
+        result = fedavg(updates_from([1.0, 2.0, 3.0]))
+        assert result[0][0, 0] == pytest.approx(2.0)
+
+    def test_weighted_mean(self):
+        result = fedavg(updates_from([0.0, 10.0]), weights=[3.0, 1.0])
+        assert result[0][0, 0] == pytest.approx(2.5)
+
+    def test_multiple_parameters(self):
+        updates = [
+            [np.ones((2, 2)), np.zeros(2)],
+            [3 * np.ones((2, 2)), 2 * np.ones(2)],
+        ]
+        result = fedavg(updates)
+        assert np.allclose(result[0], 2.0)
+        assert np.allclose(result[1], 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fedavg([])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fedavg([[np.ones((2, 2))], [np.ones((3, 3))]])
+
+    def test_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fedavg([[np.ones(2)], [np.ones(2), np.ones(2)]])
+
+    def test_wrong_weight_count_raises(self):
+        with pytest.raises(ValueError):
+            fedavg(updates_from([1, 2]), weights=[1.0])
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            fedavg(updates_from([1, 2]), weights=[-1.0, 2.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=8))
+    def test_between_min_and_max_property(self, values):
+        result = fedavg(updates_from(values))[0][0, 0]
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+class TestCoordinateMedian:
+    def test_median(self):
+        result = coordinate_median(updates_from([1.0, 100.0, 2.0]))
+        assert result[0][0, 0] == pytest.approx(2.0)
+
+    def test_robust_to_minority_outlier(self):
+        """One wild client out of five cannot move the median far."""
+        honest = [1.0, 1.1, 0.9, 1.05]
+        result = coordinate_median(updates_from(honest + [1e6]))
+        assert abs(result[0][0, 0] - 1.0) < 0.2
+
+    def test_elementwise(self):
+        updates = [
+            [np.array([0.0, 10.0])],
+            [np.array([1.0, 20.0])],
+            [np.array([100.0, 30.0])],
+        ]
+        result = coordinate_median(updates)
+        assert result[0].tolist() == [1.0, 20.0]
+
+
+class TestTrimmedMean:
+    def test_trims_extremes(self):
+        result = trimmed_mean(updates_from([0.0, 1.0, 2.0, 3.0, 1000.0]), trim=1)
+        assert result[0][0, 0] == pytest.approx(2.0)
+
+    def test_trim_zero_is_mean(self):
+        result = trimmed_mean(updates_from([1.0, 2.0, 3.0]), trim=0)
+        assert result[0][0, 0] == pytest.approx(2.0)
+
+    def test_over_trim_raises(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(updates_from([1.0, 2.0]), trim=1)
+
+    def test_negative_trim_raises(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(updates_from([1.0, 2.0, 3.0]), trim=-1)
+
+    def test_robust_to_trim_poisoners(self):
+        honest = [1.0] * 6
+        poisoned = [-1e6, 1e6]
+        result = trimmed_mean(updates_from(honest + poisoned), trim=2)
+        assert result[0][0, 0] == pytest.approx(1.0)

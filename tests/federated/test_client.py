@@ -1,0 +1,98 @@
+"""Tests for federated clients (honest and malicious)."""
+
+import numpy as np
+import pytest
+
+from repro.federated.client import FederatedClient, MaliciousClient
+from repro.ml.neural import MLPClassifier
+
+
+@pytest.fixture()
+def global_model(blobs):
+    X, y = blobs
+    model = MLPClassifier(hidden_layers=(8,), seed=0)
+    model.initialize(X.shape[1], np.unique(y))
+    return model
+
+
+@pytest.fixture()
+def shard(blobs):
+    X, y = blobs
+    return X[:100], y[:100]
+
+
+class TestFederatedClient:
+    def test_local_update_changes_parameters(self, global_model, shard):
+        X, y = shard
+        client = FederatedClient(0, X, y)
+        update = client.local_update(global_model, local_epochs=2)
+        before = global_model.get_parameters()
+        assert any(
+            not np.allclose(u, b) for u, b in zip(update, before)
+        ), "training must move the weights"
+
+    def test_global_model_untouched(self, global_model, shard):
+        X, y = shard
+        before = [p.copy() for p in global_model.get_parameters()]
+        FederatedClient(0, X, y).local_update(global_model)
+        after = global_model.get_parameters()
+        assert all(np.array_equal(a, b) for a, b in zip(after, before))
+
+    def test_update_improves_local_fit(self, global_model, shard):
+        X, y = shard
+        client = FederatedClient(0, X, y)
+        update = client.local_update(global_model, local_epochs=5)
+        local = MLPClassifier(hidden_layers=(8,), seed=0)
+        local.initialize(X.shape[1], global_model.classes_)
+        local.set_parameters(update)
+        untrained_acc = global_model.score(X, y)
+        assert local.score(X, y) >= untrained_acc
+
+    def test_empty_shard_raises(self):
+        with pytest.raises(ValueError):
+            FederatedClient(0, np.empty((0, 3)), np.empty(0))
+
+    def test_misaligned_shard_raises(self):
+        with pytest.raises(ValueError):
+            FederatedClient(0, np.ones((3, 2)), np.ones(4))
+
+    def test_n_samples(self, shard):
+        X, y = shard
+        assert FederatedClient(0, X, y).n_samples == 100
+
+
+class TestMaliciousClient:
+    def test_flip_rate_changes_local_labels(self, shard):
+        X, y = shard
+        client = MaliciousClient(0, X, y, flip_rate=0.5, seed=0)
+        __, y_local = client._local_data()
+        assert np.sum(y_local != y) == 50
+
+    def test_flip_rate_zero_is_honest(self, shard):
+        X, y = shard
+        client = MaliciousClient(0, X, y, flip_rate=0.0)
+        __, y_local = client._local_data()
+        assert np.array_equal(y_local, y)
+
+    def test_invalid_flip_rate_raises(self, shard):
+        X, y = shard
+        with pytest.raises(ValueError):
+            MaliciousClient(0, X, y, flip_rate=1.5)
+
+    def test_update_scaling_inverts_delta(self, global_model, shard):
+        X, y = shard
+        honest = FederatedClient(0, X, y)
+        attacker = MaliciousClient(0, X, y, update_scale=-1.0)
+        base = global_model.get_parameters()
+        honest_update = honest.local_update(global_model, local_epochs=1)
+        poisoned_update = attacker.local_update(global_model, local_epochs=1)
+        for b, h, p in zip(base, honest_update, poisoned_update):
+            assert np.allclose(p - b, -(h - b), atol=1e-9)
+
+    def test_update_scale_one_is_honest(self, global_model, shard):
+        X, y = shard
+        honest = FederatedClient(0, X, y)
+        neutral = MaliciousClient(0, X, y, update_scale=1.0)
+        h = honest.local_update(global_model)
+        n = neutral.local_update(global_model)
+        assert all(np.allclose(a, b) for a, b in zip(h, n))

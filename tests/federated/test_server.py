@@ -1,0 +1,116 @@
+"""Tests for the federated trainer (the Fig. 2(c) loop)."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    FederatedClient,
+    FederatedTrainer,
+    MaliciousClient,
+    coordinate_median,
+    trimmed_mean,
+)
+
+
+def make_clients(blobs, n_clients=5, malicious=0, **malicious_kwargs):
+    X, y = blobs
+    per = len(y) // n_clients
+    clients = []
+    for i in range(n_clients):
+        shard = slice(i * per, (i + 1) * per)
+        if i < malicious:
+            clients.append(
+                MaliciousClient(i, X[shard], y[shard], **malicious_kwargs)
+            )
+        else:
+            clients.append(FederatedClient(i, X[shard], y[shard]))
+    return clients
+
+
+@pytest.fixture()
+def eval_data(blobs):
+    X, y = blobs
+    return X[:80], y[:80]
+
+
+class TestFederatedTrainer:
+    def test_converges_on_separable_data(self, blobs, eval_data):
+        trainer = FederatedTrainer(make_clients(blobs), seed=0)
+        records = trainer.run(8, local_epochs=2, eval_data=eval_data)
+        assert records[-1].global_accuracy > 0.9
+
+    def test_round_records(self, blobs, eval_data):
+        trainer = FederatedTrainer(make_clients(blobs), seed=0)
+        records = trainer.run(3, eval_data=eval_data)
+        assert [r.round_index for r in records] == [0, 1, 2]
+        assert all(len(r.participants) == 5 for r in records)
+        assert trainer.n_rounds == 3
+
+    def test_partial_participation(self, blobs):
+        trainer = FederatedTrainer(make_clients(blobs), seed=0)
+        record = trainer.run_round(participation=0.4)
+        assert len(record.participants) == 2
+
+    def test_invalid_participation_raises(self, blobs):
+        trainer = FederatedTrainer(make_clients(blobs), seed=0)
+        with pytest.raises(ValueError):
+            trainer.run_round(participation=0.0)
+
+    def test_no_clients_raises(self):
+        with pytest.raises(ValueError):
+            FederatedTrainer([])
+
+    def test_invalid_round_count_raises(self, blobs):
+        trainer = FederatedTrainer(make_clients(blobs), seed=0)
+        with pytest.raises(ValueError):
+            trainer.run(0)
+
+    def test_global_model_usable_by_sensors(self, blobs, eval_data):
+        """The global model satisfies the same Classifier contract the
+        centralised sensors expect — the architecture's design point."""
+        trainer = FederatedTrainer(make_clients(blobs), seed=0)
+        trainer.run(5, local_epochs=2)
+        X_eval, __ = eval_data
+        proba = trainer.global_model.predict_proba(X_eval)
+        assert proba.shape == (80, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestPoisoningAndDefense:
+    def test_model_poisoning_breaks_fedavg(self, blobs, eval_data):
+        clean = FederatedTrainer(make_clients(blobs), seed=0)
+        clean.run(8, local_epochs=2, eval_data=eval_data)
+        poisoned = FederatedTrainer(
+            make_clients(blobs, malicious=2, update_scale=-5.0), seed=0
+        )
+        poisoned.run(8, local_epochs=2, eval_data=eval_data)
+        assert (
+            poisoned.history[-1].global_accuracy
+            < clean.history[-1].global_accuracy
+        )
+
+    @pytest.mark.parametrize(
+        "aggregator",
+        [coordinate_median, lambda u: trimmed_mean(u, trim=2)],
+        ids=["median", "trimmed_mean"],
+    )
+    def test_robust_aggregation_survives_model_poisoning(
+        self, blobs, eval_data, aggregator
+    ):
+        trainer = FederatedTrainer(
+            make_clients(blobs, malicious=2, update_scale=-5.0),
+            seed=0,
+            aggregator=aggregator,
+        )
+        records = trainer.run(8, local_epochs=2, eval_data=eval_data)
+        assert records[-1].global_accuracy > 0.9
+
+    def test_label_flipping_clients_degrade_less_than_model_poisoning(
+        self, blobs, eval_data
+    ):
+        flippers = FederatedTrainer(
+            make_clients(blobs, malicious=2, flip_rate=0.8), seed=0
+        )
+        flippers.run(8, local_epochs=2, eval_data=eval_data)
+        # 3 of 5 honest clients still dominate FedAvg; accuracy stays usable
+        assert flippers.history[-1].global_accuracy > 0.7

@@ -1,0 +1,104 @@
+"""Tests for the Fig. 8(a) deployment builder and its calibration."""
+
+import pytest
+
+from repro.gateway.cluster import (
+    GATEWAY_MACHINE,
+    PAPER_SERVICES,
+    build_paper_deployment,
+)
+from repro.gateway.loadgen import LoadGenerator, ThreadGroup
+
+
+class TestTopology:
+    def test_five_services(self):
+        assert set(PAPER_SERVICES) == {
+            "lime",
+            "shap",
+            "occlusion",
+            "impact",
+            "ai_pipeline",
+        }
+
+    def test_machine_specs_match_paper(self):
+        assert GATEWAY_MACHINE.vcpus == 32
+        assert GATEWAY_MACHINE.ram_gb == 64
+        lime_machine = PAPER_SERVICES["lime"][0]
+        assert lime_machine.vcpus == 4 and lime_machine.ram_gb == 4
+        occ_machine = PAPER_SERVICES["occlusion"][0]
+        assert occ_machine.ram_gb == 8
+        impact_machine = PAPER_SERVICES["impact"][0]
+        assert impact_machine.gpu
+        assert impact_machine.ram_gb == 128
+
+    def test_all_routes_registered(self):
+        __, gateway = build_paper_deployment()
+        assert set(gateway.routes) == set(PAPER_SERVICES)
+
+    def test_occlusion_rejects_tabular(self):
+        sim, gateway = build_paper_deployment()
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(
+            ThreadGroup(route="occlusion", n_threads=1, payload="tabular")
+        )
+        report = gen.run()
+        assert report.n_errors == 1
+
+
+class TestCalibration:
+    """The deployment must reproduce the paper's §VII latency findings."""
+
+    def run_route(self, route, n_threads, iterations, payload="tabular", seed=1):
+        sim, gateway = build_paper_deployment(seed=seed)
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(
+            ThreadGroup(
+                route=route,
+                n_threads=n_threads,
+                rampup_seconds=1.0,
+                iterations=iterations,
+                payload=payload,
+            )
+        )
+        return gen.run()
+
+    def test_impact_converges_near_1600ms(self):
+        report = self.run_route("impact", 100, 3)
+        assert report.avg_response_ms == pytest.approx(1600, rel=0.15)
+
+    def test_shap_tabular_near_228ms(self):
+        report = self.run_route("shap", 100, 60)
+        assert report.avg_response_ms == pytest.approx(228.6, rel=0.2)
+
+    def test_lime_tabular_near_243ms(self):
+        report = self.run_route("lime", 100, 60)
+        assert report.avg_response_ms == pytest.approx(243.4, rel=0.2)
+
+    def test_lime_beats_shap_latency_ordering(self):
+        """LIME is slightly slower than SHAP in the paper's Fig. 8(c)."""
+        shap = self.run_route("shap", 100, 60)
+        lime = self.run_route("lime", 100, 60)
+        assert lime.avg_response_ms > shap.avg_response_ms
+
+    def test_image_lime_exceeds_one_second(self):
+        report = self.run_route("lime", 5, 3, payload="image")
+        assert report.avg_response_ms > 700
+
+    def test_image_lime_grows_with_concurrency(self):
+        """Fig. 8(d): steady response-time increase with concurrent users."""
+        averages = [
+            self.run_route("lime", n, 3, payload="image").avg_response_ms
+            for n in (5, 15, 25)
+        ]
+        assert averages[0] < averages[1] < averages[2]
+
+    def test_impact_insensitive_to_concurrency(self):
+        """GPU batching: 10 vs 100 threads barely moves the average."""
+        low = self.run_route("impact", 10, 3)
+        high = self.run_route("impact", 100, 3)
+        assert high.avg_response_ms < 1.5 * low.avg_response_ms
+
+    def test_deterministic_given_seed(self):
+        a = self.run_route("shap", 10, 5, seed=3)
+        b = self.run_route("shap", 10, 5, seed=3)
+        assert a.avg_response_ms == b.avg_response_ms

@@ -1,0 +1,200 @@
+"""Tests for the JMeter-equivalent load generator and summary report."""
+
+import numpy as np
+import pytest
+
+from repro.gateway.cluster import build_paper_deployment
+from repro.gateway.gateway import APIGateway
+from repro.gateway.loadgen import (
+    LoadGenerator,
+    SummaryReport,
+    ThreadGroup,
+    run_load_test,
+)
+from repro.gateway.services import (
+    Machine,
+    MicroService,
+    RequestRecord,
+    Request,
+    ServiceTimeModel,
+)
+from repro.gateway.simulation import Simulator
+
+
+def simple_deployment(base=0.1, concurrency=2, seed=0):
+    sim = Simulator()
+    gateway = APIGateway(sim, overhead_seconds=0.0)
+    gateway.register(
+        MicroService(
+            name="svc",
+            machine=Machine("host", vcpus=4, ram_gb=4),
+            service_time=ServiceTimeModel({"tabular": base}, jitter=0.0, seed=seed),
+            concurrency=concurrency,
+        )
+    )
+    return sim, gateway
+
+
+class TestThreadGroup:
+    def test_valid(self):
+        tg = ThreadGroup(route="svc", n_threads=5)
+        assert tg.iterations == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ThreadGroup(route="svc", n_threads=0)
+        with pytest.raises(ValueError):
+            ThreadGroup(route="svc", n_threads=1, iterations=0)
+        with pytest.raises(ValueError):
+            ThreadGroup(route="svc", n_threads=1, rampup_seconds=-1)
+
+
+class TestLoadGenerator:
+    def test_every_request_gets_a_response(self):
+        sim, gateway = simple_deployment()
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(ThreadGroup(route="svc", n_threads=5, iterations=3))
+        report = gen.run()
+        assert report.n_requests == 15
+        assert report.n_errors == 0
+
+    def test_closed_loop_waits_for_response(self):
+        """One thread, two iterations, 1s service → second request starts
+        after the first response."""
+        sim, gateway = simple_deployment(base=1.0, concurrency=1)
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(ThreadGroup(route="svc", n_threads=1, iterations=2))
+        report = gen.run()
+        assert report.duration_seconds == pytest.approx(2.0)
+
+    def test_think_time_spaces_requests(self):
+        sim, gateway = simple_deployment(base=1.0, concurrency=1)
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(
+            ThreadGroup(route="svc", n_threads=1, iterations=2, think_time=3.0)
+        )
+        report = gen.run()
+        assert report.duration_seconds == pytest.approx(5.0)
+
+    def test_rampup_staggers_starts(self):
+        sim, gateway = simple_deployment(base=0.001, concurrency=10)
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(
+            ThreadGroup(route="svc", n_threads=10, rampup_seconds=10.0)
+        )
+        report = gen.run()
+        # last thread starts at 9s
+        assert report.duration_seconds == pytest.approx(9.001, abs=0.01)
+
+    def test_multiple_groups(self):
+        sim, gateway = simple_deployment()
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(ThreadGroup(route="svc", n_threads=2))
+        gen.add_thread_group(ThreadGroup(route="svc", n_threads=3))
+        report = gen.run()
+        assert report.n_requests == 5
+
+
+class TestActiveThreadsListener:
+    def test_one_entry_per_response(self):
+        sim, gateway = simple_deployment()
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(ThreadGroup(route="svc", n_threads=6, iterations=2))
+        gen.run()
+        assert len(gen.active_threads) == 12
+
+    def test_single_user_always_one_active(self):
+        sim, gateway = simple_deployment()
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(ThreadGroup(route="svc", n_threads=1, iterations=4))
+        gen.run()
+        assert all(active == 1 for active, __ in gen.active_threads)
+
+    def test_burst_reaches_full_concurrency(self):
+        sim, gateway = simple_deployment(base=1.0, concurrency=1)
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(
+            ThreadGroup(route="svc", n_threads=8, rampup_seconds=0.0)
+        )
+        gen.run()
+        assert max(active for active, __ in gen.active_threads) == 8
+
+    def test_response_time_grows_with_active_threads(self):
+        """The Fig. 8(b) listener premise: more active threads on a
+        saturated service → longer responses."""
+        sim, gateway = simple_deployment(base=0.5, concurrency=1)
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(
+            ThreadGroup(route="svc", n_threads=6, rampup_seconds=0.0)
+        )
+        gen.run()
+        # responses come back FIFO; each waited one service slot longer
+        times = [ms for __, ms in gen.active_threads]
+        assert times == sorted(times)
+
+
+class TestSummaryReport:
+    def test_empty_records(self):
+        report = SummaryReport.from_records([], duration=1.0)
+        assert report.n_requests == 0
+        assert report.error_rate == 0.0
+
+    def test_statistics(self):
+        records = []
+        for i, rt in enumerate((0.1, 0.2, 0.3)):
+            rec = RequestRecord(
+                request=Request(i, "svc"), arrival=0.0, start=0.0, end=rt
+            )
+            records.append(rec)
+        report = SummaryReport.from_records(records, duration=1.0)
+        assert report.avg_response_ms == pytest.approx(200.0)
+        assert report.median_response_ms == pytest.approx(200.0)
+        assert report.max_response_ms == pytest.approx(300.0)
+        assert report.throughput_rps == 3.0
+
+    def test_error_rate(self):
+        ok = RequestRecord(request=Request(1, "svc"), arrival=0.0, end=0.1)
+        bad = RequestRecord(
+            request=Request(2, "svc"), arrival=0.0, end=0.0, success=False
+        )
+        report = SummaryReport.from_records([ok, bad], duration=1.0)
+        assert report.error_rate == 0.5
+
+    def test_per_route_breakdown(self):
+        records = [
+            RequestRecord(request=Request(1, "a"), arrival=0.0, end=0.1),
+            RequestRecord(request=Request(2, "b"), arrival=0.0, end=0.3),
+        ]
+        report = SummaryReport.from_records(records, duration=1.0)
+        assert set(report.per_route) == {"a", "b"}
+        assert report.per_route["b"].avg_response_ms == pytest.approx(300.0)
+
+    def test_timeline_sorted(self):
+        records = [
+            RequestRecord(request=Request(1, "a"), arrival=0.0, end=0.5),
+            RequestRecord(request=Request(2, "a"), arrival=0.0, end=0.2),
+        ]
+        report = SummaryReport.from_records(records, duration=1.0)
+        times = [t for t, __ in report.timeline]
+        assert times == sorted(times)
+
+    def test_render_text(self):
+        report = SummaryReport.from_records(
+            [RequestRecord(request=Request(1, "a"), arrival=0.0, end=0.25)],
+            duration=1.0,
+        )
+        text = report.render_text()
+        assert "avg=250.0ms" in text
+        assert "err=0.0%" in text
+
+
+class TestRunLoadTest:
+    def test_against_paper_deployment(self):
+        report = run_load_test(
+            build_paper_deployment,
+            [ThreadGroup(route="ai_pipeline", n_threads=4, iterations=2)],
+            seed=0,
+        )
+        assert report.n_requests == 8
+        assert report.error_rate == 0.0
+        assert report.avg_response_ms > 0

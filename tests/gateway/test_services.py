@@ -1,0 +1,194 @@
+"""Tests for machines, service-time models and micro-service queueing."""
+
+import numpy as np
+import pytest
+
+from repro.gateway.services import (
+    Machine,
+    MicroService,
+    Request,
+    ServiceTimeModel,
+)
+from repro.gateway.simulation import Simulator
+
+
+def make_service(concurrency=2, base=1.0, queue_capacity=10, jitter=0.0):
+    return MicroService(
+        name="svc",
+        machine=Machine("host", vcpus=4, ram_gb=4),
+        service_time=ServiceTimeModel({"tabular": base}, jitter=jitter, seed=0),
+        concurrency=concurrency,
+        queue_capacity=queue_capacity,
+    )
+
+
+class TestMachine:
+    def test_valid(self):
+        m = Machine("host", vcpus=4, ram_gb=8)
+        assert not m.gpu
+
+    def test_invalid_specs_raise(self):
+        with pytest.raises(ValueError):
+            Machine("host", vcpus=0, ram_gb=8)
+
+
+class TestServiceTimeModel:
+    def test_deterministic_without_jitter(self):
+        model = ServiceTimeModel({"tabular": 0.5}, jitter=0.0)
+        assert model.sample("tabular") == 0.5
+
+    def test_jitter_spreads_samples(self):
+        model = ServiceTimeModel({"tabular": 1.0}, jitter=0.3, seed=0)
+        samples = [model.sample("tabular") for __ in range(50)]
+        assert np.std(samples) > 0.0
+        assert all(s > 0 for s in samples)
+
+    def test_unknown_payload_raises(self):
+        model = ServiceTimeModel({"tabular": 0.5})
+        with pytest.raises(KeyError):
+            model.sample("image")
+
+    def test_supports(self):
+        model = ServiceTimeModel({"image": 0.5})
+        assert model.supports("image")
+        assert not model.supports("tabular")
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            ServiceTimeModel({})
+        with pytest.raises(ValueError):
+            ServiceTimeModel({"tabular": -1.0})
+        with pytest.raises(ValueError):
+            ServiceTimeModel({"tabular": 1.0}, jitter=-0.5)
+
+
+class TestMicroServiceQueueing:
+    def run_requests(self, service, n, spacing=0.0):
+        sim = Simulator()
+        done = []
+        for i in range(n):
+            req = Request(request_id=i, route="svc")
+            sim.schedule(
+                i * spacing,
+                (lambda r: lambda: service.submit(r, sim, done.append))(req),
+            )
+        sim.run()
+        return done
+
+    def test_parallel_within_concurrency(self):
+        service = make_service(concurrency=2, base=1.0)
+        done = self.run_requests(service, 2)
+        assert all(r.response_time == pytest.approx(1.0) for r in done)
+
+    def test_third_request_waits(self):
+        service = make_service(concurrency=2, base=1.0)
+        done = self.run_requests(service, 3)
+        waits = sorted(r.wait_time for r in done)
+        assert waits[:2] == [0.0, 0.0]
+        assert waits[2] == pytest.approx(1.0)
+
+    def test_fifo_order(self):
+        service = make_service(concurrency=1, base=1.0)
+        done = self.run_requests(service, 3, spacing=0.1)
+        ids = [r.request.request_id for r in done]
+        assert ids == [0, 1, 2]
+
+    def test_queue_overflow_rejects(self):
+        service = make_service(concurrency=1, base=1.0, queue_capacity=1)
+        done = self.run_requests(service, 5)
+        failures = [r for r in done if not r.success]
+        assert len(failures) == 3
+        assert service.rejected == 3
+        assert all("503" in r.error for r in failures)
+
+    def test_rejected_requests_have_zero_response_time(self):
+        service = make_service(concurrency=1, base=1.0, queue_capacity=0)
+        done = self.run_requests(service, 2)
+        failed = [r for r in done if not r.success][0]
+        assert failed.response_time == 0.0
+
+    def test_unsupported_payload_fails_fast(self):
+        service = make_service()
+        sim = Simulator()
+        done = []
+        req = Request(request_id=1, route="svc", payload="image")
+        sim.schedule(0.0, lambda: service.submit(req, sim, done.append))
+        sim.run()
+        assert not done[0].success
+        assert "unsupported payload" in done[0].error
+
+    def test_queue_drains_after_busy_period(self):
+        service = make_service(concurrency=1, base=0.5, queue_capacity=100)
+        done = self.run_requests(service, 10)
+        assert len(done) == 10
+        assert service.queue_length == 0
+        assert service.busy_workers == 0
+
+    def test_peak_queue_tracked(self):
+        service = make_service(concurrency=1, base=1.0, queue_capacity=100)
+        self.run_requests(service, 5)
+        assert service.peak_queue_length == 4
+
+    def test_closed_loop_steady_state_response(self):
+        """N closed-loop users on c workers: avg response ≈ N * s / c —
+        the law the Fig. 8(c) calibration relies on."""
+        service = make_service(concurrency=4, base=0.01, queue_capacity=1000)
+        sim = Simulator()
+        responses = []
+
+        def make_user(remaining):
+            def send():
+                req = Request(request_id=remaining, route="svc")
+
+                def on_done(record):
+                    responses.append(record.response_time)
+                    if remaining > 1:
+                        make_user(remaining - 1)()
+
+                service.submit(req, sim, on_done)
+
+            return send
+
+        n_users, iters = 40, 50
+        for u in range(n_users):
+            sim.schedule(u * 0.001, make_user(iters))
+        sim.run()
+        expected = n_users * 0.01 / 4
+        # sample the middle of the run: full ramp-up done, no wind-down yet
+        mid = responses[len(responses) // 4 : len(responses) // 2]
+        assert np.mean(mid) == pytest.approx(expected, rel=0.15)
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(ValueError):
+            make_service(concurrency=0)
+
+    def test_invalid_queue_capacity(self):
+        with pytest.raises(ValueError):
+            make_service(queue_capacity=-1)
+
+    def test_busy_seconds_accumulate(self):
+        service = make_service(concurrency=2, base=1.0)
+        self.run_requests(service, 4)
+        assert service.busy_seconds == pytest.approx(4.0)
+
+    def test_utilization_full_when_saturated(self):
+        service = make_service(concurrency=2, base=1.0)
+        self.run_requests(service, 4)  # 4 × 1 s on 2 workers → 2 s elapsed
+        assert service.utilization(elapsed_seconds=2.0) == pytest.approx(1.0)
+
+    def test_utilization_partial(self):
+        service = make_service(concurrency=4, base=1.0)
+        self.run_requests(service, 2)  # 2 busy workers of 4 for 1 s
+        assert service.utilization(elapsed_seconds=1.0) == pytest.approx(0.5)
+
+    def test_utilization_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            make_service().utilization(0.0)
+
+    def test_concurrency_defaults_to_vcpus(self):
+        service = MicroService(
+            name="svc",
+            machine=Machine("host", vcpus=6, ram_gb=4),
+            service_time=ServiceTimeModel({"tabular": 0.1}),
+        )
+        assert service.concurrency == 6

@@ -1,0 +1,95 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.gateway.simulation import Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.schedule(1.0, lambda: order.append(3))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        hits = []
+
+        def recurring(n):
+            def cb():
+                hits.append(sim.now)
+                if n > 1:
+                    sim.schedule(1.0, recurring(n - 1))
+
+            return cb
+
+        sim.schedule(1.0, recurring(3))
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(5.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [5.0]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append("early"))
+        sim.schedule(10.0, lambda: hits.append("late"))
+        sim.run(until=5.0)
+        assert hits == ["early"]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_resume_after_horizon(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10.0, lambda: hits.append("late"))
+        sim.run(until=5.0)
+        sim.run()
+        assert hits == ["late"]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for __ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 5

@@ -1,0 +1,71 @@
+"""End-to-end capacity-load test: mixed workloads on the full deployment."""
+
+import pytest
+
+from repro.gateway import (
+    LoadGenerator,
+    ThreadGroup,
+    build_paper_deployment,
+)
+
+
+class TestMixedWorkload:
+    def test_concurrent_routes_do_not_interfere(self):
+        """Each metric runs on its own machine (§IX cost discussion), so
+        loading LIME with images must not slow the impact service."""
+        sim, gateway = build_paper_deployment(seed=2)
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(
+            ThreadGroup(route="impact", n_threads=20, iterations=3)
+        )
+        gen.add_thread_group(
+            ThreadGroup(
+                route="lime", n_threads=20, iterations=3, payload="image"
+            )
+        )
+        report = gen.run()
+        assert set(report.per_route) == {"impact", "lime"}
+        impact_avg = report.per_route["impact"].avg_response_ms
+
+        solo_sim, solo_gateway = build_paper_deployment(seed=2)
+        solo = LoadGenerator(solo_sim, solo_gateway)
+        solo.add_thread_group(
+            ThreadGroup(route="impact", n_threads=20, iterations=3)
+        )
+        solo_avg = solo.run().avg_response_ms
+        assert impact_avg == pytest.approx(solo_avg, rel=0.05)
+
+    def test_all_routes_respond_under_load(self):
+        sim, gateway = build_paper_deployment(seed=3)
+        gen = LoadGenerator(sim, gateway)
+        for route, payload in (
+            ("shap", "tabular"),
+            ("lime", "tabular"),
+            ("impact", "tabular"),
+            ("ai_pipeline", "tabular"),
+            ("occlusion", "image"),
+        ):
+            gen.add_thread_group(
+                ThreadGroup(route=route, n_threads=5, iterations=2, payload=payload)
+            )
+        report = gen.run()
+        assert report.n_requests == 50
+        assert report.error_rate == 0.0
+
+    def test_summary_timeline_monotone(self):
+        sim, gateway = build_paper_deployment(seed=4)
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(ThreadGroup(route="shap", n_threads=10, iterations=5))
+        report = gen.run()
+        times = [t for t, __ in report.timeline]
+        assert times == sorted(times)
+        assert len(times) == 50
+
+    def test_throughput_accounting(self):
+        sim, gateway = build_paper_deployment(seed=5)
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(ThreadGroup(route="ai_pipeline", n_threads=8, iterations=10))
+        report = gen.run()
+        assert report.throughput_rps == pytest.approx(
+            report.n_requests / report.duration_seconds
+        )

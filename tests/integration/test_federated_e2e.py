@@ -1,0 +1,113 @@
+"""End-to-end federated scenario: Fig. 2(c) under SPATIAL oversight."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AIDashboard,
+    AlertRule,
+    ModelContext,
+    PerformanceSensor,
+)
+from repro.federated import (
+    FederatedClient,
+    FederatedTrainer,
+    MaliciousClient,
+    coordinate_median,
+)
+
+
+@pytest.fixture(scope="module")
+def shards(blobs):
+    X, y = blobs
+    X_test, y_test = X[:60], y[:60]
+    X_train, y_train = X[60:], y[60:]
+    per = len(y_train) // 6
+    honest = [
+        FederatedClient(i, X_train[i * per : (i + 1) * per],
+                        y_train[i * per : (i + 1) * per])
+        for i in range(6)
+    ]
+    poisoned = [
+        MaliciousClient(
+            i,
+            X_train[i * per : (i + 1) * per],
+            y_train[i * per : (i + 1) * per],
+            update_scale=-5.0,
+        )
+        if i < 2
+        else honest[i]
+        for i in range(6)
+    ]
+    return honest, poisoned, (X_test, y_test)
+
+
+class TestFederatedUnderSpatial:
+    def test_poison_alert_and_robust_recovery(self, shards):
+        honest, poisoned, eval_data = shards
+        X_test, y_test = eval_data
+        sensor = PerformanceSensor(clock=lambda: 0.0)
+        dashboard = AIDashboard()
+        dashboard.add_rule(
+            AlertRule(sensor="performance", threshold=0.85,
+                      message="global model degraded")
+        )
+
+        def observe(trainer, version):
+            reading = sensor.measure(
+                ModelContext(
+                    model=trainer.global_model,
+                    X_test=X_test,
+                    y_test=y_test,
+                    model_version=version,
+                )
+            )
+            dashboard.add_reading(reading)
+            return reading.value
+
+        # honest federation converges, no alerts
+        clean = FederatedTrainer(honest, seed=0)
+        clean.run(8, local_epochs=2)
+        clean_acc = observe(clean, 1)
+        assert clean_acc > 0.9
+        assert dashboard.alerts() == []
+
+        # poisoned FedAvg degrades and the alert fires
+        attacked = FederatedTrainer(poisoned, seed=0)
+        attacked.run(8, local_epochs=2)
+        poisoned_acc = observe(attacked, 2)
+        assert poisoned_acc < clean_acc
+        assert dashboard.alerts(), "degradation must raise the SLO alert"
+
+        # operator switches to robust aggregation: accuracy recovers
+        defended = FederatedTrainer(
+            poisoned, seed=0, aggregator=coordinate_median
+        )
+        defended.run(8, local_epochs=2)
+        defended_acc = observe(defended, 3)
+        assert defended_acc > poisoned_acc
+        assert defended_acc > 0.9
+
+    def test_dashboard_series_tells_the_story(self, shards):
+        """The three observations above form a down-then-up series."""
+        honest, poisoned, eval_data = shards
+        X_test, y_test = eval_data
+        sensor = PerformanceSensor(clock=lambda: 0.0)
+        values = []
+        for trainer in (
+            FederatedTrainer(honest, seed=0),
+            FederatedTrainer(poisoned, seed=0),
+            FederatedTrainer(poisoned, seed=0, aggregator=coordinate_median),
+        ):
+            trainer.run(8, local_epochs=2)
+            values.append(
+                sensor.measure(
+                    ModelContext(
+                        model=trainer.global_model,
+                        X_test=X_test,
+                        y_test=y_test,
+                    )
+                ).value
+            )
+        assert values[1] < values[0]
+        assert values[2] > values[1]

@@ -1,0 +1,108 @@
+"""Tests for the random forest, including its poisoning resilience."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import RandomLabelFlippingAttack
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+
+
+class TestRandomForest:
+    def test_fits_blobs(self, blobs):
+        X, y = blobs
+        m = RandomForestClassifier(n_estimators=10, max_depth=5, seed=0).fit(X, y)
+        assert m.score(X, y) > 0.97
+
+    def test_solves_xor(self, xor_data):
+        X, y = xor_data
+        m = RandomForestClassifier(n_estimators=20, max_depth=8, seed=0).fit(X, y)
+        assert m.score(X, y) > 0.95
+
+    def test_n_estimators_respected(self, blobs):
+        X, y = blobs
+        m = RandomForestClassifier(n_estimators=7, max_depth=2).fit(X, y)
+        assert len(m.trees_) == 7
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.ones((1, 2)))
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        a = RandomForestClassifier(n_estimators=5, max_depth=3, seed=5).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, max_depth=3, seed=5).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_bootstrap_trees_differ(self, blobs):
+        X, y = blobs
+        m = RandomForestClassifier(n_estimators=5, max_depth=4, seed=0).fit(X, y)
+        preds = [t.predict(X[:50]) for t in m.trees_]
+        assert any(
+            not np.array_equal(preds[0], p) for p in preds[1:]
+        ), "bootstrapping should diversify trees"
+
+    def test_no_bootstrap_option(self, blobs):
+        X, y = blobs
+        m = RandomForestClassifier(
+            n_estimators=3, max_depth=3, bootstrap=False, seed=0
+        ).fit(X, y)
+        assert m.score(X, y) > 0.9
+
+    def test_rare_class_missing_from_bootstrap_ok(self):
+        """Votes stay aligned even when a bootstrap misses a rare class."""
+        gen = np.random.default_rng(0)
+        X = gen.normal(size=(60, 2))
+        y = np.array([0] * 57 + [1, 2, 2])
+        X[57:] += 10.0
+        m = RandomForestClassifier(n_estimators=10, max_depth=3, seed=0).fit(X, y)
+        proba = m.predict_proba(X)
+        assert proba.shape == (60, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_importances_sum_to_one(self, blobs):
+        X, y = blobs
+        m = RandomForestClassifier(n_estimators=5, max_depth=4, seed=0).fit(X, y)
+        importances = m.feature_importances()
+        assert importances.shape == (X.shape[1],)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_feature_importances_find_signal(self):
+        gen = np.random.default_rng(1)
+        X = gen.normal(size=(300, 5))
+        y = (X[:, 2] > 0).astype(int)  # only feature 2 matters
+        m = RandomForestClassifier(n_estimators=10, max_depth=4, seed=0).fit(X, y)
+        assert int(np.argmax(m.feature_importances())) == 2
+
+
+class TestForestPoisoningResilience:
+    """The Fig. 6 headline: RF out-resists a single tree under label noise."""
+
+    def test_forest_beats_single_tree_under_flipping(self, fall_task_split):
+        X_train, X_test, y_train, y_test = fall_task_split
+        attack = RandomLabelFlippingAttack(rate=0.3, seed=0)
+        poisoned = attack.apply(X_train, y_train)
+        forest = RandomForestClassifier(n_estimators=20, max_depth=10, seed=0).fit(
+            poisoned.X, poisoned.y
+        )
+        tree = DecisionTreeClassifier(max_depth=10, seed=0).fit(
+            poisoned.X, poisoned.y
+        )
+        assert forest.score(X_test, y_test) > tree.score(X_test, y_test)
+
+    def test_forest_degrades_gracefully(self, fall_task_split):
+        X_train, X_test, y_train, y_test = fall_task_split
+        clean = RandomForestClassifier(n_estimators=15, max_depth=8, seed=0).fit(
+            X_train, y_train
+        )
+        poisoned_data = RandomLabelFlippingAttack(rate=0.2, seed=0).apply(
+            X_train, y_train
+        )
+        poisoned = RandomForestClassifier(n_estimators=15, max_depth=8, seed=0).fit(
+            poisoned_data.X, poisoned_data.y
+        )
+        drop = clean.score(X_test, y_test) - poisoned.score(X_test, y_test)
+        assert drop < 0.15, "RF should lose little accuracy at 20% poison"

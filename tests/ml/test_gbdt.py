@@ -1,0 +1,112 @@
+"""Tests for gradient-boosted trees and the LightGBM/XGBoost presets."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbdt import (
+    GradientBoostedTreesClassifier,
+    lightgbm_like,
+    xgboost_like,
+)
+
+
+class TestGradientBoostedTrees:
+    def test_fits_blobs(self, blobs):
+        X, y = blobs
+        m = GradientBoostedTreesClassifier(n_estimators=10, seed=0).fit(X, y)
+        assert m.score(X, y) > 0.97
+
+    def test_solves_xor(self, xor_data):
+        X, y = xor_data
+        m = GradientBoostedTreesClassifier(
+            n_estimators=20, max_depth=3, seed=0
+        ).fit(X, y)
+        assert m.score(X, y) > 0.95
+
+    def test_multiclass_trees_per_round(self, three_blobs):
+        X, y = three_blobs
+        m = GradientBoostedTreesClassifier(n_estimators=4, seed=0).fit(X, y)
+        assert len(m.trees_) == 4
+        assert all(len(r) == 3 for r in m.trees_)
+        assert m.n_trees == 12
+
+    def test_more_rounds_reduce_training_error(self, xor_data):
+        X, y = xor_data
+        few = GradientBoostedTreesClassifier(n_estimators=2, seed=0).fit(X, y)
+        many = GradientBoostedTreesClassifier(n_estimators=25, seed=0).fit(X, y)
+        assert many.score(X, y) >= few.score(X, y)
+
+    def test_decision_function_shape(self, blobs):
+        X, y = blobs
+        m = GradientBoostedTreesClassifier(n_estimators=3).fit(X, y)
+        assert m.decision_function(X[:6]).shape == (6, 2)
+
+    def test_skewed_priors_respected(self):
+        """Log-prior base scores keep an untrained (0-round-signal) model
+        predicting the majority class on ambiguous input."""
+        gen = np.random.default_rng(0)
+        X = gen.normal(size=(100, 2))
+        y = np.array([0] * 90 + [1] * 10)
+        m = GradientBoostedTreesClassifier(n_estimators=1, max_depth=1).fit(X, y)
+        # prior for class 0 dominates the base score
+        assert m.base_score_[0] > m.base_score_[1]
+
+    def test_subsample_row_sampling(self, blobs):
+        X, y = blobs
+        m = GradientBoostedTreesClassifier(
+            n_estimators=5, subsample=0.5, seed=0
+        ).fit(X, y)
+        assert m.score(X, y) > 0.9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTreesClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTreesClassifier(subsample=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedTreesClassifier(growth="sideways")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTreesClassifier().predict_proba(np.ones((1, 2)))
+
+    def test_deterministic(self, blobs):
+        X, y = blobs
+        a = GradientBoostedTreesClassifier(n_estimators=4, seed=2).fit(X, y)
+        b = GradientBoostedTreesClassifier(n_estimators=4, seed=2).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+
+class TestPresets:
+    def test_lightgbm_like_uses_leafwise(self):
+        m = lightgbm_like()
+        assert m.growth == "leaf"
+        assert m.max_leaves == 15
+
+    def test_xgboost_like_uses_levelwise(self):
+        m = xgboost_like()
+        assert m.growth == "level"
+        assert m.max_depth == 4
+
+    def test_both_presets_learn(self, three_blobs):
+        X, y = three_blobs
+        for preset in (lightgbm_like(n_estimators=8), xgboost_like(n_estimators=8)):
+            assert preset.fit(X, y).score(X, y) > 0.9
+
+    def test_presets_accept_overrides(self):
+        m = lightgbm_like(n_estimators=3, subsample=0.7)
+        assert m.n_estimators == 3
+        assert m.subsample == 0.7
+
+    def test_presets_differ_in_structure(self, xor_data):
+        """The two presets must actually grow different trees."""
+        X, y = xor_data
+        lgbm = lightgbm_like(n_estimators=3, seed=0).fit(X, y)
+        xgb = xgboost_like(n_estimators=3, seed=0).fit(X, y)
+        lgbm_leaves = [
+            sum(1 for n in t.nodes_ if n.is_leaf) for r in lgbm.trees_ for t in r
+        ]
+        xgb_leaves = [
+            sum(1 for n in t.nodes_ if n.is_leaf) for r in xgb.trees_ for t in r
+        ]
+        assert lgbm_leaves != xgb_leaves

@@ -1,0 +1,82 @@
+"""Tests for the softmax logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LogisticRegressionClassifier, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(10, 4))
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_stability_with_large_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(5, 3))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+
+class TestLogisticRegression:
+    def test_learns_linear_boundary(self, blobs):
+        X, y = blobs
+        m = LogisticRegressionClassifier(n_epochs=30, seed=0).fit(X, y)
+        assert m.score(X, y) > 0.97
+
+    def test_fails_on_xor(self, xor_data):
+        """A linear model cannot solve XOR — the property that puts LR at
+        the bottom of the use-case-1 ranking."""
+        X, y = xor_data
+        m = LogisticRegressionClassifier(n_epochs=40, seed=0).fit(X, y)
+        assert m.score(X, y) < 0.7
+
+    def test_decision_function_shape(self, blobs):
+        X, y = blobs
+        m = LogisticRegressionClassifier(n_epochs=5).fit(X, y)
+        assert m.decision_function(X[:7]).shape == (7, 2)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegressionClassifier().predict_proba(np.ones((1, 2)))
+
+    def test_invalid_hyperparams_raise(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(n_epochs=0)
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        m1 = LogisticRegressionClassifier(n_epochs=5, seed=4).fit(X, y)
+        m2 = LogisticRegressionClassifier(n_epochs=5, seed=4).fit(X, y)
+        assert np.array_equal(m1.weights_, m2.weights_)
+
+    def test_l2_shrinks_weights(self, blobs):
+        X, y = blobs
+        loose = LogisticRegressionClassifier(n_epochs=20, l2=0.0, seed=0).fit(X, y)
+        tight = LogisticRegressionClassifier(n_epochs=20, l2=1.0, seed=0).fit(X, y)
+        assert np.linalg.norm(tight.weights_) < np.linalg.norm(loose.weights_)
+
+    def test_input_gradient_direction_increases_loss(self, blobs):
+        """Moving along the gradient of the true class loss should reduce
+        the probability of that class (gradient ascent on loss)."""
+        X, y = blobs
+        m = LogisticRegressionClassifier(n_epochs=30, seed=0).fit(X, y)
+        x = X[0]
+        true_class = int(np.flatnonzero(m.classes_ == y[0])[0])
+        grad = m.input_gradient(x, true_class)
+        p_before = m.predict_proba(x.reshape(1, -1))[0, true_class]
+        p_after = m.predict_proba((x + 0.5 * np.sign(grad)).reshape(1, -1))[
+            0, true_class
+        ]
+        assert p_after < p_before
+
+    def test_input_gradient_shape(self, blobs):
+        X, y = blobs
+        m = LogisticRegressionClassifier(n_epochs=5).fit(X, y)
+        assert m.input_gradient(X[0], 0).shape == (X.shape[1],)

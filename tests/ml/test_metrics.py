@@ -1,0 +1,172 @@
+"""Unit and property tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    performance_drift,
+    precision_score,
+    recall_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_all_wrong(self):
+        assert accuracy_score([1, 1, 1], [0, 0, 0]) == 0.0
+
+    def test_half(self):
+        assert accuracy_score([1, 0, 1, 0], [1, 0, 0, 1]) == 0.5
+
+    def test_string_labels(self):
+        assert accuracy_score(["a", "b"], ["a", "a"]) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+
+class TestConfusionMatrix:
+    def test_binary(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert cm.tolist() == [[1, 1], [0, 2]]
+
+    def test_rows_sum_to_class_counts(self):
+        y_true = np.array([0, 0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 2, 1, 1, 0])
+        cm = confusion_matrix(y_true, y_pred)
+        assert cm.sum(axis=1).tolist() == [3, 2, 1]
+
+    def test_total_equals_n(self):
+        gen = np.random.default_rng(0)
+        y_true = gen.integers(0, 4, 50)
+        y_pred = gen.integers(0, 4, 50)
+        assert confusion_matrix(y_true, y_pred).sum() == 50
+
+    def test_explicit_labels_order(self):
+        cm = confusion_matrix([1, 0], [1, 0], labels=[1, 0])
+        assert cm.tolist() == [[1, 0], [0, 1]]
+
+    def test_label_missing_in_pred_gets_zero_column(self):
+        cm = confusion_matrix([0, 1], [0, 0])
+        assert cm[:, 1].sum() == 0
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_scores(self):
+        y = [0, 1, 0, 1]
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_known_binary_case(self):
+        # tp=2 fp=1 fn=1 for class 1; class 0: tp=1, fp=1, fn=1
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 0, 1]
+        # class1: p=2/3, r=2/3; class0: p=1/2, r=1/2
+        assert precision_score(y_true, y_pred, average="macro") == pytest.approx(
+            (2 / 3 + 1 / 2) / 2
+        )
+        assert recall_score(y_true, y_pred, average="macro") == pytest.approx(
+            (2 / 3 + 1 / 2) / 2
+        )
+
+    def test_weighted_average_weights_by_support(self):
+        y_true = [1] * 9 + [0]
+        y_pred = [1] * 9 + [1]
+        weighted = recall_score(y_true, y_pred, average="weighted")
+        macro = recall_score(y_true, y_pred, average="macro")
+        assert weighted == pytest.approx(0.9)
+        assert macro == pytest.approx(0.5)
+
+    def test_zero_division_silent(self):
+        # class 1 never predicted: precision contribution 0, no crash
+        assert precision_score([1, 1], [0, 0]) >= 0.0
+
+    def test_unknown_average_raises(self):
+        with pytest.raises(ValueError):
+            precision_score([0, 1], [0, 1], average="micro")
+
+    def test_f1_between_precision_and_recall_bounds(self):
+        gen = np.random.default_rng(1)
+        y_true = gen.integers(0, 3, 100)
+        y_pred = gen.integers(0, 3, 100)
+        f1 = f1_score(y_true, y_pred)
+        assert 0.0 <= f1 <= 1.0
+
+
+class TestClassificationReport:
+    def test_contains_all_classes_and_averages(self):
+        report = classification_report([0, 1, 2], [0, 1, 1])
+        for key in ("0", "1", "2", "macro", "weighted", "accuracy"):
+            assert key in report
+
+    def test_report_accuracy_matches(self):
+        y_true = [0, 1, 1, 0]
+        y_pred = [0, 1, 0, 0]
+        report = classification_report(y_true, y_pred)
+        assert report["accuracy"]["f1"] == accuracy_score(y_true, y_pred)
+
+    def test_support_sums(self):
+        report = classification_report([0, 0, 1], [0, 1, 1])
+        assert report["macro"]["support"] == 3.0
+
+
+class TestPerformanceDrift:
+    def test_positive_drift_on_degradation(self):
+        drift = performance_drift({"accuracy": 0.95}, {"accuracy": 0.80})
+        assert drift["accuracy"] == pytest.approx(0.15)
+
+    def test_ignores_missing_keys(self):
+        drift = performance_drift({"accuracy": 0.9, "f1": 0.8}, {"accuracy": 0.9})
+        assert "f1" not in drift
+
+    def test_negative_drift_on_improvement(self):
+        drift = performance_drift({"accuracy": 0.7}, {"accuracy": 0.9})
+        assert drift["accuracy"] == pytest.approx(-0.2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    labels=st.lists(st.integers(0, 3), min_size=2, max_size=60),
+)
+def test_accuracy_bounds_property(labels):
+    gen = np.random.default_rng(0)
+    y_true = np.array(labels)
+    y_pred = gen.integers(0, 4, len(labels))
+    acc = accuracy_score(y_true, y_pred)
+    assert 0.0 <= acc <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=60))
+def test_self_prediction_is_perfect_property(labels):
+    y = np.array(labels)
+    assert accuracy_score(y, y) == 1.0
+    assert recall_score(y, y) == 1.0
+    assert precision_score(y, y) == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 2), min_size=4, max_size=50),
+    st.lists(st.integers(0, 2), min_size=4, max_size=50),
+)
+def test_confusion_matrix_total_property(a, b):
+    n = min(len(a), len(b))
+    y_true, y_pred = np.array(a[:n]), np.array(b[:n])
+    cm = confusion_matrix(y_true, y_pred)
+    assert cm.sum() == n
+    assert (cm >= 0).all()

@@ -1,0 +1,139 @@
+"""Tests for the Classifier base interface, clone and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    DNNClassifier,
+    GradientBoostedTreesClassifier,
+    LogisticRegressionClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from repro.ml.model import check_Xy, clone, encode_labels, one_hot
+
+ALL_MODELS = [
+    LogisticRegressionClassifier(n_epochs=5),
+    DecisionTreeClassifier(max_depth=3),
+    RandomForestClassifier(n_estimators=3, max_depth=3),
+    GradientBoostedTreesClassifier(n_estimators=3),
+    MLPClassifier(hidden_layers=(8,), n_epochs=30, learning_rate=0.01),
+    DNNClassifier(hidden_layers=(8, 4), n_epochs=30, learning_rate=0.01),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+class TestClassifierContract:
+    def test_fit_returns_self(self, model, blobs):
+        X, y = blobs
+        fitted = clone(model).fit(X, y)
+        assert fitted.is_fitted
+
+    def test_predict_proba_rows_sum_to_one(self, model, blobs):
+        X, y = blobs
+        m = clone(model).fit(X, y)
+        proba = m.predict_proba(X[:20])
+        assert proba.shape == (20, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-8)
+        assert (proba >= 0).all()
+
+    def test_predict_labels_from_training_set(self, model, blobs):
+        X, y = blobs
+        m = clone(model).fit(X, y)
+        preds = m.predict(X[:20])
+        assert set(np.unique(preds)).issubset(set(np.unique(y)))
+
+    def test_score_reasonable_on_blobs(self, model, blobs):
+        X, y = blobs
+        m = clone(model).fit(X, y)
+        assert m.score(X, y) > 0.85  # blobs are trivially separable
+
+    def test_clone_is_unfitted_and_same_type(self, model):
+        c = clone(model)
+        assert type(c) is type(model)
+        assert not c.is_fitted
+
+    def test_string_labels_supported(self, model, blobs):
+        X, y = blobs
+        labels = np.array(["neg", "pos"])[y]
+        m = clone(model).fit(X, labels)
+        preds = m.predict(X[:10])
+        assert set(preds).issubset({"neg", "pos"})
+
+    def test_multiclass(self, model, three_blobs):
+        X, y = three_blobs
+        m = clone(model).fit(X, y)
+        proba = m.predict_proba(X[:5])
+        assert proba.shape == (5, 3)
+        assert m.score(X, y) > 0.8
+
+
+class TestCheckXy:
+    def test_accepts_lists(self):
+        X, y = check_Xy([[1.0, 2.0]], [0])
+        assert X.dtype == np.float64
+
+    def test_rejects_1d_X(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_Xy(np.ones(3), np.ones(3))
+
+    def test_rejects_2d_y(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_Xy(np.ones((3, 2)), np.ones((3, 1)))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.ones((3, 2)), np.ones(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_Xy(np.empty((0, 2)), np.empty(0))
+
+    def test_rejects_nan(self):
+        X = np.array([[1.0, np.nan]])
+        with pytest.raises(ValueError, match="impute"):
+            check_Xy(X, np.array([0]))
+
+    def test_rejects_inf(self):
+        X = np.array([[1.0, np.inf]])
+        with pytest.raises(ValueError):
+            check_Xy(X, np.array([0]))
+
+
+class TestEncodingHelpers:
+    def test_encode_labels_sorted(self):
+        classes, idx = encode_labels(np.array(["b", "a", "b"]))
+        assert classes.tolist() == ["a", "b"]
+        assert idx.tolist() == [1, 0, 1]
+
+    def test_one_hot(self):
+        oh = one_hot(np.array([0, 2, 1]), 3)
+        assert oh.shape == (3, 3)
+        assert oh.sum() == 3.0
+        assert oh[1, 2] == 1.0
+
+    def test_one_hot_rows_sum_one(self):
+        oh = one_hot(np.array([1, 1, 0]), 2)
+        assert np.allclose(oh.sum(axis=1), 1.0)
+
+
+class TestCloneParams:
+    def test_clone_preserves_hyperparameters(self):
+        m = RandomForestClassifier(n_estimators=7, max_depth=2, seed=99)
+        c = clone(m)
+        assert c.n_estimators == 7
+        assert c.max_depth == 2
+        assert c.seed == 99
+
+    def test_clone_of_fitted_is_fresh(self, blobs):
+        X, y = blobs
+        m = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        c = clone(m)
+        assert not c.is_fitted
+        with pytest.raises(RuntimeError):
+            c.predict(X[:1])
+
+    def test_dnn_clone_keeps_topology(self):
+        m = DNNClassifier(hidden_layers=(32, 16, 8))
+        assert clone(m).hidden_layers == (32, 16, 8)

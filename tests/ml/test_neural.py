@@ -1,0 +1,103 @@
+"""Tests for the MLP/DNN classifiers, including input gradients for FGSM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.neural import DNNClassifier, MLPClassifier, relu
+
+
+class TestRelu:
+    def test_clips_negatives(self):
+        assert relu(np.array([-1.0, 0.0, 2.0])).tolist() == [0.0, 0.0, 2.0]
+
+
+class TestMLP:
+    def test_fits_blobs(self, blobs):
+        X, y = blobs
+        m = MLPClassifier(hidden_layers=(16,), n_epochs=30, seed=0).fit(X, y)
+        assert m.score(X, y) > 0.97
+
+    def test_solves_xor(self, xor_data):
+        X, y = xor_data
+        m = MLPClassifier(hidden_layers=(16, 8), n_epochs=80, seed=0).fit(X, y)
+        assert m.score(X, y) > 0.95
+
+    def test_multiclass(self, three_blobs):
+        X, y = three_blobs
+        m = MLPClassifier(
+            hidden_layers=(16,), n_epochs=40, learning_rate=0.01, seed=0
+        ).fit(X, y)
+        assert m.score(X, y) > 0.95
+
+    def test_invalid_hidden_layer_raises(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layers=(0,))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict_proba(np.ones((1, 2)))
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        a = MLPClassifier(hidden_layers=(8,), n_epochs=5, seed=3).fit(X, y)
+        b = MLPClassifier(hidden_layers=(8,), n_epochs=5, seed=3).fit(X, y)
+        assert np.allclose(a.predict_proba(X[:10]), b.predict_proba(X[:10]))
+
+    def test_weight_shapes(self, blobs):
+        X, y = blobs
+        m = MLPClassifier(hidden_layers=(12, 6), n_epochs=2).fit(X, y)
+        shapes = [w.shape for w in m.weights_]
+        assert shapes == [(X.shape[1], 12), (12, 6), (6, 2)]
+
+
+class TestInputGradient:
+    def test_matches_finite_differences(self, blobs):
+        """Analytic input gradient ≈ numerical gradient of CE loss."""
+        X, y = blobs
+        m = MLPClassifier(hidden_layers=(8,), n_epochs=20, seed=0).fit(X, y)
+        x = X[0].astype(np.float64)
+        target = 1
+
+        def loss(v):
+            p = m.predict_proba(v.reshape(1, -1))[0]
+            return -np.log(max(p[target], 1e-12))
+
+        analytic = m.input_gradient(x, target)
+        numeric = np.empty_like(x)
+        eps = 1e-5
+        for j in range(len(x)):
+            up, down = x.copy(), x.copy()
+            up[j] += eps
+            down[j] -= eps
+            numeric[j] = (loss(up) - loss(down)) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_batch_matches_single(self, trained_mlp, blobs):
+        X, __ = blobs
+        batch = trained_mlp.input_gradient(X[:4], 0)
+        singles = np.array([trained_mlp.input_gradient(x, 0) for x in X[:4]])
+        assert np.allclose(batch, singles)
+
+    def test_default_target_is_prediction(self, trained_mlp, blobs):
+        X, __ = blobs
+        grad = trained_mlp.input_gradient(X[0])
+        assert grad.shape == (X.shape[1],)
+
+    def test_gradient_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().input_gradient(np.ones(3), 0)
+
+
+class TestDNN:
+    def test_default_is_deeper_than_mlp(self):
+        assert len(DNNClassifier().hidden_layers) > len(MLPClassifier().hidden_layers)
+
+    def test_learns(self, blobs):
+        X, y = blobs
+        m = DNNClassifier(hidden_layers=(16, 8), n_epochs=30, seed=0).fit(X, y)
+        assert m.score(X, y) > 0.95
+
+    def test_inherits_input_gradient(self, blobs):
+        X, y = blobs
+        m = DNNClassifier(hidden_layers=(8, 4), n_epochs=5, seed=0).fit(X, y)
+        assert m.input_gradient(X[0], 0).shape == (X.shape[1],)

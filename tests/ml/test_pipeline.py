@@ -1,0 +1,148 @@
+"""Tests for the staged AI pipeline and its instrumentation hooks."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, LogisticRegressionClassifier
+from repro.ml.pipeline import AIPipeline, STAGE_ORDER, StageKind
+
+
+def make_pipeline(blobs, **kwargs):
+    X, y = blobs
+    return AIPipeline(
+        data_provider=lambda: (X, y),
+        model_factory=lambda: DecisionTreeClassifier(max_depth=4),
+        seed=0,
+        **kwargs,
+    )
+
+
+class TestPipelineRun:
+    def test_full_run_deploys_a_model(self, blobs):
+        ctx = make_pipeline(blobs).run()
+        assert ctx.deployed
+        assert ctx.model is not None
+        assert ctx.model_version == 1
+        assert 0.9 < ctx.evaluation["accuracy"] <= 1.0
+
+    def test_all_stages_recorded_in_order(self, blobs):
+        pipe = make_pipeline(blobs)
+        pipe.run()
+        kinds = [r.kind for r in pipe.history]
+        assert kinds == list(STAGE_ORDER)
+
+    def test_evaluation_has_all_metrics(self, blobs):
+        ctx = make_pipeline(blobs).run()
+        assert set(ctx.evaluation) == {"accuracy", "precision", "recall", "f1"}
+
+    def test_test_split_held_out(self, blobs):
+        pipe = make_pipeline(blobs)
+        ctx = pipe.run()
+        assert len(ctx.y_test) + len(ctx.y_train) == len(ctx.y_clean)
+
+    def test_cleaning_imputes_and_dedups(self):
+        X = np.array([[1.0, np.nan], [1.0, 2.0], [1.0, 2.0], [5.0, 6.0]] * 5)
+        y = np.array([0, 0, 0, 1] * 5)
+        pipe = AIPipeline(
+            data_provider=lambda: (X, y),
+            model_factory=lambda: DecisionTreeClassifier(max_depth=2),
+            test_size=0.3,
+        )
+        ctx = pipe.run()
+        assert not np.isnan(ctx.X_clean).any()
+        assert ctx.X_clean.shape[0] < X.shape[0]  # duplicates removed
+
+    def test_retrain_bumps_model_version(self, blobs):
+        pipe = make_pipeline(blobs)
+        pipe.run()
+        pipe.retrain()
+        assert pipe.context.model_version == 2
+
+    def test_rerun_from_labeling_skips_collection(self, blobs):
+        pipe = make_pipeline(blobs)
+        pipe.run()
+        n_records = len(pipe.history)
+        pipe.run(from_stage=StageKind.LABELING)
+        new_kinds = [r.kind for r in pipe.history[n_records:]]
+        assert StageKind.DATA_COLLECTION not in new_kinds
+        assert new_kinds[0] == StageKind.LABELING
+
+    def test_run_from_training_without_data_raises(self, blobs):
+        pipe = make_pipeline(blobs)
+        with pytest.raises(RuntimeError):
+            pipe.run(from_stage=StageKind.TRAINING)
+
+
+class TestLabeler:
+    def test_labeler_applied(self, blobs):
+        X, y = blobs
+        pipe = AIPipeline(
+            data_provider=lambda: (X, y),
+            model_factory=lambda: DecisionTreeClassifier(max_depth=3),
+            labeler=lambda X_, y_: 1 - y_,  # invert every label
+            deduplicate=False,
+        )
+        ctx = pipe.run()
+        # inverted labels still separable, but the mapping flipped:
+        orig_mean = y.mean()
+        assert ctx.y_clean.mean() == pytest.approx(1 - orig_mean, abs=1e-9)
+
+    def test_update_labeler_then_rerun(self, blobs):
+        pipe = make_pipeline(blobs)
+        pipe.run()
+        calls = []
+
+        def spy_labeler(X_, y_):
+            calls.append(len(y_))
+            return y_
+
+        pipe.update_labeler(spy_labeler)
+        pipe.run(from_stage=StageKind.LABELING)
+        assert calls, "new labeler must run on re-entry at LABELING"
+
+
+class TestHooks:
+    def test_hook_fires_after_its_stage(self, blobs):
+        pipe = make_pipeline(blobs)
+        fired = []
+        pipe.attach_hook(
+            StageKind.TRAINING, lambda kind, ctx: fired.append(ctx.model is not None)
+        )
+        pipe.run()
+        assert fired == [True]
+
+    def test_hook_all_stages(self, blobs):
+        pipe = make_pipeline(blobs)
+        kinds = []
+        pipe.attach_hook_all_stages(lambda kind, ctx: kinds.append(kind))
+        pipe.run()
+        assert kinds == list(STAGE_ORDER)
+
+    def test_hook_sees_live_context(self, blobs):
+        pipe = make_pipeline(blobs)
+        snapshots = {}
+        pipe.attach_hook(
+            StageKind.EVALUATION,
+            lambda kind, ctx: snapshots.update(ctx.evaluation),
+        )
+        pipe.run()
+        assert snapshots["accuracy"] == pipe.context.evaluation["accuracy"]
+
+
+class TestOperatorControls:
+    def test_swap_model_factory(self, blobs):
+        pipe = make_pipeline(blobs)
+        pipe.run()
+        pipe.swap_model_factory(lambda: LogisticRegressionClassifier(n_epochs=5))
+        ctx = pipe.retrain()
+        assert isinstance(ctx.model, LogisticRegressionClassifier)
+
+    def test_snapshot_model_is_unfitted_clone(self, blobs):
+        pipe = make_pipeline(blobs)
+        pipe.run()
+        snap = pipe.snapshot_model()
+        assert type(snap) is DecisionTreeClassifier
+        assert not snap.is_fitted
+
+    def test_snapshot_before_training_is_none(self, blobs):
+        assert make_pipeline(blobs).snapshot_model() is None

@@ -1,0 +1,202 @@
+"""Tests for scaling, encoding, imputation, dedup and splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    StandardScaler,
+    drop_duplicates,
+    impute_missing,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z, 0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_1d_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.ones(5))
+
+    def test_transform_uses_training_stats(self, rng):
+        X_train = rng.normal(0, 1, size=(100, 2))
+        X_test = rng.normal(10, 1, size=(10, 2))
+        scaler = StandardScaler().fit(X_train)
+        Z = scaler.transform(X_test)
+        assert Z.mean() > 5.0  # far from 0 in training units
+
+
+class TestLabelEncoder:
+    def test_roundtrip_strings(self):
+        y = np.array(["web", "video", "web", "interactive"])
+        enc = LabelEncoder().fit(y)
+        codes = enc.transform(y)
+        assert np.array_equal(enc.inverse_transform(codes), y)
+
+    def test_codes_contiguous(self):
+        enc = LabelEncoder().fit(np.array([5, 9, 5, 7]))
+        codes = enc.transform(np.array([5, 7, 9]))
+        assert codes.tolist() == [0, 1, 2]
+
+    def test_unknown_label_raises(self):
+        enc = LabelEncoder().fit(np.array([1, 2]))
+        with pytest.raises(ValueError, match="unknown"):
+            enc.transform(np.array([3]))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(np.array([1]))
+
+    def test_inverse_out_of_range_raises(self):
+        enc = LabelEncoder().fit(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            enc.inverse_transform(np.array([5]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=50))
+    def test_roundtrip_property(self, values):
+        y = np.array(values)
+        enc = LabelEncoder().fit(y)
+        assert np.array_equal(enc.inverse_transform(enc.transform(y)), y)
+
+
+class TestImputeMissing:
+    def test_mean_fill(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0]])
+        out = impute_missing(X, "mean")
+        assert out[0, 1] == 4.0
+        assert not np.isnan(out).any()
+
+    def test_median_fill(self):
+        X = np.array([[1.0], [np.nan], [3.0], [100.0]])
+        out = impute_missing(X, "median")
+        assert out[1, 0] == 3.0
+
+    def test_zero_fill(self):
+        X = np.array([[np.nan, 2.0]])
+        assert impute_missing(X, "zero")[0, 0] == 0.0
+
+    def test_all_nan_column_gets_zero(self):
+        X = np.array([[np.nan], [np.nan]])
+        assert np.allclose(impute_missing(X, "mean"), 0.0)
+
+    def test_original_not_mutated(self):
+        X = np.array([[np.nan, 1.0]])
+        impute_missing(X)
+        assert np.isnan(X[0, 0])
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            impute_missing(np.ones((2, 2)), "mode")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=10),
+            elements=st.one_of(st.floats(-100, 100), st.just(np.nan)),
+        )
+    )
+    def test_no_nans_after_impute_property(self, X):
+        assert not np.isnan(impute_missing(X)).any()
+
+
+class TestDropDuplicates:
+    def test_removes_exact_duplicates(self):
+        X = np.array([[1.0, 2.0], [1.0, 2.0], [3.0, 4.0]])
+        out, __ = drop_duplicates(X)
+        assert out.shape == (2, 2)
+
+    def test_keeps_first_occurrence_order(self):
+        X = np.array([[3.0], [1.0], [3.0], [2.0]])
+        out, __ = drop_duplicates(X)
+        assert out.ravel().tolist() == [3.0, 1.0, 2.0]
+
+    def test_same_row_different_label_kept(self):
+        X = np.array([[1.0], [1.0]])
+        y = np.array([0, 1])
+        out_X, out_y = drop_duplicates(X, y)
+        assert out_X.shape[0] == 2
+        assert out_y.tolist() == [0, 1]
+
+    def test_same_row_same_label_dropped(self):
+        X = np.array([[1.0], [1.0]])
+        y = np.array([0, 0])
+        out_X, out_y = drop_duplicates(X, y)
+        assert out_X.shape[0] == 1
+
+    def test_no_duplicates_noop(self, rng):
+        X = rng.normal(size=(20, 3))
+        out, __ = drop_duplicates(X)
+        assert np.array_equal(out, X)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, blobs):
+        X, y = blobs
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, seed=0)
+        assert len(y_tr) + len(y_te) == len(y)
+        assert abs(len(y_te) - 0.25 * len(y)) <= 2
+
+    def test_stratified_keeps_all_classes(self):
+        y = np.array([0] * 50 + [1] * 4 + [2] * 6)
+        X = np.arange(60, dtype=float).reshape(-1, 1)
+        __, __, y_tr, y_te = train_test_split(X, y, test_size=0.2, seed=1)
+        assert set(y_tr) == {0, 1, 2}
+        assert set(y_te) == {0, 1, 2}
+
+    def test_disjoint_and_complete(self, blobs):
+        X, y = blobs
+        X_tr, X_te, __, __ = train_test_split(X, y, seed=3)
+        combined = np.vstack([X_tr, X_te])
+        assert combined.shape == X.shape
+        # every original row appears exactly once
+        orig = {row.tobytes() for row in X}
+        got = [row.tobytes() for row in combined]
+        assert set(got) == orig and len(got) == len(orig)
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        a = train_test_split(X, y, seed=9)
+        b = train_test_split(X, y, seed=9)
+        assert np.array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self, blobs):
+        X, y = blobs
+        a = train_test_split(X, y, seed=1)
+        b = train_test_split(X, y, seed=2)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_invalid_test_size_raises(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.5)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((3, 1)), np.ones(4))

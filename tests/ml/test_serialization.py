@@ -1,0 +1,89 @@
+"""Tests for pickle-free model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DNNClassifier,
+    DecisionTreeClassifier,
+    GradientBoostedTreesClassifier,
+    LogisticRegressionClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+    load_model,
+    save_model,
+)
+
+ALL_MODELS = [
+    LogisticRegressionClassifier(n_epochs=5, seed=3),
+    DecisionTreeClassifier(max_depth=4, seed=3),
+    RandomForestClassifier(n_estimators=4, max_depth=3, seed=3),
+    GradientBoostedTreesClassifier(n_estimators=3, seed=3),
+    MLPClassifier(hidden_layers=(8,), n_epochs=5, seed=3),
+    DNNClassifier(hidden_layers=(8, 4), n_epochs=5, seed=3),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+class TestRoundtrip:
+    def test_probabilities_identical(self, model, blobs, tmp_path):
+        X, y = blobs
+        fitted = type(model)(**model.get_params()).fit(X[:150], y[:150])
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        loaded = load_model(path)
+        assert type(loaded) is type(fitted)
+        assert np.allclose(
+            fitted.predict_proba(X[150:200]), loaded.predict_proba(X[150:200])
+        )
+
+    def test_classes_preserved(self, model, blobs, tmp_path):
+        X, y = blobs
+        labels = np.array(["neg", "pos"])[y]
+        fitted = type(model)(**model.get_params()).fit(X[:150], labels[:150])
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        loaded = load_model(path)
+        assert set(loaded.classes_.tolist()) == {"neg", "pos"}
+        assert set(loaded.predict(X[150:160])) <= {"neg", "pos"}
+
+    def test_hyperparameters_preserved(self, model, blobs, tmp_path):
+        X, y = blobs
+        fitted = type(model)(**model.get_params()).fit(X[:100], y[:100])
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        loaded = load_model(path)
+        assert loaded.get_params().get("seed") == 3
+
+
+class TestErrors:
+    def test_unfitted_model_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_model(DecisionTreeClassifier(), tmp_path / "m.npz")
+
+    def test_unsupported_type_raises(self, blobs, tmp_path):
+        from repro.attacks import BaggingDefense
+
+        X, y = blobs
+        model = BaggingDefense(
+            lambda: DecisionTreeClassifier(max_depth=2), n_members=2
+        ).fit(X, y)
+        with pytest.raises(TypeError):
+            save_model(model, tmp_path / "m.npz")
+
+    def test_multiclass_roundtrip(self, three_blobs, tmp_path):
+        X, y = three_blobs
+        model = GradientBoostedTreesClassifier(n_estimators=3, seed=0).fit(X, y)
+        path = tmp_path / "gbdt.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert np.allclose(model.predict_proba(X[:20]), loaded.predict_proba(X[:20]))
+
+    def test_no_pickle_in_file(self, blobs, tmp_path):
+        """The artifact must load with allow_pickle=False (security)."""
+        X, y = blobs
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        with np.load(path, allow_pickle=False) as data:
+            assert "__header__" in data

@@ -1,0 +1,81 @@
+"""Tests for the linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FgsmAttack
+from repro.ml.svm import SVMClassifier
+
+
+class TestSVM:
+    def test_fits_blobs(self, blobs):
+        X, y = blobs
+        m = SVMClassifier(n_epochs=30, seed=0).fit(X, y)
+        assert m.score(X, y) > 0.97
+
+    def test_fails_on_xor(self, xor_data):
+        """A linear SVM shares LR's limitation — XOR is out of reach."""
+        X, y = xor_data
+        m = SVMClassifier(n_epochs=40, seed=0).fit(X, y)
+        assert m.score(X, y) < 0.7
+
+    def test_multiclass_one_vs_rest(self, three_blobs):
+        X, y = three_blobs
+        m = SVMClassifier(n_epochs=40, seed=0).fit(X, y)
+        assert m.score(X, y) > 0.9
+        proba = m.predict_proba(X[:5])
+        assert proba.shape == (5, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_margins_shape(self, blobs):
+        X, y = blobs
+        m = SVMClassifier(n_epochs=5).fit(X, y)
+        assert m.decision_function(X[:7]).shape == (7, 2)
+
+    def test_regularisation_shrinks_weights(self, blobs):
+        X, y = blobs
+        soft = SVMClassifier(n_epochs=20, c=0.01, seed=0).fit(X, y)
+        hard = SVMClassifier(n_epochs=20, c=100.0, seed=0).fit(X, y)
+        assert np.linalg.norm(soft.weights_) < np.linalg.norm(hard.weights_)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            SVMClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SVMClassifier(c=-1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SVMClassifier().predict_proba(np.ones((1, 2)))
+
+    def test_deterministic(self, blobs):
+        X, y = blobs
+        a = SVMClassifier(n_epochs=5, seed=4).fit(X, y)
+        b = SVMClassifier(n_epochs=5, seed=4).fit(X, y)
+        assert np.allclose(a.weights_, b.weights_)
+
+    def test_string_labels(self, blobs):
+        X, y = blobs
+        labels = np.array(["no", "yes"])[y]
+        m = SVMClassifier(n_epochs=10, seed=0).fit(X, labels)
+        assert set(m.predict(X[:10])) <= {"no", "yes"}
+
+    def test_white_box_evadable_via_fgsm(self, blobs):
+        """Fig. 1's SVM row: gradient evasion applies to (linear) SVMs."""
+        X, y = blobs
+        m = SVMClassifier(n_epochs=30, seed=0).fit(X, y)
+        clean = m.score(X[:100], y[:100])
+        result = FgsmAttack(m, epsilon=2.5).apply(X[:100], y[:100])
+        assert m.score(result.X, y[:100]) < clean
+
+    def test_input_gradient_shape(self, blobs):
+        X, y = blobs
+        m = SVMClassifier(n_epochs=5).fit(X, y)
+        assert m.input_gradient(X[0], 0).shape == (X.shape[1],)
+
+    def test_clonable(self, blobs):
+        from repro.ml.model import clone
+
+        m = SVMClassifier(n_epochs=7, c=2.0, seed=9)
+        c = clone(m)
+        assert c.n_epochs == 7 and c.c == 2.0 and not c.is_fitted

@@ -1,0 +1,148 @@
+"""Tests for the CART classifier and the boosting regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestDecisionTreeClassifier:
+    def test_fits_blobs_perfectly_unbounded(self, blobs):
+        X, y = blobs
+        m = DecisionTreeClassifier().fit(X, y)
+        assert m.score(X, y) == 1.0
+
+    def test_solves_xor(self, xor_data):
+        X, y = xor_data
+        m = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert m.score(X, y) > 0.95
+
+    def test_max_depth_respected(self, blobs):
+        X, y = blobs
+        m = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert m.depth <= 2
+
+    def test_depth_zero_tree_is_single_leaf_prior(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 0, 1])
+        m = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert m.n_leaves == 1
+        proba = m.predict_proba(np.array([[5.0]]))
+        assert proba[0].tolist() == pytest.approx([2 / 3, 1 / 3])
+
+    def test_min_samples_leaf(self):
+        gen = np.random.default_rng(0)
+        X = gen.normal(size=(40, 2))
+        y = (X[:, 0] > 0).astype(int)
+        m = DecisionTreeClassifier(min_samples_leaf=10).fit(X, y)
+        for node in m.nodes_:
+            if node.is_leaf:
+                assert node.n_samples >= 10
+
+    def test_entropy_criterion_works(self, blobs):
+        X, y = blobs
+        m = DecisionTreeClassifier(criterion="entropy", max_depth=4).fit(X, y)
+        assert m.score(X, y) > 0.9
+
+    def test_invalid_criterion_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="mse")
+
+    def test_pure_node_stops_splitting(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([1, 1, 1, 1])
+        m = DecisionTreeClassifier().fit(X, y)
+        assert m.n_leaves == 1
+
+    def test_feature_count_validation_on_predict(self, blobs):
+        X, y = blobs
+        m = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        with pytest.raises(ValueError, match="expected"):
+            m.predict(np.ones((2, X.shape[1] + 1)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict_proba(np.ones((1, 2)))
+
+    def test_max_features_subsampling_changes_tree(self, blobs):
+        X, y = blobs
+        full = DecisionTreeClassifier(max_depth=3, seed=0).fit(X, y)
+        sub = DecisionTreeClassifier(max_depth=3, max_features=1, seed=1).fit(X, y)
+        full_feats = {n.feature for n in full.nodes_ if not n.is_leaf}
+        sub_feats = {n.feature for n in sub.nodes_ if not n.is_leaf}
+        assert sub.score(X, y) > 0.5
+        assert full_feats or sub_feats  # both grew something
+
+    def test_deterministic_splits(self, blobs):
+        X, y = blobs
+        m1 = DecisionTreeClassifier(max_depth=4, seed=0).fit(X, y)
+        m2 = DecisionTreeClassifier(max_depth=4, seed=0).fit(X, y)
+        assert np.array_equal(m1.predict(X), m2.predict(X))
+
+    def test_duplicate_feature_values_handled(self):
+        X = np.array([[1.0], [1.0], [1.0], [2.0]])
+        y = np.array([0, 0, 0, 1])
+        m = DecisionTreeClassifier().fit(X, y)
+        assert m.score(X, y) == 1.0
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        target = (X[:, 0] > 0.5).astype(float)
+        reg = DecisionTreeRegressor(max_depth=2, min_samples_leaf=2)
+        reg.fit(X, target)
+        pred = reg.predict(X)
+        assert np.abs(pred - target).mean() < 0.05
+
+    def test_l2_regularisation_shrinks_leaves(self):
+        X = np.array([[0.0], [1.0]])
+        g = np.array([1.0, 1.0])
+        plain = DecisionTreeRegressor(max_depth=0, l2=0.0)
+        plain.fit(X, g)
+        reg = DecisionTreeRegressor(max_depth=0, l2=2.0)
+        reg.fit(X, g)
+        assert abs(reg.predict(X)[0]) < abs(plain.predict(X)[0])
+
+    def test_leafwise_growth_respects_max_leaves(self):
+        gen = np.random.default_rng(2)
+        X = gen.normal(size=(200, 3))
+        g = np.sin(X[:, 0] * 3) + X[:, 1]
+        reg = DecisionTreeRegressor(
+            max_depth=10, max_leaves=5, growth="leaf", min_samples_leaf=2
+        )
+        reg.fit(X, g)
+        n_leaves = sum(1 for n in reg.nodes_ if n.is_leaf)
+        assert n_leaves <= 5
+
+    def test_leafwise_beats_stump_on_depth2_signal(self):
+        gen = np.random.default_rng(3)
+        X = gen.normal(size=(300, 2))
+        g = np.where((X[:, 0] > 0) & (X[:, 1] > 0), 1.0, -1.0)
+        leaf = DecisionTreeRegressor(max_depth=6, max_leaves=8, growth="leaf")
+        leaf.fit(X, g)
+        stump = DecisionTreeRegressor(max_depth=1)
+        stump.fit(X, g)
+        err_leaf = np.abs(leaf.predict(X) - g).mean()
+        err_stump = np.abs(stump.predict(X) - g).mean()
+        assert err_leaf < err_stump
+
+    def test_invalid_growth_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(growth="wide")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.ones((1, 2)))
+
+    def test_hessian_weighting(self):
+        # with huge hessian the Newton leaf value shrinks toward zero
+        X = np.array([[0.0], [1.0]])
+        g = np.array([2.0, 2.0])
+        h_small = np.array([1.0, 1.0])
+        h_large = np.array([100.0, 100.0])
+        small = DecisionTreeRegressor(max_depth=0)
+        small.fit(X, g, h_small)
+        large = DecisionTreeRegressor(max_depth=0)
+        large.fit(X, g, h_large)
+        assert abs(large.predict(X)[0]) < abs(small.predict(X)[0])

@@ -1,0 +1,98 @@
+"""Tests for k-fold CV and stratified splitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier
+from repro.ml.validation import KFold, cross_val_score, stratified_split
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        kf = KFold(n_splits=4, seed=0)
+        seen = []
+        for train_idx, test_idx in kf.split(22):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(22))
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(test) for __, test in KFold(n_splits=4, seed=0).split(22)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_no_shuffle_is_contiguous(self):
+        folds = list(KFold(n_splits=2, shuffle=False).split(4))
+        assert folds[0][1].tolist() == [0, 1]
+        assert folds[1][1].tolist() == [2, 3]
+
+    def test_deterministic_given_seed(self):
+        a = [t.tolist() for __, t in KFold(3, seed=7).split(10)]
+        b = [t.tolist() for __, t in KFold(3, seed=7).split(10)]
+        assert a == b
+
+
+class TestCrossValScore:
+    def test_returns_one_score_per_fold(self, blobs):
+        X, y = blobs
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=3), X, y, n_splits=4
+        )
+        assert len(scores) == 4
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_separable_data_scores_high(self, blobs):
+        X, y = blobs
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=4), X, y, n_splits=3
+        )
+        assert min(scores) > 0.9
+
+    def test_custom_scorer(self, blobs):
+        X, y = blobs
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=3),
+            X,
+            y,
+            n_splits=3,
+            scorer=lambda yt, yp: 0.5,
+        )
+        assert scores == [0.5, 0.5, 0.5]
+
+    def test_original_model_untouched(self, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier(max_depth=2)
+        cross_val_score(model, X, y, n_splits=3)
+        assert not model.is_fitted
+
+
+class TestStratifiedSplit:
+    def test_proportions_per_class(self):
+        y = np.array([0] * 80 + [1] * 20)
+        train_idx, test_idx = stratified_split(y, test_size=0.25, seed=0)
+        y_test = y[test_idx]
+        assert np.sum(y_test == 0) == 20
+        assert np.sum(y_test == 1) == 5
+
+    def test_small_class_in_both_sides(self):
+        y = np.array([0] * 50 + [1] * 2)
+        train_idx, test_idx = stratified_split(y, test_size=0.2, seed=0)
+        assert 1 in y[train_idx] and 1 in y[test_idx]
+
+    def test_indices_partition(self):
+        y = np.arange(30) % 3
+        train_idx, test_idx = stratified_split(y, seed=1)
+        assert sorted(np.concatenate([train_idx, test_idx]).tolist()) == list(
+            range(30)
+        )
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            stratified_split(np.zeros(10), test_size=1.0)

@@ -1,0 +1,66 @@
+"""Tests for the DP dataset release and the accuracy-privacy trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LogisticRegressionClassifier
+from repro.privacy.dp_data import privatize_dataset
+
+
+class TestPrivatizeDataset:
+    def test_shape_preserved(self, blobs):
+        X, __ = blobs
+        assert privatize_dataset(X, epsilon=10.0).shape == X.shape
+
+    def test_noise_decreases_with_budget(self, blobs):
+        X, __ = blobs
+        loose = privatize_dataset(X, epsilon=100.0, seed=0)
+        tight = privatize_dataset(X, epsilon=1.0, seed=0)
+        err_loose = np.abs(loose - X).mean()
+        err_tight = np.abs(tight - X).mean()
+        assert err_tight > err_loose
+
+    def test_clipping_respects_ranges(self, blobs):
+        X, __ = blobs
+        out = privatize_dataset(X, epsilon=0.5, clip_to_range=True, seed=0)
+        assert np.all(out.min(axis=0) >= X.min(axis=0) - 1e-9)
+        assert np.all(out.max(axis=0) <= X.max(axis=0) + 1e-9)
+
+    def test_no_clipping_can_exceed_range(self, blobs):
+        X, __ = blobs
+        out = privatize_dataset(X, epsilon=0.5, clip_to_range=False, seed=0)
+        assert out.max() > X.max() or out.min() < X.min()
+
+    def test_original_untouched(self, blobs):
+        X, __ = blobs
+        X_before = X.copy()
+        privatize_dataset(X, epsilon=1.0)
+        assert np.array_equal(X, X_before)
+
+    def test_invalid_epsilon_raises(self, blobs):
+        X, __ = blobs
+        with pytest.raises(ValueError):
+            privatize_dataset(X, epsilon=0.0)
+
+    def test_1d_raises(self):
+        with pytest.raises(ValueError):
+            privatize_dataset(np.ones(5), epsilon=1.0)
+
+    def test_accuracy_privacy_tradeoff(self, blobs):
+        """§VIII: "data removal degrades the decision making process
+        performance" — with the whole pipeline running on obfuscated data
+        (train and test both privatised, the realistic deployment),
+        accuracy must fall as the budget tightens."""
+        X, y = blobs
+
+        def accuracy_at(epsilon):
+            X_private = privatize_dataset(X, epsilon=epsilon, seed=0)
+            model = LogisticRegressionClassifier(n_epochs=20, seed=0).fit(
+                X_private[:200], y[:200]
+            )
+            return model.score(X_private[200:], y[200:])
+
+        generous = accuracy_at(500.0)
+        tiny = accuracy_at(0.5)
+        assert generous > 0.9
+        assert tiny < generous - 0.2

@@ -1,0 +1,111 @@
+"""Tests for the DP mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.mechanisms import (
+    gaussian_mechanism,
+    laplace_mechanism,
+    randomized_response,
+)
+
+
+class TestLaplaceMechanism:
+    def test_noise_scale_tracks_budget(self):
+        values = np.zeros(5000)
+        loose = laplace_mechanism(values, sensitivity=1.0, epsilon=10.0, seed=0)
+        tight = laplace_mechanism(values, sensitivity=1.0, epsilon=0.1, seed=0)
+        assert np.abs(tight).mean() > np.abs(loose).mean()
+
+    def test_empirical_scale_matches_theory(self):
+        values = np.zeros(20000)
+        noisy = laplace_mechanism(values, sensitivity=2.0, epsilon=1.0, seed=0)
+        # Laplace(b) has mean |x| = b
+        assert np.abs(noisy).mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_zero_sensitivity_is_noiseless(self):
+        values = np.arange(5.0)
+        assert np.allclose(
+            laplace_mechanism(values, sensitivity=0.0, epsilon=1.0), values
+        )
+
+    def test_shape_preserved(self):
+        values = np.ones((3, 4))
+        assert laplace_mechanism(values, 1.0, 1.0).shape == (3, 4)
+
+    def test_invalid_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism(np.zeros(2), 1.0, epsilon=0.0)
+
+    def test_negative_sensitivity_raises(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism(np.zeros(2), -1.0, 1.0)
+
+    def test_deterministic_given_seed(self):
+        a = laplace_mechanism(np.zeros(10), 1.0, 1.0, seed=7)
+        b = laplace_mechanism(np.zeros(10), 1.0, 1.0, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestGaussianMechanism:
+    def test_sigma_calibration(self):
+        values = np.zeros(20000)
+        noisy = gaussian_mechanism(
+            values, sensitivity=1.0, epsilon=1.0, delta=1e-5, seed=0
+        )
+        expected_sigma = np.sqrt(2.0 * np.log(1.25 / 1e-5))
+        assert noisy.std() == pytest.approx(expected_sigma, rel=0.1)
+
+    def test_invalid_delta_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_mechanism(np.zeros(2), 1.0, 1.0, delta=0.0)
+        with pytest.raises(ValueError):
+            gaussian_mechanism(np.zeros(2), 1.0, 1.0, delta=1.0)
+
+    def test_invalid_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_mechanism(np.zeros(2), 1.0, epsilon=-1.0)
+
+
+class TestRandomizedResponse:
+    def test_high_budget_keeps_most_labels(self):
+        y = np.arange(1000) % 3
+        out = randomized_response(y, epsilon=8.0, seed=0)
+        assert np.mean(out == y) > 0.95
+
+    def test_low_budget_flips_many(self):
+        y = np.arange(1000) % 3
+        out = randomized_response(y, epsilon=0.1, seed=0)
+        # keep prob ≈ e^0.1/(e^0.1+2) ≈ 0.36
+        assert np.mean(out == y) < 0.5
+
+    def test_keep_probability_matches_theory(self):
+        y = np.zeros(20000, dtype=int)
+        y[::2] = 1
+        epsilon = 1.0
+        out = randomized_response(y, epsilon=epsilon, seed=0)
+        expected = np.exp(epsilon) / (np.exp(epsilon) + 1)
+        assert np.mean(out == y) == pytest.approx(expected, rel=0.05)
+
+    def test_flips_stay_in_label_set(self):
+        y = np.array(["a", "b", "c"] * 100)
+        out = randomized_response(y, epsilon=0.5, seed=0)
+        assert set(out) <= {"a", "b", "c"}
+
+    def test_single_class_unchanged(self):
+        y = np.zeros(10, dtype=int)
+        assert np.array_equal(randomized_response(y, 1.0), y)
+
+    def test_invalid_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            randomized_response(np.array([0, 1]), epsilon=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.1, 5.0))
+    def test_more_budget_more_fidelity_property(self, epsilon):
+        y = np.arange(400) % 4
+        low = randomized_response(y, epsilon=epsilon, seed=1)
+        high = randomized_response(y, epsilon=epsilon + 3.0, seed=1)
+        assert np.mean(high == y) >= np.mean(low == y) - 0.05

@@ -1,0 +1,51 @@
+"""Tests for the membership-inference risk metric."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPClassifier
+from repro.privacy.membership import membership_inference_risk
+
+
+@pytest.fixture(scope="module")
+def overfit_scenario():
+    """A high-capacity MLP memorising a tiny noisy shard leaks membership."""
+    gen = np.random.default_rng(0)
+    X_members = gen.normal(size=(40, 8))
+    y_members = gen.integers(0, 2, size=40)  # pure noise labels → memorised
+    X_outsiders = gen.normal(size=(200, 8))
+    model = MLPClassifier(
+        hidden_layers=(64, 64), n_epochs=400, learning_rate=0.01, seed=0
+    ).fit(X_members, y_members)
+    return model, X_members, X_outsiders
+
+
+class TestMembershipInferenceRisk:
+    def test_overfit_model_leaks(self, overfit_scenario):
+        model, members, outsiders = overfit_scenario
+        risk = membership_inference_risk(model, members, outsiders)
+        assert risk > 0.3
+
+    def test_risk_bounded(self, overfit_scenario):
+        model, members, outsiders = overfit_scenario
+        risk = membership_inference_risk(model, members, outsiders)
+        assert 0.0 <= risk <= 1.0
+
+    def test_well_generalising_model_leaks_little(self, blobs):
+        X, y = blobs
+        model = MLPClassifier(
+            hidden_layers=(8,), n_epochs=20, seed=0
+        ).fit(X[:200], y[:200])
+        risk = membership_inference_risk(model, X[:200], X[200:])
+        assert risk < 0.25
+
+    def test_identical_sets_zero_risk(self, blobs, trained_mlp):
+        X, __ = blobs
+        risk = membership_inference_risk(trained_mlp, X[:50], X[:50])
+        assert risk == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_sets_raise(self, trained_mlp):
+        with pytest.raises(ValueError):
+            membership_inference_risk(
+                trained_mlp, np.empty((0, 5)), np.ones((2, 5))
+            )

@@ -1,0 +1,137 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+Each property here encodes something every component in the repo relies on
+implicitly: probability simplexes from classifiers, SHAP additivity, event
+ordering in the simulator, aggregation convexity, drift non-negativity.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.drift import ks_statistic, population_stability_index
+from repro.federated.aggregation import fedavg
+from repro.gateway.simulation import Simulator
+from repro.ml import DecisionTreeClassifier, GradientBoostedTreesClassifier
+from repro.xai.shap import exact_shap_values
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_classes=st.integers(2, 4),
+    depth=st.integers(1, 5),
+)
+def test_tree_probability_simplex_property(seed, n_classes, depth):
+    """Tree probabilities are a simplex for any data/config."""
+    gen = np.random.default_rng(seed)
+    X = gen.normal(size=(60, 3))
+    y = gen.integers(0, n_classes, size=60)
+    model = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+    proba = model.predict_proba(gen.normal(size=(20, 3)))
+    assert proba.shape == (20, len(np.unique(y)))
+    assert np.all(proba >= 0)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_gbdt_probability_simplex_property(seed):
+    gen = np.random.default_rng(seed)
+    X = gen.normal(size=(50, 3))
+    y = gen.integers(0, 3, size=50)
+    model = GradientBoostedTreesClassifier(n_estimators=2, seed=seed).fit(X, y)
+    proba = model.predict_proba(gen.normal(size=(10, 3)))
+    assert np.all(proba > 0)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    weights=st.lists(st.floats(-3, 3), min_size=2, max_size=6),
+    seed=st.integers(0, 100),
+)
+def test_shap_additivity_property(weights, seed):
+    """base + Σφ = f(x) for arbitrary linear models (exact enumeration)."""
+    w = np.array(weights)
+
+    def predict(X):
+        return (np.asarray(X) @ w).reshape(-1, 1)
+
+    gen = np.random.default_rng(seed)
+    background = gen.normal(size=(20, len(w)))
+    x = gen.normal(size=len(w))
+    phi = exact_shap_values(predict, x, background)
+    base = predict(background).mean(axis=0)
+    assert np.allclose(base + phi.sum(axis=0), predict(x.reshape(1, -1))[0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40))
+def test_simulator_processes_in_time_order_property(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, (lambda d: lambda: fired.append(d))(delay))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(st.floats(-50, 50), min_size=1, max_size=8),
+    seed=st.integers(0, 50),
+)
+def test_fedavg_convexity_property(values, seed):
+    """The FedAvg aggregate lies inside the convex hull per coordinate."""
+    gen = np.random.default_rng(seed)
+    weights = gen.random(len(values)) + 0.01
+    updates = [[np.array([v])] for v in values]
+    out = fedavg(updates, weights=weights.tolist())[0][0]
+    assert min(values) - 1e-9 <= out <= max(values) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    shift=st.floats(-5, 5),
+    scale=st.floats(0.2, 5.0),
+    seed=st.integers(0, 50),
+)
+def test_drift_metrics_bounds_property(shift, scale, seed):
+    gen = np.random.default_rng(seed)
+    reference = gen.normal(size=400)
+    live = gen.normal(shift, scale, size=300)
+    psi = population_stability_index(reference, live)
+    ks = ks_statistic(reference, live)
+    assert psi >= 0.0
+    assert 0.0 <= ks <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100), rate=st.floats(0.0, 1.0))
+def test_label_flip_count_property(seed, rate):
+    from repro.attacks import RandomLabelFlippingAttack
+
+    gen = np.random.default_rng(seed)
+    X = gen.normal(size=(80, 2))
+    y = gen.integers(0, 3, size=80)
+    result = RandomLabelFlippingAttack(rate=rate, seed=seed).apply(X, y)
+    expected = int(round(80 * rate)) if len(np.unique(y)) > 1 else 0
+    assert int(np.sum(result.y != y)) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    epsilon=st.floats(0.5, 50.0),
+    seed=st.integers(0, 50),
+)
+def test_dp_release_shape_and_range_property(epsilon, seed):
+    from repro.privacy import privatize_dataset
+
+    gen = np.random.default_rng(seed)
+    X = gen.normal(size=(50, 3))
+    out = privatize_dataset(X, epsilon=epsilon, seed=seed)
+    assert out.shape == X.shape
+    assert np.all(out.min(axis=0) >= X.min(axis=0) - 1e-9)
+    assert np.all(out.max(axis=0) <= X.max(axis=0) + 1e-9)

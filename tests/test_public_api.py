@@ -1,0 +1,54 @@
+"""Public-API smoke tests: every exported name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.ml",
+    "repro.datasets",
+    "repro.attacks",
+    "repro.xai",
+    "repro.trust",
+    "repro.core",
+    "repro.gateway",
+    "repro.federated",
+    "repro.privacy",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestPublicApi:
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    def test_all_sorted(self, package_name):
+        package = importlib.import_module(package_name)
+        names = list(getattr(package, "__all__", []))
+        assert names == sorted(names), f"{package_name}.__all__ not sorted"
+
+    def test_module_docstring(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__, f"{package_name} lacks a docstring"
+
+    def test_public_callables_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        undocumented = []
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if callable(obj) and not getattr(obj, "__doc__", None):
+                undocumented.append(name)
+        assert not undocumented, (
+            f"{package_name} exports undocumented callables: {undocumented}"
+        )
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)

@@ -1,0 +1,102 @@
+"""Executes the documented tutorial flow end-to-end (docs/TUTORIAL.md).
+
+If this test breaks, the tutorial is lying to users — fix both together.
+"""
+
+import numpy as np
+
+from repro.attacks import RandomLabelFlippingAttack
+from repro.core import (
+    AIDashboard,
+    AlertRule,
+    ContinuousMonitor,
+    DataQualitySensor,
+    LabelSanitizationAction,
+    ModelContext,
+    PerformanceSensor,
+    SensorRegistry,
+    generate_model_card,
+    verify_export,
+)
+from repro.datasets import generate_unimib_like, to_binary_fall_task
+from repro.gateway import LoadGenerator, ThreadGroup, build_paper_deployment
+from repro.ml import RandomForestClassifier, StandardScaler
+from repro.ml.pipeline import AIPipeline
+
+
+def test_tutorial_flow():
+    # 1. data + pipeline
+    dataset = generate_unimib_like(n_samples=1200, seed=0)
+    X, y = to_binary_fall_task(dataset)
+    X = StandardScaler().fit_transform(X)
+    pipeline = AIPipeline(
+        data_provider=lambda: (X, y),
+        model_factory=lambda: RandomForestClassifier(
+            n_estimators=15, max_depth=12, seed=0
+        ),
+        seed=0,
+    )
+    context = pipeline.run()
+    assert context.evaluation["accuracy"] > 0.8
+
+    # 2. sensors + coverage
+    registry = SensorRegistry()
+    registry.register(PerformanceSensor(clock=lambda: 0.0))
+    registry.register(DataQualitySensor(clock=lambda: 0.0))
+    assert registry.coverage_report()["unmonitored_vulnerabilities"]
+
+    # 3. dashboard + monitor
+    dashboard = AIDashboard()
+    dashboard.add_rule(
+        AlertRule(sensor="performance", threshold=0.8, message="SLO")
+    )
+
+    def current_context():
+        ctx = pipeline.context
+        return ModelContext(
+            model=ctx.model,
+            X_train=ctx.X_train,
+            y_train=ctx.y_train,
+            X_test=ctx.X_test,
+            y_test=ctx.y_test,
+            model_version=ctx.model_version,
+        )
+
+    monitor = ContinuousMonitor(registry, dashboard, current_context)
+    assert monitor.on_model_update() is not None
+    monitor.run(2)
+    clean_value = dashboard.latest("performance").value
+    assert dashboard.alerts() == []
+
+    # 4. attack, detection, countermeasure
+    attack = RandomLabelFlippingAttack(rate=0.45, seed=0)
+    pipeline.update_labeler(lambda X_, y_: attack.apply(X_, y_).y)
+    pipeline.run()
+    monitor.on_model_update()
+    poisoned_value = dashboard.latest("performance").value
+    assert poisoned_value < clean_value
+    assert dashboard.alerts(), "the SLO alert must fire under poisoning"
+
+    LabelSanitizationAction(k=7, threshold=0.7).apply(pipeline)
+    monitor.on_model_update()
+    recovered_value = dashboard.latest("performance").value
+    assert recovered_value > poisoned_value
+
+    # 5. the simulated deployment
+    sim, gateway = build_paper_deployment(seed=1)
+    generator = LoadGenerator(sim, gateway)
+    generator.add_thread_group(
+        ThreadGroup(
+            route="shap", n_threads=20, rampup_seconds=1.0, iterations=10
+        )
+    )
+    report = generator.run()
+    assert report.error_rate == 0.0
+
+    # 6. compliance artifacts
+    card = generate_model_card(
+        pipeline, dashboard=dashboard, registry=registry
+    )
+    assert "## Evaluation" in card
+    audit = verify_export(dashboard.to_json())
+    assert audit.passed

@@ -1,0 +1,85 @@
+"""Tests for group-fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.trust.fairness import (
+    demographic_parity_difference,
+    disparate_impact_ratio,
+    equal_opportunity_difference,
+)
+
+
+class TestDemographicParity:
+    def test_perfectly_fair(self):
+        y_pred = np.array([1, 0, 1, 0])
+        groups = np.array(["a", "a", "b", "b"])
+        assert demographic_parity_difference(y_pred, groups) == 0.0
+
+    def test_maximally_unfair(self):
+        y_pred = np.array([1, 1, 0, 0])
+        groups = np.array(["a", "a", "b", "b"])
+        assert demographic_parity_difference(y_pred, groups) == 1.0
+
+    def test_known_gap(self):
+        y_pred = np.array([1, 1, 1, 0, 1, 0, 0, 0])
+        groups = np.array(["a"] * 4 + ["b"] * 4)
+        assert demographic_parity_difference(y_pred, groups) == pytest.approx(0.5)
+
+    def test_custom_positive_label(self):
+        y_pred = np.array(["yes", "no", "yes", "yes"])
+        groups = np.array([0, 0, 1, 1])
+        gap = demographic_parity_difference(y_pred, groups, positive_label="yes")
+        assert gap == pytest.approx(0.5)
+
+    def test_more_than_two_groups_raises(self):
+        with pytest.raises(ValueError):
+            demographic_parity_difference(
+                np.array([1, 0, 1]), np.array(["a", "b", "c"])
+            )
+
+
+class TestDisparateImpact:
+    def test_fair_is_one(self):
+        y_pred = np.array([1, 0, 1, 0])
+        groups = np.array(["a", "a", "b", "b"])
+        assert disparate_impact_ratio(y_pred, groups) == 1.0
+
+    def test_four_fifths_rule(self):
+        # group a: 40% positive, group b: 80% positive -> ratio 0.5
+        y_pred = np.array([1, 1, 0, 0, 0] + [1, 1, 1, 1, 0])
+        groups = np.array(["a"] * 5 + ["b"] * 5)
+        assert disparate_impact_ratio(y_pred, groups) == pytest.approx(0.5)
+
+    def test_one_group_zero_positives(self):
+        y_pred = np.array([0, 0, 1, 1])
+        groups = np.array(["a", "a", "b", "b"])
+        assert disparate_impact_ratio(y_pred, groups) == 0.0
+
+    def test_both_groups_zero_positives(self):
+        y_pred = np.array([0, 0, 0, 0])
+        groups = np.array(["a", "a", "b", "b"])
+        assert disparate_impact_ratio(y_pred, groups) == 1.0
+
+
+class TestEqualOpportunity:
+    def test_equal_tpr_is_zero(self):
+        y_true = np.array([1, 1, 1, 1])
+        y_pred = np.array([1, 0, 1, 0])
+        groups = np.array(["a", "a", "b", "b"])
+        assert equal_opportunity_difference(y_true, y_pred, groups) == 0.0
+
+    def test_tpr_gap(self):
+        y_true = np.array([1, 1, 1, 1])
+        y_pred = np.array([1, 1, 1, 0])
+        groups = np.array(["a", "a", "b", "b"])
+        assert equal_opportunity_difference(y_true, y_pred, groups) == pytest.approx(
+            0.5
+        )
+
+    def test_group_without_positives_raises(self):
+        y_true = np.array([1, 1, 0, 0])
+        y_pred = np.array([1, 1, 0, 0])
+        groups = np.array(["a", "a", "b", "b"])
+        with pytest.raises(ValueError):
+            equal_opportunity_difference(y_true, y_pred, groups)

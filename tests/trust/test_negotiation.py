@@ -1,0 +1,87 @@
+"""Tests for the adaptive-trustworthiness negotiator."""
+
+import pytest
+
+from repro.trust.negotiation import negotiate_weights
+from repro.trust.properties import TrustProperty
+
+
+BASE_READINGS = {
+    TrustProperty.ACCURACY: 0.9,
+    TrustProperty.PRIVACY: 0.6,
+    TrustProperty.ROBUSTNESS: 0.8,
+    TrustProperty.FAIRNESS: 0.7,
+}
+
+
+class TestNegotiateWeights:
+    def test_weights_sum_to_one(self):
+        outcome = negotiate_weights(BASE_READINGS)
+        assert sum(outcome.weights.values()) == pytest.approx(1.0)
+
+    def test_all_measured_properties_weighted(self):
+        outcome = negotiate_weights(BASE_READINGS)
+        assert set(outcome.weights) == set(BASE_READINGS)
+        assert all(w > 0 for w in outcome.weights.values())
+
+    def test_priority_raises_weight(self):
+        neutral = negotiate_weights(BASE_READINGS)
+        prioritised = negotiate_weights(
+            BASE_READINGS, priorities={TrustProperty.PRIVACY: 5.0}
+        )
+        assert (
+            prioritised.weights[TrustProperty.PRIVACY]
+            > neutral.weights[TrustProperty.PRIVACY]
+        )
+
+    def test_emphasis_leans_on_strong_properties(self):
+        flat = negotiate_weights(BASE_READINGS, emphasis=1.0)
+        sharp = negotiate_weights(BASE_READINGS, emphasis=4.0)
+        assert (
+            sharp.weights[TrustProperty.ACCURACY]
+            > flat.weights[TrustProperty.ACCURACY]
+        )
+
+    def test_conflicts_surfaced(self):
+        """Emphasising accuracy must surface the accuracy↔fairness tension."""
+        outcome = negotiate_weights(
+            BASE_READINGS, priorities={TrustProperty.ACCURACY: 5.0}
+        )
+        pairs = {(a, b) for a, b, __ in outcome.conflicts}
+        assert (TrustProperty.ACCURACY, TrustProperty.FAIRNESS) in pairs
+
+    def test_weak_property_note(self):
+        readings = dict(BASE_READINGS)
+        readings[TrustProperty.PRIVACY] = 0.3
+        outcome = negotiate_weights(readings)
+        assert any("privacy" in note for note in outcome.notes)
+
+    def test_score_attached(self):
+        outcome = negotiate_weights(BASE_READINGS)
+        assert 0.0 <= outcome.score.value <= 1.0
+        assert outcome.score.per_property == BASE_READINGS
+
+    def test_empty_readings_raise(self):
+        with pytest.raises(ValueError):
+            negotiate_weights({})
+
+    def test_unmeasured_priority_raises(self):
+        with pytest.raises(ValueError, match="unmeasured"):
+            negotiate_weights(
+                {TrustProperty.ACCURACY: 0.9},
+                priorities={TrustProperty.SAFETY: 1.0},
+            )
+
+    def test_negative_priority_raises(self):
+        with pytest.raises(ValueError):
+            negotiate_weights(
+                BASE_READINGS, priorities={TrustProperty.ACCURACY: -1.0}
+            )
+
+    def test_invalid_emphasis_raises(self):
+        with pytest.raises(ValueError):
+            negotiate_weights(BASE_READINGS, emphasis=0.5)
+
+    def test_single_property(self):
+        outcome = negotiate_weights({TrustProperty.ACCURACY: 0.8})
+        assert outcome.weights[TrustProperty.ACCURACY] == pytest.approx(1.0)

@@ -1,0 +1,61 @@
+"""Tests for the trustworthy-property model and trade-off matrix."""
+
+import pytest
+
+from repro.trust.properties import (
+    PROPERTY_TRADEOFFS,
+    TrustProperty,
+    conflicting_properties,
+    property_catalog,
+    tradeoff_between,
+)
+
+
+class TestTradeoffs:
+    def test_paper_named_tradeoffs_present(self):
+        """§IV names robustness vs privacy, accuracy vs fairness,
+        transparency vs security explicitly."""
+        assert tradeoff_between(TrustProperty.ROBUSTNESS, TrustProperty.PRIVACY)
+        assert tradeoff_between(TrustProperty.ACCURACY, TrustProperty.FAIRNESS)
+        assert tradeoff_between(TrustProperty.TRANSPARENCY, TrustProperty.SECURITY)
+
+    def test_symmetric_lookup(self):
+        a = tradeoff_between(TrustProperty.PRIVACY, TrustProperty.ROBUSTNESS)
+        b = tradeoff_between(TrustProperty.ROBUSTNESS, TrustProperty.PRIVACY)
+        assert a == b
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            tradeoff_between(TrustProperty.SAFETY, TrustProperty.VALIDITY)
+
+    def test_conflicting_properties(self):
+        conflicts = conflicting_properties(TrustProperty.PRIVACY)
+        assert TrustProperty.ROBUSTNESS in conflicts
+        assert TrustProperty.ACCURACY in conflicts
+
+    def test_no_self_tradeoffs(self):
+        for a, b, __ in PROPERTY_TRADEOFFS:
+            assert a is not b
+
+    def test_all_reasons_non_empty(self):
+        for __, __, why in PROPERTY_TRADEOFFS:
+            assert why
+
+
+class TestCatalog:
+    def test_thirteen_properties(self):
+        """§I lists 13 qualities of trustworthy AI."""
+        assert len(TrustProperty) == 13
+
+    def test_catalog_partition(self):
+        catalog = property_catalog()
+        technical = catalog["technical"]
+        socio = catalog["socio_technical"]
+        assert not technical & socio
+        assert technical | socio == frozenset(TrustProperty)
+
+    def test_resilience_is_technical(self):
+        assert TrustProperty.RESILIENCE in property_catalog()["technical"]
+
+    def test_explainability_is_socio_technical(self):
+        assert TrustProperty.EXPLAINABILITY in property_catalog()["socio_technical"]

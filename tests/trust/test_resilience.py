@@ -1,0 +1,112 @@
+"""Tests for the impact/complexity resilience metrics."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FgsmAttack
+from repro.trust.resilience import (
+    ResilienceReport,
+    evasion_resilience,
+    poisoning_resilience,
+)
+
+
+class TestEvasionResilience:
+    def test_impact_counts_successful_flips(self, trained_mlp, blobs):
+        X, y = blobs
+        result = FgsmAttack(trained_mlp, epsilon=2.5).apply(X[:100], y[:100])
+        report = evasion_resilience(
+            trained_mlp, X[:100], result.X, y[:100], result.cost_seconds
+        )
+        assert report.kind == "evasion"
+        assert 0.0 <= report.impact <= 1.0
+        assert report.impact > 0.1  # strong attack must flip something
+        assert report.details["n_successful"] == report.impact * 100
+
+    def test_no_perturbation_zero_impact(self, trained_mlp, blobs):
+        X, y = blobs
+        report = evasion_resilience(trained_mlp, X[:50], X[:50], y[:50], 0.001)
+        assert report.impact == 0.0
+
+    def test_complexity_is_per_sample_microseconds(self, trained_mlp, blobs):
+        X, y = blobs
+        report = evasion_resilience(trained_mlp, X[:50], X[:50], y[:50], 0.005)
+        assert report.complexity == pytest.approx(1e6 * 0.005 / 50)
+
+    def test_complexity_constant_across_victims(self, fall_task_split):
+        """Paper: FGSM generated once on the NN → identical complexity for
+        every victim model it is transferred to."""
+        from repro.ml import MLPClassifier, lightgbm_like
+
+        X_train, X_test, y_train, y_test = fall_task_split
+        nn = MLPClassifier(hidden_layers=(16,), n_epochs=20, seed=0).fit(
+            X_train, y_train
+        )
+        gbdt = lightgbm_like(n_estimators=5, seed=0).fit(X_train, y_train)
+        result = FgsmAttack(nn, epsilon=0.5).apply(X_test, y_test)
+        report_nn = evasion_resilience(
+            nn, X_test, result.X, y_test, result.cost_seconds
+        )
+        report_gbdt = evasion_resilience(
+            gbdt, X_test, result.X, y_test, result.cost_seconds
+        )
+        assert report_nn.complexity == report_gbdt.complexity
+
+    def test_shape_mismatch_raises(self, trained_mlp, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            evasion_resilience(trained_mlp, X[:10], X[:9], y[:10], 0.1)
+
+    def test_empty_set_raises(self, trained_mlp):
+        empty = np.empty((0, 5))
+        with pytest.raises(ValueError):
+            evasion_resilience(trained_mlp, empty, empty, np.empty(0), 0.1)
+
+    def test_impact_percent(self, trained_mlp, blobs):
+        X, y = blobs
+        report = evasion_resilience(trained_mlp, X[:10], X[:10], y[:10], 0.0)
+        assert report.impact_percent == 0.0
+
+
+class TestPoisoningResilience:
+    def test_impact_is_metric_drift(self):
+        report = poisoning_resilience(
+            {"accuracy": 0.95}, {"accuracy": 0.80}, poison_fraction=0.2
+        )
+        assert report.kind == "poisoning"
+        assert report.impact == pytest.approx(0.15)
+        assert report.complexity == 0.2
+
+    def test_improvement_clipped_to_zero(self):
+        report = poisoning_resilience(
+            {"accuracy": 0.8}, {"accuracy": 0.9}, poison_fraction=0.1
+        )
+        assert report.impact == 0.0
+
+    def test_custom_metric(self):
+        report = poisoning_resilience(
+            {"f1": 0.9}, {"f1": 0.5}, poison_fraction=0.3, metric="f1"
+        )
+        assert report.impact == pytest.approx(0.4)
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(KeyError):
+            poisoning_resilience({"accuracy": 0.9}, {"f1": 0.8}, 0.1, metric="f1")
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            poisoning_resilience({"accuracy": 1.0}, {"accuracy": 1.0}, 1.5)
+
+    def test_extra_details_merged(self):
+        report = poisoning_resilience(
+            {"accuracy": 0.9},
+            {"accuracy": 0.8},
+            0.2,
+            extra={"attack": 1.0},
+        )
+        assert report.details["attack"] == 1.0
+        assert report.details["baseline"] == 0.9
+
+    def test_report_dataclass(self):
+        report = ResilienceReport(kind="poisoning", impact=0.25, complexity=0.5)
+        assert report.impact_percent == 25.0

@@ -1,0 +1,89 @@
+"""Tests for trust-score aggregation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trust.properties import TrustProperty
+from repro.trust.score import aggregate_trust_score
+
+
+class TestAggregateTrustScore:
+    def test_uniform_average(self):
+        score = aggregate_trust_score(
+            {TrustProperty.ACCURACY: 0.9, TrustProperty.FAIRNESS: 0.7}
+        )
+        assert score.value == pytest.approx(0.8)
+
+    def test_weighted(self):
+        score = aggregate_trust_score(
+            {TrustProperty.ACCURACY: 1.0, TrustProperty.FAIRNESS: 0.0},
+            weights={TrustProperty.ACCURACY: 3.0, TrustProperty.FAIRNESS: 1.0},
+        )
+        assert score.value == pytest.approx(0.75)
+
+    def test_decomposition_preserved(self):
+        readings = {TrustProperty.ACCURACY: 0.9, TrustProperty.RESILIENCE: 0.5}
+        score = aggregate_trust_score(readings)
+        assert score.per_property == readings
+
+    def test_weakest_property(self):
+        score = aggregate_trust_score(
+            {
+                TrustProperty.ACCURACY: 0.9,
+                TrustProperty.RESILIENCE: 0.4,
+                TrustProperty.FAIRNESS: 0.7,
+            }
+        )
+        assert score.weakest_property() is TrustProperty.RESILIENCE
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_trust_score({})
+
+    def test_out_of_range_reading_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_trust_score({TrustProperty.ACCURACY: 1.2})
+
+    def test_weight_without_reading_raises(self):
+        """Scoring an unmeasured property is the §VIII homogeneity trap."""
+        with pytest.raises(ValueError, match="lack readings"):
+            aggregate_trust_score(
+                {TrustProperty.ACCURACY: 0.9},
+                weights={
+                    TrustProperty.ACCURACY: 1.0,
+                    TrustProperty.PRIVACY: 1.0,
+                },
+            )
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_trust_score(
+                {TrustProperty.ACCURACY: 0.9},
+                weights={TrustProperty.ACCURACY: -1.0},
+            )
+
+    def test_all_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            aggregate_trust_score(
+                {TrustProperty.ACCURACY: 0.9},
+                weights={TrustProperty.ACCURACY: 0.0},
+            )
+
+    def test_zero_weight_property_excluded(self):
+        score = aggregate_trust_score(
+            {TrustProperty.ACCURACY: 1.0, TrustProperty.FAIRNESS: 0.0},
+            weights={TrustProperty.ACCURACY: 1.0, TrustProperty.FAIRNESS: 0.0},
+        )
+        assert score.value == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=13, unique=False)
+    )
+    def test_score_bounded_property(self, values):
+        props = list(TrustProperty)[: len(values)]
+        readings = dict(zip(props, values))
+        score = aggregate_trust_score(readings)
+        assert 0.0 <= score.value <= 1.0
+        assert min(values) - 1e-9 <= score.value <= max(values) + 1e-9

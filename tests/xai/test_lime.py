@@ -1,0 +1,79 @@
+"""Tests for tabular LIME."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPClassifier
+from repro.xai.lime import LimeTabularExplainer
+
+
+@pytest.fixture(scope="module")
+def signal_model():
+    """Model that depends only on feature 1 of 4."""
+    gen = np.random.default_rng(0)
+    X = gen.normal(size=(400, 4))
+    y = (X[:, 1] > 0).astype(int)
+    model = MLPClassifier(hidden_layers=(8,), n_epochs=40, learning_rate=0.01, seed=0)
+    model.fit(X, y)
+    return model, X
+
+
+class TestLimeTabular:
+    def test_coefficient_shape(self, signal_model):
+        model, X = signal_model
+        lime = LimeTabularExplainer(model.predict_proba, X, n_samples=300, seed=0)
+        assert lime.explain(X[0], 1).shape == (4,)
+
+    def test_identifies_signal_feature(self, signal_model):
+        model, X = signal_model
+        lime = LimeTabularExplainer(model.predict_proba, X, n_samples=500, seed=0)
+        coefs = lime.explain(X[0], 1)
+        assert int(np.argmax(np.abs(coefs))) == 1
+
+    def test_sign_matches_class_direction(self, signal_model):
+        """Raising feature 1 raises P(class 1), so its coefficient for
+        class 1 must be positive."""
+        model, X = signal_model
+        lime = LimeTabularExplainer(model.predict_proba, X, n_samples=500, seed=0)
+        coefs = lime.explain(np.zeros(4), 1)
+        assert coefs[1] > 0
+
+    def test_feature_ranking(self, signal_model):
+        model, X = signal_model
+        lime = LimeTabularExplainer(model.predict_proba, X, n_samples=500, seed=0)
+        ranking = lime.feature_ranking(X[0], 1)
+        assert ranking[0] == 1
+
+    def test_deterministic_given_seed(self, signal_model):
+        model, X = signal_model
+        a = LimeTabularExplainer(model.predict_proba, X, n_samples=200, seed=5)
+        b = LimeTabularExplainer(model.predict_proba, X, n_samples=200, seed=5)
+        assert np.allclose(a.explain(X[0], 1), b.explain(X[0], 1))
+
+    def test_wrong_dimension_raises(self, signal_model):
+        model, X = signal_model
+        lime = LimeTabularExplainer(model.predict_proba, X, n_samples=100)
+        with pytest.raises(ValueError):
+            lime.explain(np.zeros(7), 0)
+
+    def test_requires_enough_samples(self, signal_model):
+        model, X = signal_model
+        with pytest.raises(ValueError):
+            LimeTabularExplainer(model.predict_proba, X, n_samples=5)
+
+    def test_requires_2d_training_data(self, signal_model):
+        model, __ = signal_model
+        with pytest.raises(ValueError):
+            LimeTabularExplainer(model.predict_proba, np.zeros(10))
+
+    def test_works_with_1d_predict_fn(self):
+        """Regression-style predict functions (1-D output) are accepted."""
+        gen = np.random.default_rng(1)
+        X = gen.normal(size=(100, 3))
+
+        def predict(Z):
+            return np.asarray(Z)[:, 0] * 2.0
+
+        lime = LimeTabularExplainer(predict, X, n_samples=200, seed=0)
+        coefs = lime.explain(X[0], class_index=0)
+        assert int(np.argmax(np.abs(coefs))) == 0

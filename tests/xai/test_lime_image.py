@@ -1,0 +1,101 @@
+"""Tests for image LIME on grid superpixels."""
+
+import numpy as np
+import pytest
+
+from repro.xai.lime_image import LimeImageExplainer, grid_superpixels
+
+
+class TestGridSuperpixels:
+    def test_covers_every_pixel(self):
+        segments = grid_superpixels((12, 12), patch=4)
+        assert segments.shape == (12, 12)
+        assert segments.min() == 0
+        assert segments.max() == 8  # 3x3 grid
+
+    def test_remainder_absorbed_by_edges(self):
+        segments = grid_superpixels((10, 10), patch=4)
+        # 2x2 grid of patches, edge patches absorb the remainder
+        assert segments.max() == 3
+        assert (segments >= 0).all()
+
+    def test_patch_equal_to_image_is_single_segment(self):
+        segments = grid_superpixels((8, 8), patch=8)
+        assert segments.max() == 0
+
+    def test_invalid_patch_raises(self):
+        with pytest.raises(ValueError):
+            grid_superpixels((8, 8), patch=0)
+        with pytest.raises(ValueError):
+            grid_superpixels((8, 8), patch=9)
+
+    def test_segments_contiguous_blocks(self):
+        segments = grid_superpixels((8, 8), patch=4)
+        assert segments[0, 0] == segments[3, 3]
+        assert segments[0, 0] != segments[0, 4]
+
+
+class TestLimeImageExplainer:
+    @pytest.fixture(scope="class")
+    def corner_predictor(self):
+        """Probability of class 0 = mean brightness of the top-left 6x6."""
+
+        def predict(batch):
+            batch = np.asarray(batch)
+            p = batch[:, :6, :6].mean(axis=(1, 2))
+            p = np.clip(p, 0.0, 1.0)
+            return np.stack([p, 1.0 - p], axis=1)
+
+        return predict
+
+    def test_weights_shape(self, corner_predictor):
+        lime = LimeImageExplainer(corner_predictor, patch=6, n_samples=60, seed=0)
+        image = np.ones((12, 12))
+        weights = lime.explain(image, class_index=0)
+        assert weights.shape == (4,)
+
+    def test_important_patch_found(self, corner_predictor):
+        lime = LimeImageExplainer(corner_predictor, patch=6, n_samples=120, seed=0)
+        image = np.zeros((12, 12))
+        image[:6, :6] = 1.0  # bright top-left drives class 0
+        weights = lime.explain(image, class_index=0)
+        assert int(np.argmax(weights)) == 0  # top-left segment
+
+    def test_heatmap_shape_and_constant_per_patch(self, corner_predictor):
+        lime = LimeImageExplainer(corner_predictor, patch=6, n_samples=60, seed=0)
+        image = np.ones((12, 12)) * 0.5
+        heat = lime.heatmap(image, class_index=0)
+        assert heat.shape == (12, 12)
+        assert np.unique(heat[:6, :6]).size == 1
+
+    def test_non_2d_image_raises(self, corner_predictor):
+        lime = LimeImageExplainer(corner_predictor, patch=4, n_samples=20)
+        with pytest.raises(ValueError):
+            lime.explain(np.zeros((3, 8, 8)), 0)
+
+    def test_too_few_samples_raises(self, corner_predictor):
+        with pytest.raises(ValueError):
+            LimeImageExplainer(corner_predictor, n_samples=5)
+
+    def test_deterministic(self, corner_predictor):
+        image = np.random.default_rng(0).random((12, 12))
+        a = LimeImageExplainer(corner_predictor, patch=6, n_samples=50, seed=3)
+        b = LimeImageExplainer(corner_predictor, patch=6, n_samples=50, seed=3)
+        assert np.allclose(a.explain(image, 0), b.explain(image, 0))
+
+    def test_on_real_shape_classifier(self, shape_images):
+        from repro.ml import MLPClassifier
+
+        images, labels = shape_images
+        X = images.reshape(len(images), -1)
+        model = MLPClassifier(
+            hidden_layers=(32,), n_epochs=40, learning_rate=0.01, seed=0
+        ).fit(X, labels)
+
+        def predict(batch):
+            batch = np.asarray(batch)
+            return model.predict_proba(batch.reshape(len(batch), -1))
+
+        lime = LimeImageExplainer(predict, patch=4, n_samples=80, seed=0)
+        weights = lime.explain(images[0], class_index=0)
+        assert np.all(np.isfinite(weights))

@@ -1,0 +1,83 @@
+"""Tests for occlusion sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.xai.occlusion import occlusion_sensitivity
+
+
+@pytest.fixture(scope="module")
+def corner_predictor():
+    """P(class 0) proportional to brightness of the top-left 4x4 block."""
+
+    def predict(batch):
+        batch = np.asarray(batch)
+        p = np.clip(batch[:, :4, :4].mean(axis=(1, 2)), 0.0, 1.0)
+        return np.stack([p, 1.0 - p], axis=1)
+
+    return predict
+
+
+class TestOcclusionSensitivity:
+    def test_map_shape(self, corner_predictor):
+        image = np.ones((8, 8))
+        heat = occlusion_sensitivity(corner_predictor, image, 0, window=4)
+        assert heat.shape == (8, 8)
+
+    def test_relevant_region_has_highest_drop(self, corner_predictor):
+        image = np.zeros((8, 8))
+        image[:4, :4] = 1.0
+        heat = occlusion_sensitivity(
+            corner_predictor, image, 0, window=4, baseline=0.0
+        )
+        assert heat[:4, :4].mean() > heat[4:, 4:].mean()
+
+    def test_irrelevant_region_near_zero(self, corner_predictor):
+        image = np.zeros((8, 8))
+        image[:4, :4] = 1.0
+        heat = occlusion_sensitivity(
+            corner_predictor, image, 0, window=4, baseline=0.0
+        )
+        assert abs(heat[4:, 4:].mean()) < 1e-9
+
+    def test_stride_smaller_than_window(self, corner_predictor):
+        image = np.random.default_rng(0).random((8, 8))
+        heat = occlusion_sensitivity(
+            corner_predictor, image, 0, window=4, stride=2
+        )
+        assert heat.shape == (8, 8)
+        assert np.all(np.isfinite(heat))
+
+    def test_window_out_of_range_raises(self, corner_predictor):
+        with pytest.raises(ValueError):
+            occlusion_sensitivity(corner_predictor, np.zeros((8, 8)), 0, window=9)
+        with pytest.raises(ValueError):
+            occlusion_sensitivity(corner_predictor, np.zeros((8, 8)), 0, window=0)
+
+    def test_invalid_stride_raises(self, corner_predictor):
+        with pytest.raises(ValueError):
+            occlusion_sensitivity(
+                corner_predictor, np.zeros((8, 8)), 0, window=2, stride=0
+            )
+
+    def test_non_2d_image_raises(self, corner_predictor):
+        with pytest.raises(ValueError):
+            occlusion_sensitivity(corner_predictor, np.zeros((2, 8, 8)), 0)
+
+    def test_on_real_shape_classifier(self, shape_images):
+        from repro.ml import MLPClassifier
+
+        images, labels = shape_images
+        X = images.reshape(len(images), -1)
+        model = MLPClassifier(
+            hidden_layers=(32,), n_epochs=40, learning_rate=0.01, seed=0
+        ).fit(X, labels)
+
+        def predict(batch):
+            batch = np.asarray(batch)
+            return model.predict_proba(batch.reshape(len(batch), -1))
+
+        class_idx = int(np.flatnonzero(model.classes_ == labels[0])[0])
+        heat = occlusion_sensitivity(predict, images[0], class_idx, window=4)
+        assert heat.shape == images[0].shape
+        assert np.all(np.isfinite(heat))

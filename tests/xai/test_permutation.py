@@ -1,0 +1,75 @@
+"""Tests for permutation importance, including the SHAP cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPClassifier
+from repro.xai import KernelShapExplainer, permutation_importance
+
+
+@pytest.fixture(scope="module")
+def two_signal_model():
+    """Model where feature 1 matters most, feature 3 a little, rest noise."""
+    gen = np.random.default_rng(0)
+    X = gen.normal(size=(600, 5))
+    logits = 2.5 * X[:, 1] + 0.8 * X[:, 3]
+    y = (logits > 0).astype(int)
+    model = MLPClassifier(
+        hidden_layers=(16,), n_epochs=60, learning_rate=0.01, seed=0
+    ).fit(X, y)
+    return model, X, y
+
+
+class TestPermutationImportance:
+    def test_identifies_dominant_feature(self, two_signal_model):
+        model, X, y = two_signal_model
+        imp = permutation_importance(model, X, y, seed=0)
+        assert int(np.argmax(imp)) == 1
+
+    def test_noise_features_near_zero(self, two_signal_model):
+        model, X, y = two_signal_model
+        imp = permutation_importance(model, X, y, seed=0)
+        for j in (0, 2, 4):
+            assert abs(imp[j]) < 0.05
+
+    def test_secondary_feature_ranked_second(self, two_signal_model):
+        model, X, y = two_signal_model
+        imp = permutation_importance(model, X, y, seed=0)
+        assert list(np.argsort(-imp)[:2]) == [1, 3]
+
+    def test_shape(self, two_signal_model):
+        model, X, y = two_signal_model
+        assert permutation_importance(model, X[:50], y[:50]).shape == (5,)
+
+    def test_custom_scorer(self, two_signal_model):
+        from repro.ml.metrics import f1_score
+
+        model, X, y = two_signal_model
+        imp = permutation_importance(
+            model, X[:100], y[:100], scorer=f1_score, seed=0
+        )
+        assert int(np.argmax(imp)) == 1
+
+    def test_deterministic(self, two_signal_model):
+        model, X, y = two_signal_model
+        a = permutation_importance(model, X[:100], y[:100], seed=5)
+        b = permutation_importance(model, X[:100], y[:100], seed=5)
+        assert np.allclose(a, b)
+
+    def test_invalid_inputs_raise(self, two_signal_model):
+        model, X, y = two_signal_model
+        with pytest.raises(ValueError):
+            permutation_importance(model, X[:10], y[:9])
+        with pytest.raises(ValueError):
+            permutation_importance(model, X[:10], y[:10], n_repeats=0)
+
+    def test_agrees_with_kernel_shap_ranking(self, two_signal_model):
+        """Two independent importance estimators must crown the same top
+        feature — the cross-validation of the SHAP implementation."""
+        model, X, y = two_signal_model
+        perm = permutation_importance(model, X[:150], y[:150], seed=0)
+        explainer = KernelShapExplainer(
+            model.predict_proba, X[:30], n_coalitions=64, seed=0
+        )
+        shap_imp = explainer.mean_abs_importance(X[:12], class_index=1)
+        assert int(np.argmax(perm)) == int(np.argmax(shap_imp)) == 1

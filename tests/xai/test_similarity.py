@@ -1,0 +1,109 @@
+"""Tests for the explanation-similarity (Fig. 6a-iv) metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xai.similarity import (
+    explanation_distance,
+    knn_explanation_dissimilarity,
+    nearest_neighbours,
+)
+
+
+class TestExplanationDistance:
+    def test_zero_for_identical(self):
+        e = np.array([1.0, -2.0, 3.0])
+        assert explanation_distance(e, e) == 0.0
+
+    def test_euclidean(self):
+        assert explanation_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_symmetric(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        assert explanation_distance(a, b) == explanation_distance(b, a)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            explanation_distance(np.zeros(3), np.zeros(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=8))
+    def test_triangle_inequality_property(self, values):
+        a = np.array(values)
+        b = np.zeros_like(a)
+        c = np.ones_like(a)
+        assert explanation_distance(a, c) <= (
+            explanation_distance(a, b) + explanation_distance(b, c) + 1e-9
+        )
+
+
+class TestNearestNeighbours:
+    def test_finds_obvious_neighbours(self):
+        X = np.array([[0.0], [0.1], [10.0], [10.1]])
+        nn = nearest_neighbours(X, k=1)
+        assert nn[0, 0] == 1
+        assert nn[1, 0] == 0
+        assert nn[2, 0] == 3
+        assert nn[3, 0] == 2
+
+    def test_never_own_neighbour(self, rng):
+        X = rng.normal(size=(20, 3))
+        nn = nearest_neighbours(X, k=5)
+        for i in range(20):
+            assert i not in nn[i]
+
+    def test_shape(self, rng):
+        X = rng.normal(size=(10, 2))
+        assert nearest_neighbours(X, k=3).shape == (10, 3)
+
+    def test_invalid_k_raises(self, rng):
+        X = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            nearest_neighbours(X, k=5)
+        with pytest.raises(ValueError):
+            nearest_neighbours(X, k=0)
+
+
+class TestKnnExplanationDissimilarity:
+    def test_zero_when_explanations_identical(self, rng):
+        X = rng.normal(size=(20, 4))
+        explanations = np.tile(rng.normal(size=4), (20, 1))
+        assert knn_explanation_dissimilarity(X, explanations, k=3) == 0.0
+
+    def test_locally_consistent_lower_than_random(self, rng):
+        """Explanations that track input space beat shuffled ones — the
+        discriminative power behind the Fig. 6(a)-iv detector."""
+        X = rng.normal(size=(40, 3))
+        consistent = X * 2.0  # explanation = smooth function of input
+        shuffled = consistent[rng.permutation(40)]
+        d_consistent = knn_explanation_dissimilarity(X, consistent, k=5)
+        d_shuffled = knn_explanation_dissimilarity(X, shuffled, k=5)
+        assert d_consistent < d_shuffled
+
+    def test_count_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            knn_explanation_dissimilarity(
+                rng.normal(size=(10, 2)), rng.normal(size=(9, 2))
+            )
+
+    def test_too_few_instances_raises(self, rng):
+        with pytest.raises(ValueError):
+            knn_explanation_dissimilarity(
+                rng.normal(size=(4, 2)), rng.normal(size=(4, 2)), k=5
+            )
+
+    def test_non_negative(self, rng):
+        X = rng.normal(size=(15, 3))
+        E = rng.normal(size=(15, 6))
+        assert knn_explanation_dissimilarity(X, E, k=4) >= 0.0
+
+    def test_scales_with_explanation_noise(self, rng):
+        X = rng.normal(size=(30, 3))
+        base = X * 1.5
+        small_noise = base + rng.normal(0, 0.1, size=base.shape)
+        big_noise = base + rng.normal(0, 5.0, size=base.shape)
+        assert knn_explanation_dissimilarity(
+            X, small_noise, k=4
+        ) < knn_explanation_dissimilarity(X, big_noise, k=4)
