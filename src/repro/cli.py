@@ -171,6 +171,82 @@ def _cmd_dashboard_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """Replay/inspect a telemetry WAL: rollups, worst sensors, health."""
+    import json
+    import os
+
+    from repro.telemetry import TelemetryQuery, WalCorruptionError
+    from repro.telemetry.wal import segment_paths
+
+    segments = segment_paths(args.wal)
+    if not segments:
+        print(f"no WAL segments under {args.wal!r}", file=sys.stderr)
+        return 2
+    cold = TelemetryQuery(wal_dir=args.wal)
+    try:
+        rollups = cold.rebuild_rollups(
+            window_seconds=args.window, cascades=()
+        )
+    except ValueError as exc:
+        print(f"invalid rollup parameters: {exc}", file=sys.stderr)
+        return 2
+    except WalCorruptionError as exc:
+        print(f"WAL is damaged mid-stream: {exc}", file=sys.stderr)
+        return 2
+    query = TelemetryQuery(rollups=rollups, wal_dir=args.wal)
+    sources = rollups.sources
+    if args.json:
+        payload = {
+            "segments": len(segments),
+            "events": rollups.ingested,
+            "window_seconds": args.window,
+            "sources": {
+                name: rollups.totals(name) for name in sources
+            },
+            "worst": query.top_k(min(args.top, len(sources)))
+            if sources
+            else [],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    total_bytes = sum(os.path.getsize(p) for p in segments)
+    print(
+        f"WAL {args.wal}: {len(segments)} segment(s), "
+        f"{total_bytes} bytes, {rollups.ingested} events, "
+        f"watermark t={rollups.watermark:.3f}s"
+    )
+    print(f"\nper-source rollups ({args.window:g}s windows):")
+    header = (
+        f"  {'source':<24} {'count':>7} {'mean':>8} {'min':>8} "
+        f"{'max':>8} {'p50':>8} {'p95':>8}"
+    )
+    print(header)
+    for name in sources:
+        totals = rollups.totals(name)
+        windows = rollups.windows(source=name)
+        p50 = sum(w.p50 * w.count for w in windows) / totals["count"]
+        p95 = sum(w.p95 * w.count for w in windows) / totals["count"]
+        print(
+            f"  {name:<24} {int(totals['count']):>7} {totals['mean']:>8.3f} "
+            f"{totals['min']:>8.3f} {totals['max']:>8.3f} "
+            f"{p50:>8.3f} {p95:>8.3f}"
+        )
+    if sources:
+        print(f"\nworst sources (lowest mean, top {args.top}):")
+        for name, score in query.top_k(min(args.top, len(sources))):
+            print(f"  {name:<24} {score:.3f}")
+    if args.tail:
+        print(f"\nlast {args.tail} event(s):")
+        events = query.events()[-args.tail :]
+        for event in events:
+            print(
+                f"  t={event.timestamp:<10.3f} {event.kind:<16} "
+                f"{event.source:<24} value={event.value:.4f}"
+            )
+    return 0
+
+
 def _cmd_model_card(args: argparse.Namespace) -> int:
     from repro.core import AlertRule, SpatialSystem
     from repro.datasets import generate_unimib_like, to_binary_fall_task
@@ -251,6 +327,26 @@ def build_parser() -> argparse.ArgumentParser:
     card.add_argument("--samples", type=int, default=1200)
     card.add_argument("--seed", type=int, default=0)
     card.set_defaults(func=_cmd_model_card)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="replay and inspect a telemetry WAL directory"
+    )
+    telemetry.add_argument(
+        "--wal", required=True, help="WAL segment directory to replay"
+    )
+    telemetry.add_argument(
+        "--window", type=float, default=1.0, help="rollup window seconds"
+    )
+    telemetry.add_argument(
+        "--top", type=int, default=5, help="worst-source ranking size"
+    )
+    telemetry.add_argument(
+        "--tail", type=int, default=0, help="also print the last N events"
+    )
+    telemetry.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    telemetry.set_defaults(func=_cmd_telemetry)
     return parser
 
 

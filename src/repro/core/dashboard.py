@@ -35,7 +35,9 @@ class AlertRule:
 
     def __post_init__(self) -> None:
         if self.direction not in {"below", "above"}:
-            raise ValueError(f"direction must be 'below' or 'above'")
+            raise ValueError(
+                f"direction must be 'below' or 'above', got {self.direction!r}"
+            )
 
     def triggered_by(self, reading: SensorReading) -> bool:
         if reading.sensor != self.sensor:

@@ -1,19 +1,29 @@
-"""Continuous monitoring: periodic sensor polling into the dashboard.
+"""Continuous monitoring: periodic sensor polling onto the telemetry bus.
 
 §V: monitoring "consists in requesting micro-service functionality
 periodically.  For instance, every time an AI model is updated or there is a
 change in any step of the construction of the model."  The monitor models
 exactly those two triggers: scheduled rounds and model-update events.
+
+Readings no longer land in the dashboard directly.  Each round publishes
+:class:`~repro.telemetry.events.TelemetryEvent`\\ s onto a
+:class:`~repro.telemetry.bus.TelemetryBus`; the dashboard is just one
+subscriber among peers (WAL writer, rollup aggregator, alert fan-outs),
+which is what decouples the observation path from any single consumer —
+a slow dashboard can drop frames without stalling sensor polling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.core.dashboard import AIDashboard
 from repro.core.registry import SensorRegistry
 from repro.core.sensors import ModelContext, SensorReading
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.pipeline import SENSOR_TOPIC, TelemetryPipeline
 
 
 @dataclass
@@ -31,30 +41,84 @@ class ContinuousMonitor:
     Parameters
     ----------
     registry / dashboard:
-        The application's sensors and the operator surface readings land on.
+        The application's sensors and the operator surface.  The dashboard
+        is subscribed to the bus (bounded queue, ``drop_oldest``) rather
+        than written to directly; pass ``None`` to run dashboard-less with
+        other subscribers consuming the stream.
     context_provider:
         Zero-argument callable returning the current :class:`ModelContext`;
         called at every round so the monitor always measures live state.
+    telemetry:
+        Where readings are published: a :class:`TelemetryPipeline` (full
+        bus → WAL → rollup stack), a bare :class:`TelemetryBus`, or
+        ``None`` for a private in-memory bus.  A not-yet-started pipeline
+        is started on first use.
+    topic:
+        Bus topic readings are published on.
+    dashboard_queue_capacity:
+        Bound on the dashboard subscription's queue; overflow drops the
+        oldest frames (counted on the bus) instead of blocking polling.
     """
 
     def __init__(
         self,
         registry: SensorRegistry,
-        dashboard: AIDashboard,
+        dashboard: Optional[AIDashboard],
         context_provider: Callable[[], ModelContext],
+        telemetry: Optional[Union[TelemetryPipeline, TelemetryBus]] = None,
+        topic: str = SENSOR_TOPIC,
+        dashboard_queue_capacity: int = 65536,
     ) -> None:
         self.registry = registry
         self.dashboard = dashboard
         self.context_provider = context_provider
+        self.topic = topic
         self.rounds: List[MonitorRound] = []
         self._last_model_version: Optional[int] = None
+        if telemetry is None:
+            telemetry = TelemetryBus()
+        if isinstance(telemetry, TelemetryPipeline) and not telemetry.started:
+            telemetry.start()
+        self.telemetry = telemetry
+        #: The underlying bus (== ``telemetry`` when a bare bus was given).
+        self.bus: TelemetryBus = getattr(telemetry, "bus", telemetry)
+        if dashboard is not None:
+            self._subscribe_dashboard(dashboard, dashboard_queue_capacity)
+
+    def _subscribe_dashboard(
+        self, dashboard: AIDashboard, capacity: int
+    ) -> None:
+        def deliver(event: TelemetryEvent) -> None:
+            dashboard.add_reading(event.to_reading())
+
+        name = "dashboard"
+        suffix = 1
+        while True:
+            try:
+                self.bus.subscribe(
+                    name,
+                    topics=self.topic,
+                    capacity=capacity,
+                    policy="drop_oldest",
+                    callback=deliver,
+                )
+                return
+            except ValueError:  # shared bus, name taken by another monitor
+                suffix += 1
+                name = f"dashboard-{suffix}"
 
     def poll_once(self, trigger: str = "scheduled") -> MonitorRound:
-        """Run one monitoring round: poll all sensors, push to dashboard."""
+        """Run one monitoring round: poll all sensors, publish to the bus."""
         context = self.context_provider()
         readings = self.registry.poll(context)
         for reading in readings:
-            self.dashboard.add_reading(reading)
+            self.telemetry.publish(
+                self.topic, TelemetryEvent.from_reading(reading)
+            )
+        # deliver synchronously so dashboards/rollups are current when the
+        # round returns; production loops may instead pump on their own
+        # cadence for batching
+        self.telemetry.pump()
         record = MonitorRound(
             index=len(self.rounds), trigger=trigger, readings=readings
         )
@@ -73,6 +137,8 @@ class ContinuousMonitor:
 
         This is the paper's "every time an AI model is updated" trigger;
         call it after pipeline runs.  Returns ``None`` when nothing changed.
+        Any change counts — a version *decrease* (operator rollback) is as
+        much a new model as an increase.
         """
         context = self.context_provider()
         if context.model_version == self._last_model_version:

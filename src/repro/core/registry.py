@@ -56,8 +56,22 @@ class SensorRegistry:
         return frozenset(s.property for s in self._sensors.values())
 
     def poll(self, context: ModelContext) -> List[SensorReading]:
-        """Take one measurement from every sensor (one monitoring round)."""
-        return [sensor.measure(context) for sensor in self._sensors.values()]
+        """Take one measurement from every sensor (one monitoring round).
+
+        Sensors are fault-isolated: one raising sensor must not abort the
+        round (a monitoring layer that dies with its first broken probe
+        observes nothing).  A failed measurement is replaced by the
+        sensor's :meth:`~repro.core.sensors.AISensor.error_reading` —
+        value 0.0, ``details["error"] == 1.0`` and the exception class in
+        ``reading.error`` — so dashboards and alert rules see the outage.
+        """
+        readings: List[SensorReading] = []
+        for sensor in self._sensors.values():
+            try:
+                readings.append(sensor.measure(context))
+            except Exception as exc:
+                readings.append(sensor.error_reading(context, exc))
+        return readings
 
     def poll_one(self, name: str, context: ModelContext) -> SensorReading:
         """Measure a single sensor by name (an AI-sensor API request)."""

@@ -65,6 +65,9 @@ class SensorReading:
     timestamp: float
     model_version: int = 0
     details: Dict[str, float] = field(default_factory=dict)
+    #: Exception class name when the measurement failed and the registry
+    #: substituted a fault-isolation reading; ``None`` for real readings.
+    error: Optional[str] = None
 
 
 Clock = Callable[[], float]
@@ -103,6 +106,25 @@ class AISensor(ABC):
             timestamp=self._clock(),
             model_version=context.model_version,
             details=details or {},
+        )
+
+    def error_reading(
+        self, context: ModelContext, exc: BaseException
+    ) -> SensorReading:
+        """A failed measurement as data: value 0.0 + the exception class.
+
+        The registry substitutes this when :meth:`measure` raises, so one
+        broken sensor degrades to a flagged zero-trust reading instead of
+        aborting the whole monitoring round.
+        """
+        return SensorReading(
+            sensor=self.name,
+            property=self.property,
+            value=0.0,
+            timestamp=self._clock(),
+            model_version=context.model_version,
+            details={"error": 1.0},
+            error=type(exc).__name__,
         )
 
     @abstractmethod

@@ -60,11 +60,15 @@ class SpatialSystem:
         pipeline: AIPipeline,
         sensors: Optional[Iterable[AISensor]] = None,
         rules: Optional[Iterable[AlertRule]] = None,
+        telemetry=None,
     ) -> "SpatialSystem":
         """Augment a pipeline with SPATIAL.
 
         ``sensors`` defaults to the performance + data-quality pair every
         application needs; add property-specific sensors per the use case.
+        ``telemetry`` optionally routes all readings through a
+        :class:`repro.telemetry.TelemetryPipeline` (or bare bus) so they
+        are WAL-persisted and rolled up alongside the dashboard.
         """
         registry = SensorRegistry()
         for sensor in sensors if sensors is not None else (
@@ -79,8 +83,15 @@ class SpatialSystem:
         def context_provider() -> ModelContext:
             return cls._context_from(pipeline.context)
 
-        monitor = ContinuousMonitor(registry, dashboard, context_provider)
+        monitor = ContinuousMonitor(
+            registry, dashboard, context_provider, telemetry=telemetry
+        )
         return cls(pipeline, registry, dashboard, monitor)
+
+    @property
+    def telemetry(self):
+        """The monitor's telemetry target (pipeline or bus)."""
+        return self.monitor.telemetry
 
     @staticmethod
     def _context_from(ctx: PipelineContext) -> ModelContext:

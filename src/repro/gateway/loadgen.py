@@ -18,6 +18,11 @@ import numpy as np
 from repro.gateway.gateway import APIGateway
 from repro.gateway.services import Request, RequestRecord
 from repro.gateway.simulation import Simulator
+from repro.telemetry.events import (
+    KIND_LOAD_SUMMARY,
+    KIND_RESPONSE,
+    TelemetryEvent,
+)
 
 
 @dataclass
@@ -91,6 +96,42 @@ class SummaryReport:
                 )
         return report
 
+    def to_events(
+        self, source: str = "loadtest", timestamp: Optional[float] = None
+    ) -> List[TelemetryEvent]:
+        """The report as telemetry: one summary event per (sub)route.
+
+        Capacity experiments thereby feed the same stream as the sensor
+        monitors — a Fig. 8 run can be WAL-persisted, rolled up and
+        queried exactly like trust readings.  ``value`` is the average
+        response time in milliseconds; percentiles, throughput and the
+        error rate ride in ``attrs``.
+        """
+        at = self.duration_seconds if timestamp is None else timestamp
+        events = [
+            TelemetryEvent(
+                source=source,
+                value=self.avg_response_ms,
+                timestamp=at,
+                kind=KIND_LOAD_SUMMARY,
+                attrs={
+                    "n_requests": float(self.n_requests),
+                    "n_errors": float(self.n_errors),
+                    "median_response_ms": self.median_response_ms,
+                    "p95_response_ms": self.p95_response_ms,
+                    "max_response_ms": self.max_response_ms,
+                    "throughput_rps": self.throughput_rps,
+                    "error_rate": self.error_rate,
+                    "duration_seconds": self.duration_seconds,
+                },
+            )
+        ]
+        for route, report in self.per_route.items():
+            events.extend(
+                report.to_events(source=f"{source}.{route}", timestamp=at)
+            )
+        return events
+
     def render_text(self) -> str:
         """One-line summary in the JMeter Summary Report layout."""
         return (
@@ -110,9 +151,20 @@ class LoadGenerator:
     was issued.
     """
 
-    def __init__(self, sim: Simulator, gateway: APIGateway) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        gateway: APIGateway,
+        telemetry=None,
+        topic: str = "gateway",
+    ) -> None:
         self.sim = sim
         self.gateway = gateway
+        #: Optional telemetry target (`TelemetryPipeline` or `TelemetryBus`);
+        #: every response becomes a per-route event and :meth:`run` appends
+        #: the summary, so load tests share the monitoring stream.
+        self.telemetry = telemetry
+        self.topic = topic
         self.responses: List[RequestRecord] = []
         #: (active in-flight requests at send time, response ms) per response
         self.active_threads: List[Tuple[int, float]] = []
@@ -151,6 +203,21 @@ class LoadGenerator:
                 self.active_threads.append(
                     (active_at_send, record.response_time * 1000.0)
                 )
+                if self.telemetry is not None:
+                    self.telemetry.publish(
+                        self.topic,
+                        TelemetryEvent(
+                            source=record.request.route,
+                            value=record.response_time * 1000.0,
+                            timestamp=record.end,
+                            kind=KIND_RESPONSE,
+                            attrs={
+                                "wait_ms": record.wait_time * 1000.0,
+                                "active_threads": float(active_at_send),
+                                "success": 1.0 if record.success else 0.0,
+                            },
+                        ),
+                    )
                 if remaining > 1:
                     self.sim.schedule(
                         group.think_time,
@@ -164,7 +231,12 @@ class LoadGenerator:
     def run(self, until: Optional[float] = None) -> SummaryReport:
         """Run the simulation to completion and return the summary."""
         end_time = self.sim.run(until=until)
-        return SummaryReport.from_records(self.responses, duration=end_time)
+        report = SummaryReport.from_records(self.responses, duration=end_time)
+        if self.telemetry is not None:
+            for event in report.to_events(timestamp=end_time):
+                self.telemetry.publish(self.topic, event)
+            self.telemetry.pump()
+        return report
 
 
 def run_load_test(

@@ -248,3 +248,35 @@ class MicroService:
         if elapsed_seconds <= 0:
             raise ValueError("elapsed_seconds must be positive")
         return self._busy_seconds / (self.concurrency * elapsed_seconds)
+
+    def utilization_event(self, elapsed_seconds: float):
+        """The utilisation snapshot as a telemetry event.
+
+        ``value`` is mean worker utilisation over the window; queue depth,
+        concurrency and rejection counts ride in ``attrs``, so capacity
+        runs land on the same bus → WAL → rollup stream as sensor
+        readings and the §IX "needs a bigger machine" signal becomes a
+        queryable series instead of a one-off print.
+        """
+        from repro.telemetry.events import KIND_UTILIZATION, TelemetryEvent
+
+        return TelemetryEvent(
+            source=self.name,
+            value=self.utilization(elapsed_seconds),
+            timestamp=elapsed_seconds,
+            kind=KIND_UTILIZATION,
+            attrs={
+                "busy_workers": float(self._busy),
+                "concurrency": float(self.concurrency),
+                "queue_length": float(len(self._waiting)),
+                "peak_queue_length": float(self._peak_queue),
+                "rejected": float(self.rejected),
+                "completed": float(len(self.completed)),
+            },
+        )
+
+    def emit_utilization(
+        self, telemetry, elapsed_seconds: float, topic: str = "services"
+    ) -> None:
+        """Publish :meth:`utilization_event` to a pipeline or bus."""
+        telemetry.publish(topic, self.utilization_event(elapsed_seconds))

@@ -1,0 +1,240 @@
+"""In-process pub/sub telemetry bus with explicit backpressure.
+
+The ROADMAP's production framing demands that monitoring never stalls the
+inference path: producers (sensor polls, gateway listeners) publish into
+*bounded* per-subscriber queues and return immediately; consumers (WAL
+writer, rollup aggregator, dashboard) drain their queues when pumped.  A
+slow consumer therefore costs dropped telemetry — an explicit, counted
+policy decision — never a blocked producer.
+
+Backpressure policies per subscription:
+
+``drop_oldest``
+    Evict the oldest queued event to admit the new one (keep freshest).
+``drop_newest``
+    Discard the incoming event (keep history, lose freshness).
+``error``
+    Raise :class:`BackpressureError` at the publisher — for consumers that
+    must be lossless (e.g. an audit WAL) where dropping is worse than
+    failing loudly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Union
+
+from repro.telemetry.events import TelemetryEvent
+
+#: Subscribe to every topic.
+WILDCARD = "*"
+
+POLICIES = ("drop_oldest", "drop_newest", "error")
+
+
+class BackpressureError(RuntimeError):
+    """A lossless (`policy="error"`) subscription's queue overflowed."""
+
+
+@dataclass
+class TopicCounters:
+    """Per-topic publication accounting."""
+
+    published: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+
+class Subscription:
+    """One consumer's bounded queue on the bus.
+
+    Created via :meth:`TelemetryBus.subscribe`; not instantiated directly.
+    Events accumulate in the queue at publish time and are handed to the
+    consumer by :meth:`poll` (pull style) or by the optional ``callback``
+    when the bus is pumped (push style).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        topics: Iterable[str],
+        capacity: int,
+        policy: str,
+        callback: Optional[Callable[[TelemetryEvent], None]],
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("subscription capacity must be >= 1")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; choose from {POLICIES}"
+            )
+        self.name = name
+        self.topics = frozenset(topics)
+        self.capacity = capacity
+        self.policy = policy
+        self.callback = callback
+        self._queue: Deque[TelemetryEvent] = deque()
+        self.enqueued = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    def matches(self, topic: str) -> bool:
+        return WILDCARD in self.topics or topic in self.topics
+
+    def _offer(self, event: TelemetryEvent) -> bool:
+        """Admit one event under the backpressure policy.
+
+        Returns ``True`` if the event was enqueued, ``False`` if dropped.
+        """
+        if len(self._queue) >= self.capacity:
+            if self.policy == "drop_oldest":
+                self._queue.popleft()
+                self.dropped += 1
+            elif self.policy == "drop_newest":
+                self.dropped += 1
+                return False
+            else:
+                raise BackpressureError(
+                    f"subscription {self.name!r} queue full "
+                    f"({self.capacity} events) and policy is 'error'"
+                )
+        self._queue.append(event)
+        self.enqueued += 1
+        return True
+
+    def poll(self, max_events: Optional[int] = None) -> List[TelemetryEvent]:
+        """Drain up to ``max_events`` (all, when ``None``) from the queue.
+
+        Invokes the subscription callback per event when one is set; the
+        returned list is the same batch either way.
+        """
+        budget = len(self._queue) if max_events is None else max_events
+        batch: List[TelemetryEvent] = []
+        while self._queue and len(batch) < budget:
+            batch.append(self._queue.popleft())
+        self.delivered += len(batch)
+        if self.callback is not None:
+            for event in batch:
+                self.callback(event)
+        return batch
+
+    @property
+    def backlog(self) -> int:
+        """Events queued but not yet delivered."""
+        return len(self._queue)
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "enqueued": self.enqueued,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "backlog": self.backlog,
+        }
+
+
+class TelemetryBus:
+    """Named-topic pub/sub with per-subscriber bounded queues.
+
+    >>> bus = TelemetryBus()
+    >>> sub = bus.subscribe("sink", topics=["sensors"], capacity=2)
+    >>> e = TelemetryEvent(source="s", value=1.0, timestamp=0.0)
+    >>> bus.publish("sensors", e)
+    1
+    >>> [ev.source for ev in sub.poll()]
+    ['s']
+    """
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._topic_counters: Dict[str, TopicCounters] = {}
+
+    # -- subscription management ----------------------------------------------
+
+    def subscribe(
+        self,
+        name: str,
+        topics: Union[str, Iterable[str]] = WILDCARD,
+        capacity: int = 4096,
+        policy: str = "drop_oldest",
+        callback: Optional[Callable[[TelemetryEvent], None]] = None,
+    ) -> Subscription:
+        """Register a consumer; names must be unique on the bus."""
+        if name in self._subscriptions:
+            raise ValueError(f"subscription {name!r} already exists")
+        if isinstance(topics, str):
+            topics = (topics,)
+        subscription = Subscription(name, topics, capacity, policy, callback)
+        self._subscriptions[name] = subscription
+        return subscription
+
+    def unsubscribe(self, name: str) -> None:
+        if name not in self._subscriptions:
+            raise KeyError(f"unknown subscription {name!r}")
+        del self._subscriptions[name]
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subscriptions.values())
+
+    # -- publish / deliver ------------------------------------------------------
+
+    def publish(self, topic: str, event: TelemetryEvent) -> int:
+        """Fan one event out to every matching subscription queue.
+
+        Never blocks: each subscription admits or drops per its policy.
+        Returns the number of queues the event landed in.
+        """
+        counters = self._topic_counters.setdefault(topic, TopicCounters())
+        counters.published += 1
+        landed = 0
+        for subscription in self._subscriptions.values():
+            if not subscription.matches(topic):
+                continue
+            if subscription._offer(event):
+                counters.delivered += 1
+                landed += 1
+            else:
+                counters.dropped += 1
+        return landed
+
+    def publish_many(self, topic: str, events: Iterable[TelemetryEvent]) -> int:
+        """Publish a batch; returns total queue placements."""
+        return sum(self.publish(topic, event) for event in events)
+
+    def pump(self, max_events: Optional[int] = None) -> int:
+        """Drain every subscription that has a callback (push delivery).
+
+        Pull-style subscriptions (no callback) are left untouched — their
+        owners call :meth:`Subscription.poll` themselves.  Returns the
+        number of events delivered.
+        """
+        delivered = 0
+        for subscription in self._subscriptions.values():
+            if subscription.callback is None:
+                continue
+            delivered += len(subscription.poll(max_events))
+        return delivered
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def topics(self) -> List[str]:
+        return sorted(self._topic_counters)
+
+    def stats(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Counter snapshot: per topic and per subscription."""
+        return {
+            "topics": {
+                topic: {
+                    "published": c.published,
+                    "delivered": c.delivered,
+                    "dropped": c.dropped,
+                }
+                for topic, c in self._topic_counters.items()
+            },
+            "subscriptions": {
+                name: sub.counters()
+                for name, sub in self._subscriptions.items()
+            },
+        }

@@ -1,0 +1,130 @@
+"""The telemetry event model: one flat, serialisable record per measurement.
+
+Everything the monitoring layer observes — sensor readings, gateway
+response times, micro-service utilisation, load-test summaries — is
+normalised into a :class:`TelemetryEvent` before it enters the bus.  Events
+are deliberately flat (floats + string attrs) so they serialise to one JSON
+line in the WAL and aggregate uniformly in the rollup layer, regardless of
+which subsystem produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Well-known event kinds; producers may invent new ones freely.
+KIND_SENSOR_READING = "sensor_reading"
+KIND_RESPONSE = "response"
+KIND_UTILIZATION = "utilization"
+KIND_LOAD_SUMMARY = "load_summary"
+
+
+@dataclass(slots=True)
+class TelemetryEvent:
+    """One timestamped scalar measurement from a named source.
+
+    Parameters
+    ----------
+    source:
+        The producing entity (sensor name, micro-service route, …); the
+        rollup layer keys its per-source windows on this.
+    value:
+        The headline scalar.  For sensor readings this is the normalised
+        [0, 1] trust value; for gateway events it is e.g. milliseconds.
+    timestamp:
+        Seconds (wall clock or virtual simulator time — producers choose,
+        consumers only need monotonicity per source for windowing).
+    kind:
+        Event family (``sensor_reading``, ``response``, ``utilization``…).
+    attrs:
+        Numeric side channel (a sensor's ``details``, a report's
+        percentiles).  Values must be floats so rollups/queries can filter.
+    labels:
+        String side channel (trust property, model version tag, error
+        class); kept separate from ``attrs`` so both stay homogeneous.
+    """
+
+    source: str
+    value: float
+    timestamp: float
+    kind: str = KIND_SENSOR_READING
+    attrs: Dict[str, float] = field(default_factory=dict)
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Flat dict for WAL serialisation (stable key order not required
+        here; the WAL canonicalises before checksumming)."""
+        return {
+            "source": self.source,
+            "value": self.value,
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+            "attrs": self.attrs,
+            "labels": self.labels,
+        }
+
+    @staticmethod
+    def from_json_dict(payload: Dict[str, object]) -> "TelemetryEvent":
+        return TelemetryEvent(
+            source=str(payload["source"]),
+            value=float(payload["value"]),  # type: ignore[arg-type]
+            timestamp=float(payload["timestamp"]),  # type: ignore[arg-type]
+            kind=str(payload.get("kind", KIND_SENSOR_READING)),
+            attrs={
+                str(k): float(v)  # type: ignore[arg-type]
+                for k, v in dict(payload.get("attrs", {})).items()  # type: ignore[arg-type]
+            },
+            labels={
+                str(k): str(v)
+                for k, v in dict(payload.get("labels", {})).items()  # type: ignore[arg-type]
+            },
+        )
+
+    # -- SensorReading bridge -------------------------------------------------
+
+    @staticmethod
+    def from_reading(reading) -> "TelemetryEvent":
+        """Wrap a :class:`repro.core.sensors.SensorReading`.
+
+        The reading's ``details`` become ``attrs``; property, model version
+        and any error class land in ``labels`` so :meth:`to_reading` can
+        reconstruct the original losslessly.
+        """
+        labels = {
+            "property": reading.property.value,
+            "model_version": str(reading.model_version),
+        }
+        if getattr(reading, "error", None):
+            labels["error"] = reading.error
+        return TelemetryEvent(
+            source=reading.sensor,
+            value=reading.value,
+            timestamp=reading.timestamp,
+            kind=KIND_SENSOR_READING,
+            attrs=dict(reading.details),
+            labels=labels,
+        )
+
+    def to_reading(self):
+        """Rebuild the :class:`SensorReading` this event was derived from.
+
+        Only valid for ``kind == "sensor_reading"`` events; this is what
+        lets a crashed dashboard be rebuilt from a WAL replay.
+        """
+        from repro.core.sensors import SensorReading
+        from repro.trust.properties import TrustProperty
+
+        if self.kind != KIND_SENSOR_READING:
+            raise ValueError(
+                f"cannot build a SensorReading from a {self.kind!r} event"
+            )
+        return SensorReading(
+            sensor=self.source,
+            property=TrustProperty(self.labels["property"]),
+            value=self.value,
+            timestamp=self.timestamp,
+            model_version=int(self.labels.get("model_version", "0")),
+            details=dict(self.attrs),
+            error=self.labels.get("error"),
+        )

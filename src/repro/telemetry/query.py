@@ -1,0 +1,185 @@
+"""Query engine over hot rollups and the cold WAL.
+
+Two storage tiers, one façade: recent, pre-aggregated windows live in the
+:class:`~repro.telemetry.rollup.TumblingWindowAggregator` (cheap, bounded
+memory); the full event history lives in the WAL on disk (complete, but a
+sequential scan).  :class:`TelemetryQuery` routes window queries to the
+hot tier and raw-event queries to the cold tier, and layers resampling and
+worst-sensor ranking on top — the primitives the dashboard's long-horizon
+panels need.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.rollup import (
+    TumblingWindowAggregator,
+    WindowStat,
+    merge_window_stats,
+)
+from repro.telemetry.wal import replay
+
+
+def resample(
+    stats: Sequence[WindowStat], window_seconds: float
+) -> List[WindowStat]:
+    """Re-bucket finalised windows into coarser windows.
+
+    ``window_seconds`` must be an integer multiple of the input windows'
+    size.  Exact for count/mean/min/max (percentiles become weighted
+    estimates, as in the rollup cascade).
+    """
+    if not stats:
+        return []
+    base = stats[0].window_seconds
+    if any(s.window_seconds != base for s in stats):
+        raise ValueError("resample needs windows of a single size")
+    ratio = window_seconds / base
+    if window_seconds < base or abs(ratio - round(ratio)) > 1e-9:
+        raise ValueError(
+            f"target window ({window_seconds}s) must be an integer "
+            f"multiple of the input window ({base}s)"
+        )
+    grouped: Dict[Tuple[str, float], List[WindowStat]] = defaultdict(list)
+    for stat in stats:
+        start = (stat.window_start // window_seconds) * window_seconds
+        grouped[(stat.source, start)].append(stat)
+    out = [
+        merge_window_stats(children, start, window_seconds)
+        for (__, start), children in grouped.items()
+    ]
+    out.sort(key=lambda s: (s.window_start, s.source))
+    return out
+
+
+class TelemetryQuery:
+    """Unified query surface over a rollup store and/or a WAL directory.
+
+    Either tier is optional: a live pipeline queries both, a post-mortem
+    audit may have only the WAL.
+    """
+
+    def __init__(
+        self,
+        rollups: Optional[TumblingWindowAggregator] = None,
+        wal_dir: Optional[Union[str, os.PathLike]] = None,
+    ) -> None:
+        if rollups is None and wal_dir is None:
+            raise ValueError("need at least one of rollups / wal_dir")
+        self.rollups = rollups
+        self.wal_dir = None if wal_dir is None else os.fspath(wal_dir)
+
+    # -- hot tier ---------------------------------------------------------------
+
+    def windows(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        level: int = 0,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        window_seconds: Optional[float] = None,
+    ) -> List[WindowStat]:
+        """Finalised windows, optionally time-bounded and resampled."""
+        if self.rollups is None:
+            raise RuntimeError("no hot rollup tier attached")
+        stats: List[WindowStat] = []
+        names = (
+            list(sources) if sources is not None else self.rollups.sources
+        )
+        for name in names:
+            stats.extend(
+                self.rollups.windows(
+                    source=name, level=level, start=start, end=end
+                )
+            )
+        stats.sort(key=lambda s: (s.window_start, s.source))
+        if window_seconds is not None:
+            stats = resample(stats, window_seconds)
+        return stats
+
+    def top_k(
+        self,
+        k: int,
+        level: int = 0,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        metric: str = "mean",
+        worst: str = "lowest",
+    ) -> List[Tuple[str, float]]:
+        """The k worst sources over a time range.
+
+        ``metric`` picks the window field to rank on; ``worst="lowest"``
+        treats small values as bad (trust values, where 1.0 is healthy),
+        ``"highest"`` treats large values as bad (latencies).  Windows are
+        count-weighted so a source's score is its true per-event mean over
+        the range.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if metric not in {"mean", "min", "max", "p50", "p95"}:
+            raise ValueError(f"unknown metric {metric!r}")
+        if worst not in {"lowest", "highest"}:
+            raise ValueError("worst must be 'lowest' or 'highest'")
+        weight: Dict[str, float] = defaultdict(float)
+        score: Dict[str, float] = defaultdict(float)
+        for stat in self.windows(level=level, start=start, end=end):
+            score[stat.source] += getattr(stat, metric) * stat.count
+            weight[stat.source] += stat.count
+        ranked = sorted(
+            ((name, score[name] / weight[name]) for name in score),
+            key=lambda pair: pair[1],
+            reverse=(worst == "highest"),
+        )
+        return ranked[:k]
+
+    # -- cold tier ---------------------------------------------------------------
+
+    def events(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[TelemetryEvent]:
+        """Raw events from the WAL, append order, filtered server-side."""
+        if self.wal_dir is None:
+            raise RuntimeError("no cold WAL tier attached")
+        out: List[TelemetryEvent] = []
+        for event in replay(
+            self.wal_dir,
+            start=start,
+            end=end,
+            sources=None if sources is None else list(sources),
+        ):
+            out.append(event)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def rebuild_rollups(
+        self,
+        window_seconds: float = 1.0,
+        cascades: Sequence[float] = (10.0, 60.0),
+        retention: int = 4096,
+    ) -> TumblingWindowAggregator:
+        """Replay the cold tier into a fresh hot tier (crash recovery).
+
+        This is the restart path: a process that lost its in-memory
+        rollups streams the WAL back through a new aggregator and serves
+        hot queries again, with identical exact statistics.
+        """
+        if self.wal_dir is None:
+            raise RuntimeError("no cold WAL tier attached")
+        aggregator = TumblingWindowAggregator(
+            window_seconds=window_seconds,
+            cascades=cascades,
+            retention=retention,
+        )
+        for event in replay(self.wal_dir):
+            aggregator.ingest(event)
+        aggregator.flush()
+        return aggregator

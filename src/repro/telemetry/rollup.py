@@ -1,0 +1,286 @@
+"""Tumbling-window rollups with cascading downsampling.
+
+The hot query path never touches raw events: the aggregator buckets each
+source's events into tumbling windows (default 1 s), finalises a window
+once the stream's watermark passes its end, and cascades finalised windows
+into coarser levels (e.g. 1 s → 10 s → 60 s).  Each level keeps only a
+bounded number of finalised windows, so hot memory stays O(sources ×
+levels × retention) no matter how long the stream runs.
+
+count/mean/min/max combine exactly across the cascade.  Percentiles do
+not: level 0 computes p50/p95 from raw values (``numpy.percentile``);
+higher levels estimate them as the count-weighted mean of their children's
+percentiles — a standard downsampling compromise, flagged via
+``WindowStat.exact_percentiles``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from math import floor, inf
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.telemetry.events import TelemetryEvent
+
+
+@dataclass(slots=True)
+class WindowStat:
+    """Finalised aggregate of one source over one tumbling window."""
+
+    source: str
+    window_start: float
+    window_seconds: float
+    count: int
+    mean: float
+    min: float
+    max: float
+    p50: float
+    p95: float
+    exact_percentiles: bool = True
+
+    @property
+    def window_end(self) -> float:
+        return self.window_start + self.window_seconds
+
+    def merge_key(self) -> Tuple[str, float]:
+        return (self.source, self.window_start)
+
+
+def merge_window_stats(
+    stats: Sequence[WindowStat],
+    window_start: float,
+    window_seconds: float,
+) -> WindowStat:
+    """Combine child windows of one source into a coarser parent window.
+
+    Exact for count/mean/min/max; percentile fields are count-weighted
+    means of the children's percentiles (marked inexact).
+    """
+    if not stats:
+        raise ValueError("cannot merge zero windows")
+    total = sum(s.count for s in stats)
+    return WindowStat(
+        source=stats[0].source,
+        window_start=window_start,
+        window_seconds=window_seconds,
+        count=total,
+        mean=sum(s.mean * s.count for s in stats) / total,
+        min=min(s.min for s in stats),
+        max=max(s.max for s in stats),
+        p50=sum(s.p50 * s.count for s in stats) / total,
+        p95=sum(s.p95 * s.count for s in stats) / total,
+        exact_percentiles=False,
+    )
+
+
+class _OpenWindow:
+    """Accumulating state for one (source, window) bucket."""
+
+    __slots__ = ("values", "children")
+
+    def __init__(self) -> None:
+        self.values: List[float] = []  # level 0: raw event values
+        self.children: List[WindowStat] = []  # level > 0: finalised children
+
+
+class TumblingWindowAggregator:
+    """Multi-level tumbling-window rollup store.
+
+    Parameters
+    ----------
+    window_seconds:
+        Level-0 window size.
+    cascades:
+        Additional window sizes, each an integer multiple of the previous
+        level (``(10.0, 60.0)`` with a 1 s base gives 1 s/10 s/60 s levels).
+    retention:
+        Finalised windows kept per (level, source); older ones are evicted
+        so memory stays bounded.  The WAL remains the source of truth for
+        anything older.
+    allowed_lateness:
+        Slack (seconds) behind the watermark before a window finalises;
+        events later than this land in an already-finalised window and are
+        counted in ``late_events`` instead of mutating history.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 1.0,
+        cascades: Sequence[float] = (10.0, 60.0),
+        retention: int = 4096,
+        allowed_lateness: float = 0.0,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if retention < 1:
+            raise ValueError("retention must be >= 1")
+        if allowed_lateness < 0:
+            raise ValueError("allowed_lateness must be non-negative")
+        sizes = [float(window_seconds)] + [float(c) for c in cascades]
+        for prev, size in zip(sizes, sizes[1:]):
+            ratio = size / prev
+            if size <= prev or abs(ratio - round(ratio)) > 1e-9:
+                raise ValueError(
+                    "each cascade level must be an integer multiple of the "
+                    f"previous ({prev} -> {size} is not)"
+                )
+        self.window_sizes = sizes
+        self.retention = retention
+        self.allowed_lateness = allowed_lateness
+        self.watermark = -inf
+        self.ingested = 0
+        self.late_events = 0
+        self._horizon_bucket = -inf  # last level-0 bucket finalisation ran at
+        # per level: open buckets keyed (source, window_start) and
+        # finalised deques keyed source
+        self._open: List[Dict[Tuple[str, float], _OpenWindow]] = [
+            {} for __ in sizes
+        ]
+        self._closed: List[Dict[str, Deque[WindowStat]]] = [{} for __ in sizes]
+
+    # -- ingest -----------------------------------------------------------------
+
+    def _window_start(self, timestamp: float, level: int) -> float:
+        size = self.window_sizes[level]
+        return floor(timestamp / size) * size
+
+    def ingest(self, event: TelemetryEvent) -> None:
+        """Bucket one event; advances the watermark and finalises windows."""
+        start = self._window_start(event.timestamp, 0)
+        if start + self.window_sizes[0] + self.allowed_lateness <= self.watermark:
+            self.late_events += 1
+            return
+        bucket = self._open[0].setdefault((event.source, start), _OpenWindow())
+        bucket.values.append(event.value)
+        self.ingested += 1
+        if event.timestamp > self.watermark:
+            self.watermark = event.timestamp
+            # window ends all fall on level-0 boundaries, so ripeness can
+            # only change when the horizon crosses one — skip the open-
+            # window scan otherwise (hot-path win at high event rates)
+            horizon = self.watermark - self.allowed_lateness
+            bucket = floor(horizon / self.window_sizes[0])
+            if bucket != self._horizon_bucket:
+                self._horizon_bucket = bucket
+                self._finalize_ripe(horizon)
+
+    def ingest_many(self, events: Sequence[TelemetryEvent]) -> None:
+        for event in events:
+            self.ingest(event)
+
+    # -- window finalisation -----------------------------------------------------
+
+    def _finalize_ripe(self, horizon: float) -> None:
+        """Close every open window that ends at or before ``horizon``."""
+        for level in range(len(self.window_sizes)):
+            size = self.window_sizes[level]
+            ripe = [
+                key for key in self._open[level] if key[1] + size <= horizon
+            ]
+            for key in sorted(ripe, key=lambda k: k[1]):
+                self._finalize(level, key)
+
+    def _finalize(self, level: int, key: Tuple[str, float]) -> None:
+        source, start = key
+        bucket = self._open[level].pop(key)
+        size = self.window_sizes[level]
+        if level == 0:
+            values = np.asarray(bucket.values, dtype=np.float64)
+            stat = WindowStat(
+                source=source,
+                window_start=start,
+                window_seconds=size,
+                count=values.size,
+                mean=float(values.mean()),
+                min=float(values.min()),
+                max=float(values.max()),
+                p50=float(np.percentile(values, 50)),
+                p95=float(np.percentile(values, 95)),
+            )
+        else:
+            stat = merge_window_stats(bucket.children, start, size)
+        series = self._closed[level].setdefault(
+            source, deque(maxlen=self.retention)
+        )
+        series.append(stat)
+        if level + 1 < len(self.window_sizes):
+            parent_start = self._window_start(start, level + 1)
+            parent = self._open[level + 1].setdefault(
+                (source, parent_start), _OpenWindow()
+            )
+            parent.children.append(stat)
+
+    def flush(self) -> None:
+        """Finalise everything still open (end of stream / clean shutdown)."""
+        self._finalize_ripe(inf)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def levels(self) -> int:
+        return len(self.window_sizes)
+
+    @property
+    def sources(self) -> List[str]:
+        names = set()
+        for per_source in self._closed:
+            names.update(per_source)
+        return sorted(names)
+
+    def windows(
+        self,
+        source: Optional[str] = None,
+        level: int = 0,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[WindowStat]:
+        """Finalised windows at one level, oldest first, optionally bounded
+        to ``[start, end)`` by window start time."""
+        if not 0 <= level < len(self.window_sizes):
+            raise ValueError(
+                f"level must be in [0, {len(self.window_sizes)}), got {level}"
+            )
+        per_source = self._closed[level]
+        sources = [source] if source is not None else sorted(per_source)
+        out: List[WindowStat] = []
+        for name in sources:
+            for stat in per_source.get(name, ()):
+                if start is not None and stat.window_start < start:
+                    continue
+                if end is not None and stat.window_start >= end:
+                    continue
+                out.append(stat)
+        out.sort(key=lambda s: (s.window_start, s.source))
+        return out
+
+    def totals(self, source: str, level: int = 0) -> Dict[str, float]:
+        """Whole-retention aggregate for one source (exact fields only)."""
+        stats = self.windows(source=source, level=level)
+        if not stats:
+            raise KeyError(f"no finalised windows for source {source!r}")
+        merged = merge_window_stats(
+            stats, stats[0].window_start, self.window_sizes[level]
+        )
+        return {
+            "count": float(merged.count),
+            "mean": merged.mean,
+            "min": merged.min,
+            "max": merged.max,
+        }
+
+    def stats(self) -> Dict[str, float]:
+        """Snapshot counters for the pipeline's ``stats()`` panel."""
+        return {
+            "ingested": self.ingested,
+            "late_events": self.late_events,
+            "watermark": self.watermark,
+            "open_windows": sum(len(level) for level in self._open),
+            "closed_windows": sum(
+                len(series)
+                for level in self._closed
+                for series in level.values()
+            ),
+        }

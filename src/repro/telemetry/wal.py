@@ -1,0 +1,245 @@
+"""Durable write-ahead log for telemetry events.
+
+Format: a WAL is a directory of JSON-lines *segments*
+(``wal-00000001.jsonl``, ``wal-00000002.jsonl``, …).  Each line is
+
+    {"crc": <zlib.crc32 of the canonical event JSON>, "event": {...}}
+
+so every record is independently verifiable.  Segments rotate at a size
+threshold, which bounds the cost of tail recovery and lets retention/
+archival operate on whole files.
+
+Crash story: a process killed mid-write leaves at most a truncated (or
+garbled) final line in the *last* segment.  :meth:`WriteAheadLog.open`
+scans that tail and truncates it away; :func:`replay` streams every intact
+record back in append order, so dashboards and audits can be rebuilt
+exactly (see ``examples/telemetry_replay.py``).  Corruption anywhere other
+than the final tail is *not* silently skipped — it raises
+:class:`WalCorruptionError`, because a hole in the middle of an audit
+stream must be investigated, not papered over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.telemetry.events import TelemetryEvent
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".jsonl"
+
+
+class WalCorruptionError(RuntimeError):
+    """A record failed its checksum somewhere replay cannot self-heal."""
+
+
+def _canonical(payload: Dict[str, object]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _encode(event: TelemetryEvent) -> str:
+    payload = _canonical(event.to_json_dict())
+    crc = zlib.crc32(payload.encode("utf-8"))
+    return f'{{"crc": {crc}, "event": {payload}}}\n'
+
+
+def _decode(line: str) -> Optional[TelemetryEvent]:
+    """Parse one WAL line; ``None`` means damaged (bad JSON or bad CRC)."""
+    try:
+        record = json.loads(line)
+        payload = record["event"]
+        expected = int(record["crc"])
+    except (ValueError, KeyError, TypeError):
+        return None
+    actual = zlib.crc32(_canonical(payload).encode("utf-8"))
+    if actual != expected:
+        return None
+    try:
+        return TelemetryEvent.from_json_dict(payload)
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
+def _segment_name(index: int) -> str:
+    return f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}"
+
+
+def segment_paths(directory: str) -> List[str]:
+    """All segment files in append order."""
+    if not os.path.isdir(directory):
+        return []
+    names = sorted(
+        n
+        for n in os.listdir(directory)
+        if n.startswith(SEGMENT_PREFIX) and n.endswith(SEGMENT_SUFFIX)
+    )
+    return [os.path.join(directory, n) for n in names]
+
+
+class WriteAheadLog:
+    """Append-only, segment-rotated event log.
+
+    Parameters
+    ----------
+    directory:
+        WAL home; created if missing.  One WAL per directory.
+    max_segment_bytes:
+        Rotation threshold; a segment is closed once its size reaches
+        this, keeping tail-recovery and archival costs bounded.
+    fsync:
+        When ``True`` every :meth:`flush` also fsyncs — durable against
+        power loss at a heavy latency cost; the default only guarantees
+        process-crash durability, which is what the tests simulate.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        max_segment_bytes: int = 1 << 20,
+        fsync: bool = False,
+    ) -> None:
+        if max_segment_bytes < 1:
+            raise ValueError("max_segment_bytes must be >= 1")
+        self.directory = os.fspath(directory)
+        self.max_segment_bytes = max_segment_bytes
+        self.fsync = fsync
+        os.makedirs(self.directory, exist_ok=True)
+        self._handle = None
+        self._segment_index = 0
+        self._segment_bytes = 0
+        self.appended = 0
+        self.recovered_truncated_records = 0
+        self._open_tail()
+
+    # -- segment management ---------------------------------------------------
+
+    def _open_tail(self) -> None:
+        """Resume on the last segment, healing a torn tail if present."""
+        segments = segment_paths(self.directory)
+        if not segments:
+            self._segment_index = 1
+            self._open_segment()
+            return
+        tail = segments[-1]
+        self._segment_index = int(
+            os.path.basename(tail)[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)]
+        )
+        self.recovered_truncated_records = self._truncate_damaged_tail(tail)
+        self._segment_bytes = os.path.getsize(tail)
+        if self._segment_bytes >= self.max_segment_bytes:
+            self._segment_index += 1
+            self._open_segment()
+        else:
+            self._handle = open(tail, "a", encoding="utf-8")
+
+    def _truncate_damaged_tail(self, path: str) -> int:
+        """Drop trailing damaged lines from a segment; return how many."""
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            lines = fh.readlines()
+        intact = len(lines)
+        while intact > 0 and _decode(lines[intact - 1]) is None:
+            intact -= 1
+        dropped = len(lines) - intact
+        if dropped:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.writelines(lines[:intact])
+        return dropped
+
+    def _open_segment(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        path = os.path.join(self.directory, _segment_name(self._segment_index))
+        self._handle = open(path, "a", encoding="utf-8")
+        self._segment_bytes = os.path.getsize(path)
+
+    # -- writing ----------------------------------------------------------------
+
+    def append(self, event: TelemetryEvent) -> None:
+        """Write one event record, rotating the segment when full."""
+        if self._handle is None:
+            raise RuntimeError("WAL is closed")
+        line = _encode(event)
+        self._handle.write(line)
+        self._segment_bytes += len(line.encode("utf-8"))
+        self.appended += 1
+        if self._segment_bytes >= self.max_segment_bytes:
+            self._segment_index += 1
+            self._open_segment()
+
+    def flush(self) -> None:
+        if self._handle is None:
+            return
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def segments(self) -> List[str]:
+        return segment_paths(self.directory)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "appended": self.appended,
+            "segments": len(self.segments),
+            "segment_index": self._segment_index,
+            "recovered_truncated_records": self.recovered_truncated_records,
+        }
+
+
+def replay(
+    directory: Union[str, os.PathLike],
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    sources: Optional[List[str]] = None,
+) -> Iterator[TelemetryEvent]:
+    """Stream every intact event back in append order.
+
+    ``start``/``end`` bound event timestamps (inclusive/exclusive) and
+    ``sources`` filters by producer, so cold queries pay only for what
+    they read.  Damaged lines at the very tail of the *last* segment are
+    tolerated (that is the crash signature the WAL is designed to heal);
+    damage anywhere else raises :class:`WalCorruptionError`.
+    """
+    directory = os.fspath(directory)
+    segments = segment_paths(directory)
+    if not segments:
+        raise FileNotFoundError(f"no WAL segments under {directory!r}")
+    wanted = None if sources is None else set(sources)
+    for seg_pos, path in enumerate(segments):
+        last_segment = seg_pos == len(segments) - 1
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            lines = fh.readlines()
+        for line_pos, line in enumerate(lines):
+            event = _decode(line)
+            if event is None:
+                if last_segment and all(
+                    _decode(rest) is None for rest in lines[line_pos:]
+                ):
+                    return  # torn tail: everything after is damage, stop
+                raise WalCorruptionError(
+                    f"corrupt record at {path}:{line_pos + 1}"
+                )
+            if start is not None and event.timestamp < start:
+                continue
+            if end is not None and event.timestamp >= end:
+                continue
+            if wanted is not None and event.source not in wanted:
+                continue
+            yield event

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.telemetry import TelemetryEvent, WriteAheadLog
 
 
 class TestParser:
@@ -66,3 +69,68 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "# Model card — fall-detection-demo" in out
         assert "## Evaluation" in out
+
+
+@pytest.fixture()
+def wal_dir(tmp_path):
+    path = tmp_path / "wal"
+    with WriteAheadLog(path) as wal:
+        for i in range(30):
+            wal.append(
+                TelemetryEvent(
+                    source="perf", value=0.9, timestamp=float(i)
+                )
+            )
+            wal.append(
+                TelemetryEvent(
+                    source="fair", value=0.3, timestamp=float(i)
+                )
+            )
+    return path
+
+
+class TestTelemetryCommand:
+    def test_missing_wal_dir_exits_2(self, tmp_path, capsys):
+        assert main(["telemetry", "--wal", str(tmp_path / "empty")]) == 2
+        assert "no WAL segments" in capsys.readouterr().err
+
+    def test_report_covers_rollups_and_ranking(self, wal_dir, capsys):
+        assert main(["telemetry", "--wal", str(wal_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "60 events" in out
+        assert "per-source rollups" in out
+        assert "perf" in out and "fair" in out
+        # 'fair' is consistently worse, so it leads the worst-of ranking
+        worst = out.split("worst sources")[1]
+        assert worst.index("fair") < worst.index("perf")
+
+    def test_tail_prints_last_events(self, wal_dir, capsys):
+        assert main(["telemetry", "--wal", str(wal_dir), "--tail", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "last 3 event(s):" in out
+        assert "t=29" in out
+
+    def test_json_mode(self, wal_dir, capsys):
+        assert main(["telemetry", "--wal", str(wal_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] == 60
+        assert payload["sources"]["perf"]["count"] == 30
+        assert payload["worst"][0][0] == "fair"
+
+    def test_wal_flag_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry"])
+
+    def test_invalid_window_exits_2(self, wal_dir, capsys):
+        code = main(["telemetry", "--wal", str(wal_dir), "--window", "0"])
+        assert code == 2
+        assert "invalid rollup parameters" in capsys.readouterr().err
+
+    def test_midstream_corruption_exits_2(self, wal_dir, capsys):
+        segment = next(wal_dir.glob("*.jsonl"))
+        lines = segment.read_text(encoding="utf-8").splitlines(keepends=True)
+        lines[5] = lines[5].replace('"value":', '"valXe":', 1)
+        segment.write_text("".join(lines), encoding="utf-8")
+        code = main(["telemetry", "--wal", str(wal_dir)])
+        assert code == 2
+        assert "damaged mid-stream" in capsys.readouterr().err

@@ -6,6 +6,7 @@ from repro.core.dashboard import AIDashboard
 from repro.core.monitor import ContinuousMonitor
 from repro.core.registry import SensorRegistry
 from repro.core.sensors import DataQualitySensor, ModelContext, PerformanceSensor
+from repro.telemetry import TelemetryBus, TelemetryPipeline
 
 
 @pytest.fixture()
@@ -65,6 +66,17 @@ class TestModelUpdateTrigger:
         monitor, __, __ = setup
         assert monitor.on_model_update() is not None
 
+    def test_first_ever_call_with_no_prior_round(self, setup):
+        """Before any round the monitor has no version baseline, so the
+        first model-update check must poll regardless of the version."""
+        monitor, dashboard, __ = setup
+        assert monitor.n_rounds == 0
+        record = monitor.on_model_update()
+        assert record is not None
+        assert record.index == 0
+        assert record.trigger == "model_update"
+        assert set(dashboard.sensors) == {"performance", "data_quality"}
+
     def test_no_change_no_poll(self, setup):
         monitor, __, __ = setup
         monitor.poll_once()
@@ -78,3 +90,107 @@ class TestModelUpdateTrigger:
         assert record is not None
         assert record.trigger == "model_update"
         assert record.readings[0].model_version == 2
+
+    def test_version_decrease_is_a_model_update(self, setup):
+        """A rollback (version going down) is still a different model and
+        must be re-measured, not treated as 'no change'."""
+        monitor, __, state = setup
+        state["version"] = 5
+        monitor.poll_once()
+        state["version"] = 3  # operator rolled the model back
+        record = monitor.on_model_update()
+        assert record is not None
+        assert record.trigger == "model_update"
+        assert record.readings[0].model_version == 3
+        # and the rollback version becomes the new baseline
+        assert monitor.on_model_update() is None
+
+    def test_update_round_publishes_to_bus(self, setup):
+        """The model-update trigger flows through the same bus publication
+        path as scheduled rounds."""
+        monitor, __, state = setup
+        spy = monitor.bus.subscribe("spy", topics="sensors")
+        monitor.poll_once()
+        assert spy.backlog == 2
+        state["version"] = 2
+        monitor.on_model_update()
+        assert spy.backlog == 4
+        versions = [
+            e.labels["model_version"] for e in spy.poll()
+        ]
+        assert versions == ["1", "1", "2", "2"]
+
+
+class TestBusIntegration:
+    def test_private_bus_by_default(self, setup):
+        monitor, __, __ = setup
+        assert isinstance(monitor.bus, TelemetryBus)
+        assert monitor.telemetry is monitor.bus
+
+    def test_dashboard_is_a_subscriber_not_a_sink(self, setup):
+        monitor, __, __ = setup
+        names = {s.name for s in monitor.bus.subscriptions}
+        assert "dashboard" in names
+
+    def test_readings_arrive_via_bus_counters(self, setup):
+        monitor, dashboard, __ = setup
+        monitor.run(3)
+        stats = monitor.bus.stats()
+        assert stats["topics"]["sensors"]["published"] == 6
+        assert stats["subscriptions"]["dashboard"]["delivered"] == 6
+        assert len(dashboard.values("performance")) == 3
+
+    def test_shared_pipeline_records_rounds_in_wal(self, trained_mlp, blobs, tmp_path):
+        X, y = blobs
+        registry = SensorRegistry()
+        registry.register(PerformanceSensor(clock=lambda: 0.0))
+        dashboard = AIDashboard()
+        pipeline = TelemetryPipeline(wal_dir=tmp_path / "wal")
+        monitor = ContinuousMonitor(
+            registry,
+            dashboard,
+            lambda: ModelContext(
+                model=trained_mlp, X_test=X[:40], y_test=y[:40]
+            ),
+            telemetry=pipeline,
+        )
+        monitor.run(4)
+        pipeline.flush()
+        assert pipeline.wal.appended == 4
+        assert len(dashboard.values("performance")) == 4
+
+    def test_dashboardless_monitor(self, trained_mlp, blobs):
+        X, y = blobs
+        registry = SensorRegistry()
+        registry.register(PerformanceSensor(clock=lambda: 0.0))
+        monitor = ContinuousMonitor(
+            registry,
+            None,
+            lambda: ModelContext(model=trained_mlp, X_test=X[:40], y_test=y[:40]),
+        )
+        spy = monitor.bus.subscribe("spy", topics="sensors")
+        monitor.run(2)
+        assert spy.backlog == 2
+
+    def test_two_monitors_share_one_bus(self, trained_mlp, blobs):
+        """Dashboard subscription names must not collide on a shared bus."""
+        X, y = blobs
+        bus = TelemetryBus()
+        monitors = []
+        for __ in range(2):
+            registry = SensorRegistry()
+            registry.register(PerformanceSensor(clock=lambda: 0.0))
+            monitors.append(
+                ContinuousMonitor(
+                    registry,
+                    AIDashboard(),
+                    lambda: ModelContext(
+                        model=trained_mlp, X_test=X[:40], y_test=y[:40]
+                    ),
+                    telemetry=bus,
+                )
+            )
+        monitors[0].poll_once()
+        # both dashboards see the reading: they subscribe the same topic
+        assert len(monitors[0].dashboard.values("performance")) == 1
+        assert len(monitors[1].dashboard.values("performance")) == 1

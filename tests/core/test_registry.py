@@ -62,6 +62,41 @@ class TestRegistryBasics:
         assert reading.sensor == "data_quality"
 
 
+class TestFaultIsolation:
+    class ExplodingSensor(PerformanceSensor):
+        def __init__(self):
+            super().__init__(name="exploding", clock=lambda: 0.0)
+
+        def measure(self, context):
+            raise RuntimeError("probe hardware on fire")
+
+    def test_one_raising_sensor_does_not_abort_the_round(
+        self, registry, context
+    ):
+        registry.register(self.ExplodingSensor())
+        readings = registry.poll(context)
+        assert len(readings) == 3  # round completed despite the failure
+        by_name = {r.sensor: r for r in readings}
+        assert by_name["performance"].error is None
+        assert by_name["performance"].value > 0.5  # healthy sensors intact
+
+    def test_error_reading_carries_the_failure(self, registry, context):
+        registry.register(self.ExplodingSensor())
+        reading = {r.sensor: r for r in registry.poll(context)}["exploding"]
+        assert reading.value == 0.0
+        assert reading.details["error"] == 1.0
+        assert reading.error == "RuntimeError"
+        assert reading.property == TrustProperty.ACCURACY
+        assert reading.model_version == context.model_version
+
+    def test_poll_one_still_propagates(self, registry, context):
+        """Single-sensor API requests keep raising: the caller asked for
+        exactly this probe and must see its failure."""
+        registry.register(self.ExplodingSensor())
+        with pytest.raises(RuntimeError):
+            registry.poll_one("exploding", context)
+
+
 class TestInstrumentation:
     def test_instrument_pipeline_pushes_to_sink(self, registry, blobs):
         X, y = blobs

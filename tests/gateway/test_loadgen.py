@@ -19,6 +19,11 @@ from repro.gateway.services import (
     ServiceTimeModel,
 )
 from repro.gateway.simulation import Simulator
+from repro.telemetry import (
+    KIND_LOAD_SUMMARY,
+    KIND_RESPONSE,
+    TelemetryBus,
+)
 
 
 def simple_deployment(base=0.1, concurrency=2, seed=0):
@@ -198,3 +203,83 @@ class TestRunLoadTest:
         assert report.n_requests == 8
         assert report.error_rate == 0.0
         assert report.avg_response_ms > 0
+
+
+class TestLoadTelemetry:
+    def run_with_bus(self, iterations=2, n_threads=3):
+        sim, gateway = simple_deployment()
+        bus = TelemetryBus()
+        spy = bus.subscribe("spy", topics="gateway")
+        gen = LoadGenerator(sim, gateway, telemetry=bus)
+        gen.add_thread_group(
+            ThreadGroup(route="svc", n_threads=n_threads, iterations=iterations)
+        )
+        report = gen.run()
+        return report, spy.poll()
+
+    def test_one_response_event_per_request(self):
+        report, events = self.run_with_bus(iterations=2, n_threads=3)
+        responses = [e for e in events if e.kind == KIND_RESPONSE]
+        assert len(responses) == report.n_requests == 6
+        assert all(e.source == "svc" for e in responses)
+        assert all(e.attrs["success"] == 1.0 for e in responses)
+
+    def test_response_events_carry_listener_series(self):
+        """The Fig. 8(b) listener data rides on the bus: per-response
+        active-thread counts and wait times."""
+        __, events = self.run_with_bus(iterations=1, n_threads=4)
+        responses = [e for e in events if e.kind == KIND_RESPONSE]
+        assert all("active_threads" in e.attrs for e in responses)
+        assert all("wait_ms" in e.attrs for e in responses)
+
+    def test_summary_event_appended_after_run(self):
+        report, events = self.run_with_bus()
+        summaries = [e for e in events if e.kind == KIND_LOAD_SUMMARY]
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert summary.source == "loadtest"
+        assert summary.value == pytest.approx(report.avg_response_ms)
+        assert summary.attrs["throughput_rps"] == pytest.approx(
+            report.throughput_rps
+        )
+        assert summary.timestamp == pytest.approx(report.duration_seconds)
+
+    def test_no_telemetry_means_no_publication(self):
+        sim, gateway = simple_deployment()
+        gen = LoadGenerator(sim, gateway)
+        gen.add_thread_group(ThreadGroup(route="svc", n_threads=2))
+        gen.run()  # must not raise without a telemetry target
+
+
+class TestSummaryReportToEvents:
+    def make_multiroute_report(self):
+        records = [
+            RequestRecord(request=Request(1, "a"), arrival=0.0, end=0.1),
+            RequestRecord(request=Request(2, "b"), arrival=0.0, end=0.3),
+        ]
+        return SummaryReport.from_records(records, duration=1.0)
+
+    def test_per_route_sub_events(self):
+        events = self.make_multiroute_report().to_events()
+        assert [e.source for e in events] == [
+            "loadtest",
+            "loadtest.a",
+            "loadtest.b",
+        ]
+        assert all(e.kind == KIND_LOAD_SUMMARY for e in events)
+        by_source = {e.source: e for e in events}
+        assert by_source["loadtest.b"].value == pytest.approx(300.0)
+
+    def test_explicit_timestamp_propagates(self):
+        events = self.make_multiroute_report().to_events(timestamp=42.0)
+        assert all(e.timestamp == 42.0 for e in events)
+
+    def test_attrs_cover_the_report(self):
+        event = self.make_multiroute_report().to_events()[0]
+        for key in (
+            "n_requests",
+            "p95_response_ms",
+            "throughput_rps",
+            "error_rate",
+        ):
+            assert key in event.attrs

@@ -192,3 +192,41 @@ class TestMicroServiceQueueing:
             service_time=ServiceTimeModel({"tabular": 0.1}),
         )
         assert service.concurrency == 6
+
+
+class TestUtilizationTelemetry:
+    def test_utilization_event_snapshot(self):
+        service = make_service(concurrency=2, base=1.0)
+        TestMicroServiceQueueing().run_requests(service, 4)
+        event = service.utilization_event(elapsed_seconds=2.0)
+        assert event.source == "svc"
+        assert event.kind == "utilization"
+        assert event.value == pytest.approx(1.0)
+        assert event.attrs["concurrency"] == 2.0
+        assert event.attrs["completed"] == 4.0
+        assert event.attrs["rejected"] == 0.0
+        assert event.attrs["queue_length"] == 0.0
+
+    def test_event_tracks_rejections(self):
+        service = make_service(concurrency=1, base=1.0, queue_capacity=1)
+        TestMicroServiceQueueing().run_requests(service, 5)
+        event = service.utilization_event(elapsed_seconds=2.0)
+        assert event.attrs["rejected"] == 3.0
+        assert event.attrs["peak_queue_length"] == 1.0
+
+    def test_emit_utilization_publishes_to_bus(self):
+        from repro.telemetry import TelemetryBus
+
+        service = make_service(concurrency=2, base=1.0)
+        TestMicroServiceQueueing().run_requests(service, 2)
+        bus = TelemetryBus()
+        spy = bus.subscribe("spy", topics="services")
+        service.emit_utilization(bus, elapsed_seconds=1.0)
+        events = spy.poll()
+        assert len(events) == 1
+        assert events[0].source == "svc"
+        assert events[0].value == pytest.approx(1.0)
+
+    def test_invalid_window_raises_before_building_event(self):
+        with pytest.raises(ValueError):
+            make_service().utilization_event(0.0)

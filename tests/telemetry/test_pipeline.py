@@ -1,0 +1,99 @@
+"""Tests for the TelemetryPipeline façade (bus → WAL → rollups)."""
+
+import pytest
+
+from repro.telemetry import (
+    TelemetryEvent,
+    TelemetryPipeline,
+    replay,
+)
+
+
+def make_event(i, source="s"):
+    return TelemetryEvent(source=source, value=0.5, timestamp=float(i))
+
+
+class TestLifecycle:
+    def test_publish_before_start_raises(self, tmp_path):
+        pipe = TelemetryPipeline(wal_dir=tmp_path / "wal")
+        with pytest.raises(RuntimeError):
+            pipe.publish("t", make_event(0))
+
+    def test_double_start_raises(self):
+        pipe = TelemetryPipeline().start()
+        with pytest.raises(RuntimeError):
+            pipe.start()
+
+    def test_close_is_idempotent_and_final(self, tmp_path):
+        pipe = TelemetryPipeline(wal_dir=tmp_path / "wal").start()
+        pipe.publish("t", make_event(0))
+        pipe.close()
+        pipe.close()
+        with pytest.raises(RuntimeError):
+            pipe.start()
+
+    def test_context_manager_flushes_to_wal(self, tmp_path):
+        with TelemetryPipeline(wal_dir=tmp_path / "wal") as pipe:
+            for i in range(5):
+                pipe.publish("t", make_event(i))
+        assert len(list(replay(tmp_path / "wal"))) == 5
+
+    def test_memory_only_mode(self):
+        with TelemetryPipeline() as pipe:
+            pipe.publish("t", make_event(0))
+            pipe.publish("t", make_event(1))
+        assert pipe.wal is None
+        assert pipe.rollups.ingested == 2
+        assert pipe.stats()["wal"] is None
+
+
+class TestWiring:
+    def test_events_reach_wal_and_rollups(self, tmp_path):
+        with TelemetryPipeline(wal_dir=tmp_path / "wal") as pipe:
+            for i in range(20):
+                pipe.publish("t", make_event(i))
+            pipe.flush()
+            assert pipe.wal.appended == 20
+            assert pipe.rollups.ingested == 20
+
+    def test_extra_subscribers_coexist(self, tmp_path):
+        seen = []
+        with TelemetryPipeline(wal_dir=tmp_path / "wal") as pipe:
+            pipe.bus.subscribe("spy", topics="t", callback=seen.append)
+            pipe.publish("t", make_event(0))
+            pipe.pump()
+        assert len(seen) == 1
+
+    def test_auto_pump_bounds_queues(self, tmp_path):
+        pipe = TelemetryPipeline(
+            wal_dir=tmp_path / "wal", auto_pump_every=10
+        ).start()
+        for i in range(100):
+            pipe.publish("t", make_event(i))
+        # queues were drained every 10 events, not left to pile up
+        stats = pipe.stats()["bus"]["subscriptions"]
+        assert stats["wal"]["backlog"] == 0
+        assert pipe.wal.appended == 100
+        pipe.close()
+
+    def test_auto_pump_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryPipeline(auto_pump_every=0)
+
+    def test_query_spans_both_tiers(self, tmp_path):
+        with TelemetryPipeline(wal_dir=tmp_path / "wal") as pipe:
+            for i in range(12):
+                pipe.publish("t", make_event(i))
+            pipe.flush()
+            query = pipe.query()
+            assert len(query.events()) == 12
+            assert sum(w.count for w in query.windows()) >= 11
+
+    def test_stats_snapshot_shape(self, tmp_path):
+        with TelemetryPipeline(wal_dir=tmp_path / "wal") as pipe:
+            pipe.publish("t", make_event(0))
+            pipe.flush()
+            snapshot = pipe.stats()
+        assert snapshot["bus"]["topics"]["t"]["published"] == 1
+        assert snapshot["wal"]["appended"] == 1
+        assert snapshot["rollup"]["ingested"] == 1

@@ -1,0 +1,140 @@
+"""Tests for the query engine over hot rollups and cold WAL."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    TelemetryEvent,
+    TelemetryQuery,
+    TumblingWindowAggregator,
+    WriteAheadLog,
+    resample,
+)
+
+
+def make_stream(n=60, sources=("good", "bad")):
+    """Interleaved two-source stream; 'bad' is consistently worse."""
+    events = []
+    for i in range(n):
+        t = i * 0.5
+        events.append(
+            TelemetryEvent(source="good", value=0.9 + 0.001 * i, timestamp=t)
+        )
+        events.append(
+            TelemetryEvent(source="bad", value=0.3 - 0.001 * i, timestamp=t)
+        )
+    return [e for e in events if e.source in sources]
+
+
+@pytest.fixture()
+def hot():
+    agg = TumblingWindowAggregator(window_seconds=1.0, cascades=(10.0,))
+    agg.ingest_many(make_stream())
+    agg.flush()
+    return TelemetryQuery(rollups=agg)
+
+
+@pytest.fixture()
+def cold(tmp_path):
+    with WriteAheadLog(tmp_path / "wal") as wal:
+        for event in make_stream():
+            wal.append(event)
+    return TelemetryQuery(wal_dir=tmp_path / "wal")
+
+
+class TestConstruction:
+    def test_needs_some_tier(self):
+        with pytest.raises(ValueError):
+            TelemetryQuery()
+
+    def test_hot_only_rejects_event_queries(self, hot):
+        with pytest.raises(RuntimeError):
+            hot.events()
+
+    def test_cold_only_rejects_window_queries(self, cold):
+        with pytest.raises(RuntimeError):
+            cold.windows()
+
+
+class TestHotQueries:
+    def test_windows_source_and_time_filters(self, hot):
+        subset = hot.windows(sources=["good"], start=5.0, end=10.0)
+        assert {w.source for w in subset} == {"good"}
+        assert all(5.0 <= w.window_start < 10.0 for w in subset)
+
+    def test_windows_resampled_inline(self, hot):
+        coarse = hot.windows(sources=["good"], window_seconds=5.0)
+        assert all(w.window_seconds == 5.0 for w in coarse)
+        fine = hot.windows(sources=["good"])
+        assert sum(w.count for w in coarse) == sum(w.count for w in fine)
+
+    def test_top_k_worst_lowest(self, hot):
+        ranking = hot.top_k(2)
+        assert [name for name, __ in ranking] == ["bad", "good"]
+        assert ranking[0][1] < ranking[1][1]
+
+    def test_top_k_worst_highest_for_latencies(self, hot):
+        ranking = hot.top_k(1, worst="highest")
+        assert ranking[0][0] == "good"
+
+    def test_top_k_respects_k(self, hot):
+        assert len(hot.top_k(1)) == 1
+
+    def test_top_k_validation(self, hot):
+        with pytest.raises(ValueError):
+            hot.top_k(0)
+        with pytest.raises(ValueError):
+            hot.top_k(1, metric="nope")
+        with pytest.raises(ValueError):
+            hot.top_k(1, worst="sideways")
+
+
+class TestResample:
+    def test_exact_fields_survive_resampling(self):
+        agg = TumblingWindowAggregator(window_seconds=1.0, cascades=())
+        values = [float(i % 5) for i in range(40)]
+        agg.ingest_many(
+            [
+                TelemetryEvent(source="s", value=v, timestamp=i * 0.25)
+                for i, v in enumerate(values)
+            ]
+        )
+        agg.flush()
+        coarse = resample(agg.windows(source="s"), 10.0)
+        assert len(coarse) == 1
+        assert coarse[0].count == 40
+        assert coarse[0].mean == pytest.approx(np.mean(values))
+        assert coarse[0].min == 0.0
+        assert coarse[0].max == 4.0
+
+    def test_rejects_non_multiple_target(self, hot):
+        with pytest.raises(ValueError):
+            resample(hot.windows(sources=["good"]), 1.5)
+
+    def test_rejects_mixed_window_sizes(self, hot):
+        mixed = hot.windows(sources=["good"], level=0) + hot.windows(
+            sources=["good"], level=1
+        )
+        with pytest.raises(ValueError):
+            resample(mixed, 20.0)
+
+    def test_empty_input(self):
+        assert resample([], 10.0) == []
+
+
+class TestColdQueries:
+    def test_events_in_append_order(self, cold):
+        events = cold.events()
+        assert len(events) == 120
+        assert events == sorted(events, key=lambda e: e.timestamp)
+
+    def test_events_filters_and_limit(self, cold):
+        subset = cold.events(sources=["bad"], start=5.0, end=20.0, limit=7)
+        assert len(subset) == 7
+        assert all(e.source == "bad" for e in subset)
+        assert all(5.0 <= e.timestamp < 20.0 for e in subset)
+
+    def test_rebuild_rollups_equals_live_aggregation(self, cold, hot):
+        rebuilt = cold.rebuild_rollups(window_seconds=1.0, cascades=(10.0,))
+        for source in ("good", "bad"):
+            assert rebuilt.totals(source) == hot.rollups.totals(source)

@@ -1,0 +1,158 @@
+"""Tests for tumbling-window rollups and cascading downsampling."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import TelemetryEvent, TumblingWindowAggregator
+
+
+def stream(values_by_time, source="s"):
+    return [
+        TelemetryEvent(source=source, value=v, timestamp=t)
+        for t, v in values_by_time
+    ]
+
+
+class TestWindowing:
+    def test_window_stats_are_exact(self):
+        agg = TumblingWindowAggregator(window_seconds=1.0, cascades=())
+        values = [0.2, 0.8, 0.5, 0.9]
+        agg.ingest_many(stream([(0.1 + 0.2 * i, v) for i, v in enumerate(values)]))
+        agg.flush()
+        (window,) = agg.windows(source="s")
+        assert window.count == 4
+        assert window.mean == pytest.approx(np.mean(values))
+        assert window.min == 0.2
+        assert window.max == 0.9
+        assert window.p50 == pytest.approx(np.percentile(values, 50))
+        assert window.p95 == pytest.approx(np.percentile(values, 95))
+        assert window.exact_percentiles
+
+    def test_windows_tumble_on_boundaries(self):
+        agg = TumblingWindowAggregator(window_seconds=1.0, cascades=())
+        agg.ingest_many(stream([(0.5, 1.0), (1.5, 2.0), (2.5, 3.0)]))
+        agg.flush()
+        windows = agg.windows(source="s")
+        assert [w.window_start for w in windows] == [0.0, 1.0, 2.0]
+        assert all(w.count == 1 for w in windows)
+
+    def test_sources_isolated(self):
+        agg = TumblingWindowAggregator(window_seconds=1.0, cascades=())
+        agg.ingest_many(stream([(0.1, 0.1)], source="a"))
+        agg.ingest_many(stream([(0.2, 0.9)], source="b"))
+        agg.flush()
+        assert agg.sources == ["a", "b"]
+        assert agg.windows(source="a")[0].mean == pytest.approx(0.1)
+        assert agg.windows(source="b")[0].mean == pytest.approx(0.9)
+
+    def test_windows_finalise_only_past_watermark(self):
+        agg = TumblingWindowAggregator(window_seconds=1.0, cascades=())
+        agg.ingest_many(stream([(0.5, 1.0)]))
+        assert agg.windows(source="s") == []  # window [0,1) still open
+        agg.ingest_many(stream([(1.1, 2.0)]))
+        assert len(agg.windows(source="s")) == 1  # watermark crossed 1.0
+
+
+class TestCascade:
+    def test_cascade_counts_and_means_exact(self):
+        agg = TumblingWindowAggregator(window_seconds=1.0, cascades=(10.0,))
+        events = stream([(i * 0.1, float(i % 7)) for i in range(250)])
+        agg.ingest_many(events)
+        agg.flush()
+        level1 = agg.windows(source="s", level=1)
+        assert sum(w.count for w in level1) == 250
+        first = level1[0]
+        in_range = [e.value for e in events if 0 <= e.timestamp < 10.0]
+        assert first.count == len(in_range)
+        assert first.mean == pytest.approx(np.mean(in_range))
+        assert first.min == min(in_range)
+        assert first.max == max(in_range)
+        assert not first.exact_percentiles
+
+    def test_cascade_requires_integer_multiples(self):
+        with pytest.raises(ValueError):
+            TumblingWindowAggregator(window_seconds=1.0, cascades=(2.5,))
+        with pytest.raises(ValueError):
+            TumblingWindowAggregator(window_seconds=2.0, cascades=(1.0,))
+
+    def test_three_levels(self):
+        agg = TumblingWindowAggregator(
+            window_seconds=1.0, cascades=(10.0, 60.0)
+        )
+        agg.ingest_many(
+            stream([(float(i), 0.5) for i in range(130)])
+        )
+        agg.flush()
+        assert len(agg.windows(source="s", level=2)) == 3  # 0, 60, 120
+
+
+class TestBoundedMemory:
+    def test_retention_evicts_oldest_windows(self):
+        agg = TumblingWindowAggregator(
+            window_seconds=1.0, cascades=(), retention=5
+        )
+        agg.ingest_many(stream([(float(i) + 0.5, 1.0) for i in range(50)]))
+        agg.flush()
+        windows = agg.windows(source="s")
+        assert len(windows) == 5
+        assert windows[0].window_start == 45.0  # only the newest survive
+
+    def test_late_events_are_counted_not_applied(self):
+        agg = TumblingWindowAggregator(window_seconds=1.0, cascades=())
+        agg.ingest_many(stream([(0.5, 1.0), (5.0, 1.0)]))
+        before = agg.windows(source="s")[0].count
+        agg.ingest(TelemetryEvent(source="s", value=9.9, timestamp=0.6))
+        assert agg.late_events == 1
+        assert agg.windows(source="s")[0].count == before
+
+    def test_allowed_lateness_admits_stragglers(self):
+        agg = TumblingWindowAggregator(
+            window_seconds=1.0, cascades=(), allowed_lateness=5.0
+        )
+        agg.ingest_many(stream([(0.5, 1.0), (5.0, 1.0)]))
+        agg.ingest(TelemetryEvent(source="s", value=3.0, timestamp=0.6))
+        assert agg.late_events == 0
+        agg.flush()
+        assert agg.windows(source="s")[0].count == 2
+
+
+class TestQueriesAndStats:
+    def test_time_bounded_windows(self):
+        agg = TumblingWindowAggregator(window_seconds=1.0, cascades=())
+        agg.ingest_many(stream([(float(i) + 0.5, 1.0) for i in range(10)]))
+        agg.flush()
+        bounded = agg.windows(source="s", start=3.0, end=6.0)
+        assert [w.window_start for w in bounded] == [3.0, 4.0, 5.0]
+
+    def test_totals_match_raw_stream(self):
+        agg = TumblingWindowAggregator(window_seconds=1.0, cascades=())
+        values = [float(i % 11) / 10 for i in range(500)]
+        agg.ingest_many(
+            stream([(i * 0.01, v) for i, v in enumerate(values)])
+        )
+        agg.flush()
+        totals = agg.totals("s")
+        assert totals["count"] == 500
+        assert totals["mean"] == pytest.approx(np.mean(values))
+        assert totals["min"] == min(values)
+        assert totals["max"] == max(values)
+
+    def test_totals_unknown_source_raises(self):
+        agg = TumblingWindowAggregator()
+        with pytest.raises(KeyError):
+            agg.totals("ghost")
+
+    def test_invalid_level_raises(self):
+        agg = TumblingWindowAggregator(cascades=())
+        with pytest.raises(ValueError):
+            agg.windows(level=1)
+
+    def test_stats_counters(self):
+        agg = TumblingWindowAggregator(window_seconds=1.0, cascades=(10.0,))
+        agg.ingest_many(stream([(float(i), 0.5) for i in range(25)]))
+        snapshot = agg.stats()
+        assert snapshot["ingested"] == 25
+        assert snapshot["watermark"] == 24.0
+        assert snapshot["open_windows"] >= 1
+        agg.flush()
+        assert agg.stats()["open_windows"] == 0

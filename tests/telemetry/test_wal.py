@@ -1,0 +1,152 @@
+"""Tests for the write-ahead log: durability, rotation, recovery."""
+
+import os
+
+import pytest
+
+from repro.telemetry import (
+    TelemetryEvent,
+    WalCorruptionError,
+    WriteAheadLog,
+    replay,
+)
+
+
+def make_events(n, source="s"):
+    return [
+        TelemetryEvent(
+            source=source,
+            value=float(i) / 10.0,
+            timestamp=float(i),
+            attrs={"round": float(i)},
+            labels={"property": "accuracy"},
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_append_then_replay_preserves_everything(self, tmp_path):
+        events = make_events(25)
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            for event in events:
+                wal.append(event)
+        back = list(replay(tmp_path / "wal"))
+        assert back == events
+
+    def test_replay_filters(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            for event in make_events(10, source="a"):
+                wal.append(event)
+            for event in make_events(10, source="b"):
+                wal.append(event)
+        only_b = list(replay(tmp_path / "wal", sources=["b"]))
+        assert {e.source for e in only_b} == {"b"}
+        bounded = list(replay(tmp_path / "wal", start=3.0, end=7.0))
+        assert all(3.0 <= e.timestamp < 7.0 for e in bounded)
+        assert len(bounded) == 8  # 4 per source
+
+    def test_replay_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(replay(tmp_path / "nothing"))
+
+    def test_reopen_appends_after_existing_records(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            wal.append(make_events(1)[0])
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            wal.append(make_events(2)[1])
+        assert len(list(replay(tmp_path / "wal"))) == 2
+
+
+class TestRotation:
+    def test_segments_rotate_at_size_threshold(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", max_segment_bytes=500)
+        for event in make_events(50):
+            wal.append(event)
+        wal.close()
+        assert len(wal.segments) > 1
+        # order is preserved across the segment boundary
+        back = list(replay(tmp_path / "wal"))
+        assert [e.timestamp for e in back] == [float(i) for i in range(50)]
+
+    def test_rotated_segments_stay_bounded(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", max_segment_bytes=500)
+        for event in make_events(50):
+            wal.append(event)
+        wal.close()
+        # every closed segment stopped within one record of the threshold
+        for path in wal.segments[:-1]:
+            assert os.path.getsize(path) < 800
+
+
+class TestCrashRecovery:
+    def _write_then_tear(self, tmp_path, n=10, tear_bytes=20):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for event in make_events(n):
+            wal.append(event)
+        wal.close()
+        tail = wal.segments[-1]
+        with open(tail, "rb+") as fh:
+            fh.truncate(os.path.getsize(tail) - tear_bytes)
+        return tmp_path / "wal"
+
+    def test_replay_tolerates_torn_tail(self, tmp_path):
+        wal_dir = self._write_then_tear(tmp_path)
+        back = list(replay(wal_dir))
+        assert len(back) == 9  # last record torn off mid-line
+
+    def test_reopen_heals_torn_tail_and_appends(self, tmp_path):
+        wal_dir = self._write_then_tear(tmp_path)
+        wal = WriteAheadLog(wal_dir)
+        assert wal.recovered_truncated_records == 1
+        wal.append(make_events(1)[0])
+        wal.close()
+        back = list(replay(wal_dir))
+        assert len(back) == 10  # 9 intact + 1 fresh; no damaged remnants
+
+    def test_bitflip_in_tail_record_detected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for event in make_events(5):
+            wal.append(event)
+        wal.close()
+        tail = wal.segments[-1]
+        lines = open(tail, "r", encoding="utf-8").readlines()
+        lines[-1] = lines[-1].replace('"value":0.4', '"value":0.9')
+        with open(tail, "w", encoding="utf-8") as fh:
+            fh.writelines(lines)
+        assert len(list(replay(tmp_path / "wal"))) == 4  # CRC catches it
+
+    def test_mid_stream_corruption_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for event in make_events(5):
+            wal.append(event)
+        wal.close()
+        tail = wal.segments[-1]
+        lines = open(tail, "r", encoding="utf-8").readlines()
+        lines[1] = "garbage\n"
+        with open(tail, "w", encoding="utf-8") as fh:
+            fh.writelines(lines)
+        with pytest.raises(WalCorruptionError):
+            list(replay(tmp_path / "wal"))
+
+
+class TestLifecycle:
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.close()
+        with pytest.raises(RuntimeError):
+            wal.append(make_events(1)[0])
+
+    def test_stats_shape(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", max_segment_bytes=400)
+        for event in make_events(20):
+            wal.append(event)
+        stats = wal.stats()
+        assert stats["appended"] == 20
+        assert stats["segments"] >= 2
+        assert stats["recovered_truncated_records"] == 0
+        wal.close()
+
+    def test_invalid_segment_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "wal", max_segment_bytes=0)

@@ -1,0 +1,125 @@
+"""Tree-wide AST lint: mistakes a human reviewer keeps catching by hand.
+
+Two checks over every module in ``src/repro``:
+
+* f-strings without placeholders — an ``f`` prefix on a literal that
+  interpolates nothing is almost always a forgotten ``{...}`` (the bug
+  class behind the old dashboard error message).
+* mutable default arguments — ``def f(x=[])`` / ``x={}`` / ``x=set()``
+  share one object across calls.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+MODULES = sorted(SRC.rglob("*.py"))
+
+
+def test_source_tree_found():
+    assert len(MODULES) > 20
+
+
+def iter_trees():
+    for path in MODULES:
+        yield path, ast.parse(path.read_text(encoding="utf-8"))
+
+
+def placeholderless_fstrings(tree):
+    """JoinedStr nodes with no FormattedValue part.
+
+    Format specs (the ``:.3f`` in ``f"{x:.3f}"``) are themselves
+    JoinedStr nodes without placeholders — they are legitimate and must
+    be excluded, or every width/precision spec becomes a false positive.
+    """
+    spec_ids = {
+        id(node.format_spec)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FormattedValue) and node.format_spec
+    }
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.JoinedStr)
+        and id(node) not in spec_ids
+        and not any(
+            isinstance(part, ast.FormattedValue) for part in node.values
+        )
+    ]
+
+
+MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque", "Counter"}
+
+
+def mutable_defaults(tree):
+    offenders = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, MUTABLE_LITERALS):
+                offenders.append((node, default))
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in MUTABLE_CALLS
+            ):
+                offenders.append((node, default))
+    return offenders
+
+
+def test_no_placeholderless_fstrings():
+    hits = []
+    for path, tree in iter_trees():
+        for node in placeholderless_fstrings(tree):
+            hits.append(f"{path.relative_to(SRC)}:{node.lineno}")
+    assert not hits, f"f-string without placeholders: {hits}"
+
+
+def test_no_mutable_default_arguments():
+    hits = []
+    for path, tree in iter_trees():
+        for func, default in mutable_defaults(tree):
+            hits.append(
+                f"{path.relative_to(SRC)}:{default.lineno} in {func.name}()"
+            )
+    assert not hits, f"mutable default argument: {hits}"
+
+
+class TestLintSelfCheck:
+    """The lint must catch planted offenders (no vacuous green)."""
+
+    def test_catches_missing_placeholder(self):
+        tree = ast.parse('x = f"no interpolation here"')
+        assert len(placeholderless_fstrings(tree)) == 1
+
+    def test_accepts_format_specs(self):
+        tree = ast.parse('x = f"{value:8.3f} and {name:<24}"')
+        assert placeholderless_fstrings(tree) == []
+
+    def test_accepts_plain_strings(self):
+        tree = ast.parse('x = "just text"')
+        assert placeholderless_fstrings(tree) == []
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "def f(x=[]): pass",
+            "def f(x={}): pass",
+            "def f(*, x=set()): pass",
+            "def f(x=list()): pass",
+        ],
+    )
+    def test_catches_mutable_default(self, src):
+        assert len(mutable_defaults(ast.parse(src))) == 1
+
+    def test_accepts_none_and_tuples(self):
+        tree = ast.parse("def f(x=None, y=(), z=1): pass")
+        assert mutable_defaults(tree) == []
