@@ -1,0 +1,54 @@
+"""Static-analysis bench: the full-tree lint must stay interactive.
+
+The lint runs inside tier-1 on every test invocation, so its cost is a
+tax on the whole development loop.  The budget asserts the complete
+pass — parse every module once, run all rules, build the import graph,
+check the contract, detect cycles — finishes well inside a wall-clock
+second on the ~90-module tree, with headroom for the tree to triple.
+"""
+
+import time
+
+from repro.analysis import run_analysis
+
+#: Full-tree budget in seconds.  The pass is pure-python AST walking;
+#: 5 s is ~10x the observed cost so only a real regression trips it.
+FULL_TREE_BUDGET_S = 5.0
+
+
+def test_full_tree_lint_under_budget(figure_printer, benchmark):
+    start = time.perf_counter()
+    report = benchmark.pedantic(run_analysis, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+
+    figure_printer(
+        "static analysis: full-tree lint",
+        ["modules", "rules", "findings", "seconds", "budget"],
+        [
+            [
+                report.modules,
+                len(report.rule_ids),
+                len(report.findings),
+                elapsed,
+                FULL_TREE_BUDGET_S,
+            ]
+        ],
+    )
+    assert report.modules > 20
+    assert elapsed < FULL_TREE_BUDGET_S, (
+        f"full-tree lint took {elapsed:.2f}s, budget {FULL_TREE_BUDGET_S}s"
+    )
+
+
+def test_per_module_cost_scales(figure_printer):
+    """Amortised per-module cost stays in single-digit milliseconds."""
+    start = time.perf_counter()
+    report = run_analysis()
+    elapsed = time.perf_counter() - start
+    per_module_ms = 1000.0 * elapsed / max(report.modules, 1)
+    figure_printer(
+        "static analysis: per-module cost",
+        ["modules", "ms/module"],
+        [[report.modules, per_module_ms]],
+    )
+    assert per_module_ms < 50.0

@@ -19,7 +19,7 @@ from pathlib import Path
 from repro.core.dashboard import AIDashboard
 from repro.core.monitor import ContinuousMonitor
 from repro.core.registry import SensorRegistry
-from repro.core.sensors import AISensor, ModelContext
+from repro.core.sensors import AISensor, ModelContext, SensorReading
 from repro.telemetry import TelemetryPipeline, TelemetryQuery, replay
 from repro.trust.properties import TrustProperty
 
@@ -76,7 +76,7 @@ def main() -> None:
     rebuilt_dashboard = AIDashboard()
     n_events = 0
     for event in replay(wal_dir):
-        rebuilt_dashboard.add_reading(event.to_reading())
+        rebuilt_dashboard.add_reading(SensorReading.from_event(event))
         n_events += 1
     print(f"replayed {n_events} events (torn tail dropped)")
 

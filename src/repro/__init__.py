@@ -15,6 +15,8 @@ Package layout
 ``repro.trust``     Resilience (impact/complexity), fairness, trust score.
 ``repro.core``      SPATIAL proper: sensors, registry, monitor, dashboard.
 ``repro.gateway``   Discrete-event micro-service deployment + load generator.
+``repro.telemetry`` Streaming monitoring spine: bus, WAL, rollups, queries.
+``repro.analysis``  Static analysis of this tree: AST rules + layer contract.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,53 @@
+"""Static-analysis engine: software probes over the source tree itself.
+
+SPATIAL's thesis is that AI pipelines need continuous probes gauging
+trustworthy properties; this package applies the same idea to the
+codebase — an AST rule engine (one parse per module, rules registered by
+decorator) plus a ``networkx`` import-graph pass that enforces the
+layering contract declared in :mod:`repro.analysis.contracts`.  Run it
+with ``python -m repro lint``; the tier-1 suite gates on zero
+non-baselined findings.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.contracts import (
+    ALLOWED_IMPORTS,
+    PURE_PACKAGES,
+    ImportGraphAnalyzer,
+)
+from repro.analysis.engine import (
+    AnalysisEngine,
+    Finding,
+    ModuleContext,
+    RuleSpec,
+    all_rules,
+    get_rule,
+    rule,
+)
+from repro.analysis.runner import (
+    LintReport,
+    default_root,
+    find_baseline,
+    run_analysis,
+)
+from repro.analysis import rules  # noqa: F401  (registers the catalogue)
+
+__all__ = [
+    "ALLOWED_IMPORTS",
+    "AnalysisEngine",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "ImportGraphAnalyzer",
+    "LintReport",
+    "ModuleContext",
+    "PURE_PACKAGES",
+    "RuleSpec",
+    "all_rules",
+    "default_root",
+    "find_baseline",
+    "get_rule",
+    "rule",
+    "rules",
+    "run_analysis",
+]

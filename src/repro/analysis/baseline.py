@@ -1,0 +1,113 @@
+"""Baseline suppressions: accepted findings carry a written-down reason.
+
+A fresh rule fired against a mature tree surfaces pre-existing findings
+that are judged acceptable — each one is recorded here with *why*, so
+the gate stays at zero new findings without forcing noise fixes.  An
+entry matches on rule id + path + an optional message substring; line
+numbers are deliberately not part of the key (edits above a finding
+must not invalidate its suppression).  Entries that no longer match
+anything are reported as stale so the baseline shrinks over time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    reason: str
+    contains: str = ""  # empty: match every finding of (rule, path)
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and finding.path == self.path
+            and (not self.contains or self.contains in finding.message)
+        )
+
+    def to_dict(self) -> Dict[str, str]:
+        payload = {"rule": self.rule, "path": self.path, "reason": self.reason}
+        if self.contains:
+            payload["contains"] = self.contains
+        return payload
+
+
+class Baseline:
+    """An ordered set of suppression entries loaded from one JSON file."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {payload.get('version')!r}, "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = []
+        for raw in payload.get("suppressions", []):
+            missing = {"rule", "path", "reason"} - set(raw)
+            if missing:
+                raise ValueError(
+                    f"baseline entry {raw!r} is missing {sorted(missing)} — "
+                    "every suppression needs a reason"
+                )
+            if not str(raw["reason"]).strip():
+                raise ValueError(
+                    f"baseline entry {raw!r} has an empty reason — "
+                    "say why the finding is acceptable"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    reason=raw["reason"],
+                    contains=raw.get("contains", ""),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "suppressions": [entry.to_dict() for entry in self.entries],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (active, suppressed) and report stale entries."""
+        active: List[Finding] = []
+        suppressed: List[Finding] = []
+        used = [False] * len(self.entries)
+        for finding in findings:
+            hit: Optional[int] = None
+            for i, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    hit = i
+                    break
+            if hit is None:
+                active.append(finding)
+            else:
+                used[hit] = True
+                suppressed.append(finding)
+        stale = [e for e, u in zip(self.entries, used) if not u]
+        return active, suppressed, stale

@@ -1,0 +1,252 @@
+"""The layering contract: which package may import which, declared once.
+
+The repo is layered like the SPATIAL deployment it reproduces — pure
+substrates at the bottom (``ml``, ``datasets``, ``telemetry``), trust
+metrics above them, orchestration (``core``) and serving (``gateway``)
+on top.  ``ALLOWED_IMPORTS`` is the single source of truth for the
+allowed package→package edges (mirrored as a diagram in DESIGN.md);
+:class:`ImportGraphAnalyzer` parses every module's imports into a
+``networkx`` digraph and emits findings for (a) any edge outside the
+contract and (b) any import cycle at module granularity.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.analysis.engine import Finding
+
+__all__ = [
+    "ALLOWED_IMPORTS",
+    "PURE_PACKAGES",
+    "ImportGraphAnalyzer",
+    "TOP_PACKAGE",
+]
+
+TOP_PACKAGE = "repro"
+
+# package -> packages it may import.  A missing key means "may import
+# nothing inside repro but its own package".  Root modules (cli.py,
+# __init__.py, __main__.py) are the application layer: unrestricted.
+ALLOWED_IMPORTS: Dict[str, frozenset] = {
+    # layer 0 — substrates: no intra-repo dependencies
+    "datasets": frozenset(),
+    "telemetry": frozenset(),
+    "analysis": frozenset(),
+    "ml": frozenset(),
+    # layer 1 — trust metrics and learning extensions over the substrates
+    "privacy": frozenset({"ml"}),
+    "trust": frozenset({"ml"}),
+    "xai": frozenset({"ml"}),
+    "federated": frozenset({"ml", "datasets"}),
+    # layer 2 — serving and adversarial workloads
+    "gateway": frozenset({"ml", "telemetry"}),
+    "attacks": frozenset({"ml", "privacy", "gateway", "datasets"}),
+    # layer 3 — orchestration: may use everything below, never the CLI
+    "core": frozenset(
+        {
+            "ml",
+            "datasets",
+            "telemetry",
+            "privacy",
+            "trust",
+            "xai",
+            "federated",
+            "attacks",
+        }
+    ),
+}
+
+# Packages where wall-clock access is banned outright (see the
+# wallclock-in-compute rule): results must be a function of inputs+seed.
+PURE_PACKAGES = frozenset(
+    {"ml", "xai", "trust", "datasets", "privacy", "federated", "attacks"}
+)
+
+
+def _module_name(relpath: str) -> str:
+    """``ml/model.py`` -> ``ml.model``; ``ml/__init__.py`` -> ``ml``."""
+    parts = list(Path(relpath).parts)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts) if parts else "<root>"
+
+
+class ImportGraphAnalyzer:
+    """Build the intra-repo import graph and check it against the contract."""
+
+    def __init__(
+        self,
+        allowed: Optional[Dict[str, frozenset]] = None,
+        top_package: str = TOP_PACKAGE,
+    ) -> None:
+        self.allowed = dict(ALLOWED_IMPORTS if allowed is None else allowed)
+        self.top_package = top_package
+        self.module_graph = nx.DiGraph()
+        self.package_graph = nx.DiGraph()
+        # Raw imports: (src_mod, dst_mod, imported names or None, line).
+        self._raw: List[Tuple[str, str, Optional[Tuple[str, ...]], int]] = []
+        self._edges: List[Tuple[str, str, int]] = []  # resolved (src, dst, line)
+        self._finalized = False
+
+    # -- graph construction -------------------------------------------------
+
+    def add_module(self, relpath: str, tree: ast.Module) -> None:
+        src_module = _module_name(relpath)
+        is_package = Path(relpath).name == "__init__.py"
+        self.module_graph.add_node(src_module, relpath=relpath)
+        for target, names, lineno in self._intra_imports(
+            src_module, is_package, tree
+        ):
+            self._raw.append((src_module, target, names, lineno))
+        self._finalized = False
+
+    def add_tree(self, root: Path) -> int:
+        count = 0
+        for path in sorted(root.rglob("*.py")):
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+            except SyntaxError:
+                continue  # the engine reports this as its own finding
+            self.add_module(path.relative_to(root).as_posix(), tree)
+            count += 1
+        return count
+
+    def _intra_imports(
+        self, src_module: str, is_package: bool, tree: ast.Module
+    ) -> Iterable[Tuple[str, Optional[Tuple[str, ...]], int]]:
+        prefix = self.top_package + "."
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.name == self.top_package or item.name.startswith(
+                        prefix
+                    ):
+                        yield self._strip(item.name), None, node.lineno
+            elif isinstance(node, ast.ImportFrom):
+                names = tuple(item.name for item in node.names)
+                if node.level:
+                    # Resolve against the containing package: for module
+                    # a.b.c, level=1 -> a.b; for package a.b (__init__),
+                    # level=1 -> a.b itself.
+                    parts = src_module.split(".")
+                    keep = len(parts) - node.level + (1 if is_package else 0)
+                    if keep < 0:
+                        continue
+                    base = parts[:keep]
+                    if node.module:
+                        base = base + node.module.split(".")
+                    if base:
+                        yield ".".join(base), names, node.lineno
+                elif node.module and (
+                    node.module == self.top_package
+                    or node.module.startswith(prefix)
+                ):
+                    yield self._strip(node.module), names, node.lineno
+
+    def _strip(self, dotted: str) -> str:
+        if dotted == self.top_package:
+            return "<root>"
+        return dotted[len(self.top_package) + 1 :]
+
+    # -- checks -------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Resolve raw imports to module edges; project down to packages.
+
+        ``from repro.pkg import name`` points at ``pkg.name`` when that is
+        a real module in the analyzed tree (otherwise ``name`` is an
+        attribute and the edge stays on the package ``__init__``).  This
+        matters for cycle fidelity: a package re-exporting its own
+        submodules must not read as a self-cycle.
+        """
+        if self._finalized:
+            return
+        real = {
+            node
+            for node, data in self.module_graph.nodes(data=True)
+            if "relpath" in data
+        }
+        self._edges = []
+        for src, target, names, lineno in self._raw:
+            if names is None:
+                resolved = [target]
+            else:
+                resolved = [
+                    f"{target}.{name}"
+                    for name in names
+                    if f"{target}.{name}" in real
+                ]
+                if len(resolved) < len(names):
+                    # at least one imported name is an attribute, which
+                    # executes the package __init__ itself
+                    resolved.append(target)
+            for dst in resolved:
+                if dst == src:
+                    continue
+                self._edges.append((src, dst, lineno))
+                self.module_graph.add_edge(src, dst)
+        for src, dst, _ in self._edges:
+            sp, dp = src.split(".")[0], dst.split(".")[0]
+            if sp != dp and dp != "<root>":
+                self.package_graph.add_edge(sp, dp)
+        self._finalized = True
+
+    def contract_violations(self) -> List[Finding]:
+        self.finalize()
+        findings = []
+        relpaths = nx.get_node_attributes(self.module_graph, "relpath")
+        for src, dst, lineno in self._edges:
+            src_pkg = src.split(".")[0]
+            dst_pkg = dst.split(".")[0]
+            if src_pkg == dst_pkg or dst_pkg == "<root>":
+                continue
+            if "." not in src and src not in self.allowed:
+                continue  # root modules are the unrestricted top layer
+            permitted = self.allowed.get(src_pkg, frozenset())
+            if dst_pkg not in permitted:
+                findings.append(
+                    Finding(
+                        path=relpaths.get(src, src),
+                        line=lineno,
+                        rule="layer-contract",
+                        message=(
+                            f"package '{src_pkg}' may not import "
+                            f"'{dst_pkg}' (allowed: "
+                            f"{sorted(permitted) or 'nothing'})"
+                        ),
+                    )
+                )
+        return sorted(findings)
+
+    def import_cycles(self) -> List[Finding]:
+        self.finalize()
+        findings = []
+        relpaths = nx.get_node_attributes(self.module_graph, "relpath")
+        for cycle in nx.simple_cycles(self.module_graph):
+            anchor = min(cycle)
+            ordered = cycle[cycle.index(anchor) :] + cycle[: cycle.index(anchor)]
+            findings.append(
+                Finding(
+                    path=relpaths.get(anchor, anchor),
+                    line=1,
+                    rule="import-cycle",
+                    message=(
+                        "import cycle: " + " -> ".join(ordered + [anchor])
+                    ),
+                )
+            )
+        return sorted(findings)
+
+    def check(self) -> List[Finding]:
+        return sorted(self.contract_violations() + self.import_cycles())
+
+    def package_edges(self) -> List[Tuple[str, str]]:
+        self.finalize()
+        return sorted(self.package_graph.edges())

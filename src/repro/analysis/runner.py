@@ -1,0 +1,142 @@
+"""One entry point that the CLI, the tier-1 gate and the bench all share.
+
+``run_analysis`` walks the tree once, runs every AST rule plus the
+import-graph contract, applies the baseline, and returns a
+:class:`LintReport` that renders as reviewer-readable text or as the
+stable ``--json`` shape consumed by CI tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.contracts import ImportGraphAnalyzer
+from repro.analysis.engine import AnalysisEngine, Finding, all_rules
+
+__all__ = ["LintReport", "default_root", "find_baseline", "run_analysis"]
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package — what ``repro lint`` checks by default."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def find_baseline(root: Path) -> Optional[Path]:
+    """Look for ``lint-baseline.json`` beside the tree and up to the repo root."""
+    for candidate in (root, *root.parents[:3]):
+        path = candidate / "lint-baseline.json"
+        if path.is_file():
+            return path
+    return None
+
+
+@dataclass
+class LintReport:
+    root: str
+    modules: int
+    rule_ids: List[str]
+    findings: List[Finding]  # active (non-baselined) findings — these gate
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_entries: List[BaselineEntry] = field(default_factory=list)
+    package_edges: List = field(default_factory=list)
+    baseline_path: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "modules": self.modules,
+            "rules": self.rule_ids,
+            "clean": self.clean,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "stale_baseline_entries": [
+                e.to_dict() for e in self.stale_entries
+            ],
+            "package_edges": [list(edge) for edge in self.package_edges],
+            "baseline": self.baseline_path,
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"repro lint: {self.modules} modules, "
+            f"{len(self.rule_ids)} rules + import contract"
+        ]
+        for finding in self.findings:
+            lines.append("  " + finding.render())
+        if self.findings:
+            lines.append(f"{len(self.findings)} finding(s)")
+        else:
+            lines.append("clean")
+        if self.suppressed:
+            lines.append(
+                f"{len(self.suppressed)} finding(s) suppressed by baseline "
+                f"({self.baseline_path})"
+            )
+        for entry in self.stale_entries:
+            lines.append(
+                f"stale baseline entry (no longer matches anything): "
+                f"[{entry.rule}] {entry.path} — {entry.reason}"
+            )
+        return "\n".join(lines)
+
+
+def run_analysis(
+    root: Optional[Path] = None,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Path] = None,
+    contracts: bool = True,
+) -> LintReport:
+    """Run the full static-analysis pass over ``root``.
+
+    ``baseline=None`` auto-discovers ``lint-baseline.json`` near the root;
+    pass a path to force one, or a path to a missing file to disable.
+    """
+    root = (root or default_root()).resolve()
+    if not root.is_dir():
+        raise FileNotFoundError(f"analysis root {root} is not a directory")
+
+    engine = AnalysisEngine(rules=rules)
+    findings, modules = engine.analyze_tree(root)
+
+    package_edges: List = []
+    if contracts:
+        analyzer = ImportGraphAnalyzer()
+        analyzer.add_tree(root)
+        findings = sorted(findings + analyzer.check())
+        package_edges = analyzer.package_edges()
+
+    baseline_path = baseline if baseline is not None else find_baseline(root)
+    suppressed: List[Finding] = []
+    stale: List[BaselineEntry] = []
+    if baseline_path is not None and Path(baseline_path).is_file():
+        loaded = Baseline.load(Path(baseline_path))
+        findings, suppressed, stale = loaded.apply(findings)
+    else:
+        baseline_path = None
+
+    return LintReport(
+        root=str(root),
+        modules=modules,
+        rule_ids=[spec.rule_id for spec in all_rules()]
+        if rules is None
+        else list(rules),
+        findings=findings,
+        suppressed=suppressed,
+        stale_entries=stale,
+        package_edges=package_edges,
+        baseline_path=str(baseline_path) if baseline_path else None,
+    )

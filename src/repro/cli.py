@@ -247,6 +247,34 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis: AST rules + import-graph layering contract."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis import all_rules, run_analysis
+
+    if args.list_rules:
+        for spec in all_rules():
+            print(f"  {spec.rule_id:<22} [{spec.severity}] {spec.description}")
+        return 0
+    try:
+        report = run_analysis(
+            root=Path(args.root) if args.root else None,
+            rules=args.rule or None,
+            baseline=Path(args.baseline) if args.baseline else None,
+            contracts=not args.no_contracts,
+        )
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"lint failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def _cmd_model_card(args: argparse.Namespace) -> int:
     from repro.core import AlertRule, SpatialSystem
     from repro.datasets import generate_unimib_like, to_binary_fall_task
@@ -347,6 +375,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: AST rules + import layering contract",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="tree to analyze (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help="suppression file (default: auto-discover lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="RULE_ID",
+        help="run only this rule (repeatable; default: all)",
+    )
+    lint.add_argument(
+        "--no-contracts",
+        action="store_true",
+        help="skip the import-graph layering/cycle checks",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

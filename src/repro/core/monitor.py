@@ -89,7 +89,7 @@ class ContinuousMonitor:
         self, dashboard: AIDashboard, capacity: int
     ) -> None:
         def deliver(event: TelemetryEvent) -> None:
-            dashboard.add_reading(event.to_reading())
+            dashboard.add_reading(SensorReading.from_event(event))
 
         name = "dashboard"
         suffix = 1

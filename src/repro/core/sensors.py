@@ -69,6 +69,31 @@ class SensorReading:
     #: substituted a fault-isolation reading; ``None`` for real readings.
     error: Optional[str] = None
 
+    @classmethod
+    def from_event(cls, event) -> "SensorReading":
+        """Rebuild the reading a telemetry event was derived from.
+
+        Inverse of :meth:`repro.telemetry.events.TelemetryEvent.from_reading`
+        — this is what lets a crashed dashboard be rebuilt from a WAL
+        replay.  It lives here rather than on the event because telemetry
+        is a bottom-layer substrate: it must not know the core types built
+        on top of it (see the layering contract in
+        :mod:`repro.analysis.contracts`).
+        """
+        if event.kind != "sensor_reading":
+            raise ValueError(
+                f"cannot build a SensorReading from a {event.kind!r} event"
+            )
+        return cls(
+            sensor=event.source,
+            property=TrustProperty(event.labels["property"]),
+            value=event.value,
+            timestamp=event.timestamp,
+            model_version=int(event.labels.get("model_version", "0")),
+            details=dict(event.attrs),
+            error=event.labels.get("error"),
+        )
+
 
 Clock = Callable[[], float]
 

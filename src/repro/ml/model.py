@@ -8,6 +8,7 @@ analytic input gradients (the neural networks) additionally implement
 
 from __future__ import annotations
 
+import contextlib
 import copy
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Tuple
@@ -70,10 +71,10 @@ def clone(model: Classifier) -> Classifier:
     """Return an unfitted copy of ``model`` built from its recorded params."""
     params = model.get_params()
     if params or not hasattr(model, "_init_params"):
-        try:
+        # A constructor whose signature drifted from the recorded params
+        # falls back to a deep copy rather than failing the clone.
+        with contextlib.suppress(TypeError):
             return type(model)(**params)
-        except TypeError:
-            pass
     return copy.deepcopy(model)
 
 

@@ -88,8 +88,11 @@ class TelemetryEvent:
         """Wrap a :class:`repro.core.sensors.SensorReading`.
 
         The reading's ``details`` become ``attrs``; property, model version
-        and any error class land in ``labels`` so :meth:`to_reading` can
-        reconstruct the original losslessly.
+        and any error class land in ``labels`` so
+        :meth:`repro.core.sensors.SensorReading.from_event` can reconstruct
+        the original losslessly.  (The inverse lives in core, not here:
+        telemetry is a bottom-layer substrate and must not import the
+        types built on top of it.)
         """
         labels = {
             "property": reading.property.value,
@@ -104,27 +107,4 @@ class TelemetryEvent:
             kind=KIND_SENSOR_READING,
             attrs=dict(reading.details),
             labels=labels,
-        )
-
-    def to_reading(self):
-        """Rebuild the :class:`SensorReading` this event was derived from.
-
-        Only valid for ``kind == "sensor_reading"`` events; this is what
-        lets a crashed dashboard be rebuilt from a WAL replay.
-        """
-        from repro.core.sensors import SensorReading
-        from repro.trust.properties import TrustProperty
-
-        if self.kind != KIND_SENSOR_READING:
-            raise ValueError(
-                f"cannot build a SensorReading from a {self.kind!r} event"
-            )
-        return SensorReading(
-            sensor=self.source,
-            property=TrustProperty(self.labels["property"]),
-            value=self.value,
-            timestamp=self.timestamp,
-            model_version=int(self.labels.get("model_version", "0")),
-            details=dict(self.attrs),
-            error=self.labels.get("error"),
         )

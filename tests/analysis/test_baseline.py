@@ -1,0 +1,105 @@
+"""Baseline suppressions: matching, reasons, staleness."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, Finding
+
+
+def finding(rule="mutable-default", path="ml/model.py", line=10, message="m"):
+    return Finding(path=path, line=line, rule=rule, message=message)
+
+
+class TestMatching:
+    def test_rule_and_path_must_both_match(self):
+        entry = BaselineEntry(rule="r", path="a.py", reason="why")
+        assert entry.matches(finding(rule="r", path="a.py"))
+        assert not entry.matches(finding(rule="r", path="b.py"))
+        assert not entry.matches(finding(rule="other", path="a.py"))
+
+    def test_contains_narrows_the_match(self):
+        entry = BaselineEntry(
+            rule="r", path="a.py", reason="why", contains="in f()"
+        )
+        assert entry.matches(finding(rule="r", path="a.py", message="bad in f()"))
+        assert not entry.matches(finding(rule="r", path="a.py", message="in g()"))
+
+    def test_line_numbers_do_not_affect_matching(self):
+        entry = BaselineEntry(rule="r", path="a.py", reason="why")
+        assert entry.matches(finding(rule="r", path="a.py", line=1))
+        assert entry.matches(finding(rule="r", path="a.py", line=999))
+
+
+class TestApply:
+    def test_splits_active_and_suppressed(self):
+        baseline = Baseline([BaselineEntry("r", "a.py", "accepted")])
+        active, suppressed, stale = baseline.apply(
+            [finding(rule="r", path="a.py"), finding(rule="r", path="b.py")]
+        )
+        assert [f.path for f in active] == ["b.py"]
+        assert [f.path for f in suppressed] == ["a.py"]
+        assert stale == []
+
+    def test_unused_entries_reported_stale(self):
+        baseline = Baseline(
+            [
+                BaselineEntry("r", "a.py", "used"),
+                BaselineEntry("r", "gone.py", "module was deleted"),
+            ]
+        )
+        __, __, stale = baseline.apply([finding(rule="r", path="a.py")])
+        assert [e.path for e in stale] == ["gone.py"]
+
+
+class TestRoundTrip:
+    def test_save_load_round_trips(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        original = Baseline(
+            [BaselineEntry("r", "a.py", "why", contains="detail")]
+        )
+        original.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == original.entries
+
+    def test_reason_is_mandatory(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {"version": 1, "suppressions": [{"rule": "r", "path": "a.py"}]}
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="reason"):
+            Baseline.load(path)
+
+    def test_blank_reason_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": [
+                        {"rule": "r", "path": "a.py", "reason": "  "}
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="empty reason"):
+            Baseline.load(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+
+def test_checked_in_baseline_is_loadable():
+    """The repo's own lint-baseline.json must always parse."""
+    from repro.analysis import find_baseline, default_root
+
+    path = find_baseline(default_root())
+    assert path is not None, "lint-baseline.json missing from the repo"
+    Baseline.load(path)  # raises on malformed entries

@@ -1,0 +1,275 @@
+"""Positive + negative fixture snippets for every rule in the catalogue.
+
+Each rule gets at least one snippet that must fire and one that must stay
+silent — a rule that cannot catch its planted offender is vacuous, and a
+rule that fires on the sanctioned idiom would make the tier-1 gate
+unadoptable.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import AnalysisEngine
+
+
+def run_rule(rule_id, source, relpath="mod.py"):
+    engine = AnalysisEngine(rules=[rule_id])
+    return engine.analyze_source(textwrap.dedent(source), relpath)
+
+
+class TestFstringPlaceholder:
+    def test_fires_on_placeholderless(self):
+        assert len(run_rule("fstring-placeholder", 'x = f"oops"')) == 1
+
+    def test_silent_on_interpolation(self):
+        assert run_rule("fstring-placeholder", 'x = f"{y}"') == []
+
+    def test_silent_on_format_spec(self):
+        assert run_rule("fstring-placeholder", 'x = f"{v:8.3f} {n:<24}"') == []
+
+    def test_silent_on_plain_string(self):
+        assert run_rule("fstring-placeholder", 'x = "just text"') == []
+
+
+class TestMutableDefault:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "def f(x=[]): pass",
+            "def f(x={}): pass",
+            "def f(*, x=set()): pass",
+            "def f(x=list()): pass",
+            "def f(x=dict()): pass",
+            "async def f(x=[]): pass",
+            "g = lambda x=[]: x",
+        ],
+    )
+    def test_fires(self, src):
+        assert len(run_rule("mutable-default", src)) == 1
+
+    def test_silent_on_none_and_immutables(self):
+        assert run_rule("mutable-default", "def f(x=None, y=(), z=1): pass") == []
+
+
+class TestSwallowedExcept:
+    def test_fires_on_bare_except(self):
+        src = """
+        try:
+            work()
+        except:
+            raise
+        """
+        findings = run_rule("swallowed-except", src)
+        assert len(findings) == 1 and "bare" in findings[0].message
+
+    def test_fires_on_pass_only_handler(self):
+        src = """
+        try:
+            work()
+        except ValueError:
+            pass
+        """
+        assert len(run_rule("swallowed-except", src)) == 1
+
+    def test_fires_on_ellipsis_handler(self):
+        src = """
+        try:
+            work()
+        except OSError:
+            ...
+        """
+        assert len(run_rule("swallowed-except", src)) == 1
+
+    def test_silent_when_exception_recorded(self):
+        src = """
+        try:
+            work()
+        except ValueError as exc:
+            log(exc)
+        """
+        assert run_rule("swallowed-except", src) == []
+
+    def test_silent_on_contextlib_suppress(self):
+        src = """
+        import contextlib
+        with contextlib.suppress(TypeError):
+            work()
+        """
+        assert run_rule("swallowed-except", src) == []
+
+
+class TestUnseededRng:
+    def test_fires_on_global_random_module(self):
+        src = "import random\nx = random.random()"
+        assert len(run_rule("unseeded-rng", src)) == 1
+
+    def test_fires_on_global_seed_call(self):
+        # seeding the *global* generator is still shared hidden state
+        src = "import random\nrandom.seed(0)"
+        assert len(run_rule("unseeded-rng", src)) == 1
+
+    def test_fires_on_from_import(self):
+        src = "from random import randint\nx = randint(0, 9)"
+        assert len(run_rule("unseeded-rng", src)) == 1
+
+    def test_fires_on_legacy_np_random(self):
+        src = "import numpy as np\nx = np.random.rand(3)"
+        assert len(run_rule("unseeded-rng", src)) == 1
+
+    def test_silent_on_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\nx = rng.normal()"
+        assert run_rule("unseeded-rng", src) == []
+
+    def test_silent_on_random_instance(self):
+        src = "import random\nrng = random.Random(0)\nx = rng.random()"
+        assert run_rule("unseeded-rng", src) == []
+
+    def test_silent_without_random_import(self):
+        # a local object that happens to be called `random` is not stdlib
+        src = "random = make_rng()\nx = random.random()"
+        assert run_rule("unseeded-rng", src) == []
+
+
+class TestWallclockInCompute:
+    def test_fires_in_pure_package(self):
+        src = "import time\ndef f():\n    return time.time()"
+        findings = run_rule("wallclock-in-compute", src, "ml/model.py")
+        assert len(findings) == 1 and "inject a clock" in findings[0].message
+
+    def test_fires_on_from_import_time(self):
+        src = "from time import time\ndef f():\n    return time()"
+        assert len(run_rule("wallclock-in-compute", src, "xai/shap.py")) == 1
+
+    def test_fires_on_datetime_now(self):
+        src = "from datetime import datetime\nstamp = datetime.utcnow()"
+        assert len(run_rule("wallclock-in-compute", src, "trust/score.py")) == 1
+
+    def test_silent_outside_pure_packages(self):
+        # telemetry owns time handling; the contract only bans it below
+        src = "import time\ndef f():\n    return time.time()"
+        assert run_rule("wallclock-in-compute", src, "telemetry/bus.py") == []
+
+    def test_silent_on_perf_counter(self):
+        # duration measurement is not wall-clock dependence
+        src = "import time\ndef f():\n    return time.perf_counter()"
+        assert run_rule("wallclock-in-compute", src, "ml/model.py") == []
+
+
+class TestAllDrift:
+    def test_fires_on_phantom_export(self):
+        src = "__all__ = ['missing']\ndef present(): pass"
+        findings = run_rule("all-drift", src)
+        assert len(findings) == 1 and "never binds" in findings[0].message
+
+    def test_fires_on_public_name_missing_from_init_all(self):
+        src = "from repro.ml.model import Classifier\n__all__ = []"
+        findings = run_rule("all-drift", src, "ml/__init__.py")
+        assert len(findings) == 1 and "missing from __all__" in findings[0].message
+
+    def test_fires_on_duplicate_entry(self):
+        src = "__all__ = ['a', 'a']\ndef a(): pass"
+        findings = run_rule("all-drift", src)
+        assert len(findings) == 1 and "twice" in findings[0].message
+
+    def test_silent_when_in_sync(self):
+        src = "from repro.ml.model import Classifier\n__all__ = ['Classifier']"
+        assert run_rule("all-drift", src, "ml/__init__.py") == []
+
+    def test_private_names_not_required_in_all(self):
+        src = "import numpy as _np\ndef _helper(): pass\n__all__ = []"
+        assert run_rule("all-drift", src, "ml/__init__.py") == []
+
+    def test_non_init_modules_may_underexport(self):
+        # only package __init__ modules promise their bindings are API
+        src = "__all__ = ['a']\ndef a(): pass\ndef b(): pass"
+        assert run_rule("all-drift", src, "ml/model.py") == []
+
+    def test_silent_without_all(self):
+        assert run_rule("all-drift", "def f(): pass") == []
+
+    def test_conditional_import_counts_as_binding(self):
+        src = (
+            "try:\n    import fast as impl\nexcept ImportError:\n"
+            "    import slow as impl\n__all__ = ['impl']"
+        )
+        assert run_rule("all-drift", src) == []
+
+
+class TestShadowedBuiltin:
+    def test_fires_on_builtin_parameter_names(self):
+        findings = run_rule("shadowed-builtin", "def f(input, type): pass")
+        assert len(findings) == 2
+
+    def test_fires_on_kwonly_and_vararg(self):
+        findings = run_rule("shadowed-builtin", "def f(*list, **dict): pass")
+        assert len(findings) == 2
+
+    def test_silent_on_domain_names(self):
+        src = "def f(X, y, n_epochs, seed=0): pass"
+        assert run_rule("shadowed-builtin", src) == []
+
+    def test_silent_on_trailing_underscore(self):
+        assert run_rule("shadowed-builtin", "def f(input_): pass") == []
+
+
+LOCKED_CLASS = """
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0
+
+    def inc(self):
+        with self._lock:
+            self.n += 1
+
+    def {reader}
+"""
+
+
+class TestLockDiscipline:
+    def test_fires_on_unguarded_read(self):
+        src = LOCKED_CLASS.format(reader="read(self):\n        return self.n")
+        findings = run_rule("lock-discipline", src)
+        assert len(findings) == 1
+        assert "without the lock" in findings[0].message
+
+    def test_silent_when_consistently_guarded(self):
+        src = LOCKED_CLASS.format(
+            reader="read(self):\n        with self._lock:\n            return self.n"
+        )
+        assert run_rule("lock-discipline", src) == []
+
+    def test_init_is_exempt(self):
+        # __init__'s own writes predate any concurrent alias
+        src = LOCKED_CLASS.format(
+            reader="read(self):\n        with self._lock:\n            return self.n"
+        )
+        assert run_rule("lock-discipline", src) == []
+
+    def test_unguarded_attrs_are_free(self):
+        src = """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.free = 0
+
+            def touch(self):
+                self.free += 1
+        """
+        assert run_rule("lock-discipline", src) == []
+
+    def test_classes_without_locks_ignored(self):
+        src = """
+        class C:
+            def __init__(self):
+                self.n = 0
+
+            def inc(self):
+                self.n += 1
+        """
+        assert run_rule("lock-discipline", src) == []

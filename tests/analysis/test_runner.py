@@ -1,0 +1,125 @@
+"""End-to-end runs over synthetic trees: gating, baselines, reports."""
+
+import json
+
+from repro.analysis import Baseline, BaselineEntry, run_analysis
+
+
+def write_tree(root, files):
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+class TestGating:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        write_tree(tmp_path, {"ml/good.py": "def f(x=None):\n    return x\n"})
+        report = run_analysis(tmp_path)
+        assert report.clean and report.exit_code == 0
+
+    def test_seeded_violation_exits_nonzero(self, tmp_path):
+        write_tree(tmp_path, {"ml/bad.py": 'msg = f"forgot the braces"\n'})
+        report = run_analysis(tmp_path)
+        assert not report.clean
+        assert report.exit_code == 1
+        assert report.findings[0].rule == "fstring-placeholder"
+
+    def test_seeded_layer_violation_exits_nonzero(self, tmp_path):
+        write_tree(
+            tmp_path, {"ml/bad.py": "from repro.gateway import ApiGateway\n"}
+        )
+        report = run_analysis(tmp_path)
+        assert report.exit_code == 1
+        assert report.findings[0].rule == "layer-contract"
+
+    def test_no_contracts_flag_skips_graph_checks(self, tmp_path):
+        write_tree(
+            tmp_path, {"ml/bad.py": "from repro.gateway import ApiGateway\n"}
+        )
+        report = run_analysis(tmp_path, contracts=False)
+        assert report.clean
+        assert report.package_edges == []
+
+
+class TestBaselineIntegration:
+    def test_baselined_finding_does_not_gate(self, tmp_path):
+        write_tree(tmp_path, {"ml/bad.py": "def f(x=[]):\n    return x\n"})
+        baseline_path = tmp_path / "lint-baseline.json"
+        Baseline(
+            [
+                BaselineEntry(
+                    rule="mutable-default",
+                    path="ml/bad.py",
+                    reason="fixture: accepted for the test",
+                )
+            ]
+        ).save(baseline_path)
+        report = run_analysis(tmp_path, baseline=baseline_path)
+        assert report.clean
+        assert len(report.suppressed) == 1
+        assert report.baseline_path == str(baseline_path)
+
+    def test_baseline_autodiscovered_beside_tree(self, tmp_path):
+        write_tree(tmp_path, {"ml/bad.py": "def f(x=[]):\n    return x\n"})
+        Baseline(
+            [BaselineEntry("mutable-default", "ml/bad.py", "accepted")]
+        ).save(tmp_path / "lint-baseline.json")
+        report = run_analysis(tmp_path)  # no explicit baseline argument
+        assert report.clean and len(report.suppressed) == 1
+
+    def test_stale_entries_surface_in_report(self, tmp_path):
+        write_tree(tmp_path, {"ml/good.py": "x = 1\n"})
+        baseline_path = tmp_path / "lint-baseline.json"
+        Baseline(
+            [BaselineEntry("mutable-default", "ml/deleted.py", "old")]
+        ).save(baseline_path)
+        report = run_analysis(tmp_path, baseline=baseline_path)
+        assert report.clean  # stale entries never gate…
+        assert len(report.stale_entries) == 1  # …but they are reported
+        assert "stale baseline entry" in report.render_text()
+
+
+class TestReportShapes:
+    def test_text_report_lists_findings(self, tmp_path):
+        write_tree(tmp_path, {"ml/bad.py": 'msg = f"oops"\n'})
+        text = run_analysis(tmp_path).render_text()
+        assert "ml/bad.py:1: [fstring-placeholder]" in text
+        assert "1 finding(s)" in text
+
+    def test_json_dict_is_serialisable_and_stable(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "ml/bad.py": 'msg = f"oops"\n',
+                "core/ok.py": "from repro.ml import thing\n",
+            },
+        )
+        payload = json.loads(json.dumps(run_analysis(tmp_path).to_dict()))
+        assert payload["clean"] is False
+        assert payload["modules"] == 2
+        assert payload["findings"][0]["rule"] == "fstring-placeholder"
+        assert ["core", "ml"] in payload["package_edges"]
+        assert set(payload) == {
+            "root",
+            "modules",
+            "rules",
+            "clean",
+            "findings",
+            "suppressed",
+            "stale_baseline_entries",
+            "package_edges",
+            "baseline",
+        }
+
+    def test_rule_subset_recorded_in_report(self, tmp_path):
+        write_tree(tmp_path, {"ml/ok.py": "x = 1\n"})
+        report = run_analysis(tmp_path, rules=["mutable-default"])
+        assert report.rule_ids == ["mutable-default"]
+
+    def test_missing_root_raises(self, tmp_path):
+        import pytest
+
+        with pytest.raises(FileNotFoundError):
+            run_analysis(tmp_path / "nope")

@@ -126,6 +126,85 @@ class TestTelemetryCommand:
         assert code == 2
         assert "invalid rollup parameters" in capsys.readouterr().err
 
+
+class TestLintCommand:
+    def test_tree_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "fstring-placeholder" in out
+        assert "lock-discipline" in out
+
+    def test_seeded_violation_exits_nonzero(self, tmp_path, capsys):
+        pkg = tmp_path / "ml"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text('x = f"oops"\n', encoding="utf-8")
+        assert main(["lint", "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "ml/bad.py:1: [fstring-placeholder]" in out
+
+    def test_layer_violation_exits_nonzero(self, tmp_path, capsys):
+        pkg = tmp_path / "ml"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "from repro.gateway import ApiGateway\n", encoding="utf-8"
+        )
+        assert main(["lint", "--root", str(tmp_path)]) == 1
+        assert "layer-contract" in capsys.readouterr().out
+
+    def test_missing_root_exits_2(self, tmp_path, capsys):
+        assert main(["lint", "--root", str(tmp_path / "nope")]) == 2
+        assert "lint failed" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--rule", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_json_shape(self, tmp_path, capsys):
+        pkg = tmp_path / "ml"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            'x = f"oops"\ndef f(y=[]): pass\n', encoding="utf-8"
+        )
+        assert main(["lint", "--root", str(tmp_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["modules"] == 1
+        rules = [f["rule"] for f in payload["findings"]]
+        assert rules == ["fstring-placeholder", "mutable-default"]
+        first = payload["findings"][0]
+        assert set(first) == {"path", "line", "rule", "message", "severity"}
+        assert first["path"] == "ml/bad.py" and first["line"] == 1
+
+    def test_json_on_real_tree_reports_contract_edges(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["modules"] > 20
+        assert ["core", "telemetry"] in payload["package_edges"]
+        assert "fstring-placeholder" in payload["rules"]
+
+    def test_rule_subset(self, tmp_path, capsys):
+        pkg = tmp_path / "ml"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text('x = f"oops"\n', encoding="utf-8")
+        code = main(
+            [
+                "lint",
+                "--root",
+                str(tmp_path),
+                "--rule",
+                "mutable-default",
+                "--no-contracts",
+            ]
+        )
+        assert code == 0  # the f-string rule was not selected
+
+
+class TestTelemetryCorruption:
     def test_midstream_corruption_exits_2(self, wal_dir, capsys):
         segment = next(wal_dir.glob("*.jsonl"))
         lines = segment.read_text(encoding="utf-8").splitlines(keepends=True)

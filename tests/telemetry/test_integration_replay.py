@@ -11,7 +11,7 @@ import pytest
 from repro.core.dashboard import AIDashboard
 from repro.core.monitor import ContinuousMonitor
 from repro.core.registry import SensorRegistry
-from repro.core.sensors import AISensor, ModelContext
+from repro.core.sensors import AISensor, ModelContext, SensorReading
 from repro.telemetry import TelemetryPipeline, TelemetryQuery, replay
 from repro.trust.properties import TrustProperty
 
@@ -67,7 +67,7 @@ def test_replayed_dashboard_matches_live_dashboard(live_run):
     wal_dir, live_dashboard, __ = live_run
     rebuilt = AIDashboard()
     for event in replay(wal_dir):
-        rebuilt.add_reading(event.to_reading())
+        rebuilt.add_reading(SensorReading.from_event(event))
     assert rebuilt.sensors == live_dashboard.sensors
     for sensor in live_dashboard.sensors:
         assert rebuilt.values(sensor) == live_dashboard.values(sensor)

@@ -1,125 +1,105 @@
-"""Tree-wide AST lint: mistakes a human reviewer keeps catching by hand.
+"""Tier-1 gate: the tree must pass its own static-analysis engine.
 
-Two checks over every module in ``src/repro``:
+The ad-hoc AST walkers that used to live here (placeholder-less
+f-strings, mutable defaults) are now rules inside ``repro.analysis``;
+this test drives the full engine — all registered rules plus the
+import-graph layering contract — and fails on any non-baselined
+finding.  Accepted findings go in ``lint-baseline.json`` with a reason,
+so the gate stays at zero *new* findings.
 
-* f-strings without placeholders — an ``f`` prefix on a literal that
-  interpolates nothing is almost always a forgotten ``{...}`` (the bug
-  class behind the old dashboard error message).
-* mutable default arguments — ``def f(x=[])`` / ``x={}`` / ``x=set()``
-  share one object across calls.
+Self-checks at the bottom keep the gate honest: an engine that cannot
+catch a planted offender would make the zero-findings assertion vacuous.
 """
 
-import ast
-from pathlib import Path
-
-import pytest
-
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-
-MODULES = sorted(SRC.rglob("*.py"))
+from repro.analysis import AnalysisEngine, all_rules, run_analysis
 
 
 def test_source_tree_found():
-    assert len(MODULES) > 20
+    report = run_analysis(contracts=False)
+    assert report.modules > 20
 
 
-def iter_trees():
-    for path in MODULES:
-        yield path, ast.parse(path.read_text(encoding="utf-8"))
+def test_tree_has_zero_nonbaselined_findings():
+    """The acceptance gate: every finding is fixed or baselined."""
+    report = run_analysis()
+    assert report.clean, "\n" + "\n".join(f.render() for f in report.findings)
 
 
-def placeholderless_fstrings(tree):
-    """JoinedStr nodes with no FormattedValue part.
-
-    Format specs (the ``:.3f`` in ``f"{x:.3f}"``) are themselves
-    JoinedStr nodes without placeholders — they are legitimate and must
-    be excluded, or every width/precision spec becomes a false positive.
-    """
-    spec_ids = {
-        id(node.format_spec)
-        for node in ast.walk(tree)
-        if isinstance(node, ast.FormattedValue) and node.format_spec
-    }
-    return [
-        node
-        for node in ast.walk(tree)
-        if isinstance(node, ast.JoinedStr)
-        and id(node) not in spec_ids
-        and not any(
-            isinstance(part, ast.FormattedValue) for part in node.values
-        )
+def test_baseline_entries_are_not_stale():
+    """Suppressions must shrink as findings are fixed, never linger."""
+    report = run_analysis()
+    assert report.stale_entries == [], [
+        e.to_dict() for e in report.stale_entries
     ]
-
-
-MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
-MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque", "Counter"}
-
-
-def mutable_defaults(tree):
-    offenders = []
-    for node in ast.walk(tree):
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        defaults = list(node.args.defaults) + [
-            d for d in node.args.kw_defaults if d is not None
-        ]
-        for default in defaults:
-            if isinstance(default, MUTABLE_LITERALS):
-                offenders.append((node, default))
-            elif (
-                isinstance(default, ast.Call)
-                and isinstance(default.func, ast.Name)
-                and default.func.id in MUTABLE_CALLS
-            ):
-                offenders.append((node, default))
-    return offenders
-
-
-def test_no_placeholderless_fstrings():
-    hits = []
-    for path, tree in iter_trees():
-        for node in placeholderless_fstrings(tree):
-            hits.append(f"{path.relative_to(SRC)}:{node.lineno}")
-    assert not hits, f"f-string without placeholders: {hits}"
-
-
-def test_no_mutable_default_arguments():
-    hits = []
-    for path, tree in iter_trees():
-        for func, default in mutable_defaults(tree):
-            hits.append(
-                f"{path.relative_to(SRC)}:{default.lineno} in {func.name}()"
-            )
-    assert not hits, f"mutable default argument: {hits}"
 
 
 class TestLintSelfCheck:
     """The lint must catch planted offenders (no vacuous green)."""
 
+    def test_catalogue_covers_the_contracted_rules(self):
+        ids = {spec.rule_id for spec in all_rules()}
+        assert {
+            "fstring-placeholder",
+            "mutable-default",
+            "swallowed-except",
+            "unseeded-rng",
+            "wallclock-in-compute",
+            "all-drift",
+            "shadowed-builtin",
+            "lock-discipline",
+        } <= ids
+
     def test_catches_missing_placeholder(self):
-        tree = ast.parse('x = f"no interpolation here"')
-        assert len(placeholderless_fstrings(tree)) == 1
+        findings = AnalysisEngine(rules=["fstring-placeholder"]).analyze_source(
+            'x = f"no interpolation here"'
+        )
+        assert len(findings) == 1
 
     def test_accepts_format_specs(self):
-        tree = ast.parse('x = f"{value:8.3f} and {name:<24}"')
-        assert placeholderless_fstrings(tree) == []
+        findings = AnalysisEngine(rules=["fstring-placeholder"]).analyze_source(
+            'x = f"{value:8.3f} and {name:<24}"'
+        )
+        assert findings == []
 
-    def test_accepts_plain_strings(self):
-        tree = ast.parse('x = "just text"')
-        assert placeholderless_fstrings(tree) == []
+    def test_catches_mutable_default(self):
+        findings = AnalysisEngine(rules=["mutable-default"]).analyze_source(
+            "def f(x=[]): pass"
+        )
+        assert len(findings) == 1
 
-    @pytest.mark.parametrize(
-        "src",
-        [
-            "def f(x=[]): pass",
-            "def f(x={}): pass",
-            "def f(*, x=set()): pass",
-            "def f(x=list()): pass",
-        ],
-    )
-    def test_catches_mutable_default(self, src):
-        assert len(mutable_defaults(ast.parse(src))) == 1
+    def test_every_rule_catches_its_own_offender(self):
+        """Each rule in the catalogue fires on at least one snippet.
 
-    def test_accepts_none_and_tuples(self):
-        tree = ast.parse("def f(x=None, y=(), z=1): pass")
-        assert mutable_defaults(tree) == []
+        (Per-rule positive/negative fixtures live in
+        ``tests/analysis/test_rules.py``; this is the tier-1 smoke that
+        no rule in the registry is dead weight.)
+        """
+        offenders = {
+            "fstring-placeholder": ('x = f"oops"', "mod.py"),
+            "mutable-default": ("def f(x=[]): pass", "mod.py"),
+            "swallowed-except": ("try: f()\nexcept ValueError: pass", "mod.py"),
+            "unseeded-rng": ("import random\nx = random.random()", "mod.py"),
+            "wallclock-in-compute": (
+                "import time\nx = time.time()",
+                "ml/mod.py",
+            ),
+            "all-drift": ("__all__ = ['ghost']", "mod.py"),
+            "shadowed-builtin": ("def f(input): pass", "mod.py"),
+            "lock-discipline": (
+                "import threading\n"
+                "class C:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "    def a(self):\n"
+                "        with self._lock:\n"
+                "            self.n = 1\n"
+                "    def b(self):\n"
+                "        return self.n\n",
+                "mod.py",
+            ),
+        }
+        for rule_id, (source, relpath) in offenders.items():
+            engine = AnalysisEngine(rules=[rule_id])
+            assert engine.analyze_source(source, relpath), (
+                f"rule {rule_id} failed to catch its planted offender"
+            )
