@@ -1,0 +1,226 @@
+"""Tracing overhead bench: the observability tax on the dispatch path.
+
+The ISSUE acceptance floor: with the default :class:`NullTracer`, a fully
+instrumented gateway dispatch must cost no more than 5% over a dispatch
+with no tracing touchpoints at all — tracing must be free when off.  The
+untraced baseline is re-created here as subclasses that strip every
+tracer call from ``dispatch``/``submit`` (the pre-instrumentation code
+path); a recording tracer is benched alongside so the cost of actually
+keeping spans stays visible and bounded.
+"""
+
+import time
+
+import pytest
+
+from repro.gateway.gateway import APIGateway
+from repro.gateway.services import (
+    Machine,
+    MicroService,
+    RequestRecord,
+    Request,
+    ServiceTimeModel,
+)
+from repro.gateway.simulation import Simulator
+from repro.tracing import NULL_TRACER, TraceCollector, Tracer
+
+N_REQUESTS = 3000
+REPEATS = 5
+#: NullTracer dispatch may cost at most this fraction over untraced.
+NULL_OVERHEAD_CEILING = 0.05
+#: A recording tracer (8 spans/request, attributes, collection) stays
+#: within this factor of the untraced baseline — the "tracing on" budget.
+RECORDING_OVERHEAD_CEILING = 10.0
+
+
+class UntracedMicroService(MicroService):
+    """``submit``/``_start`` exactly as before the tracing PR: no spans."""
+
+    def submit(self, request, sim, on_complete, tracer=None, parent=None):
+        record = RequestRecord(request=request, arrival=sim.now)
+        if not self.service_time.supports(request.payload):
+            record.success = False
+            record.error = f"unsupported payload {request.payload!r}"
+            record.start = record.end = sim.now
+            self.completed.append(record)
+            on_complete(record)
+            return
+        if self._busy < self.concurrency:
+            self._start(record, sim, on_complete)
+        elif len(self._waiting) < self.queue_capacity:
+            self._waiting.append((record, on_complete))
+            self._peak_queue = max(self._peak_queue, len(self._waiting))
+        else:
+            self.rejected += 1
+            record.success = False
+            record.error = "queue full (503)"
+            record.start = record.end = sim.now
+            self.completed.append(record)
+            on_complete(record)
+
+    def _start(self, record, sim, on_complete, *span_args):
+        self._busy += 1
+        record.start = sim.now
+
+        def finish():
+            record.end = sim.now
+            self._busy -= 1
+            self._busy_seconds += record.end - record.start
+            self.completed.append(record)
+            if self._waiting:
+                next_record, next_callback = self._waiting.pop(0)
+                self._start(next_record, sim, next_callback)
+            on_complete(record)
+
+        sim.schedule(self.service_time.sample(record.request.payload), finish)
+
+
+class UntracedGateway(APIGateway):
+    """``dispatch`` exactly as before the tracing PR: no tracer touchpoints."""
+
+    def dispatch(self, request, on_response):
+        arrived = self.sim.now
+        request.created_at = arrived
+        if request.route not in self._routes:
+            record = RequestRecord(
+                request=request,
+                arrival=arrived,
+                start=arrived,
+                end=arrived,
+                success=False,
+                error=f"404 unknown route {request.route!r}",
+            )
+            self.records.append(record)
+            self.sim.schedule(self.overhead_seconds, lambda: on_response(record))
+            return
+        service = self._routes[request.route]
+
+        def submit():
+            service.submit(request, self.sim, service_done)
+
+        def service_done(record):
+            def deliver():
+                record.arrival = arrived
+                record.end = self.sim.now
+                self.records.append(record)
+                on_response(record)
+
+            self.sim.schedule(self.overhead_seconds, deliver)
+
+        self.sim.schedule(self.overhead_seconds, submit)
+
+
+def run_dispatches(gateway_cls, service_cls, tracer_factory):
+    """Drive N_REQUESTS through a fresh rig; return wall-clock seconds."""
+    sim = Simulator()
+    tracer = tracer_factory(sim)
+    gateway = gateway_cls(sim, overhead_seconds=0.002, tracer=tracer)
+    gateway.register(
+        service_cls(
+            name="svc",
+            machine=Machine("host", vcpus=8, ram_gb=16),
+            service_time=ServiceTimeModel({"tabular": 0.05}, jitter=0.0),
+            concurrency=8,
+            queue_capacity=N_REQUESTS,
+            stages={"pipeline.preprocess": 1.0, "pipeline.predict": 3.0},
+        )
+    )
+    done = []
+    for i in range(N_REQUESTS):
+        request = Request(request_id=i, route="svc")
+        sim.schedule(
+            i * 0.001,
+            (lambda r: lambda: gateway.dispatch(r, done.append))(request),
+        )
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert len(done) == N_REQUESTS
+    assert all(r.success for r in done)
+    return elapsed
+
+
+def best_of(repeats, fn):
+    return min(fn() for __ in range(repeats))
+
+
+@pytest.fixture(scope="module")
+def timings():
+    results = {
+        "untraced": best_of(
+            REPEATS,
+            lambda: run_dispatches(
+                UntracedGateway, UntracedMicroService, lambda sim: NULL_TRACER
+            ),
+        ),
+        "null_tracer": best_of(
+            REPEATS,
+            lambda: run_dispatches(
+                APIGateway, MicroService, lambda sim: NULL_TRACER
+            ),
+        ),
+        "recording": best_of(
+            REPEATS,
+            lambda: run_dispatches(
+                APIGateway,
+                MicroService,
+                lambda sim: Tracer(
+                    clock=lambda: sim.now,
+                    collector=TraceCollector(max_traces=N_REQUESTS),
+                    seed=0,
+                ),
+            ),
+        ),
+    }
+    return results
+
+
+def test_null_tracer_overhead_under_ceiling(timings, figure_printer):
+    null_overhead = timings["null_tracer"] / timings["untraced"] - 1.0
+    recording_factor = timings["recording"] / timings["untraced"]
+    figure_printer(
+        "Tracing overhead on the dispatch path "
+        f"({N_REQUESTS} requests, best of {REPEATS})",
+        ["variant", "seconds", "vs untraced"],
+        [
+            ["untraced", f"{timings['untraced']:.4f}", "1.00x"],
+            [
+                "null tracer",
+                f"{timings['null_tracer']:.4f}",
+                f"{timings['null_tracer'] / timings['untraced']:.2f}x",
+            ],
+            [
+                "recording",
+                f"{timings['recording']:.4f}",
+                f"{recording_factor:.2f}x",
+            ],
+        ],
+    )
+    assert null_overhead <= NULL_OVERHEAD_CEILING, (
+        f"NullTracer dispatch overhead {null_overhead:.1%} exceeds "
+        f"{NULL_OVERHEAD_CEILING:.0%}"
+    )
+    assert recording_factor <= RECORDING_OVERHEAD_CEILING
+
+
+def test_recording_run_collects_complete_traces():
+    sim = Simulator()
+    collector = TraceCollector(max_traces=N_REQUESTS)
+    tracer = Tracer(clock=lambda: sim.now, collector=collector, seed=0)
+    gateway = APIGateway(sim, tracer=tracer)
+    gateway.register(
+        MicroService(
+            name="svc",
+            machine=Machine("host", vcpus=4, ram_gb=8),
+            service_time=ServiceTimeModel({"tabular": 0.01}, jitter=0.0),
+        )
+    )
+    done = []
+    for i in range(50):
+        request = Request(request_id=i, route="svc")
+        sim.schedule(
+            0.0, (lambda r: lambda: gateway.dispatch(r, done.append))(request)
+        )
+    sim.run()
+    assert len(collector.traces()) == 50
+    assert tracer.active_spans == 0

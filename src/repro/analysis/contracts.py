@@ -43,8 +43,11 @@ ALLOWED_IMPORTS: Dict[str, frozenset] = {
     "trust": frozenset({"ml"}),
     "xai": frozenset({"ml"}),
     "federated": frozenset({"ml", "datasets"}),
+    # tracing sits just above telemetry: spans are the interval-valued
+    # sibling of events, and the exemplar join needs both vocabularies
+    "tracing": frozenset({"telemetry"}),
     # layer 2 — serving and adversarial workloads
-    "gateway": frozenset({"ml", "telemetry"}),
+    "gateway": frozenset({"ml", "telemetry", "tracing"}),
     "attacks": frozenset({"ml", "privacy", "gateway", "datasets"}),
     # layer 3 — orchestration: may use everything below, never the CLI
     "core": frozenset(
@@ -52,6 +55,7 @@ ALLOWED_IMPORTS: Dict[str, frozenset] = {
             "ml",
             "datasets",
             "telemetry",
+            "tracing",
             "privacy",
             "trust",
             "xai",

@@ -248,6 +248,41 @@ def wallclock_in_compute(module: ModuleContext) -> Iterator[Tuple[int, str]]:
                 )
 
 
+_CLOCK_MODULES = frozenset({"time", "datetime"})
+
+
+@rule("tracing-clock-injection")
+def tracing_clock_injection(module: ModuleContext) -> Iterator[Tuple[int, str]]:
+    """The tracing package must never read time itself — clocks are injected.
+
+    Span timestamps come from the :class:`~repro.tracing.tracer.Tracer`'s
+    ``clock`` callable (the simulator's virtual ``now`` in capacity
+    experiments, ``time.perf_counter`` at the application layer).  A direct
+    ``time.*`` or ``datetime`` read anywhere in ``repro.tracing`` would
+    silently mix wall time into virtual-time traces, so the *import* is
+    banned outright — stricter than the pure-package rule, which only
+    bans specific wall-clock calls.
+    """
+    if module.package != "tracing":
+        return
+    for node in module.walk(ast.Import):
+        for item in node.names:
+            root_name = item.name.split(".")[0]
+            if root_name in _CLOCK_MODULES:
+                yield node.lineno, (
+                    f"'{item.name}' imported in repro.tracing — span "
+                    "timestamps must come from the Tracer's injected clock"
+                )
+    for node in module.walk(ast.ImportFrom):
+        if node.level == 0 and node.module:
+            root_name = node.module.split(".")[0]
+            if root_name in _CLOCK_MODULES:
+                yield node.lineno, (
+                    f"'from {node.module} import …' in repro.tracing — span "
+                    "timestamps must come from the Tracer's injected clock"
+                )
+
+
 def _module_bindings(tree: ast.Module) -> Set[str]:
     """Names bound at module top level (defs, classes, assigns, imports)."""
     names: Set[str] = set()

@@ -247,6 +247,106 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Traced capacity run: waterfalls, critical paths, span histograms."""
+    import json
+
+    from repro.trace_scenario import run_traced_scenario
+    from repro.tracing import (
+        critical_path,
+        latency_summary,
+        render_critical_path,
+        render_latency_table,
+        render_waterfall,
+    )
+
+    try:
+        result = run_traced_scenario(
+            route=args.route,
+            n_threads=args.threads,
+            iterations=args.iterations,
+            seed=args.seed,
+            payload=args.payload,
+            window_seconds=args.window,
+            probe_sensors=not args.no_probe,
+        )
+    except KeyError as exc:
+        print(f"trace scenario failed: {exc}", file=sys.stderr)
+        return 2
+    trees = result.traces()
+    if not trees:
+        print("no traces recorded", file=sys.stderr)
+        return 2
+    slowest = max(trees, key=lambda t: t.duration)
+    resolution = result.slowest_window_resolution()
+    views = (
+        {"waterfall", "critical-path", "histogram", "exemplars"}
+        if args.view == "all"
+        else {args.view}
+    )
+
+    if args.json:
+        payload = {
+            "route": result.route,
+            "n_traces": len(trees),
+            "report": {
+                "samples": result.report.n_requests,
+                "errors": result.report.n_errors,
+                "avg_response_ms": result.report.avg_response_ms,
+                "p95_response_ms": result.report.p95_response_ms,
+                "throughput_rps": result.report.throughput_rps,
+            },
+            "slowest_trace": {
+                "trace_id": slowest.trace_id,
+                "duration_ms": slowest.duration * 1000.0,
+                "critical_path": [
+                    {"span": seg.span.name, "ms": seg.seconds * 1000.0}
+                    for seg in critical_path(slowest)
+                ],
+            },
+            "span_latency": [
+                s.to_dict() for s in latency_summary(result.collector.all_spans())
+            ],
+            "slowest_window": None
+            if resolution is None
+            else {
+                "window_start": resolution.window.window_start,
+                "window_seconds": resolution.window.window_seconds,
+                "mean": resolution.window.mean,
+                "trace_ids": resolution.trace_ids,
+                "resolved": resolution.resolved,
+            },
+            "collector": result.collector.stats(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(
+        f"traced capacity run: route={result.route} threads={args.threads} "
+        f"iterations={args.iterations} payload={args.payload}"
+    )
+    print("  " + result.report.render_text())
+    print(
+        f"  {len(trees)} trace(s) recorded, "
+        f"{result.tracer.ended} span(s), 0 open"
+        if result.tracer.active_spans == 0
+        else f"  WARNING: {result.tracer.active_spans} span(s) still open"
+    )
+    if "waterfall" in views:
+        print(f"\nslowest trace ({slowest.duration * 1000.0:.2f}ms):")
+        print(render_waterfall(slowest))
+    if "critical-path" in views:
+        print()
+        print(render_critical_path(critical_path(slowest)))
+    if "histogram" in views:
+        print("\nper-span latency across all traces:")
+        print(render_latency_table(latency_summary(result.collector.all_spans())))
+    if "exemplars" in views and resolution is not None:
+        print("\nslowest rollup window → exemplar traces:")
+        print(resolution.render_text())
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Static analysis: AST rules + import-graph layering contract."""
     import json
@@ -375,6 +475,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    trace = sub.add_parser(
+        "trace",
+        help="traced capacity run: waterfall, critical path, span histograms",
+    )
+    trace.add_argument("--route", default="shap")
+    trace.add_argument("--threads", type=int, default=8)
+    trace.add_argument("--iterations", type=int, default=3)
+    trace.add_argument("--payload", default="tabular")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--window", type=float, default=0.25, help="rollup window seconds"
+    )
+    trace.add_argument(
+        "--view",
+        choices=["all", "waterfall", "critical-path", "histogram", "exemplars"],
+        default="all",
+    )
+    trace.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip the per-request sensor probe",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     lint = sub.add_parser(
         "lint",

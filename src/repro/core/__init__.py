@@ -31,7 +31,7 @@ from repro.core.audit import AuditFinding, AuditReport, verify_export
 from repro.core.modelcard import generate_model_card
 from repro.core.system import SpatialSystem
 from repro.core.sensors import ImageExplanationSensor
-from repro.core.registry import SensorRegistry
+from repro.core.registry import PolledReading, SensorRegistry
 from repro.core.monitor import ContinuousMonitor, MonitorRound
 from repro.core.dashboard import AIDashboard, Alert, AlertRule
 from repro.core.feedback import (
@@ -64,6 +64,7 @@ __all__ = [
     "MonitorRound",
     "OperatorAction",
     "PerformanceSensor",
+    "PolledReading",
     "PrivacySensor",
     "ResilienceSensor",
     "RetrainAction",

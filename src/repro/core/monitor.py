@@ -15,8 +15,9 @@ a slow dashboard can drop frames without stalling sensor polling.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.dashboard import AIDashboard
 from repro.core.registry import SensorRegistry
@@ -24,6 +25,7 @@ from repro.core.sensors import ModelContext, SensorReading
 from repro.telemetry.bus import TelemetryBus
 from repro.telemetry.events import TelemetryEvent
 from repro.telemetry.pipeline import SENSOR_TOPIC, TelemetryPipeline
+from repro.tracing import NULL_TRACER
 
 
 @dataclass
@@ -33,6 +35,14 @@ class MonitorRound:
     index: int
     trigger: str  # "scheduled" | "model_update"
     readings: List[SensorReading] = field(default_factory=list)
+    #: Wall-clock cost of the whole round (poll + publish + pump).
+    duration_ms: float = 0.0
+    #: Per-sensor wall-clock measurement cost, sensor name → milliseconds.
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: Names of sensors whose measurement raised this round.
+    errors: List[str] = field(default_factory=list)
+    #: Trace id of the round span (``None`` when tracing is off).
+    trace_id: Optional[str] = None
 
 
 class ContinuousMonitor:
@@ -58,6 +68,11 @@ class ContinuousMonitor:
     dashboard_queue_capacity:
         Bound on the dashboard subscription's queue; overflow drops the
         oldest frames (counted on the bus) instead of blocking polling.
+    tracer:
+        Span factory (defaults to the no-op tracer).  With a recording
+        tracer each round becomes a ``monitor.round`` span with one
+        ``sensor.poll`` child per sensor, and every published event
+        carries its sensor span's exemplar labels.
     """
 
     def __init__(
@@ -68,11 +83,13 @@ class ContinuousMonitor:
         telemetry: Optional[Union[TelemetryPipeline, TelemetryBus]] = None,
         topic: str = SENSOR_TOPIC,
         dashboard_queue_capacity: int = 65536,
+        tracer=NULL_TRACER,
     ) -> None:
         self.registry = registry
         self.dashboard = dashboard
         self.context_provider = context_provider
         self.topic = topic
+        self.tracer = tracer
         self.rounds: List[MonitorRound] = []
         self._last_model_version: Optional[int] = None
         if telemetry is None:
@@ -108,20 +125,48 @@ class ContinuousMonitor:
                 name = f"dashboard-{suffix}"
 
     def poll_once(self, trigger: str = "scheduled") -> MonitorRound:
-        """Run one monitoring round: poll all sensors, publish to the bus."""
+        """Run one monitoring round: poll all sensors, publish to the bus.
+
+        Each sensor is measured in its own span with wall-clock timing and
+        error isolation (see :meth:`SensorRegistry.poll_spans`); the
+        published events carry per-sensor ``elapsed_ms`` and their span's
+        exemplar labels, so a slow or failing round is attributable to a
+        specific sensor rather than just "the round was slow".
+        """
+        round_started = time.perf_counter()
+        round_span = self.tracer.start_span("monitor.round")
+        if round_span.is_recording:
+            round_span.set_attribute("trigger", trigger)
+            round_span.set_attribute("round", float(len(self.rounds)))
         context = self.context_provider()
-        readings = self.registry.poll(context)
-        for reading in readings:
-            self.telemetry.publish(
-                self.topic, TelemetryEvent.from_reading(reading)
-            )
+        polled = self.registry.poll_spans(
+            context, tracer=self.tracer, parent=round_span
+        )
+        record = MonitorRound(index=len(self.rounds), trigger=trigger)
+        for item in polled:
+            record.readings.append(item.reading)
+            record.timings[item.reading.sensor] = item.elapsed_ms
+            if item.reading.error:
+                record.errors.append(item.reading.sensor)
+            event = TelemetryEvent.from_reading(item.reading)
+            event.attrs["elapsed_ms"] = item.elapsed_ms
+            if item.span.is_recording:
+                event.with_trace(item.span.trace_id, item.span.span_id)
+            self.telemetry.publish(self.topic, event)
         # deliver synchronously so dashboards/rollups are current when the
         # round returns; production loops may instead pump on their own
         # cadence for batching
         self.telemetry.pump()
-        record = MonitorRound(
-            index=len(self.rounds), trigger=trigger, readings=readings
-        )
+        record.duration_ms = (time.perf_counter() - round_started) * 1000.0
+        if round_span.is_recording:
+            record.trace_id = round_span.trace_id
+            round_span.set_attribute("n_sensors", float(len(polled)))
+            round_span.set_attribute("duration_ms", record.duration_ms)
+            if record.errors:
+                round_span.record_error(
+                    "sensor errors: " + ", ".join(record.errors)
+                )
+        round_span.end()
         self.rounds.append(record)
         self._last_model_version = context.model_version
         return record

@@ -9,6 +9,8 @@ leaves unobserved.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.attacks.vulnerabilities import (
@@ -17,7 +19,23 @@ from repro.attacks.vulnerabilities import (
 )
 from repro.core.sensors import AISensor, ModelContext, SensorReading
 from repro.ml.pipeline import AIPipeline, PipelineContext, StageKind
+from repro.tracing import NULL_TRACER
 from repro.trust.properties import TrustProperty
+
+
+@dataclass
+class PolledReading:
+    """One sensor measurement plus its observability envelope.
+
+    ``span`` is the per-sensor poll span (the shared no-op span when
+    tracing is off); ``elapsed_ms`` is the *wall-clock* cost of the
+    measurement, recorded even when untraced so monitoring rounds can
+    attribute their latency sensor-by-sensor.
+    """
+
+    reading: SensorReading
+    span: object
+    elapsed_ms: float
 
 
 class SensorRegistry:
@@ -65,13 +83,40 @@ class SensorRegistry:
         value 0.0, ``details["error"] == 1.0`` and the exception class in
         ``reading.error`` — so dashboards and alert rules see the outage.
         """
-        readings: List[SensorReading] = []
+        return [p.reading for p in self.poll_spans(context)]
+
+    def poll_spans(
+        self,
+        context: ModelContext,
+        tracer=NULL_TRACER,
+        parent=None,
+    ) -> List[PolledReading]:
+        """One monitoring round with per-sensor spans and timings.
+
+        Each sensor's measurement runs inside its own ``sensor.poll``
+        span (child of ``parent``) annotated with the sensor name, trust
+        property and wall-clock ``elapsed_ms``; a raising sensor marks
+        its span failed while the round continues.  :meth:`poll` is this
+        method with the null tracer, keeping one fault-isolation path.
+        """
+        polled: List[PolledReading] = []
         for sensor in self._sensors.values():
+            span = tracer.start_span("sensor.poll", parent=parent)
+            if span.is_recording:
+                span.set_attribute("sensor", sensor.name)
+                span.set_attribute("property", sensor.property.value)
+            started = time.perf_counter()
             try:
-                readings.append(sensor.measure(context))
+                reading = sensor.measure(context)
             except Exception as exc:
-                readings.append(sensor.error_reading(context, exc))
-        return readings
+                reading = sensor.error_reading(context, exc)
+                span.record_error(f"{type(exc).__name__}: {exc}")
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            if span.is_recording:
+                span.set_attribute("elapsed_ms", elapsed_ms)
+            span.end()
+            polled.append(PolledReading(reading, span, elapsed_ms))
+        return polled
 
     def poll_one(self, name: str, context: ModelContext) -> SensorReading:
         """Measure a single sensor by name (an AI-sensor API request)."""

@@ -22,6 +22,7 @@ from repro.gateway.autoscale import Autoscaler, AutoscalerPolicy, ScalingEvent
 from repro.gateway.ratelimit import RateLimitRule, RateLimitedGateway
 from repro.gateway.cluster import (
     PAPER_SERVICES,
+    PAPER_STAGE_PROFILES,
     build_paper_deployment,
 )
 from repro.gateway.loadgen import (
@@ -39,6 +40,7 @@ __all__ = [
     "Machine",
     "MicroService",
     "PAPER_SERVICES",
+    "PAPER_STAGE_PROFILES",
     "RateLimitRule",
     "RateLimitedGateway",
     "Request",

@@ -56,19 +56,56 @@ PAPER_SERVICES: Dict[str, Tuple[Machine, Dict[str, float], int]] = {
 
 GATEWAY_MACHINE = Machine("kong-gateway", vcpus=32, ram_gb=64)
 
+#: name -> stage name → relative weight of the service time.  Kept separate
+#: from :data:`PAPER_SERVICES` (whose tuples are indexed positionally by
+#: tests and notebooks).  The weights follow the §V pipeline anatomy: the
+#: XAI metric services spend most of their time in the explainer itself,
+#: the AI-pipeline service is dominated by inference.
+PAPER_STAGE_PROFILES: Dict[str, Dict[str, float]] = {
+    "lime": {
+        "pipeline.preprocess": 1.0,
+        "pipeline.predict": 3.0,
+        "pipeline.explain": 6.0,
+    },
+    "shap": {
+        "pipeline.preprocess": 1.0,
+        "pipeline.predict": 2.0,
+        "pipeline.explain": 7.0,
+    },
+    "occlusion": {
+        "pipeline.preprocess": 2.0,
+        "pipeline.predict": 3.0,
+        "pipeline.explain": 5.0,
+    },
+    "impact": {
+        "pipeline.preprocess": 1.0,
+        "pipeline.predict": 8.0,
+        "pipeline.explain": 1.0,
+    },
+    "ai_pipeline": {
+        "pipeline.preprocess": 2.0,
+        "pipeline.predict": 7.0,
+        "pipeline.explain": 1.0,
+    },
+}
+
 
 def build_paper_deployment(
     seed: int = 0,
     jitter: float = 0.12,
     gateway_overhead: float = 0.002,
+    tracer=None,
 ) -> Tuple[Simulator, APIGateway]:
     """Instantiate the full Fig. 8(a) topology on a fresh simulator.
 
     Returns ``(simulator, gateway)`` with all five metric micro-services
-    registered under their route names.
+    registered under their route names.  ``tracer`` (optional) is attached
+    to the gateway; services get the :data:`PAPER_STAGE_PROFILES` stage
+    weights so traced requests break down into pipeline-stage spans.
     """
     sim = Simulator()
-    gateway = APIGateway(sim, overhead_seconds=gateway_overhead)
+    kwargs = {} if tracer is None else {"tracer": tracer}
+    gateway = APIGateway(sim, overhead_seconds=gateway_overhead, **kwargs)
     for offset, (name, (machine, times, concurrency)) in enumerate(
         PAPER_SERVICES.items()
     ):
@@ -79,6 +116,7 @@ def build_paper_deployment(
                 times, jitter=jitter, seed=seed + offset
             ),
             concurrency=concurrency or None,
+            stages=PAPER_STAGE_PROFILES.get(name),
         )
         gateway.register(service)
     return sim, gateway

@@ -17,6 +17,7 @@ from repro.gateway.services import (
     RequestRecord,
 )
 from repro.gateway.simulation import Simulator
+from repro.tracing import NULL_SPAN, NULL_TRACER
 
 
 class APIGateway:
@@ -29,13 +30,26 @@ class APIGateway:
     overhead_seconds:
         One-way gateway processing cost (proxying, auth, header rewrite);
         applied once on the request leg and once on the response leg.
+    tracer:
+        Span factory (defaults to the no-op
+        :data:`~repro.tracing.tracer.NULL_TRACER`).  With a recording
+        tracer every dispatch roots one ``gateway.request`` trace whose
+        children cover the routing legs, service queueing/processing and
+        any pipeline stages — the waterfall ``python -m repro trace``
+        renders.
     """
 
-    def __init__(self, sim: Simulator, overhead_seconds: float = 0.002) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        overhead_seconds: float = 0.002,
+        tracer=NULL_TRACER,
+    ) -> None:
         if overhead_seconds < 0:
             raise ValueError("overhead must be non-negative")
         self.sim = sim
         self.overhead_seconds = overhead_seconds
+        self.tracer = tracer
         self._routes: Dict[str, MicroService] = {}
         self.records: List[RequestRecord] = []
 
@@ -55,6 +69,12 @@ class APIGateway:
     def routes(self) -> List[str]:
         return sorted(self._routes)
 
+    def service(self, route: str) -> MicroService:
+        """The micro-service behind a route (e.g. to wire a trace probe)."""
+        if route not in self._routes:
+            raise KeyError(f"unknown route {route!r}")
+        return self._routes[route]
+
     def dispatch(
         self,
         request: Request,
@@ -69,31 +89,77 @@ class APIGateway:
         """
         arrived = self.sim.now
         request.created_at = arrived
+        tracer = self.tracer
+        # branch once: the untraced hot path must not even pay for no-op
+        # span calls (the bench holds it within 5% of uninstrumented code)
+        recording = tracer.is_recording
+        root = NULL_SPAN
+        if recording:
+            root = tracer.start_span("gateway.request", start_time=arrived)
+            root.set_attribute("route", request.route)
+            root.set_attribute("request_id", float(request.request_id))
         if request.route not in self._routes:
+            error = f"404 unknown route {request.route!r}"
             record = RequestRecord(
                 request=request,
                 arrival=arrived,
                 start=arrived,
                 end=arrived,
                 success=False,
-                error=f"404 unknown route {request.route!r}",
+                error=error,
+            )
+            route_span = (
+                tracer.start_span(
+                    "gateway.route", parent=root, start_time=arrived
+                )
+                if recording
+                else NULL_SPAN
             )
             self.records.append(record)
-            self.sim.schedule(self.overhead_seconds, lambda: on_response(record))
+
+            def reject() -> None:
+                if recording:
+                    route_span.record_error(error).end(at=self.sim.now)
+                    record.trace = root.context
+                    root.record_error(error).end(at=self.sim.now)
+                on_response(record)
+
+            self.sim.schedule(self.overhead_seconds, reject)
             return
         service = self._routes[request.route]
+        route_span = (
+            tracer.start_span("gateway.route", parent=root, start_time=arrived)
+            if recording
+            else NULL_SPAN
+        )
+
+        def submit() -> None:
+            if recording:
+                route_span.end(at=self.sim.now)
+            service.submit(request, self.sim, service_done, tracer, root)
 
         def service_done(record: RequestRecord) -> None:
             # response leg back through the gateway
+            respond_span = (
+                tracer.start_span(
+                    "gateway.respond", parent=root, start_time=self.sim.now
+                )
+                if recording
+                else NULL_SPAN
+            )
+
             def deliver() -> None:
                 record.arrival = arrived  # account both gateway legs
                 record.end = self.sim.now
+                if recording:
+                    respond_span.end(at=record.end)
+                    record.trace = root.context
+                    if not record.success:
+                        root.record_error(record.error)
+                    root.end(at=record.end)
                 self.records.append(record)
                 on_response(record)
 
             self.sim.schedule(self.overhead_seconds, deliver)
 
-        self.sim.schedule(
-            self.overhead_seconds,
-            lambda: service.submit(request, self.sim, service_done),
-        )
+        self.sim.schedule(self.overhead_seconds, submit)

@@ -204,20 +204,23 @@ class LoadGenerator:
                     (active_at_send, record.response_time * 1000.0)
                 )
                 if self.telemetry is not None:
-                    self.telemetry.publish(
-                        self.topic,
-                        TelemetryEvent(
-                            source=record.request.route,
-                            value=record.response_time * 1000.0,
-                            timestamp=record.end,
-                            kind=KIND_RESPONSE,
-                            attrs={
-                                "wait_ms": record.wait_time * 1000.0,
-                                "active_threads": float(active_at_send),
-                                "success": 1.0 if record.success else 0.0,
-                            },
-                        ),
+                    event = TelemetryEvent(
+                        source=record.request.route,
+                        value=record.response_time * 1000.0,
+                        timestamp=record.end,
+                        kind=KIND_RESPONSE,
+                        attrs={
+                            "wait_ms": record.wait_time * 1000.0,
+                            "active_threads": float(active_at_send),
+                            "success": 1.0 if record.success else 0.0,
+                        },
                     )
+                    if record.trace is not None:
+                        # exemplar link: this latency sample → its trace
+                        event.with_trace(
+                            record.trace.trace_id, record.trace.span_id
+                        )
+                    self.telemetry.publish(self.topic, event)
                 if remaining > 1:
                     self.sim.schedule(
                         group.think_time,

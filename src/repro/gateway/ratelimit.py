@@ -92,6 +92,13 @@ class RateLimitedGateway:
                 success=False,
                 error="429 rate limited",
             )
+            span = self.gateway.tracer.start_span(
+                "gateway.request", start_time=now
+            )
+            if span.is_recording:
+                span.set_attribute("route", request.route)
+                record.trace = span.context
+            span.record_error(record.error).end(at=now)
             self.gateway.records.append(record)
             self.gateway.sim.schedule(0.0, lambda: on_response(record))
             return

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.gateway.simulation import Simulator
+from repro.tracing import NULL_SPAN, NULL_TRACER, SpanContext
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,11 @@ class RequestRecord:
     end: float = 0.0
     success: bool = True
     error: str = ""
+    #: Root span context of the trace this request ran under (``None``
+    #: when tracing is off).  The load generator copies it onto the
+    #: telemetry events it publishes — the exemplar link from rollup
+    #: buckets back to recorded traces.
+    trace: Optional[SpanContext] = None
 
     @property
     def response_time(self) -> float:
@@ -128,6 +134,14 @@ class MicroService:
     queue_capacity:
         Waiting-room size; arrivals beyond it fail fast with a 503-style
         error, which is what JMeter's error-rate column counts.
+    stages:
+        Optional ordered mapping of pipeline stage name → relative weight
+        (e.g. ``{"pipeline.preprocess": 1, "pipeline.predict": 4,
+        "pipeline.explain": 5}``).  When a traced request finishes, the
+        sampled service time is partitioned proportionally into child
+        spans of the processing span — a stage-level profile of where the
+        service time went, materialised retroactively without scheduling
+        extra simulator events.
     """
 
     def __init__(
@@ -137,9 +151,15 @@ class MicroService:
         service_time: ServiceTimeModel,
         concurrency: Optional[int] = None,
         queue_capacity: int = 1000,
+        stages: Optional[Dict[str, float]] = None,
     ) -> None:
         if queue_capacity < 0:
             raise ValueError("queue_capacity must be non-negative")
+        if stages is not None:
+            if not stages:
+                raise ValueError("stages mapping must not be empty")
+            if any(w <= 0 for w in stages.values()):
+                raise ValueError("stage weights must be positive")
         self.name = name
         self.machine = machine
         self.service_time = service_time
@@ -147,6 +167,14 @@ class MicroService:
         if self.concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         self.queue_capacity = queue_capacity
+        self.stages = dict(stages) if stages else None
+        #: Optional completion hook ``probe(tracer, span, record)`` fired
+        #: when a request finishes processing, with the processing span as
+        #: ``span`` (the :data:`~repro.tracing.span.NULL_SPAN` when
+        #: tracing is off).  The capacity scenario wires this to a traced
+        #: sensor poll, attaching real AI-trust measurements to the
+        #: request's trace.
+        self.probe: Optional[Callable] = None
         self._busy = 0
         self._waiting: List[tuple] = []
         self.completed: List[RequestRecord] = []
@@ -159,54 +187,141 @@ class MicroService:
         request: Request,
         sim: Simulator,
         on_complete: CompletionCallback,
+        tracer=NULL_TRACER,
+        parent=None,
     ) -> None:
-        """Accept (or reject) a request at the current virtual time."""
+        """Accept (or reject) a request at the current virtual time.
+
+        ``parent`` is the caller's span (the gateway's request root);
+        queueing, processing and rejection each become child spans when
+        ``tracer`` is recording.
+        """
         record = RequestRecord(request=request, arrival=sim.now)
         if not self.service_time.supports(request.payload):
             record.success = False
             record.error = f"unsupported payload {request.payload!r}"
             record.start = record.end = sim.now
+            if tracer.is_recording:
+                self._reject_span(record, sim, tracer, parent)
             self.completed.append(record)
             on_complete(record)
             return
         if self._busy < self.concurrency:
-            self._start(record, sim, on_complete)
+            self._start(record, sim, on_complete, tracer, parent)
         elif len(self._waiting) < self.queue_capacity:
-            self._waiting.append((record, on_complete))
+            queue_span = NULL_SPAN
+            if tracer.is_recording:
+                queue_span = tracer.start_span(
+                    "service.queue", parent=parent, start_time=sim.now
+                )
+                queue_span.set_attribute("service", self.name)
+                queue_span.set_attribute(
+                    "queue_depth", float(len(self._waiting))
+                )
+            self._waiting.append((record, on_complete, tracer, parent, queue_span))
             self._peak_queue = max(self._peak_queue, len(self._waiting))
         else:
             self.rejected += 1
             record.success = False
             record.error = "queue full (503)"
             record.start = record.end = sim.now
+            if tracer.is_recording:
+                self._reject_span(record, sim, tracer, parent)
             self.completed.append(record)
             on_complete(record)
+
+    def _reject_span(self, record: RequestRecord, sim, tracer, parent) -> None:
+        """Record a fail-fast rejection as an instant error span."""
+        span = tracer.start_span(
+            "service.reject", parent=parent, start_time=sim.now
+        )
+        if span.is_recording:
+            span.set_attribute("service", self.name)
+            record.trace = span.context
+        span.record_error(record.error)
+        span.end(at=sim.now)
 
     def _start(
         self,
         record: RequestRecord,
         sim: Simulator,
         on_complete: CompletionCallback,
+        tracer=NULL_TRACER,
+        parent=None,
+        queue_span=None,
     ) -> None:
         self._busy += 1
         record.start = sim.now
+        recording = tracer.is_recording
+        if recording and queue_span is not None:
+            queue_span.end(at=sim.now)
         duration = self.service_time.sample(record.request.payload)
+        process_span = NULL_SPAN
+        if recording:
+            process_span = tracer.start_span(
+                "service.process", parent=parent, start_time=sim.now
+            )
+            process_span.set_attribute("service", self.name)
+            process_span.set_attribute("payload", record.request.payload)
+            process_span.set_attribute("busy_workers", float(self._busy))
+            record.trace = process_span.context
 
         def finish() -> None:
             record.end = sim.now
             self._busy -= 1
             self._busy_seconds += record.end - record.start
             self.completed.append(record)
+            if recording and self.stages:
+                self._materialize_stages(process_span, record, tracer)
+            if self.probe is not None:
+                self.probe(tracer, process_span, record)
+            if recording:
+                process_span.end(at=sim.now)
             # hand the freed worker to the queue head BEFORE notifying the
             # caller: a callback that synchronously resubmits must queue
             # behind earlier arrivals, not grab the worker (and the cap
             # would otherwise be breached when both paths start a request)
             if self._waiting:
-                next_record, next_callback = self._waiting.pop(0)
-                self._start(next_record, sim, next_callback)
+                (
+                    next_record,
+                    next_callback,
+                    next_tracer,
+                    next_parent,
+                    next_queue_span,
+                ) = self._waiting.pop(0)
+                self._start(
+                    next_record,
+                    sim,
+                    next_callback,
+                    next_tracer,
+                    next_parent,
+                    next_queue_span,
+                )
             on_complete(record)
 
         sim.schedule(duration, finish)
+
+    def _materialize_stages(self, process_span, record, tracer) -> None:
+        """Cut the finished service interval into stage child spans.
+
+        Weights are normalised so the stage spans partition the
+        processing span *exactly* — the critical-path invariant (segment
+        durations sum to the trace duration) depends on it.
+        """
+        total = sum(self.stages.values())
+        cursor = record.start
+        names = list(self.stages)
+        for i, stage in enumerate(names):
+            if i + 1 < len(names):
+                stage_end = cursor + (
+                    (record.end - record.start) * self.stages[stage] / total
+                )
+            else:
+                stage_end = record.end  # absorb float residue in the last cut
+            tracer.start_span(
+                stage, parent=process_span, start_time=cursor
+            ).set_attribute("service", self.name).end(at=stage_end)
+            cursor = stage_end
 
     def set_concurrency(self, target: int, sim: Simulator) -> None:
         """Re-provision the worker pool (autoscaling, §V dynamic capacity).
@@ -219,8 +334,8 @@ class MicroService:
             raise ValueError("concurrency must be >= 1")
         self.concurrency = target
         while self._busy < self.concurrency and self._waiting:
-            record, callback = self._waiting.pop(0)
-            self._start(record, sim, callback)
+            record, callback, tracer, parent, queue_span = self._waiting.pop(0)
+            self._start(record, sim, callback, tracer, parent, queue_span)
 
     @property
     def busy_workers(self) -> int:

@@ -213,18 +213,40 @@ class AIPipeline:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, from_stage: StageKind = StageKind.DATA_COLLECTION) -> PipelineContext:
+    def run(
+        self,
+        from_stage: StageKind = StageKind.DATA_COLLECTION,
+        tracer=None,
+        parent=None,
+    ) -> PipelineContext:
         """Execute the pipeline from ``from_stage`` to deployment.
 
         Re-running from an intermediate stage is the human-feedback path of
         Fig. 4(b): e.g. after label sanitisation an operator restarts from
         ``LABELING`` without re-collecting data.
+
+        ``tracer``/``parent`` are duck-typed (anything with the
+        ``repro.tracing`` tracer interface): ``ml`` is a bottom-layer
+        substrate that may not import the tracing package, so callers
+        inject the tracer and each stage (body + sensor hooks) becomes a
+        ``pipeline.<stage>`` span; a raising stage marks its span failed
+        before propagating.
         """
         start_index = STAGE_ORDER.index(from_stage)
         for kind in STAGE_ORDER[start_index:]:
             stage = self._stages[kind]
+            span = (
+                None
+                if tracer is None
+                else tracer.start_span(f"pipeline.{kind.value}", parent=parent)
+            )
             started = time.perf_counter()
-            stage.run(self.context)
+            try:
+                stage.run(self.context)
+            except Exception as exc:
+                if span is not None:
+                    span.record_error(f"{type(exc).__name__}: {exc}").end()
+                raise
             duration = time.perf_counter() - started
             self.history.append(
                 StageRecord(
@@ -235,6 +257,12 @@ class AIPipeline:
             )
             for hook in stage.hooks:
                 hook(kind, self.context)
+            if span is not None:
+                span.set_attribute("duration_ms", duration * 1000.0)
+                span.set_attribute(
+                    "model_version", float(self.context.model_version)
+                )
+                span.end()
         return self.context
 
     def retrain(self) -> PipelineContext:

@@ -20,6 +20,8 @@ from repro.telemetry.events import (
     KIND_RESPONSE,
     KIND_SENSOR_READING,
     KIND_UTILIZATION,
+    SPAN_ID_LABEL,
+    TRACE_ID_LABEL,
     TelemetryEvent,
 )
 from repro.telemetry.pipeline import SENSOR_TOPIC, TelemetryPipeline
@@ -38,7 +40,9 @@ __all__ = [
     "KIND_SENSOR_READING",
     "KIND_UTILIZATION",
     "SENSOR_TOPIC",
+    "SPAN_ID_LABEL",
     "Subscription",
+    "TRACE_ID_LABEL",
     "TelemetryBus",
     "TelemetryEvent",
     "TelemetryPipeline",

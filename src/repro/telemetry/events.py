@@ -19,6 +19,14 @@ KIND_RESPONSE = "response"
 KIND_UTILIZATION = "utilization"
 KIND_LOAD_SUMMARY = "load_summary"
 
+#: Well-known label keys linking an event to the span it was published
+#: under (the exemplar join used by ``repro.tracing.exemplars``).  They
+#: are ordinary string labels, so they ride the WAL serialise/replay
+#: round trip unchanged — a slow rollup bucket found days later can still
+#: name the exact traces that produced it.
+TRACE_ID_LABEL = "trace_id"
+SPAN_ID_LABEL = "span_id"
+
 
 @dataclass(slots=True)
 class TelemetryEvent:
@@ -80,6 +88,30 @@ class TelemetryEvent:
                 for k, v in dict(payload.get("labels", {})).items()  # type: ignore[arg-type]
             },
         )
+
+    # -- trace exemplar linking ----------------------------------------------
+
+    def with_trace(self, trace_id: str, span_id: str) -> "TelemetryEvent":
+        """Stamp the span this event was published under (in place).
+
+        Producers call this when (and only when) a span is recording, so
+        the untraced hot path allocates nothing.  The ids are plain
+        labels: the WAL, rollup and query layers treat them like any
+        other label, which is exactly what makes the exemplar join
+        survive serialise → crash → replay.
+        """
+        self.labels[TRACE_ID_LABEL] = trace_id
+        self.labels[SPAN_ID_LABEL] = span_id
+        return self
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The trace this event belongs to, if it was published in a span."""
+        return self.labels.get(TRACE_ID_LABEL)
+
+    @property
+    def span_id(self) -> Optional[str]:
+        return self.labels.get(SPAN_ID_LABEL)
 
     # -- SensorReading bridge -------------------------------------------------
 

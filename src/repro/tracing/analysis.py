@@ -1,0 +1,236 @@
+"""Trace analysis: critical paths, per-operation latency, text waterfalls.
+
+This is where traces stop being storage and start answering the Fig. 8
+question — *where does the time go inside a request*:
+
+* :func:`critical_path` walks a trace tree backwards from the root's end
+  and attributes every second of the trace to exactly one span (the chain
+  of operations that actually gated completion).  The segments partition
+  the root interval, so their durations sum to the trace duration exactly
+  — an invariant the end-to-end test asserts.
+* :func:`latency_summary` aggregates spans by name into p50/p95/p99
+  summaries — the distribution view a single waterfall cannot give.
+* :func:`render_waterfall` / :func:`render_critical_path` print operator-
+  readable views for the ``python -m repro trace`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.tracing.collector import TraceTree
+from repro.tracing.span import STATUS_ERROR, Span
+
+__all__ = [
+    "PathSegment",
+    "SpanLatencyStats",
+    "critical_path",
+    "latency_summary",
+    "render_critical_path",
+    "render_latency_table",
+    "render_waterfall",
+]
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One stretch of the critical path: ``seconds`` of ``span``'s own time.
+
+    A span can contribute several disjoint segments (e.g. a parent's time
+    before and after the child that gated it); ``seconds`` is the length
+    of this segment alone, not the span's total duration.
+    """
+
+    span: Span
+    seconds: float
+
+
+def critical_path(tree: TraceTree) -> List[PathSegment]:
+    """The chain of spans that gated the trace's completion.
+
+    Standard backward walk: starting from the root's end, repeatedly step
+    into the child whose *end* is latest but not after the cursor; the gap
+    between that child's end and the cursor is the parent's own time.
+    Children that finished earlier (parallel work hidden behind the
+    gating child) never appear — that is the point of a critical path.
+
+    The returned segments are ordered root-end → root-start and partition
+    the root interval exactly::
+
+        sum(seg.seconds) == tree.duration
+    """
+    root = tree.root
+    if root is None:
+        raise ValueError(f"trace {tree.trace_id} has no root span")
+
+    segments: List[PathSegment] = []
+
+    def walk(span: Span, window_end: float) -> None:
+        cursor = min(window_end, span.end_time)
+        candidates = sorted(
+            (
+                c
+                for c in tree.children(span)
+                if c.end_time is not None and c.end_time > span.start_time
+            ),
+            key=lambda c: c.end_time,
+            reverse=True,
+        )
+        for child in candidates:
+            if child.end_time > cursor:
+                continue  # finished after the gate: off the path
+            if cursor > child.end_time:
+                segments.append(PathSegment(span, cursor - child.end_time))
+            walk(child, child.end_time)
+            cursor = max(child.start_time, span.start_time)
+        if cursor > span.start_time:
+            segments.append(PathSegment(span, cursor - span.start_time))
+
+    walk(root, root.end_time)
+    return segments
+
+
+@dataclass(frozen=True)
+class SpanLatencyStats:
+    """Latency distribution of one span name across many traces."""
+
+    name: str
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+    errors: int
+
+    @staticmethod
+    def from_durations(
+        name: str, durations: Sequence[float], errors: int = 0
+    ) -> "SpanLatencyStats":
+        values = np.asarray(durations, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError(f"no durations for span name {name!r}")
+        return SpanLatencyStats(
+            name=name,
+            count=int(values.size),
+            mean=float(values.mean()),
+            p50=float(np.percentile(values, 50)),
+            p95=float(np.percentile(values, 95)),
+            p99=float(np.percentile(values, 99)),
+            max=float(values.max()),
+            errors=errors,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean_ms": self.mean * 1000.0,
+            "p50_ms": self.p50 * 1000.0,
+            "p95_ms": self.p95 * 1000.0,
+            "p99_ms": self.p99 * 1000.0,
+            "max_ms": self.max * 1000.0,
+            "errors": self.errors,
+        }
+
+
+def latency_summary(spans: Iterable[Span]) -> List[SpanLatencyStats]:
+    """Group finished spans by name into latency histograms, name order."""
+    durations: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for span in spans:
+        if span.end_time is None:
+            continue
+        durations.setdefault(span.name, []).append(span.duration)
+        if span.status == STATUS_ERROR:
+            errors[span.name] = errors.get(span.name, 0) + 1
+    return [
+        SpanLatencyStats.from_durations(name, values, errors.get(name, 0))
+        for name, values in sorted(durations.items())
+    ]
+
+
+# -- text renderers -----------------------------------------------------------
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.2f}ms"
+
+
+def render_waterfall(tree: TraceTree, width: int = 48) -> str:
+    """Text waterfall: indent = depth, bar = position within the trace.
+
+    One line per span, bars proportional to the root interval — the
+    textual cousin of the Jaeger/Zipkin timeline view.
+    """
+    root = tree.root
+    if root is None:
+        raise ValueError(f"trace {tree.trace_id} has no root span")
+    t0 = root.start_time
+    total = max(root.duration, 1e-12)
+    lines = [
+        f"trace {tree.trace_id} — {len(tree)} span(s), "
+        f"{_format_ms(tree.duration)}"
+        + ("" if tree.ok else "  [ERROR]")
+    ]
+
+    def emit(span: Span, depth: int) -> None:
+        label = ("  " * depth + span.name)[:28].ljust(28)
+        left = int(round((span.start_time - t0) / total * width))
+        extent = max(
+            1, int(round((span.end_time - span.start_time) / total * width))
+        )
+        left = min(left, width - 1)
+        extent = min(extent, width - left)
+        bar = " " * left + "▕" + "█" * (extent - 1) if extent > 1 else (
+            " " * left + "▏"
+        )
+        status = "" if span.ok else f"  !{span.status_message}"
+        lines.append(
+            f"  {label} |{bar.ljust(width)}| "
+            f"{_format_ms(span.duration)}{status}"
+        )
+        for child in tree.children(span):
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_critical_path(segments: Sequence[PathSegment]) -> str:
+    """Critical-path table, largest contributor first, with % of trace."""
+    if not segments:
+        return "critical path: (empty)"
+    total = sum(seg.seconds for seg in segments)
+    by_span: Dict[str, float] = {}
+    order: List[str] = []
+    for seg in segments:
+        if seg.span.name not in by_span:
+            order.append(seg.span.name)
+        by_span[seg.span.name] = by_span.get(seg.span.name, 0.0) + seg.seconds
+    lines = [f"critical path — {_format_ms(total)} total"]
+    for name in sorted(order, key=lambda n: -by_span[n]):
+        share = by_span[name] / total if total > 0 else 0.0
+        lines.append(
+            f"  {name:<28} {_format_ms(by_span[name]):>10}  {share:6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def render_latency_table(stats: Sequence[SpanLatencyStats]) -> str:
+    """Per-span-name latency table (the CLI's histogram view)."""
+    header = (
+        f"  {'span':<28} {'count':>6} {'mean':>9} {'p50':>9} "
+        f"{'p95':>9} {'p99':>9} {'max':>9} {'err':>4}"
+    )
+    lines = [header]
+    for s in stats:
+        lines.append(
+            f"  {s.name:<28} {s.count:>6} {_format_ms(s.mean):>9} "
+            f"{_format_ms(s.p50):>9} {_format_ms(s.p95):>9} "
+            f"{_format_ms(s.p99):>9} {_format_ms(s.max):>9} {s.errors:>4}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""In-process trace collection: finished spans → bounded trace trees.
+
+The collector is the tracing analogue of the telemetry rollup store: a
+bounded, queryable, in-memory view of recent activity.  Spans arrive one
+at a time as they end (out of order — children typically end before their
+parents); the collector groups them by ``trace_id`` and exposes each
+group as a :class:`TraceTree` once its root span has ended.
+
+Retention is by *trace*, FIFO on first-span arrival: once ``max_traces``
+traces are held, starting to record a new trace evicts the oldest.  Spans
+arriving for an already-evicted trace are dropped and counted, never
+resurrected — the same "bounded memory, WAL is the archive" stance the
+rollup layer takes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.tracing.span import Span
+
+__all__ = ["TraceCollector", "TraceTree"]
+
+
+class TraceTree:
+    """All finished spans of one trace, navigable as a tree.
+
+    The *root* is the (unique) span without a parent link.  Ordering is
+    deterministic: children are sorted by start time, then span id, so
+    renders and critical paths are stable across runs.
+    """
+
+    def __init__(self, trace_id: str, spans: List[Span]) -> None:
+        self.trace_id = trace_id
+        self.spans = sorted(
+            spans, key=lambda s: (s.start_time, s.context.span_id)
+        )
+        self._by_id: Dict[str, Span] = {
+            s.context.span_id: s for s in self.spans
+        }
+        self._children: Dict[str, List[Span]] = {}
+        for span in self.spans:
+            if span.parent_span_id is not None:
+                self._children.setdefault(span.parent_span_id, []).append(span)
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The rooting span; ``None`` for orphan fragments (parent span
+        belonged to an evicted trace or never ended)."""
+        roots = [s for s in self.spans if s.parent_span_id is None]
+        return roots[0] if len(roots) == 1 else None
+
+    def children(self, span: Span) -> List[Span]:
+        return list(self._children.get(span.context.span_id, ()))
+
+    def get(self, span_id: str) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    def span_names(self) -> List[str]:
+        return sorted({s.name for s in self.spans})
+
+    @property
+    def duration(self) -> float:
+        """Root duration — *the* latency of the traced request."""
+        root = self.root
+        if root is None:
+            raise RuntimeError(f"trace {self.trace_id} has no root span")
+        return root.duration
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.spans)
+
+    def depth_of(self, span: Span) -> int:
+        depth = 0
+        cursor = span
+        while cursor.parent_span_id is not None:
+            parent = self._by_id.get(cursor.parent_span_id)
+            if parent is None:
+                break
+            cursor = parent
+            depth += 1
+        return depth
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self):
+        return iter(self.spans)
+
+
+class TraceCollector:
+    """Assembles finished spans into bounded, queryable trace trees.
+
+    Parameters
+    ----------
+    max_traces:
+        Retention bound.  The collector never holds more than this many
+        traces; the oldest (by first-span arrival) is evicted to admit a
+        new one, and its late-arriving spans are dropped (counted in
+        ``dropped_spans``).
+    """
+
+    def __init__(self, max_traces: int = 1024) -> None:
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self.max_traces = max_traces
+        self._spans: "OrderedDict[str, List[Span]]" = OrderedDict()
+        self._evicted: set = set()
+        self.finished_spans = 0
+        self.evicted_traces = 0
+        self.dropped_spans = 0
+
+    # -- ingest (called by the tracer) --------------------------------------
+
+    def on_end(self, span: Span) -> None:
+        trace_id = span.context.trace_id
+        if trace_id in self._evicted:
+            self.dropped_spans += 1
+            return
+        bucket = self._spans.get(trace_id)
+        if bucket is None:
+            while len(self._spans) >= self.max_traces:
+                evicted_id, evicted = self._spans.popitem(last=False)
+                self._evicted.add(evicted_id)
+                self.evicted_traces += 1
+                self.dropped_spans += len(evicted)
+            bucket = self._spans[trace_id] = []
+        bucket.append(span)
+        self.finished_spans += 1
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def trace_ids(self) -> List[str]:
+        """Held trace ids, oldest first."""
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __contains__(self, trace_id: str) -> bool:
+        return trace_id in self._spans
+
+    def get(self, trace_id: str) -> TraceTree:
+        if trace_id not in self._spans:
+            raise KeyError(f"unknown (or evicted) trace {trace_id!r}")
+        return TraceTree(trace_id, self._spans[trace_id])
+
+    def traces(self, rooted_only: bool = True) -> List[TraceTree]:
+        """All held traces, oldest first.
+
+        ``rooted_only`` filters to complete trees (root span ended) —
+        what the analysis layer and the CLI want.  Pass ``False`` to also
+        see fragments, e.g. when debugging instrumentation that forgot to
+        end a root.
+        """
+        trees = [TraceTree(tid, spans) for tid, spans in self._spans.items()]
+        if rooted_only:
+            trees = [t for t in trees if t.root is not None]
+        return trees
+
+    def all_spans(self) -> List[Span]:
+        """Every held span (for name-level latency stats), arrival order."""
+        return [span for bucket in self._spans.values() for span in bucket]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "traces": len(self._spans),
+            "finished_spans": self.finished_spans,
+            "evicted_traces": self.evicted_traces,
+            "dropped_spans": self.dropped_spans,
+        }

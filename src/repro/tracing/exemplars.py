@@ -1,0 +1,132 @@
+"""Exemplar linking: from a slow rollup bucket to the traces inside it.
+
+Rollups answer "which source was slow in which window"; traces answer
+"where did one request spend its time".  Exemplars join the two: every
+:class:`~repro.telemetry.events.TelemetryEvent` published inside an
+active span carries ``trace_id``/``span_id`` labels (see
+``TRACE_ID_LABEL``/``SPAN_ID_LABEL``), so any rollup
+:class:`~repro.telemetry.rollup.WindowStat` can be resolved back to the
+raw events that fell in its window and from there to the recorded trace
+trees — the drill-down the AI-observability literature calls metric
+exemplars.
+
+This module sits above ``telemetry`` in the layering contract
+(``tracing → {telemetry}``); it knows both vocabularies and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.telemetry.events import (
+    SPAN_ID_LABEL,
+    TRACE_ID_LABEL,
+    TelemetryEvent,
+)
+from repro.telemetry.rollup import WindowStat
+from repro.tracing.collector import TraceCollector, TraceTree
+
+__all__ = [
+    "ExemplarResolution",
+    "exemplar_trace_ids",
+    "resolve_window",
+    "slowest_windows",
+]
+
+
+def exemplar_trace_ids(
+    events: Iterable[TelemetryEvent],
+    source: Optional[str] = None,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> List[str]:
+    """Trace ids of events in ``[start, end)`` for ``source``, event order.
+
+    Only events that were published inside an active span carry the label;
+    unlabelled events are skipped (they have no trace to offer).  Ids are
+    de-duplicated preserving first-seen order, so the first exemplar is
+    the earliest matching request.
+    """
+    seen: List[str] = []
+    for event in events:
+        if source is not None and event.source != source:
+            continue
+        if start is not None and event.timestamp < start:
+            continue
+        if end is not None and event.timestamp >= end:
+            continue
+        trace_id = event.labels.get(TRACE_ID_LABEL)
+        if trace_id and trace_id not in seen:
+            seen.append(trace_id)
+    return seen
+
+
+def slowest_windows(
+    windows: Sequence[WindowStat], k: int = 1
+) -> List[WindowStat]:
+    """The ``k`` windows with the highest mean value (= slowest buckets
+    when the series is a latency, which is what the gateway publishes)."""
+    return sorted(windows, key=lambda w: (-w.mean, w.window_start))[:k]
+
+
+@dataclass
+class ExemplarResolution:
+    """One rollup window drilled down to its traces."""
+
+    window: WindowStat
+    trace_ids: List[str] = field(default_factory=list)
+    traces: List[TraceTree] = field(default_factory=list)
+    #: Trace ids seen on events but already evicted from the collector.
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> bool:
+        return bool(self.traces)
+
+    def render_text(self) -> str:
+        lines = [
+            f"window [{self.window.window_start:g}s, "
+            f"{self.window.window_end:g}s) source={self.window.source} "
+            f"mean={self.window.mean:.3f} count={self.window.count}"
+        ]
+        if not self.trace_ids:
+            lines.append("  no exemplar-labelled events in this window")
+        for tree in self.traces:
+            root = tree.root
+            status = "ok" if tree.ok else "ERROR"
+            lines.append(
+                f"  trace {tree.trace_id}  {root.name}  "
+                f"{tree.duration * 1000.0:.2f}ms  [{status}]"
+            )
+        for trace_id in self.missing:
+            lines.append(f"  trace {trace_id}  (evicted from collector)")
+        return "\n".join(lines)
+
+
+def resolve_window(
+    window: WindowStat,
+    events: Iterable[TelemetryEvent],
+    collector: TraceCollector,
+    max_traces: int = 8,
+) -> ExemplarResolution:
+    """Resolve one rollup window to the recorded traces behind it.
+
+    ``events`` is any event iterable covering the window — the in-memory
+    stream, or :func:`repro.telemetry.wal.replay` for cold lookups.
+    """
+    trace_ids = exemplar_trace_ids(
+        events,
+        source=window.source,
+        start=window.window_start,
+        end=window.window_end,
+    )[:max_traces]
+    resolution = ExemplarResolution(window=window, trace_ids=trace_ids)
+    for trace_id in trace_ids:
+        if trace_id in collector:
+            tree = collector.get(trace_id)
+            if tree.root is not None:
+                resolution.traces.append(tree)
+                continue
+        resolution.missing.append(trace_id)
+    return resolution

@@ -1,0 +1,273 @@
+"""The span model: one timed, attributed unit of work inside a trace.
+
+A *span* is the tracing analogue of a :class:`~repro.telemetry.events.
+TelemetryEvent`: where an event is one scalar measurement, a span is one
+*interval* — a named operation with a start, an end, a status and a causal
+parent.  Spans from one request share a ``trace_id``; parent links make
+them a tree the collector can assemble and the analysis layer can walk.
+
+Design constraints (mirroring the telemetry layer):
+
+* **No clock reads.**  Spans never call ``time.*`` — timestamps come from
+  the :class:`~repro.tracing.tracer.Tracer`'s injected clock, which in the
+  capacity experiments is the discrete-event simulator's virtual ``now``.
+  The ``tracing-clock-injection`` lint rule enforces this package-wide.
+* **Deterministic ids.**  Trace/span ids are allocated by a seeded counter
+  (see :class:`~repro.tracing.tracer.SpanIdAllocator`), so two runs of the
+  same seeded experiment produce byte-identical traces.
+* **Near-zero cost when off.**  :data:`NULL_SPAN` is a shared, immutable
+  no-op; instrumented call sites check ``span.is_recording`` before doing
+  any per-span work (building attribute dicts, stamping labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "NULL_SPAN",
+    "NullSpan",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_UNSET",
+    "Span",
+    "SpanContext",
+]
+
+#: Span outcome markers.  ``UNSET`` means the span ended without anyone
+#: declaring an outcome; the collector treats it as success.
+STATUS_UNSET = "unset"
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True, slots=True)
+class SpanContext:
+    """The propagatable identity of a span: which trace, which node.
+
+    This is what crosses layer boundaries — the gateway stores it on the
+    :class:`~repro.gateway.services.RequestRecord`, telemetry events carry
+    it as the ``trace_id``/``span_id`` labels, and child spans are started
+    against it.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def trace_labels(self) -> Dict[str, str]:
+        """The exemplar-link labels for a telemetry event published under
+        this span (see ``TRACE_ID_LABEL``/``SPAN_ID_LABEL`` in
+        :mod:`repro.telemetry.events`)."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+
+class Span:
+    """One recorded operation: name, interval, status, attributes, parent.
+
+    Spans are created by a :class:`~repro.tracing.tracer.Tracer` (never
+    directly) and must be explicitly ended — :meth:`end` stamps the end
+    time from the tracer's clock and hands the finished span to the
+    collector.  Attribute values may be floats or short strings; renderers
+    and the analysis layer treat them as opaque annotations.
+    """
+
+    __slots__ = (
+        "name",
+        "context",
+        "parent_span_id",
+        "start_time",
+        "end_time",
+        "status",
+        "status_message",
+        "attributes",
+        "_on_end",
+        "_clock",
+    )
+
+    is_recording = True
+
+    def __init__(
+        self,
+        name: str,
+        context: SpanContext,
+        parent_span_id: Optional[str],
+        start_time: float,
+        clock: Callable[[], float],
+        on_end: Callable[["Span"], None],
+    ) -> None:
+        self.name = name
+        self.context = context
+        self.parent_span_id = parent_span_id
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+        self.status = STATUS_UNSET
+        self.status_message = ""
+        self.attributes: Dict[str, object] = {}
+        self._clock = clock
+        self._on_end = on_end
+
+    # -- recording ----------------------------------------------------------
+
+    def set_attribute(self, key: str, value: object) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def set_status(self, status: str, message: str = "") -> "Span":
+        if status not in (STATUS_UNSET, STATUS_OK, STATUS_ERROR):
+            raise ValueError(f"unknown span status {status!r}")
+        self.status = status
+        self.status_message = message
+        return self
+
+    def record_error(self, message: str) -> "Span":
+        """Mark the span failed and note why (error flag + message)."""
+        self.attributes["error"] = 1.0
+        return self.set_status(STATUS_ERROR, message)
+
+    def end(self, at: Optional[float] = None) -> "Span":
+        """Finish the span at ``at`` (or the clock's current time).
+
+        Ending twice is an error: a span that reaches the collector twice
+        would corrupt trace assembly, and double-ends are always a bug in
+        the instrumentation, not the workload.
+        """
+        if self.end_time is not None:
+            raise RuntimeError(f"span {self.name!r} ended twice")
+        end_at = self._clock() if at is None else at
+        if end_at < self.start_time:
+            raise ValueError(
+                f"span {self.name!r} cannot end at {end_at} before its "
+                f"start {self.start_time}"
+            )
+        self.end_time = end_at
+        self._on_end(self)
+        return self
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def ended(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end; raises while the span is open."""
+        if self.end_time is None:
+            raise RuntimeError(f"span {self.name!r} has not ended")
+        return self.end_time - self.start_time
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self.context.span_id
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_span_id is None
+
+    @property
+    def ok(self) -> bool:
+        return self.status != STATUS_ERROR
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None and self.status != STATUS_ERROR:
+            self.record_error(f"{exc_type.__name__}: {exc}")
+        if self.end_time is None:
+            self.end()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.end_time:.6f}" if self.end_time is not None else "open"
+        return (
+            f"Span({self.name!r}, trace={self.context.trace_id}, "
+            f"span={self.context.span_id}, start={self.start_time:.6f}, "
+            f"end={end}, status={self.status})"
+        )
+
+
+@dataclass(frozen=True)
+class _NullContext(SpanContext):
+    """Context of the null span: empty ids, no labels to stamp."""
+
+    def trace_labels(self) -> Dict[str, str]:
+        return {}
+
+
+class NullSpan:
+    """The do-nothing span: every recording method is a cheap no-op.
+
+    A single shared instance (:data:`NULL_SPAN`) is returned for every
+    ``start_span`` on a :class:`~repro.tracing.tracer.NullTracer`, so an
+    instrumented hot path pays a handful of attribute lookups per request
+    and allocates nothing.  ``is_recording`` is ``False`` so call sites
+    can skip attribute/label construction entirely.
+    """
+
+    __slots__ = ()
+
+    is_recording = False
+    name = ""
+    parent_span_id: Optional[str] = None
+    start_time = 0.0
+    end_time: Optional[float] = 0.0
+    status = STATUS_UNSET
+    status_message = ""
+    context = _NullContext(trace_id="", span_id="")
+
+    def set_attribute(self, key: str, value: object) -> "NullSpan":
+        return self
+
+    def set_status(self, status: str, message: str = "") -> "NullSpan":
+        return self
+
+    def record_error(self, message: str) -> "NullSpan":
+        return self
+
+    def end(self, at: Optional[float] = None) -> "NullSpan":
+        return self
+
+    @property
+    def attributes(self) -> Dict[str, object]:
+        return {}
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+    @property
+    def ended(self) -> bool:
+        return True
+
+    @property
+    def trace_id(self) -> str:
+        return ""
+
+    @property
+    def span_id(self) -> str:
+        return ""
+
+    @property
+    def is_root(self) -> bool:
+        return True
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+#: The shared no-op span handed out by :class:`NullTracer`.
+NULL_SPAN = NullSpan()

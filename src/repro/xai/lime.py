@@ -73,8 +73,26 @@ class LimeTabularExplainer:
         self.alpha = alpha
         self.seed = seed
 
-    def explain(self, x: np.ndarray, class_index: int) -> np.ndarray:
-        """Return (d,) surrogate coefficients for one instance and class."""
+    def explain(
+        self,
+        x: np.ndarray,
+        class_index: int,
+        tracer=None,
+        parent=None,
+    ) -> np.ndarray:
+        """Return (d,) surrogate coefficients for one instance and class.
+
+        ``tracer``/``parent`` are duck-typed (``xai`` may not import the
+        tracing package): when given, the fit runs inside an ``xai.lime``
+        span timed by the tracer's injected clock.
+        """
+        if tracer is not None:
+            with tracer.span("xai.lime", parent=parent) as span:
+                span.set_attribute("n_samples", float(self.n_samples))
+                return self._explain(x, class_index)
+        return self._explain(x, class_index)
+
+    def _explain(self, x: np.ndarray, class_index: int) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64).reshape(-1)
         if x.shape[0] != self.mean_.shape[0]:
             raise ValueError(

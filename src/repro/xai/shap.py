@@ -143,12 +143,29 @@ class KernelShapExplainer:
         return self.background.shape[1]
 
     def shap_values(
-        self, x: np.ndarray, class_index: Optional[int] = None
+        self,
+        x: np.ndarray,
+        class_index: Optional[int] = None,
+        tracer=None,
+        parent=None,
     ) -> np.ndarray:
         """Attribution per feature for one instance.
 
         Returns shape (d,) when ``class_index`` is given, else (d, n_outputs).
+        ``tracer``/``parent`` are duck-typed (``xai`` may not import the
+        tracing package): when given, the whole estimation runs inside an
+        ``xai.shap`` span timed by the tracer's injected clock.
         """
+        if tracer is not None:
+            with tracer.span("xai.shap", parent=parent) as span:
+                span.set_attribute("n_coalitions", float(self.n_coalitions))
+                span.set_attribute("n_features", float(self.n_features))
+                return self._shap_values(x, class_index)
+        return self._shap_values(x, class_index)
+
+    def _shap_values(
+        self, x: np.ndarray, class_index: Optional[int] = None
+    ) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64).reshape(-1)
         d = x.shape[0]
         if d != self.n_features:

@@ -273,3 +273,40 @@ class TestLockDiscipline:
                 self.n += 1
         """
         assert run_rule("lock-discipline", src) == []
+
+
+class TestTracingClockInjection:
+    def test_fires_on_import_time_in_tracing(self):
+        found = run_rule(
+            "tracing-clock-injection", "import time", "tracing/span.py"
+        )
+        assert len(found) == 1
+        assert "injected clock" in found[0].message
+
+    def test_fires_on_datetime_and_from_imports(self):
+        for src in (
+            "import datetime",
+            "from time import perf_counter",
+            "from datetime import datetime",
+            "import time as t",
+        ):
+            assert run_rule(
+                "tracing-clock-injection", src, "tracing/mod.py"
+            ), f"should fire on {src!r}"
+
+    def test_silent_outside_the_tracing_package(self):
+        # core/registry.py legitimately uses perf_counter to time sensors.
+        assert run_rule(
+            "tracing-clock-injection", "import time", "core/registry.py"
+        ) == []
+        assert run_rule(
+            "tracing-clock-injection", "import time", "ml/pipeline.py"
+        ) == []
+
+    def test_silent_on_repro_internal_imports(self):
+        src = """
+        from repro.tracing.span import Span
+        from repro.telemetry.events import TelemetryEvent
+        import numpy as np
+        """
+        assert run_rule("tracing-clock-injection", src, "tracing/x.py") == []

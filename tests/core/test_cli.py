@@ -213,3 +213,48 @@ class TestTelemetryCorruption:
         code = main(["telemetry", "--wal", str(wal_dir)])
         assert code == 2
         assert "damaged mid-stream" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    ARGS = ["trace", "--threads", "4", "--iterations", "2", "--no-probe"]
+
+    def test_text_report_has_all_views(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "traced capacity run" in out
+        assert "slowest trace" in out
+        assert "critical path" in out
+        assert "per-span latency" in out
+        assert "gateway.request" in out
+        assert "0 open" in out
+
+    def test_single_view_selection(self, capsys):
+        assert main(self.ARGS + ["--view", "critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "per-span latency" not in out
+
+    def test_json_mode(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_traces"] == 8
+        assert payload["report"]["samples"] == 8
+        slowest = payload["slowest_trace"]
+        assert sum(seg["ms"] for seg in slowest["critical_path"]) == pytest.approx(
+            slowest["duration_ms"]
+        )
+        assert payload["slowest_window"]["resolved"] is True
+        assert payload["collector"]["traces"] == 8
+        names = {row["name"] for row in payload["span_latency"]}
+        assert "service.process" in names
+
+    def test_probe_adds_sensor_spans(self, capsys):
+        assert main(["trace", "--threads", "2", "--iterations", "1",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in payload["span_latency"]}
+        assert "sensor.poll" in names
+
+    def test_unknown_route_exits_2(self, capsys):
+        assert main(["trace", "--route", "nope"]) == 2
+        assert "trace scenario failed" in capsys.readouterr().err

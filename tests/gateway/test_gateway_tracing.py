@@ -1,0 +1,180 @@
+"""Tracing through the gateway: happy path, 404s, queue-full rejections.
+
+The error-path contract (ISSUE satellite): every dispatch — including the
+ones that never reach a worker — must close all of its spans with the
+right status and leak nothing in the tracer.
+"""
+
+import pytest
+
+from repro.gateway.gateway import APIGateway
+from repro.gateway.services import (
+    Machine,
+    MicroService,
+    Request,
+    ServiceTimeModel,
+)
+from repro.gateway.simulation import Simulator
+from repro.tracing import STATUS_ERROR, TraceCollector, Tracer
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    collector = TraceCollector()
+    tracer = Tracer(clock=lambda: sim.now, collector=collector, seed=0)
+    gateway = APIGateway(sim, overhead_seconds=0.002, tracer=tracer)
+    service = MicroService(
+        name="svc",
+        machine=Machine("host", vcpus=4, ram_gb=4),
+        service_time=ServiceTimeModel({"tabular": 0.1}, jitter=0.0, seed=0),
+        concurrency=1,
+        queue_capacity=1,
+        stages={"pipeline.preprocess": 1.0, "pipeline.predict": 3.0},
+    )
+    gateway.register(service)
+    return sim, gateway, tracer, collector, service
+
+
+def dispatch(sim, gateway, route="svc", n=1, payload="tabular"):
+    records = []
+    for i in range(n):
+        request = Request(request_id=i, route=route, payload=payload)
+        sim.schedule(
+            0.0,
+            (lambda r: lambda: gateway.dispatch(r, records.append))(request),
+        )
+    sim.run()
+    return records
+
+
+class TestHappyPathTracing:
+    def test_one_rooted_trace_with_all_legs(self, rig):
+        sim, gateway, tracer, collector, _ = rig
+        [record] = dispatch(sim, gateway)
+        assert record.success
+        assert record.trace is not None
+        tree = collector.get(record.trace.trace_id)
+        assert tree.root.name == "gateway.request"
+        assert tree.span_names() == [
+            "gateway.request",
+            "gateway.respond",
+            "gateway.route",
+            "pipeline.predict",
+            "pipeline.preprocess",
+            "service.process",
+        ]
+        assert tree.ok
+        assert tree.duration == pytest.approx(record.response_time)
+        assert tracer.active_spans == 0
+
+    def test_stage_spans_partition_the_processing_span(self, rig):
+        sim, gateway, _, collector, _ = rig
+        [record] = dispatch(sim, gateway)
+        tree = collector.get(record.trace.trace_id)
+        process = next(s for s in tree if s.name == "service.process")
+        stages = tree.children(process)
+        assert [s.name for s in stages] == [
+            "pipeline.preprocess",
+            "pipeline.predict",
+        ]
+        assert stages[0].start_time == process.start_time
+        assert stages[0].end_time == stages[1].start_time
+        assert stages[1].end_time == process.end_time
+        # 1:3 weights over a deterministic 0.1s service time
+        assert stages[0].duration == pytest.approx(0.025)
+        assert stages[1].duration == pytest.approx(0.075)
+
+    def test_queued_request_gets_a_queue_span(self, rig):
+        sim, gateway, tracer, collector, _ = rig
+        records = dispatch(sim, gateway, n=2)  # concurrency 1: second queues
+        assert all(r.success for r in records)
+        queued = collector.get(records[1].trace.trace_id)
+        queue_span = next(s for s in queued if s.name == "service.queue")
+        process = next(s for s in queued if s.name == "service.process")
+        assert queue_span.end_time == process.start_time
+        assert queue_span.duration == pytest.approx(0.1)  # first request's run
+        assert tracer.active_spans == 0
+
+    def test_separate_requests_get_separate_traces(self, rig):
+        sim, gateway, _, collector, _ = rig
+        records = dispatch(sim, gateway, n=2)
+        assert records[0].trace.trace_id != records[1].trace.trace_id
+        assert len(collector) == 2
+
+
+class TestErrorPathTracing:
+    def test_unknown_route_closes_both_spans_with_error(self, rig):
+        sim, gateway, tracer, collector, _ = rig
+        [record] = dispatch(sim, gateway, route="nope")
+        assert not record.success
+        assert "404" in record.error
+        assert record.trace is not None
+        tree = collector.get(record.trace.trace_id)
+        assert tree.span_names() == ["gateway.request", "gateway.route"]
+        assert not tree.ok
+        assert tree.root.status == STATUS_ERROR
+        assert "404" in tree.root.status_message
+        route_span = tree.children(tree.root)[0]
+        assert route_span.status == STATUS_ERROR
+        assert tracer.active_spans == 0
+
+    def test_queue_full_yields_reject_span_and_error_root(self, rig):
+        sim, gateway, tracer, collector, _ = rig
+        # concurrency 1 + queue 1: the third simultaneous arrival bounces.
+        records = dispatch(sim, gateway, n=3)
+        failed = [r for r in records if not r.success]
+        assert len(failed) == 1
+        assert "503" in failed[0].error
+        tree = collector.get(failed[0].trace.trace_id)
+        assert "service.reject" in tree.span_names()
+        reject = next(s for s in tree if s.name == "service.reject")
+        assert reject.status == STATUS_ERROR
+        assert reject.duration == 0.0  # fail-fast: rejected on arrival
+        assert tree.root.status == STATUS_ERROR
+        assert tracer.active_spans == 0
+        # the two accepted requests still traced cleanly
+        for record in records:
+            if record.success:
+                assert collector.get(record.trace.trace_id).ok
+
+    def test_unsupported_payload_rejects_with_error_span(self, rig):
+        sim, gateway, tracer, collector, _ = rig
+        [record] = dispatch(sim, gateway, payload="image")
+        assert not record.success
+        tree = collector.get(record.trace.trace_id)
+        reject = next(s for s in tree if s.name == "service.reject")
+        assert reject.status == STATUS_ERROR
+        assert "unsupported payload" in reject.status_message
+        assert tree.root.status == STATUS_ERROR
+        assert tracer.active_spans == 0
+
+    def test_no_collector_growth_beyond_requests(self, rig):
+        sim, gateway, tracer, collector, _ = rig
+        dispatch(sim, gateway, n=3)
+        dispatch(sim, gateway, route="nope")
+        assert len(collector) == 4  # one trace per dispatch, nothing extra
+        assert collector.dropped_spans == 0
+        assert tracer.active_spans == 0
+
+
+class TestNullTracerDefault:
+    def test_untraced_gateway_records_no_trace(self):
+        sim = Simulator()
+        gateway = APIGateway(sim)
+        service = MicroService(
+            name="svc",
+            machine=Machine("host", vcpus=2, ram_gb=4),
+            service_time=ServiceTimeModel({"tabular": 0.1}, jitter=0.0),
+        )
+        gateway.register(service)
+        records = []
+        sim.schedule(
+            0.0,
+            lambda: gateway.dispatch(
+                Request(request_id=0, route="svc"), records.append
+            ),
+        )
+        sim.run()
+        assert records[0].success
+        assert records[0].trace is None

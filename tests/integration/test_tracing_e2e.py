@@ -1,0 +1,148 @@
+"""End-to-end tracing acceptance: the full observability story at once.
+
+Drives a capacity-load scenario on the paper deployment with tracing on
+(`run_traced_scenario`, the engine behind ``python -m repro trace``) and
+asserts the ISSUE's acceptance criteria:
+
+* every gateway request yields exactly one rooted trace tree containing
+  gateway, service, pipeline-stage and sensor spans;
+* the critical path partitions each trace exactly (segments sum to the
+  trace duration);
+* the slowest rollup bucket resolves, via the exemplar ``trace_id``
+  labels on telemetry events, to traces actually held by the collector.
+"""
+
+import pytest
+
+from repro.telemetry import KIND_RESPONSE
+from repro.trace_scenario import run_traced_scenario
+from repro.tracing import critical_path, latency_summary
+
+N_THREADS = 6
+ITERATIONS = 2
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return run_traced_scenario(
+        route="shap",
+        n_threads=N_THREADS,
+        iterations=ITERATIONS,
+        seed=0,
+        window_seconds=0.25,
+    )
+
+
+class TestTraceCompleteness:
+    def test_one_rooted_trace_per_request(self, scenario):
+        assert scenario.report.n_requests == N_THREADS * ITERATIONS
+        assert scenario.report.n_errors == 0
+        trees = scenario.traces()
+        assert len(trees) == N_THREADS * ITERATIONS
+        for tree in trees:
+            assert tree.root is not None
+            assert tree.root.name == "gateway.request"
+
+    def test_every_layer_appears_in_every_trace(self, scenario):
+        for tree in scenario.traces():
+            names = set(tree.span_names())
+            assert {"gateway.request", "gateway.route", "gateway.respond"} <= names
+            assert "service.process" in names
+            assert {
+                "pipeline.preprocess",
+                "pipeline.predict",
+                "pipeline.explain",
+            } <= names
+            assert "sensor.poll" in names
+
+    def test_trace_duration_matches_published_response_time(self, scenario):
+        # The response event's value is the measured latency in ms; its
+        # exemplar label must name a trace of exactly that duration.
+        response_ms = {
+            e.trace_id: e.value
+            for e in scenario.events
+            if e.kind == KIND_RESPONSE
+        }
+        assert len(response_ms) == N_THREADS * ITERATIONS
+        for tree in scenario.traces():
+            assert tree.duration * 1000.0 == pytest.approx(
+                response_ms[tree.trace_id]
+            )
+
+    def test_no_span_leaks_and_no_drops(self, scenario):
+        assert scenario.tracer.active_spans == 0
+        assert scenario.collector.dropped_spans == 0
+        assert scenario.collector.evicted_traces == 0
+
+
+class TestCriticalPath:
+    def test_critical_path_partitions_every_trace(self, scenario):
+        for tree in scenario.traces():
+            segments = critical_path(tree)
+            total = sum(seg.seconds for seg in segments)
+            assert total == pytest.approx(tree.duration, abs=1e-9)
+            assert all(seg.seconds >= 0.0 for seg in segments)
+
+    def test_service_time_dominates_under_load(self, scenario):
+        # With 6 closed-loop users on shap, queueing + processing gate the
+        # response; the gateway legs are 2ms overhead each.
+        tree = scenario.traces()[-1]
+        contributions = {}
+        for seg in critical_path(tree):
+            contributions[seg.span.name] = (
+                contributions.get(seg.span.name, 0.0) + seg.seconds
+            )
+        gateway_share = sum(
+            v for k, v in contributions.items() if k.startswith("gateway.")
+        )
+        assert gateway_share < 0.5 * tree.duration
+
+    def test_latency_summary_covers_all_span_names(self, scenario):
+        stats = latency_summary(scenario.collector.all_spans())
+        names = {s.name for s in stats}
+        assert {
+            "gateway.request",
+            "service.process",
+            "pipeline.explain",
+            "sensor.poll",
+        } <= names
+        by_name = {s.name: s for s in stats}
+        assert by_name["gateway.request"].count == N_THREADS * ITERATIONS
+        # Two sensors polled per completed request.
+        assert by_name["sensor.poll"].count == 2 * N_THREADS * ITERATIONS
+        assert by_name["gateway.request"].p50 <= by_name["gateway.request"].p99
+
+
+class TestExemplarResolution:
+    def test_response_events_carry_trace_labels(self, scenario):
+        responses = [
+            e for e in scenario.events if e.kind == KIND_RESPONSE
+        ]
+        assert len(responses) == N_THREADS * ITERATIONS
+        trace_ids = {t.trace_id for t in scenario.traces()}
+        for event in responses:
+            assert event.trace_id in trace_ids
+
+    def test_slowest_window_resolves_to_recorded_traces(self, scenario):
+        windows = scenario.route_windows()
+        assert windows, "load run must close at least one rollup window"
+        resolution = scenario.slowest_window_resolution()
+        assert resolution is not None
+        assert resolution.trace_ids, "slow bucket must offer exemplars"
+        assert resolution.resolved
+        assert resolution.missing == []
+        window = resolution.window
+        for tree in resolution.traces:
+            # the exemplar really belongs to the bucket that named it
+            event = next(
+                e for e in scenario.events if e.trace_id == tree.trace_id
+            )
+            assert window.window_start <= event.timestamp < window.window_end
+
+    def test_resolved_traces_are_fully_navigable(self, scenario):
+        resolution = scenario.slowest_window_resolution()
+        for tree in resolution.traces:
+            assert tree.root.name == "gateway.request"
+            assert sum(
+                seg.seconds for seg in critical_path(tree)
+            ) == pytest.approx(tree.duration, abs=1e-9)

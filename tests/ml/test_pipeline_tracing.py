@@ -1,0 +1,86 @@
+"""Duck-typed tracing through pipeline stages (ml imports no tracing)."""
+
+import pytest
+
+from repro.ml import DecisionTreeClassifier
+from repro.ml.pipeline import AIPipeline, STAGE_ORDER, StageKind
+from repro.tracing import STATUS_ERROR, TraceCollector, Tracer
+
+
+def make_pipeline(blobs, **kwargs):
+    X, y = blobs
+    return AIPipeline(
+        data_provider=lambda: (X, y),
+        model_factory=lambda: DecisionTreeClassifier(max_depth=4),
+        seed=0,
+        **kwargs,
+    )
+
+
+def make_tracer():
+    collector = TraceCollector()
+    ticks = iter(range(10_000))
+
+    # monotonically ticking clock: stage spans get distinct start times,
+    # so child ordering in the tree mirrors execution order
+    tracer = Tracer(
+        clock=lambda: float(next(ticks)), collector=collector, seed=0
+    )
+    return tracer, collector
+
+
+class TestStageSpans:
+    def test_every_stage_becomes_a_child_span(self, blobs):
+        tracer, collector = make_tracer()
+        root = tracer.start_span("run")
+        make_pipeline(blobs).run(tracer=tracer, parent=root)
+        root.end()
+        tree = collector.get(root.trace_id)
+        stages = tree.children(tree.root)
+        assert [s.name for s in stages] == [
+            f"pipeline.{kind.value}" for kind in STAGE_ORDER
+        ]
+        for span in stages:
+            assert span.attributes["duration_ms"] >= 0.0
+        assert stages[-1].attributes["model_version"] == 1.0
+        assert tracer.active_spans == 0
+
+    def test_partial_rerun_spans_only_later_stages(self, blobs):
+        tracer, collector = make_tracer()
+        pipeline = make_pipeline(blobs)
+        pipeline.run()  # untraced first pass builds the state
+        root = tracer.start_span("rerun")
+        pipeline.run(from_stage=StageKind.TRAINING, tracer=tracer, parent=root)
+        root.end()
+        tree = collector.get(root.trace_id)
+        assert [s.name for s in tree.children(tree.root)] == [
+            "pipeline.training",
+            "pipeline.evaluation",
+            "pipeline.deployment",
+        ]
+
+    def test_raising_stage_marks_its_span_and_propagates(self):
+        tracer, collector = make_tracer()
+
+        def broken_provider():
+            raise IOError("feed offline")
+
+        pipeline = AIPipeline(
+            data_provider=broken_provider,
+            model_factory=lambda: DecisionTreeClassifier(max_depth=2),
+            seed=0,
+        )
+        root = tracer.start_span("run")
+        with pytest.raises(IOError):
+            pipeline.run(tracer=tracer, parent=root)
+        root.end()
+        tree = collector.get(root.trace_id)
+        [stage_span] = tree.children(tree.root)
+        assert stage_span.name == "pipeline.data_collection"
+        assert stage_span.status == STATUS_ERROR
+        assert "OSError" in stage_span.status_message
+        assert tracer.active_spans == 0
+
+    def test_untraced_run_unchanged(self, blobs):
+        ctx = make_pipeline(blobs).run()
+        assert ctx.deployed

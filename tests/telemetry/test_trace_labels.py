@@ -1,0 +1,89 @@
+"""Trace exemplar labels on events survive the full durability path.
+
+The exemplar join (rollup bucket → trace) only works if ``trace_id`` /
+``span_id`` ride every serialisation boundary losslessly: JSON dict
+round trip, WAL append → replay, and replay after a crash mid-write.
+"""
+
+from repro.telemetry import (
+    SPAN_ID_LABEL,
+    TRACE_ID_LABEL,
+    TelemetryEvent,
+    WriteAheadLog,
+    replay,
+)
+
+TRACE = "8c9f86d5b0a1e2f3"
+SPAN = "0123456789abcdef"
+
+
+def traced_event(i=0, trace_id=TRACE, span_id=SPAN):
+    return TelemetryEvent(
+        source="shap",
+        value=120.0 + i,
+        timestamp=float(i),
+        kind="response",
+        attrs={"queue_ms": 3.0},
+        labels={"route": "shap"},
+    ).with_trace(trace_id, span_id)
+
+
+class TestEventStamping:
+    def test_with_trace_sets_labels_and_properties(self):
+        event = traced_event()
+        assert event.labels[TRACE_ID_LABEL] == TRACE
+        assert event.labels[SPAN_ID_LABEL] == SPAN
+        assert event.trace_id == TRACE
+        assert event.span_id == SPAN
+
+    def test_unstamped_event_has_no_trace(self):
+        event = TelemetryEvent(source="s", value=1.0, timestamp=0.0)
+        assert event.trace_id is None
+        assert event.span_id is None
+
+    def test_restamping_overwrites(self):
+        event = traced_event().with_trace("aaaa", "bbbb")
+        assert event.trace_id == "aaaa"
+        assert event.span_id == "bbbb"
+
+    def test_json_dict_round_trip_is_lossless(self):
+        event = traced_event()
+        clone = TelemetryEvent.from_json_dict(event.to_json_dict())
+        assert clone.trace_id == TRACE
+        assert clone.span_id == SPAN
+        assert clone.labels == event.labels
+
+
+class TestWalRoundTrip:
+    def test_labels_survive_append_and_replay(self, tmp_path):
+        events = [traced_event(i, trace_id=f"{i:016x}") for i in range(8)]
+        with WriteAheadLog(tmp_path) as wal:
+            for event in events:
+                wal.append(event)
+        replayed = list(replay(tmp_path))
+        assert len(replayed) == 8
+        for original, clone in zip(events, replayed):
+            assert clone.trace_id == original.trace_id
+            assert clone.span_id == original.span_id
+            assert clone.labels == original.labels
+            assert clone.attrs == original.attrs
+
+    def test_mixed_traced_and_untraced_streams(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(traced_event(0))
+            wal.append(TelemetryEvent(source="shap", value=1.0, timestamp=1.0))
+        traced, bare = replay(tmp_path)
+        assert traced.trace_id == TRACE
+        assert bare.trace_id is None
+        assert TRACE_ID_LABEL not in bare.labels
+
+    def test_labels_survive_a_torn_tail(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(traced_event(0))
+            wal.append(traced_event(1, trace_id="b" * 16))
+        # Simulate a crash mid-append: garbage after the durable records.
+        [segment] = list(tmp_path.glob("wal-*.jsonl"))
+        with open(segment, "a", encoding="utf-8") as fh:
+            fh.write('{"half written')
+        replayed = list(replay(tmp_path))
+        assert [e.trace_id for e in replayed] == [TRACE, "b" * 16]

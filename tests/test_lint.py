@@ -44,6 +44,7 @@ class TestLintSelfCheck:
             "swallowed-except",
             "unseeded-rng",
             "wallclock-in-compute",
+            "tracing-clock-injection",
             "all-drift",
             "shadowed-builtin",
             "lock-discipline",
@@ -82,6 +83,10 @@ class TestLintSelfCheck:
             "wallclock-in-compute": (
                 "import time\nx = time.time()",
                 "ml/mod.py",
+            ),
+            "tracing-clock-injection": (
+                "import time",
+                "tracing/mod.py",
             ),
             "all-drift": ("__all__ = ['ghost']", "mod.py"),
             "shadowed-builtin": ("def f(input): pass", "mod.py"),

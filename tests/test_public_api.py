@@ -15,6 +15,8 @@ PACKAGES = [
     "repro.gateway",
     "repro.federated",
     "repro.privacy",
+    "repro.telemetry",
+    "repro.tracing",
 ]
 
 

@@ -1,0 +1,214 @@
+"""Tests for critical paths, latency summaries and text renderers."""
+
+import pytest
+
+from repro.tracing import (
+    TraceCollector,
+    Tracer,
+    critical_path,
+    latency_summary,
+    render_critical_path,
+    render_latency_table,
+    render_waterfall,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def build(spec):
+    """Build one trace from ``(name, parent_key, start, end)`` rows.
+
+    ``parent_key`` names an earlier row; the first row is the root.
+    Returns the assembled tree.
+    """
+    collector = TraceCollector()
+    tracer = Tracer(clock=FakeClock(), collector=collector, seed=0)
+    spans = {}
+    for name, parent_key, start, end in spec:
+        parent = spans[parent_key] if parent_key else None
+        spans[name] = tracer.start_span(name, parent=parent, start_time=start)
+    for name, _, _, end in reversed(spec):
+        spans[name].end(at=end)
+    trace_id = next(iter(spans.values())).trace_id
+    return collector.get(trace_id)
+
+
+def assert_partitions(tree, segments):
+    assert sum(s.seconds for s in segments) == pytest.approx(
+        tree.duration, abs=1e-12
+    )
+    assert all(s.seconds >= 0.0 for s in segments)
+
+
+class TestCriticalPath:
+    def test_sequential_children_partition_the_root(self):
+        tree = build(
+            [
+                ("root", None, 0.0, 1.0),
+                ("a", "root", 0.1, 0.4),
+                ("b", "root", 0.4, 0.9),
+            ]
+        )
+        segments = critical_path(tree)
+        assert_partitions(tree, segments)
+        contributions = {}
+        for seg in segments:
+            contributions[seg.span.name] = (
+                contributions.get(seg.span.name, 0.0) + seg.seconds
+            )
+        # Root owns the gaps before a and after b: 0.1 + 0.1.
+        assert contributions == {
+            "root": pytest.approx(0.2),
+            "a": pytest.approx(0.3),
+            "b": pytest.approx(0.5),
+        }
+
+    def test_parallel_children_only_gate_goes_on_the_path(self):
+        tree = build(
+            [
+                ("root", None, 0.0, 1.0),
+                ("fast", "root", 0.0, 0.3),
+                ("slow", "root", 0.0, 1.0),
+            ]
+        )
+        segments = critical_path(tree)
+        assert_partitions(tree, segments)
+        names = {seg.span.name for seg in segments}
+        assert "slow" in names
+        assert "fast" not in names  # hidden behind the gating sibling
+
+    def test_nested_grandchildren_walk_recursively(self):
+        tree = build(
+            [
+                ("root", None, 0.0, 1.0),
+                ("mid", "root", 0.2, 0.8),
+                ("leaf", "mid", 0.3, 0.7),
+            ]
+        )
+        segments = critical_path(tree)
+        assert_partitions(tree, segments)
+        contributions = {}
+        for seg in segments:
+            contributions[seg.span.name] = (
+                contributions.get(seg.span.name, 0.0) + seg.seconds
+            )
+        assert contributions["leaf"] == pytest.approx(0.4)
+        assert contributions["mid"] == pytest.approx(0.2)
+        assert contributions["root"] == pytest.approx(0.4)
+
+    def test_zero_duration_child_at_parent_end_is_kept(self):
+        # A sensor probe materialised at process end: start == end == cursor.
+        tree = build(
+            [
+                ("root", None, 0.0, 1.0),
+                ("probe", "root", 1.0, 1.0),
+            ]
+        )
+        segments = critical_path(tree)
+        assert_partitions(tree, segments)
+
+    def test_single_span_trace(self):
+        tree = build([("root", None, 0.0, 0.5)])
+        segments = critical_path(tree)
+        assert len(segments) == 1
+        assert segments[0].span.name == "root"
+        assert segments[0].seconds == pytest.approx(0.5)
+
+    def test_unrooted_tree_raises(self):
+        collector = TraceCollector()
+        tracer = Tracer(clock=FakeClock(), collector=collector, seed=0)
+        root = tracer.start_span("root")
+        tracer.start_span("child", parent=root).end()
+        tree = collector.get(root.trace_id)
+        with pytest.raises(ValueError, match="no root"):
+            critical_path(tree)
+
+
+class TestLatencySummary:
+    def test_groups_by_name_with_percentiles_and_errors(self):
+        collector = TraceCollector()
+        tracer = Tracer(clock=FakeClock(), collector=collector, seed=0)
+        for i in range(10):
+            tracer.start_span("op", start_time=0.0).end(at=(i + 1) / 10)
+        bad = tracer.start_span("op", start_time=0.0)
+        bad.record_error("boom")
+        bad.end(at=2.0)
+        tracer.start_span("other", start_time=0.0).end(at=0.5)
+        stats = latency_summary(collector.all_spans())
+        assert [s.name for s in stats] == ["op", "other"]
+        op = stats[0]
+        assert op.count == 11
+        assert op.errors == 1
+        assert op.max == pytest.approx(2.0)
+        assert op.p50 <= op.p95 <= op.p99 <= op.max
+        row = op.to_dict()
+        assert row["max_ms"] == pytest.approx(2000.0)
+
+    def test_open_spans_are_skipped(self):
+        tracer = Tracer(clock=FakeClock(), seed=0)
+        open_span = tracer.start_span("open")
+        done = tracer.start_span("done").end()
+        stats = latency_summary([open_span, done])
+        assert [s.name for s in stats] == ["done"]
+
+    def test_empty_durations_raise(self):
+        from repro.tracing import SpanLatencyStats
+
+        with pytest.raises(ValueError):
+            SpanLatencyStats.from_durations("op", [])
+
+
+class TestRenderers:
+    def test_waterfall_lists_every_span_with_bars(self):
+        tree = build(
+            [
+                ("root", None, 0.0, 1.0),
+                ("a", "root", 0.1, 0.4),
+                ("b", "root", 0.4, 0.9),
+            ]
+        )
+        text = render_waterfall(tree, width=32)
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(tree)
+        assert tree.trace_id in lines[0]
+        assert "root" in lines[1]
+        assert "a" in text and "b" in text
+        assert "ERROR" not in text
+
+    def test_waterfall_flags_errors(self):
+        collector = TraceCollector()
+        tracer = Tracer(clock=FakeClock(), collector=collector, seed=0)
+        root = tracer.start_span("root", start_time=0.0)
+        root.record_error("bad payload")
+        root.end(at=1.0)
+        text = render_waterfall(collector.get(root.trace_id))
+        assert "[ERROR]" in text
+        assert "bad payload" in text
+
+    def test_critical_path_table_orders_by_contribution(self):
+        tree = build(
+            [
+                ("root", None, 0.0, 1.0),
+                ("big", "root", 0.0, 0.9),
+            ]
+        )
+        text = render_critical_path(critical_path(tree))
+        lines = text.splitlines()
+        assert "1000.00ms total" in lines[0]
+        assert lines[1].strip().startswith("big")
+        assert "90.0%" in lines[1]
+        assert render_critical_path([]) == "critical path: (empty)"
+
+    def test_latency_table_has_header_and_rows(self):
+        tracer = Tracer(clock=FakeClock(), seed=0)
+        spans = [tracer.start_span("op", start_time=0.0).end(at=0.1)]
+        text = render_latency_table(latency_summary(spans))
+        lines = text.splitlines()
+        assert "p95" in lines[0]
+        assert "op" in lines[1]

@@ -1,0 +1,131 @@
+"""Tests for the bounded trace collector and trace trees."""
+
+import pytest
+
+from repro.tracing import TraceCollector, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def tracer_and_clock():
+    collector = TraceCollector(max_traces=4)
+    clock = FakeClock()
+    return Tracer(clock=clock, collector=collector, seed=0), clock, collector
+
+
+def finish_trace(tracer, clock, name="req", children=2):
+    """One root with ``children`` sequential children, all ended."""
+    root = tracer.start_span(name)
+    for i in range(children):
+        clock.now += 0.1
+        child = tracer.start_span(f"{name}.step{i}", parent=root)
+        clock.now += 0.1
+        child.end()
+    root.end()
+    return root
+
+
+class TestTraceTree:
+    def test_tree_assembly_and_navigation(self, tracer_and_clock):
+        tracer, clock, collector = tracer_and_clock
+        root = finish_trace(tracer, clock, children=3)
+        tree = collector.get(root.trace_id)
+        assert len(tree) == 4
+        assert tree.root.name == "req"
+        assert [c.name for c in tree.children(tree.root)] == [
+            "req.step0",
+            "req.step1",
+            "req.step2",
+        ]
+        assert tree.get(root.span_id) is root
+        assert tree.span_names() == [
+            "req",
+            "req.step0",
+            "req.step1",
+            "req.step2",
+        ]
+        assert tree.duration == root.duration
+        assert tree.ok
+        assert tree.depth_of(tree.root) == 0
+        assert tree.depth_of(tree.children(tree.root)[0]) == 1
+
+    def test_children_sorted_by_start_time(self, tracer_and_clock):
+        tracer, clock, collector = tracer_and_clock
+        root = tracer.start_span("req")
+        clock.now = 0.5
+        late = tracer.start_span("late", parent=root)
+        late.end()
+        # An earlier child that *ends* after the late one started.
+        early = tracer.start_span("early", parent=root, start_time=0.1)
+        early.end()
+        root.end()
+        tree = collector.get(root.trace_id)
+        assert [c.name for c in tree.children(tree.root)] == ["early", "late"]
+
+    def test_unrooted_fragment_has_no_root(self, tracer_and_clock):
+        tracer, clock, collector = tracer_and_clock
+        root = tracer.start_span("req")
+        tracer.start_span("child", parent=root).end()
+        # Root never ends: the fragment is queryable but not a tree.
+        tree = collector.get(root.trace_id)
+        assert tree.root is None
+        with pytest.raises(RuntimeError, match="no root"):
+            _ = tree.duration
+
+
+class TestCollector:
+    def test_fifo_eviction_at_capacity(self, tracer_and_clock):
+        tracer, clock, collector = tracer_and_clock
+        roots = [finish_trace(tracer, clock, name=f"t{i}") for i in range(6)]
+        assert len(collector) == 4
+        assert collector.trace_ids == [r.trace_id for r in roots[2:]]
+        assert roots[0].trace_id not in collector
+        assert collector.evicted_traces == 2
+
+    def test_late_spans_of_evicted_traces_are_dropped(self, tracer_and_clock):
+        tracer, clock, collector = tracer_and_clock
+        doomed = tracer.start_span("doomed")
+        tracer.start_span("doomed.child", parent=doomed).end()
+        for i in range(4):
+            finish_trace(tracer, clock, name=f"t{i}", children=0)
+        assert doomed.trace_id not in collector
+        dropped_before = collector.dropped_spans
+        doomed.end()  # arrives after its trace was evicted
+        assert collector.dropped_spans == dropped_before + 1
+        assert doomed.trace_id not in collector
+
+    def test_rooted_only_filtering(self, tracer_and_clock):
+        tracer, clock, collector = tracer_and_clock
+        finish_trace(tracer, clock, name="done")
+        dangling = tracer.start_span("dangling")
+        tracer.start_span("dangling.child", parent=dangling).end()
+        assert [t.root.name for t in collector.traces()] == ["done"]
+        assert len(collector.traces(rooted_only=False)) == 2
+
+    def test_get_unknown_trace_raises(self, tracer_and_clock):
+        _, _, collector = tracer_and_clock
+        with pytest.raises(KeyError):
+            collector.get("deadbeefdeadbeef")
+
+    def test_stats_and_all_spans(self, tracer_and_clock):
+        tracer, clock, collector = tracer_and_clock
+        finish_trace(tracer, clock, children=2)
+        stats = collector.stats()
+        assert stats == {
+            "traces": 1,
+            "finished_spans": 3,
+            "evicted_traces": 0,
+            "dropped_spans": 0,
+        }
+        assert len(collector.all_spans()) == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceCollector(max_traces=0)

@@ -1,0 +1,137 @@
+"""Tests for exemplar linking: rollup windows → events → trace trees."""
+
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.rollup import WindowStat
+from repro.tracing import (
+    TraceCollector,
+    Tracer,
+    exemplar_trace_ids,
+    resolve_window,
+    slowest_windows,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def event(source, timestamp, trace_id=None, span_id="feedfacefeedface"):
+    evt = TelemetryEvent(source=source, value=1.0, timestamp=timestamp)
+    if trace_id is not None:
+        evt.with_trace(trace_id, span_id)
+    return evt
+
+
+def window(source="shap", start=0.0, seconds=1.0, mean=1.0, count=4):
+    return WindowStat(
+        source=source,
+        window_start=start,
+        window_seconds=seconds,
+        count=count,
+        mean=mean,
+        min=mean,
+        max=mean,
+        p50=mean,
+        p95=mean,
+    )
+
+
+class TestExemplarTraceIds:
+    def test_filters_by_source_and_time_and_dedups(self):
+        events = [
+            event("shap", 0.1, "aaaa"),
+            event("shap", 0.2, "bbbb"),
+            event("shap", 0.3, "aaaa"),  # duplicate: first-seen wins
+            event("lime", 0.4, "cccc"),  # wrong source
+            event("shap", 1.5, "dddd"),  # outside [0, 1)
+            event("shap", 0.5),  # unlabelled: no trace to offer
+        ]
+        assert exemplar_trace_ids(events, source="shap", start=0.0, end=1.0) == [
+            "aaaa",
+            "bbbb",
+        ]
+
+    def test_no_filters_returns_all_labelled(self):
+        events = [event("a", 0.0, "x"), event("b", 9.0, "y")]
+        assert exemplar_trace_ids(events) == ["x", "y"]
+
+    def test_end_is_exclusive(self):
+        events = [event("s", 1.0, "edge")]
+        assert exemplar_trace_ids(events, end=1.0) == []
+
+
+class TestSlowestWindows:
+    def test_orders_by_mean_descending(self):
+        windows = [
+            window(start=0.0, mean=1.0),
+            window(start=1.0, mean=5.0),
+            window(start=2.0, mean=3.0),
+        ]
+        picked = slowest_windows(windows, k=2)
+        assert [w.mean for w in picked] == [5.0, 3.0]
+
+    def test_ties_break_by_window_start(self):
+        windows = [window(start=2.0, mean=4.0), window(start=0.0, mean=4.0)]
+        assert slowest_windows(windows, k=1)[0].window_start == 0.0
+
+    def test_empty_input(self):
+        assert slowest_windows([], k=3) == []
+
+
+class TestResolveWindow:
+    def make_trace(self, tracer, clock):
+        root = tracer.start_span("gateway.request")
+        clock.now += 0.2
+        root.end()
+        return root
+
+    def test_window_resolves_to_recorded_traces(self):
+        collector = TraceCollector()
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, collector=collector, seed=0)
+        root = self.make_trace(tracer, clock)
+        events = [event("shap", 0.1, root.trace_id, root.span_id)]
+        resolution = resolve_window(window(), events, collector)
+        assert resolution.resolved
+        assert resolution.trace_ids == [root.trace_id]
+        assert resolution.traces[0].trace_id == root.trace_id
+        assert resolution.missing == []
+        text = resolution.render_text()
+        assert root.trace_id in text
+        assert "window [0s, 1s)" in text
+
+    def test_evicted_traces_land_in_missing(self):
+        collector = TraceCollector(max_traces=1)
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, collector=collector, seed=0)
+        old = self.make_trace(tracer, clock)
+        self.make_trace(tracer, clock)  # evicts `old`
+        events = [event("shap", 0.1, old.trace_id, old.span_id)]
+        resolution = resolve_window(window(), events, collector)
+        assert not resolution.resolved
+        assert resolution.missing == [old.trace_id]
+        assert "evicted" in resolution.render_text()
+
+    def test_unlabelled_window_renders_gracefully(self):
+        resolution = resolve_window(
+            window(), [event("shap", 0.1)], TraceCollector()
+        )
+        assert resolution.trace_ids == []
+        assert "no exemplar-labelled events" in resolution.render_text()
+
+    def test_max_traces_caps_resolution(self):
+        collector = TraceCollector()
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, collector=collector, seed=0)
+        roots = [self.make_trace(tracer, clock) for _ in range(5)]
+        events = [
+            event("shap", 0.1 * i, r.trace_id, r.span_id)
+            for i, r in enumerate(roots)
+        ]
+        resolution = resolve_window(window(), events, collector, max_traces=2)
+        assert len(resolution.traces) == 2
+        assert resolution.trace_ids == [r.trace_id for r in roots[:2]]

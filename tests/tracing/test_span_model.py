@@ -1,0 +1,165 @@
+"""Tests for the span model and tracer: ids, lifecycle, null behaviour."""
+
+import pytest
+
+from repro.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_UNSET,
+    SpanIdAllocator,
+    TraceCollector,
+    Tracer,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def make_tracer(seed=0, collector=None):
+    clock = FakeClock()
+    return Tracer(clock=clock, collector=collector, seed=seed), clock
+
+
+class TestIds:
+    def test_ids_are_deterministic_across_allocators(self):
+        a, b = SpanIdAllocator(seed=42), SpanIdAllocator(seed=42)
+        assert [a.next_id() for _ in range(10)] == [
+            b.next_id() for _ in range(10)
+        ]
+
+    def test_ids_differ_across_seeds_and_calls(self):
+        alloc = SpanIdAllocator(seed=1)
+        ids = {alloc.next_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert SpanIdAllocator(seed=2).next_id() not in ids
+
+    def test_ids_are_16_hex_chars(self):
+        span_id = SpanIdAllocator().next_id()
+        assert len(span_id) == 16
+        int(span_id, 16)  # must parse as hex
+
+    def test_traces_reproducible_across_runs(self):
+        def run():
+            tracer, _ = make_tracer(seed=7)
+            root = tracer.start_span("root")
+            child = tracer.start_span("child", parent=root)
+            return root.trace_id, root.span_id, child.span_id
+
+        assert run() == run()
+
+
+class TestSpanLifecycle:
+    def test_parenting_links_trace_and_span_ids(self):
+        tracer, _ = make_tracer()
+        root = tracer.start_span("root")
+        child = tracer.start_span("child", parent=root)
+        grandchild = tracer.start_span("gc", parent=child.context)
+        assert root.is_root and root.parent_span_id is None
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == root.span_id
+        assert grandchild.trace_id == root.trace_id
+        assert grandchild.parent_span_id == child.span_id
+
+    def test_no_parent_roots_a_new_trace(self):
+        tracer, _ = make_tracer()
+        assert (
+            tracer.start_span("a").trace_id != tracer.start_span("b").trace_id
+        )
+
+    def test_clock_and_override_timestamps(self):
+        tracer, clock = make_tracer()
+        clock.now = 1.5
+        span = tracer.start_span("op")
+        assert span.start_time == 1.5
+        clock.now = 2.0
+        span.end()
+        assert span.end_time == 2.0
+        assert span.duration == pytest.approx(0.5)
+        retro = tracer.start_span("retro", start_time=0.25).end(at=0.75)
+        assert retro.duration == pytest.approx(0.5)
+
+    def test_double_end_raises(self):
+        tracer, _ = make_tracer()
+        span = tracer.start_span("op").end()
+        with pytest.raises(RuntimeError, match="ended twice"):
+            span.end()
+
+    def test_end_before_start_raises(self):
+        tracer, clock = make_tracer()
+        clock.now = 5.0
+        span = tracer.start_span("op")
+        with pytest.raises(ValueError, match="before"):
+            span.end(at=1.0)
+
+    def test_duration_raises_while_open(self):
+        tracer, _ = make_tracer()
+        with pytest.raises(RuntimeError, match="not ended"):
+            _ = tracer.start_span("op").duration
+
+    def test_status_transitions(self):
+        tracer, _ = make_tracer()
+        span = tracer.start_span("op")
+        assert span.status == STATUS_UNSET and span.ok
+        span.set_status(STATUS_OK)
+        assert span.ok
+        span.record_error("boom")
+        assert span.status == STATUS_ERROR and not span.ok
+        assert span.attributes["error"] == 1.0
+        assert span.status_message == "boom"
+        with pytest.raises(ValueError):
+            span.set_status("weird")
+
+    def test_context_manager_marks_escaping_exception(self):
+        tracer, _ = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("op") as span:
+                raise RuntimeError("kaboom")
+        assert span.ended
+        assert span.status == STATUS_ERROR
+        assert "kaboom" in span.status_message
+
+    def test_active_span_accounting(self):
+        tracer, _ = make_tracer()
+        spans = [tracer.start_span(f"s{i}") for i in range(3)]
+        assert tracer.active_spans == 3
+        for span in spans:
+            span.end()
+        assert tracer.active_spans == 0
+
+    def test_finished_spans_reach_the_collector(self):
+        collector = TraceCollector()
+        tracer, _ = make_tracer(collector=collector)
+        span = tracer.start_span("op")
+        assert span.trace_id not in collector
+        span.end()
+        assert span.trace_id in collector
+
+
+class TestNullTracer:
+    def test_start_span_returns_the_shared_null_span(self):
+        assert NULL_TRACER.start_span("anything") is NULL_SPAN
+        assert NULL_TRACER.span("anything", parent=NULL_SPAN) is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        span = NULL_TRACER.start_span("op")
+        span.set_attribute("k", 1).record_error("x").end().end()
+        assert span.attributes == {}
+        assert span.ok and span.ended and span.duration == 0.0
+        assert span.context.trace_labels() == {}
+        assert not span.is_recording
+
+    def test_null_parent_roots_a_real_trace(self):
+        tracer, _ = make_tracer()
+        span = tracer.start_span("op", parent=NULL_SPAN)
+        assert span.is_root
+
+    def test_null_tracer_reports_no_activity(self):
+        assert NULL_TRACER.active_spans == 0
+        assert not NULL_TRACER.is_recording

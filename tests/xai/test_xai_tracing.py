@@ -1,0 +1,74 @@
+"""Duck-typed tracing in the explainers (xai imports no tracing)."""
+
+import numpy as np
+import pytest
+
+from repro.tracing import TraceCollector, Tracer
+from repro.xai import KernelShapExplainer, LimeTabularExplainer
+
+
+def make_tracer():
+    collector = TraceCollector()
+    clock = {"now": 0.0}
+    tracer = Tracer(clock=lambda: clock["now"], collector=collector, seed=0)
+    return tracer, collector
+
+
+@pytest.fixture
+def linear_predict():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(60, 4))
+    w = np.array([1.0, -2.0, 0.5, 0.0])
+
+    def predict(data):
+        return np.asarray(data) @ w
+
+    return predict, X
+
+
+class TestShapTracing:
+    def test_traced_call_records_one_span(self, linear_predict):
+        predict, X = linear_predict
+        tracer, collector = make_tracer()
+        explainer = KernelShapExplainer(predict, X[:20], n_coalitions=32)
+        root = tracer.start_span("req")
+        traced = explainer.shap_values(X[0], tracer=tracer, parent=root)
+        root.end()
+        tree = collector.get(root.trace_id)
+        [span] = tree.children(tree.root)
+        assert span.name == "xai.shap"
+        assert span.attributes["n_coalitions"] == 32.0
+        assert span.attributes["n_features"] == 4.0
+        assert span.ended
+        assert tracer.active_spans == 0
+        # tracing must not change the numbers
+        untraced = explainer.shap_values(X[0])
+        np.testing.assert_allclose(traced, untraced)
+
+    def test_untraced_call_needs_no_tracer(self, linear_predict):
+        predict, X = linear_predict
+        explainer = KernelShapExplainer(predict, X[:20], n_coalitions=32)
+        values = explainer.shap_values(X[0], class_index=0)
+        assert values.shape == (4,)
+
+
+class TestLimeTracing:
+    def test_traced_call_records_one_span(self, linear_predict):
+        predict, X = linear_predict
+
+        def predict_proba(data):
+            scores = np.asarray(data) @ np.array([1.0, -2.0, 0.5, 0.0])
+            p = 1.0 / (1.0 + np.exp(-scores))
+            return np.column_stack([1.0 - p, p])
+
+        tracer, collector = make_tracer()
+        explainer = LimeTabularExplainer(predict_proba, X, n_samples=64)
+        root = tracer.start_span("req")
+        traced = explainer.explain(X[0], 1, tracer=tracer, parent=root)
+        root.end()
+        tree = collector.get(root.trace_id)
+        [span] = tree.children(tree.root)
+        assert span.name == "xai.lime"
+        assert span.attributes["n_samples"] == 64.0
+        assert tracer.active_spans == 0
+        np.testing.assert_allclose(traced, explainer.explain(X[0], 1))
