@@ -405,6 +405,72 @@ def shadowed_builtin(module: ModuleContext) -> Iterator[Tuple[int, str]]:
                 )
 
 
+_PREDICT_NAMES = frozenset(
+    {"predict", "predict_proba", "predict_fn", "decision_function"}
+)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _loop_repeated_nodes(loop: ast.AST) -> Iterator[ast.AST]:
+    """Sub-nodes of a loop that execute once *per iteration*.
+
+    Excludes the parts evaluated a single time before the loop runs: a
+    ``for`` statement's iterable and the outermost comprehension source
+    (``model.predict(X)`` as the thing being iterated is a batched call,
+    exactly the pattern the rule wants to encourage).
+    """
+    if isinstance(loop, ast.For):
+        repeated = [*loop.body, *loop.orelse]
+    elif isinstance(loop, ast.While):
+        repeated = [loop.test, *loop.body, *loop.orelse]
+    else:  # comprehension: everything except the first generator's source
+        repeated = [
+            getattr(loop, "elt", None),
+            getattr(loop, "key", None),
+            getattr(loop, "value", None),
+        ]
+        for i, gen in enumerate(loop.generators):
+            if i > 0:
+                repeated.append(gen.iter)
+            repeated.extend(gen.ifs)
+        repeated = [node for node in repeated if node is not None]
+    for node in repeated:
+        yield from ast.walk(node)
+
+
+@rule("predict-in-loop")
+def predict_in_loop(module: ModuleContext) -> Iterator[Tuple[int, str]]:
+    """Model evaluation inside a Python loop defeats batched inference.
+
+    The xai estimators are built around vectorized single-call model
+    evaluation (stack the inputs, predict once, reduce) — a ``predict`` /
+    ``predict_proba`` / ``predict_fn`` / ``decision_function`` reference
+    inside a per-iteration position of a loop or comprehension is a
+    hot-path regression waiting to happen.  Intentional remnants (the
+    loop-based reference oracle, bounded-memory chunking) are baselined
+    with their rationale in ``lint-baseline.json``.
+    """
+    if module.package != "xai":
+        return
+    seen: Set[Tuple[int, int]] = set()
+    for loop in module.walk(ast.For, ast.While, *_COMPREHENSIONS):
+        for sub in _loop_repeated_nodes(loop):
+            if isinstance(sub, ast.Name) and sub.id in _PREDICT_NAMES:
+                name = sub.id
+            elif isinstance(sub, ast.Attribute) and sub.attr in _PREDICT_NAMES:
+                name = sub.attr
+            else:
+                continue
+            key = (sub.lineno, sub.col_offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield sub.lineno, (
+                f"{name} used inside a Python loop — stack the inputs "
+                "and evaluate the model in one batched call"
+            )
+
+
 _LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
 
 

@@ -19,7 +19,7 @@ the paper's measured latencies (§VII capacity-load results):
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.gateway.gateway import APIGateway
 from repro.gateway.services import Machine, MicroService, ServiceTimeModel
@@ -95,6 +95,7 @@ def build_paper_deployment(
     jitter: float = 0.12,
     gateway_overhead: float = 0.002,
     tracer=None,
+    service_time_overrides: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> Tuple[Simulator, APIGateway]:
     """Instantiate the full Fig. 8(a) topology on a fresh simulator.
 
@@ -102,13 +103,26 @@ def build_paper_deployment(
     registered under their route names.  ``tracer`` (optional) is attached
     to the gateway; services get the :data:`PAPER_STAGE_PROFILES` stage
     weights so traced requests break down into pipeline-stage spans.
+
+    ``service_time_overrides`` maps ``service name -> {payload: median
+    seconds}`` and replaces (per payload) the paper medians — the hook the
+    capacity benches use to replay Fig. 8 with measured before/after
+    inference-engine service times instead of the published ones.
     """
     sim = Simulator()
     kwargs = {} if tracer is None else {"tracer": tracer}
     gateway = APIGateway(sim, overhead_seconds=gateway_overhead, **kwargs)
+    overrides = service_time_overrides or {}
+    unknown = set(overrides) - set(PAPER_SERVICES)
+    if unknown:
+        raise ValueError(
+            f"service_time_overrides for unknown services: {sorted(unknown)}"
+        )
     for offset, (name, (machine, times, concurrency)) in enumerate(
         PAPER_SERVICES.items()
     ):
+        if name in overrides:
+            times = {**times, **overrides[name]}
         service = MicroService(
             name=name,
             machine=machine,

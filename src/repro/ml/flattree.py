@@ -1,0 +1,318 @@
+"""Flat-array tree representation and the vectorized evaluation kernel.
+
+Fitted CART trees are compiled into five contiguous numpy arrays
+(``feature``, ``threshold``, ``left``, ``right``, ``value``) indexed by
+node id.  Prediction then becomes an *iterative* traversal that advances
+every row one level per step via fancy indexing — no Python recursion,
+no per-node index bookkeeping — until all rows have landed on leaves.
+
+The kernel is the single evaluation path for :class:`DecisionTreeClassifier`,
+:class:`DecisionTreeRegressor` and, through them, the random forest and the
+gradient-boosted ensembles.  Its contract is *bitwise* equivalence with the
+recursive ``_route`` reference walk (property-tested in
+``tests/ml/test_flattree.py``): both compare ``X[i, feature] <= threshold``
+on the same float64 values and both copy the identical leaf-value vectors
+into the output, so not even the last ulp may differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["FlatForest", "FlatTree"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves keep a class-probability (or value) vector.
+
+    This is the *grow-time* (and introspection) representation; prediction
+    goes through the compiled :class:`FlatTree` arrays.
+    """
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    value: Optional[np.ndarray] = None
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left < 0
+
+
+@dataclass(frozen=True)
+class FlatTree:
+    """One fitted tree as parallel arrays (the serialized form, too).
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf; interior nodes carry
+    the split feature, threshold and both child ids.  ``value`` holds one
+    row per node — the class-probability (or regression-value) vector the
+    recursive representation keeps on ``_Node.value`` — and ``n_samples``
+    the training rows that reached the node (used by importances).
+    """
+
+    feature: np.ndarray  # (n_nodes,) int64, -1 for leaves
+    threshold: np.ndarray  # (n_nodes,) float64
+    left: np.ndarray  # (n_nodes,) int64, -1 for leaves
+    right: np.ndarray  # (n_nodes,) int64, -1 for leaves
+    value: np.ndarray  # (n_nodes, value_width) float64
+    n_samples: np.ndarray  # (n_nodes,) int64
+
+    def __post_init__(self) -> None:
+        n = self.feature.shape[0]
+        for name in ("threshold", "left", "right", "n_samples"):
+            if getattr(self, name).shape[0] != n:
+                raise ValueError(f"{name} disagrees with feature on node count")
+        if self.value.ndim != 2 or self.value.shape[0] != n:
+            raise ValueError("value must be a (n_nodes, width) matrix")
+        # navigation arrays: leaves self-loop (and gather feature 0, which
+        # is harmless — both branches lead back to the leaf), so traversal
+        # advances every row unconditionally with flat gathers and no
+        # per-level row filtering.  Children are interleaved — right child
+        # at 2i, left child at 2i+1 — so the step is one gather indexed by
+        # ``2*node + go_left`` instead of two gathers plus a select.
+        nodes = np.arange(n, dtype=np.int64)
+        is_leaf = self.left < 0
+        object.__setattr__(self, "_nav_feature", np.where(is_leaf, 0, self.feature))
+        object.__setattr__(self, "_nav_left", np.where(is_leaf, nodes, self.left))
+        object.__setattr__(self, "_nav_right", np.where(is_leaf, nodes, self.right))
+        children = np.empty(2 * n, dtype=np.int64)
+        children[0::2] = self._nav_right
+        children[1::2] = self._nav_left
+        object.__setattr__(self, "_nav_children", children)
+        object.__setattr__(self, "_depth", self._compute_depth())
+
+    def _compute_depth(self) -> int:
+        """Levels below the root, via a breadth-first frontier sweep."""
+        depth = 0
+        frontier = np.array([0], dtype=np.int64)
+        while True:
+            children = np.concatenate(
+                [self.left[frontier], self.right[frontier]]
+            )
+            children = children[children >= 0]
+            if children.size == 0:
+                return depth
+            frontier = children
+            depth += 1
+
+    @property
+    def n_nodes(self) -> int:
+        return self.feature.shape[0]
+
+    @property
+    def value_width(self) -> int:
+        return self.value.shape[1]
+
+    @classmethod
+    def from_nodes(cls, nodes: List) -> "FlatTree":
+        """Compile a ``_Node`` list (ids are already list positions)."""
+        if not nodes:
+            raise ValueError("cannot compile an empty tree")
+        n = len(nodes)
+        feature = np.fromiter(
+            (node.feature for node in nodes), dtype=np.int64, count=n
+        )
+        threshold = np.fromiter(
+            (node.threshold for node in nodes), dtype=np.float64, count=n
+        )
+        left = np.fromiter((node.left for node in nodes), dtype=np.int64, count=n)
+        right = np.fromiter(
+            (node.right for node in nodes), dtype=np.int64, count=n
+        )
+        n_samples = np.fromiter(
+            (node.n_samples for node in nodes), dtype=np.int64, count=n
+        )
+        width = max(len(node.value) for node in nodes)
+        value = np.zeros((n, width))
+        for i, node in enumerate(nodes):
+            value[i, : len(node.value)] = node.value
+        # leaves are exactly the nodes with no left child in the recursive
+        # form; normalise their feature to -1 so apply() terminates on it
+        feature = np.where(left < 0, -1, feature)
+        return cls(
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            value=value,
+            n_samples=n_samples,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+        n_samples: np.ndarray,
+    ) -> "FlatTree":
+        """Adopt persisted arrays (the ``.npz`` payload) as a tree."""
+        left = np.asarray(left, dtype=np.int64)
+        return cls(
+            feature=np.where(
+                left < 0, -1, np.asarray(feature, dtype=np.int64)
+            ),
+            threshold=np.asarray(threshold, dtype=np.float64),
+            left=left,
+            right=np.asarray(right, dtype=np.int64),
+            value=np.asarray(value, dtype=np.float64),
+            n_samples=np.asarray(n_samples, dtype=np.int64),
+        )
+
+    def to_nodes(self) -> List["_Node"]:
+        """Rebuild the ``_Node`` list (introspection, depth/leaf queries)."""
+        return [
+            _Node(
+                feature=int(self.feature[i]),
+                threshold=float(self.threshold[i]),
+                left=int(self.left[i]),
+                right=int(self.right[i]),
+                value=self.value[i].copy(),
+                n_samples=int(self.n_samples[i]),
+            )
+            for i in range(self.n_nodes)
+        ]
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf id per row: advance all rows one level per step.
+
+        Each of the (at most ``depth``) iterations is three flat gathers
+        and a compare over every row — leaves self-loop via the navigation
+        arrays, so no per-level row bookkeeping is needed and the per-row
+        Python recursion is gone entirely.  The interleaved ``_nav_children``
+        table turns the branch select into index arithmetic
+        (``2*node + go_left``), saving one random gather per level.
+        """
+        n, d = X.shape
+        node = np.zeros(n, dtype=np.int64)
+        if self.n_nodes == 1:  # single-leaf tree: everything is at the root
+            return node
+        X_flat = np.ascontiguousarray(X).reshape(-1)
+        row_base = np.arange(n, dtype=np.int64) * d
+        for __ in range(self._depth):
+            go_left = X_flat[row_base + self._nav_feature[node]] <= (
+                self.threshold[node]
+            )
+            node = self._nav_children[(node << 1) + go_left]
+        return node
+
+    def predict_value(self, X: np.ndarray) -> np.ndarray:
+        """Leaf-value matrix per row, shape (n_rows, value_width)."""
+        return self.value[self.apply(X)]
+
+
+@dataclass(frozen=True)
+class FlatForest:
+    """Every tree of an ensemble in one arena, traversed level-synchronously.
+
+    Per-tree evaluation leaves vectorization width on the table: each level
+    step touches only ``n_rows`` elements and pays numpy dispatch overhead
+    once per tree.  Here all trees' node arrays are concatenated into one
+    arena (child pointers rebased to arena-absolute ids, leaves
+    self-looping) and a single ``(n_rows, n_trees)`` state matrix advances
+    every row through every tree simultaneously — ``max_depth`` iterations
+    of wide flat gathers for the whole ensemble.
+
+    Leaf-value rows are pre-expanded to the ensemble's output width (and
+    pre-scaled, for boosted trees, by the learning rate), so accumulation
+    is a plain sequential sum over trees — the same additions in the same
+    order as the per-tree reference, keeping outputs bit-for-bit equal.
+    """
+
+    nav_feature: np.ndarray  # (total_nodes,) split feature, 0 on leaves
+    threshold: np.ndarray  # (total_nodes,)
+    children: np.ndarray  # (2*total_nodes,) arena-absolute, interleaved:
+    #   children[2i] = right child of node i, children[2i+1] = left child
+    #   (leaves self-loop), so the next node is children[2*node + go_left]
+    value: np.ndarray  # (total_nodes, width) output-aligned leaf values
+    roots: np.ndarray  # (n_trees,) arena id of each tree's root
+    depth: int  # max depth across trees
+
+    @property
+    def n_trees(self) -> int:
+        return self.roots.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.value.shape[1]
+
+    @classmethod
+    def from_trees(
+        cls,
+        flats: List["FlatTree"],
+        width: Optional[int] = None,
+        columns: Optional[List[np.ndarray]] = None,
+        scales: Optional[List[float]] = None,
+    ) -> "FlatForest":
+        """Concatenate compiled trees into one arena.
+
+        ``columns[i]`` maps tree ``i``'s value columns into the ensemble's
+        output columns (a forest tree that never saw a class contributes
+        zeros there); ``scales[i]`` pre-multiplies tree ``i``'s leaf values
+        (the GBDT learning rate — the same per-element product the
+        reference computes per prediction, so bits are unchanged).
+        """
+        if not flats:
+            raise ValueError("cannot build an arena from zero trees")
+        counts = np.array([f.n_nodes for f in flats], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
+        if width is None:
+            width = max(f.value_width for f in flats)
+        value = np.zeros((int(counts.sum()), width))
+        for i, (flat, off) in enumerate(zip(flats, offsets)):
+            rows = value[off : off + flat.n_nodes]
+            v = flat.value if scales is None else flat.value * scales[i]
+            cols = (
+                np.arange(flat.value_width) if columns is None else columns[i]
+            )
+            rows[:, cols] = v
+        return cls(
+            nav_feature=np.concatenate([f._nav_feature for f in flats]),
+            threshold=np.concatenate([f.threshold for f in flats]),
+            children=np.concatenate(
+                [f._nav_children + off for f, off in zip(flats, offsets)]
+            ),
+            value=value,
+            roots=offsets,
+            depth=max(f._depth for f in flats),
+        )
+
+    def apply_all(self, X: np.ndarray) -> np.ndarray:
+        """Arena leaf id per (row, tree): one (n, n_trees) state matrix.
+
+        Each level is three wide gathers and a compare; the interleaved
+        ``children`` table resolves the branch with index arithmetic
+        (``2*node + go_left``) instead of two gathers plus a select.
+        """
+        n, d = X.shape
+        node = np.repeat(self.roots[None, :], n, axis=0)
+        if self.depth == 0:
+            return node
+        X_flat = np.ascontiguousarray(X).reshape(-1)
+        row_base = (np.arange(n, dtype=np.int64) * d)[:, None]
+        for __ in range(self.depth):
+            go_left = X_flat[row_base + self.nav_feature[node]] <= (
+                self.threshold[node]
+            )
+            node = self.children[(node << 1) + go_left]
+        return node
+
+    def accumulate(self, X: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Add every tree's output-aligned leaf values into ``out``, in order.
+
+        The per-tree loop is over ``(n, width)`` adds only — all traversal
+        work happened in :meth:`apply_all` — and runs in ensemble order so
+        float summation matches the sequential reference exactly.
+        """
+        values = self.value[self.apply_all(X)]  # (n, n_trees, width)
+        for t in range(self.n_trees):
+            out += values[:, t, :]
+        return out

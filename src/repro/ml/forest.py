@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.ml.flattree import FlatForest
 from repro.ml.model import Classifier, check_Xy, encode_labels
 from repro.ml.tree import DecisionTreeClassifier
 
@@ -56,6 +57,7 @@ class RandomForestClassifier(Classifier):
         self.seed = seed
         self.trees_: List[DecisionTreeClassifier] = []
         self.classes_ = np.empty(0)
+        self._flat_forest: Optional[FlatForest] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         X, y = check_Xy(X, y)
@@ -66,6 +68,7 @@ class RandomForestClassifier(Classifier):
             max_features = max(1, int(round(np.sqrt(n_features))))
         rng = np.random.default_rng(self.seed)
         self.trees_ = []
+        self._flat_forest = None
         for t in range(self.n_estimators):
             if self.bootstrap:
                 idx = rng.integers(0, n_samples, size=n_samples)
@@ -84,15 +87,49 @@ class RandomForestClassifier(Classifier):
             self.trees_.append(tree)
         return self
 
+    @property
+    def flat_forest_(self) -> FlatForest:
+        """All trees as one compiled arena (built lazily, cached)."""
+        if not self.trees_:
+            raise RuntimeError("model used before fit()")
+        if (
+            self._flat_forest is None
+            or self._flat_forest.n_trees != len(self.trees_)
+        ):
+            self._flat_forest = FlatForest.from_trees(
+                [tree.flat_ for tree in self.trees_],
+                width=len(self.classes_),
+                # map each tree's (integer-coded) classes into forest columns
+                columns=[tree.classes_.astype(int) for tree in self.trees_],
+            )
+        return self._flat_forest
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Soft vote through the flat arena kernel.
+
+        All trees traverse simultaneously via :class:`~repro.ml.flattree
+        .FlatForest` (one state matrix, ``max_depth`` wide gather steps);
+        the accumulation stays *sequential* per tree — with zeros in the
+        class columns a bootstrap never saw — so the float summation
+        order, and therefore the output bit for bit, matches the
+        recursive reference.
+        """
+        if not self.trees_:
+            raise RuntimeError("model used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        total = np.zeros((X.shape[0], len(self.classes_)))
+        self.flat_forest_.accumulate(X, total)
+        return total / len(self.trees_)
+
+    def predict_proba_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Per-node recursive reference path (equivalence oracle / bench)."""
         if not self.trees_:
             raise RuntimeError("model used before fit()")
         X = np.asarray(X, dtype=np.float64)
         n_classes = len(self.classes_)
         total = np.zeros((X.shape[0], n_classes))
         for tree in self.trees_:
-            proba = tree.predict_proba(X)
-            # map the tree's (integer-coded) classes back into forest columns
+            proba = tree.predict_proba_recursive(X)
             cols = tree.classes_.astype(int)
             total[:, cols] += proba
         return total / len(self.trees_)

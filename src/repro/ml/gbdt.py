@@ -18,6 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.ml.flattree import FlatForest
 from repro.ml.linear import softmax
 from repro.ml.model import Classifier, check_Xy, encode_labels, one_hot
 from repro.ml.tree import DecisionTreeRegressor
@@ -79,6 +80,7 @@ class GradientBoostedTreesClassifier(Classifier):
         self.classes_ = np.empty(0)
         self.trees_: List[List[DecisionTreeRegressor]] = []
         self.base_score_: Optional[np.ndarray] = None
+        self._flat_forest: Optional[FlatForest] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTreesClassifier":
         X, y = check_Xy(X, y)
@@ -92,6 +94,7 @@ class GradientBoostedTreesClassifier(Classifier):
         scores = np.tile(self.base_score_, (n_samples, 1))
         rng = np.random.default_rng(self.seed)
         self.trees_ = []
+        self._flat_forest = None
         for __ in range(self.n_estimators):
             probs = softmax(scores)
             gradients = targets - probs  # negative gradient of CE loss
@@ -116,15 +119,55 @@ class GradientBoostedTreesClassifier(Classifier):
             self.trees_.append(round_trees)
         return self
 
+    @property
+    def flat_forest_(self) -> FlatForest:
+        """Every weak learner in one compiled arena (lazy, cached).
+
+        Trees enter in round-major / class-minor order with leaf values
+        pre-scaled by the learning rate and mapped into their class
+        column, so arena accumulation reproduces the reference's
+        ``scores[:, c] += lr * tree.predict(X)`` additions exactly.
+        """
+        if not self.trees_:
+            raise RuntimeError("model used before fit()")
+        n_weak = sum(len(r) for r in self.trees_)
+        if self._flat_forest is None or self._flat_forest.n_trees != n_weak:
+            flats, columns, scales = [], [], []
+            for round_trees in self.trees_:
+                for c, tree in enumerate(round_trees):
+                    flats.append(tree.flat_)
+                    columns.append(np.array([c]))
+                    scales.append(self.learning_rate)
+            self._flat_forest = FlatForest.from_trees(
+                flats,
+                width=len(self.trees_[0]),
+                columns=columns,
+                scales=scales,
+            )
+        return self._flat_forest
+
     def decision_function(self, X: np.ndarray) -> np.ndarray:
-        """Raw additive scores per class before the softmax link."""
+        """Raw additive scores per class before the softmax link.
+
+        All weak learners traverse at once through the flat arena kernel;
+        the accumulation order (round-major, class-minor, starting from
+        the base score) matches the recursive reference bit for bit.
+        """
+        if not self.trees_ or self.base_score_ is None:
+            raise RuntimeError("model used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        scores = np.tile(self.base_score_, (X.shape[0], 1))
+        return self.flat_forest_.accumulate(X, scores)
+
+    def decision_function_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Per-node recursive reference path (equivalence oracle / bench)."""
         if not self.trees_ or self.base_score_ is None:
             raise RuntimeError("model used before fit()")
         X = np.asarray(X, dtype=np.float64)
         scores = np.tile(self.base_score_, (X.shape[0], 1))
         for round_trees in self.trees_:
             for c, tree in enumerate(round_trees):
-                scores[:, c] += self.learning_rate * tree.predict(X)
+                scores[:, c] += self.learning_rate * tree.predict_recursive(X)
         return scores
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

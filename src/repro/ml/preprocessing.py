@@ -120,17 +120,35 @@ def drop_duplicates(
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2:
         raise ValueError(f"X must be 2-D, got shape {X.shape}")
-    seen = set()
-    keep = []
     labels = None if y is None else np.asarray(y)
-    for i in range(X.shape[0]):
-        key = X[i].tobytes()
-        if labels is not None:
-            key = (key, labels[i].item() if hasattr(labels[i], "item") else labels[i])
-        if key not in seen:
-            seen.add(key)
-            keep.append(i)
-    keep_idx = np.asarray(keep, dtype=np.int64)
+    n = X.shape[0]
+    if n == 0:
+        return X, labels
+    if X.shape[1] == 0:
+        # zero-width rows all compare equal: keep the first occurrence of
+        # each label (or the single first row when unlabelled)
+        if labels is None:
+            keep_idx = np.zeros(1, dtype=np.int64)
+            return X[keep_idx], None
+        keep_idx = np.sort(np.unique(labels, return_index=True)[1])
+        return X[keep_idx], labels[keep_idx]
+    # bytewise row keys: a void view compares rows exactly as tobytes() did
+    # (NaN and -0.0 stay distinct from each other and from 0.0)
+    rows = np.ascontiguousarray(X).view(
+        np.dtype((np.void, X.dtype.itemsize * X.shape[1]))
+    ).reshape(n)
+    if labels is None:
+        keyed = rows
+    else:
+        # pair each row with its (integer-coded) label so identical feature
+        # rows under different labels are both retained
+        codes = np.unique(labels, return_inverse=True)[1].astype(np.int64)
+        keyed = np.empty(n, dtype=[("row", rows.dtype), ("label", np.int64)])
+        keyed["row"] = rows
+        keyed["label"] = codes
+    # unique's first-occurrence indices, re-sorted to the original row order
+    __, first = np.unique(keyed, return_index=True)
+    keep_idx = np.sort(first)
     if labels is None:
         return X[keep_idx], None
     return X[keep_idx], labels[keep_idx]

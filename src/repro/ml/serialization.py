@@ -18,12 +18,13 @@ from typing import Union
 
 import numpy as np
 
+from repro.ml.flattree import FlatTree
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.gbdt import GradientBoostedTreesClassifier
 from repro.ml.linear import LogisticRegressionClassifier
 from repro.ml.model import Classifier
 from repro.ml.neural import DNNClassifier, MLPClassifier
-from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, _Node
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 
 _SUPPORTED = {
     "LogisticRegressionClassifier": LogisticRegressionClassifier,
@@ -35,48 +36,35 @@ _SUPPORTED = {
 }
 
 
-def _nodes_to_arrays(nodes) -> dict:
-    """Flatten a tree's node list into parallel arrays."""
-    n = len(nodes)
-    features = np.array([node.feature for node in nodes], dtype=np.int64)
-    thresholds = np.array([node.threshold for node in nodes])
-    lefts = np.array([node.left for node in nodes], dtype=np.int64)
-    rights = np.array([node.right for node in nodes], dtype=np.int64)
-    counts = np.array([node.n_samples for node in nodes], dtype=np.int64)
-    width = max((len(node.value) for node in nodes), default=0)
-    values = np.zeros((n, width))
-    for i, node in enumerate(nodes):
-        values[i, : len(node.value)] = node.value
-    return {
-        "features": features,
-        "thresholds": thresholds,
-        "lefts": lefts,
-        "rights": rights,
-        "counts": counts,
-        "values": values,
-    }
+def _restore_tree(tree, arrays: dict, value_width: int) -> None:
+    """Adopt persisted arrays as the tree's flat form (and node list).
 
-
-def _arrays_to_nodes(arrays: dict, value_width: int):
-    nodes = []
-    for i in range(len(arrays["features"])):
-        nodes.append(
-            _Node(
-                feature=int(arrays["features"][i]),
-                threshold=float(arrays["thresholds"][i]),
-                left=int(arrays["lefts"][i]),
-                right=int(arrays["rights"][i]),
-                value=np.array(arrays["values"][i][:value_width]),
-                n_samples=int(arrays["counts"][i]),
-            )
-        )
-    return nodes
+    The flat arrays *are* the serialized layout, so loading is a dtype
+    normalisation plus a value-width slice — no per-node reconstruction
+    loop.  The ``nodes_`` list is rebuilt from the flat form because
+    introspection (depth, leaf counts, split importances) reads it.
+    """
+    flat = FlatTree.from_arrays(
+        feature=arrays["features"],
+        threshold=arrays["thresholds"],
+        left=arrays["lefts"],
+        right=arrays["rights"],
+        value=arrays["values"][:, :value_width],
+        n_samples=arrays["counts"],
+    )
+    tree._flat = flat
+    tree.nodes_ = flat.to_nodes()
 
 
 def _tree_payload(prefix: str, tree, payload: dict) -> None:
-    arrays = _nodes_to_arrays(tree.nodes_)
-    for key, value in arrays.items():
-        payload[f"{prefix}{key}"] = value
+    """Serialize one fitted tree: its flat arrays, keyed by ``prefix``."""
+    flat = tree.flat_
+    payload[f"{prefix}features"] = flat.feature
+    payload[f"{prefix}thresholds"] = flat.threshold
+    payload[f"{prefix}lefts"] = flat.left
+    payload[f"{prefix}rights"] = flat.right
+    payload[f"{prefix}counts"] = flat.n_samples
+    payload[f"{prefix}values"] = flat.value
 
 
 def _load_tree_arrays(prefix: str, data) -> dict:
@@ -161,8 +149,7 @@ def load_model(path: Union[str, Path]) -> Classifier:
         elif isinstance(model, DecisionTreeClassifier):
             model.classes_ = classes
             model.n_features_ = header["n_features"]
-            arrays = _load_tree_arrays("tree_", data)
-            model.nodes_ = _arrays_to_nodes(arrays, len(classes))
+            _restore_tree(model, _load_tree_arrays("tree_", data), len(classes))
         elif isinstance(model, RandomForestClassifier):
             model.classes_ = classes
             model.trees_ = []
@@ -170,8 +157,7 @@ def load_model(path: Union[str, Path]) -> Classifier:
                 tree = DecisionTreeClassifier()
                 tree.classes_ = data[f"t{t}_classes"]
                 tree.n_features_ = header["n_features"]
-                arrays = _load_tree_arrays(f"t{t}_", data)
-                tree.nodes_ = _arrays_to_nodes(arrays, len(tree.classes_))
+                _restore_tree(tree, _load_tree_arrays(f"t{t}_", data), len(tree.classes_))
                 model.trees_.append(tree)
         elif isinstance(model, GradientBoostedTreesClassifier):
             model.classes_ = classes
@@ -181,8 +167,7 @@ def load_model(path: Union[str, Path]) -> Classifier:
                 round_trees = []
                 for c in range(header["n_classes"]):
                     tree = DecisionTreeRegressor()
-                    arrays = _load_tree_arrays(f"r{r}c{c}_", data)
-                    tree.nodes_ = _arrays_to_nodes(arrays, 1)
+                    _restore_tree(tree, _load_tree_arrays(f"r{r}c{c}_", data), 1)
                     round_trees.append(tree)
                 model.trees_.append(round_trees)
         return model

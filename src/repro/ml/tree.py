@@ -13,23 +13,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.ml.flattree import FlatTree, _Node
 from repro.ml.model import Classifier, check_Xy, encode_labels
-
-
-@dataclass
-class _Node:
-    """One tree node; leaves keep a class-probability (or value) vector."""
-
-    feature: int = -1
-    threshold: float = 0.0
-    left: int = -1
-    right: int = -1
-    value: Optional[np.ndarray] = None
-    n_samples: int = 0
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.left < 0
 
 
 def _gini_from_counts(counts: np.ndarray, total: float) -> float:
@@ -157,6 +142,7 @@ class DecisionTreeClassifier(Classifier):
         self.nodes_: List[_Node] = []
         self.classes_ = np.empty(0)
         self.n_features_: int = 0
+        self._flat: Optional[FlatTree] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
         X, y = check_Xy(X, y)
@@ -165,8 +151,19 @@ class DecisionTreeClassifier(Classifier):
         n_classes = len(self.classes_)
         rng = np.random.default_rng(self.seed)
         self.nodes_ = []
+        self._flat = None
         self._grow(X, y_idx, n_classes, depth=0, rng=rng)
+        self._flat = FlatTree.from_nodes(self.nodes_)
         return self
+
+    @property
+    def flat_(self) -> FlatTree:
+        """The compiled flat-array form (built on fit/load, cached)."""
+        if not self.nodes_:
+            raise RuntimeError("model used before fit()")
+        if self._flat is None or self._flat.n_nodes != len(self.nodes_):
+            self._flat = FlatTree.from_nodes(self.nodes_)
+        return self._flat
 
     def _grow(
         self,
@@ -206,6 +203,21 @@ class DecisionTreeClassifier(Classifier):
         return node_id
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.nodes_:
+            raise RuntimeError("model used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected (n, {self.n_features_}) input, got {X.shape}"
+            )
+        return self.flat_.predict_value(X)
+
+    def predict_proba_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Recursive reference walk — kept only as the equivalence oracle.
+
+        The flat kernel must agree with this bitwise; the property tests
+        and ``benchmarks/bench_inference.py`` are its only callers.
+        """
         if not self.nodes_:
             raise RuntimeError("model used before fit()")
         X = np.asarray(X, dtype=np.float64)
@@ -276,6 +288,7 @@ class DecisionTreeRegressor:
         self.l2 = l2
         self.seed = seed
         self.nodes_: List[_Node] = []
+        self._flat: Optional[FlatTree] = None
 
     def _leaf_value(self, residuals: np.ndarray, hessian: np.ndarray) -> float:
         return float(residuals.sum() / (hessian.sum() + self.l2))
@@ -338,11 +351,22 @@ class DecisionTreeRegressor:
             else np.asarray(hessians, dtype=np.float64)
         )
         self.nodes_ = []
+        self._flat = None
         if self.growth == "level":
             self._grow_level(X, g, h, depth=0)
         else:
             self._grow_leafwise(X, g, h)
+        self._flat = FlatTree.from_nodes(self.nodes_)
         return self
+
+    @property
+    def flat_(self) -> FlatTree:
+        """The compiled flat-array form (built on fit/load, cached)."""
+        if not self.nodes_:
+            raise RuntimeError("model used before fit()")
+        if self._flat is None or self._flat.n_nodes != len(self.nodes_):
+            self._flat = FlatTree.from_nodes(self.nodes_)
+        return self._flat
 
     def _grow_level(
         self, X: np.ndarray, g: np.ndarray, h: np.ndarray, depth: int
@@ -405,6 +429,13 @@ class DecisionTreeRegressor:
             n_leaves += 1
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.nodes_:
+            raise RuntimeError("model used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        return self.flat_.predict_value(X)[:, 0]
+
+    def predict_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Recursive reference walk (equivalence oracle; see classifier)."""
         if not self.nodes_:
             raise RuntimeError("model used before fit()")
         X = np.asarray(X, dtype=np.float64)

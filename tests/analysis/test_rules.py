@@ -310,3 +310,54 @@ class TestTracingClockInjection:
         import numpy as np
         """
         assert run_rule("tracing-clock-injection", src, "tracing/x.py") == []
+
+
+class TestPredictInLoop:
+    def test_fires_on_predict_in_for_body(self):
+        src = """
+        for row in X:
+            out.append(model.predict(row))
+        """
+        found = run_rule("predict-in-loop", src, "xai/mod.py")
+        assert len(found) == 1
+        assert "batched call" in found[0].message
+
+    def test_fires_on_predict_fn_in_comprehension(self):
+        src = "vals = [predict_fn(m) for m in masks]"
+        assert len(run_rule("predict-in-loop", src, "xai/mod.py")) == 1
+
+    def test_fires_on_helper_passed_predict_fn_per_iteration(self):
+        src = """
+        for mask in masks:
+            vals.append(marginal(predict_fn, mask))
+        """
+        assert len(run_rule("predict-in-loop", src, "xai/mod.py")) == 1
+
+    def test_fires_on_while_condition(self):
+        src = """
+        while model.predict_proba(x)[0, 1] < 0.5:
+            x = step(x)
+        """
+        assert len(run_rule("predict-in-loop", src, "xai/mod.py")) == 1
+
+    def test_silent_on_batched_call_outside_loops(self):
+        src = """
+        stacked = build(masks, X, background)
+        preds = predict_fn(stacked)
+        for block in split(preds):
+            out.append(block.mean(axis=0))
+        """
+        assert run_rule("predict-in-loop", src, "xai/mod.py") == []
+
+    def test_silent_when_loop_iterates_over_one_batched_call(self):
+        # the iterable is evaluated once — that IS the batched idiom
+        src = "rows = [r for r in model.predict_proba(X)]"
+        assert run_rule("predict-in-loop", src, "xai/mod.py") == []
+
+    def test_silent_outside_the_xai_package(self):
+        src = """
+        for row in X:
+            out.append(model.predict(row))
+        """
+        assert run_rule("predict-in-loop", src, "ml/mod.py") == []
+        assert run_rule("predict-in-loop", src, "gateway/mod.py") == []

@@ -1,0 +1,149 @@
+"""The flat evaluation kernel's contract: *bitwise* equality with `_route`.
+
+The recursive walk and the flat iterative traversal evaluate the same
+``X[i, feature] <= threshold`` comparisons on the same float64 values and
+copy the same leaf-value vectors, so their outputs must agree to the last
+ulp — ``np.array_equal``, not ``allclose``.  Hypothesis drives random
+datasets and tree shapes through single trees, the forest and the GBDT;
+serialization must round-trip the flat form with the same guarantee.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.flattree import FlatTree
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbdt import GradientBoostedTreesClassifier
+from repro.ml.serialization import load_model, save_model
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestFlatTreeStructure:
+    def test_compiled_on_fit(self, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        flat = model.flat_
+        assert flat.n_nodes == len(model.nodes_)
+        assert flat.value_width == len(model.classes_)
+        # leaves are exactly the feature == -1 rows
+        leaves = [i for i, node in enumerate(model.nodes_) if node.is_leaf]
+        assert np.array_equal(np.flatnonzero(flat.feature < 0), leaves)
+
+    def test_round_trips_through_nodes(self, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        rebuilt = FlatTree.from_nodes(model.flat_.to_nodes())
+        for name in ("feature", "threshold", "left", "right", "value", "n_samples"):
+            assert np.array_equal(getattr(rebuilt, name), getattr(model.flat_, name))
+
+    def test_single_leaf_tree(self):
+        X = np.zeros((10, 2))
+        y = np.zeros(10, dtype=int)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.flat_.n_nodes == 1
+        assert np.array_equal(model.flat_.apply(np.ones((3, 2))), np.zeros(3))
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            FlatTree(
+                feature=np.array([-1], dtype=np.int64),
+                threshold=np.zeros(2),
+                left=np.array([-1], dtype=np.int64),
+                right=np.array([-1], dtype=np.int64),
+                value=np.zeros((1, 1)),
+                n_samples=np.array([1], dtype=np.int64),
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_classes=st.integers(2, 4),
+    depth=st.integers(1, 8),
+    min_leaf=st.integers(1, 5),
+)
+def test_flat_tree_bitwise_equals_recursive(seed, n_classes, depth, min_leaf):
+    gen = np.random.default_rng(seed)
+    X = gen.normal(size=(80, 4))
+    y = gen.integers(0, n_classes, size=80)
+    model = DecisionTreeClassifier(
+        max_depth=depth, min_samples_leaf=min_leaf
+    ).fit(X, y)
+    X_test = gen.normal(size=(40, 4))
+    assert np.array_equal(
+        model.predict_proba(X_test), model.predict_proba_recursive(X_test)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000), growth=st.sampled_from(["level", "leaf"]))
+def test_flat_regressor_bitwise_equals_recursive(seed, growth):
+    gen = np.random.default_rng(seed)
+    X = gen.normal(size=(60, 3))
+    g = gen.normal(size=60)
+    h = np.abs(gen.normal(size=60)) + 0.1
+    model = DecisionTreeRegressor(
+        max_depth=4, growth=growth, max_leaves=7 if growth == "leaf" else None
+    ).fit(X, g, h)
+    X_test = gen.normal(size=(30, 3))
+    assert np.array_equal(model.predict(X_test), model.predict_recursive(X_test))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_flat_forest_bitwise_equals_recursive(seed):
+    gen = np.random.default_rng(seed)
+    X = gen.normal(size=(70, 4))
+    y = gen.integers(0, 3, size=70)
+    model = RandomForestClassifier(n_estimators=7, max_depth=5, seed=seed).fit(X, y)
+    X_test = gen.normal(size=(25, 4))
+    assert np.array_equal(
+        model.predict_proba(X_test), model.predict_proba_recursive(X_test)
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_flat_gbdt_bitwise_equals_recursive(seed):
+    gen = np.random.default_rng(seed)
+    X = gen.normal(size=(60, 3))
+    y = gen.integers(0, 3, size=60)
+    model = GradientBoostedTreesClassifier(n_estimators=3, seed=seed).fit(X, y)
+    X_test = gen.normal(size=(20, 3))
+    assert np.array_equal(
+        model.decision_function(X_test), model.decision_function_recursive(X_test)
+    )
+
+
+class TestSerializationKeepsFlatForm:
+    def test_tree_round_trip_is_bitwise(self, tmp_path, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        path = tmp_path / "tree.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        for name in ("feature", "threshold", "left", "right", "value", "n_samples"):
+            assert np.array_equal(
+                getattr(loaded.flat_, name), getattr(model.flat_, name)
+            )
+        assert np.array_equal(loaded.predict_proba(X), model.predict_proba(X))
+
+    def test_forest_round_trip_is_bitwise(self, tmp_path, blobs):
+        X, y = blobs
+        model = RandomForestClassifier(n_estimators=5, max_depth=4).fit(X, y)
+        path = tmp_path / "forest.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert np.array_equal(loaded.predict_proba(X), model.predict_proba(X))
+
+    def test_gbdt_round_trip_is_bitwise(self, tmp_path, three_blobs):
+        X, y = three_blobs
+        model = GradientBoostedTreesClassifier(n_estimators=3).fit(X, y)
+        path = tmp_path / "gbdt.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert np.array_equal(
+            loaded.decision_function(X), model.decision_function(X)
+        )

@@ -48,6 +48,7 @@ class TestLintSelfCheck:
             "all-drift",
             "shadowed-builtin",
             "lock-discipline",
+            "predict-in-loop",
         } <= ids
 
     def test_catches_missing_placeholder(self):
@@ -89,6 +90,10 @@ class TestLintSelfCheck:
                 "tracing/mod.py",
             ),
             "all-drift": ("__all__ = ['ghost']", "mod.py"),
+            "predict-in-loop": (
+                "for x in items:\n    y = model.predict(x)",
+                "xai/mod.py",
+            ),
             "shadowed-builtin": ("def f(input): pass", "mod.py"),
             "lock-discipline": (
                 "import threading\n"
