@@ -602,3 +602,98 @@ def lock_discipline(module: ModuleContext) -> Iterator[Tuple[int, str]]:
                         f"{cls.name}.{attr} is lock-guarded elsewhere but "
                         f"accessed without the lock in {method_name}()"
                     )
+
+
+def _is_empty_list_init(value: ast.AST) -> bool:
+    """``[]`` or ``list()`` — the start of an unbounded accumulator."""
+    if isinstance(value, ast.List) and not value.elts:
+        return True
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "list"
+        and not value.args
+        and not value.keywords
+    )
+
+
+def _empty_list_attrs(module: ModuleContext) -> Set[str]:
+    """Attribute names assigned an empty list inside any ``__init__``."""
+    attrs: Set[str] = set()
+    for fn in module.walk(ast.FunctionDef):
+        if fn.name != "__init__":
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and _is_empty_list_init(node.value):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and _is_empty_list_init(node.value):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    attrs.add(target.attr)
+    return attrs
+
+
+@rule("hotpath-accumulator")
+def hotpath_accumulator(module: ModuleContext) -> Iterator[Tuple[int, str]]:
+    """Per-event Python-list patterns that cap gateway capacity runs.
+
+    The million-request pipeline (DESIGN.md §11) exists because the seed
+    gateway accumulated one Python object per simulated request: list
+    queues dequeued with ``pop(0)`` (O(queue) per service completion)
+    and per-request ``.append`` onto unbounded instance lists (O(run)
+    memory).  Inside ``repro.gateway`` this rule flags
+
+    * any ``X.pop(0)`` call — a deque with ``popleft()`` is O(1) and
+      drop-in for FIFO order, and
+    * ``obj.attr.append(...)`` outside ``__init__`` where ``attr`` is
+      initialised as an empty list in an ``__init__`` of the same module
+      — the signature of an accumulator that grows with event count.
+
+    Intentional remnants — the record-based oracle paths the columnar
+    pipeline is checked against, and lists bounded by vocabulary rather
+    than request count — are baselined with their rationale in
+    ``lint-baseline.json``.
+    """
+    if module.package != "gateway":
+        return
+    for node in module.walk(ast.Call):
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pop"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == 0
+        ):
+            yield node.lineno, (
+                "list.pop(0) is O(queue length) per dequeue — use "
+                "collections.deque.popleft()"
+            )
+    accumulators = _empty_list_attrs(module)
+    if not accumulators:
+        return
+    seen: Set[Tuple[int, int]] = set()
+    for fn in module.walk(ast.FunctionDef, ast.AsyncFunctionDef):
+        if fn.name == "__init__":
+            continue
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr in accumulators
+            ):
+                key = (node.lineno, node.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield node.lineno, (
+                    f"append onto {node.func.value.attr!r} (an empty-list "
+                    "instance attribute) grows without bound on a gateway "
+                    "hot path — stream into a sketch/reservoir or use a "
+                    "bounded structure"
+                )

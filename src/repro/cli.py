@@ -97,27 +97,75 @@ def _cmd_poison(args: argparse.Namespace) -> int:
 
 
 def _cmd_capacity(args: argparse.Namespace) -> int:
+    import time as _time
+
     from repro.gateway import LoadGenerator, ThreadGroup, build_paper_deployment
+    from repro.gateway.arrivals import PoissonArrivalGroup
+    from repro.gateway.capacity import CapacityRunner
 
     sim, gateway = build_paper_deployment(seed=args.seed)
     if args.route not in gateway.routes:
         print(f"unknown route {args.route!r}; available: {gateway.routes}",
               file=sys.stderr)
         return 2
-    generator = LoadGenerator(sim, gateway)
-    generator.add_thread_group(
-        ThreadGroup(
-            route=args.route,
-            n_threads=args.threads,
-            rampup_seconds=1.0,
-            iterations=args.iterations,
-            payload=args.payload,
+    if args.engine == "records":
+        if args.open_loop is not None:
+            print("--open-loop requires --engine columnar", file=sys.stderr)
+            return 2
+        generator = LoadGenerator(sim, gateway)
+        generator.add_thread_group(
+            ThreadGroup(
+                route=args.route,
+                n_threads=args.threads,
+                rampup_seconds=1.0,
+                iterations=args.iterations,
+                payload=args.payload,
+            )
         )
+        report = generator.run()
+        print(f"capacity test: route={args.route} threads={args.threads} "
+              f"payload={args.payload} engine=records")
+        print("  " + report.render_text())
+        return 0
+    runner = CapacityRunner(
+        sim,
+        gateway,
+        retain_records=not args.no_retain,
+        seed=args.seed,
+        trace_every=args.trace_every,
     )
-    report = generator.run()
-    print(f"capacity test: route={args.route} threads={args.threads} "
-          f"payload={args.payload}")
+    if args.open_loop is not None:
+        runner.add_open_loop(
+            PoissonArrivalGroup(
+                route=args.route,
+                rate_rps=args.open_loop,
+                n_requests=args.requests,
+                payload=args.payload,
+            )
+        )
+        shape = f"open-loop rate={args.open_loop:g}rps requests={args.requests}"
+    else:
+        runner.add_thread_group(
+            ThreadGroup(
+                route=args.route,
+                n_threads=args.threads,
+                rampup_seconds=1.0,
+                iterations=args.iterations,
+                payload=args.payload,
+            )
+        )
+        shape = f"threads={args.threads} iterations={args.iterations}"
+    started = _time.perf_counter()
+    report = runner.run()
+    elapsed = _time.perf_counter() - started
+    print(f"capacity test: route={args.route} {shape} "
+          f"payload={args.payload} engine=columnar"
+          f"{' (ring)' if args.no_retain else ''}")
     print("  " + report.render_text())
+    print(f"  {sim.processed_events} events in {elapsed:.3f}s wall "
+          f"({sim.processed_events / elapsed:,.0f} events/s), "
+          f"log capacity {runner.log.capacity} rows"
+          + (f", {runner.log.recycled} recycled" if args.no_retain else ""))
     return 0
 
 
@@ -440,6 +488,39 @@ def build_parser() -> argparse.ArgumentParser:
     capacity.add_argument("--iterations", type=int, default=20)
     capacity.add_argument("--payload", default="tabular")
     capacity.add_argument("--seed", type=int, default=1)
+    capacity.add_argument(
+        "--engine",
+        choices=["columnar", "records"],
+        default="columnar",
+        help="columnar = streaming CapacityRunner (default); "
+        "records = seed-style per-request record path",
+    )
+    capacity.add_argument(
+        "--open-loop",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="drive a Poisson open-loop arrival process at RATE "
+        "requests/second instead of closed-loop threads",
+    )
+    capacity.add_argument(
+        "--requests",
+        type=int,
+        default=10_000,
+        help="total requests for --open-loop runs",
+    )
+    capacity.add_argument(
+        "--trace-every",
+        type=int,
+        default=0,
+        help="route every Nth request through the traced record path",
+    )
+    capacity.add_argument(
+        "--no-retain",
+        action="store_true",
+        help="ring mode: recycle completed rows (memory bounded by "
+        "in-flight count, enables million-request runs)",
+    )
     capacity.set_defaults(func=_cmd_capacity)
 
     demo = sub.add_parser(

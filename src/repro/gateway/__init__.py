@@ -7,6 +7,15 @@ the same deployment: machines with vCPU counts, micro-services with
 calibrated service-time models, a gateway with routing overhead, and a
 closed-loop thread-group load generator producing the same summary metrics
 JMeter reports (average response time, throughput, error rate).
+
+For production-scale runs the package also provides a columnar pipeline
+(:class:`~repro.gateway.records.RecordLog`,
+:class:`~repro.gateway.capacity.CapacityRunner`): requests become row
+indices in struct-of-arrays numpy columns, statistics stream through
+quantile sketches and seeded reservoirs instead of retained samples, and
+open-loop Poisson arrival groups express workloads closed-loop threads
+cannot — millions of requests in seconds of wall-clock and bounded memory
+(DESIGN.md §11).
 """
 
 from repro.gateway.simulation import Simulator
@@ -31,25 +40,45 @@ from repro.gateway.loadgen import (
     ThreadGroup,
     run_load_test,
 )
+from repro.gateway.records import RecordLog
+from repro.gateway.sketches import (
+    ExemplarSlots,
+    QuantileSketch,
+    ReservoirSample,
+    RouteStats,
+    StreamingMoments,
+)
+from repro.gateway.arrivals import PoissonArrivalGroup, arrival_chunks
+from repro.gateway.capacity import CapacityRunner, summary_from_log
 
 __all__ = [
     "APIGateway",
     "Autoscaler",
     "AutoscalerPolicy",
+    "CapacityRunner",
+    "ExemplarSlots",
     "LoadGenerator",
     "Machine",
     "MicroService",
     "PAPER_SERVICES",
     "PAPER_STAGE_PROFILES",
+    "PoissonArrivalGroup",
+    "QuantileSketch",
     "RateLimitRule",
     "RateLimitedGateway",
+    "RecordLog",
     "Request",
     "RequestRecord",
+    "ReservoirSample",
+    "RouteStats",
     "ScalingEvent",
     "ServiceTimeModel",
     "Simulator",
+    "StreamingMoments",
     "SummaryReport",
     "ThreadGroup",
+    "arrival_chunks",
     "build_paper_deployment",
     "run_load_test",
+    "summary_from_log",
 ]

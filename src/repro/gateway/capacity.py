@@ -1,0 +1,682 @@
+"""Million-request capacity runs over the columnar record pipeline.
+
+:class:`CapacityRunner` is the high-throughput sibling of
+:class:`~repro.gateway.loadgen.LoadGenerator`.  The record-based generator
+allocates a ``Request`` + ``RequestRecord`` + closure chain per simulated
+request and retains every record; the runner instead threads bare
+:class:`~repro.gateway.records.RecordLog` row indices through the
+simulator, draws service times from pre-sampled vectorized batches, and
+aggregates *streaming* statistics (quantile sketch, Welford moments,
+seeded reservoirs) so a run's memory is bounded by its in-flight request
+count — not its request count.
+
+Workloads:
+
+* closed-loop :class:`~repro.gateway.loadgen.ThreadGroup` — each virtual
+  user is one reusable ``__slots__`` object whose bound methods are the
+  scheduled callbacks (no per-iteration closures);
+* open-loop :class:`~repro.gateway.arrivals.PoissonArrivalGroup` — the
+  "millions of independent users" workload, with arrival times drawn as
+  chunked numpy cumsums and bulk-loaded into the event heap one bounded
+  chunk at a time.
+
+Gateway overhead is modelled arithmetically where the seed path used
+events: a request's ``arrival`` is one overhead leg before its submit
+event and its ``end`` one leg after service completion, so response
+times match the record path while the hot loop processes two to three
+heap events per request instead of five.
+
+Tracing stays available at bounded cost through *hybrid sampling*: with
+``trace_every=N``, every Nth request is routed through the real
+``APIGateway.dispatch`` record path under the gateway's tracer, and the
+slowest traced responses are kept as latency exemplars that link back to
+recorded traces (the Fig. 8 "slow window → trace" workflow).
+"""
+
+from __future__ import annotations
+
+from heapq import heappush as _heappush
+from math import ceil as _ceil, log as _mlog
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.gateway.arrivals import PoissonArrivalGroup, arrival_chunks
+from repro.gateway.gateway import APIGateway
+from repro.gateway.loadgen import SummaryReport, ThreadGroup
+from repro.gateway.records import RecordLog
+from repro.gateway.services import MicroService, Request, RequestRecord
+from repro.gateway.simulation import _NO_ARG, Simulator
+from repro.gateway.sketches import (
+    QuantileSketch,
+    RouteStats,
+    StreamingMoments,
+)
+from repro.telemetry.events import KIND_RESPONSE, TelemetryEvent
+
+__all__ = ["CapacityRunner", "summary_from_log"]
+
+#: Arrivals bulk-loaded into the event heap per open-loop chunk; bounds
+#: both the numpy draw size and the number of pre-scheduled heap entries.
+ARRIVAL_CHUNK = 8192
+
+
+class _VirtualUser:
+    """One closed-loop user: a reusable state object, not a closure chain.
+
+    ``advance`` *is* the submit event: it fires one gateway leg after the
+    logical send, stamps ``arrival = now - overhead`` and hands the row
+    straight to the service, so each iteration costs two heap events
+    (advance + service finish).
+    """
+
+    __slots__ = ("runner", "service", "route", "route_id", "payload",
+                 "payload_id", "think", "remaining", "sim", "overhead",
+                 "log", "submit", "delay", "step", "stats")
+
+    def __init__(
+        self,
+        runner: "CapacityRunner",
+        group: ThreadGroup,
+        service: MicroService,
+    ) -> None:
+        self.runner = runner
+        self.service = service
+        self.sim = runner.sim  # hot-path locals: one load, not a chain
+        self.overhead = runner.overhead
+        self.log = runner.log
+        # a group's payload is fixed, so validate it here once and take
+        # the probe-free submit; unsupported payloads keep the checking
+        # variant so they fail through the normal per-request path
+        self.submit = (
+            service.submit_trusted_row
+            if service.service_time.supports(group.payload)
+            else service.submit_row
+        )
+        self.route = group.route
+        self.route_id = runner.log.intern_route(group.route)
+        #: the route's streaming aggregate — the completion sink takes it
+        #: straight off the parked owner instead of re-resolving the row's
+        #: route id through the log
+        self.stats = runner.route_stats[self.route_id]
+        self.payload = group.payload
+        self.payload_id = runner.log.intern_payload(group.payload)
+        self.think = group.think_time
+        #: response receipt (``end``) -> next submit: think + request leg.
+        #: The completion sink adds this to the row's ``end`` stamp, so
+        #: continuation needs no clock read.
+        self.delay = runner.overhead + group.think_time
+        self.remaining = group.iterations
+        #: the scheduled iteration callback, pre-bound once per user —
+        #: with tracing off the trace-sampling counter and modulo check
+        #: drop out of the per-request path entirely, and retain mode
+        #: additionally inlines the straight-line row append
+        if runner.trace_every:
+            self.step = self.advance
+        elif runner.log.retain:
+            self.step = self._advance_retain
+        else:
+            self.step = self._advance_untraced
+
+    def advance(self) -> None:
+        self.remaining -= 1
+        runner = self.runner
+        runner.sent += 1
+        if runner.sent % runner.trace_every == 0:
+            runner.dispatch_traced(self.route, self.payload, self.on_traced)
+            return
+        log = self.log
+        row = log.append(
+            self.route_id, self.payload_id, self.sim.now - self.overhead
+        )
+        in_flight = runner.in_flight + 1
+        runner.in_flight = in_flight
+        log.v_active[row] = in_flight
+        if self.remaining > 0:
+            log.slots[row] = self
+        self.submit(row)
+
+    def _advance_untraced(self) -> None:
+        self.remaining -= 1
+        log = self.log
+        row = log.append(
+            self.route_id, self.payload_id, self.sim.now - self.overhead
+        )
+        runner = self.runner
+        in_flight = runner.in_flight + 1
+        runner.in_flight = in_flight
+        log.v_active[row] = in_flight
+        if self.remaining > 0:
+            log.slots[row] = self
+        self.submit(row)
+
+    def _advance_retain(self) -> None:
+        # _advance_untraced with RecordLog._append_retain inlined: the
+        # retained closed-loop replay (the speedup-gate workload) pays
+        # for a call here once per request
+        self.remaining -= 1
+        log = self.log
+        row = log.size
+        if row == log.capacity:
+            log._grow()
+        log.size = row + 1
+        log.appended += 1
+        log.v_arrival[row] = self.sim.now - self.overhead
+        log.v_route_ids[row] = self.route_id
+        log.v_payload_ids[row] = self.payload_id
+        runner = self.runner
+        in_flight = runner.in_flight + 1
+        runner.in_flight = in_flight
+        log.v_active[row] = in_flight
+        if self.remaining > 0:
+            log.slots[row] = self
+        self.submit(row)
+
+    def on_traced(self, record: RequestRecord) -> None:
+        """Completion of a trace-sampled iteration (real gateway path)."""
+        runner = self.runner
+        runner.observe_record(record)
+        if self.remaining > 0:
+            # client got the response now; think, then fire the next
+            # submit one overhead leg later
+            runner.sim.schedule(self.think + runner.overhead, self.step)
+
+
+class _OpenLoopDriver:
+    """Feeds one Poisson group's arrivals into the heap, chunk by chunk."""
+
+    __slots__ = ("runner", "service", "route", "route_id", "payload",
+                 "payload_id", "chunks", "sim", "overhead", "log", "submit",
+                 "step")
+
+    def __init__(
+        self,
+        runner: "CapacityRunner",
+        group: PoissonArrivalGroup,
+        rng: np.random.Generator,
+    ) -> None:
+        self.runner = runner
+        self.service = runner.bind(group.route)
+        self.sim = runner.sim
+        self.overhead = runner.overhead
+        self.log = runner.log
+        # fixed payload per arrival process — see _VirtualUser.submit
+        self.submit = (
+            self.service.submit_trusted_row
+            if self.service.service_time.supports(group.payload)
+            else self.service.submit_row
+        )
+        self.route = group.route
+        self.route_id = runner.log.intern_route(group.route)
+        self.payload = group.payload
+        self.payload_id = runner.log.intern_payload(group.payload)
+        self.chunks = arrival_chunks(group, rng, ARRIVAL_CHUNK)
+        #: per-arrival callback; see _VirtualUser.step
+        self.step = self.fire if runner.trace_every else self._fire_untraced
+
+    def load_chunk(self) -> None:
+        """Bulk-load the next arrival chunk; chain the following load.
+
+        The chain event is pushed *after* this chunk's fire events at the
+        same timestamp as the last of them, so the heap never holds more
+        than one chunk of future arrivals per group.
+        """
+        times = next(self.chunks, None)
+        if times is None:
+            return
+        sim = self.sim
+        fire = self.step
+        schedule = sim.schedule
+        # fire at submit time (arrival + one gateway leg); see fire()
+        shift = self.overhead - sim.now
+        delays = (times + shift).tolist()
+        for delay in delays:
+            schedule(delay, fire)
+        schedule(delays[-1], self.load_chunk)
+
+    def fire(self) -> None:
+        """One open-loop arrival, already shifted to its submit time."""
+        runner = self.runner
+        runner.sent += 1
+        if runner.sent % runner.trace_every == 0:
+            runner.dispatch_traced(
+                self.route, self.payload, runner.observe_record
+            )
+            return
+        log = self.log
+        row = log.append(
+            self.route_id, self.payload_id, self.sim.now - self.overhead
+        )
+        in_flight = runner.in_flight + 1
+        runner.in_flight = in_flight
+        log.v_active[row] = in_flight
+        self.submit(row)
+
+    def _fire_untraced(self) -> None:
+        log = self.log
+        row = log.append(
+            self.route_id, self.payload_id, self.sim.now - self.overhead
+        )
+        runner = self.runner
+        in_flight = runner.in_flight + 1
+        runner.in_flight = in_flight
+        log.v_active[row] = in_flight
+        self.submit(row)
+
+
+class CapacityRunner:
+    """Drives columnar workloads against a gateway's services.
+
+    Parameters
+    ----------
+    sim, gateway:
+        The simulator and deployment (e.g. from
+        :func:`~repro.gateway.cluster.build_paper_deployment`).  Routes
+        are resolved through the gateway; the gateway's per-leg overhead
+        is applied arithmetically on the hot path and its tracer serves
+        the ``trace_every`` sampled requests.
+    retain_records:
+        ``True`` keeps every row (enables :meth:`records` and the exact
+        :func:`summary_from_log` oracle); ``False`` recycles completed
+        rows so memory is bounded by the in-flight count.
+    seed:
+        Master seed for arrival processes and the stats reservoirs.
+    trace_every:
+        Route every Nth request through the real ``dispatch`` record
+        path (0 disables).  With a recording tracer on the gateway, the
+        slowest sampled responses are kept as trace-linked exemplars.
+    telemetry, topic:
+        Optional telemetry target: :meth:`run` publishes the summary
+        events plus one exemplar ``KIND_RESPONSE`` event per kept
+        exemplar (bounded — the columnar path never publishes per-request
+        events).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gateway: APIGateway,
+        retain_records: bool = False,
+        seed: int = 0,
+        trace_every: int = 0,
+        series_slots: int = 512,
+        exemplar_slots: int = 8,
+        relative_accuracy: float = 0.005,
+        telemetry=None,
+        topic: str = "gateway",
+        initial_capacity: int = 4096,
+    ) -> None:
+        if trace_every < 0:
+            raise ValueError("trace_every must be >= 0")
+        self.sim = sim
+        self.gateway = gateway
+        self.overhead = gateway.overhead_seconds
+        self.log = RecordLog(initial_capacity, retain=retain_records)
+        self.seed = seed
+        self.trace_every = trace_every
+        self.series_slots = series_slots
+        self.exemplar_slots = exemplar_slots
+        self.relative_accuracy = relative_accuracy
+        self.telemetry = telemetry
+        self.topic = topic
+        #: trace-sampling counter — maintained only when ``trace_every``
+        #: is on (the untraced step variants skip it; use
+        #: ``log.appended`` for the number of requests started)
+        self.sent = 0
+        self.in_flight = 0
+        #: route id -> streaming aggregate (ids are log-interned ints)
+        self.route_stats: Dict[int, RouteStats] = {}
+        # dense route-id-indexed view of route_stats: the completion sink
+        # fires once per request, and a list index on a small int beats a
+        # dict probe there
+        self._stats_list: List[Optional[RouteStats]] = []
+        # completion recycles rows inline (``log.slots`` row linkage and
+        # the free list) rather than through dict lookups and a release
+        # call; the sink variant is chosen here so retain mode never even
+        # tests for a free list on the per-request path
+        self._free = self.log._free
+        self.row_completed = (
+            self._row_completed_retain
+            if retain_records
+            else self._row_completed_ring
+        )
+        # closed-loop continuation is a pure heap push (the think delay
+        # is non-negative by construction) — see MicroService.use_columnar
+        self._sim_queue = sim._queue
+        self._sim_counter = sim._counter
+        self._bound: Dict[str, MicroService] = {}
+        self._groups = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def _stats_for(self, route: str, route_id: int) -> RouteStats:
+        """The streaming aggregate for a route id, created on first use."""
+        stats = self.route_stats.get(route_id)
+        if stats is None:
+            stats = RouteStats(
+                route,
+                seed=self.seed + 7919 * (route_id + 1),
+                relative_accuracy=self.relative_accuracy,
+                series_slots=self.series_slots,
+                exemplar_slots=self.exemplar_slots,
+            )
+            self.route_stats[route_id] = stats
+            while len(self._stats_list) <= route_id:
+                self._stats_list.append(None)
+            self._stats_list[route_id] = stats
+        return stats
+
+    def bind(self, route: str) -> MicroService:
+        """Resolve a route and switch its service to the columnar path."""
+        service = self._bound.get(route)
+        if service is None:
+            service = self.gateway.service(route)
+            service.use_columnar(self.log, self.sim, self.row_completed)
+            self._bound[route] = service
+            self._stats_for(route, self.log.intern_route(route))
+        return service
+
+    def add_thread_group(self, group: ThreadGroup) -> None:
+        """Schedule a closed-loop group (JMeter linear ramp-up)."""
+        service = self.bind(group.route)
+        spacing = (
+            group.rampup_seconds / group.n_threads if group.n_threads else 0.0
+        )
+        overhead = self.overhead
+        for thread in range(group.n_threads):
+            user = _VirtualUser(self, group, service)
+            self.sim.schedule(thread * spacing + overhead, user.step)
+        self._groups += 1
+
+    def add_open_loop(self, group: PoissonArrivalGroup) -> None:
+        """Schedule an open-loop Poisson arrival group."""
+        self._groups += 1
+        rng = np.random.default_rng(self.seed + 104729 * self._groups)
+        driver = _OpenLoopDriver(self, group, rng)
+        driver.load_chunk()
+
+    # -- hot-path sinks -----------------------------------------------------
+
+    def _row_completed_retain(self, row: int, ok: bool) -> None:
+        """Service finished a row: response leg, stats, advance.
+
+        ``ok`` arrives from the service (mirroring ``log.ok[row]``) and
+        scalar column access goes through the log's memoryview mirrors
+        so the sketch and reservoir work on plain Python floats/ints
+        (faster hashing and math than numpy scalars on a per-event path).
+        Closed-loop continuation comes off ``log.slots``: the owning
+        virtual user parked itself on its in-flight row and is cleared
+        here, keeping the None-when-free invariant recycled rows rely on.
+        ``__init__`` installs this variant (every row kept) or the ring
+        variant (row recycled onto the free list) as ``row_completed``.
+
+        The streaming fold — sketch bin bump, Welford update, reservoir
+        steady-state check — is :meth:`RouteStats.observe` inlined: this
+        sink runs once per simulated request, and the four-argument call
+        costs as much as the fold itself.  ``RouteStats.observe`` stays
+        the reference implementation (the trace-sampled record path uses
+        it) and the equivalence tests hold the two equal.
+        """
+        log = self.log
+        end = self.sim.now + self.overhead
+        log.v_end[row] = end
+        ms = (end - log.v_arrival[row]) * 1000.0
+        slots = log.slots
+        owner = slots[row]
+        if owner is not None:
+            slots[row] = None
+            # the parked user carries its route's stats bundle, so the
+            # common closed-loop case skips the route-id column read;
+            # client receives at end; think; next submit one leg later —
+            # owner.delay is denominated from ``end``, so no clock read
+            stats = owner.stats
+            _heappush(
+                self._sim_queue,
+                (end + owner.delay, next(self._sim_counter), owner.step, _NO_ARG),
+            )
+        else:
+            stats = self._stats_list[log.v_route_ids[row]]
+        if ok:
+            latency = stats.latency
+            if ms < latency.min:
+                latency.min = ms
+            if ms > latency.max:
+                latency.max = ms
+            if ms > 0.0:
+                index = _ceil(_mlog(ms) * latency._inv_log_gamma)
+                bins = latency._bins
+                try:  # after warmup the bin almost always exists
+                    bins[index] += 1
+                except KeyError:
+                    bins[index] = 1
+            else:
+                latency._zeros += 1
+            moments = stats.moments
+            count = moments.count + 1
+            moments.count = count
+            delta = ms - moments.mean
+            mean = moments.mean + delta / count
+            moments.mean = mean
+            moments._m2 += delta * (ms - mean)
+            series = stats.series
+            seen = series.seen + 1
+            if seen > series.k and seen != series._next:
+                series.seen = seen
+            else:
+                series.offer(end, ms, log.v_active[row])
+        else:
+            stats.n_errors += 1
+        self.in_flight -= 1
+
+    def _row_completed_ring(self, row: int, ok: bool) -> None:
+        """Ring-mode completion sink: as retain, plus row recycling.
+
+        The row goes on the free list first; the retained fold then
+        clears ``slots[row]``, preserving the None-when-free invariant.
+        """
+        self._free.append(row)
+        self._row_completed_retain(row, ok)
+
+    def dispatch_traced(
+        self,
+        route: str,
+        payload: str,
+        on_response: Callable[[RequestRecord], None],
+    ) -> None:
+        """Send one sampled request through the real gateway record path."""
+        self.in_flight += 1
+        request = Request(request_id=self.sent, route=route, payload=payload)
+        self.gateway.dispatch(request, on_response)
+
+    def observe_record(self, record: RequestRecord) -> None:
+        """Fold a record-path (trace-sampled) completion into the stats."""
+        self.in_flight -= 1
+        ms = record.response_time * 1000.0
+        route = record.request.route
+        stats = self._stats_for(route, self.log.intern_route(route))
+        stats.observe(record.end, ms, record.success, self.in_flight + 1)
+        if record.trace is not None:
+            stats.exemplars.offer(
+                ms, record.end, record.request.route, record.trace
+            )
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self, duration: float) -> SummaryReport:
+        """Assemble the JMeter-style report from the streaming aggregates.
+
+        O(routes) work and O(sketch + reservoir) memory: quantiles come
+        from the per-route sketches (merged for the top level — the
+        sketch merge is lossless), the mean from Welford moments, and
+        the timeline from the seeded reservoirs.
+        """
+        active = [
+            self.route_stats[route_id]
+            for route_id in sorted(self.route_stats)
+            if self.route_stats[route_id].n_requests > 0
+        ]
+        if not active:
+            return SummaryReport(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, duration)
+        merged_sketch = QuantileSketch(self.relative_accuracy)
+        merged_moments = StreamingMoments()
+        n_requests = 0
+        n_errors = 0
+        timeline = []
+        for stats in active:
+            merged_sketch.merge(stats.latency)
+            merged_moments.merge(stats.moments)
+            n_requests += stats.n_requests
+            n_errors += stats.n_errors
+            timeline.extend(stats.timeline())
+        timeline.sort()
+        report = _stats_report(
+            n_requests,
+            n_errors,
+            merged_sketch,
+            merged_moments,
+            duration,
+            timeline,
+        )
+        if len(active) > 1:
+            for stats in active:
+                report.per_route[stats.route] = _stats_report(
+                    stats.n_requests,
+                    stats.n_errors,
+                    stats.latency,
+                    stats.moments,
+                    duration,
+                    stats.timeline(),
+                )
+        return report
+
+    def exemplar_events(self) -> List[TelemetryEvent]:
+        """Kept trace exemplars as trace-linked ``KIND_RESPONSE`` events."""
+        events = []
+        for route_id in sorted(self.route_stats):
+            for ms, end, route, trace in self.route_stats[
+                route_id
+            ].exemplars.items():
+                event = TelemetryEvent(
+                    source=route,
+                    value=ms,
+                    timestamp=end,
+                    kind=KIND_RESPONSE,
+                    attrs={"exemplar": 1.0},
+                )
+                event.with_trace(trace.trace_id, trace.span_id)
+                events.append(event)
+        return events
+
+    def run(self, until: Optional[float] = None) -> SummaryReport:
+        """Run the simulation to completion and return the summary."""
+        end_time = self.sim.run(until=until)
+        report = self.summary(end_time)
+        if self.telemetry is not None:
+            for event in report.to_events(timestamp=end_time):
+                self.telemetry.publish(self.topic, event)
+            for event in self.exemplar_events():
+                self.telemetry.publish(self.topic, event)
+            self.telemetry.pump()
+        return report
+
+    def records(self):
+        """The classic ``RequestRecord`` views (requires retain mode)."""
+        return self.log.records()
+
+
+def _stats_report(
+    n_requests: int,
+    n_errors: int,
+    sketch: QuantileSketch,
+    moments: StreamingMoments,
+    duration: float,
+    timeline,
+) -> SummaryReport:
+    n_ok = n_requests - n_errors
+    if n_ok:
+        avg = moments.mean
+        median = sketch.quantile(0.5)
+        p95 = sketch.quantile(0.95)
+        p99 = sketch.quantile(0.99)
+        peak = sketch.max
+    else:
+        avg = median = p95 = p99 = peak = 0.0
+    return SummaryReport(
+        n_requests=n_requests,
+        n_errors=n_errors,
+        avg_response_ms=avg,
+        median_response_ms=median,
+        p95_response_ms=p95,
+        max_response_ms=peak,
+        throughput_rps=n_ok / duration if duration > 0 else 0.0,
+        duration_seconds=duration,
+        p99_response_ms=p99,
+        timeline=timeline,
+    )
+
+
+def summary_from_log(log: RecordLog, duration: float) -> SummaryReport:
+    """Exact summary over a retained log: the vectorized percentile oracle.
+
+    Equivalent to ``SummaryReport.from_records(log.records(), duration)``
+    but computed in a handful of whole-column numpy passes — the
+    reference the sketch-based :meth:`CapacityRunner.summary` is checked
+    against (counts exactly, percentiles within sketch tolerance).  Rows
+    still in flight (``end == 0``) are excluded, matching the streaming
+    path which only observes completions.
+    """
+    if not log.retain:
+        raise ValueError("summary_from_log needs retain=True")
+    n = log.size
+    completed = log.end[:n] > 0.0
+    if not completed.any():
+        return SummaryReport(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, duration)
+    arrival = log.arrival[:n][completed]
+    end = log.end[:n][completed]
+    ok = log.ok[:n][completed]
+    route_ids = log.route_ids[:n][completed]
+    report = _exact_report(arrival, end, ok, duration)
+    present = np.unique(route_ids)
+    if len(present) > 1:
+        for route_id in present:
+            mask = route_ids == route_id
+            report.per_route[log.route_name(int(route_id))] = _exact_report(
+                arrival[mask], end[mask], ok[mask], duration
+            )
+    return report
+
+
+def _exact_report(
+    arrival: np.ndarray, end: np.ndarray, ok: np.ndarray, duration: float
+) -> SummaryReport:
+    times_ms = (end[ok] - arrival[ok]) * 1000.0
+    n_requests = int(arrival.shape[0])
+    n_ok = int(times_ms.shape[0])
+    if n_ok:
+        end_ok = end[ok]
+        order = np.lexsort((times_ms, end_ok))
+        timeline = list(
+            zip(end_ok[order].tolist(), times_ms[order].tolist())
+        )
+        return SummaryReport(
+            n_requests=n_requests,
+            n_errors=n_requests - n_ok,
+            avg_response_ms=float(times_ms.mean()),
+            median_response_ms=float(np.median(times_ms)),
+            p95_response_ms=float(np.percentile(times_ms, 95)),
+            max_response_ms=float(times_ms.max()),
+            throughput_rps=n_ok / duration if duration > 0 else 0.0,
+            duration_seconds=duration,
+            p99_response_ms=float(np.percentile(times_ms, 99)),
+            timeline=timeline,
+        )
+    return SummaryReport(
+        n_requests=n_requests,
+        n_errors=n_requests,
+        avg_response_ms=0.0,
+        median_response_ms=0.0,
+        p95_response_ms=0.0,
+        max_response_ms=0.0,
+        throughput_rps=0.0,
+        duration_seconds=duration,
+    )

@@ -57,6 +57,7 @@ class SummaryReport:
     max_response_ms: float
     throughput_rps: float
     duration_seconds: float
+    p99_response_ms: float = 0.0
     per_route: Dict[str, "SummaryReport"] = field(default_factory=dict)
     #: (virtual time of response, response ms) pairs, response order
     timeline: List[Tuple[float, float]] = field(default_factory=list)
@@ -69,32 +70,60 @@ class SummaryReport:
     def from_records(
         records: List[RequestRecord], duration: float
     ) -> "SummaryReport":
-        """Build the aggregate (and per-route breakdown) from raw records."""
+        """Build the aggregate (and per-route breakdown) from raw records.
+
+        One grouping pass over the records; the per-route breakdown is
+        built from the grouped lists instead of re-filtering the full
+        list once per route (the seed behaviour, O(routes × records)).
+        """
         if not records:
             return SummaryReport(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, duration)
-        ok = [r for r in records if r.success]
-        times_ms = np.array([r.response_time * 1000.0 for r in ok]) if ok else np.array([0.0])
-        report = SummaryReport(
-            n_requests=len(records),
-            n_errors=len(records) - len(ok),
-            avg_response_ms=float(times_ms.mean()),
-            median_response_ms=float(np.median(times_ms)),
-            p95_response_ms=float(np.percentile(times_ms, 95)),
-            max_response_ms=float(times_ms.max()),
-            throughput_rps=len(ok) / duration if duration > 0 else 0.0,
-            duration_seconds=duration,
-            timeline=sorted(
-                (r.end, r.response_time * 1000.0) for r in ok
-            ),
-        )
-        routes = {r.request.route for r in records}
-        if len(routes) > 1:
-            for route in sorted(routes):
-                subset = [r for r in records if r.request.route == route]
-                report.per_route[route] = SummaryReport.from_records(
-                    subset, duration
+        groups: Dict[str, List[RequestRecord]] = {}
+        for record in records:
+            bucket = groups.get(record.request.route)
+            if bucket is None:
+                groups[record.request.route] = bucket = []
+            bucket.append(record)
+        report = SummaryReport._aggregate(records, duration)
+        if len(groups) > 1:
+            for route in sorted(groups):
+                report.per_route[route] = SummaryReport._aggregate(
+                    groups[route], duration
                 )
         return report
+
+    @staticmethod
+    def _aggregate(
+        records: List[RequestRecord], duration: float
+    ) -> "SummaryReport":
+        """Summary of one already-grouped record list (no route recursion)."""
+        ok = [r for r in records if r.success]
+        if ok:
+            times_ms = np.array([r.response_time * 1000.0 for r in ok])
+            avg = float(times_ms.mean())
+            median = float(np.median(times_ms))
+            p95 = float(np.percentile(times_ms, 95))
+            p99 = float(np.percentile(times_ms, 99))
+            peak = float(times_ms.max())
+            timeline = sorted((r.end, r.response_time * 1000.0) for r in ok)
+        else:
+            # every record failed: there is no latency sample to summarise —
+            # report zeros with n_errors == n_requests rather than the
+            # statistics of a fabricated [0.0] sample
+            avg = median = p95 = p99 = peak = 0.0
+            timeline = []
+        return SummaryReport(
+            n_requests=len(records),
+            n_errors=len(records) - len(ok),
+            avg_response_ms=avg,
+            median_response_ms=median,
+            p95_response_ms=p95,
+            max_response_ms=peak,
+            throughput_rps=len(ok) / duration if duration > 0 else 0.0,
+            duration_seconds=duration,
+            p99_response_ms=p99,
+            timeline=timeline,
+        )
 
     def to_events(
         self, source: str = "loadtest", timestamp: Optional[float] = None
@@ -119,6 +148,7 @@ class SummaryReport:
                     "n_errors": float(self.n_errors),
                     "median_response_ms": self.median_response_ms,
                     "p95_response_ms": self.p95_response_ms,
+                    "p99_response_ms": self.p99_response_ms,
                     "max_response_ms": self.max_response_ms,
                     "throughput_rps": self.throughput_rps,
                     "error_rate": self.error_rate,
@@ -140,6 +170,64 @@ class SummaryReport:
             f"max={self.max_response_ms:.1f}ms tput={self.throughput_rps:.2f}/s "
             f"err={100 * self.error_rate:.1f}%"
         )
+
+
+class _RecordUser:
+    """One closed-loop virtual user as a reusable state object.
+
+    The seed implementation rebuilt a fresh ``send``/``on_response``
+    closure pair for every iteration of every user; this object is
+    allocated once per virtual user and its bound methods are the
+    scheduled callbacks.  A closed-loop user has at most one request in
+    flight, so one ``_active_at_send`` slot per user suffices.
+    """
+
+    __slots__ = ("gen", "group", "remaining", "_active_at_send")
+
+    def __init__(self, gen: "LoadGenerator", group: ThreadGroup) -> None:
+        self.gen = gen
+        self.group = group
+        self.remaining = group.iterations
+        self._active_at_send = 0
+
+    def send(self) -> None:
+        gen = self.gen
+        gen._next_id += 1
+        gen._in_flight += 1
+        self._active_at_send = gen._in_flight
+        self.remaining -= 1
+        request = Request(
+            request_id=gen._next_id,
+            route=self.group.route,
+            payload=self.group.payload,
+        )
+        gen.gateway.dispatch(request, self.on_response)
+
+    def on_response(self, record: RequestRecord) -> None:
+        gen = self.gen
+        gen._in_flight -= 1
+        gen.responses.append(record)
+        gen.active_threads.append(
+            (self._active_at_send, record.response_time * 1000.0)
+        )
+        if gen.telemetry is not None:
+            event = TelemetryEvent(
+                source=record.request.route,
+                value=record.response_time * 1000.0,
+                timestamp=record.end,
+                kind=KIND_RESPONSE,
+                attrs={
+                    "wait_ms": record.wait_time * 1000.0,
+                    "active_threads": float(self._active_at_send),
+                    "success": 1.0 if record.success else 0.0,
+                },
+            )
+            if record.trace is not None:
+                # exemplar link: this latency sample → its trace
+                event.with_trace(record.trace.trace_id, record.trace.span_id)
+            gen.telemetry.publish(gen.topic, event)
+        if self.remaining > 0:
+            gen.sim.schedule(self.group.think_time, self.send)
 
 
 class LoadGenerator:
@@ -181,55 +269,8 @@ class LoadGenerator:
             group.rampup_seconds / group.n_threads if group.n_threads else 0.0
         )
         for thread in range(group.n_threads):
-            start_at = thread * spacing
-            self.sim.schedule(
-                start_at, self._make_user(group, remaining=group.iterations)
-            )
-
-    def _make_user(self, group: ThreadGroup, remaining: int):
-        def send() -> None:
-            self._next_id += 1
-            self._in_flight += 1
-            active_at_send = self._in_flight
-            request = Request(
-                request_id=self._next_id,
-                route=group.route,
-                payload=group.payload,
-            )
-
-            def on_response(record: RequestRecord) -> None:
-                self._in_flight -= 1
-                self.responses.append(record)
-                self.active_threads.append(
-                    (active_at_send, record.response_time * 1000.0)
-                )
-                if self.telemetry is not None:
-                    event = TelemetryEvent(
-                        source=record.request.route,
-                        value=record.response_time * 1000.0,
-                        timestamp=record.end,
-                        kind=KIND_RESPONSE,
-                        attrs={
-                            "wait_ms": record.wait_time * 1000.0,
-                            "active_threads": float(active_at_send),
-                            "success": 1.0 if record.success else 0.0,
-                        },
-                    )
-                    if record.trace is not None:
-                        # exemplar link: this latency sample → its trace
-                        event.with_trace(
-                            record.trace.trace_id, record.trace.span_id
-                        )
-                    self.telemetry.publish(self.topic, event)
-                if remaining > 1:
-                    self.sim.schedule(
-                        group.think_time,
-                        self._make_user(group, remaining - 1),
-                    )
-
-            self.gateway.dispatch(request, on_response)
-
-        return send
+            user = _RecordUser(self, group)
+            self.sim.schedule(thread * spacing, user.send)
 
     def run(self, until: Optional[float] = None) -> SummaryReport:
         """Run the simulation to completion and return the summary."""

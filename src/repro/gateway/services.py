@@ -9,7 +9,9 @@ the latencies the paper reports.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappush as _heappush
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -110,11 +112,47 @@ class ServiceTimeModel:
             return base
         return float(base * self._rng.lognormal(0.0, self.jitter))
 
+    def sample_batch(self, payload: str, n: int) -> np.ndarray:
+        """Draw ``n`` service times in one vectorized call.
+
+        Feeds the per-service refill buffer on the columnar hot path: one
+        generator call per few thousand requests instead of one per
+        request.  The batch consumes the generator stream differently
+        from ``n`` scalar :meth:`sample` calls, so the two paths are
+        statistically identical but not draw-for-draw identical.
+        """
+        if payload not in self.base_seconds:
+            raise KeyError(
+                f"service does not handle payload {payload!r}; "
+                f"supported: {sorted(self.base_seconds)}"
+            )
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        base = self.base_seconds[payload]
+        if self.jitter == 0:
+            return np.full(n, base)
+        return base * self._rng.lognormal(0.0, self.jitter, size=n)
+
     def supports(self, payload: str) -> bool:
         return payload in self.base_seconds
 
 
 CompletionCallback = Callable[[RequestRecord], None]
+
+#: Refill size for the pre-sampled service-time buffers: one vectorized
+#: generator call (plus a ``tolist`` for C-speed scalar reads) per this
+#: many requests of a payload kind.
+SERVICE_TIME_BATCH = 4096
+
+
+class _SampleBuffer:
+    """Cursor over one payload's pre-sampled service-time batch."""
+
+    __slots__ = ("values", "pos")
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+        self.pos = 0
 
 
 class MicroService:
@@ -176,11 +214,28 @@ class MicroService:
         #: request's trace.
         self.probe: Optional[Callable] = None
         self._busy = 0
-        self._waiting: List[tuple] = []
+        # Unified FIFO: record-path entries are 5-tuples, columnar-path
+        # entries are bare row ints; deque gives O(1) popleft either way.
+        self._waiting: deque = deque()
         self.completed: List[RequestRecord] = []
+        #: Requests completed on the columnar row path (the row itself
+        #: lives in the bound :class:`~repro.gateway.records.RecordLog`,
+        #: possibly recycled — only the count is retained here).
+        self.completed_rows: int = 0
         self.rejected: int = 0
         self._peak_queue = 0
         self._busy_seconds = 0.0  # cumulative worker-seconds of service
+        # Columnar-mode bindings (set by use_columnar); None = record-only.
+        self._log = None
+        self._sim: Optional[Simulator] = None
+        self._sink = None
+        self._sim_queue: Optional[list] = None
+        self._sim_counter = None
+        self._supported_ids: frozenset = frozenset()
+        self._err_queue_full = 0
+        self._err_unsupported: Dict[int, int] = {}
+        self._st_buffers: Dict[int, _SampleBuffer] = {}
+        self._finish_cb = self._finish_row  # pre-bound: no per-event binding
 
     def submit(
         self,
@@ -282,21 +337,13 @@ class MicroService:
             # behind earlier arrivals, not grab the worker (and the cap
             # would otherwise be breached when both paths start a request)
             if self._waiting:
-                (
-                    next_record,
-                    next_callback,
-                    next_tracer,
-                    next_parent,
-                    next_queue_span,
-                ) = self._waiting.pop(0)
-                self._start(
-                    next_record,
-                    sim,
-                    next_callback,
-                    next_tracer,
-                    next_parent,
-                    next_queue_span,
-                )
+                entry = self._waiting.popleft()
+                if type(entry) is int:
+                    self._start_row(entry)
+                else:
+                    self._start(
+                        entry[0], sim, entry[1], entry[2], entry[3], entry[4]
+                    )
             on_complete(record)
 
         sim.schedule(duration, finish)
@@ -323,6 +370,246 @@ class MicroService:
             ).set_attribute("service", self.name).end(at=stage_end)
             cursor = stage_end
 
+    # -- columnar row path ---------------------------------------------------
+    #
+    # The million-request hot path: a request is a row index in a bound
+    # RecordLog, the service time comes from a refillable pre-sampled
+    # buffer, and every scheduled callback is a bound method via
+    # Simulator.schedule_call — no Request/RequestRecord dataclasses, no
+    # closures, no per-request tuples.  The record path above stays the
+    # default (and the traced/oracle path); both share one FIFO, so
+    # trace-sampled requests interleave with row requests in true
+    # arrival order.
+
+    def use_columnar(self, log, sim: Simulator, sink) -> None:
+        """Bind this service to a record log for the row-based hot path.
+
+        ``sink(row, ok)`` is invoked at service-completion time for every
+        row (success, reject or unsupported payload); the caller (the
+        capacity runner) owns response-leg accounting — including the
+        row's ``end`` stamp, which the service leaves untouched on the
+        success path — plus streaming stats and row recycling.  ``ok``
+        mirrors ``log.ok[row]`` — passing it spares the sink a
+        per-request column read.
+        """
+        self._log = log
+        self._sim = sim
+        self._sink = sink
+        # scheduling a service completion is a pure heap push (service
+        # times are strictly positive, so the schedule-into-the-past
+        # guard is dead); grab the simulator's heap and tie-break counter
+        # once — both live for the simulator's lifetime
+        self._sim_queue = sim._queue
+        self._sim_counter = sim._counter
+        self._supported_ids = frozenset(
+            log.intern_payload(p) for p in self.service_time.base_seconds
+        )
+        self._err_queue_full = log.intern_error("queue full (503)")
+        self._err_unsupported = {}
+        self._st_buffers = {}
+        self._st_last_id = -1  # last payload's buffer, cached off the dict
+        self._st_last_buf = None
+
+    def submit_row(self, row: int) -> None:
+        """Accept (or reject) a columnar request at the current time."""
+        log = self._log
+        # the memoryview yields a Python int: set/dict probes on it beat
+        # hashing a numpy scalar, and this runs once per simulated request
+        payload_id = log.v_payload_ids[row]
+        if payload_id not in self._supported_ids:
+            code = self._err_unsupported.get(payload_id)
+            if code is None:
+                payload = log.payload_name(payload_id)
+                code = log.intern_error(f"unsupported payload {payload!r}")
+                self._err_unsupported[payload_id] = code
+            log.fail(row, code, self._sim.now)
+            self.completed_rows += 1
+            self._sink(row, False)
+            return
+        if self._busy < self.concurrency:
+            # inline of _start_row (sans the queue-drain re-read): the
+            # uncongested accept runs once per simulated request, and the
+            # call alone costs as much as the buffer bookkeeping
+            self._busy += 1
+            now = self._sim.now
+            log.v_start[row] = now
+            if payload_id == self._st_last_id:
+                buffer = self._st_last_buf
+            else:
+                buffer = self._st_buffers.get(payload_id)
+                if buffer is None:
+                    buffer = _SampleBuffer()
+                    self._st_buffers[payload_id] = buffer
+                self._st_last_id = payload_id
+                self._st_last_buf = buffer
+            pos = buffer.pos
+            values = buffer.values
+            if pos >= len(values):
+                values = self.service_time.sample_batch(
+                    log.payload_name(payload_id), SERVICE_TIME_BATCH
+                ).tolist()
+                buffer.values = values
+                pos = 0
+            buffer.pos = pos + 1
+            _heappush(
+                self._sim_queue,
+                (
+                    now + values[pos],
+                    next(self._sim_counter),
+                    self._finish_cb,
+                    row,
+                ),
+            )
+        else:
+            waiting = self._waiting
+            depth = len(waiting)
+            if depth < self.queue_capacity:
+                waiting.append(row)
+                if depth >= self._peak_queue:
+                    self._peak_queue = depth + 1
+            else:
+                self.rejected += 1
+                log.fail(row, self._err_queue_full, self._sim.now)
+                self.completed_rows += 1
+                self._sink(row, False)
+
+    def submit_trusted_row(self, row: int) -> None:
+        """:meth:`submit_row` minus the payload check.
+
+        For callers that validated the payload once at bind time (a
+        closed-loop group or arrival process sends one fixed payload, so
+        re-probing ``_supported_ids`` per request is dead work).  The
+        congested branch never reads the payload column at all.
+        """
+        if self._busy < self.concurrency:
+            log = self._log
+            payload_id = log.v_payload_ids[row]
+            self._busy += 1
+            now = self._sim.now
+            log.v_start[row] = now
+            if payload_id == self._st_last_id:
+                buffer = self._st_last_buf
+            else:
+                buffer = self._st_buffers.get(payload_id)
+                if buffer is None:
+                    buffer = _SampleBuffer()
+                    self._st_buffers[payload_id] = buffer
+                self._st_last_id = payload_id
+                self._st_last_buf = buffer
+            pos = buffer.pos
+            values = buffer.values
+            if pos >= len(values):
+                values = self.service_time.sample_batch(
+                    log.payload_name(payload_id), SERVICE_TIME_BATCH
+                ).tolist()
+                buffer.values = values
+                pos = 0
+            buffer.pos = pos + 1
+            _heappush(
+                self._sim_queue,
+                (
+                    now + values[pos],
+                    next(self._sim_counter),
+                    self._finish_cb,
+                    row,
+                ),
+            )
+        else:
+            waiting = self._waiting
+            depth = len(waiting)
+            if depth < self.queue_capacity:
+                waiting.append(row)
+                if depth >= self._peak_queue:
+                    self._peak_queue = depth + 1
+            else:
+                self.rejected += 1
+                log = self._log
+                log.fail(row, self._err_queue_full, self._sim.now)
+                self.completed_rows += 1
+                self._sink(row, False)
+
+    def _start_row(self, row: int) -> None:
+        """Start a queued row on a freed worker (queue-drain path)."""
+        self._busy += 1
+        sim = self._sim
+        self._log.v_start[row] = sim.now
+        payload_id = self._log.v_payload_ids[row]
+        if payload_id == self._st_last_id:
+            buffer = self._st_last_buf
+        else:
+            buffer = self._st_buffers.get(payload_id)
+            if buffer is None:
+                buffer = _SampleBuffer()
+                self._st_buffers[payload_id] = buffer
+            self._st_last_id = payload_id
+            self._st_last_buf = buffer
+        pos = buffer.pos
+        values = buffer.values
+        if pos >= len(values):
+            values = self.service_time.sample_batch(
+                self._log.payload_name(payload_id), SERVICE_TIME_BATCH
+            ).tolist()
+            buffer.values = values
+            pos = 0
+        buffer.pos = pos + 1
+        sim.schedule_call(values[pos], self._finish_cb, row)
+
+    def _finish_row(self, row: int) -> None:
+        # the sink stamps ``end`` (with the response leg folded in), so
+        # the service does not write the column here
+        now = self._sim.now
+        log = self._log
+        self._busy_seconds += now - log.v_start[row]
+        self.completed_rows += 1
+        # same invariant as the record path: freed worker goes to the
+        # queue head before the completion sink runs.  A saturated run
+        # drains a queued row on nearly every completion, so the
+        # row-entry case is _start_row inlined (stamp, buffer cursor,
+        # completion push) and the worker stays busy — the decrement /
+        # re-increment pair cancels out; record entries and the empty
+        # queue release the worker before handing off.
+        waiting = self._waiting
+        if waiting:
+            entry = waiting.popleft()
+            if type(entry) is int:
+                log.v_start[entry] = now
+                payload_id = log.v_payload_ids[entry]
+                if payload_id == self._st_last_id:
+                    buffer = self._st_last_buf
+                else:
+                    buffer = self._st_buffers.get(payload_id)
+                    if buffer is None:
+                        buffer = _SampleBuffer()
+                        self._st_buffers[payload_id] = buffer
+                    self._st_last_id = payload_id
+                    self._st_last_buf = buffer
+                pos = buffer.pos
+                values = buffer.values
+                if pos >= len(values):
+                    values = self.service_time.sample_batch(
+                        log.payload_name(payload_id), SERVICE_TIME_BATCH
+                    ).tolist()
+                    buffer.values = values
+                    pos = 0
+                buffer.pos = pos + 1
+                _heappush(
+                    self._sim_queue,
+                    (
+                        now + values[pos],
+                        next(self._sim_counter),
+                        self._finish_cb,
+                        entry,
+                    ),
+                )
+            else:
+                self._busy -= 1
+                self._start(
+                    entry[0], self._sim, entry[1], entry[2], entry[3], entry[4]
+                )
+        else:
+            self._busy -= 1
+        self._sink(row, True)
+
     def set_concurrency(self, target: int, sim: Simulator) -> None:
         """Re-provision the worker pool (autoscaling, §V dynamic capacity).
 
@@ -333,9 +620,13 @@ class MicroService:
         if target < 1:
             raise ValueError("concurrency must be >= 1")
         self.concurrency = target
+        # drain strictly from the head so FIFO arrival order is preserved
         while self._busy < self.concurrency and self._waiting:
-            record, callback, tracer, parent, queue_span = self._waiting.pop(0)
-            self._start(record, sim, callback, tracer, parent, queue_span)
+            entry = self._waiting.popleft()
+            if type(entry) is int:
+                self._start_row(entry)
+            else:
+                self._start(entry[0], sim, entry[1], entry[2], entry[3], entry[4])
 
     @property
     def busy_workers(self) -> int:
@@ -386,7 +677,7 @@ class MicroService:
                 "queue_length": float(len(self._waiting)),
                 "peak_queue_length": float(self._peak_queue),
                 "rejected": float(self.rejected),
-                "completed": float(len(self.completed)),
+                "completed": float(len(self.completed) + self.completed_rows),
             },
         )
 

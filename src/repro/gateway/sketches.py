@@ -1,0 +1,340 @@
+"""Streaming statistics for capacity runs: no raw-sample retention.
+
+The seed :meth:`SummaryReport.from_records` needs every response time in
+memory to take percentiles — O(requests) space, which is exactly what a
+million-request run cannot afford.  This module provides the streaming
+replacements the columnar pipeline aggregates with:
+
+* :class:`QuantileSketch` — a DDSketch-style log-binned quantile sketch
+  with a *relative* accuracy guarantee: every reported quantile is within
+  ``relative_accuracy`` (default 0.5%) of the exact sample quantile, in
+  O(log(max/min)) memory, and two sketches merge losslessly (per-route
+  sketches sum into the run-level one).
+* :class:`StreamingMoments` — Welford's online mean/variance with the
+  parallel combine rule for merging.
+* :class:`ReservoirSample` — Algorithm R over fixed slots (seeded,
+  allocation-free on rejection) for the Fig. 8 timeline and the
+  response-times-over-active-threads series.
+* :class:`ExemplarSlots` — keeps the k slowest *traced* responses so a
+  bounded number of latency exemplars still link back to recorded traces.
+* :class:`RouteStats` — one route's bundle of the above with the same
+  error semantics as the record-based report (errors count toward the
+  request/error totals but contribute no latency samples).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ExemplarSlots",
+    "QuantileSketch",
+    "ReservoirSample",
+    "RouteStats",
+    "StreamingMoments",
+]
+
+# module-level names for RouteStats.observe: a global load is cheaper
+# than re-resolving math.<attr> once per simulated request
+_ceil = math.ceil
+_log = math.log
+
+
+class QuantileSketch:
+    """Mergeable log-binned quantile sketch (DDSketch collapsing-free core).
+
+    Positive values map to bin ``ceil(log_gamma(v))`` with
+    ``gamma = (1 + a) / (1 - a)`` for relative accuracy ``a``; the bin's
+    representative value ``2·gamma^i / (gamma + 1)`` (the geometric bin
+    midpoint) is then within ``a`` of every value in the bin.  Memory is
+    one counter per *occupied* bin — for latencies spanning 1 µs..1 h at
+    0.5% accuracy that is at most ~2200 bins, independent of how many
+    samples stream through.  Zero / negative values (instant rejects)
+    are tracked in a dedicated zero bin.
+    """
+
+    __slots__ = ("relative_accuracy", "min", "max", "_gamma",
+                 "_inv_log_gamma", "_bins", "_zeros")
+
+    def __init__(self, relative_accuracy: float = 0.005) -> None:
+        if not 0 < relative_accuracy < 1:
+            raise ValueError("relative_accuracy must be in (0, 1)")
+        self.relative_accuracy = relative_accuracy
+        self._gamma = (1 + relative_accuracy) / (1 - relative_accuracy)
+        self._inv_log_gamma = 1.0 / math.log(self._gamma)
+        self._bins: Dict[int, int] = {}
+        self._zeros = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @property
+    def count(self) -> int:
+        """Inserted values — derived from the bins, not a per-insert bump.
+
+        Every insert lands in exactly one bin (or the zero bin), so the
+        count is recoverable in O(occupied bins) at read time and the
+        per-event path saves an increment.
+        """
+        return self._zeros + sum(self._bins.values())
+
+    def insert(self, value: float) -> None:
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self._zeros += 1
+            return
+        index = math.ceil(math.log(value) * self._inv_log_gamma)
+        bins = self._bins
+        bins[index] = bins.get(index, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1); exact at the extremes."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        count = self.count
+        if count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = q * (count - 1)
+        if rank < self._zeros:
+            return min(0.0, self.max)
+        seen = self._zeros
+        gamma = self._gamma
+        for index in sorted(self._bins):
+            seen += self._bins[index]
+            if seen > rank:
+                value = 2.0 * gamma**index / (gamma + 1.0)
+                # clamp into the observed range: the guarantee is relative
+                # to bin contents, and min/max are tracked exactly
+                return min(max(value, self.min), self.max)
+        return self.max
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in (must share the accuracy parameter)."""
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError("cannot merge sketches with different accuracy")
+        bins = self._bins
+        for index, n in other._bins.items():
+            bins[index] = bins.get(index, 0) + n
+        self._zeros += other._zeros
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    @property
+    def bin_count(self) -> int:
+        """Occupied bins — the sketch's actual memory footprint."""
+        return len(self._bins) + (1 if self._zeros else 0)
+
+
+class StreamingMoments:
+    """Welford online mean/variance; merges via the parallel combine rule."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self._m2 = other.count, other.mean, other._m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
+
+class ReservoirSample:
+    """Seeded reservoir over ``k`` preallocated slots (Algorithm L).
+
+    Li's Algorithm L draws the *gap* to the next accepted item from a
+    geometric distribution instead of rolling a die per item, so only
+    ``O(k · log(seen / k))`` RNG draws happen over a whole stream; at
+    steady state :meth:`offer` is a counter bump and one equality check
+    — no allocation, no RNG, no append.
+    """
+
+    __slots__ = ("k", "seen", "_slots", "_random", "_w", "_next")
+
+    def __init__(self, k: int, seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError("reservoir needs at least one slot")
+        self.k = k
+        self.seen = 0
+        self._slots: List[Optional[Tuple[float, float, float]]] = [None] * k
+        self._random = random.Random(seed).random
+        self._w = 1.0
+        self._next = 0  # index (1-based seen count) of the next accept
+
+    def _skip(self) -> None:
+        """Draw the geometric gap to the next accepted stream index."""
+        rand = self._random
+        # 1 - random() lies in (0, 1]: log never sees zero
+        self._w *= math.exp(math.log(1.0 - rand()) / self.k)
+        self._next += (
+            int(math.log(1.0 - rand()) / math.log(1.0 - self._w)) + 1
+        )
+
+    def offer(self, a: float, b: float, c: float) -> None:
+        self.seen += 1
+        n = self.seen
+        if n > self.k:
+            if n == self._next:
+                self._slots[int(self._random() * self.k)] = (a, b, c)
+                self._skip()
+        else:
+            self._slots[n - 1] = (a, b, c)
+            if n == self.k:
+                self._next = n
+                self._skip()
+
+    def items(self) -> List[Tuple[float, float, float]]:
+        filled = min(self.seen, self.k)
+        return [item for item in self._slots[:filled] if item is not None]
+
+
+class ExemplarSlots:
+    """Bounded top-k by slowness: latency exemplars that carry a trace link.
+
+    Only *traced* responses are offered (one in ``trace_every``), so the
+    O(k) replacement scan runs at the sampling rate, not the request rate.
+    """
+
+    __slots__ = ("k", "_slots", "_filled", "offered")
+
+    def __init__(self, k: int = 8) -> None:
+        if k < 1:
+            raise ValueError("need at least one exemplar slot")
+        self.k = k
+        self._slots: List[Optional[tuple]] = [None] * k
+        self._filled = 0
+        self.offered = 0
+
+    def offer(self, ms, end, route, trace) -> None:
+        """Keep the entry if it is among the k slowest seen so far."""
+        self.offered += 1
+        if self._filled < self.k:
+            self._slots[self._filled] = (ms, end, route, trace)
+            self._filled += 1
+            return
+        low, low_ms = 0, self._slots[0][0]
+        for i in range(1, self.k):
+            if self._slots[i][0] < low_ms:
+                low, low_ms = i, self._slots[i][0]
+        if ms > low_ms:
+            self._slots[low] = (ms, end, route, trace)
+
+    def items(self) -> List[tuple]:
+        """Kept exemplars, slowest first."""
+        kept = [item for item in self._slots[: self._filled]]
+        kept.sort(key=lambda item: item[0], reverse=True)
+        return kept
+
+
+class RouteStats:
+    """Streaming aggregate for one route: counts, sketch, moments, series.
+
+    Matches the record-based report's error semantics: failed requests
+    increment ``n_errors`` (and ``n_requests``) but contribute no latency
+    sample and no timeline point.
+    """
+
+    __slots__ = ("route", "n_errors", "latency", "moments",
+                 "series", "exemplars")
+
+    def __init__(
+        self,
+        route: str,
+        seed: int = 0,
+        relative_accuracy: float = 0.005,
+        series_slots: int = 512,
+        exemplar_slots: int = 8,
+    ) -> None:
+        self.route = route
+        self.n_errors = 0
+        self.latency = QuantileSketch(relative_accuracy)
+        self.moments = StreamingMoments()
+        #: reservoir of (end virtual time, response ms, active at send)
+        self.series = ReservoirSample(series_slots, seed=seed)
+        self.exemplars = ExemplarSlots(exemplar_slots)
+
+    @property
+    def n_requests(self) -> int:
+        """Observed completions: every success lands in the sketch."""
+        return self.latency.count + self.n_errors
+
+    def observe(self, end: float, ms: float, ok: bool, active: int) -> None:
+        """Fold one completion in.
+
+        This runs once per simulated request on the capacity hot path,
+        so the sketch insert and the Welford update are inlined rather
+        than dispatched through :meth:`QuantileSketch.insert` /
+        :meth:`StreamingMoments.add` — same arithmetic, two fewer
+        function calls per event (the component methods stay the
+        reference implementations and the tests hold them equal).
+        """
+        if not ok:
+            self.n_errors += 1
+            return
+        latency = self.latency
+        if ms < latency.min:
+            latency.min = ms
+        if ms > latency.max:
+            latency.max = ms
+        if ms > 0.0:
+            index = _ceil(_log(ms) * latency._inv_log_gamma)
+            bins = latency._bins
+            bins[index] = bins.get(index, 0) + 1
+        else:
+            latency._zeros += 1
+        moments = self.moments
+        count = moments.count + 1
+        moments.count = count
+        delta = ms - moments.mean
+        mean = moments.mean + delta / count
+        moments.mean = mean
+        moments._m2 += delta * (ms - mean)
+        # reservoir steady state (seen past k, not at an accept index) is
+        # the overwhelmingly common case — bump the counter without even
+        # paying the offer() call
+        series = self.series
+        seen = series.seen + 1
+        if seen > series.k and seen != series._next:
+            series.seen = seen
+        else:
+            series.offer(end, ms, active)
+
+    def timeline(self) -> List[Tuple[float, float]]:
+        """Sampled (end time, response ms) pairs, time-sorted."""
+        return sorted((end, ms) for end, ms, _active in self.series.items())
+
+    def active_series(self) -> List[Tuple[int, float]]:
+        """Sampled (active at send, response ms) pairs, completion order."""
+        return [(int(active), ms) for _end, ms, active in self.series.items()]

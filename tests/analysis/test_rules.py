@@ -361,3 +361,88 @@ class TestPredictInLoop:
         """
         assert run_rule("predict-in-loop", src, "ml/mod.py") == []
         assert run_rule("predict-in-loop", src, "gateway/mod.py") == []
+
+
+class TestHotpathAccumulator:
+    ACCUMULATOR = """
+    class Svc:
+        def __init__(self):
+            self.completed = []
+
+        def finish(self, record):
+            self.completed.append(record)
+    """
+
+    def test_fires_on_pop_zero(self):
+        src = """
+        def drain(waiting):
+            return waiting.pop(0)
+        """
+        findings = run_rule("hotpath-accumulator", src, "gateway/mod.py")
+        assert len(findings) == 1
+        assert "popleft" in findings[0].message
+
+    def test_silent_on_pop_without_index_or_nonzero(self):
+        src = """
+        def f(stack, mapping):
+            a = stack.pop()
+            b = stack.pop(-1)
+            c = mapping.pop("key", None)
+            return a, b, c
+        """
+        assert run_rule("hotpath-accumulator", src, "gateway/mod.py") == []
+
+    def test_fires_on_per_event_append_accumulator(self):
+        findings = run_rule(
+            "hotpath-accumulator", self.ACCUMULATOR, "gateway/mod.py"
+        )
+        assert len(findings) == 1
+        assert "completed" in findings[0].message
+
+    def test_fires_on_annotated_empty_list_attribute(self):
+        src = """
+        class Gen:
+            def __init__(self):
+                self.responses: list = []
+
+            def on_response(self, r):
+                self.gen.responses.append(r)
+        """
+        assert len(run_rule("hotpath-accumulator", src, "gateway/mod.py")) == 1
+
+    def test_silent_on_append_inside_init(self):
+        src = """
+        class Svc:
+            def __init__(self, names):
+                self.routes = []
+                for name in names:
+                    self.routes.append(name)
+        """
+        assert run_rule("hotpath-accumulator", src, "gateway/mod.py") == []
+
+    def test_silent_on_deque_and_seeded_lists(self):
+        src = """
+        class Svc:
+            def __init__(self, seed_names):
+                self.waiting = deque()
+                self.names = list(seed_names)
+
+            def enqueue(self, row):
+                self.waiting.append(row)
+                self.names.append("x")
+        """
+        assert run_rule("hotpath-accumulator", src, "gateway/mod.py") == []
+
+    def test_silent_on_local_list_append(self):
+        src = """
+        def build():
+            events = []
+            for i in range(3):
+                events.append(i)
+            return events
+        """
+        assert run_rule("hotpath-accumulator", src, "gateway/mod.py") == []
+
+    def test_silent_outside_the_gateway_package(self):
+        assert run_rule("hotpath-accumulator", self.ACCUMULATOR, "telemetry/mod.py") == []
+        assert run_rule("hotpath-accumulator", self.ACCUMULATOR, "core/mod.py") == []

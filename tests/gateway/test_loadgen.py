@@ -165,6 +165,77 @@ class TestSummaryReport:
         report = SummaryReport.from_records([ok, bad], duration=1.0)
         assert report.error_rate == 0.5
 
+    def test_all_errors_reports_zero_stats_not_fabricated_sample(self):
+        # regression: the seed path fabricated times_ms = [0.0] when every
+        # record failed, reporting avg/median/p95 "latencies" of a sample
+        # that never existed
+        records = [
+            RequestRecord(
+                request=Request(i, "svc"),
+                arrival=0.0,
+                end=0.0,
+                success=False,
+                error="queue full (503)",
+            )
+            for i in range(4)
+        ]
+        report = SummaryReport.from_records(records, duration=2.0)
+        assert report.n_requests == 4
+        assert report.n_errors == 4
+        assert report.error_rate == 1.0
+        assert report.avg_response_ms == 0.0
+        assert report.median_response_ms == 0.0
+        assert report.p95_response_ms == 0.0
+        assert report.p99_response_ms == 0.0
+        assert report.max_response_ms == 0.0
+        assert report.throughput_rps == 0.0  # no *successful* samples
+        assert report.timeline == []
+        assert np.isfinite(report.avg_response_ms)
+
+    def test_all_errors_single_route_within_mixed_report(self):
+        records = [
+            RequestRecord(request=Request(1, "good"), arrival=0.0, end=0.1),
+            RequestRecord(
+                request=Request(2, "bad"), arrival=0.0, end=0.0, success=False
+            ),
+        ]
+        report = SummaryReport.from_records(records, duration=1.0)
+        bad = report.per_route["bad"]
+        assert bad.n_errors == bad.n_requests == 1
+        assert bad.avg_response_ms == 0.0
+        assert report.per_route["good"].error_rate == 0.0
+
+    def test_grouped_pass_matches_per_route_refiltering(self):
+        # the single grouped pass must agree with the seed's
+        # filter-per-route behaviour on every per-route statistic
+        rng = np.random.default_rng(7)
+        records = []
+        for i in range(300):
+            route = ("a", "b", "c")[i % 3]
+            rt = float(rng.uniform(0.01, 0.5))
+            records.append(
+                RequestRecord(
+                    request=Request(i, route),
+                    arrival=0.0,
+                    end=rt,
+                    success=bool(rng.random() > 0.1),
+                )
+            )
+        report = SummaryReport.from_records(records, duration=5.0)
+        for route in ("a", "b", "c"):
+            subset = [r for r in records if r.request.route == route]
+            expected = SummaryReport.from_records(subset, duration=5.0)
+            got = report.per_route[route]
+            assert got.n_requests == expected.n_requests
+            assert got.n_errors == expected.n_errors
+            assert got.avg_response_ms == pytest.approx(
+                expected.avg_response_ms
+            )
+            assert got.p95_response_ms == pytest.approx(
+                expected.p95_response_ms
+            )
+            assert got.timeline == expected.timeline
+
     def test_per_route_breakdown(self):
         records = [
             RequestRecord(request=Request(1, "a"), arrival=0.0, end=0.1),

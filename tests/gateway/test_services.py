@@ -230,3 +230,100 @@ class TestUtilizationTelemetry:
     def test_invalid_window_raises_before_building_event(self):
         with pytest.raises(ValueError):
             make_service().utilization_event(0.0)
+
+
+class TestDequeDrainOrder:
+    """set_concurrency and worker handoff must preserve FIFO arrival order
+    now that the waiting room is a deque (and mixes record tuples with
+    columnar row ints)."""
+
+    def test_set_concurrency_drains_fifo(self):
+        service = make_service(concurrency=1, base=1.0, queue_capacity=100)
+        sim = Simulator()
+        started = []
+
+        def submit(i):
+            req = Request(request_id=i, route="svc")
+            service.submit(req, sim, lambda record: None)
+
+        for i in range(6):
+            submit(i)
+        # one running, five queued; record the order processing starts
+        original_start = service._start
+
+        def tracking_start(record, *args, **kwargs):
+            started.append(record.request.request_id)
+            return original_start(record, *args, **kwargs)
+
+        service._start = tracking_start
+        service.set_concurrency(4, sim)
+        assert started == [1, 2, 3]  # strictly from the queue head
+        sim.run()
+        ends = [r.request.request_id for r in service.completed]
+        assert sorted(ends) == list(range(6))
+
+    def test_shrink_lowers_cap_without_eviction(self):
+        service = make_service(concurrency=4, base=1.0, queue_capacity=100)
+        sim = Simulator()
+        for i in range(8):
+            service.submit(Request(request_id=i, route="svc"), sim, lambda r: None)
+        assert service.busy_workers == 4
+        service.set_concurrency(1, sim)
+        assert service.busy_workers == 4  # in-flight finish; pool drains down
+        sim.run()
+        assert len(service.completed) == 8
+        assert service.busy_workers == 0
+
+    def test_mixed_record_and_row_entries_drain_in_arrival_order(self):
+        from repro.gateway.records import RecordLog
+
+        service = make_service(concurrency=1, base=1.0, queue_capacity=100)
+        sim = Simulator()
+        log = RecordLog(initial_capacity=8, retain=True)
+        completions = []
+        service.use_columnar(log, sim, lambda row, ok: completions.append(("row", row)))
+        route_id = log.intern_route("svc")
+        payload_id = log.intern_payload("tabular")
+
+        # interleave: record, row, record, row — all while worker is busy
+        service.submit(
+            Request(request_id=100, route="svc"),
+            sim,
+            lambda record: completions.append(("rec", record.request.request_id)),
+        )
+        row_a = log.append(route_id, payload_id, sim.now)
+        service.submit_row(row_a)
+        service.submit(
+            Request(request_id=101, route="svc"),
+            sim,
+            lambda record: completions.append(("rec", record.request.request_id)),
+        )
+        row_b = log.append(route_id, payload_id, sim.now)
+        service.submit_row(row_b)
+        sim.run()
+        assert completions == [
+            ("rec", 100),
+            ("row", row_a),
+            ("rec", 101),
+            ("row", row_b),
+        ]
+
+    def test_set_concurrency_growth_starts_queued_rows(self):
+        from repro.gateway.records import RecordLog
+
+        service = make_service(concurrency=1, base=1.0, queue_capacity=100)
+        sim = Simulator()
+        log = RecordLog(initial_capacity=8, retain=True)
+        done = []
+        service.use_columnar(log, sim, lambda row, ok: done.append(row))
+        route_id = log.intern_route("svc")
+        payload_id = log.intern_payload("tabular")
+        rows = [log.append(route_id, payload_id, 0.0) for _ in range(5)]
+        for row in rows:
+            service.submit_row(row)
+        assert service.queue_length == 4
+        service.set_concurrency(5, sim)
+        assert service.queue_length == 0
+        assert service.busy_workers == 5
+        sim.run()
+        assert done == rows

@@ -1,0 +1,208 @@
+"""Tests for the streaming statistics (sketch, moments, reservoir, exemplars)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gateway.sketches import (
+    ExemplarSlots,
+    QuantileSketch,
+    ReservoirSample,
+    RouteStats,
+    StreamingMoments,
+)
+
+
+class TestQuantileSketch:
+    def test_relative_accuracy_guarantee(self):
+        rng = np.random.default_rng(0)
+        samples = rng.lognormal(3.0, 1.2, size=50_000)
+        sketch = QuantileSketch(relative_accuracy=0.005)
+        for value in samples:
+            sketch.insert(float(value))
+        for q in (0.01, 0.25, 0.5, 0.9, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            assert sketch.quantile(q) == pytest.approx(exact, rel=0.01)
+
+    def test_extremes_are_exact(self):
+        sketch = QuantileSketch()
+        for value in (3.0, 1.0, 7.0):
+            sketch.insert(value)
+        assert sketch.quantile(0.0) == 1.0
+        assert sketch.quantile(1.0) == 7.0
+        assert sketch.min == 1.0
+        assert sketch.max == 7.0
+
+    def test_empty_sketch_returns_zero(self):
+        assert QuantileSketch().quantile(0.5) == 0.0
+
+    def test_zero_and_negative_values_tracked(self):
+        sketch = QuantileSketch()
+        for value in (0.0, 0.0, 0.0, 10.0):
+            sketch.insert(value)
+        assert sketch.quantile(0.25) <= 0.0
+        assert sketch.count == 4
+
+    def test_memory_is_bounded_by_value_range_not_count(self):
+        sketch = QuantileSketch(relative_accuracy=0.005)
+        rng = np.random.default_rng(1)
+        for value in rng.uniform(1e-3, 3600.0, size=100_000):
+            sketch.insert(float(value))
+        # 1 ms .. 1 h at 0.5% accuracy: ~1520 log-gamma bins
+        assert sketch.bin_count < 2200
+
+    def test_merge_equals_single_stream(self):
+        rng = np.random.default_rng(2)
+        a_vals = rng.lognormal(2.0, 0.8, size=5000)
+        b_vals = rng.lognormal(4.0, 0.5, size=3000)
+        merged = QuantileSketch()
+        separate_a = QuantileSketch()
+        separate_b = QuantileSketch()
+        for v in a_vals:
+            merged.insert(float(v))
+            separate_a.insert(float(v))
+        for v in b_vals:
+            merged.insert(float(v))
+            separate_b.insert(float(v))
+        separate_a.merge(separate_b)
+        assert separate_a.count == merged.count
+        assert separate_a.min == merged.min
+        assert separate_a.max == merged.max
+        for q in (0.1, 0.5, 0.95, 0.99):
+            assert separate_a.quantile(q) == merged.quantile(q)
+
+    def test_merge_rejects_mismatched_accuracy(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(0.005).merge(QuantileSketch(0.01))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(relative_accuracy=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch().quantile(1.5)
+
+
+class TestStreamingMoments:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(50.0, 9.0, size=4000)
+        moments = StreamingMoments()
+        for v in values:
+            moments.add(float(v))
+        assert moments.mean == pytest.approx(float(values.mean()))
+        assert moments.variance == pytest.approx(float(values.var()), rel=1e-9)
+        assert moments.std == pytest.approx(float(values.std()), rel=1e-9)
+
+    def test_merge_equals_single_stream(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(0.0, 1.0, size=1001)
+        whole = StreamingMoments()
+        left = StreamingMoments()
+        right = StreamingMoments()
+        for v in values:
+            whole.add(float(v))
+        for v in values[:400]:
+            left.add(float(v))
+        for v in values[400:]:
+            right.add(float(v))
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean)
+        assert left.variance == pytest.approx(whole.variance)
+
+    def test_merge_into_empty(self):
+        a = StreamingMoments()
+        b = StreamingMoments()
+        b.add(5.0)
+        a.merge(b)
+        assert a.count == 1 and a.mean == 5.0
+        b.merge(StreamingMoments())  # merging empty changes nothing
+        assert b.count == 1
+
+    def test_empty_variance_is_zero(self):
+        assert StreamingMoments().variance == 0.0
+
+
+class TestReservoirSample:
+    def test_keeps_everything_under_k(self):
+        res = ReservoirSample(k=10, seed=0)
+        for i in range(5):
+            res.offer(float(i), float(i) * 2, 0.0)
+        assert len(res.items()) == 5
+
+    def test_capped_at_k(self):
+        res = ReservoirSample(k=16, seed=0)
+        for i in range(10_000):
+            res.offer(float(i), 1.0, 0.0)
+        assert len(res.items()) == 16
+
+    def test_uniformity(self):
+        # each of 1000 items should land in a k=100 reservoir w.p. ~0.1
+        hits = np.zeros(1000)
+        for seed in range(60):
+            res = ReservoirSample(k=100, seed=seed)
+            for i in range(1000):
+                res.offer(float(i), 0.0, 0.0)
+            for a, __, __ in res.items():
+                hits[int(a)] += 1
+        rates = hits / 60.0
+        assert abs(rates.mean() - 0.1) < 0.005
+        # early items must not be systematically favoured over late ones
+        assert abs(rates[:500].mean() - rates[500:].mean()) < 0.02
+
+    def test_seed_determinism(self):
+        def fill(seed):
+            res = ReservoirSample(k=8, seed=seed)
+            for i in range(500):
+                res.offer(float(i), 0.0, 0.0)
+            return res.items()
+
+        assert fill(1) == fill(1)
+        assert fill(1) != fill(2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(k=0)
+
+
+class TestExemplarSlots:
+    def test_keeps_k_slowest(self):
+        slots = ExemplarSlots(k=3)
+        for ms in (5.0, 50.0, 1.0, 99.0, 30.0, 7.0):
+            slots.offer(ms, 0.0, "svc", None)
+        kept = [item[0] for item in slots.items()]
+        assert kept == [99.0, 50.0, 30.0]
+        assert slots.offered == 6
+
+    def test_under_capacity_keeps_all(self):
+        slots = ExemplarSlots(k=4)
+        slots.offer(2.0, 0.0, "svc", None)
+        assert [item[0] for item in slots.items()] == [2.0]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ExemplarSlots(k=0)
+
+
+class TestRouteStats:
+    def test_errors_counted_but_not_sampled(self):
+        stats = RouteStats("svc", seed=0)
+        stats.observe(1.0, 120.0, True, 1)
+        stats.observe(2.0, 0.0, False, 2)
+        assert stats.n_requests == 2
+        assert stats.n_errors == 1
+        assert stats.latency.count == 1
+        assert stats.moments.count == 1
+        assert len(stats.series.items()) == 1
+
+    def test_timeline_is_time_sorted(self):
+        stats = RouteStats("svc", seed=0)
+        for end, ms in ((3.0, 30.0), (1.0, 10.0), (2.0, 20.0)):
+            stats.observe(end, ms, True, 1)
+        assert stats.timeline() == [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+
+    def test_active_series_pairs(self):
+        stats = RouteStats("svc", seed=0)
+        stats.observe(1.0, 10.0, True, 7)
+        assert stats.active_series() == [(7, 10.0)]
