@@ -1,0 +1,304 @@
+"""Cluster-at-scale gates: throughput, flat memory, zero-loss failover.
+
+This bench gates the multi-node deployment's four contracts (ISSUE 6 /
+DESIGN.md §12):
+
+* an 8-node ring-mode run **with the fault plan active** — crash +
+  restart, a network partition and a slow-node window, all landing on
+  route primaries so failover genuinely fires — must sustain at least
+  ``EVENTS_PER_SECOND_FLOOR`` simulator events per second (best of
+  three passes);
+* a **1M-request** open-loop run over three routes under the same fault
+  kinds must finish with the conservation ledger balanced: every
+  appended row observed exactly once, nothing in flight, every failure
+  typed — zero lost events despite crashing primaries mid-request;
+* that run must keep **flat memory in ring mode**: the record log's
+  capacity after 1M requests equals its capacity before the first one
+  (bounded by in-flight count, not run length), with per-node rollups
+  accounting for every successful request;
+* the sampled traces must include at least one **cross-node trace**
+  whose critical path provably spans two nodes (entry legs on the
+  gateway node, processing on the ring-placed serving node).
+
+``python benchmarks/bench_cluster.py`` writes the measured numbers to
+``BENCH_cluster.json`` as the committed baseline.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterRunner, ClusterTopology, FaultPlan, RouteSpec
+from repro.gateway.arrivals import PoissonArrivalGroup
+from repro.gateway.simulation import Simulator
+from repro.tracing import NODE_ID_ATTR
+from repro.tracing.analysis import critical_path
+
+#: Aggregate event-loop floor for the 8-node faulted run.  Measured
+#: values land well above (the cluster dispatch adds one serving-flag
+#: check per request over the single-node hot path) so only a genuine
+#: regression trips it.
+EVENTS_PER_SECOND_FLOOR = 200_000.0
+
+#: Wall-clock budget for the whole measurement pass.
+MEASUREMENT_BUDGET_S = 180.0
+
+N_NODES = 8
+REPLICATION = 2
+
+#: Three routes with distinct service-time scales; rates sit just under
+#: each primary's capacity so queues breathe without running away.
+ROUTES = (
+    RouteSpec("shap", base_seconds={"tabular": 0.010}, concurrency=4),
+    RouteSpec("lime", base_seconds={"tabular": 0.014}, concurrency=6),
+    RouteSpec("ai_pipeline", base_seconds={"tabular": 0.024}, concurrency=10),
+)
+
+_BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+
+def _build(seed, **runner_kwargs):
+    topology = ClusterTopology(
+        Simulator(),
+        list(ROUTES),
+        n_nodes=N_NODES,
+        replication=REPLICATION,
+        seed=seed,
+    )
+    return topology, ClusterRunner(topology, seed=seed, **runner_kwargs)
+
+
+def _fault_plan(topology, scale=1.0):
+    """Crash/restart + partition + slow, aimed at route *primaries*.
+
+    Targeting primaries (rather than fixed node ids) guarantees the plan
+    actually forces failover: the crashed node is the one the ring sends
+    traffic to.  ``scale`` stretches the schedule for longer runs.
+    """
+    primaries = [
+        topology.ring.preference(spec.route, REPLICATION)[0]
+        for spec in ROUTES
+    ]
+    plan = FaultPlan()
+    plan.add_crash(primaries[0], 2.0 * scale, restart_at=6.0 * scale)
+    plan.add_partition(primaries[1], 4.0 * scale, 3.0 * scale)
+    plan.add_slow(primaries[2], 8.0 * scale, 4.0 * scale, 3.0)
+    # a second crash cycle late in the run keeps the tail honest
+    plan.add_crash(primaries[0], 20.0 * scale, restart_at=24.0 * scale)
+    return plan
+
+
+def _throughput_pass():
+    """Events/s on an 8-node faulted ring-mode run (one pass)."""
+    topology, runner = _build(seed=2)
+    for spec, n in zip(ROUTES, (90_000, 60_000, 50_000)):
+        runner.add_open_loop(
+            PoissonArrivalGroup(spec.route, rate_rps=320.0, n_requests=n)
+        )
+    runner.apply_fault_plan(_fault_plan(topology))
+    gc.collect()
+    start = time.perf_counter()
+    runner.run()
+    elapsed = time.perf_counter() - start
+    cons = runner.conservation()
+    assert cons["observed"] == cons["appended"] == 200_000
+    return runner.sim.processed_events / elapsed
+
+
+def _million_request_run():
+    """1M requests, ring mode, faults on primaries, traces sampled."""
+    topology, runner = _build(
+        seed=9,
+        retain_records=False,
+        trace_every=2_000,
+        initial_capacity=16_384,
+    )
+    for spec, n in zip(ROUTES, (400_000, 300_000, 300_000)):
+        runner.add_open_loop(
+            PoissonArrivalGroup(spec.route, rate_rps=320.0, n_requests=n)
+        )
+    runner.apply_fault_plan(_fault_plan(topology, scale=12.0))
+    capacity_before = runner.log.capacity
+    gc.collect()
+    start = time.perf_counter()
+    report = runner.run()
+    elapsed = time.perf_counter() - start
+
+    cons = runner.conservation()
+    per_node = runner.summary_by_node(report.duration_seconds)
+    cross_node_paths = 0
+    for tree in runner.collector.traces():
+        path_nodes = {
+            seg.span.attributes[NODE_ID_ATTR]
+            for seg in critical_path(tree)
+            if NODE_ID_ATTR in seg.span.attributes
+        }
+        if len(path_nodes) >= 2:
+            cross_node_paths += 1
+    return {
+        "million_requests": cons["appended"],
+        "million_observed": cons["observed"],
+        "million_in_flight": cons["in_flight"],
+        "million_failovers": cons["failovers"],
+        "million_lost_in_flight": cons["lost_in_flight"],
+        "million_lost_responses": cons["lost_responses"],
+        "million_stale_completions": cons["stale_completions"],
+        "million_final_failures": cons["final_failures"],
+        "million_errors_typed": bool(
+            report.n_errors == cons["final_failures"]
+        ),
+        "million_seconds": elapsed,
+        "million_events": runner.sim.processed_events,
+        "million_capacity_before": capacity_before,
+        "million_capacity_after": runner.log.capacity,
+        "million_rows_recycled": runner.log.recycled,
+        "million_nodes_with_rollups": len(per_node),
+        "million_rollup_requests": sum(
+            r.n_requests for r in per_node.values()
+        ),
+        "million_traces": len(runner.collector.traces()),
+        "million_cross_node_traces": runner.cross_node_traces,
+        "million_cross_node_critical_paths": cross_node_paths,
+    }
+
+
+def measure_all():
+    """Run every measurement once; returns the figures the asserts gate."""
+    started = time.perf_counter()
+    results = {
+        "events_per_second": max(_throughput_pass() for __ in range(3))
+    }
+    results.update(_million_request_run())
+    results["measurement_seconds"] = time.perf_counter() - started
+    return results
+
+
+@pytest.fixture(scope="module")
+def measurements(figure_printer):
+    results = measure_all()
+    figure_printer(
+        "cluster at scale: measured figures",
+        ["metric", "value"],
+        [
+            ("events/second", results["events_per_second"]),
+            ("1M-run seconds", results["million_seconds"]),
+            ("1M-run failovers", results["million_failovers"]),
+            ("1M-run lost in flight", results["million_lost_in_flight"]),
+            ("1M-run final failures", results["million_final_failures"]),
+            ("1M-run rows recycled", results["million_rows_recycled"]),
+            ("cross-node traces", results["million_cross_node_traces"]),
+        ],
+    )
+    return results
+
+
+def bench_faulted_event_loop_throughput_floor(check, measurements):
+    """8-node ring-mode run with active faults sustains >=200k events/s."""
+
+    def verify():
+        eps = measurements["events_per_second"]
+        assert eps >= EVENTS_PER_SECOND_FLOOR, (
+            f"cluster sustained {eps:,.0f} events/s, below the "
+            f"{EVENTS_PER_SECOND_FLOOR:,.0f} floor"
+        )
+
+    check(verify)
+
+
+def bench_million_request_zero_loss_under_faults(check, measurements):
+    """Crash/partition injection loses nothing: the ledger balances."""
+
+    def verify():
+        assert measurements["million_requests"] == 1_000_000
+        assert measurements["million_observed"] == 1_000_000
+        assert measurements["million_in_flight"] == 0
+        # the faults genuinely fired mid-request...
+        assert measurements["million_lost_in_flight"] > 0
+        assert measurements["million_failovers"] > 0
+        assert measurements["million_stale_completions"] > 0
+        # ...and every failure that survived retries is typed
+        assert measurements["million_errors_typed"] is True
+
+    check(verify)
+
+
+def bench_million_request_memory_is_flat(check, measurements):
+    """Ring mode: 1M faulted requests never grow the record log."""
+
+    def verify():
+        assert (
+            measurements["million_capacity_after"]
+            == measurements["million_capacity_before"]
+        )
+        assert measurements["million_rows_recycled"] > 900_000
+
+    check(verify)
+
+
+def bench_per_node_rollups_account_for_every_success(check, measurements):
+    """Per-node reports shard the run and sum back to the total."""
+
+    def verify():
+        assert measurements["million_nodes_with_rollups"] >= 2
+        assert (
+            measurements["million_rollup_requests"]
+            + measurements["million_final_failures"]
+            == 1_000_000
+        )
+
+    check(verify)
+
+
+def bench_cross_node_trace_critical_path(check, measurements):
+    """>=1 sampled trace's critical path provably spans two nodes."""
+
+    def verify():
+        assert measurements["million_traces"] >= 1
+        assert measurements["million_cross_node_traces"] >= 1
+        assert measurements["million_cross_node_critical_paths"] >= 1
+
+    check(verify)
+
+
+def bench_measurement_under_budget(check, measurements):
+    """Whole pass stays interactive (wall-clock-budget pattern)."""
+
+    def verify():
+        elapsed = measurements["measurement_seconds"]
+        assert elapsed < MEASUREMENT_BUDGET_S, (
+            f"cluster measurements took {elapsed:.1f}s, "
+            f"budget {MEASUREMENT_BUDGET_S}s"
+        )
+
+    check(verify)
+
+
+def bench_matches_committed_baseline(check, measurements):
+    """Committed BENCH_cluster.json must still clear the same floors."""
+
+    def verify():
+        if not _BASELINE_PATH.exists():
+            return
+        baseline = json.loads(_BASELINE_PATH.read_text())
+        assert baseline["events_per_second"] >= EVENTS_PER_SECOND_FLOOR
+        assert baseline["million_requests"] == 1_000_000
+        assert baseline["million_observed"] == 1_000_000
+        assert baseline["million_in_flight"] == 0
+        assert baseline["million_errors_typed"] is True
+        assert (
+            baseline["million_capacity_after"]
+            == baseline["million_capacity_before"]
+        )
+        assert baseline["million_cross_node_critical_paths"] >= 1
+
+    check(verify)
+
+
+if __name__ == "__main__":
+    figures = measure_all()
+    _BASELINE_PATH.write_text(json.dumps(figures, indent=2) + "\n")
+    for key, value in figures.items():
+        print(f"{key:36s} {value}")

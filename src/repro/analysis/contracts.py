@@ -48,6 +48,9 @@ ALLOWED_IMPORTS: Dict[str, frozenset] = {
     "tracing": frozenset({"telemetry"}),
     # layer 2 — serving and adversarial workloads
     "gateway": frozenset({"ml", "telemetry", "tracing"}),
+    # the multi-node deployment composes the single-node serving engine
+    # with the observability substrates; it must not reach into ml/core
+    "cluster": frozenset({"gateway", "telemetry", "tracing"}),
     "attacks": frozenset({"ml", "privacy", "gateway", "datasets"}),
     # layer 3 — orchestration: may use everything below, never the CLI
     "core": frozenset(

@@ -146,12 +146,29 @@ def unseeded_rng(module: ModuleContext) -> Iterator[Tuple[int, str]]:
                 if item.name not in _RANDOM_OK:
                     from_random.add(item.asname or item.name)
 
+    seeded_ctors: Set[str] = set()
+    for node in module.walk(ast.ImportFrom):
+        if node.module == "random" and node.level == 0:
+            for item in node.names:
+                if item.name == "Random":
+                    seeded_ctors.add(item.asname or item.name)
+        elif node.module in ("numpy.random", "numpy") and node.level == 0:
+            for item in node.names:
+                if item.name == "default_rng":
+                    seeded_ctors.add(item.asname or item.name)
+
     for node in module.walk(ast.Call):
         func = node.func
+        seedless = not node.args and not node.keywords
         if isinstance(func, ast.Name) and func.id in from_random:
             yield node.lineno, (
                 f"global-state RNG call {func.id}() — "
                 "inject random.Random(seed) instead"
+            )
+        elif isinstance(func, ast.Name) and func.id in seeded_ctors and seedless:
+            yield node.lineno, (
+                f"seedless generator {func.id}() draws OS entropy — "
+                "pass an explicit seed"
             )
         elif isinstance(func, ast.Attribute) and isinstance(
             func.value, ast.Name
@@ -161,6 +178,11 @@ def unseeded_rng(module: ModuleContext) -> Iterator[Tuple[int, str]]:
                 yield node.lineno, (
                     f"global-state RNG call random.{func.attr}() — "
                     "inject random.Random(seed) instead"
+                )
+            elif base in random_names and func.attr == "Random" and seedless:
+                yield node.lineno, (
+                    "seedless random.Random() draws OS entropy — "
+                    "pass an explicit seed"
                 )
         elif (
             isinstance(func, ast.Attribute)
@@ -173,6 +195,19 @@ def unseeded_rng(module: ModuleContext) -> Iterator[Tuple[int, str]]:
             yield node.lineno, (
                 f"legacy global np.random.{func.attr}() — "
                 "use np.random.default_rng(seed)"
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "default_rng"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in numpy_names
+            and seedless
+        ):
+            yield node.lineno, (
+                "seedless np.random.default_rng() draws OS entropy — "
+                "pass an explicit seed"
             )
 
 
@@ -250,6 +285,11 @@ def wallclock_in_compute(module: ModuleContext) -> Iterator[Tuple[int, str]]:
 
 _CLOCK_MODULES = frozenset({"time", "datetime"})
 
+#: Packages whose timestamps must come from an injected clock: tracing
+#: (span times) and cluster (node/fault/autoscaler scheduling) both run
+#: on the simulator's virtual ``now`` in capacity experiments.
+_CLOCK_INJECTED_PACKAGES = frozenset({"tracing", "cluster"})
+
 
 @rule("tracing-clock-injection")
 def tracing_clock_injection(module: ModuleContext) -> Iterator[Tuple[int, str]]:
@@ -261,25 +301,29 @@ def tracing_clock_injection(module: ModuleContext) -> Iterator[Tuple[int, str]]:
     ``time.*`` or ``datetime`` read anywhere in ``repro.tracing`` would
     silently mix wall time into virtual-time traces, so the *import* is
     banned outright — stricter than the pure-package rule, which only
-    bans specific wall-clock calls.
+    bans specific wall-clock calls.  ``repro.cluster`` is held to the
+    same bar: node lifecycles, fault plans and autoscaler ticks all run
+    on the simulator's virtual clock, and one wall-time read would
+    desynchronise failover timing from the workload it interrupts.
     """
-    if module.package != "tracing":
+    if module.package not in _CLOCK_INJECTED_PACKAGES:
         return
+    package = f"repro.{module.package}"
     for node in module.walk(ast.Import):
         for item in node.names:
             root_name = item.name.split(".")[0]
             if root_name in _CLOCK_MODULES:
                 yield node.lineno, (
-                    f"'{item.name}' imported in repro.tracing — span "
-                    "timestamps must come from the Tracer's injected clock"
+                    f"'{item.name}' imported in {package} — "
+                    "timestamps must come from the injected clock"
                 )
     for node in module.walk(ast.ImportFrom):
         if node.level == 0 and node.module:
             root_name = node.module.split(".")[0]
             if root_name in _CLOCK_MODULES:
                 yield node.lineno, (
-                    f"'from {node.module} import …' in repro.tracing — span "
-                    "timestamps must come from the Tracer's injected clock"
+                    f"'from {node.module} import …' in {package} — "
+                    "timestamps must come from the injected clock"
                 )
 
 

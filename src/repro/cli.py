@@ -169,6 +169,134 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.cluster import (
+        AutoscalePolicy,
+        ClusterAutoscaler,
+        ClusterRunner,
+        ClusterTopology,
+        FaultPlan,
+        paper_route_specs,
+    )
+    from repro.gateway.arrivals import PoissonArrivalGroup
+    from repro.gateway.loadgen import ThreadGroup
+    from repro.gateway.simulation import Simulator
+    from repro.telemetry import TumblingWindowAggregator
+
+    specs = paper_route_specs()
+    known = [spec.route for spec in specs]
+    routes = [r.strip() for r in args.routes.split(",") if r.strip()]
+    unknown = [r for r in routes if r not in known]
+    if unknown:
+        print(f"unknown routes {unknown}; available: {known}", file=sys.stderr)
+        return 2
+    sim = Simulator()
+    topology = ClusterTopology(
+        sim,
+        specs,
+        n_nodes=args.nodes,
+        replication=args.replication,
+        seed=args.seed,
+    )
+    plan = None
+    if args.fault_plan:
+        try:
+            plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print(f"bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
+        off_cluster = set(plan.nodes()) - set(topology.node_ids())
+        if off_cluster:
+            print(
+                f"--fault-plan names unknown nodes {sorted(off_cluster)}; "
+                f"cluster has {topology.node_ids()}",
+                file=sys.stderr,
+            )
+            return 2
+    runner = ClusterRunner(
+        topology,
+        retain_records=not args.no_retain,
+        seed=args.seed,
+        trace_every=args.trace_every,
+    )
+    per_route = max(1, args.requests // len(routes))
+    if args.open_loop is not None:
+        for route in routes:
+            runner.add_open_loop(
+                PoissonArrivalGroup(
+                    route=route,
+                    rate_rps=args.open_loop / len(routes),
+                    n_requests=per_route,
+                )
+            )
+        shape = f"open-loop rate={args.open_loop:g}rps requests={args.requests}"
+    else:
+        iterations = max(1, per_route // args.threads)
+        for route in routes:
+            runner.add_thread_group(
+                ThreadGroup(
+                    route=route,
+                    n_threads=args.threads,
+                    rampup_seconds=1.0,
+                    iterations=iterations,
+                )
+            )
+        shape = f"threads={args.threads}x{len(routes)} iterations={iterations}"
+    if plan is not None:
+        runner.apply_fault_plan(plan)
+    scaler = None
+    if args.autoscale:
+        scaler = ClusterAutoscaler(
+            runner,
+            TumblingWindowAggregator(window_seconds=1.0),
+            AutoscalePolicy(min_nodes=args.nodes, max_nodes=4 * args.nodes),
+        )
+        scaler.start()
+    started = _time.perf_counter()
+    report = runner.run()
+    elapsed = _time.perf_counter() - started
+    ring = " (ring)" if args.no_retain else ""
+    print(
+        f"cluster run: nodes={args.nodes} replication={args.replication} "
+        f"routes={','.join(routes)} {shape}{ring}"
+    )
+    print("  " + report.render_text())
+    print("  per-node rollup:")
+    for node_id, node_report in runner.summary_by_node(
+        report.duration_seconds
+    ).items():
+        print(
+            f"    {node_id:>8}  {node_report.n_requests:>8} req  "
+            f"{node_report.n_errors:>6} err  "
+            f"p95 {node_report.p95_response_ms:8.2f}ms"
+        )
+    ledger = runner.conservation()
+    print(
+        "  failover ledger: "
+        + ", ".join(f"{key}={value}" for key, value in ledger.items())
+    )
+    if runner.trace_every:
+        print(
+            f"  traces: {len(runner.collector.traces())} collected, "
+            f"{runner.cross_node_traces} cross-node"
+        )
+    if scaler is not None:
+        for decision in scaler.decisions:
+            print(
+                f"  autoscale @{decision.at:.2f}s {decision.action} "
+                f"{decision.node_id} (pressure {decision.pressure:.1f})"
+            )
+    print(
+        f"  {sim.processed_events} events in {elapsed:.3f}s wall "
+        f"({sim.processed_events / elapsed:,.0f} events/s), "
+        f"log capacity {runner.log.capacity} rows"
+        + (f", {runner.log.recycled} recycled" if args.no_retain else "")
+    )
+    return 0
+
+
 def _cmd_dashboard_demo(args: argparse.Namespace) -> int:
     from repro.core import (
         AIDashboard,
@@ -522,6 +650,58 @@ def build_parser() -> argparse.ArgumentParser:
         "in-flight count, enables million-request runs)",
     )
     capacity.set_defaults(func=_cmd_capacity)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="a sharded multi-node capacity run with failure injection",
+    )
+    cluster.add_argument("--nodes", type=int, default=8)
+    cluster.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="preference-list length per route (1 primary + replicas)",
+    )
+    cluster.add_argument(
+        "--fault-plan",
+        default="",
+        metavar="SPEC",
+        help="comma-separated fault events: crash:node@t[:restart_t], "
+        "partition:node@t:duration, slow:node@t:duration:factor",
+    )
+    cluster.add_argument(
+        "--requests",
+        type=int,
+        default=100_000,
+        help="total requests across all routes",
+    )
+    cluster.add_argument(
+        "--open-loop",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="aggregate Poisson arrival rate (requests/second) split "
+        "across routes; omit for closed-loop threads",
+    )
+    cluster.add_argument(
+        "--routes",
+        default="shap,lime,ai_pipeline",
+        help="comma-separated route mix",
+    )
+    cluster.add_argument("--threads", type=int, default=100)
+    cluster.add_argument("--seed", type=int, default=1)
+    cluster.add_argument("--trace-every", type=int, default=0)
+    cluster.add_argument(
+        "--no-retain",
+        action="store_true",
+        help="ring mode: recycle completed rows for million-request runs",
+    )
+    cluster.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable the rollup-pressure autoscaler",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     demo = sub.add_parser(
         "dashboard-demo", help="train, instrument, monitor, render the dashboard"

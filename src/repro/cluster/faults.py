@@ -1,0 +1,177 @@
+"""Fault injection plans: declarative crash/partition/slow schedules.
+
+A :class:`FaultPlan` is a list of timestamped :class:`FaultEvent`\\ s the
+cluster runner replays onto the shared simulator heap — the same heap
+that drives requests, so faults land *between* request events exactly
+where a real outage would.  Plans are data, not behaviour: the runner
+owns the consequences (failing over lost rows, counting retries), the
+plan only says *what* happens to *which* node *when*.
+
+Plans can be built programmatically (:meth:`FaultPlan.add_crash` etc.)
+or parsed from the compact CLI grammar (:meth:`FaultPlan.parse`)::
+
+    crash:node-2@5            crash node-2 at t=5s, no restart
+    crash:node-2@5:12         crash at 5s, restart at 12s
+    partition:node-3@4:6      partition at 4s for 6s, then heal
+    slow:node-1@2:8:3.0       3.0x service times from 2s for 8s
+
+Multiple events are comma-separated; times are simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+__all__ = [
+    "FAULT_CRASH",
+    "FAULT_HEAL",
+    "FAULT_PARTITION",
+    "FAULT_RESTART",
+    "FAULT_RESTORE",
+    "FAULT_SLOW",
+    "FaultEvent",
+    "FaultPlan",
+]
+
+#: Fault event kinds.  ``restart``/``heal``/``restore`` are the closing
+#: halves the convenience builders emit alongside their opening event.
+FAULT_CRASH = "crash"
+FAULT_RESTART = "restart"
+FAULT_PARTITION = "partition"
+FAULT_HEAL = "heal"
+FAULT_SLOW = "slow"
+FAULT_RESTORE = "restore"
+
+_KINDS = frozenset(
+    {
+        FAULT_CRASH,
+        FAULT_RESTART,
+        FAULT_PARTITION,
+        FAULT_HEAL,
+        FAULT_SLOW,
+        FAULT_RESTORE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: what happens to which node at what time."""
+
+    kind: str
+    node_id: str
+    at: float
+    #: Service-time multiplier; only meaningful for ``slow`` events.
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(_KINDS)}"
+            )
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.kind == FAULT_SLOW and self.factor <= 0:
+            raise ValueError("slow factor must be positive")
+
+
+class FaultPlan:
+    """An ordered schedule of fault events for one cluster run."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self._events: List[FaultEvent] = sorted(
+            events, key=lambda e: (e.at, e.node_id, e.kind)
+        )
+
+    # -- builders ------------------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self._events.append(event)
+        self._events.sort(key=lambda e: (e.at, e.node_id, e.kind))
+        return self
+
+    def add_crash(
+        self, node_id: str, at: float, restart_at: float = -1.0
+    ) -> "FaultPlan":
+        """Crash ``node_id`` at ``at``; restart later if ``restart_at`` >= 0."""
+        self.add(FaultEvent(FAULT_CRASH, node_id, at))
+        if restart_at >= 0:
+            if restart_at <= at:
+                raise ValueError("restart must come after the crash")
+            self.add(FaultEvent(FAULT_RESTART, node_id, restart_at))
+        return self
+
+    def add_partition(
+        self, node_id: str, at: float, duration: float
+    ) -> "FaultPlan":
+        """Partition ``node_id`` for ``duration`` seconds, then heal."""
+        if duration <= 0:
+            raise ValueError("partition duration must be positive")
+        self.add(FaultEvent(FAULT_PARTITION, node_id, at))
+        self.add(FaultEvent(FAULT_HEAL, node_id, at + duration))
+        return self
+
+    def add_slow(
+        self, node_id: str, at: float, duration: float, factor: float
+    ) -> "FaultPlan":
+        """Degrade ``node_id`` by ``factor`` for ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("slow duration must be positive")
+        self.add(FaultEvent(FAULT_SLOW, node_id, at, factor=factor))
+        self.add(FaultEvent(FAULT_RESTORE, node_id, at + duration))
+        return self
+
+    # -- parsing -------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the CLI grammar (see module docstring) into a plan."""
+        plan = cls()
+        for chunk in filter(None, (p.strip() for p in spec.split(","))):
+            try:
+                kind, rest = chunk.split(":", 1)
+                target, timing = rest.split("@", 1)
+                parts = timing.split(":")
+            except ValueError:
+                raise ValueError(
+                    f"malformed fault spec {chunk!r}; expected "
+                    "kind:node@t[:arg[:arg]]"
+                ) from None
+            times = [float(p) for p in parts]
+            if kind == FAULT_CRASH and len(times) == 1:
+                plan.add_crash(target, times[0])
+            elif kind == FAULT_CRASH and len(times) == 2:
+                plan.add_crash(target, times[0], restart_at=times[1])
+            elif kind == FAULT_PARTITION and len(times) == 2:
+                plan.add_partition(target, times[0], times[1])
+            elif kind == FAULT_SLOW and len(times) == 3:
+                plan.add_slow(target, times[0], times[1], times[2])
+            else:
+                raise ValueError(
+                    f"malformed fault spec {chunk!r}: {kind!r} takes "
+                    "crash@t[:restart_t], partition@t:duration, or "
+                    "slow@t:duration:factor"
+                )
+        return plan
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def events(self) -> List[FaultEvent]:
+        """The schedule, ordered by time (copy; plans stay immutable-ish)."""
+        return list(self._events)
+
+    def nodes(self) -> List[str]:
+        """Distinct node ids the plan touches, sorted."""
+        return sorted({e.node_id for e in self._events})
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)

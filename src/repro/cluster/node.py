@@ -1,0 +1,370 @@
+"""Cluster nodes: per-node service stations with crash-safe completions.
+
+A :class:`ClusterNode` is one simulated gateway/service host.  It owns a
+:class:`NodeService` per route — the columnar M/G/c station of
+:class:`~repro.gateway.services.MicroService`, re-derived here with the
+one capability that class cannot absorb: **a node can die with work in
+flight**.
+
+Crash safety hinges on *epoch tokens*.  Every in-service completion is
+scheduled on the shared event heap as ``(epoch << 32) | row``; a crash
+bumps the service epoch, so completions scheduled before the crash
+arrive with a stale epoch and are dropped and counted instead of
+completing a row that was already failed over (and possibly recycled)
+elsewhere.  Without the guard, a restarted ring-mode run would let a
+ghost completion from the dead node corrupt whatever request now owns
+that row slot.
+
+Node states form a small machine (documented in DESIGN.md §12):
+
+``UP ↔ DOWN`` via crash/restart (crash loses in-flight + queued rows,
+which the runner fails over), ``UP ↔ UP/unreachable`` via
+partition/heal (the node keeps computing but responses are lost), and
+``UP → DRAINING`` when the autoscaler retires a node (no new dispatch,
+in-flight work finishes normally).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappush as _heappush
+from typing import Deque, Dict, List, Set
+
+from repro.gateway.records import RecordLog
+from repro.gateway.services import SERVICE_TIME_BATCH, ServiceTimeModel
+from repro.gateway.simulation import Simulator
+
+__all__ = [
+    "NODE_DOWN",
+    "NODE_DRAINING",
+    "NODE_UP",
+    "ClusterNode",
+    "NodeService",
+]
+
+#: Node lifecycle states (see the module docstring's state machine).
+NODE_UP = "up"
+NODE_DOWN = "down"
+NODE_DRAINING = "draining"
+
+_ROW_MASK = (1 << 32) - 1
+
+
+class NodeService:
+    """One route's station on one node: c workers, FIFO queue, epoch guard.
+
+    The hot path mirrors ``MicroService.use_columnar`` — pre-sampled
+    service-time batches, direct heap pushes, queue-head-before-sink —
+    but every scheduled completion carries the service epoch so crashes
+    can invalidate outstanding work in O(1).
+    """
+
+    __slots__ = (
+        "route",
+        "node",
+        "service_time",
+        "concurrency",
+        "queue_capacity",
+        "stats",
+        "completed_rows",
+        "rejected_rows",
+        "stale_completions",
+        "_epoch",
+        "_slow",
+        "_busy",
+        "_busy_seconds",
+        "_inflight",
+        "_waiting",
+        "_log",
+        "_sim",
+        "_sink",
+        "_sim_queue",
+        "_sim_counter",
+        "_finish_cb",
+        "_st_buffers",
+        "_st_last_id",
+        "_st_last_buf",
+        "_err_queue_full",
+    )
+
+    def __init__(
+        self,
+        route: str,
+        node: "ClusterNode",
+        service_time: ServiceTimeModel,
+        concurrency: int,
+        queue_capacity: int = 1000,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if queue_capacity < 0:
+            raise ValueError("queue_capacity must be >= 0")
+        self.route = route
+        self.node = node
+        self.service_time = service_time
+        self.concurrency = concurrency
+        self.queue_capacity = queue_capacity
+        #: Per-(node, route) stats bundle, attached by the runner at bind
+        #: time so the completion sink reaches it without a dict probe.
+        self.stats = None
+        self.completed_rows = 0
+        self.rejected_rows = 0
+        self.stale_completions = 0
+        self._epoch = 0
+        self._slow = 1.0
+        self._busy = 0
+        self._busy_seconds = 0.0
+        self._inflight: Set[int] = set()
+        self._waiting: Deque[int] = deque()
+        self._log: RecordLog = None  # type: ignore[assignment]
+        self._sim: Simulator = None  # type: ignore[assignment]
+        self._sink = None
+        self._sim_queue = None
+        self._sim_counter = None
+        self._finish_cb = self._finish
+        self._st_buffers: Dict[int, list] = {}
+        self._st_last_id = -1
+        self._st_last_buf: list = []
+        self._err_queue_full = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def bind(self, log: RecordLog, sim: Simulator, sink) -> None:
+        """Attach the shared log/heap and the runner's completion sink.
+
+        ``sink(service, row, ok)`` runs once per finished row — the extra
+        ``service`` argument (vs the ``MicroService`` sink) is how the
+        runner learns *which node* answered, for per-node stats and for
+        partition/failover decisions.
+        """
+        self._log = log
+        self._sim = sim
+        self._sink = sink
+        self._sim_queue = sim._queue
+        self._sim_counter = sim._counter
+        self._err_queue_full = log.intern_error(
+            f"queue full at {self.node.node_id}/{self.route} (503)"
+        )
+
+    # -- hot path ------------------------------------------------------------
+
+    def submit_row(self, row: int) -> None:
+        """Accept (or typed-reject) a columnar request at the current time."""
+        if self._busy < self.concurrency:
+            self._busy += 1
+            self._start_row(row)
+        elif len(self._waiting) < self.queue_capacity:
+            self._waiting.append(row)
+        else:
+            self.rejected_rows += 1
+            self._log.fail(row, self._err_queue_full, self._sim.now)
+            self._sink(self, row, False)
+
+    def _start_row(self, row: int) -> None:
+        log = self._log
+        now = self._sim.now
+        log.v_start[row] = now
+        self._inflight.add(row)
+        payload_id = log.v_payload_ids[row]
+        if payload_id == self._st_last_id:
+            buffer = self._st_last_buf
+        else:
+            buffer = self._st_buffers.get(payload_id)
+            if buffer is None:
+                buffer = [self.service_time.sample_batch(
+                    log.payload_name(payload_id), SERVICE_TIME_BATCH
+                ).tolist(), 0]
+                self._st_buffers[payload_id] = buffer
+            self._st_last_id = payload_id
+            self._st_last_buf = buffer
+        values, pos = buffer
+        if pos >= len(values):
+            values = self.service_time.sample_batch(
+                log.payload_name(payload_id), SERVICE_TIME_BATCH
+            ).tolist()
+            buffer[0] = values
+            pos = 0
+        buffer[1] = pos + 1
+        _heappush(
+            self._sim_queue,
+            (
+                now + values[pos] * self._slow,
+                next(self._sim_counter),
+                self._finish_cb,
+                (self._epoch << 32) | row,
+            ),
+        )
+
+    def _finish(self, token: int) -> None:
+        if (token >> 32) != self._epoch:
+            # scheduled before a crash: the row was failed over already
+            self.stale_completions += 1
+            return
+        row = token & _ROW_MASK
+        self._inflight.discard(row)
+        now = self._sim.now
+        self._busy_seconds += now - self._log.v_start[row]
+        self.completed_rows += 1
+        # freed worker takes the queue head *before* the sink runs, so a
+        # saturated station never idles across a completion
+        if self._waiting:
+            self._start_row(self._waiting.popleft())
+        else:
+            self._busy -= 1
+        self._sink(self, row, True)
+
+    # -- fault surface -------------------------------------------------------
+
+    def crash(self) -> List[int]:
+        """Invalidate the station: return every owned row for failover.
+
+        Bumping the epoch orphans all scheduled completions (they arrive
+        stale); in-flight and queued rows are handed back to the runner
+        to retry on a replica or typed-fail.
+        """
+        self._epoch += 1
+        lost = list(self._inflight)
+        lost.extend(self._waiting)
+        self._inflight.clear()
+        self._waiting.clear()
+        self._busy = 0
+        return lost
+
+    def set_slow(self, factor: float) -> None:
+        """Degrade (or restore, with 1.0) the station's service times."""
+        if factor <= 0:
+            raise ValueError("slow factor must be positive")
+        self._slow = factor
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def busy_workers(self) -> int:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def inflight_rows(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._busy_seconds
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+
+class ClusterNode:
+    """One simulated host: a bundle of per-route stations plus lifecycle.
+
+    ``serving`` is the single flag the dispatch hot path reads; fault and
+    autoscaler transitions (rare) keep it consistent with ``state`` and
+    ``reachable``.
+    """
+
+    __slots__ = (
+        "node_id",
+        "services",
+        "state",
+        "reachable",
+        "serving",
+        "slow_factor",
+        "crashes",
+        "restarts",
+        "partitions",
+        "heals",
+    )
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.services: Dict[str, NodeService] = {}
+        self.state = NODE_UP
+        self.reachable = True
+        self.serving = True
+        self.slow_factor = 1.0
+        self.crashes = 0
+        self.restarts = 0
+        self.partitions = 0
+        self.heals = 0
+
+    def add_service(self, service: NodeService) -> None:
+        if service.route in self.services:
+            raise ValueError(
+                f"node {self.node_id} already hosts route {service.route!r}"
+            )
+        self.services[service.route] = service
+
+    # -- state transitions ----------------------------------------------------
+
+    def crash(self) -> List[int]:
+        """UP/DRAINING → DOWN; returns every row the node was holding."""
+        if self.state == NODE_DOWN:
+            raise RuntimeError(f"node {self.node_id} is already down")
+        self.state = NODE_DOWN
+        self.serving = False
+        self.crashes += 1
+        lost: List[int] = []
+        for service in self.services.values():
+            lost.extend(service.crash())
+        return lost
+
+    def restart(self) -> None:
+        """DOWN → UP: fresh epochs already in place, ready to serve."""
+        if self.state != NODE_DOWN:
+            raise RuntimeError(f"node {self.node_id} is not down")
+        self.state = NODE_UP
+        self.slow_factor = 1.0
+        self.restarts += 1
+        self.serving = self.reachable
+
+    def partition(self) -> None:
+        """Sever the network: node keeps computing, responses are lost."""
+        if not self.reachable:
+            raise RuntimeError(f"node {self.node_id} is already partitioned")
+        self.reachable = False
+        self.serving = False
+        self.partitions += 1
+
+    def heal(self) -> None:
+        """Rejoin the network after a partition."""
+        if self.reachable:
+            raise RuntimeError(f"node {self.node_id} is not partitioned")
+        self.reachable = True
+        self.heals += 1
+        self.serving = self.state == NODE_UP
+
+    def drain(self) -> None:
+        """UP → DRAINING: no new dispatch, in-flight finishes normally."""
+        if self.state != NODE_UP:
+            raise RuntimeError(f"node {self.node_id} cannot drain ({self.state})")
+        self.state = NODE_DRAINING
+        self.serving = False
+
+    def degrade(self, factor: float) -> None:
+        """Slow every station on the node by ``factor`` (1.0 restores)."""
+        self.slow_factor = factor
+        for service in self.services.values():
+            service.set_slow(factor)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(s.queue_length for s in self.services.values())
+
+    @property
+    def busy_workers(self) -> int:
+        return sum(s.busy_workers for s in self.services.values())
+
+    @property
+    def inflight_rows(self) -> int:
+        return sum(s.inflight_rows for s in self.services.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        reach = "" if self.reachable else ", unreachable"
+        return f"ClusterNode({self.node_id}, {self.state}{reach})"

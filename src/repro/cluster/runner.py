@@ -1,0 +1,838 @@
+"""Cluster capacity runs: columnar workloads over a multi-node topology.
+
+:class:`ClusterRunner` is the cluster sibling of
+:class:`~repro.gateway.capacity.CapacityRunner`: the same single
+:class:`~repro.gateway.records.RecordLog`, the same single event heap,
+the same streaming per-route aggregates — plus everything a one-node run
+never needs:
+
+* **replica dispatch** — each request routes to the first *serving* node
+  on its route's ring preference list (one attribute check per request
+  when the cluster is healthy);
+* **failover** — a typed failure (queue-full rejection, crash-lost row,
+  partition-lost response) retries on the next live replica up to
+  ``max_attempts``, then finalises with a typed error.  Nothing is ever
+  silently dropped: every appended row is observed exactly once, as a
+  success or as an interned, named failure (``conservation()`` exposes
+  the ledger the failover tests assert on);
+* **per-node attribution** — stats shard per (node, route); summaries
+  merge back per route, per node, and cluster-wide, and exemplar events
+  carry node-qualified sources (``"shap@node-3"``) plus a ``node_id``
+  label so rollups shard per node downstream;
+* **cross-node traces** — with ``trace_every=N``, every Nth request
+  materialises a full span tree at completion time (no extra heap
+  events): gateway legs on the entry node, queue/process on the serving
+  node, one error span per failed attempt.  Spans carry ``node_id``
+  attributes, so when entry ≠ serving the critical path provably spans
+  two nodes.
+
+Fault plans (:mod:`repro.cluster.faults`) are replayed onto the shared
+heap; the runner owns all consequences — epoch-guarded services drop
+stale completions, lost rows fail over here.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush as _heappush
+from math import ceil as _ceil, log as _mlog
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.faults import (
+    FAULT_CRASH,
+    FAULT_HEAL,
+    FAULT_PARTITION,
+    FAULT_RESTART,
+    FAULT_RESTORE,
+    FAULT_SLOW,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.cluster.node import ClusterNode, NodeService
+from repro.cluster.topology import ClusterTopology
+from repro.gateway.arrivals import PoissonArrivalGroup, arrival_chunks
+from repro.gateway.capacity import ARRIVAL_CHUNK
+from repro.gateway.loadgen import SummaryReport, ThreadGroup
+from repro.gateway.records import RecordLog
+from repro.gateway.simulation import _NO_ARG
+from repro.gateway.sketches import QuantileSketch, RouteStats, StreamingMoments
+from repro.telemetry.events import (
+    KIND_RESPONSE,
+    KIND_UTILIZATION,
+    TelemetryEvent,
+)
+from repro.tracing import NODE_ID_ATTR, TraceCollector, Tracer
+
+__all__ = ["ClusterRunner", "node_source"]
+
+
+def node_source(route: str, node_id: str) -> str:
+    """The node-qualified telemetry source (``"shap@node-3"``) that
+    shards rollup windows per node."""
+    return f"{route}@{node_id}"
+
+
+class _ClusterUser:
+    """One closed-loop user pinned to an entry node.
+
+    The cluster twin of ``capacity._VirtualUser``: a reusable state
+    object whose bound method is the scheduled iteration callback.  The
+    one structural difference: submission goes through the runner's
+    replica scan instead of a pre-bound service, because the serving
+    node can change under it mid-run.
+    """
+
+    __slots__ = ("runner", "entry", "route", "route_id", "payload_id",
+                 "think", "delay", "remaining", "sim", "overhead", "log",
+                 "step")
+
+    def __init__(
+        self,
+        runner: "ClusterRunner",
+        group: ThreadGroup,
+        entry: ClusterNode,
+    ) -> None:
+        self.runner = runner
+        self.entry = entry
+        self.sim = runner.sim
+        self.overhead = runner.overhead
+        self.log = runner.log
+        self.route = group.route
+        self.route_id = runner.bind_route(group.route)
+        self.payload_id = runner.log.intern_payload(group.payload)
+        self.think = group.think_time
+        #: response receipt (``end``) -> next submit: think + request leg
+        self.delay = runner.overhead + group.think_time
+        self.remaining = group.iterations
+        self.step = self.advance if runner.trace_every else self._advance_untraced
+
+    def advance(self) -> None:
+        self.remaining -= 1
+        runner = self.runner
+        runner.sent += 1
+        log = self.log
+        row = log.append(
+            self.route_id, self.payload_id, self.sim.now - self.overhead
+        )
+        in_flight = runner.in_flight + 1
+        runner.in_flight = in_flight
+        log.v_active[row] = in_flight
+        if runner.sent % runner.trace_every == 0:
+            log.slots[row] = _TracedJob(
+                self if self.remaining > 0 else None,
+                self.entry,
+                self.route_id,
+            )
+        elif self.remaining > 0:
+            log.slots[row] = self
+        runner.submit(row, self.route_id)
+
+    def _advance_untraced(self) -> None:
+        self.remaining -= 1
+        log = self.log
+        row = log.append(
+            self.route_id, self.payload_id, self.sim.now - self.overhead
+        )
+        runner = self.runner
+        in_flight = runner.in_flight + 1
+        runner.in_flight = in_flight
+        log.v_active[row] = in_flight
+        if self.remaining > 0:
+            log.slots[row] = self
+        runner.submit(row, self.route_id)
+
+
+class _OpenLoopDriver:
+    """Feeds one Poisson group's arrivals into the heap, chunk by chunk."""
+
+    __slots__ = ("runner", "entry", "route", "route_id", "payload_id",
+                 "chunks", "sim", "overhead", "log", "step")
+
+    def __init__(
+        self,
+        runner: "ClusterRunner",
+        group: PoissonArrivalGroup,
+        entry: ClusterNode,
+        rng: np.random.Generator,
+    ) -> None:
+        self.runner = runner
+        self.entry = entry
+        self.sim = runner.sim
+        self.overhead = runner.overhead
+        self.log = runner.log
+        self.route = group.route
+        self.route_id = runner.bind_route(group.route)
+        self.payload_id = runner.log.intern_payload(group.payload)
+        self.chunks = arrival_chunks(group, rng, ARRIVAL_CHUNK)
+        self.step = self.fire if runner.trace_every else self._fire_untraced
+
+    def load_chunk(self) -> None:
+        """Bulk-load the next arrival chunk; chain the following load."""
+        times = next(self.chunks, None)
+        if times is None:
+            return
+        sim = self.sim
+        fire = self.step
+        schedule = sim.schedule
+        shift = self.overhead - sim.now
+        delays = (times + shift).tolist()
+        for delay in delays:
+            schedule(delay, fire)
+        schedule(delays[-1], self.load_chunk)
+
+    def fire(self) -> None:
+        runner = self.runner
+        runner.sent += 1
+        log = self.log
+        row = log.append(
+            self.route_id, self.payload_id, self.sim.now - self.overhead
+        )
+        in_flight = runner.in_flight + 1
+        runner.in_flight = in_flight
+        log.v_active[row] = in_flight
+        if runner.sent % runner.trace_every == 0:
+            log.slots[row] = _TracedJob(None, self.entry, self.route_id)
+        runner.submit(row, self.route_id)
+
+    def _fire_untraced(self) -> None:
+        log = self.log
+        row = log.append(
+            self.route_id, self.payload_id, self.sim.now - self.overhead
+        )
+        runner = self.runner
+        in_flight = runner.in_flight + 1
+        runner.in_flight = in_flight
+        log.v_active[row] = in_flight
+        runner.submit(row, self.route_id)
+
+
+class _TracedJob:
+    """A trace-sampled request: accumulates history, materialises at end.
+
+    No span exists while the request is in flight — the whole tree is
+    built retroactively from the row's columns and the recorded failover
+    attempts when the request finally completes (same zero-extra-events
+    stance as the service layer's stage materialisation).  ``user`` is
+    the closed-loop owner to reschedule afterwards, if any.
+    """
+
+    __slots__ = ("user", "entry", "route_id", "attempts")
+
+    def __init__(
+        self,
+        user: Optional[_ClusterUser],
+        entry: ClusterNode,
+        route_id: int,
+    ) -> None:
+        self.user = user
+        self.entry = entry
+        self.route_id = route_id
+        #: (node_id, error_code, at) per failed attempt, in order.
+        self.attempts: List[Tuple[str, int, float]] = []
+
+    def complete(
+        self,
+        runner: "ClusterRunner",
+        service: Optional[NodeService],
+        row: int,
+        end: float,
+        ms: float,
+        ok: bool,
+        final_code: int = 0,
+    ) -> None:
+        """Materialise the span tree and hand control back to the owner."""
+        tracer = runner.tracer
+        log = runner.log
+        entry_id = self.entry.node_id
+        route = log.route_name(self.route_id)
+        arrival = log.v_arrival[row]
+        root = tracer.start_span(
+            "cluster.request",
+            start_time=arrival,
+            attributes={NODE_ID_ATTR: entry_id, "route": route},
+        )
+        tracer.start_span(
+            "gateway.route",
+            parent=root,
+            start_time=arrival,
+            attributes={NODE_ID_ATTR: entry_id},
+        ).end(at=arrival + runner.overhead)
+        cursor = arrival + runner.overhead
+        for node_id, code, failed_at in self.attempts:
+            tracer.start_span(
+                "service.attempt",
+                parent=root,
+                start_time=cursor,
+                attributes={NODE_ID_ATTR: node_id},
+            ).record_error(log.error_message(code)).end(at=failed_at)
+            cursor = failed_at
+        if ok and service is not None:
+            serving = service.node
+            start = log.v_start[row]
+            finish = end - runner.overhead
+            if start > cursor:
+                tracer.start_span(
+                    "service.queue",
+                    parent=root,
+                    start_time=cursor,
+                    attributes={NODE_ID_ATTR: serving.node_id},
+                ).end(at=start)
+            tracer.start_span(
+                "service.process",
+                parent=root,
+                start_time=start,
+                attributes={NODE_ID_ATTR: serving.node_id, "route": route},
+            ).end(at=finish)
+            tracer.start_span(
+                "gateway.respond",
+                parent=root,
+                start_time=finish,
+                attributes={NODE_ID_ATTR: entry_id},
+            ).end(at=end)
+            if serving is not self.entry:
+                runner.cross_node_traces += 1
+            stats = service.stats
+        else:
+            reason = log.error_message(final_code)
+            tracer.start_span(
+                "cluster.failover",
+                parent=root,
+                start_time=cursor,
+                attributes={NODE_ID_ATTR: entry_id},
+            ).record_error(reason).end(at=end)
+            root.record_error(reason)
+            stats = runner.lost_stats(self.route_id)
+        root.end(at=end)
+        stats.exemplars.offer(ms, end, route, root.context)
+        user = self.user
+        if user is not None:
+            _heappush(
+                runner._sim_queue,
+                (
+                    end + user.delay,
+                    next(runner._sim_counter),
+                    user.step,
+                    _NO_ARG,
+                ),
+            )
+
+
+class ClusterRunner:
+    """Drives columnar workloads against a :class:`ClusterTopology`.
+
+    Parameters
+    ----------
+    topology:
+        The cluster control plane (nodes + ring + replica placement).
+        The runner registers itself as the membership listener so
+        autoscaler joins/drains rebind the data plane.
+    retain_records:
+        ``True`` keeps every row (exact oracles); ``False`` recycles
+        completed rows — memory bounded by the in-flight count.
+    trace_every:
+        Materialise a full cross-node span tree for every Nth request
+        (0 disables).
+    max_attempts:
+        Dispatch attempts per request (1 primary + retries) before the
+        typed ``failover retries exhausted`` error.
+    telemetry, topic:
+        Optional telemetry target for :meth:`run`'s bounded summary,
+        per-node and exemplar events.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        retain_records: bool = False,
+        seed: int = 0,
+        trace_every: int = 0,
+        max_attempts: int = 3,
+        series_slots: int = 512,
+        exemplar_slots: int = 8,
+        relative_accuracy: float = 0.005,
+        telemetry=None,
+        topic: str = "cluster",
+        initial_capacity: int = 4096,
+        max_traces: int = 1024,
+    ) -> None:
+        if trace_every < 0:
+            raise ValueError("trace_every must be >= 0")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.topology = topology
+        self.sim = topology.sim
+        self.overhead = topology.overhead_seconds
+        self.log = RecordLog(initial_capacity, retain=retain_records)
+        self.seed = seed
+        self.trace_every = trace_every
+        self.max_attempts = max_attempts
+        self.series_slots = series_slots
+        self.exemplar_slots = exemplar_slots
+        self.relative_accuracy = relative_accuracy
+        self.telemetry = telemetry
+        self.topic = topic
+        self.collector = TraceCollector(max_traces=max_traces)
+        self.tracer = Tracer(
+            clock=lambda: self.sim.now, collector=self.collector, seed=seed
+        )
+        # -- conservation ledger: appended == observed at drain, always
+        self.sent = 0
+        self.in_flight = 0
+        self.observed = 0
+        self.final_failures = 0
+        self.failovers = 0
+        self.lost_in_flight = 0
+        self.lost_responses = 0
+        self.cross_node_traces = 0
+        self.fault_log: List[Tuple[float, str, str]] = []
+        #: (node_id, route_id) -> streaming aggregate
+        self.node_route_stats: Dict[Tuple[str, int], RouteStats] = {}
+        self._lost_stats: Dict[int, RouteStats] = {}
+        #: route id -> preference-ordered service list (rebuilt on
+        #: membership change, *not* on faults — dispatch skips dead nodes
+        #: via the node ``serving`` flag)
+        self._route_services: List[List[NodeService]] = []
+        self._bound_routes: Dict[int, str] = {}
+        self._node_ordinal: Dict[str, int] = {}
+        #: row -> failover attempts so far; only rows that ever failed
+        #: over appear here (empty for the whole run when no faults fire)
+        self._attempts: Dict[int, int] = {}
+        self._free = None if retain_records else self.log._free
+        self._sim_queue = self.sim._queue
+        self._sim_counter = self.sim._counter
+        self._groups = 0
+        self._err_no_replica = self.log.intern_error(
+            "no live replica (503)"
+        )
+        self._err_exhausted = self.log.intern_error(
+            "failover retries exhausted (503)"
+        )
+        self._err_crash = self.log.intern_error(
+            "node crash: request lost (retried)"
+        )
+        self._err_partition = self.log.intern_error(
+            "network partition: response lost (retried)"
+        )
+        topology.set_listener(self)
+
+    # -- wiring --------------------------------------------------------------
+
+    def bind_route(self, route: str) -> int:
+        """Resolve a route: intern it, bind its replica stations."""
+        route_id = self.log.intern_route(route)
+        if route_id in self._bound_routes:
+            return route_id
+        self.topology.route_spec(route)  # raises on unknown routes
+        self._bound_routes[route_id] = route
+        while len(self._route_services) <= route_id:
+            self._route_services.append([])
+        self._rebind_route(route_id)
+        return route_id
+
+    def _rebind_route(self, route_id: int) -> None:
+        route = self._bound_routes[route_id]
+        services = []
+        for node in self.topology.replica_nodes(route):
+            service = node.services[route]
+            if service.stats is None:
+                self._attach(service, route_id)
+            services.append(service)
+        self._route_services[route_id] = services
+
+    def _attach(self, service: NodeService, route_id: int) -> None:
+        node_id = service.node.node_id
+        ordinal = self._node_ordinal.setdefault(
+            node_id, len(self._node_ordinal)
+        )
+        service.bind(self.log, self.sim, self._row_completed)
+        service.stats = RouteStats(
+            service.route,
+            seed=self.seed + 7_919 * (route_id + 1) + 104_729 * (ordinal + 1),
+            relative_accuracy=self.relative_accuracy,
+            series_slots=self.series_slots,
+            exemplar_slots=self.exemplar_slots,
+        )
+        self.node_route_stats[(node_id, route_id)] = service.stats
+
+    def membership_changed(self, node: ClusterNode) -> None:
+        """Topology listener: a node joined or drained; rebind placement."""
+        for route_id in self._bound_routes:
+            self._rebind_route(route_id)
+
+    def lost_stats(self, route_id: int) -> RouteStats:
+        """The node-less aggregate for requests no node could answer."""
+        stats = self._lost_stats.get(route_id)
+        if stats is None:
+            stats = RouteStats(
+                self.log.route_name(route_id),
+                seed=self.seed + 7_919 * (route_id + 1),
+                relative_accuracy=self.relative_accuracy,
+                series_slots=self.series_slots,
+                exemplar_slots=self.exemplar_slots,
+            )
+            self._lost_stats[route_id] = stats
+        return stats
+
+    # -- workloads -----------------------------------------------------------
+
+    def _next_entry(self) -> ClusterNode:
+        live = self.topology.live_nodes()
+        if not live:
+            raise RuntimeError("no serving nodes to attach a workload to")
+        entry = live[self._groups % len(live)]
+        self._groups += 1
+        return entry
+
+    def add_thread_group(self, group: ThreadGroup) -> None:
+        """Schedule a closed-loop group (JMeter linear ramp-up); users
+        spread round-robin over the serving nodes as entry points."""
+        spacing = (
+            group.rampup_seconds / group.n_threads if group.n_threads else 0.0
+        )
+        for thread in range(group.n_threads):
+            user = _ClusterUser(self, group, self._next_entry())
+            self.sim.schedule(thread * spacing + self.overhead, user.step)
+
+    def add_open_loop(self, group: PoissonArrivalGroup) -> None:
+        """Schedule an open-loop Poisson arrival group."""
+        entry = self._next_entry()
+        rng = np.random.default_rng(self.seed + 104_729 * self._groups)
+        driver = _OpenLoopDriver(self, group, entry, rng)
+        driver.load_chunk()
+
+    def apply_fault_plan(self, plan: FaultPlan) -> None:
+        """Replay a fault plan onto the shared heap."""
+        for event in plan:
+            self.sim.schedule_call(event.at, self._apply_fault, event)
+
+    # -- hot path ------------------------------------------------------------
+
+    def submit(self, row: int, route_id: int) -> None:
+        """Dispatch a row to the first serving replica of its route."""
+        for service in self._route_services[route_id]:
+            if service.node.serving:
+                service.submit_row(row)
+                return
+        self._final_fail(row, self._err_no_replica)
+
+    def _row_completed(self, service: NodeService, row: int, ok: bool) -> None:
+        """Per-request completion sink (all replicas share this method).
+
+        The streaming fold is :meth:`RouteStats.observe` inlined, exactly
+        as in ``CapacityRunner`` — the sink fires once per simulated
+        request and a four-argument call costs as much as the fold.  The
+        failure and partition branches leave the hot path immediately.
+        """
+        if not ok or not service.node.reachable:
+            self._completed_exceptional(service, row, ok)
+            return
+        log = self.log
+        end = self.sim.now + self.overhead
+        log.v_end[row] = end
+        ms = (end - log.v_arrival[row]) * 1000.0
+        stats = service.stats
+        slots = log.slots
+        owner = slots[row]
+        if owner is not None:
+            slots[row] = None
+            if owner.__class__ is _ClusterUser:
+                _heappush(
+                    self._sim_queue,
+                    (
+                        end + owner.delay,
+                        next(self._sim_counter),
+                        owner.step,
+                        _NO_ARG,
+                    ),
+                )
+            else:
+                owner.complete(self, service, row, end, ms, True)
+        latency = stats.latency
+        if ms < latency.min:
+            latency.min = ms
+        if ms > latency.max:
+            latency.max = ms
+        if ms > 0.0:
+            index = _ceil(_mlog(ms) * latency._inv_log_gamma)
+            bins = latency._bins
+            try:  # after warmup the bin almost always exists
+                bins[index] += 1
+            except KeyError:
+                bins[index] = 1
+        else:
+            latency._zeros += 1
+        moments = stats.moments
+        count = moments.count + 1
+        moments.count = count
+        delta = ms - moments.mean
+        mean = moments.mean + delta / count
+        moments.mean = mean
+        moments._m2 += delta * (ms - mean)
+        series = stats.series
+        seen = series.seen + 1
+        if seen > series.k and seen != series._next:
+            series.seen = seen
+        else:
+            series.offer(end, ms, log.v_active[row])
+        self.in_flight -= 1
+        self.observed += 1
+        if self._attempts:
+            self._attempts.pop(row, None)
+        free = self._free
+        if free is not None:
+            free.append(row)
+
+    # -- failover (cold path) ------------------------------------------------
+
+    def _completed_exceptional(
+        self, service: NodeService, row: int, ok: bool
+    ) -> None:
+        if ok:
+            # the station finished the work, but its node is partitioned:
+            # the response cannot reach the gateway — typed retry
+            self.lost_responses += 1
+            self._failover(row, service.node, self._err_partition)
+        else:
+            # typed rejection (queue full): the log row already carries
+            # the interned error; try the next replica before giving up
+            self._failover(
+                row, service.node, int(self.log.v_error_codes[row])
+            )
+
+    def _failover(
+        self, row: int, failed_node: ClusterNode, code: int
+    ) -> None:
+        log = self.log
+        owner = log.slots[row]
+        if owner is not None and owner.__class__ is _TracedJob:
+            owner.attempts.append((failed_node.node_id, code, self.sim.now))
+        attempts = self._attempts.get(row, 0) + 1
+        if attempts < self.max_attempts:
+            for service in self._route_services[log.v_route_ids[row]]:
+                node = service.node
+                if node is not failed_node and node.serving:
+                    self._attempts[row] = attempts
+                    self.failovers += 1
+                    # clear failure residue so the retry's completion
+                    # reads a clean row
+                    log.v_ok[row] = True
+                    log.v_error_codes[row] = 0
+                    service.submit_row(row)
+                    return
+            final_code = self._err_no_replica
+        else:
+            final_code = self._err_exhausted
+        self._final_fail(row, final_code)
+
+    def _final_fail(self, row: int, code: int) -> None:
+        """Finalise a row nobody could serve: typed error, full ledger."""
+        log = self.log
+        now = self.sim.now
+        log.fail(row, code, now)
+        route_id = log.v_route_ids[row]
+        stats = self.lost_stats(route_id)
+        stats.n_errors += 1
+        self.final_failures += 1
+        owner = log.slots[row]
+        if owner is not None:
+            log.slots[row] = None
+            if owner.__class__ is _ClusterUser:
+                _heappush(
+                    self._sim_queue,
+                    (
+                        now + owner.delay,
+                        next(self._sim_counter),
+                        owner.step,
+                        _NO_ARG,
+                    ),
+                )
+            else:
+                ms = (now - log.v_arrival[row]) * 1000.0
+                owner.complete(self, None, row, now, ms, False, code)
+        self.in_flight -= 1
+        self.observed += 1
+        if self._attempts:
+            self._attempts.pop(row, None)
+        free = self._free
+        if free is not None:
+            free.append(row)
+
+    # -- faults --------------------------------------------------------------
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        kind = event.kind
+        topology = self.topology
+        self.fault_log.append((self.sim.now, kind, event.node_id))
+        if kind == FAULT_CRASH:
+            node = topology.nodes[event.node_id]
+            lost = topology.crash_node(event.node_id)
+            self.lost_in_flight += len(lost)
+            for row in lost:
+                self._failover(row, node, self._err_crash)
+        elif kind == FAULT_RESTART:
+            topology.restart_node(event.node_id)
+        elif kind == FAULT_PARTITION:
+            topology.partition_node(event.node_id)
+        elif kind == FAULT_HEAL:
+            topology.heal_node(event.node_id)
+        elif kind == FAULT_SLOW:
+            topology.degrade_node(event.node_id, event.factor)
+        elif kind == FAULT_RESTORE:
+            topology.restore_node(event.node_id)
+
+    # -- reporting -----------------------------------------------------------
+
+    def conservation(self) -> Dict[str, int]:
+        """The zero-loss ledger: every appended row observed exactly once."""
+        return {
+            "appended": self.log.appended,
+            "observed": self.observed,
+            "in_flight": self.in_flight,
+            "final_failures": self.final_failures,
+            "failovers": self.failovers,
+            "lost_in_flight": self.lost_in_flight,
+            "lost_responses": self.lost_responses,
+            "stale_completions": sum(
+                service.stale_completions
+                for node in self.topology.nodes.values()
+                for service in node.services.values()
+            ),
+        }
+
+    def _stats_by_route(self) -> Dict[int, List[RouteStats]]:
+        grouped: Dict[int, List[RouteStats]] = {}
+        for (node_id, route_id), stats in self.node_route_stats.items():
+            if stats.n_requests > 0:
+                grouped.setdefault(route_id, []).append(stats)
+        for route_id, stats in self._lost_stats.items():
+            if stats.n_requests > 0:
+                grouped.setdefault(route_id, []).append(stats)
+        return grouped
+
+    def summary(self, duration: float) -> SummaryReport:
+        """Cluster-wide report: sketches merged across nodes, then routes."""
+        grouped = self._stats_by_route()
+        if not grouped:
+            return SummaryReport(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, duration)
+        report = self._merged_report(
+            [s for bundle in grouped.values() for s in bundle], duration
+        )
+        if len(grouped) > 1:
+            for route_id in sorted(grouped):
+                report.per_route[self.log.route_name(route_id)] = (
+                    self._merged_report(grouped[route_id], duration)
+                )
+        return report
+
+    def summary_by_node(self, duration: float) -> Dict[str, SummaryReport]:
+        """Per-node rollup: one merged report per node that saw traffic."""
+        per_node: Dict[str, List[RouteStats]] = {}
+        for (node_id, _), stats in self.node_route_stats.items():
+            if stats.n_requests > 0:
+                per_node.setdefault(node_id, []).append(stats)
+        return {
+            node_id: self._merged_report(bundle, duration)
+            for node_id, bundle in sorted(per_node.items())
+        }
+
+    def _merged_report(
+        self, bundle: List[RouteStats], duration: float
+    ) -> SummaryReport:
+        merged_sketch = QuantileSketch(self.relative_accuracy)
+        merged_moments = StreamingMoments()
+        n_requests = 0
+        n_errors = 0
+        timeline = []
+        for stats in bundle:
+            merged_sketch.merge(stats.latency)
+            merged_moments.merge(stats.moments)
+            n_requests += stats.n_requests
+            n_errors += stats.n_errors
+            timeline.extend(stats.timeline())
+        timeline.sort()
+        n_ok = n_requests - n_errors
+        if n_ok:
+            avg = merged_moments.mean
+            median = merged_sketch.quantile(0.5)
+            p95 = merged_sketch.quantile(0.95)
+            p99 = merged_sketch.quantile(0.99)
+            peak = merged_sketch.max
+        else:
+            avg = median = p95 = p99 = peak = 0.0
+        return SummaryReport(
+            n_requests=n_requests,
+            n_errors=n_errors,
+            avg_response_ms=avg,
+            median_response_ms=median,
+            p95_response_ms=p95,
+            max_response_ms=peak,
+            throughput_rps=n_ok / duration if duration > 0 else 0.0,
+            duration_seconds=duration,
+            p99_response_ms=p99,
+            timeline=timeline,
+        )
+
+    def exemplar_events(self) -> List[TelemetryEvent]:
+        """Kept exemplars as node-sharded, trace-linked response events.
+
+        Sources are node-qualified (:func:`node_source`), and every event
+        additionally carries the ``node_id`` label — so a rollup over
+        these events shards per node *and* each window resolves back to
+        its (possibly cross-node) traces after WAL replay.
+        """
+        events = []
+        for (node_id, route_id) in sorted(self.node_route_stats):
+            stats = self.node_route_stats[(node_id, route_id)]
+            route = self.log.route_name(route_id)
+            for ms, end, _, trace in stats.exemplars.items():
+                event = TelemetryEvent(
+                    source=node_source(route, node_id),
+                    value=ms,
+                    timestamp=end,
+                    kind=KIND_RESPONSE,
+                    attrs={"exemplar": 1.0},
+                )
+                event.with_trace(trace.trace_id, trace.span_id)
+                event.with_node(node_id)
+                events.append(event)
+        return events
+
+    def node_events(self, timestamp: float) -> List[TelemetryEvent]:
+        """One utilization snapshot per node (queue depth + lifecycle)."""
+        events = []
+        for node_id in self.topology.node_ids():
+            node = self.topology.nodes[node_id]
+            event = TelemetryEvent(
+                source=node_source("node", node_id),
+                value=float(node.queue_depth),
+                timestamp=timestamp,
+                kind=KIND_UTILIZATION,
+                attrs={
+                    "busy_workers": float(node.busy_workers),
+                    "inflight_rows": float(node.inflight_rows),
+                    "crashes": float(node.crashes),
+                    "serving": 1.0 if node.serving else 0.0,
+                },
+            )
+            event.with_node(node_id)
+            events.append(event)
+        return events
+
+    def run(self, until: Optional[float] = None) -> SummaryReport:
+        """Run to completion; publish bounded summary + exemplar events."""
+        end_time = self.sim.run(until=until)
+        report = self.summary(end_time)
+        if self.telemetry is not None:
+            for event in report.to_events(timestamp=end_time):
+                self.telemetry.publish(self.topic, event)
+            for event in self.exemplar_events():
+                self.telemetry.publish(self.topic, event)
+            for event in self.node_events(end_time):
+                self.telemetry.publish(self.topic, event)
+            self.telemetry.pump()
+        return report
+
+    def records(self):
+        """The classic ``RequestRecord`` views (requires retain mode)."""
+        return self.log.records()

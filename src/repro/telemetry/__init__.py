@@ -20,6 +20,7 @@ from repro.telemetry.events import (
     KIND_RESPONSE,
     KIND_SENSOR_READING,
     KIND_UTILIZATION,
+    NODE_ID_LABEL,
     SPAN_ID_LABEL,
     TRACE_ID_LABEL,
     TelemetryEvent,
@@ -39,6 +40,7 @@ __all__ = [
     "KIND_RESPONSE",
     "KIND_SENSOR_READING",
     "KIND_UTILIZATION",
+    "NODE_ID_LABEL",
     "SENSOR_TOPIC",
     "SPAN_ID_LABEL",
     "Subscription",

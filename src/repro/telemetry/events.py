@@ -27,6 +27,11 @@ KIND_LOAD_SUMMARY = "load_summary"
 TRACE_ID_LABEL = "trace_id"
 SPAN_ID_LABEL = "span_id"
 
+#: Well-known label naming the cluster node an event was observed on.
+#: Like the trace labels it is an ordinary string label — per-node rollup
+#: sharding and node attribution survive WAL replay for free.
+NODE_ID_LABEL = "node_id"
+
 
 @dataclass(slots=True)
 class TelemetryEvent:
@@ -112,6 +117,18 @@ class TelemetryEvent:
     @property
     def span_id(self) -> Optional[str]:
         return self.labels.get(SPAN_ID_LABEL)
+
+    # -- cluster node attribution ---------------------------------------------
+
+    def with_node(self, node_id: str) -> "TelemetryEvent":
+        """Stamp the cluster node this event was observed on (in place)."""
+        self.labels[NODE_ID_LABEL] = node_id
+        return self
+
+    @property
+    def node_id(self) -> Optional[str]:
+        """The observing cluster node, if the producer stamped one."""
+        return self.labels.get(NODE_ID_LABEL)
 
     # -- SensorReading bridge -------------------------------------------------
 

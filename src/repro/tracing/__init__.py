@@ -45,6 +45,7 @@ from repro.tracing.exemplars import (
     slowest_windows,
 )
 from repro.tracing.span import (
+    NODE_ID_ATTR,
     NULL_SPAN,
     NullSpan,
     STATUS_ERROR,
@@ -62,6 +63,7 @@ from repro.tracing.tracer import (
 
 __all__ = [
     "ExemplarResolution",
+    "NODE_ID_ATTR",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullSpan",

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 __all__ = [
+    "NODE_ID_ATTR",
     "NULL_SPAN",
     "NullSpan",
     "STATUS_ERROR",
@@ -34,6 +35,12 @@ __all__ = [
     "Span",
     "SpanContext",
 ]
+
+#: Well-known span attribute naming the cluster node the operation ran
+#: on.  The cluster runner stamps it on every materialised span, so a
+#: cross-node trace's critical path can attribute each segment to a node
+#: (the string value matches ``NODE_ID_LABEL`` on telemetry events).
+NODE_ID_ATTR = "node_id"
 
 #: Span outcome markers.  ``UNSET`` means the span ended without anyone
 #: declaring an outcome; the collector treats it as success.

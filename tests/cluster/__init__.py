@@ -1,0 +1,1 @@
+"""Tests for the repro.cluster multi-node deployment package."""

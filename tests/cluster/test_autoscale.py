@@ -1,0 +1,130 @@
+"""ClusterAutoscaler: rollup pressure joins nodes, idleness drains them."""
+
+import pytest
+
+from repro.cluster.autoscale import AutoscalePolicy, ClusterAutoscaler
+from repro.cluster.runner import ClusterRunner
+from repro.cluster.topology import ClusterTopology, RouteSpec
+from repro.gateway.arrivals import PoissonArrivalGroup
+from repro.gateway.loadgen import ThreadGroup
+from repro.gateway.simulation import Simulator
+from repro.telemetry.rollup import TumblingWindowAggregator
+
+
+def _cluster(n_nodes, concurrency=1, seed=9):
+    topology = ClusterTopology(
+        Simulator(),
+        [RouteSpec("shap", concurrency=concurrency)],
+        n_nodes=n_nodes,
+        replication=2,
+        seed=seed,
+    )
+    return topology, ClusterRunner(topology, seed=seed)
+
+
+def _autoscaler(runner, policy, interval=0.1):
+    return ClusterAutoscaler(
+        runner,
+        TumblingWindowAggregator(window_seconds=0.2),
+        policy=policy,
+        interval=interval,
+    )
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        AutoscalePolicy(hi_queue=1.0, lo_queue=2.0)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(lo_queue=-1.0)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(min_nodes=0)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(min_nodes=5, max_nodes=2)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(cooldown_seconds=-1.0)
+    topology, runner = _cluster(1)
+    with pytest.raises(ValueError):
+        ClusterAutoscaler(
+            runner, TumblingWindowAggregator(), interval=0.0
+        )
+
+
+def test_overload_adds_nodes():
+    topology, runner = _cluster(1, concurrency=1)
+    # 400 rps into a single 1-worker node with ~10ms services: the queue
+    # grows without bound until the autoscaler spreads the ring
+    runner.add_open_loop(PoissonArrivalGroup("shap", 400.0, 1200))
+    scaler = _autoscaler(
+        runner,
+        AutoscalePolicy(
+            hi_queue=8.0, lo_queue=0.5, max_nodes=4,
+            cooldown_seconds=0.3,
+        ),
+    )
+    scaler.start()
+    runner.run()
+    assert scaler.ticks > 0
+    adds = [d for d in scaler.decisions if d.action == "add"]
+    assert adds
+    assert len(topology) > 1
+    assert all(d.pressure > 8.0 for d in adds)
+    # the joined nodes actually absorbed traffic
+    cons = runner.conservation()
+    assert cons["observed"] == cons["appended"] == 1200
+    assert cons["in_flight"] == 0
+
+
+def test_idle_cluster_drains_to_min_nodes():
+    topology, runner = _cluster(4, concurrency=4)
+    # a trickle: queues stay empty, pressure sits below the low watermark
+    runner.add_thread_group(
+        ThreadGroup("shap", 2, rampup_seconds=0.1, iterations=60,
+                    think_time=0.05)
+    )
+    scaler = _autoscaler(
+        runner,
+        AutoscalePolicy(
+            hi_queue=32.0, lo_queue=1.0, min_nodes=2,
+            cooldown_seconds=0.2,
+        ),
+    )
+    scaler.start()
+    runner.run()
+    drains = [d for d in scaler.decisions if d.action == "drain"]
+    assert drains
+    assert len(topology) == 2  # drained down to the floor, not below
+    cons = runner.conservation()
+    assert cons["observed"] == cons["appended"] == 120
+
+
+def test_cooldown_spaces_scaling_actions():
+    topology, runner = _cluster(4, concurrency=4)
+    runner.add_thread_group(
+        ThreadGroup("shap", 2, rampup_seconds=0.1, iterations=60,
+                    think_time=0.05)
+    )
+    scaler = _autoscaler(
+        runner,
+        AutoscalePolicy(
+            hi_queue=32.0, lo_queue=1.0, min_nodes=1,
+            cooldown_seconds=0.5,
+        ),
+    )
+    scaler.start()
+    runner.run()
+    times = [d.at for d in scaler.decisions]
+    assert len(times) >= 2
+    assert all(b - a >= 0.5 for a, b in zip(times, times[1:]))
+
+
+def test_run_terminates_with_the_workload():
+    """The tick must not keep an otherwise-drained heap alive forever."""
+    topology, runner = _cluster(2, concurrency=4)
+    runner.add_thread_group(
+        ThreadGroup("shap", 2, rampup_seconds=0.1, iterations=5)
+    )
+    scaler = _autoscaler(runner, AutoscalePolicy(hi_queue=100.0))
+    scaler.start()
+    runner.run()
+    assert not runner.sim._queue
+    assert runner.sim.now < 60.0

@@ -1,0 +1,97 @@
+"""FaultPlan: builders, ordering, and the CLI parse grammar."""
+
+import pytest
+
+from repro.cluster.faults import (
+    FAULT_CRASH,
+    FAULT_HEAL,
+    FAULT_PARTITION,
+    FAULT_RESTART,
+    FAULT_RESTORE,
+    FAULT_SLOW,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent("explode", "node-0", 1.0)
+    with pytest.raises(ValueError):
+        FaultEvent(FAULT_CRASH, "node-0", -1.0)
+    with pytest.raises(ValueError):
+        FaultEvent(FAULT_SLOW, "node-0", 1.0, factor=0.0)
+
+
+def test_builders_emit_paired_events_in_time_order():
+    plan = (
+        FaultPlan()
+        .add_partition("node-3", 4.0, 6.0)
+        .add_crash("node-2", 5.0, restart_at=12.0)
+        .add_slow("node-1", 2.0, 8.0, factor=3.0)
+    )
+    kinds = [(e.at, e.kind, e.node_id) for e in plan]
+    assert kinds == [
+        (2.0, FAULT_SLOW, "node-1"),
+        (4.0, FAULT_PARTITION, "node-3"),
+        (5.0, FAULT_CRASH, "node-2"),
+        (10.0, FAULT_RESTORE, "node-1"),
+        (10.0, FAULT_HEAL, "node-3"),
+        (12.0, FAULT_RESTART, "node-2"),
+    ]
+    assert plan.nodes() == ["node-1", "node-2", "node-3"]
+    assert len(plan) == 6 and bool(plan)
+    assert not FaultPlan()
+
+
+def test_builder_validation():
+    with pytest.raises(ValueError):
+        FaultPlan().add_crash("node-0", 5.0, restart_at=5.0)
+    with pytest.raises(ValueError):
+        FaultPlan().add_partition("node-0", 5.0, 0.0)
+    with pytest.raises(ValueError):
+        FaultPlan().add_slow("node-0", 5.0, -1.0, 2.0)
+
+
+def test_parse_round_trips_the_cli_grammar():
+    plan = FaultPlan.parse(
+        "crash:node-2@5, crash:node-4@3:9,"
+        "partition:node-3@4:6, slow:node-1@2:8:3.0"
+    )
+    built = (
+        FaultPlan()
+        .add_crash("node-2", 5.0)
+        .add_crash("node-4", 3.0, restart_at=9.0)
+        .add_partition("node-3", 4.0, 6.0)
+        .add_slow("node-1", 2.0, 8.0, 3.0)
+    )
+    assert plan.events == built.events
+
+
+def test_parse_ignores_empty_chunks():
+    assert FaultPlan.parse("").events == []
+    assert len(FaultPlan.parse(" crash:node-0@1 , ,")) == 1
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "crash",  # no node/time
+        "crash:node-0",  # no @time
+        "crash:node-0@",  # empty time
+        "crash:node-0@x",  # non-numeric time
+        "crash:node-0@1:2:3",  # too many args for crash
+        "partition:node-0@4",  # partition needs a duration
+        "slow:node-0@1:2",  # slow needs a factor
+        "reboot:node-0@1",  # unknown kind
+    ],
+)
+def test_parse_rejects_malformed_specs(spec):
+    with pytest.raises(ValueError):
+        FaultPlan.parse(spec)
+
+
+def test_events_property_returns_a_copy():
+    plan = FaultPlan().add_crash("node-0", 1.0)
+    plan.events.clear()
+    assert len(plan) == 1

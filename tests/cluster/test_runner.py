@@ -1,0 +1,156 @@
+"""ClusterRunner: conservation, per-node sharding, retroactive traces."""
+
+import pytest
+
+from repro.cluster.runner import ClusterRunner, node_source
+from repro.cluster.topology import ClusterTopology, RouteSpec
+from repro.gateway.loadgen import ThreadGroup
+from repro.gateway.simulation import Simulator
+from repro.telemetry.events import KIND_RESPONSE, NODE_ID_LABEL
+from repro.tracing import NODE_ID_ATTR
+from repro.tracing.analysis import critical_path
+
+
+def _cluster(n_nodes=4, replication=2, seed=3, **kwargs):
+    topology = ClusterTopology(
+        Simulator(),
+        [RouteSpec("shap", concurrency=2), RouteSpec("lime", concurrency=2)],
+        n_nodes=n_nodes,
+        replication=replication,
+        seed=seed,
+    )
+    return topology, ClusterRunner(topology, seed=seed, **kwargs)
+
+
+def _drive(runner, iterations=10, threads=20):
+    for route in ("shap", "lime"):
+        runner.add_thread_group(
+            ThreadGroup(route, threads, rampup_seconds=0.2,
+                        iterations=iterations)
+        )
+    return runner.run()
+
+
+def test_conservation_on_a_healthy_run():
+    _, runner = _cluster()
+    report = _drive(runner)
+    cons = runner.conservation()
+    assert cons["appended"] == cons["observed"] == 400
+    assert cons["in_flight"] == 0
+    assert cons["final_failures"] == 0
+    assert cons["failovers"] == 0
+    assert cons["stale_completions"] == 0
+    assert report.n_requests == 400 and report.n_errors == 0
+    assert set(report.per_route) == {"shap", "lime"}
+    assert sum(r.n_requests for r in report.per_route.values()) == 400
+    assert report.throughput_rps > 0
+
+
+def test_per_node_rollups_sum_to_the_cluster_total():
+    topology, runner = _cluster()
+    _drive(runner)
+    per_node = runner.summary_by_node(duration=runner.sim.now)
+    assert per_node  # at least one node saw traffic
+    assert set(per_node) <= set(topology.node_ids())
+    assert sum(r.n_requests for r in per_node.values()) == 400
+    # only ring-preferred nodes serve: replication=2 over 2 routes
+    assert len(per_node) <= 4
+
+
+def test_traffic_lands_only_on_preference_nodes():
+    topology, runner = _cluster(n_nodes=6, replication=2)
+    _drive(runner)
+    preferred = set()
+    for route in ("shap", "lime"):
+        preferred.update(topology.ring.preference(route, 2))
+    served = {
+        node_id
+        for (node_id, route_id), stats in runner.node_route_stats.items()
+        if stats.n_requests > 0
+    }
+    assert served <= preferred
+
+
+def test_exemplar_events_are_node_sharded_and_trace_linked():
+    _, runner = _cluster(trace_every=1)
+    _drive(runner, iterations=5, threads=10)
+    events = runner.exemplar_events()
+    assert events
+    for event in events:
+        node_id = event.node_id
+        assert node_id is not None
+        assert event.labels[NODE_ID_LABEL] == node_id
+        route = event.source.split("@")[0]
+        assert event.source == node_source(route, node_id)
+        assert event.kind == KIND_RESPONSE
+        # every exemplar resolves to a held trace
+        tree = runner.collector.get(event.trace_id)
+        assert tree.root.name == "cluster.request"
+
+
+def test_traces_materialize_retroactively_with_exact_partition():
+    _, runner = _cluster(trace_every=7)
+    _drive(runner)
+    assert runner.tracer.active_spans == 0  # nothing left open
+    trees = runner.collector.traces()
+    assert trees
+    for tree in trees:
+        assert tree.root.name == "cluster.request"
+        assert NODE_ID_ATTR in tree.root.attributes
+        # children exactly partition the root interval, so the critical
+        # path accounts for every simulated second of the request
+        path = critical_path(tree)
+        assert sum(seg.seconds for seg in path) == pytest.approx(
+            tree.duration
+        )
+
+
+def test_cross_node_traces_count_entry_vs_serving():
+    _, runner = _cluster(n_nodes=6, trace_every=1)
+    _drive(runner, iterations=5, threads=12)
+    assert runner.cross_node_traces > 0
+    crossing = 0
+    for tree in runner.collector.traces():
+        nodes = {s.attributes[NODE_ID_ATTR] for s in tree.spans
+                 if NODE_ID_ATTR in s.attributes}
+        if len(nodes) > 1:
+            crossing += 1
+    assert crossing == runner.cross_node_traces
+
+
+def test_retain_mode_keeps_every_record():
+    _, runner = _cluster(retain_records=True)
+    _drive(runner, iterations=5, threads=10)
+    records = runner.records()
+    assert len(records) == runner.log.appended == 100
+    assert runner.log.recycled == 0
+    assert all(r.end > 0 for r in records)
+
+
+def test_ring_mode_bounds_memory():
+    _, runner = _cluster(retain_records=False, initial_capacity=64)
+    _drive(runner)
+    assert runner.log.recycled > 0
+    assert runner.log.capacity < runner.log.appended
+
+
+def test_same_seed_same_summary():
+    reports = []
+    for _ in range(2):
+        _, runner = _cluster(seed=11)
+        reports.append(_drive(runner))
+    a, b = reports
+    assert a.avg_response_ms == b.avg_response_ms
+    assert a.p95_response_ms == b.p95_response_ms
+    assert a.timeline == b.timeline
+
+
+def test_validation():
+    topology, _ = _cluster()
+    with pytest.raises(ValueError):
+        ClusterRunner(topology, trace_every=-1)
+    with pytest.raises(ValueError):
+        ClusterRunner(topology, max_attempts=0)
+    runner = ClusterRunner(topology)
+    with pytest.raises(KeyError):
+        runner.bind_route("not-a-route")

@@ -1,0 +1,146 @@
+"""ClusterTopology: placement, membership churn, seed independence."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology, RouteSpec, paper_route_specs
+from repro.gateway.simulation import Simulator
+
+
+def _topology(n_nodes=4, replication=2, seed=0, routes=None):
+    return ClusterTopology(
+        Simulator(),
+        routes or [RouteSpec("shap"), RouteSpec("lime")],
+        n_nodes=n_nodes,
+        replication=replication,
+        seed=seed,
+    )
+
+
+def test_initial_membership_and_stations():
+    topo = _topology(n_nodes=3)
+    assert topo.node_ids() == ["node-0", "node-1", "node-2"]
+    assert len(topo) == 3
+    for node in topo.nodes.values():
+        assert sorted(node.services) == ["lime", "shap"]
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ClusterTopology(sim, [RouteSpec("shap")], n_nodes=0)
+    with pytest.raises(ValueError):
+        ClusterTopology(sim, [RouteSpec("shap")], replication=0)
+    with pytest.raises(ValueError):
+        ClusterTopology(sim, [])
+    with pytest.raises(ValueError):
+        ClusterTopology(sim, [RouteSpec("shap"), RouteSpec("shap")])
+    with pytest.raises(ValueError):
+        RouteSpec("")
+    with pytest.raises(ValueError):
+        RouteSpec("shap", concurrency=0)
+
+
+def test_replica_nodes_follow_the_ring_preference():
+    topo = _topology(n_nodes=5, replication=3)
+    for route in ("shap", "lime"):
+        replicas = topo.replica_nodes(route)
+        assert len(replicas) == 3
+        assert [n.node_id for n in replicas] == topo.ring.preference(route, 3)
+        assert len({n.node_id for n in replicas}) == 3
+
+
+def test_replication_clamps_to_membership():
+    topo = _topology(n_nodes=2, replication=4)
+    assert len(topo.replica_nodes("shap")) == 2
+
+
+def test_membership_version_and_rebalanced_routes():
+    routes = [RouteSpec(f"route-{i}") for i in range(20)]
+    topo = _topology(n_nodes=4, routes=routes)
+    version = topo.membership_version
+    before = {r.route: topo.ring.node_for(r.route) for r in routes}
+    joined = topo.add_node()
+    assert topo.membership_version == version + 1
+    after = {r.route: topo.ring.node_for(r.route) for r in routes}
+    moved = sorted(r for r in after if after[r] != before[r])
+    assert topo.last_rebalanced_routes == moved
+    # minimal movement: every rebalanced route lands on the joiner
+    assert all(after[r] == joined.node_id for r in moved)
+
+
+def test_remove_node_drains_and_withdraws():
+    topo = _topology(n_nodes=3)
+    node = topo.remove_node("node-1")
+    assert node.state == "draining"
+    assert "node-1" not in topo.nodes
+    assert "node-1" not in topo.ring
+    assert topo.node_ids() == ["node-0", "node-2"]
+    with pytest.raises(KeyError):
+        topo.remove_node("node-1")
+
+
+def test_listener_fires_on_every_membership_change():
+    topo = _topology(n_nodes=2)
+
+    class Listener:
+        def __init__(self):
+            self.calls = []
+
+        def membership_changed(self, node):
+            self.calls.append(node.node_id)
+
+    listener = Listener()
+    topo.set_listener(listener)
+    topo.add_node()
+    topo.remove_node("node-0")
+    assert listener.calls == ["node-2", "node-0"]
+
+
+def test_node_seeds_survive_churn():
+    """After drain+rejoin no two live stations share a sample stream."""
+    topo = _topology(n_nodes=2)
+    topo.remove_node("node-1")
+    fresh = topo.add_node()  # spawn ordinal 2, not membership size 1
+    assert fresh.node_id == "node-2"
+    a = topo.nodes["node-0"].services["shap"].service_time
+    b = fresh.services["shap"].service_time
+    assert a.sample_batch("tabular", 8).tolist() != b.sample_batch(
+        "tabular", 8
+    ).tolist()
+
+
+def test_same_seed_reproduces_same_streams():
+    one = _topology(seed=42)
+    two = _topology(seed=42)
+    a = one.nodes["node-1"].services["lime"].service_time
+    b = two.nodes["node-1"].services["lime"].service_time
+    assert a.sample_batch("tabular", 8).tolist() == b.sample_batch(
+        "tabular", 8
+    ).tolist()
+
+
+def test_fault_wrappers_touch_the_named_node():
+    topo = _topology(n_nodes=3)
+    topo.partition_node("node-1")
+    assert not topo.nodes["node-1"].reachable
+    topo.heal_node("node-1")
+    assert topo.nodes["node-1"].reachable
+    lost = topo.crash_node("node-2")
+    assert lost == []  # nothing in flight
+    assert topo.nodes["node-2"].state == "down"
+    topo.restart_node("node-2")
+    topo.degrade_node("node-0", 2.5)
+    assert topo.nodes["node-0"].slow_factor == 2.5
+    topo.restore_node("node-0")
+    assert topo.nodes["node-0"].slow_factor == 1.0
+    with pytest.raises(KeyError):
+        topo.crash_node("node-9")
+    assert len(topo.live_nodes()) == 3
+
+
+def test_paper_route_specs_cover_the_metric_services():
+    specs = paper_route_specs(queue_capacity=64)
+    names = sorted(s.route for s in specs)
+    assert "shap" in names and "lime" in names and "ai_pipeline" in names
+    assert all(s.queue_capacity == 64 for s in specs)
+    assert all(s.concurrency >= 1 for s in specs)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.privacy",
     "repro.telemetry",
     "repro.tracing",
+    "repro.cluster",
 ]
 
 
