@@ -2,14 +2,22 @@
 
 The lint runs inside tier-1 on every test invocation, so its cost is a
 tax on the whole development loop.  The budget asserts the complete
-pass — parse every module once, run all rules, build the import graph,
-check the contract, detect cycles — finishes well inside a wall-clock
-second on the ~90-module tree, with headroom for the tree to triple.
+pass — parse every module once, run all rules, build the import graph
+and call graph, run the whole-program taint rules, check the contract,
+detect cycles — finishes well inside a wall-clock second on the
+~110-module tree, with headroom for the tree to triple.
+
+The incremental gate protects the edit loop: a warm ``--changed`` run
+after a one-file edit replays every clean module from the on-disk
+cache and re-analyses only the dirty import closure, so it must beat
+the cold whole-tree pass by a wide margin.
 """
 
+import shutil
 import time
 
 from repro.analysis import run_analysis
+from repro.analysis.runner import default_root, find_baseline
 
 #: Full-tree budget in seconds.  The pass is pure-python AST walking;
 #: 5 s is ~10x the observed cost so only a real regression trips it.
@@ -52,3 +60,60 @@ def test_per_module_cost_scales(figure_printer):
         [[report.modules, per_module_ms]],
     )
     assert per_module_ms < 50.0
+
+
+#: A warm ``--changed`` run after a one-file edit must beat the cold
+#: whole-tree pass by at least this factor.
+INCREMENTAL_SPEEDUP_FLOOR = 5.0
+
+#: The module edited between warm runs.  A leaf-ish module with a small
+#: reverse-import closure models the common edit; modules imported by a
+#: third of the tree legitimately dirty a third of the tree.
+EDIT_TARGET = "attacks/fgsm.py"
+
+
+def test_incremental_changed_beats_cold_run(figure_printer, tmp_path):
+    """Warm ``--changed`` on a one-file edit is >=5x faster than cold."""
+    tree = tmp_path / "repro"
+    shutil.copytree(default_root(), tree)
+    baseline = find_baseline(default_root())
+    cache = tmp_path / "cache.json"
+
+    start = time.perf_counter()
+    cold_report = run_analysis(tree, baseline=baseline, cache_path=cache)
+    cold = time.perf_counter() - start
+    assert cold_report.analyzed == cold_report.modules
+
+    # Re-edit before each warm run so the dirty closure stays dirty;
+    # best-of-three filters scheduler noise out of the ratio.
+    target = tree / EDIT_TARGET
+    warm_samples = []
+    analyzed = reused = 0
+    for round_no in range(3):
+        target.write_text(
+            target.read_text(encoding="utf-8") + f"\n# edit {round_no}\n",
+            encoding="utf-8",
+        )
+        start = time.perf_counter()
+        warm_report = run_analysis(
+            tree, baseline=baseline, cache_path=cache, changed=True
+        )
+        warm_samples.append(time.perf_counter() - start)
+        analyzed, reused = warm_report.analyzed, warm_report.reused
+        assert [f.to_dict() for f in warm_report.findings] == [
+            f.to_dict() for f in cold_report.findings
+        ]
+    warm = min(warm_samples)
+    speedup = cold / warm
+
+    figure_printer(
+        "static analysis: incremental --changed",
+        ["cold s", "warm s", "speedup", "analyzed", "replayed"],
+        [[cold, warm, speedup, analyzed, reused]],
+    )
+    assert 0 < analyzed < cold_report.modules
+    assert analyzed + reused == cold_report.modules
+    assert speedup >= INCREMENTAL_SPEEDUP_FLOOR, (
+        f"warm --changed run only {speedup:.1f}x faster than cold "
+        f"({warm:.3f}s vs {cold:.3f}s); floor {INCREMENTAL_SPEEDUP_FLOOR}x"
+    )

@@ -10,6 +10,8 @@ non-baselined findings.
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.callgraph import CallGraph, build_call_graph
 from repro.analysis.contracts import (
     ALLOWED_IMPORTS,
     PURE_PACKAGES,
@@ -24,30 +26,54 @@ from repro.analysis.engine import (
     get_rule,
     rule,
 )
+from repro.analysis.flow import CFG, build_cfg
 from repro.analysis.runner import (
     LintReport,
+    default_cache_path,
     default_root,
     find_baseline,
     run_analysis,
+    split_rule_ids,
 )
+from repro.analysis.symbols import ModuleSummary, SymbolTable, summarize_module
 from repro.analysis import rules  # noqa: F401  (registers the catalogue)
+from repro.analysis import rules_flow  # noqa: F401  (CFG + project rules)
+from repro.analysis.rules_flow import (
+    ProjectContext,
+    all_project_rules,
+    project_rule,
+)
 
 __all__ = [
     "ALLOWED_IMPORTS",
+    "AnalysisCache",
     "AnalysisEngine",
     "Baseline",
     "BaselineEntry",
+    "CFG",
+    "CallGraph",
     "Finding",
     "ImportGraphAnalyzer",
     "LintReport",
     "ModuleContext",
+    "ModuleSummary",
     "PURE_PACKAGES",
+    "ProjectContext",
     "RuleSpec",
+    "SymbolTable",
+    "all_project_rules",
     "all_rules",
+    "build_call_graph",
+    "build_cfg",
+    "default_cache_path",
     "default_root",
     "find_baseline",
     "get_rule",
+    "project_rule",
     "rule",
     "rules",
+    "rules_flow",
     "run_analysis",
+    "split_rule_ids",
+    "summarize_module",
 ]

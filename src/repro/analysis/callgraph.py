@@ -1,0 +1,291 @@
+"""Whole-program call graph over resolved names.
+
+Nodes are functions.  In-tree nodes are ``"<module>::<qualname>"``
+(``cluster.node::ClusterNode.tick``); calls that leave the tree become
+external nodes ``"ext::<dotted>"`` (``ext::time.time``) so sink
+predicates can match on them.  Resolution covers the cases that occur
+in this codebase:
+
+* plain names — local defs, ``from x import f`` aliases, constructors;
+* ``self.method()`` — the enclosing class, then in-tree base classes;
+* ``self.attr.method()`` — via attribute types inferred from
+  ``self.attr = Ctor(...)`` and annotations;
+* ``var.method()`` — via parameter/local annotations and
+  ``var = Ctor(...)`` constructor assignments;
+* ``module.attr(...)`` chains through import aliases, following
+  package-``__init__`` re-exports to the defining module.
+
+Unresolvable receivers produce *no* edge: the taint rules prefer a
+false negative over a fabricated cross-module path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.symbols import (
+    MODULE_BODY,
+    CallSite,
+    FunctionInfo,
+    ModuleSummary,
+    SymbolTable,
+)
+
+__all__ = ["CallGraph", "build_call_graph", "external_name", "is_external"]
+
+EXT_PREFIX = "ext::"
+
+
+def node_id(module: str, qualname: str) -> str:
+    return f"{module}::{qualname}"
+
+
+def external_name(node: str) -> str:
+    return node[len(EXT_PREFIX) :]
+
+
+def is_external(node: str) -> bool:
+    return node.startswith(EXT_PREFIX)
+
+
+class CallGraph:
+    """Directed call graph plus enough metadata to render and explain it."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        # caller node -> {callee node: (call lineno, nargs)}
+        self.edges: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        # in-tree node -> (relpath, def lineno)
+        self.locations: Dict[str, Tuple[str, int]] = {}
+
+    def add_edge(
+        self, caller: str, callee: str, lineno: int, nargs: int
+    ) -> None:
+        callees = self.edges.setdefault(caller, {})
+        if callee not in callees:
+            callees[callee] = (lineno, nargs)
+
+    def callees(self, node: str) -> Dict[str, Tuple[int, int]]:
+        return self.edges.get(node, {})
+
+    def nodes(self) -> List[str]:
+        seen: Set[str] = set(self.locations)
+        for caller, callees in self.edges.items():
+            seen.add(caller)
+            seen.update(callees)
+        return sorted(seen)
+
+    # -- taint ---------------------------------------------------------------
+
+    def taint_from_sinks(
+        self, sink: Callable[[str, int], bool]
+    ) -> Dict[str, Tuple[str, int]]:
+        """Which nodes can transitively reach a sink, and through whom.
+
+        ``sink(node, nargs)`` classifies a *callee* (usually an external
+        node) as a sink for this taint family.  Returns, for every
+        tainted node, its next hop toward the sink and the line of the
+        call that takes it there — enough to reconstruct the whole chain
+        with :meth:`chain`.  Propagation is a reverse BFS, so each node
+        records its *shortest* route to a sink, deterministically
+        (edges are visited in sorted order).
+        """
+        tainted: Dict[str, Tuple[str, int]] = {}
+        # Seed: callers with a direct edge to a sink callee.  Sink-ness
+        # is judged per *edge* (nargs distinguishes Random(0) from
+        # Random()), so the sink node itself never enters the map.
+        for caller in sorted(self.edges):
+            for callee in sorted(self.edges[caller]):
+                lineno, nargs = self.edges[caller][callee]
+                if caller not in tainted and sink(callee, nargs):
+                    tainted[caller] = (callee, lineno)
+        reverse: Dict[str, List[str]] = {}
+        for caller in self.edges:
+            for callee in self.edges[caller]:
+                reverse.setdefault(callee, []).append(caller)
+        frontier = sorted(tainted)
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for caller in sorted(reverse.get(node, ())):
+                    if caller in tainted:
+                        continue
+                    lineno, _nargs = self.edges[caller][node]
+                    tainted[caller] = (node, lineno)
+                    next_frontier.append(caller)
+            frontier = next_frontier
+        return tainted
+
+    def chain(
+        self, node: str, tainted: Dict[str, Tuple[str, int]]
+    ) -> List[Tuple[str, int]]:
+        """The call chain node → … → sink as (node, call lineno) steps."""
+        steps: List[Tuple[str, int]] = []
+        current = node
+        while current:
+            succ, lineno = tainted.get(current, ("", 0))
+            steps.append((current, lineno))
+            current = succ
+        return steps
+
+    def render_chain(self, chain: Sequence[Tuple[str, int]]) -> List[str]:
+        """Human-readable chain lines for ``--explain`` output."""
+        lines = []
+        for node, lineno in chain:
+            if is_external(node):
+                lines.append(f"{external_name(node)}  [sink]")
+                continue
+            module, qualname = node.split("::", 1)
+            summary = self.table.modules.get(module)
+            relpath = summary.relpath if summary else module
+            suffix = f" (calls next at {relpath}:{lineno})" if lineno else ""
+            lines.append(f"{module}.{qualname}{suffix}")
+        return lines
+
+    def to_dot(self, max_label: int = 60) -> str:
+        """GraphViz DOT of the in-tree call graph (external sinks boxed)."""
+        lines = [
+            "digraph callgraph {",
+            "  rankdir=LR;",
+            '  node [fontsize=9, shape=ellipse];',
+        ]
+
+        def quote(node: str) -> str:
+            label = (
+                external_name(node)
+                if is_external(node)
+                else node.replace("::", ".")
+            )
+            if len(label) > max_label:
+                label = label[: max_label - 1] + "…"
+            return '"' + label.replace('"', "'") + '"'
+
+        externals = sorted(
+            {
+                callee
+                for callees in self.edges.values()
+                for callee in callees
+                if is_external(callee)
+            }
+        )
+        for node in externals:
+            lines.append(f"  {quote(node)} [shape=box, style=dashed];")
+        for caller in sorted(self.edges):
+            for callee in sorted(self.edges[caller]):
+                lines.append(f"  {quote(caller)} -> {quote(callee)};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _resolve_type_method(
+    table: SymbolTable,
+    summary: ModuleSummary,
+    type_text: Optional[str],
+    method: str,
+) -> Optional[str]:
+    if not type_text:
+        return None
+    found = table.find_class(summary, type_text)
+    if found is None:
+        return None
+    module, cls = found
+    resolved = table.resolve_method(module, cls, method)
+    if resolved is None:
+        return None
+    return node_id(*resolved)
+
+
+def resolve_call(
+    table: SymbolTable,
+    summary: ModuleSummary,
+    func: FunctionInfo,
+    site: CallSite,
+) -> Optional[str]:
+    """Resolve one call site to a node id, or None when unknowable."""
+    chain = site.chain
+    head = chain[0]
+
+    if head == "self" and "." in func.qualname:
+        cls_name = func.qualname.split(".", 1)[0]
+        cls = summary.classes.get(cls_name)
+        if cls is None:
+            return None
+        if len(chain) == 2:
+            resolved = table.resolve_method(summary.module, cls, chain[1])
+            return node_id(*resolved) if resolved else None
+        if len(chain) == 3:
+            return _resolve_type_method(
+                table, summary, cls.attr_types.get(chain[1]), chain[2]
+            )
+        return None
+
+    if len(chain) == 2 and head in func.var_types:
+        return _resolve_type_method(
+            table, summary, func.var_types[head], chain[1]
+        )
+
+    if len(chain) == 1:
+        if head in summary.functions:
+            return node_id(summary.module, head)
+        if head in summary.classes:
+            cls = summary.classes[head]
+            resolved = table.resolve_method(summary.module, cls, "__init__")
+            if resolved is not None:
+                return node_id(*resolved)
+            return node_id(summary.module, head)  # class without __init__
+
+    target = summary.imports.get(head)
+    if target is not None:
+        dotted = ".".join([target, *chain[1:]])
+        resolved = table.resolve_dotted(dotted)
+        if resolved is not None:
+            module, qualname = resolved
+            dest = table.modules[module]
+            if qualname in dest.functions:
+                return node_id(module, qualname)
+            if qualname in dest.classes:
+                ctor = table.resolve_method(
+                    module, dest.classes[qualname], "__init__"
+                )
+                return node_id(*ctor) if ctor else node_id(module, qualname)
+            head_name = qualname.split(".", 1)[0]
+            if head_name in dest.classes and "." in qualname:
+                resolved_method = table.resolve_method(
+                    module, dest.classes[head_name], qualname.split(".")[-1]
+                )
+                if resolved_method is not None:
+                    return node_id(*resolved_method)
+            if qualname == MODULE_BODY:
+                return None
+            return None
+        if dotted.startswith("@"):
+            return None  # relative import that left the analyzed tree
+        if not dotted.startswith(table.top_package + "."):
+            return EXT_PREFIX + dotted
+        return None
+
+    # Method call on an unresolvable receiver, builtins, etc.
+    return None
+
+
+def build_call_graph(
+    table: SymbolTable, packages: Optional[Iterable[str]] = None
+) -> CallGraph:
+    """Assemble the call graph for every function in the table.
+
+    ``packages`` optionally restricts *callers* (callees always resolve
+    tree-wide) — useful for focused ``--graph`` exports.
+    """
+    wanted = set(packages) if packages is not None else None
+    graph = CallGraph(table)
+    for summary, func in table.iter_functions():
+        caller = node_id(summary.module, func.qualname)
+        graph.locations[caller] = (summary.relpath, func.lineno)
+        if wanted is not None and summary.package not in wanted:
+            continue
+        for site in func.calls:
+            callee = resolve_call(table, summary, func, site)
+            if callee is None or callee == caller:
+                continue
+            graph.add_edge(caller, callee, site.lineno, site.nargs)
+    return graph

@@ -22,9 +22,14 @@ from repro.analysis.engine import Finding
 
 __all__ = [
     "ALLOWED_IMPORTS",
+    "CLOCK_IMPORT_BANNED_PACKAGES",
+    "CLOCK_INJECTED_PACKAGES",
     "PURE_PACKAGES",
+    "RNG_TAINT_PACKAGES",
+    "WALLCLOCK_TAINT_PACKAGES",
     "ImportGraphAnalyzer",
     "TOP_PACKAGE",
+    "extract_intra_imports",
 ]
 
 TOP_PACKAGE = "repro"
@@ -74,6 +79,28 @@ PURE_PACKAGES = frozenset(
     {"ml", "xai", "trust", "datasets", "privacy", "federated", "attacks"}
 )
 
+# Packages whose timestamps must come from an injected clock: tracing
+# (span times) and cluster (node/fault/autoscaler scheduling) both run
+# on the simulator's virtual ``now`` in capacity experiments.
+CLOCK_INJECTED_PACKAGES = frozenset({"tracing", "cluster"})
+
+# Packages where even *importing* time/datetime is banned (the
+# tracing-clock-injection rule).  The clock-injected packages would mix
+# wall time into virtual-time runs; attacks/federated/privacy are
+# seeded-compute layers whose only sanctioned duration source is the
+# injectable cost clock in ``repro.attacks.base``.
+CLOCK_IMPORT_BANNED_PACKAGES = CLOCK_INJECTED_PACKAGES | frozenset(
+    {"attacks", "federated", "privacy"}
+)
+
+# Taint scopes for the whole-program flow rules (rules_flow.py): code in
+# these packages must not *transitively* reach a wall-clock / global-RNG
+# sink, even through helpers in other layers.
+WALLCLOCK_TAINT_PACKAGES = PURE_PACKAGES | CLOCK_INJECTED_PACKAGES
+RNG_TAINT_PACKAGES = PURE_PACKAGES | frozenset(
+    {"gateway", "cluster", "tracing"}
+)
+
 
 def _module_name(relpath: str) -> str:
     """``ml/model.py`` -> ``ml.model``; ``ml/__init__.py`` -> ``ml``."""
@@ -83,6 +110,54 @@ def _module_name(relpath: str) -> str:
     else:
         parts[-1] = parts[-1][: -len(".py")]
     return ".".join(parts) if parts else "<root>"
+
+
+def extract_intra_imports(
+    relpath: str, tree: ast.Module, top_package: str = TOP_PACKAGE
+) -> List[Tuple[str, Optional[Tuple[str, ...]], int]]:
+    """Intra-repo imports of one module: (target, imported names, line).
+
+    ``target`` is the dotted module path relative to the analyzed tree
+    (``"gateway.services"``); ``names`` is the tuple of imported names
+    for from-imports, or None for plain ``import`` statements.  Shared
+    by the live AST path and the incremental cache, which stores these
+    tuples so a warm run can rebuild the import graph without parsing.
+    """
+    src_module = _module_name(relpath)
+    is_package = Path(relpath).name == "__init__.py"
+    prefix = top_package + "."
+
+    def strip(dotted: str) -> str:
+        if dotted == top_package:
+            return "<root>"
+        return dotted[len(top_package) + 1 :]
+
+    out: List[Tuple[str, Optional[Tuple[str, ...]], int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == top_package or item.name.startswith(prefix):
+                    out.append((strip(item.name), None, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            names = tuple(item.name for item in node.names)
+            if node.level:
+                # Resolve against the containing package: for module
+                # a.b.c, level=1 -> a.b; for package a.b (__init__),
+                # level=1 -> a.b itself.
+                parts = src_module.split(".")
+                keep = len(parts) - node.level + (1 if is_package else 0)
+                if keep < 0:
+                    continue
+                base = parts[:keep]
+                if node.module:
+                    base = base + node.module.split(".")
+                if base:
+                    out.append((".".join(base), names, node.lineno))
+            elif node.module and (
+                node.module == top_package or node.module.startswith(prefix)
+            ):
+                out.append((strip(node.module), names, node.lineno))
+    return out
 
 
 class ImportGraphAnalyzer:
@@ -105,12 +180,19 @@ class ImportGraphAnalyzer:
     # -- graph construction -------------------------------------------------
 
     def add_module(self, relpath: str, tree: ast.Module) -> None:
+        self.add_raw_imports(
+            relpath, extract_intra_imports(relpath, tree, self.top_package)
+        )
+
+    def add_raw_imports(
+        self,
+        relpath: str,
+        raw_imports: Iterable[Tuple[str, Optional[Tuple[str, ...]], int]],
+    ) -> None:
+        """Ingest pre-extracted imports (the incremental cache's path in)."""
         src_module = _module_name(relpath)
-        is_package = Path(relpath).name == "__init__.py"
         self.module_graph.add_node(src_module, relpath=relpath)
-        for target, names, lineno in self._intra_imports(
-            src_module, is_package, tree
-        ):
+        for target, names, lineno in raw_imports:
             self._raw.append((src_module, target, names, lineno))
         self._finalized = False
 
@@ -125,42 +207,6 @@ class ImportGraphAnalyzer:
             count += 1
         return count
 
-    def _intra_imports(
-        self, src_module: str, is_package: bool, tree: ast.Module
-    ) -> Iterable[Tuple[str, Optional[Tuple[str, ...]], int]]:
-        prefix = self.top_package + "."
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for item in node.names:
-                    if item.name == self.top_package or item.name.startswith(
-                        prefix
-                    ):
-                        yield self._strip(item.name), None, node.lineno
-            elif isinstance(node, ast.ImportFrom):
-                names = tuple(item.name for item in node.names)
-                if node.level:
-                    # Resolve against the containing package: for module
-                    # a.b.c, level=1 -> a.b; for package a.b (__init__),
-                    # level=1 -> a.b itself.
-                    parts = src_module.split(".")
-                    keep = len(parts) - node.level + (1 if is_package else 0)
-                    if keep < 0:
-                        continue
-                    base = parts[:keep]
-                    if node.module:
-                        base = base + node.module.split(".")
-                    if base:
-                        yield ".".join(base), names, node.lineno
-                elif node.module and (
-                    node.module == self.top_package
-                    or node.module.startswith(prefix)
-                ):
-                    yield self._strip(node.module), names, node.lineno
-
-    def _strip(self, dotted: str) -> str:
-        if dotted == self.top_package:
-            return "<root>"
-        return dotted[len(self.top_package) + 1 :]
 
     # -- checks -------------------------------------------------------------
 

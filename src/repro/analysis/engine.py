@@ -49,6 +49,16 @@ class Finding:
             "severity": self.severity,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+        )
+
 
 @dataclass
 class ModuleContext:

@@ -1,0 +1,473 @@
+"""Intraprocedural control-flow graphs and dataflow over them.
+
+One :class:`CFG` per function: basic blocks of statements linked by the
+branch/loop/exception structure, an entry block and a synthetic exit.
+On top of it, classic forward dataflow — :func:`reaching_definitions`
+(which assignments can reach each block) and :func:`def_use_chains`
+(which uses each definition feeds).  These power the flow rule family in
+:mod:`repro.analysis.rules_flow`: span-leak detection is "a definition
+whose every path to the exit must pass a finishing use", and
+unreachable-code detection is plain entry-reachability over the blocks.
+
+The builder is deliberately conservative: constructs it does not model
+precisely (``match``, exception edges) get *more* edges rather than
+fewer, so path-existence queries over-approximate and never invent an
+impossible "all paths" claim.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CFG",
+    "Block",
+    "Definition",
+    "build_cfg",
+    "def_use_chains",
+    "reaching_definitions",
+]
+
+
+@dataclass
+class Block:
+    """A straight-line run of statements with no internal branching."""
+
+    block_id: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def add_succ(self, other: int) -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+
+
+class CFG:
+    """Control-flow graph of one function body.
+
+    ``entry`` is block 0; ``exit_id`` is a synthetic empty block every
+    return/raise/fall-through edge targets.  Blocks are created in
+    source order, so iteration is deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self.entry = self._new_block().block_id
+        self.exit_id = self._new_block().block_id
+
+    def _new_block(self) -> Block:
+        block = Block(block_id=len(self.blocks))
+        self.blocks[block.block_id] = block
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.blocks[src].add_succ(dst)
+        if src not in self.blocks[dst].preds:
+            self.blocks[dst].preds.append(src)
+
+    def reachable_from_entry(self) -> Set[int]:
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def path_avoiding(
+        self, start: int, goal: int, forbidden: FrozenSet[int]
+    ) -> bool:
+        """True when some path start→goal never enters a forbidden block.
+
+        ``start`` itself may be forbidden only if start == goal is not
+        required; the search begins at ``start``'s successors when
+        ``start in forbidden`` would otherwise trivially fail.
+        """
+        if start == goal:
+            return True
+        seen = {start}
+        stack = [start]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ == goal:
+                    return True
+                if succ in seen or succ in forbidden:
+                    continue
+                seen.add(succ)
+                stack.append(succ)
+        return False
+
+    def iter_blocks(self) -> Iterator[Block]:
+        for block_id in sorted(self.blocks):
+            yield self.blocks[block_id]
+
+
+class _Builder:
+    """Translate a statement list into blocks; one instance per function."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        # (loop_header, loop_exit, seq) stack for continue/break targets.
+        self.loops: List[Tuple[int, int, int]] = []
+        # (handler entry ids, seq) per enclosing try: a raise may
+        # transfer to any of them.
+        self.handlers: List[Tuple[List[int], int]] = []
+        # (abrupt-copy finally entry, seq) per enclosing try/finally:
+        # return/raise/break/continue must pass through these on the
+        # way to their real target, innermost first.
+        self.finals: List[Tuple[int, int]] = []
+        # finally entry -> where its abrupt copy continues after running.
+        self.final_continuations: Dict[int, Set[int]] = {}
+        self._seq = 0
+
+    def build(self, body: Sequence[ast.stmt]) -> None:
+        end = self._emit_body(body, self.cfg.entry)
+        if end is not None:
+            self.cfg.add_edge(end, self.cfg.exit_id)
+
+    def _route_abrupt(
+        self, current: int, terminal: int, min_seq: int = -1
+    ) -> None:
+        """Edge an abrupt jump to ``terminal`` through enclosing finallys.
+
+        Only finallys opened after ``min_seq`` are traversed: a raise
+        headed for a try's own handler skips that try's finally (the
+        handler runs first), and a break only runs finallys nested
+        inside its loop.
+        """
+        chain = [entry for entry, seq in self.finals if seq > min_seq]
+        if not chain:
+            self.cfg.add_edge(current, terminal)
+            return
+        self.cfg.add_edge(current, chain[-1])  # innermost first
+        for inner, outer in zip(chain[1:], chain[:-1]):
+            self.final_continuations.setdefault(inner, set()).add(outer)
+        self.final_continuations.setdefault(chain[0], set()).add(terminal)
+
+    # Each _emit_* method returns the open block id control falls out
+    # of, or None when every path has already left (return/raise/...).
+
+    def _emit_body(
+        self, body: Sequence[ast.stmt], current: Optional[int]
+    ) -> Optional[int]:
+        for stmt in body:
+            if current is None:
+                # Dead statements still get a block so unreachable-code
+                # detection can point at them.
+                current = self.cfg._new_block().block_id
+            current = self._emit_stmt(stmt, current)
+        return current
+
+    def _emit_stmt(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._emit_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._emit_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._emit_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # Keep the context managers (their expressions are evaluated
+            # here, their aliases bound here) but inline the body into
+            # its own statements so nothing is walked twice.
+            shallow = type(stmt)(items=stmt.items, body=[])
+            self.cfg.blocks[current].stmts.append(
+                ast.copy_location(shallow, stmt)
+            )
+            return self._emit_body(stmt.body, current)
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._emit_match(stmt, current)
+        if isinstance(stmt, ast.Return):
+            self.cfg.blocks[current].stmts.append(stmt)
+            self._route_abrupt(current, self.cfg.exit_id)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self.cfg.blocks[current].stmts.append(stmt)
+            for handler_ids, handler_seq in self.handlers:
+                for handler_id in handler_ids:
+                    self._route_abrupt(current, handler_id, handler_seq)
+            self._route_abrupt(current, self.cfg.exit_id)
+            return None
+        if isinstance(stmt, ast.Break):
+            self.cfg.blocks[current].stmts.append(stmt)
+            if self.loops:
+                header, after, seq = self.loops[-1]
+                self._route_abrupt(current, after, seq)
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.cfg.blocks[current].stmts.append(stmt)
+            if self.loops:
+                header, after, seq = self.loops[-1]
+                self._route_abrupt(current, header, seq)
+            return None
+        self.cfg.blocks[current].stmts.append(stmt)
+        return current
+
+    def _emit_if(self, stmt: ast.If, current: int) -> Optional[int]:
+        self.cfg.blocks[current].stmts.append(_cond_marker(stmt.test))
+        join: Optional[int] = None
+
+        then_entry = self.cfg._new_block().block_id
+        self.cfg.add_edge(current, then_entry)
+        then_end = self._emit_body(stmt.body, then_entry)
+
+        if stmt.orelse:
+            else_entry = self.cfg._new_block().block_id
+            self.cfg.add_edge(current, else_entry)
+            else_end = self._emit_body(stmt.orelse, else_entry)
+        else:
+            else_end = current  # condition false: fall through
+
+        for end in (then_end, else_end):
+            if end is not None:
+                if join is None:
+                    join = self.cfg._new_block().block_id
+                self.cfg.add_edge(end, join)
+        return join
+
+    def _emit_loop(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        self._seq += 1
+        header = self.cfg._new_block().block_id
+        self.cfg.add_edge(current, header)
+        self.cfg.blocks[header].stmts.append(_loop_marker(stmt))
+        after = self.cfg._new_block().block_id
+
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+
+        body_entry = self.cfg._new_block().block_id
+        self.cfg.add_edge(header, body_entry)
+        self.loops.append((header, after, self._seq))
+        body_end = self._emit_body(stmt.body, body_entry)
+        self.loops.pop()
+        if body_end is not None:
+            self.cfg.add_edge(body_end, header)
+
+        if not infinite:
+            if stmt.orelse:
+                else_entry = self.cfg._new_block().block_id
+                self.cfg.add_edge(header, else_entry)
+                else_end = self._emit_body(stmt.orelse, else_entry)
+                if else_end is not None:
+                    self.cfg.add_edge(else_end, after)
+            else:
+                self.cfg.add_edge(header, after)
+        # `while True:` only exits through break edges added above.
+        if infinite and not self.cfg.blocks[after].preds:
+            return None
+        return after
+
+    def _emit_try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        self._seq += 1
+        seq = self._seq
+        handler_entries: List[int] = []
+        for _handler in stmt.handlers:
+            handler_entries.append(self.cfg._new_block().block_id)
+        final_abrupt: Optional[int] = None
+        if stmt.finalbody:
+            # Pre-created so return/raise/break inside the body can
+            # route through it; its statements are emitted below.
+            final_abrupt = self.cfg._new_block().block_id
+            self.finals.append((final_abrupt, seq))
+
+        self.handlers.append((handler_entries, seq))
+        body_entry = self.cfg._new_block().block_id
+        self.cfg.add_edge(current, body_entry)
+        # Conservatively, the try body may fault before running at all.
+        for handler_id in handler_entries:
+            self.cfg.add_edge(body_entry, handler_id)
+        body_end = self._emit_body(stmt.body, body_entry)
+        self.handlers.pop()
+
+        ends: List[Optional[int]] = []
+        if stmt.orelse:
+            if body_end is not None:
+                else_entry = self.cfg._new_block().block_id
+                self.cfg.add_edge(body_end, else_entry)
+                ends.append(self._emit_body(stmt.orelse, else_entry))
+        else:
+            ends.append(body_end)
+        for handler, handler_id in zip(stmt.handlers, handler_entries):
+            ends.append(self._emit_body(handler.body, handler_id))
+
+        live = [end for end in ends if end is not None]
+        if stmt.finalbody:
+            self.finals.pop()
+            # Abrupt copy: runs on the way out for routed jumps, then
+            # continues to their recorded targets.  Emitted separately
+            # from the fall-through copy (as CPython inlines finallys)
+            # so a routed return does not open a spurious path from the
+            # normal continuation to the exit.
+            if self.cfg.blocks[final_abrupt].preds:
+                abrupt_end = self._emit_body(stmt.finalbody, final_abrupt)
+                if abrupt_end is not None:
+                    targets = self.final_continuations.get(
+                        final_abrupt, {self.cfg.exit_id}
+                    )
+                    for target in sorted(targets):
+                        self.cfg.add_edge(abrupt_end, target)
+            if not live:
+                return None
+            final_norm = self.cfg._new_block().block_id
+            for end in live:
+                self.cfg.add_edge(end, final_norm)
+            return self._emit_body(stmt.finalbody, final_norm)
+        if not live:
+            return None
+        join = self.cfg._new_block().block_id
+        for end in live:
+            self.cfg.add_edge(end, join)
+        return join
+
+    def _emit_match(self, stmt: ast.AST, current: int) -> Optional[int]:
+        self.cfg.blocks[current].stmts.append(_cond_marker(stmt.subject))
+        join: Optional[int] = None
+        exhaustive = False
+        for case in stmt.cases:
+            if _is_wildcard_case(case):
+                exhaustive = True
+            case_entry = self.cfg._new_block().block_id
+            self.cfg.add_edge(current, case_entry)
+            case_end = self._emit_body(case.body, case_entry)
+            if case_end is not None:
+                if join is None:
+                    join = self.cfg._new_block().block_id
+                self.cfg.add_edge(case_end, join)
+        if not exhaustive:
+            if join is None:
+                join = self.cfg._new_block().block_id
+            self.cfg.add_edge(current, join)
+        return join
+
+
+def _is_wildcard_case(case: ast.AST) -> bool:
+    pattern = case.pattern
+    return (
+        isinstance(pattern, ast.MatchAs)
+        and pattern.pattern is None
+        and case.guard is None
+    )
+
+
+def _cond_marker(expr: ast.expr) -> ast.stmt:
+    """Wrap a branch condition as an Expr so its reads join the block."""
+    marker = ast.Expr(value=expr)
+    return ast.copy_location(marker, expr)
+
+
+def _loop_marker(stmt: ast.stmt) -> ast.stmt:
+    if isinstance(stmt, ast.While):
+        return _cond_marker(stmt.test)
+    # for-loop header: the iterable is read, the target is stored
+    assign = ast.Assign(targets=[stmt.target], value=stmt.iter)
+    return ast.copy_location(assign, stmt)
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """CFG over ``fn.body`` (a FunctionDef/AsyncFunctionDef or Module)."""
+    cfg = CFG()
+    _Builder(cfg).build(fn.body)
+    return cfg
+
+
+# -- dataflow ----------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class Definition:
+    """One binding of ``name`` (assignment, loop target, with-alias, param)."""
+
+    name: str
+    block_id: int
+    stmt_index: int  # position within the block; -1 for parameters
+    lineno: int
+
+
+def _stmt_defs(stmt: ast.stmt) -> Iterator[Tuple[str, int]]:
+    """(name, lineno) pairs bound by one statement, nested targets included."""
+
+    def targets_of(node: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(node, ast.Assign):
+            yield from node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            yield node.target
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    yield item.optional_vars
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield ast.copy_location(ast.Name(id=node.name, ctx=ast.Store()), node)
+
+    for target in targets_of(stmt):
+        for leaf in ast.walk(target):
+            if isinstance(leaf, ast.Name) and isinstance(leaf.ctx, ast.Store):
+                yield leaf.id, leaf.lineno
+
+
+def reaching_definitions(
+    cfg: CFG, params: Sequence[str] = ()
+) -> Dict[int, Set[Definition]]:
+    """IN-set of definitions for every block (classic forward worklist)."""
+    gen: Dict[int, Dict[str, Definition]] = {}
+    for block in cfg.iter_blocks():
+        latest: Dict[str, Definition] = {}
+        for index, stmt in enumerate(block.stmts):
+            for name, lineno in _stmt_defs(stmt):
+                latest[name] = Definition(name, block.block_id, index, lineno)
+        gen[block.block_id] = latest
+
+    entry_defs = {
+        Definition(name, cfg.entry, -1, 0) for name in params
+    }
+    in_sets: Dict[int, Set[Definition]] = {
+        block.block_id: set() for block in cfg.iter_blocks()
+    }
+    in_sets[cfg.entry] = set(entry_defs)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.iter_blocks():
+            block_in = set(in_sets[block.block_id])
+            killed = set(gen[block.block_id])
+            block_out = {
+                d for d in block_in if d.name not in killed
+            } | set(gen[block.block_id].values())
+            for succ in block.succs:
+                merged = in_sets[succ] | block_out
+                if merged != in_sets[succ]:
+                    in_sets[succ] = merged
+                    changed = True
+    return in_sets
+
+
+def def_use_chains(
+    cfg: CFG, params: Sequence[str] = ()
+) -> Dict[Definition, List[Tuple[int, ast.Name]]]:
+    """Map every definition to the (block_id, Name-load) uses it reaches."""
+    in_sets = reaching_definitions(cfg, params)
+    chains: Dict[Definition, List[Tuple[int, ast.Name]]] = {}
+
+    for block in cfg.iter_blocks():
+        live: Dict[str, List[Definition]] = {}
+        for definition in in_sets[block.block_id]:
+            live.setdefault(definition.name, []).append(definition)
+        for index, stmt in enumerate(block.stmts):
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    for definition in live.get(node.id, ()):
+                        chains.setdefault(definition, []).append(
+                            (block.block_id, node)
+                        )
+            redefined: Dict[str, Definition] = {}
+            for name, lineno in _stmt_defs(stmt):
+                redefined[name] = Definition(name, block.block_id, index, lineno)
+            for name, definition in redefined.items():
+                live[name] = [definition]
+    return chains

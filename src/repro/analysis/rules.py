@@ -13,7 +13,10 @@ import ast
 import builtins
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.analysis.contracts import PURE_PACKAGES
+from repro.analysis.contracts import (
+    CLOCK_IMPORT_BANNED_PACKAGES,
+    PURE_PACKAGES,
+)
 from repro.analysis.engine import ModuleContext, rule
 
 __all__ = ["BUILTIN_NAMES"]
@@ -285,15 +288,10 @@ def wallclock_in_compute(module: ModuleContext) -> Iterator[Tuple[int, str]]:
 
 _CLOCK_MODULES = frozenset({"time", "datetime"})
 
-#: Packages whose timestamps must come from an injected clock: tracing
-#: (span times) and cluster (node/fault/autoscaler scheduling) both run
-#: on the simulator's virtual ``now`` in capacity experiments.
-_CLOCK_INJECTED_PACKAGES = frozenset({"tracing", "cluster"})
-
 
 @rule("tracing-clock-injection")
 def tracing_clock_injection(module: ModuleContext) -> Iterator[Tuple[int, str]]:
-    """The tracing package must never read time itself — clocks are injected.
+    """Clock-disciplined packages must never import time — clocks are injected.
 
     Span timestamps come from the :class:`~repro.tracing.tracer.Tracer`'s
     ``clock`` callable (the simulator's virtual ``now`` in capacity
@@ -304,9 +302,13 @@ def tracing_clock_injection(module: ModuleContext) -> Iterator[Tuple[int, str]]:
     bans specific wall-clock calls.  ``repro.cluster`` is held to the
     same bar: node lifecycles, fault plans and autoscaler ticks all run
     on the simulator's virtual clock, and one wall-time read would
-    desynchronise failover timing from the workload it interrupts.
+    desynchronise failover timing from the workload it interrupts.  The
+    seeded-compute packages (``attacks``, ``federated``, ``privacy``)
+    are also covered: their only sanctioned duration source is the
+    injectable cost clock in ``repro.attacks.base``, which carries the
+    single baselined import.
     """
-    if module.package not in _CLOCK_INJECTED_PACKAGES:
+    if module.package not in CLOCK_IMPORT_BANNED_PACKAGES:
         return
     package = f"repro.{module.package}"
     for node in module.walk(ast.Import):

@@ -1,22 +1,55 @@
 """One entry point that the CLI, the tier-1 gate and the bench all share.
 
-``run_analysis`` walks the tree once, runs every AST rule plus the
-import-graph contract, applies the baseline, and returns a
-:class:`LintReport` that renders as reviewer-readable text or as the
-stable ``--json`` shape consumed by CI tooling.
+``run_analysis`` now runs in two phases.  The **per-module phase**
+(parse, syntactic rules, CFG rules, symbol-summary extraction) is a pure
+function of one file's bytes, so it parallelizes across worker processes
+(``jobs``) and replays from the incremental cache (``changed``) for
+modules whose content hash — and reverse-import closure — is untouched.
+The **global phase** (import contracts, symbol table, call graph,
+whole-program taint/lock rules) is cheap and recomputed every run from
+the union of fresh and cached module summaries, so cross-module findings
+never go stale.  The result is a :class:`LintReport` rendering as
+reviewer-readable text or the stable ``--json`` shape consumed by CI.
 """
 
 from __future__ import annotations
 
+import ast
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.baseline import Baseline, BaselineEntry
-from repro.analysis.contracts import ImportGraphAnalyzer
-from repro.analysis.engine import AnalysisEngine, Finding, all_rules
+from repro.analysis.cache import AnalysisCache, ModuleRecord
+from repro.analysis.contracts import ImportGraphAnalyzer, extract_intra_imports
+from repro.analysis.engine import (
+    AnalysisEngine,
+    Finding,
+    ModuleContext,
+    all_rules,
+)
+from repro.analysis.rules_flow import (
+    ProjectContext,
+    all_project_rules,
+    build_project_context,
+    run_project_rules,
+)
+from repro.analysis.symbols import ModuleSummary, source_hash, summarize_module
 
-__all__ = ["LintReport", "default_root", "find_baseline", "run_analysis"]
+# Registers the syntactic rule catalogue on import (rules_flow above
+# registers the CFG rules the same way).
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "LintReport",
+    "default_cache_path",
+    "default_root",
+    "find_baseline",
+    "run_analysis",
+    "split_rule_ids",
+]
 
 
 def default_root() -> Path:
@@ -35,6 +68,39 @@ def find_baseline(root: Path) -> Optional[Path]:
     return None
 
 
+def default_cache_path(root: Path) -> Path:
+    """Where the incremental cache lives: beside the baseline if one is
+    discovered (the repo root in this tree), else beside the package."""
+    baseline = find_baseline(root)
+    anchor = baseline.parent if baseline is not None else root.parent
+    return anchor / ".lint-cache.json"
+
+
+def split_rule_ids(
+    rules: Optional[Sequence[str]],
+) -> Tuple[Optional[List[str]], Optional[List[str]]]:
+    """Partition requested rule ids into (module rules, project rules).
+
+    ``None`` means "all of both".  Unknown ids raise KeyError naming the
+    combined catalogue, so ``--rule typo`` fails loudly.
+    """
+    if rules is None:
+        return None, None
+    module_known = {spec.rule_id for spec in all_rules()}
+    project_known = {spec.rule_id for spec in all_project_rules()}
+    module_ids: List[str] = []
+    project_ids: List[str] = []
+    for rule_id in rules:
+        if rule_id in module_known:
+            module_ids.append(rule_id)
+        elif rule_id in project_known:
+            project_ids.append(rule_id)
+        else:
+            known = ", ".join(sorted(module_known | project_known))
+            raise KeyError(f"unknown rule {rule_id!r}; known: {known}")
+    return module_ids, project_ids
+
+
 @dataclass
 class LintReport:
     root: str
@@ -45,6 +111,16 @@ class LintReport:
     stale_entries: List[BaselineEntry] = field(default_factory=list)
     package_edges: List = field(default_factory=list)
     baseline_path: Optional[str] = None
+    analyzed: int = 0  # modules run through the per-module phase this call
+    reused: int = 0  # modules replayed from the incremental cache
+    strict_baseline: bool = False
+    # (path, line, rule) -> rendered call-chain lines, for --explain.
+    explanations: Dict[Tuple[str, int, str], List[str]] = field(
+        default_factory=dict
+    )
+    # The whole-program context (symbol table + call graph), for --graph
+    # and --explain; deliberately absent from to_dict().
+    context: Optional[ProjectContext] = None
 
     @property
     def clean(self) -> bool:
@@ -52,16 +128,27 @@ class LintReport:
 
     @property
     def exit_code(self) -> int:
-        return 0 if self.clean else 1
+        if self.findings:
+            return 1
+        if self.strict_baseline and self.stale_entries:
+            return 1
+        return 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "root": self.root,
             "modules": self.modules,
+            "analyzed_modules": self.analyzed,
+            "reused_modules": self.reused,
             "rules": self.rule_ids,
             "clean": self.clean,
-            "findings": [f.to_dict() for f in self.findings],
-            "suppressed": [f.to_dict() for f in self.suppressed],
+            "strict_baseline": self.strict_baseline,
+            "findings": [
+                dict(f.to_dict(), suppressed=False) for f in self.findings
+            ],
+            "suppressed": [
+                dict(f.to_dict(), suppressed=True) for f in self.suppressed
+            ],
             "stale_baseline_entries": [
                 e.to_dict() for e in self.stale_entries
             ],
@@ -74,6 +161,11 @@ class LintReport:
             f"repro lint: {self.modules} modules, "
             f"{len(self.rule_ids)} rules + import contract"
         ]
+        if self.reused:
+            lines.append(
+                f"incremental: analyzed {self.analyzed} module(s), "
+                f"replayed {self.reused} from cache"
+            )
         for finding in self.findings:
             lines.append("  " + finding.render())
         if self.findings:
@@ -90,7 +182,69 @@ class LintReport:
                 f"stale baseline entry (no longer matches anything): "
                 f"[{entry.rule}] {entry.path} — {entry.reason}"
             )
+        if self.strict_baseline and not self.findings and self.stale_entries:
+            lines.append(
+                f"strict baseline: {len(self.stale_entries)} stale "
+                "entr(ies) fail the run — prune them from the baseline"
+            )
         return "\n".join(lines)
+
+    def render_explanations(self, rule_id: str) -> str:
+        """Call-chain explanations for every finding of ``rule_id``."""
+        blocks: List[str] = []
+        for finding in list(self.findings) + list(self.suppressed):
+            if finding.rule != rule_id:
+                continue
+            chain = self.explanations.get(
+                (finding.path, finding.line, finding.rule)
+            )
+            blocks.append(finding.render())
+            if chain:
+                blocks.extend("    " + line for line in chain)
+            else:
+                blocks.append("    (no recorded call chain for this finding)")
+        if not blocks:
+            return f"no findings for rule {rule_id!r}"
+        return "\n".join(blocks)
+
+
+def _analyze_one(payload: Tuple[str, str, Optional[Tuple[str, ...]]]) -> dict:
+    """Per-module phase for one file; top-level so it pickles to workers."""
+    root_str, relpath, module_rule_ids = payload
+    path = Path(root_str) / relpath
+    source = path.read_text(encoding="utf-8")
+    digest = source_hash(source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=relpath,
+            line=exc.lineno or 1,
+            rule="syntax-error",
+            message=f"module does not parse: {exc.msg}",
+        )
+        return {
+            "relpath": relpath,
+            "digest": digest,
+            "findings": [finding.to_dict()],
+            "summary": None,
+            "raw_imports": [],
+        }
+    context = ModuleContext(
+        path=path, relpath=relpath, tree=tree, source=source
+    )
+    engine = AnalysisEngine(
+        rules=list(module_rule_ids) if module_rule_ids is not None else None
+    )
+    findings = engine.analyze_module(context)
+    summary = summarize_module(relpath, tree, source)
+    return {
+        "relpath": relpath,
+        "digest": digest,
+        "findings": [f.to_dict() for f in findings],
+        "summary": summary.to_dict(),
+        "raw_imports": extract_intra_imports(relpath, tree),
+    }
 
 
 def run_analysis(
@@ -99,25 +253,97 @@ def run_analysis(
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Path] = None,
     contracts: bool = True,
+    changed: bool = False,
+    jobs: int = 1,
+    cache_path: Optional[Path] = None,
+    strict_baseline: bool = False,
 ) -> LintReport:
     """Run the full static-analysis pass over ``root``.
 
-    ``baseline=None`` auto-discovers ``lint-baseline.json`` near the root;
-    pass a path to force one, or a path to a missing file to disable.
+    ``baseline=None`` auto-discovers ``lint-baseline.json`` near the
+    root; pass a path to force one, or a path to a missing file to
+    disable.  ``changed=True`` replays clean modules from the
+    incremental cache (written to ``cache_path`` every run, defaulting
+    to ``.lint-cache.json`` beside the baseline).  ``jobs>1`` fans the
+    per-module phase across worker processes.  ``strict_baseline=True``
+    makes stale suppression entries fail the run.
     """
     root = (root or default_root()).resolve()
     if not root.is_dir():
         raise FileNotFoundError(f"analysis root {root} is not a directory")
+    module_rule_ids, project_rule_ids = split_rule_ids(rules)
 
-    engine = AnalysisEngine(rules=rules)
-    findings, modules = engine.analyze_tree(root)
+    files = sorted(root.rglob("*.py"))
+    digests = {
+        path.relative_to(root).as_posix(): hashlib.sha256(
+            path.read_bytes()
+        ).hexdigest()
+        for path in files
+    }
+
+    # Cache identity covers the per-module catalogue: syntactic + CFG
+    # rules.  Project rules replay from summaries, so they do not key it.
+    cache_rule_ids = (
+        module_rule_ids
+        if module_rule_ids is not None
+        else [spec.rule_id for spec in all_rules()]
+    )
+    if cache_path is None:
+        cache_path = default_cache_path(root)
+    cache = AnalysisCache.load(cache_path, cache_rule_ids)
+
+    if changed and cache.records:
+        to_analyze = sorted(cache.dirty_closure(digests))
+    else:
+        to_analyze = sorted(digests)
+    cache.prune(digests)
+
+    rule_ids_arg = (
+        tuple(module_rule_ids) if module_rule_ids is not None else None
+    )
+    payloads = [(str(root), relpath, rule_ids_arg) for relpath in to_analyze]
+    if jobs > 1 and len(payloads) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_analyze_one, payloads, chunksize=8))
+    else:
+        results = [_analyze_one(payload) for payload in payloads]
+
+    for result in results:
+        cache.records[result["relpath"]] = ModuleRecord(
+            digest=result["digest"],
+            findings=result["findings"],
+            summary=result["summary"],
+            raw_imports=result["raw_imports"],
+        )
+    cache.save()
+
+    findings: List[Finding] = []
+    summaries: List[ModuleSummary] = []
+    modules = 0
+    for relpath in sorted(digests):
+        record = cache.records.get(relpath)
+        if record is None:  # unreadable mid-run; treat as absent
+            continue
+        findings.extend(Finding.from_dict(f) for f in record.findings)
+        if record.summary is not None:
+            summaries.append(ModuleSummary.from_dict(record.summary))
+            modules += 1
 
     package_edges: List = []
     if contracts:
         analyzer = ImportGraphAnalyzer()
-        analyzer.add_tree(root)
-        findings = sorted(findings + analyzer.check())
+        for relpath in sorted(digests):
+            record = cache.records.get(relpath)
+            if record is not None and record.summary is not None:
+                analyzer.add_raw_imports(relpath, record.raw_imports)
+        findings.extend(analyzer.check())
         package_edges = analyzer.package_edges()
+
+    # Global phase: whole-program rules over the union of summaries.
+    context = build_project_context(summaries)
+    if project_rule_ids is None or project_rule_ids:
+        findings.extend(run_project_rules(context, project_rule_ids))
+    findings = sorted(findings)
 
     baseline_path = baseline if baseline is not None else find_baseline(root)
     suppressed: List[Finding] = []
@@ -128,15 +354,24 @@ def run_analysis(
     else:
         baseline_path = None
 
+    if rules is None:
+        rule_ids = [spec.rule_id for spec in all_rules()] + [
+            spec.rule_id for spec in all_project_rules()
+        ]
+    else:
+        rule_ids = list(rules)
     return LintReport(
         root=str(root),
         modules=modules,
-        rule_ids=[spec.rule_id for spec in all_rules()]
-        if rules is None
-        else list(rules),
+        rule_ids=rule_ids,
         findings=findings,
         suppressed=suppressed,
         stale_entries=stale,
         package_edges=package_edges,
         baseline_path=str(baseline_path) if baseline_path else None,
+        analyzed=len(results),
+        reused=len(digests) - len(results),
+        strict_baseline=strict_baseline,
+        explanations=context.explanations,
+        context=context,
     )

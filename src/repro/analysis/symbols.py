@@ -1,0 +1,705 @@
+"""Project symbol table: what every module defines, imports and calls.
+
+The per-module rules in :mod:`repro.analysis.rules` see one tree at a
+time; the whole-program passes (call graph, taint, cross-method lock
+checks) need a *summary* of every module that is cheap to build, cheap
+to serialize, and sufficient to resolve names across module boundaries.
+:func:`summarize_module` extracts exactly that — definitions, import
+aliases, call sites as dotted name chains, inferred receiver types for
+the common ``self.attr`` / annotated-parameter cases — and
+:class:`SymbolTable` indexes the summaries so
+:mod:`repro.analysis.callgraph` can resolve a chain like
+``("self", "tracer", "start_span")`` to ``tracing.tracer:Tracer.start_span``.
+
+Summaries round-trip through plain dicts (``to_dict``/``from_dict``)
+because the incremental cache stores them as JSON: a warm ``--changed``
+run rebuilds the whole-program layer from cached summaries without
+re-parsing clean modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleSummary",
+    "ParamWrite",
+    "SymbolTable",
+    "module_name",
+    "source_hash",
+    "summarize_module",
+]
+
+#: Pseudo-qualname for statements executed at module import time.
+MODULE_BODY = "<module>"
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
+
+
+def module_name(relpath: str) -> str:
+    """``ml/model.py`` -> ``ml.model``; ``ml/__init__.py`` -> ``ml``."""
+    parts = list(Path(relpath).parts)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts) if parts else "<root>"
+
+
+def source_hash(source: str) -> str:
+    """Content hash keying the incremental cache (stable across runs)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expressed as a dotted name chain, e.g. ``("np", "random", "rand")``.
+
+    ``self``-rooted chains keep the literal ``"self"`` head; receiver
+    resolution happens later against the enclosing class.  ``nargs``
+    counts positional + keyword arguments so sink predicates can tell a
+    seeded ``Random(0)`` from a seedless ``Random()``.
+    """
+
+    chain: Tuple[str, ...]
+    lineno: int
+    nargs: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"chain": list(self.chain), "lineno": self.lineno, "nargs": self.nargs}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "CallSite":
+        return cls(tuple(raw["chain"]), int(raw["lineno"]), int(raw["nargs"]))
+
+
+@dataclass(frozen=True)
+class ParamWrite:
+    """A mutation ``param.attr = …`` with the ``with param.X:`` locks held."""
+
+    param: str
+    attr: str
+    lineno: int
+    held: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "param": self.param,
+            "attr": self.attr,
+            "lineno": self.lineno,
+            "held": list(self.held),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ParamWrite":
+        return cls(
+            str(raw["param"]), str(raw["attr"]), int(raw["lineno"]), tuple(raw["held"])
+        )
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method: where it is, what it calls, what it knows."""
+
+    qualname: str  # "f", "Cls.meth", or MODULE_BODY
+    lineno: int
+    calls: List[CallSite] = field(default_factory=list)
+    var_types: Dict[str, str] = field(default_factory=dict)  # name -> type text
+    param_writes: List[ParamWrite] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "lineno": self.lineno,
+            "calls": [c.to_dict() for c in self.calls],
+            "var_types": dict(self.var_types),
+            "param_writes": [w.to_dict() for w in self.param_writes],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "FunctionInfo":
+        return cls(
+            qualname=str(raw["qualname"]),
+            lineno=int(raw["lineno"]),
+            calls=[CallSite.from_dict(c) for c in raw["calls"]],
+            var_types=dict(raw["var_types"]),
+            param_writes=[ParamWrite.from_dict(w) for w in raw["param_writes"]],
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases, inferred attribute types, and its lock contract."""
+
+    name: str
+    lineno: int
+    bases: Tuple[str, ...] = ()
+    methods: Tuple[str, ...] = ()  # method names (bodies live in functions)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    lock_attrs: Tuple[str, ...] = ()  # self.X = Lock() in __init__
+    guarded_attrs: Tuple[str, ...] = ()  # written under `with self.<lock>`
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "lineno": self.lineno,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+            "attr_types": dict(self.attr_types),
+            "lock_attrs": list(self.lock_attrs),
+            "guarded_attrs": list(self.guarded_attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ClassInfo":
+        return cls(
+            name=str(raw["name"]),
+            lineno=int(raw["lineno"]),
+            bases=tuple(raw["bases"]),
+            methods=tuple(raw["methods"]),
+            attr_types=dict(raw["attr_types"]),
+            lock_attrs=tuple(raw["lock_attrs"]),
+            guarded_attrs=tuple(raw["guarded_attrs"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the whole-program passes need to know about one module."""
+
+    relpath: str
+    module: str  # dotted, relative to the analysis root ("cluster.node")
+    package: str  # first path component ("" for root modules)
+    digest: str  # content hash of the source
+    imports: Dict[str, str] = field(default_factory=dict)  # alias -> dotted
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    # Intra-repo imports for the layering contract and the incremental
+    # reverse-dependency closure: (target module, imported names, line).
+    raw_imports: List[Tuple[str, Optional[Tuple[str, ...]], int]] = field(
+        default_factory=list
+    )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "relpath": self.relpath,
+            "module": self.module,
+            "package": self.package,
+            "digest": self.digest,
+            "imports": dict(self.imports),
+            "functions": {q: f.to_dict() for q, f in self.functions.items()},
+            "classes": {n: c.to_dict() for n, c in self.classes.items()},
+            "raw_imports": [
+                [target, list(names) if names is not None else None, lineno]
+                for target, names, lineno in self.raw_imports
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ModuleSummary":
+        return cls(
+            relpath=str(raw["relpath"]),
+            module=str(raw["module"]),
+            package=str(raw["package"]),
+            digest=str(raw["digest"]),
+            imports=dict(raw["imports"]),
+            functions={
+                q: FunctionInfo.from_dict(f) for q, f in raw["functions"].items()
+            },
+            classes={n: ClassInfo.from_dict(c) for n, c in raw["classes"].items()},
+            raw_imports=[
+                (target, tuple(names) if names is not None else None, lineno)
+                for target, names, lineno in raw["raw_imports"]
+            ],
+        )
+
+
+# -- extraction --------------------------------------------------------------
+
+
+def _dotted_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a","b","c"); None when the base is not a plain name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _annotation_type(node: Optional[ast.AST]) -> Optional[str]:
+    """Extract a usable nominal type from an annotation expression.
+
+    Handles the receiver shapes the call graph can act on: plain names,
+    dotted names, string annotations, and ``Optional[T]`` / ``T | None``
+    unwrapping.  Anything else (unions of two real types, generics over
+    containers) resolves to None — better no edge than a wrong edge.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        chain = _dotted_chain(node)
+        return ".".join(chain) if chain else None
+    if isinstance(node, ast.Subscript):
+        base_chain = _dotted_chain(node.value)
+        if base_chain and base_chain[-1] == "Optional":
+            return _annotation_type(node.slice)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_type(node.left)
+        right = _annotation_type(node.right)
+        if left == "None" or left is None:
+            return right if right != "None" else None
+        if right == "None" or right is None:
+            return left if left != "None" else None
+        return None  # a real two-type union: ambiguous receiver
+    return None
+
+
+def _call_nargs(node: ast.Call) -> int:
+    return len(node.args) + len(node.keywords)
+
+
+def _is_lock_factory(call: ast.AST) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    return False
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _FunctionScanner:
+    """Collect call sites, local types and param mutations from one body.
+
+    Nested ``def``/``lambda`` bodies are folded into the enclosing
+    function: a closure that calls ``time.time`` taints its owner, which
+    is the conservative answer the taint rules want.
+    """
+
+    def __init__(self, info: FunctionInfo, params: Sequence[str]) -> None:
+        self.info = info
+        self.params = set(params)
+        # `with <owner>.X:` currently held, as (owner key, lock attr)
+        # pairs where the owner key is "param" or "self.attr".
+        self.held: List[Tuple[str, str]] = []
+
+    def _owner_key(self, chain: Tuple[str, ...]) -> Optional[str]:
+        if len(chain) == 1 and (chain[0] in self.params or chain[0] == "self"):
+            return chain[0]
+        if len(chain) == 2 and chain[0] == "self":
+            return ".".join(chain)
+        return None
+
+    def scan_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.scan_stmt(stmt)
+
+    def scan_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            newly_held: List[Tuple[str, str]] = []
+            for item in stmt.items:
+                self.scan_expr(item.context_expr)
+                chain = _dotted_chain(item.context_expr)
+                if chain and len(chain) >= 2:
+                    owner = self._owner_key(chain[:-1])
+                    if owner is not None:
+                        newly_held.append((owner, chain[-1]))
+            self.held.extend(newly_held)
+            self.scan_body(stmt.body)
+            del self.held[len(self.held) - len(newly_held) :]
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            declared = _annotation_type(stmt.annotation)
+            if declared and isinstance(stmt.target, ast.Name):
+                self.info.var_types.setdefault(stmt.target.id, declared)
+        elif isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            # `tracer = Tracer(clock)` types the local for receiver
+            # resolution; a capitalised tail reads as a constructor.
+            chain = _dotted_chain(stmt.value.func)
+            if chain and chain[-1][:1].isupper():
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.info.var_types.setdefault(
+                            target.id, ".".join(chain)
+                        )
+        for field_name, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.AST):
+                self.scan_expr(value)
+            elif isinstance(value, list):
+                for element in value:
+                    if isinstance(element, ast.stmt):
+                        self.scan_stmt(element)
+                    elif isinstance(element, ast.ExceptHandler):
+                        self.scan_body(element.body)
+                    elif isinstance(element, ast.AST):
+                        self.scan_expr(element)
+
+    def scan_expr(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                chain = _dotted_chain(sub.func)
+                if chain:
+                    self.info.calls.append(
+                        CallSite(chain, sub.lineno, _call_nargs(sub))
+                    )
+            elif isinstance(sub, ast.Attribute) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                owner_chain = _dotted_chain(sub.value)
+                owner = (
+                    self._owner_key(owner_chain) if owner_chain else None
+                )
+                if owner is not None and owner != "self":
+                    self.info.param_writes.append(
+                        ParamWrite(
+                            param=owner,
+                            attr=sub.attr,
+                            lineno=sub.lineno,
+                            held=tuple(
+                                attr
+                                for held_owner, attr in self.held
+                                if held_owner == owner
+                            ),
+                        )
+                    )
+
+
+def _function_params(fn: ast.AST) -> List[Tuple[str, Optional[str]]]:
+    args = fn.args
+    params: List[Tuple[str, Optional[str]]] = []
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        params.append((arg.arg, _annotation_type(arg.annotation)))
+    if args.vararg:
+        params.append((args.vararg.arg, None))
+    if args.kwarg:
+        params.append((args.kwarg.arg, None))
+    return params
+
+
+def _summarize_function(
+    fn: ast.AST, qualname: str
+) -> FunctionInfo:
+    info = FunctionInfo(qualname=qualname, lineno=fn.lineno)
+    params = _function_params(fn)
+    for name, declared in params:
+        if declared:
+            info.var_types[name] = declared
+    scanner = _FunctionScanner(info, [name for name, _ in params])
+    scanner.scan_body(fn.body)
+    return info
+
+
+def _class_attr_types(
+    cls: ast.ClassDef, methods: Sequence[ast.AST]
+) -> Dict[str, str]:
+    """Infer ``self.attr`` types from annotations and constructor calls."""
+    attr_types: Dict[str, str] = {}
+    for stmt in cls.body:  # class-level annotations: `tracer: Tracer`
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            declared = _annotation_type(stmt.annotation)
+            if declared:
+                attr_types.setdefault(stmt.target.id, declared)
+    for method in methods:
+        for node in ast.walk(method):
+            if isinstance(node, ast.AnnAssign):
+                attr = _self_attr(node.target)
+                declared = _annotation_type(node.annotation)
+                if attr and declared:
+                    attr_types.setdefault(attr, declared)
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                chain = _dotted_chain(node.value.func)
+                if not chain:
+                    continue
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    # `self.x = Ctor(...)` — a capitalised tail reads as a
+                    # class constructor; lowercase tails are factory calls
+                    # whose return type we cannot know.
+                    if attr and chain[-1][:1].isupper():
+                        attr_types.setdefault(attr, ".".join(chain))
+    return attr_types
+
+
+def _class_lock_contract(
+    methods: Sequence[ast.AST],
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(lock attrs created in __init__, attrs written under those locks)."""
+    lock_attrs: List[str] = []
+    for method in methods:
+        if method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None and attr not in lock_attrs:
+                        lock_attrs.append(attr)
+    if not lock_attrs:
+        return (), ()
+    guarded: List[str] = []
+    lock_set = set(lock_attrs)
+
+    def scan(body: Sequence[ast.stmt], under: bool) -> None:
+        for stmt in body:
+            inner = under
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = under or any(
+                    _self_attr(item.context_expr) in lock_set
+                    for item in stmt.items
+                )
+            if inner:
+                for sub in ast.walk(stmt):
+                    attr = _self_attr(sub)
+                    if (
+                        attr is not None
+                        and attr not in lock_set
+                        and isinstance(sub.ctx, (ast.Store, ast.Del))
+                        and attr not in guarded
+                    ):
+                        guarded.append(attr)
+            for _name, value in ast.iter_fields(stmt):
+                if isinstance(value, list):
+                    stmts = [s for s in value if isinstance(s, ast.stmt)]
+                    if stmts:
+                        scan(stmts, inner)
+                    for element in value:
+                        if isinstance(element, ast.ExceptHandler):
+                            scan(element.body, inner)
+
+    for method in methods:
+        if method.name != "__init__":
+            scan(method.body, False)
+    return tuple(lock_attrs), tuple(guarded)
+
+
+def _extract_imports(tree: ast.Module, module: str, is_package: bool) -> Dict[str, str]:
+    """Local alias -> absolute dotted target, relative imports resolved."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname:
+                    imports[item.asname] = item.name
+                else:
+                    head = item.name.split(".")[0]
+                    imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = module.split(".") if module != "<root>" else []
+                keep = len(parts) - node.level + (1 if is_package else 0)
+                if keep < 0:
+                    continue
+                base = parts[:keep]
+                if node.module:
+                    base = base + node.module.split(".")
+                target = ".".join(base)
+                if target:
+                    # Mark as tree-relative so resolution knows it is
+                    # intra-repo even without the top-package prefix.
+                    for item in node.names:
+                        imports[item.asname or item.name] = (
+                            f"@{target}.{item.name}"
+                        )
+            elif node.module:
+                for item in node.names:
+                    imports[item.asname or item.name] = (
+                        f"{node.module}.{item.name}"
+                    )
+    return imports
+
+
+def summarize_module(
+    relpath: str, tree: ast.Module, source: str
+) -> ModuleSummary:
+    """Build the whole-program summary for one parsed module."""
+    module = module_name(relpath)
+    parts = Path(relpath).parts
+    package = parts[0] if len(parts) > 1 else ""
+    is_package = Path(relpath).name == "__init__.py"
+    summary = ModuleSummary(
+        relpath=relpath,
+        module=module,
+        package=package,
+        digest=source_hash(source),
+        imports=_extract_imports(tree, module, is_package),
+    )
+
+    module_body_stmts: List[ast.stmt] = []
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.functions[stmt.name] = _summarize_function(stmt, stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            methods = [
+                s
+                for s in stmt.body
+                if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            lock_attrs, guarded = _class_lock_contract(methods)
+            bases = []
+            for base in stmt.bases:
+                chain = _dotted_chain(base)
+                if chain:
+                    bases.append(".".join(chain))
+            summary.classes[stmt.name] = ClassInfo(
+                name=stmt.name,
+                lineno=stmt.lineno,
+                bases=tuple(bases),
+                methods=tuple(m.name for m in methods),
+                attr_types=_class_attr_types(stmt, methods),
+                lock_attrs=lock_attrs,
+                guarded_attrs=guarded,
+            )
+            for method in methods:
+                qualname = f"{stmt.name}.{method.name}"
+                summary.functions[qualname] = _summarize_function(
+                    method, qualname
+                )
+        else:
+            module_body_stmts.append(stmt)
+    if module_body_stmts:
+        info = FunctionInfo(qualname=MODULE_BODY, lineno=1)
+        scanner = _FunctionScanner(info, [])
+        scanner.scan_body(module_body_stmts)
+        if info.calls or info.param_writes:
+            summary.functions[MODULE_BODY] = info
+    return summary
+
+
+class SymbolTable:
+    """Index over every module summary: the project-wide name space."""
+
+    def __init__(self, summaries: Sequence[ModuleSummary], top_package: str = "repro") -> None:
+        self.top_package = top_package
+        self.modules: Dict[str, ModuleSummary] = {
+            s.module: s for s in summaries
+        }
+        self.by_relpath: Dict[str, ModuleSummary] = {
+            s.relpath: s for s in summaries
+        }
+
+    def summaries(self) -> List[ModuleSummary]:
+        return [self.modules[name] for name in sorted(self.modules)]
+
+    def resolve_dotted(self, dotted: str) -> Optional[Tuple[str, str]]:
+        """Absolute dotted path -> (module, qualname) for in-tree targets.
+
+        ``repro.tracing.tracer.Tracer.start_span`` resolves to
+        ``("tracing.tracer", "Tracer.start_span")``.  Package-``__init__``
+        re-exports are followed one level: ``repro.tracing.Tracer`` finds
+        the alias in ``tracing/__init__.py`` and chases it to the defining
+        module.  Returns None for external names.
+        """
+        if dotted.startswith("@"):
+            rel = dotted[1:]
+        elif dotted == self.top_package:
+            rel = ""
+        elif dotted.startswith(self.top_package + "."):
+            rel = dotted[len(self.top_package) + 1 :]
+        else:
+            return None
+        for _hop in range(4):  # bounded re-export chasing
+            parts = rel.split(".")
+            module = None
+            for cut in range(len(parts), 0, -1):
+                candidate = ".".join(parts[:cut])
+                if candidate in self.modules:
+                    module = candidate
+                    remainder = parts[cut:]
+                    break
+            if module is None:
+                return None
+            summary = self.modules[module]
+            if not remainder:
+                return (module, MODULE_BODY)
+            head = remainder[0]
+            if head in summary.functions or head in summary.classes:
+                return (module, ".".join(remainder))
+            alias = summary.imports.get(head)
+            if alias is None:
+                return (module, ".".join(remainder))  # unknown attr: best effort
+            if alias.startswith("@"):
+                rel = ".".join([alias[1:], *remainder[1:]])
+            elif alias.startswith(self.top_package + ".") or alias == self.top_package:
+                stripped = alias[len(self.top_package) + 1 :] if alias != self.top_package else ""
+                rel = ".".join(filter(None, [stripped, *remainder[1:]]))
+            else:
+                return None  # re-export of an external name
+        return None
+
+    def find_class(
+        self, summary: ModuleSummary, type_text: str
+    ) -> Optional[Tuple[str, ClassInfo]]:
+        """Resolve a type annotation string to (module, ClassInfo)."""
+        if not type_text:
+            return None
+        head, *rest = type_text.split(".")
+        if not rest and head in summary.classes:
+            return (summary.module, summary.classes[head])
+        target = summary.imports.get(head)
+        if target is None:
+            if rest:  # maybe "module.Class" with module == this package?
+                return None
+            return None
+        dotted = ".".join([target, *rest])
+        resolved = self.resolve_dotted(dotted)
+        if resolved is None:
+            return None
+        module, qualname = resolved
+        cls = self.modules[module].classes.get(qualname)
+        if cls is not None:
+            return (module, cls)
+        return None
+
+    def resolve_method(
+        self, module: str, cls: ClassInfo, method: str, _depth: int = 0
+    ) -> Optional[Tuple[str, str]]:
+        """Find ``method`` on ``cls`` or its in-tree bases -> (module, qualname)."""
+        if method in cls.methods:
+            return (module, f"{cls.name}.{method}")
+        if _depth >= 4:
+            return None
+        summary = self.modules[module]
+        for base in cls.bases:
+            found = self.find_class(summary, base)
+            if found is None:
+                continue
+            base_module, base_cls = found
+            resolved = self.resolve_method(
+                base_module, base_cls, method, _depth + 1
+            )
+            if resolved is not None:
+                return resolved
+        return None
+
+    def iter_functions(self) -> Iterator[Tuple[ModuleSummary, FunctionInfo]]:
+        for module in sorted(self.modules):
+            summary = self.modules[module]
+            for qualname in sorted(summary.functions):
+                yield summary, summary.functions[qualname]

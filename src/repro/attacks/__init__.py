@@ -6,7 +6,13 @@ evasion — plus the threat-model abstractions and the Fig. 1 / Fig. 3
 taxonomies of attacks and pipeline vulnerabilities.
 """
 
-from repro.attacks.base import Attack, AttackResult, Capability, ThreatModel
+from repro.attacks.base import (
+    Attack,
+    AttackResult,
+    Capability,
+    CostClock,
+    ThreatModel,
+)
 from repro.attacks.label_flipping import (
     RandomLabelFlippingAttack,
     RandomLabelSwappingAttack,
@@ -49,6 +55,7 @@ __all__ = [
     "BaggingDefense",
     "Capability",
     "CiaProperty",
+    "CostClock",
     "FgsmAttack",
     "GanPoisoningAttack",
     "MembershipInferenceAttack",

@@ -12,7 +12,6 @@ explanation-based probes too.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -90,7 +89,7 @@ class BackdoorAttack(Attack):
 
     def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
         self.check_threat_model()
-        started = time.perf_counter()
+        started = self.cost_clock.now()
         X = np.array(X, dtype=np.float64, copy=True)
         y = np.array(y, copy=True)
         n_poison = int(round(len(y) * self.rate))
@@ -103,7 +102,7 @@ class BackdoorAttack(Attack):
             X=X,
             y=y,
             n_affected=n_poison,
-            cost_seconds=time.perf_counter() - started,
+            cost_seconds=self.cost_clock.now() - started,
             details={"rate": self.rate},
         )
 

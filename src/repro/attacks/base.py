@@ -11,11 +11,31 @@ needs so experiments can assert the assumed adversary is sufficient.
 from __future__ import annotations
 
 import enum
+import time  # the one sanctioned wall-clock touchpoint in this package
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 import numpy as np
+
+
+class CostClock:
+    """Injectable monotonic duration source for attack costing.
+
+    ``AttackResult.cost_seconds`` feeds the paper's *complexity*
+    resilience signal, so attack implementations never read the process
+    clock directly — they measure through this seam, and tests or
+    simulations inject a virtual ``now`` to get deterministic costs.
+    The default reads ``time.perf_counter``.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, now: Optional[Callable[[], float]] = None) -> None:
+        self._now = time.perf_counter if now is None else now
+
+    def now(self) -> float:
+        return float(self._now())
 
 
 class Capability(enum.Enum):
@@ -88,8 +108,13 @@ class Attack(ABC):
     #: Capabilities this attack needs from the threat model.
     required_capabilities: Tuple[Capability, ...] = ()
 
-    def __init__(self, threat_model: Optional[ThreatModel] = None) -> None:
+    def __init__(
+        self,
+        threat_model: Optional[ThreatModel] = None,
+        cost_clock: Optional[CostClock] = None,
+    ) -> None:
         self.threat_model = threat_model
+        self.cost_clock = cost_clock if cost_clock is not None else CostClock()
 
     def check_threat_model(self) -> None:
         """Raise ``PermissionError`` if the threat model is insufficient."""

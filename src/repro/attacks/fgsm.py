@@ -12,7 +12,6 @@ evaluation against the gradient-free tree ensembles.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
@@ -93,9 +92,9 @@ class FgsmAttack(Attack):
         self.check_threat_model()
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y)
-        started = time.perf_counter()
+        started = self.cost_clock.now()
         X_adv = fgsm_perturb(self.surrogate, X, self.epsilon, targets=y)
-        cost = time.perf_counter() - started
+        cost = self.cost_clock.now() - started
         return AttackResult(
             X=X_adv,
             y=y.copy(),

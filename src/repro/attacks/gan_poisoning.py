@@ -12,7 +12,6 @@ is identical.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -179,7 +178,7 @@ class GanPoisoningAttack(Attack):
 
     def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
         self.check_threat_model()
-        started = time.perf_counter()
+        started = self.cost_clock.now()
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y)
         synth = self.synthesizer or TableSynthesizer(seed=self.seed)
@@ -194,6 +193,6 @@ class GanPoisoningAttack(Attack):
             X=X_out,
             y=y_out,
             n_affected=self.n_synthetic,
-            cost_seconds=time.perf_counter() - started,
+            cost_seconds=self.cost_clock.now() - started,
             details={"n_synthetic": float(self.n_synthetic)},
         )

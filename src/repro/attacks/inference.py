@@ -14,13 +14,12 @@ Both are black-box: they only need ``QUERY_MODEL``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from repro.attacks.base import Capability, ThreatModel
+from repro.attacks.base import Capability, CostClock, ThreatModel
 from repro.ml.model import Classifier, clone
 from repro.privacy.membership import membership_inference_risk
 
@@ -104,6 +103,7 @@ class ModelStealingAttack:
         n_queries: int = 500,
         seed: int = 0,
         threat_model: Optional[ThreatModel] = None,
+        cost_clock: Optional[CostClock] = None,
     ) -> None:
         if n_queries < 10:
             raise ValueError("n_queries must be >= 10")
@@ -111,6 +111,7 @@ class ModelStealingAttack:
         self.n_queries = n_queries
         self.seed = seed
         self.threat_model = threat_model
+        self.cost_clock = cost_clock if cost_clock is not None else CostClock()
 
     def steal(
         self,
@@ -134,7 +135,7 @@ class ModelStealingAttack:
         if X_reference.ndim != 2 or X_reference.shape[0] < 2:
             raise ValueError("X_reference must be 2-D with >= 2 rows")
         rng = np.random.default_rng(self.seed)
-        started = time.perf_counter()
+        started = self.cost_clock.now()
         rows = rng.integers(0, X_reference.shape[0], size=self.n_queries)
         scale = X_reference.std(axis=0)
         queries = X_reference[rows] + rng.normal(
@@ -146,7 +147,7 @@ class ModelStealingAttack:
         else:
             surrogate = clone(victim)
         surrogate.fit(queries, labels)
-        cost = time.perf_counter() - started
+        cost = self.cost_clock.now() - started
         X_eval = X_reference if X_eval is None else np.asarray(X_eval)
         fidelity = float(
             np.mean(surrogate.predict(X_eval) == victim.predict(X_eval))

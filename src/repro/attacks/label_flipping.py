@@ -12,7 +12,6 @@ Three variants from the paper:
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
@@ -56,7 +55,7 @@ class RandomLabelFlippingAttack(Attack):
 
     def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
         self.check_threat_model()
-        started = time.perf_counter()
+        started = self.cost_clock.now()
         X = np.asarray(X)
         y = np.array(y, copy=True)
         classes = np.unique(y)
@@ -73,7 +72,7 @@ class RandomLabelFlippingAttack(Attack):
             X=X,
             y=y,
             n_affected=n_poison,
-            cost_seconds=time.perf_counter() - started,
+            cost_seconds=self.cost_clock.now() - started,
             details={"rate": self.rate},
         )
 
@@ -108,7 +107,7 @@ class TargetedLabelFlippingAttack(Attack):
 
     def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
         self.check_threat_model()
-        started = time.perf_counter()
+        started = self.cost_clock.now()
         X = np.asarray(X)
         y = np.array(y, copy=True)
         if self.source_label is not None:
@@ -124,7 +123,7 @@ class TargetedLabelFlippingAttack(Attack):
             X=X,
             y=y,
             n_affected=n_poison,
-            cost_seconds=time.perf_counter() - started,
+            cost_seconds=self.cost_clock.now() - started,
             details={"rate": self.rate},
         )
 
@@ -157,7 +156,7 @@ class RandomLabelSwappingAttack(Attack):
 
     def apply(self, X: np.ndarray, y: np.ndarray) -> AttackResult:
         self.check_threat_model()
-        started = time.perf_counter()
+        started = self.cost_clock.now()
         X = np.asarray(X)
         y = np.array(y, copy=True)
         n_pairs = int(round(len(y) * self.rate / 2.0))
@@ -174,6 +173,6 @@ class RandomLabelSwappingAttack(Attack):
             X=X,
             y=y,
             n_affected=n_changed,
-            cost_seconds=time.perf_counter() - started,
+            cost_seconds=self.cost_clock.now() - started,
             details={"rate": self.rate},
         )

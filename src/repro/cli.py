@@ -524,15 +524,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Static analysis: AST rules + import-graph layering contract."""
+    """Static analysis: AST + flow rules, call graph, layering contract."""
     import json
     from pathlib import Path
 
-    from repro.analysis import all_rules, run_analysis
+    from repro.analysis import all_project_rules, all_rules, run_analysis
 
     if args.list_rules:
         for spec in all_rules():
             print(f"  {spec.rule_id:<22} [{spec.severity}] {spec.description}")
+        for spec in all_project_rules():
+            print(
+                f"  {spec.rule_id:<22} [{spec.severity}] "
+                f"(whole-program) {spec.description}"
+            )
         return 0
     try:
         report = run_analysis(
@@ -540,10 +545,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             rules=args.rule or None,
             baseline=Path(args.baseline) if args.baseline else None,
             contracts=not args.no_contracts,
+            changed=args.changed,
+            jobs=args.jobs,
+            cache_path=Path(args.cache) if args.cache else None,
+            strict_baseline=args.strict_baseline,
         )
     except (FileNotFoundError, KeyError, ValueError) as exc:
         print(f"lint failed: {exc}", file=sys.stderr)
         return 2
+    if args.graph == "dot":
+        print(report.context.graph.to_dot())
+        return 0
+    if args.explain:
+        print(report.render_explanations(args.explain))
+        return report.exit_code
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -794,6 +809,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--json", action="store_true", help="machine-readable output"
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="incremental: re-analyze only modules whose content hash "
+        "(or a transitive importee's) moved since the cached run",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the per-module phase across N worker processes",
+    )
+    lint.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="incremental cache file (default: .lint-cache.json beside "
+        "the baseline)",
+    )
+    lint.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail the run when baseline entries no longer match anything",
+    )
+    lint.add_argument(
+        "--graph",
+        choices=["dot"],
+        default=None,
+        help="print the whole-program call graph instead of findings",
+    )
+    lint.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE_ID",
+        help="show the cross-module call chain behind each finding of "
+        "this rule",
     )
     lint.set_defaults(func=_cmd_lint)
     return parser

@@ -1,0 +1,116 @@
+"""Incremental cache: replay, dirty-closure invalidation, identity checks."""
+
+import json
+
+from repro.analysis import run_analysis
+from repro.analysis.cache import AnalysisCache
+
+
+def write_tree(root, files):
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+TREE = {
+    "ml/model.py": "def fit(X):\n    return X\n",
+    "ml/helpers.py": "from repro.ml.model import fit\ndef train(X):\n    return fit(X)\n",
+    "gateway/svc.py": "def handle(req):\n    return req\n",
+}
+
+
+class TestReplay:
+    def test_cold_run_populates_cache_file(self, tmp_path):
+        write_tree(tmp_path / "src", TREE)
+        cache_path = tmp_path / "cache.json"
+        report = run_analysis(tmp_path / "src", cache_path=cache_path)
+        assert report.analyzed == 3 and report.reused == 0
+        payload = json.loads(cache_path.read_text())
+        assert set(payload["modules"]) == set(TREE)
+
+    def test_warm_changed_run_replays_everything(self, tmp_path):
+        write_tree(tmp_path / "src", TREE)
+        cache_path = tmp_path / "cache.json"
+        run_analysis(tmp_path / "src", cache_path=cache_path)
+        report = run_analysis(
+            tmp_path / "src", cache_path=cache_path, changed=True
+        )
+        assert report.analyzed == 0 and report.reused == 3
+        assert report.modules == 3
+
+    def test_replayed_findings_match_cold_findings(self, tmp_path):
+        files = dict(TREE)
+        files["ml/bad.py"] = 'x = f"oops"\ndef f(y=[]): pass\n'
+        write_tree(tmp_path / "src", files)
+        cache_path = tmp_path / "cache.json"
+        cold = run_analysis(tmp_path / "src", cache_path=cache_path)
+        warm = run_analysis(
+            tmp_path / "src", cache_path=cache_path, changed=True
+        )
+        assert warm.analyzed == 0
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+
+class TestInvalidation:
+    def test_edit_dirties_module_and_reverse_importers(self, tmp_path):
+        root = write_tree(tmp_path / "src", TREE)
+        cache_path = tmp_path / "cache.json"
+        run_analysis(root, cache_path=cache_path)
+        (root / "ml/model.py").write_text(
+            "def fit(X):\n    return X  # edited\n", encoding="utf-8"
+        )
+        report = run_analysis(root, cache_path=cache_path, changed=True)
+        # model.py changed; helpers.py imports it; gateway/svc.py is clean
+        assert report.analyzed == 2 and report.reused == 1
+
+    def test_new_module_is_analyzed(self, tmp_path):
+        root = write_tree(tmp_path / "src", TREE)
+        cache_path = tmp_path / "cache.json"
+        run_analysis(root, cache_path=cache_path)
+        (root / "ml/extra.py").write_text("x = 1\n", encoding="utf-8")
+        report = run_analysis(root, cache_path=cache_path, changed=True)
+        assert report.analyzed == 1
+        assert report.modules == 4
+
+    def test_deleted_module_is_pruned(self, tmp_path):
+        root = write_tree(tmp_path / "src", TREE)
+        cache_path = tmp_path / "cache.json"
+        run_analysis(root, cache_path=cache_path)
+        (root / "gateway/svc.py").unlink()
+        report = run_analysis(root, cache_path=cache_path, changed=True)
+        assert report.modules == 2
+        payload = json.loads(cache_path.read_text())
+        assert "gateway/svc.py" not in payload["modules"]
+
+    def test_rule_catalogue_change_invalidates_wholesale(self, tmp_path):
+        root = write_tree(tmp_path / "src", TREE)
+        cache_path = tmp_path / "cache.json"
+        run_analysis(root, cache_path=cache_path)
+        loaded = AnalysisCache.load(cache_path, ["only-this-rule"])
+        assert loaded.records == {} and not loaded.loaded_from_disk
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        root = write_tree(tmp_path / "src", TREE)
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{ not json", encoding="utf-8")
+        report = run_analysis(root, cache_path=cache_path, changed=True)
+        assert report.analyzed == 3  # fell back to analyzing everything
+
+
+class TestGlobalPhaseStaysExact:
+    def test_cross_module_taint_found_on_warm_run(self, tmp_path):
+        files = {
+            "telemetry/clock.py": "import time\ndef wall():\n    return time.time()\n",
+            "ml/model.py": "from repro.telemetry.clock import wall\ndef fit():\n    return wall()\n",
+        }
+        root = write_tree(tmp_path / "src", files)
+        cache_path = tmp_path / "cache.json"
+        cold = run_analysis(root, cache_path=cache_path)
+        warm = run_analysis(root, cache_path=cache_path, changed=True)
+        for report in (cold, warm):
+            assert any(f.rule == "wallclock-taint" for f in report.findings)
+        assert warm.analyzed == 0  # taint came from cached summaries

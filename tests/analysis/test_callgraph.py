@@ -1,0 +1,160 @@
+"""Call-graph construction, resolution cases, and taint propagation."""
+
+import ast
+
+from repro.analysis.callgraph import (
+    build_call_graph,
+    external_name,
+    is_external,
+    node_id,
+)
+from repro.analysis.symbols import SymbolTable, summarize_module
+
+
+def table_for(files):
+    return SymbolTable(
+        [
+            summarize_module(relpath, ast.parse(source), source)
+            for relpath, source in files.items()
+        ]
+    )
+
+
+class TestResolution:
+    def test_local_function_call(self):
+        graph = build_call_graph(
+            table_for({"ml/m.py": "def helper():\n    pass\ndef f():\n    helper()\n"})
+        )
+        assert "ml.m::helper" in graph.callees("ml.m::f")
+
+    def test_self_method_call(self):
+        graph = build_call_graph(
+            table_for(
+                {
+                    "ml/m.py": "class C:\n"
+                    "    def a(self):\n"
+                    "        self.b()\n"
+                    "    def b(self):\n"
+                    "        pass\n"
+                }
+            )
+        )
+        assert "ml.m::C.b" in graph.callees("ml.m::C.a")
+
+    def test_self_attr_method_via_constructor_inference(self):
+        graph = build_call_graph(
+            table_for(
+                {
+                    "tracing/t.py": "class Tracer:\n"
+                    "    def start_span(self):\n"
+                    "        pass\n",
+                    "gateway/g.py": "from repro.tracing.t import Tracer\n"
+                    "class Gateway:\n"
+                    "    def __init__(self):\n"
+                    "        self.tracer = Tracer()\n"
+                    "    def handle(self):\n"
+                    "        self.tracer.start_span()\n",
+                }
+            )
+        )
+        assert "tracing.t::Tracer.start_span" in graph.callees(
+            "gateway.g::Gateway.handle"
+        )
+
+    def test_cross_module_import_alias(self):
+        graph = build_call_graph(
+            table_for(
+                {
+                    "ml/m.py": "def fit():\n    pass\n",
+                    "core/c.py": "from repro.ml.m import fit\n"
+                    "def run():\n    fit()\n",
+                }
+            )
+        )
+        assert "ml.m::fit" in graph.callees("core.c::run")
+
+    def test_external_call_becomes_ext_node(self):
+        graph = build_call_graph(
+            table_for({"ml/m.py": "import time\ndef f():\n    time.time()\n"})
+        )
+        callees = graph.callees("ml.m::f")
+        assert "ext::time.time" in callees
+        assert is_external("ext::time.time")
+        assert external_name("ext::time.time") == "time.time"
+
+    def test_unresolvable_receiver_gets_no_edge(self):
+        graph = build_call_graph(
+            table_for({"ml/m.py": "def f(x):\n    x.mystery()\n"})
+        )
+        assert graph.callees("ml.m::f") == {}
+
+
+class TestTaint:
+    def test_chain_reconstructed_to_sink(self):
+        graph = build_call_graph(
+            table_for(
+                {
+                    "telemetry/h.py": "import time\n"
+                    "def wall():\n    return time.time()\n",
+                    "ml/m.py": "from repro.telemetry.h import wall\n"
+                    "def fit():\n    return wall()\n",
+                }
+            )
+        )
+        tainted = graph.taint_from_sinks(
+            lambda node, nargs: node == "ext::time.time"
+        )
+        assert "ml.m::fit" in tainted
+        chain = graph.chain("ml.m::fit", tainted)
+        assert [step for step, _ in chain] == [
+            "ml.m::fit",
+            "telemetry.h::wall",
+            "ext::time.time",
+        ]
+
+    def test_sink_judged_per_edge_by_nargs(self):
+        """Random(0) is seeded and fine; Random() in another caller is not."""
+        graph = build_call_graph(
+            table_for(
+                {
+                    "ml/ok.py": "import random\n"
+                    "def seeded():\n    return random.Random(0)\n",
+                    "ml/bad.py": "import random\n"
+                    "def seedless():\n    return random.Random()\n",
+                }
+            )
+        )
+        tainted = graph.taint_from_sinks(
+            lambda node, nargs: node == "ext::random.Random" and nargs == 0
+        )
+        assert "ml.bad::seedless" in tainted
+        assert "ml.ok::seeded" not in tainted
+
+
+class TestDotExport:
+    def test_dot_renders_edges_and_boxes_externals(self):
+        graph = build_call_graph(
+            table_for(
+                {
+                    "ml/m.py": "import time\n"
+                    "def helper():\n    time.time()\n"
+                    "def f():\n    helper()\n"
+                }
+            )
+        )
+        dot = graph.to_dot()
+        assert dot.startswith("digraph callgraph {")
+        assert '"ml.m.f" -> "ml.m.helper";' in dot
+        assert '"time.time" [shape=box, style=dashed];' in dot
+
+    def test_package_filter_restricts_callers(self):
+        table = table_for(
+            {
+                "ml/m.py": "def fit():\n    pass\n",
+                "core/c.py": "from repro.ml.m import fit\n"
+                "def run():\n    fit()\n",
+            }
+        )
+        graph = build_call_graph(table, packages=["ml"])
+        assert graph.callees("core.c::run") == {}
+        assert node_id("core.c", "run") in graph.locations

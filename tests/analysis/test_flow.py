@@ -1,0 +1,172 @@
+"""CFG construction and dataflow: the substrate under the flow rules."""
+
+import ast
+
+from repro.analysis.flow import (
+    build_cfg,
+    def_use_chains,
+    reaching_definitions,
+)
+
+
+def cfg_for(source):
+    fn = ast.parse(source).body[0]
+    return fn, build_cfg(fn)
+
+
+class TestCfgShape:
+    def test_straight_line_reaches_exit(self):
+        _, cfg = cfg_for("def f(x):\n    y = x\n    return y\n")
+        assert cfg.exit_id in cfg.reachable_from_entry()
+
+    def test_if_makes_two_paths(self):
+        _, cfg = cfg_for(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        entry_succs = cfg.blocks[cfg.entry].succs
+        assert len(entry_succs) == 2
+
+    def test_statement_after_return_is_unreachable(self):
+        _, cfg = cfg_for("def f(x):\n    return x\n    y = 1\n")
+        reachable = cfg.reachable_from_entry()
+        dead = [
+            b
+            for b in cfg.iter_blocks()
+            if b.stmts and b.block_id not in reachable
+        ]
+        assert len(dead) == 1
+
+    def test_while_true_without_break_never_exits(self):
+        _, cfg = cfg_for("def f():\n    while True:\n        work()\n")
+        assert cfg.exit_id not in cfg.reachable_from_entry()
+
+    def test_while_true_with_break_exits(self):
+        _, cfg = cfg_for(
+            "def f(q):\n"
+            "    while True:\n"
+            "        if q.done():\n"
+            "            break\n"
+            "    return 1\n"
+        )
+        assert cfg.exit_id in cfg.reachable_from_entry()
+
+
+class TestFinallyRouting:
+    """Abrupt exits must pass through enclosing finally blocks."""
+
+    def find_blocks_containing(self, cfg, needle):
+        out = set()
+        for block in cfg.iter_blocks():
+            for stmt in block.stmts:
+                if needle in ast.dump(stmt):
+                    out.add(block.block_id)
+        return out
+
+    def test_return_routes_through_finally(self):
+        _, cfg = cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        return work()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        cleanup_blocks = self.find_blocks_containing(cfg, "cleanup")
+        assert cleanup_blocks
+        # no path entry -> exit may dodge every cleanup copy
+        assert not cfg.path_avoiding(
+            cfg.entry, cfg.exit_id, frozenset(cleanup_blocks)
+        )
+
+    def test_raise_routes_through_finally(self):
+        _, cfg = cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        raise ValueError()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        cleanup_blocks = self.find_blocks_containing(cfg, "cleanup")
+        assert not cfg.path_avoiding(
+            cfg.entry, cfg.exit_id, frozenset(cleanup_blocks)
+        )
+
+    def test_break_runs_finally_nested_in_loop(self):
+        _, cfg = cfg_for(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            if x:\n"
+            "                break\n"
+            "        finally:\n"
+            "            cleanup()\n"
+            "    return 1\n"
+        )
+        cleanup_blocks = self.find_blocks_containing(cfg, "cleanup")
+        # the zero-iteration path legitimately skips the finally, but
+        # from the break itself every path must run cleanup first
+        break_block = next(
+            b.block_id
+            for b in cfg.iter_blocks()
+            if any(isinstance(s, ast.Break) for s in b.stmts)
+        )
+        assert not cfg.path_avoiding(
+            break_block, cfg.exit_id, frozenset(cleanup_blocks)
+        )
+
+    def test_plain_fallthrough_still_continues_after_try(self):
+        _, cfg = cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+            "    after()\n"
+        )
+        after_blocks = self.find_blocks_containing(cfg, "after")
+        assert after_blocks
+        reachable = cfg.reachable_from_entry()
+        assert all(b in reachable for b in after_blocks)
+
+
+class TestDataflow:
+    def test_reaching_definitions_merge_at_join(self):
+        fn, cfg = cfg_for(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        in_sets = reaching_definitions(cfg, params=["x"])
+        # the block holding `return a` sees both definitions of a
+        return_block = next(
+            b.block_id
+            for b in cfg.iter_blocks()
+            if any(isinstance(s, ast.Return) for s in b.stmts)
+        )
+        a_defs = {d for d in in_sets[return_block] if d.name == "a"}
+        assert len(a_defs) == 2
+
+    def test_def_use_chains_link_definition_to_use(self):
+        fn, cfg = cfg_for("def f(x):\n    y = x + 1\n    return y\n")
+        chains = def_use_chains(cfg, params=["x"])
+        y_defs = [d for d in chains if d.name == "y"]
+        assert len(y_defs) == 1
+        uses = chains[y_defs[0]]
+        assert any(use.id == "y" for _block, use in uses)
+
+    def test_redefinition_kills_earlier_definition(self):
+        fn, cfg = cfg_for(
+            "def f():\n    a = 1\n    a = 2\n    return a\n"
+        )
+        chains = def_use_chains(cfg)
+        # only the second definition reaches the use; the first is a
+        # dead store and never appears in the chain map
+        a_defs = [d for d in chains if d.name == "a"]
+        assert [d.lineno for d in a_defs] == [3]

@@ -1,0 +1,279 @@
+"""Seeded regression fixtures for the flow-aware and whole-program rules.
+
+Each rule gets at least one planted offender it must catch and one
+near-miss it must leave alone — an engine that cannot catch its own
+fixtures would make the tree-wide zero-findings gate vacuous.
+"""
+
+import ast
+
+from repro.analysis import AnalysisEngine
+from repro.analysis.rules_flow import (
+    build_project_context,
+    run_project_rules,
+)
+from repro.analysis.symbols import summarize_module
+
+
+def module_findings(rule_id, source, relpath="mod.py"):
+    return AnalysisEngine(rules=[rule_id]).analyze_source(source, relpath)
+
+
+def project_findings(files, rule_ids=None):
+    summaries = [
+        summarize_module(relpath, ast.parse(source), source)
+        for relpath, source in files.items()
+    ]
+    context = build_project_context(summaries)
+    return run_project_rules(context, rule_ids), context
+
+
+class TestSpanLeak:
+    def test_catches_early_return_path(self):
+        findings = module_findings(
+            "span-leak",
+            "def handler(tracer, req):\n"
+            "    span = tracer.start_span('op')\n"
+            "    if req.bad:\n"
+            "        return None\n"
+            "    span.end()\n",
+        )
+        assert [f.line for f in findings] == [2]
+
+    def test_accepts_finally_end(self):
+        findings = module_findings(
+            "span-leak",
+            "def handler(tracer, req):\n"
+            "    span = tracer.start_span('op')\n"
+            "    try:\n"
+            "        return work(req)\n"
+            "    finally:\n"
+            "        span.end()\n",
+        )
+        assert findings == []
+
+    def test_accepts_with_block(self):
+        findings = module_findings(
+            "span-leak",
+            "def handler(tracer, req):\n"
+            "    span = tracer.start_span('op')\n"
+            "    with span:\n"
+            "        return work(req)\n",
+        )
+        assert findings == []
+
+    def test_accepts_chained_finisher(self):
+        findings = module_findings(
+            "span-leak",
+            "def handler(tracer, req):\n"
+            "    span = tracer.start_span('op')\n"
+            "    try:\n"
+            "        out = work(req)\n"
+            "        span.end()\n"
+            "        return out\n"
+            "    except Exception as e:\n"
+            "        span.record_error(e).end()\n"
+            "        raise\n",
+        )
+        assert findings == []
+
+    def test_escaped_span_transfers_ownership(self):
+        findings = module_findings(
+            "span-leak",
+            "def handler(tracer, req):\n"
+            "    span = tracer.start_span('op')\n"
+            "    req.attach(span)\n"
+            "    return req\n",
+        )
+        assert findings == []
+
+    def test_returned_span_transfers_ownership(self):
+        findings = module_findings(
+            "span-leak",
+            "def start(tracer):\n"
+            "    span = tracer.start_span('op')\n"
+            "    return span\n",
+        )
+        assert findings == []
+
+
+class TestUnreachableCode:
+    def test_catches_code_after_typed_raise(self):
+        findings = module_findings(
+            "unreachable-code",
+            "def shed(load):\n"
+            "    if load > 9:\n"
+            "        raise ServiceUnavailable(retry_after=2)\n"
+            "        log('never')\n"
+            "    return load\n",
+        )
+        assert [f.line for f in findings] == [4]
+
+    def test_catches_code_after_return(self):
+        findings = module_findings(
+            "unreachable-code",
+            "def f(x):\n    return x\n    x += 1\n",
+        )
+        assert [f.line for f in findings] == [3]
+
+    def test_accepts_conditional_raise(self):
+        findings = module_findings(
+            "unreachable-code",
+            "def f(x):\n"
+            "    if x:\n"
+            "        raise ValueError()\n"
+            "    return x\n",
+        )
+        assert findings == []
+
+    def test_accepts_loop_else_and_breaks(self):
+        findings = module_findings(
+            "unreachable-code",
+            "def f(q):\n"
+            "    while True:\n"
+            "        item = q.get()\n"
+            "        if item is None:\n"
+            "            break\n"
+            "    return item\n",
+        )
+        assert findings == []
+
+
+class TestWallclockTaint:
+    FILES = {
+        "telemetry/clockutil.py": (
+            "import time\n"
+            "def wall_now():\n"
+            "    return time.time()\n"
+        ),
+        "ml/model.py": (
+            "from repro.telemetry.clockutil import wall_now\n"
+            "def fit(X):\n"
+            "    t0 = wall_now()\n"
+            "    return t0\n"
+        ),
+        "ml/train.py": (
+            "from repro.ml.model import fit\n"
+            "def train(X):\n"
+            "    return fit(X)\n"
+        ),
+    }
+
+    def test_flags_frontier_function_only(self):
+        findings, _ = project_findings(self.FILES, ["wallclock-taint"])
+        assert [(f.path, f.line) for f in findings] == [("ml/model.py", 3)]
+        assert "time.time" in findings[0].message
+
+    def test_explanation_renders_cross_module_chain(self):
+        findings, context = project_findings(self.FILES, ["wallclock-taint"])
+        f = findings[0]
+        chain = context.explanations[(f.path, f.line, f.rule)]
+        assert chain[0].startswith("ml.model.fit")
+        assert any("telemetry.clockutil.wall_now" in line for line in chain)
+        assert chain[-1] == "time.time  [sink]"
+
+    def test_direct_sink_call_left_to_syntactic_rule(self):
+        findings, _ = project_findings(
+            {
+                "ml/m.py": "import time\ndef f():\n    return time.time()\n"
+            },
+            ["wallclock-taint"],
+        )
+        assert findings == []  # wallclock-in-compute owns this report
+
+
+class TestRngTaint:
+    def test_flags_chain_through_out_of_scope_helper(self):
+        findings, _ = project_findings(
+            {
+                "core/jitter.py": (
+                    "import random\n"
+                    "def jitter():\n"
+                    "    return random.random()\n"
+                ),
+                "gateway/backoff.py": (
+                    "from repro.core.jitter import jitter\n"
+                    "def backoff(attempt):\n"
+                    "    return attempt + jitter()\n"
+                ),
+            },
+            ["rng-taint"],
+        )
+        assert [(f.path, f.rule) for f in findings] == [
+            ("gateway/backoff.py", "rng-taint")
+        ]
+
+    def test_seeded_generator_is_not_a_sink(self):
+        findings, _ = project_findings(
+            {
+                "core/jitter.py": (
+                    "import random\n"
+                    "def jitter():\n"
+                    "    return random.Random(0).random()\n"
+                ),
+                "gateway/backoff.py": (
+                    "from repro.core.jitter import jitter\n"
+                    "def backoff(attempt):\n"
+                    "    return attempt + jitter()\n"
+                ),
+            },
+            ["rng-taint"],
+        )
+        assert findings == []
+
+
+class TestOffLockMutation:
+    NODE = (
+        "import threading\n"
+        "class Node:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.inflight = 0\n"
+        "    def tick(self):\n"
+        "        with self._lock:\n"
+        "            self.inflight += 1\n"
+    )
+
+    def test_flags_unguarded_cross_module_write(self):
+        findings, _ = project_findings(
+            {
+                "cluster/node.py": self.NODE,
+                "cluster/helper.py": (
+                    "from repro.cluster.node import Node\n"
+                    "def reset(node: Node):\n"
+                    "    node.inflight = 0\n"
+                ),
+            },
+            ["off-lock-mutation"],
+        )
+        assert [(f.path, f.line) for f in findings] == [("cluster/helper.py", 3)]
+        assert "node._lock" in findings[0].message
+
+    def test_accepts_write_under_the_lock(self):
+        findings, _ = project_findings(
+            {
+                "cluster/node.py": self.NODE,
+                "cluster/helper.py": (
+                    "from repro.cluster.node import Node\n"
+                    "def reset(node: Node):\n"
+                    "    with node._lock:\n"
+                    "        node.inflight = 0\n"
+                ),
+            },
+            ["off-lock-mutation"],
+        )
+        assert findings == []
+
+    def test_unguarded_field_of_lockless_class_is_fine(self):
+        findings, _ = project_findings(
+            {
+                "cluster/node.py": "class Node:\n    def __init__(self):\n        self.inflight = 0\n",
+                "cluster/helper.py": (
+                    "from repro.cluster.node import Node\n"
+                    "def reset(node: Node):\n"
+                    "    node.inflight = 0\n"
+                ),
+            },
+            ["off-lock-mutation"],
+        )
+        assert findings == []

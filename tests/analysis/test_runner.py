@@ -104,14 +104,18 @@ class TestReportShapes:
         assert set(payload) == {
             "root",
             "modules",
+            "analyzed_modules",
+            "reused_modules",
             "rules",
             "clean",
+            "strict_baseline",
             "findings",
             "suppressed",
             "stale_baseline_entries",
             "package_edges",
             "baseline",
         }
+        assert payload["findings"][0]["suppressed"] is False
 
     def test_rule_subset_recorded_in_report(self, tmp_path):
         write_tree(tmp_path, {"ml/ok.py": "x = 1\n"})

@@ -1,0 +1,207 @@
+"""Symbol-table extraction and cross-module name resolution."""
+
+import ast
+
+from repro.analysis.symbols import (
+    MODULE_BODY,
+    ModuleSummary,
+    SymbolTable,
+    module_name,
+    summarize_module,
+)
+
+
+def summarize(relpath, source):
+    return summarize_module(relpath, ast.parse(source), source)
+
+
+class TestModuleName:
+    def test_plain_module(self):
+        assert module_name("ml/model.py") == "ml.model"
+
+    def test_package_init(self):
+        assert module_name("ml/__init__.py") == "ml"
+
+    def test_root_module(self):
+        assert module_name("cli.py") == "cli"
+
+
+class TestSummarizeModule:
+    def test_functions_classes_and_methods_indexed(self):
+        s = summarize(
+            "ml/model.py",
+            "def fit(X):\n"
+            "    return X\n"
+            "class Model:\n"
+            "    def predict(self, X):\n"
+            "        return X\n",
+        )
+        assert set(s.functions) == {"fit", "Model.predict"}
+        assert s.classes["Model"].methods == ("predict",)
+        assert s.package == "ml" and s.module == "ml.model"
+
+    def test_import_aliases_resolved(self):
+        s = summarize(
+            "gateway/svc.py",
+            "import numpy as np\n"
+            "from repro.ml import Model\n"
+            "from . import ratelimit\n",
+        )
+        assert s.imports["np"] == "numpy"
+        assert s.imports["Model"] == "repro.ml.Model"
+        assert s.imports["ratelimit"] == "@gateway.ratelimit"
+
+    def test_call_sites_record_chain_and_nargs(self):
+        s = summarize(
+            "ml/m.py",
+            "import random\n"
+            "def f():\n"
+            "    return random.Random(0).random() + random.Random()\n",
+        )
+        chains = {(c.chain, c.nargs) for c in s.functions["f"].calls}
+        assert (("random", "Random"), 1) in chains
+        assert (("random", "Random"), 0) in chains
+
+    def test_local_constructor_types_the_variable(self):
+        s = summarize(
+            "gateway/svc.py",
+            "from repro.tracing import Tracer\n"
+            "def f(clock):\n"
+            "    tracer = Tracer(clock)\n"
+            "    tracer.start_span('x')\n",
+        )
+        assert s.functions["f"].var_types["tracer"] == "Tracer"
+
+    def test_annotated_param_types_the_variable(self):
+        s = summarize(
+            "cluster/h.py",
+            "def f(node: Node, maybe: 'Other | None'):\n"
+            "    pass\n",
+        )
+        assert s.functions["f"].var_types["node"] == "Node"
+        assert s.functions["f"].var_types["maybe"] == "Other"
+
+    def test_class_attr_types_from_constructor_assignment(self):
+        s = summarize(
+            "cluster/n.py",
+            "class Node:\n"
+            "    def __init__(self):\n"
+            "        self.tracer = Tracer()\n"
+            "        self.count = make_counter()\n",
+        )
+        attr_types = s.classes["Node"].attr_types
+        assert attr_types["tracer"] == "Tracer"
+        assert "count" not in attr_types  # lowercase factory: unknowable
+
+    def test_lock_contract_extracted(self):
+        s = summarize(
+            "cluster/n.py",
+            "import threading\n"
+            "class Node:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0\n"
+            "    def tick(self):\n"
+            "        with self._lock:\n"
+            "            self.n += 1\n",
+        )
+        cls = s.classes["Node"]
+        assert cls.lock_attrs == ("_lock",)
+        assert cls.guarded_attrs == ("n",)
+
+    def test_param_writes_record_held_locks(self):
+        s = summarize(
+            "cluster/h.py",
+            "def bad(node):\n"
+            "    node.inflight = 0\n"
+            "def good(node):\n"
+            "    with node._lock:\n"
+            "        node.inflight = 0\n",
+        )
+        bad = s.functions["bad"].param_writes[0]
+        good = s.functions["good"].param_writes[0]
+        assert (bad.param, bad.attr, bad.held) == ("node", "inflight", ())
+        assert good.held == ("_lock",)
+
+    def test_module_body_calls_captured(self):
+        s = summarize("ml/m.py", "import random\nx = random.random()\n")
+        assert MODULE_BODY in s.functions
+
+    def test_round_trips_through_dict(self):
+        s = summarize(
+            "cluster/n.py",
+            "import threading\n"
+            "from repro.tracing import Tracer\n"
+            "class Node:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.t = Tracer()\n"
+            "    def tick(self):\n"
+            "        with self._lock:\n"
+            "            self.n = 1\n",
+        )
+        restored = ModuleSummary.from_dict(s.to_dict())
+        assert restored.to_dict() == s.to_dict()
+        assert restored.classes["Node"].lock_attrs == ("_lock",)
+
+
+class TestSymbolTable:
+    def test_resolve_dotted_direct(self):
+        table = SymbolTable(
+            [summarize("tracing/tracer.py", "class Tracer:\n    def start_span(self):\n        pass\n")]
+        )
+        assert table.resolve_dotted("repro.tracing.tracer.Tracer") == (
+            "tracing.tracer",
+            "Tracer",
+        )
+
+    def test_resolve_dotted_follows_reexport(self):
+        table = SymbolTable(
+            [
+                summarize(
+                    "tracing/__init__.py",
+                    "from repro.tracing.tracer import Tracer\n",
+                ),
+                summarize(
+                    "tracing/tracer.py",
+                    "class Tracer:\n    def start_span(self):\n        pass\n",
+                ),
+            ]
+        )
+        assert table.resolve_dotted("repro.tracing.Tracer") == (
+            "tracing.tracer",
+            "Tracer",
+        )
+
+    def test_resolve_dotted_external_is_none(self):
+        table = SymbolTable([])
+        assert table.resolve_dotted("numpy.random.default_rng") is None
+
+    def test_resolve_method_walks_bases(self):
+        base = summarize(
+            "gateway/base.py",
+            "class Service:\n    def handle(self):\n        pass\n",
+        )
+        sub = summarize(
+            "gateway/svc.py",
+            "from repro.gateway.base import Service\n"
+            "class Shap(Service):\n"
+            "    def extra(self):\n"
+            "        pass\n",
+        )
+        table = SymbolTable([base, sub])
+        cls = sub.classes["Shap"]
+        assert table.resolve_method("gateway.svc", cls, "handle") == (
+            "gateway.base",
+            "Service.handle",
+        )
+
+    def test_find_class_through_import(self):
+        node = summarize("cluster/node.py", "class Node:\n    pass\n")
+        helper = summarize(
+            "cluster/helper.py",
+            "from repro.cluster.node import Node\n",
+        )
+        table = SymbolTable([node, helper])
+        found = table.find_class(helper, "Node")
+        assert found is not None and found[0] == "cluster.node"

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -207,8 +208,16 @@ class TestLintCommand:
         rules = [f["rule"] for f in payload["findings"]]
         assert rules == ["fstring-placeholder", "mutable-default"]
         first = payload["findings"][0]
-        assert set(first) == {"path", "line", "rule", "message", "severity"}
+        assert set(first) == {
+            "path",
+            "line",
+            "rule",
+            "message",
+            "severity",
+            "suppressed",
+        }
         assert first["path"] == "ml/bad.py" and first["line"] == 1
+        assert first["suppressed"] is False
 
     def test_json_on_real_tree_reports_contract_edges(self, capsys):
         assert main(["lint", "--json"]) == 0
@@ -233,6 +242,146 @@ class TestLintCommand:
             ]
         )
         assert code == 0  # the f-string rule was not selected
+
+
+class TestLintWholeProgram:
+    """Call graph, taint explanations, incremental mode, strict baseline."""
+
+    GOLDEN = Path(__file__).parent / "golden" / "lint_report.json"
+
+    FIXTURE = {
+        "telemetry/clockutil.py": (
+            "import time\n\n\ndef wall_now():\n    return time.time()\n"
+        ),
+        "ml/model.py": (
+            "from repro.telemetry.clockutil import wall_now\n\n\n"
+            "def fit(X):\n"
+            "    started = wall_now()\n"
+            '    label = f"fit"\n'
+            "    return X, started, label\n"
+        ),
+        "tracing/spanner.py": (
+            "def handle(tracer, req):\n"
+            "    span = tracer.start_span('handle')\n"
+            "    if req is None:\n"
+            "        return None\n"
+            "    span.end()\n"
+            "    return req\n"
+        ),
+        "gateway/ok.py": "def ping():\n    return 'pong'\n",
+    }
+
+    BASELINE = {
+        "version": 1,
+        "suppressions": [
+            {
+                "rule": "layer-contract",
+                "path": "ml/model.py",
+                "reason": (
+                    "fixture: ml deliberately reaches into telemetry "
+                    "to exercise the taint chain"
+                ),
+            }
+        ],
+    }
+
+    def build_fixture(self, tmp_path):
+        root = tmp_path / "src"
+        for relpath, source in self.FIXTURE.items():
+            path = root / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(self.BASELINE), encoding="utf-8")
+        return root, baseline, tmp_path / "cache.json"
+
+    def lint(self, root, baseline, cache, *extra):
+        return main(
+            [
+                "lint",
+                "--root",
+                str(root),
+                "--baseline",
+                str(baseline),
+                "--cache",
+                str(cache),
+                *extra,
+            ]
+        )
+
+    def test_json_report_matches_golden_file(self, tmp_path, capsys):
+        root, baseline, cache = self.build_fixture(tmp_path)
+        assert self.lint(root, baseline, cache, "--json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        payload["root"] = "<ROOT>"
+        payload["baseline"] = "<BASELINE>"
+        expected = json.loads(self.GOLDEN.read_text(encoding="utf-8"))
+        assert payload == expected
+
+    def test_changed_run_replays_from_cache(self, tmp_path, capsys):
+        root, baseline, cache = self.build_fixture(tmp_path)
+        self.lint(root, baseline, cache)
+        capsys.readouterr()
+        assert self.lint(root, baseline, cache, "--changed", "--json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analyzed_modules"] == 0
+        assert payload["reused_modules"] == len(self.FIXTURE)
+        # replayed findings are identical to the cold run's
+        rules = [f["rule"] for f in payload["findings"]]
+        assert "wallclock-taint" in rules and "span-leak" in rules
+
+    def test_jobs_flag_matches_serial_findings(self, tmp_path, capsys):
+        root, baseline, cache = self.build_fixture(tmp_path)
+        assert self.lint(root, baseline, cache, "--json") == 1
+        serial = json.loads(capsys.readouterr().out)
+        cache.unlink()
+        code = self.lint(root, baseline, cache, "--jobs", "2", "--json")
+        assert code == 1
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["findings"] == serial["findings"]
+
+    def test_explain_renders_cross_module_chain(self, tmp_path, capsys):
+        root, baseline, cache = self.build_fixture(tmp_path)
+        assert self.lint(root, baseline, cache, "--explain", "wallclock-taint") == 1
+        out = capsys.readouterr().out
+        assert "ml.model.fit" in out
+        assert "telemetry.clockutil.wall_now" in out
+        assert "time.time  [sink]" in out
+
+    def test_graph_dot_export(self, tmp_path, capsys):
+        root, baseline, cache = self.build_fixture(tmp_path)
+        assert self.lint(root, baseline, cache, "--graph", "dot") == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph callgraph {")
+        assert '"ml.model.fit" -> "telemetry.clockutil.wall_now";' in out
+
+    def test_strict_baseline_fails_on_stale_entry(self, tmp_path, capsys):
+        root, baseline, cache = self.build_fixture(tmp_path)
+        payload = dict(self.BASELINE)
+        payload["suppressions"] = payload["suppressions"] + [
+            {
+                "rule": "mutable-default",
+                "path": "gateway/ok.py",
+                "reason": "long since fixed",
+            }
+        ]
+        baseline.write_text(json.dumps(payload), encoding="utf-8")
+        # lenient mode reports the stale entry but still exits on findings
+        assert self.lint(root, baseline, cache) == 1
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+        # strict mode fails even once real findings are gone
+        for relpath in ("ml/model.py", "tracing/spanner.py"):
+            (root / relpath).write_text("x = 1\n", encoding="utf-8")
+        assert self.lint(root, baseline, cache) == 0
+        capsys.readouterr()
+        code = self.lint(root, baseline, cache, "--strict-baseline")
+        assert code == 1
+        assert "strict baseline" in capsys.readouterr().out
+
+    def test_repo_baseline_survives_strict_mode(self, capsys):
+        assert main(["lint", "--strict-baseline"]) == 0
+        assert "stale" not in capsys.readouterr().out
 
 
 class TestTelemetryCorruption:

@@ -49,6 +49,18 @@ class TestLintSelfCheck:
             "shadowed-builtin",
             "lock-discipline",
             "predict-in-loop",
+            "span-leak",
+            "unreachable-code",
+        } <= ids
+
+    def test_project_catalogue_covers_the_flow_rules(self):
+        from repro.analysis import all_project_rules
+
+        ids = {spec.rule_id for spec in all_project_rules()}
+        assert {
+            "wallclock-taint",
+            "rng-taint",
+            "off-lock-mutation",
         } <= ids
 
     def test_catches_missing_placeholder(self):
@@ -105,6 +117,20 @@ class TestLintSelfCheck:
                 "            self.n = 1\n"
                 "    def b(self):\n"
                 "        return self.n\n",
+                "mod.py",
+            ),
+            "span-leak": (
+                "def handler(tracer, req):\n"
+                "    span = tracer.start_span('op')\n"
+                "    if req:\n"
+                "        return None\n"
+                "    span.end()\n",
+                "mod.py",
+            ),
+            "unreachable-code": (
+                "def f(x):\n"
+                "    return x\n"
+                "    x += 1\n",
                 "mod.py",
             ),
         }
