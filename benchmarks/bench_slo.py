@@ -1,0 +1,214 @@
+"""SLO evaluator overhead gate: burn-rate monitoring must ride along free.
+
+The evaluator subscribes to the rollup tier's ``on_finalize`` hook, so
+its entire cost is once-per-window, never once-per-event.  This bench
+replays a capacity-scale event stream (hundreds of thousands of events
+across node-qualified cluster sources) against the *production* SLO
+catalogue — full 5 m/1 h and 1 h/6 h window pairs, per-node wildcard
+binding — and gates that the subscribed ingest sustains at least
+``OVERHEAD_RATIO_FLOOR`` of the bare events/s (i.e. ≤5 % overhead).
+
+Because the evaluator's only execution path is the synchronous
+``on_finalize`` callback, a subscribed ingest costs exactly
+``bare + evaluator`` time; the bench measures the two components
+separately (min over trials each) and derives the ratio from the sum.
+Comparing two full end-to-end passes instead would bury the few-percent
+signal under run-to-run machine noise on a ~5 s measurement.
+
+``python benchmarks/bench_slo.py`` writes the measured numbers to
+``BENCH_slo.json`` as the committed baseline.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.slo import SLOEvaluator, default_definitions
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.rollup import TumblingWindowAggregator
+
+#: Subscribed ingest must keep >=95% of the bare aggregator's events/s.
+OVERHEAD_RATIO_FLOOR = 0.95
+
+#: Wall-clock budget for the whole measurement pass.
+MEASUREMENT_BUDGET_S = 120.0
+
+N_EVENTS = 480_000
+N_NODES = 8
+#: Stream span in simulated seconds; with 1 s windows every per-node
+#: series holds ~3600 finalised windows, so the production 6 h rule's
+#: long lookback covers the whole retained history — the worst case for
+#: trailing-burn accounting.
+SPAN_SECONDS = 3600.0
+WINDOW_SECONDS = 1.0
+
+_BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_slo.json"
+
+
+def _event_stream():
+    """Deterministic capacity-shaped stream: latency per node + 0/1
+    availability ticks + a sensor series, every source SLO-monitored."""
+    sources = [f"shap@node-{i}" for i in range(N_NODES)]
+    sources += ["ok:shap", "performance"]
+    n_sources = len(sources)
+    step = SPAN_SECONDS / N_EVENTS
+    events = []
+    for i in range(N_EVENTS):
+        source = sources[i % n_sources]
+        if source == "ok:shap":
+            value = 0.0 if i % 97 == 0 else 1.0
+        elif source == "performance":
+            value = 0.6 + 0.004 * (i % 100)
+        else:
+            # latency ms straddling the 250 ms objective threshold
+            value = 20.0 + 9.0 * (i % 31)
+        events.append(
+            TelemetryEvent(source=source, value=value, timestamp=i * step)
+        )
+    return events
+
+
+def _bare_pass(events):
+    """Seconds for one bare ingest+flush at the capacity window size."""
+    aggregator = TumblingWindowAggregator(
+        window_seconds=WINDOW_SECONDS, cascades=()
+    )
+    gc.collect()
+    start = time.perf_counter()
+    aggregator.ingest_many(events)
+    aggregator.flush()
+    return time.perf_counter() - start
+
+
+def _finalized_windows(events):
+    """The exact window stream an attached evaluator would consume."""
+    aggregator = TumblingWindowAggregator(
+        window_seconds=WINDOW_SECONDS, cascades=()
+    )
+    stats = []
+    aggregator.on_finalize(stats.append)
+    aggregator.ingest_many(events)
+    aggregator.flush()
+    return stats
+
+
+def _evaluator_pass(stats):
+    """Seconds a fresh production evaluator spends on the window stream."""
+    evaluator = SLOEvaluator(default_definitions())
+    observe = evaluator.observe
+    gc.collect()
+    start = time.perf_counter()
+    for stat in stats:
+        observe(stat)
+    return time.perf_counter() - start, evaluator
+
+
+def measure_all():
+    """Run every measurement once; returns the figures the asserts gate."""
+    started = time.perf_counter()
+    events = _event_stream()
+    stats = _finalized_windows(events)
+    bare_seconds = min(_bare_pass(events) for __ in range(3))
+    evaluator_seconds = None
+    evaluator = None
+    for __ in range(3):
+        elapsed, evaluator = _evaluator_pass(stats)
+        if evaluator_seconds is None or elapsed < evaluator_seconds:
+            evaluator_seconds = elapsed
+    bare_eps = len(events) / bare_seconds
+    subscribed_eps = len(events) / (bare_seconds + evaluator_seconds)
+    series = evaluator.status()
+    return {
+        "n_events": len(events),
+        "bare_seconds": bare_seconds,
+        "evaluator_seconds": evaluator_seconds,
+        "bare_events_per_second": bare_eps,
+        "subscribed_events_per_second": subscribed_eps,
+        "overhead_ratio": subscribed_eps / bare_eps,
+        "windows_evaluated": evaluator.windows_seen,
+        "series_bound": len(series),
+        "per_node_series": sum(1 for s in series if "@" in s.source),
+        "alert_edges": len(evaluator.alerts),
+        "measurement_seconds": time.perf_counter() - started,
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements(figure_printer):
+    results = measure_all()
+    figure_printer(
+        "slo evaluator overhead: measured figures",
+        ["metric", "value"],
+        [
+            ("bare events/s", results["bare_events_per_second"]),
+            ("subscribed events/s", results["subscribed_events_per_second"]),
+            ("throughput ratio", results["overhead_ratio"]),
+            ("windows evaluated", results["windows_evaluated"]),
+            ("series bound", results["series_bound"]),
+            ("alert edges", results["alert_edges"]),
+        ],
+    )
+    return results
+
+
+def bench_subscribed_ingest_keeps_95_percent_throughput(check, measurements):
+    """The attached evaluator costs <=5% of bare rollup events/s."""
+
+    def verify():
+        ratio = measurements["overhead_ratio"]
+        assert ratio >= OVERHEAD_RATIO_FLOOR, (
+            f"SLO-subscribed ingest ran at {ratio:.1%} of bare throughput, "
+            f"below the {OVERHEAD_RATIO_FLOOR:.0%} floor"
+        )
+
+    check(verify)
+
+
+def bench_the_comparison_is_not_vacuous(check, measurements):
+    """The subscribed pass genuinely evaluated the full catalogue."""
+
+    def verify():
+        # every finalised window crossed the evaluator...
+        assert measurements["windows_evaluated"] >= N_EVENTS / 200
+        # ...and the catalogue bound real series, including per-node ones
+        assert measurements["series_bound"] >= N_NODES + 2
+        assert measurements["per_node_series"] == N_NODES
+
+    check(verify)
+
+
+def bench_measurement_under_budget(check, measurements):
+    """Whole pass stays interactive (wall-clock-budget pattern)."""
+
+    def verify():
+        elapsed = measurements["measurement_seconds"]
+        assert elapsed < MEASUREMENT_BUDGET_S, (
+            f"slo measurements took {elapsed:.1f}s, "
+            f"budget {MEASUREMENT_BUDGET_S}s"
+        )
+
+    check(verify)
+
+
+def bench_matches_committed_baseline(check, measurements):
+    """Committed BENCH_slo.json must still clear the same floors."""
+
+    def verify():
+        if not _BASELINE_PATH.exists():
+            return
+        baseline = json.loads(_BASELINE_PATH.read_text())
+        assert baseline["overhead_ratio"] >= OVERHEAD_RATIO_FLOOR
+        assert baseline["n_events"] == N_EVENTS
+        assert baseline["per_node_series"] == N_NODES
+
+    check(verify)
+
+
+if __name__ == "__main__":
+    figures = measure_all()
+    _BASELINE_PATH.write_text(json.dumps(figures, indent=2) + "\n")
+    for key, value in figures.items():
+        print(f"{key:36s} {value}")

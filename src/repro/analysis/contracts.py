@@ -51,6 +51,9 @@ ALLOWED_IMPORTS: Dict[str, frozenset] = {
     # tracing sits just above telemetry: spans are the interval-valued
     # sibling of events, and the exemplar join needs both vocabularies
     "tracing": frozenset({"telemetry"}),
+    # the SLO engine evaluates rollup windows and drills into traces;
+    # incident *rendering* (narrator/dashboard) lives in core, above it
+    "slo": frozenset({"telemetry", "tracing"}),
     # layer 2 — serving and adversarial workloads
     "gateway": frozenset({"ml", "telemetry", "tracing"}),
     # the multi-node deployment composes the single-node serving engine
@@ -69,6 +72,7 @@ ALLOWED_IMPORTS: Dict[str, frozenset] = {
             "xai",
             "federated",
             "attacks",
+            "slo",
         }
     ),
 }
@@ -88,9 +92,11 @@ CLOCK_INJECTED_PACKAGES = frozenset({"tracing", "cluster"})
 # tracing-clock-injection rule).  The clock-injected packages would mix
 # wall time into virtual-time runs; attacks/federated/privacy are
 # seeded-compute layers whose only sanctioned duration source is the
-# injectable cost clock in ``repro.attacks.base``.
+# injectable cost clock in ``repro.attacks.base``; slo runs entirely on
+# window/alert timestamps (simulated time) so its reports stay
+# byte-stable.
 CLOCK_IMPORT_BANNED_PACKAGES = CLOCK_INJECTED_PACKAGES | frozenset(
-    {"attacks", "federated", "privacy"}
+    {"attacks", "federated", "privacy", "slo"}
 )
 
 # Taint scopes for the whole-program flow rules (rules_flow.py): code in

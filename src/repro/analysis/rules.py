@@ -743,3 +743,76 @@ def hotpath_accumulator(module: ModuleContext) -> Iterator[Tuple[int, str]]:
                     "hot path — stream into a sketch/reservoir or use a "
                     "bounded structure"
                 )
+
+
+_SLO_FACTORIES = frozenset({"SLODefinition", "BurnRateRule"})
+_SLO_THRESHOLD_KWARGS = frozenset(
+    {
+        "target",
+        "threshold",
+        "factor",
+        "short_seconds",
+        "long_seconds",
+        "budget_seconds",
+    }
+)
+#: The one module allowed to spell SLO policy numbers: the declarative
+#: definition catalogue (and loader) itself.
+_SLO_DEFINITION_MODULES = frozenset({"slo/definitions.py"})
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_numeric_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool
+        )
+    # a negated literal (-0.5) parses as UnaryOp(USub, Constant)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_numeric_literal(node.operand)
+    return False
+
+
+@rule("slo-threshold-literal")
+def slo_threshold_literal(module: ModuleContext) -> Iterator[Tuple[int, str]]:
+    """SLO policy numbers belong in ``repro.slo.definitions`` (or a JSON
+    file fed to ``load_definitions``), nowhere else.
+
+    A ``target=0.99`` spelled inline at a construction site silently forks
+    the objective from the declared catalogue: the dashboard, the burn-rate
+    evaluator, and the incident narrative each believe a different number.
+    Construction sites elsewhere must take thresholds from a loaded
+    definition or a named catalogue entry, so this rule flags any numeric
+    literal passed to ``SLODefinition``/``BurnRateRule`` outside the
+    definitions module.
+    """
+    if module.relpath in _SLO_DEFINITION_MODULES:
+        return
+    for node in module.walk(ast.Call):
+        name = _call_name(node.func)
+        if name not in _SLO_FACTORIES:
+            continue
+        literal_args = [arg for arg in node.args if _is_numeric_literal(arg)]
+        literal_kwargs = [
+            kw.arg
+            for kw in node.keywords
+            if kw.arg in _SLO_THRESHOLD_KWARGS
+            and _is_numeric_literal(kw.value)
+        ]
+        if literal_args or literal_kwargs:
+            what = ", ".join(
+                [f"positional #{i}" for i, _ in enumerate(literal_args, 1)]
+                + list(literal_kwargs)
+            )
+            yield node.lineno, (
+                f"hard-coded SLO threshold literal(s) ({what}) in "
+                f"{name}(...) — declare objectives in "
+                "repro.slo.definitions or load them via load_definitions()"
+            )

@@ -352,9 +352,17 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     import json
     import os
 
-    from repro.telemetry import TelemetryQuery, WalCorruptionError
+    from repro.telemetry import (
+        TelemetryQuery,
+        WalCorruptionError,
+        trailing_windows,
+    )
+    from repro.telemetry.rollup import merge_window_stats
     from repro.telemetry.wal import segment_paths
 
+    if args.last is not None and args.last <= 0:
+        print("--last must be a positive number of seconds", file=sys.stderr)
+        return 2
     segments = segment_paths(args.wal)
     if not segments:
         print(f"no WAL segments under {args.wal!r}", file=sys.stderr)
@@ -372,17 +380,62 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         return 2
     query = TelemetryQuery(rollups=rollups, wal_dir=args.wal)
     sources = rollups.sources
+    if args.source:
+        wanted = set(args.source)
+        unknown = sorted(wanted - set(sources))
+        if unknown:
+            print(
+                f"unknown source(s): {', '.join(unknown)} "
+                f"(have: {', '.join(sources)})",
+                file=sys.stderr,
+            )
+            return 2
+        sources = [name for name in sources if name in wanted]
+
+    def windows_for(name: str):
+        windows = rollups.windows(source=name)
+        if args.last is not None:
+            windows = trailing_windows(windows, args.last)
+        return windows
+
+    def totals_for(name: str):
+        windows = windows_for(name)
+        if not windows:
+            return None
+        merged = merge_window_stats(
+            windows, windows[0].window_start, args.window
+        )
+        return {
+            "count": float(merged.count),
+            "mean": merged.mean,
+            "min": merged.min,
+            "max": merged.max,
+        }
+
+    def worst_sources():
+        # rank only the sources (and trailing range) the flags selected
+        ranked = sorted(
+            (
+                (name, totals["mean"])
+                for name in sources
+                if (totals := totals_for(name)) is not None
+            ),
+            key=lambda pair: pair[1],
+        )
+        return ranked[: args.top]
+
     if args.json:
         payload = {
             "segments": len(segments),
             "events": rollups.ingested,
             "window_seconds": args.window,
+            "last_seconds": args.last,
             "sources": {
-                name: rollups.totals(name) for name in sources
+                name: totals
+                for name in sources
+                if (totals := totals_for(name)) is not None
             },
-            "worst": query.top_k(min(args.top, len(sources)))
-            if sources
-            else [],
+            "worst": worst_sources(),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -392,15 +445,20 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         f"{total_bytes} bytes, {rollups.ingested} events, "
         f"watermark t={rollups.watermark:.3f}s"
     )
-    print(f"\nper-source rollups ({args.window:g}s windows):")
+    scope = (
+        f", trailing {args.last:g}s" if args.last is not None else ""
+    )
+    print(f"\nper-source rollups ({args.window:g}s windows{scope}):")
     header = (
         f"  {'source':<24} {'count':>7} {'mean':>8} {'min':>8} "
         f"{'max':>8} {'p50':>8} {'p95':>8}"
     )
     print(header)
     for name in sources:
-        totals = rollups.totals(name)
-        windows = rollups.windows(source=name)
+        windows = windows_for(name)
+        totals = totals_for(name)
+        if totals is None:
+            continue
         p50 = sum(w.p50 * w.count for w in windows) / totals["count"]
         p95 = sum(w.p95 * w.count for w in windows) / totals["count"]
         print(
@@ -408,9 +466,10 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             f"{totals['min']:>8.3f} {totals['max']:>8.3f} "
             f"{p50:>8.3f} {p95:>8.3f}"
         )
-    if sources:
+    ranked = worst_sources()
+    if ranked:
         print(f"\nworst sources (lowest mean, top {args.top}):")
-        for name, score in query.top_k(min(args.top, len(sources))):
+        for name, score in ranked:
             print(f"  {name:<24} {score:.3f}")
     if args.tail:
         print(f"\nlast {args.tail} event(s):")
@@ -520,6 +579,103 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if "exemplars" in views and resolution is not None:
         print("\nslowest rollup window → exemplar traces:")
         print(resolution.render_text())
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """SLO incident drill: burn-rate alerts, budgets, incident narratives."""
+    import json
+
+    from repro.core.narrator import Audience
+    from repro.slo import load_definitions
+    from repro.slo_scenario import run_incident_drill
+
+    definitions = None
+    if args.definitions:
+        try:
+            definitions = load_definitions(args.definitions)
+        except (OSError, KeyError, TypeError, ValueError) as exc:
+            print(f"bad SLO definitions file: {exc}", file=sys.stderr)
+            return 2
+    audience = Audience(args.audience.replace("-", "_"))
+    result = run_incident_drill(
+        route=args.route,
+        seed=args.seed,
+        duration=args.duration,
+        fault_at=args.fault_at,
+        fault_duration=args.fault_duration,
+        slow_factor=args.slow_factor,
+        wal_dir=args.wal,
+        definitions=definitions,
+    )
+    primary = result.primary_incident
+
+    if args.json:
+        payload = {
+            "route": result.route,
+            "faulted_node": result.faulted_node,
+            "fault_at": result.fault_at,
+            "requests": result.report.n_requests,
+            "errors": result.report.n_errors,
+            "alerts": [
+                {
+                    "slo": a.slo,
+                    "source": a.source,
+                    "rule": a.rule,
+                    "severity": a.severity,
+                    "state": a.state,
+                    "timestamp": a.timestamp,
+                    "short_burn": a.short_burn,
+                    "long_burn": a.long_burn,
+                    "factor": a.factor,
+                }
+                for a in result.alerts
+            ],
+            "incidents": [i.to_dict() for i in result.incidents],
+            "status": [
+                {
+                    "slo": s.slo,
+                    "source": s.source,
+                    "objective": s.objective,
+                    "target": s.target,
+                    "budget_remaining": s.budget_remaining,
+                    "short_burn": s.short_burn,
+                    "long_burn": s.long_burn,
+                    "firing": list(s.firing_rules),
+                }
+                for s in result.evaluator.status()
+            ],
+            "report": None
+            if primary is None
+            else result.incident_report(audience),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(
+        f"incident drill: route={result.route} seed={args.seed} "
+        f"fault=slow x{args.slow_factor:g} on {result.faulted_node} "
+        f"at t={result.fault_at:g}s"
+    )
+    print(
+        f"  {result.report.n_requests} request(s), "
+        f"{result.report.n_errors} error(s), "
+        f"{len(result.alerts)} alert edge(s), "
+        f"{len(result.incidents)} incident(s)"
+    )
+    if args.watch:
+        print("\nalert stream:")
+        for alert in result.alerts:
+            print(f"  t={alert.timestamp:7.1f}s  {alert.describe()}")
+    print()
+    print(result.dashboard().render_text())
+    if args.report:
+        print()
+        if primary is None:
+            print("no node-attributed incident to report on")
+        else:
+            print(f"incident report ({audience.value} audience):")
+            print(result.incident_report(audience))
     return 0
 
 
@@ -748,6 +904,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--tail", type=int, default=0, help="also print the last N events"
     )
     telemetry.add_argument(
+        "--last",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="restrict rollups to the trailing window before the stream end",
+    )
+    telemetry.add_argument(
+        "--source",
+        action="append",
+        metavar="NAME",
+        help="restrict output to this source (repeatable; default: all)",
+    )
+    telemetry.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
     telemetry.set_defaults(func=_cmd_telemetry)
@@ -778,6 +947,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     trace.set_defaults(func=_cmd_trace)
+
+    slo = sub.add_parser(
+        "slo",
+        help="SLO incident drill: burn-rate alerts, budgets, narratives",
+    )
+    slo.add_argument(
+        "--definitions",
+        default=None,
+        metavar="PATH",
+        help="JSON SLO definitions file (default: built-in drill set)",
+    )
+    slo.add_argument("--route", default="shap")
+    slo.add_argument("--seed", type=int, default=21)
+    slo.add_argument(
+        "--duration", type=float, default=120.0, help="drill horizon seconds"
+    )
+    slo.add_argument(
+        "--fault-at",
+        type=float,
+        default=40.0,
+        help="when the slow-node fault starts",
+    )
+    slo.add_argument(
+        "--fault-duration",
+        type=float,
+        default=45.0,
+        help="how long the fault lasts",
+    )
+    slo.add_argument(
+        "--slow-factor",
+        type=float,
+        default=6.0,
+        help="service-time multiplier on the faulted node",
+    )
+    slo.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="also persist the drill's telemetry to this WAL directory",
+    )
+    slo.add_argument(
+        "--watch",
+        action="store_true",
+        help="print the chronological alert edge stream",
+    )
+    slo.add_argument(
+        "--report",
+        action="store_true",
+        help="print the generated incident narrative",
+    )
+    slo.add_argument(
+        "--audience",
+        choices=["end-user", "developer", "auditor"],
+        default="developer",
+        help="narrative audience for --report",
+    )
+    slo.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    slo.set_defaults(func=_cmd_slo)
 
     lint = sub.add_parser(
         "lint",

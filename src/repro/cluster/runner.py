@@ -240,8 +240,13 @@ class _TracedJob:
         ms: float,
         ok: bool,
         final_code: int = 0,
-    ) -> None:
-        """Materialise the span tree and hand control back to the owner."""
+    ):
+        """Materialise the span tree and hand control back to the owner.
+
+        Returns the root span's context so the completion sink can stamp
+        exemplar labels onto a sampled response event, when the same
+        request is both traced and response-sampled.
+        """
         tracer = runner.tracer
         log = runner.log
         entry_id = self.entry.node_id
@@ -316,6 +321,7 @@ class _TracedJob:
                     _NO_ARG,
                 ),
             )
+        return root.context
 
 
 class ClusterRunner:
@@ -339,6 +345,13 @@ class ClusterRunner:
     telemetry, topic:
         Optional telemetry target for :meth:`run`'s bounded summary,
         per-node and exemplar events.
+    response_every:
+        Publish every Nth completion as a live telemetry event stream
+        (0 disables — the default, so capacity benches are untouched):
+        a node-qualified latency event per sampled success plus an
+        ``ok:<route>`` 0/1 availability event per sampled completion.
+        This is the event feed the SLO burn-rate evaluator watches;
+        sampled requests that are also traced carry exemplar labels.
     """
 
     def __init__(
@@ -355,11 +368,14 @@ class ClusterRunner:
         topic: str = "cluster",
         initial_capacity: int = 4096,
         max_traces: int = 1024,
+        response_every: int = 0,
     ) -> None:
         if trace_every < 0:
             raise ValueError("trace_every must be >= 0")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if response_every < 0:
+            raise ValueError("response_every must be >= 0")
         self.topology = topology
         self.sim = topology.sim
         self.overhead = topology.overhead_seconds
@@ -372,6 +388,11 @@ class ClusterRunner:
         self.relative_accuracy = relative_accuracy
         self.telemetry = telemetry
         self.topic = topic
+        self.response_every = response_every
+        #: hot-path sampling stride; 0 when disabled *or* untargeted, so
+        #: the completion sink pays one attribute check when off
+        self._publish_every = response_every if telemetry is not None else 0
+        self._completions = 0
         self.collector = TraceCollector(max_traces=max_traces)
         self.tracer = Tracer(
             clock=lambda: self.sim.now, collector=self.collector, seed=seed
@@ -534,6 +555,7 @@ class ClusterRunner:
         stats = service.stats
         slots = log.slots
         owner = slots[row]
+        context = None
         if owner is not None:
             slots[row] = None
             if owner.__class__ is _ClusterUser:
@@ -547,7 +569,11 @@ class ClusterRunner:
                     ),
                 )
             else:
-                owner.complete(self, service, row, end, ms, True)
+                context = owner.complete(self, service, row, end, ms, True)
+        if self._publish_every:
+            self._completions += 1
+            if self._completions % self._publish_every == 0:
+                self._publish_response(service, row, end, ms, True, context)
         latency = stats.latency
         if ms < latency.min:
             latency.min = ms
@@ -582,6 +608,41 @@ class ClusterRunner:
         free = self._free
         if free is not None:
             free.append(row)
+
+    def _publish_response(
+        self, service, row, end, ms, ok, context
+    ) -> None:
+        """Emit one sampled completion onto the telemetry bus.
+
+        Successes publish a node-qualified latency event (trace-stamped
+        when the request was also trace-sampled) plus the availability
+        tick; final failures publish only the 0-valued availability tick
+        — both land on the same ``ok:<route>`` source so a rollup window
+        over it is a success ratio.
+        """
+        route = self.log.route_name(self.log.v_route_ids[row])
+        telemetry = self.telemetry
+        if ok:
+            node_id = service.node.node_id
+            event = TelemetryEvent(
+                source=node_source(route, node_id),
+                value=ms,
+                timestamp=end,
+                kind=KIND_RESPONSE,
+            )
+            event.with_node(node_id)
+            if context is not None:
+                event.with_trace(context.trace_id, context.span_id)
+            telemetry.publish(self.topic, event)
+        telemetry.publish(
+            self.topic,
+            TelemetryEvent(
+                source=f"ok:{route}",
+                value=1.0 if ok else 0.0,
+                timestamp=end,
+                kind=KIND_RESPONSE,
+            ),
+        )
 
     # -- failover (cold path) ------------------------------------------------
 
@@ -650,6 +711,10 @@ class ClusterRunner:
             else:
                 ms = (now - log.v_arrival[row]) * 1000.0
                 owner.complete(self, None, row, now, ms, False, code)
+        if self._publish_every:
+            self._completions += 1
+            if self._completions % self._publish_every == 0:
+                self._publish_response(None, row, now, 0.0, False, None)
         self.in_flight -= 1
         self.observed += 1
         if self._attempts:

@@ -20,7 +20,12 @@ from repro.core.sensors import (
     ResilienceSensor,
     SensorReading,
 )
-from repro.core.narrator import Audience, narrate_reading, narrate_report
+from repro.core.narrator import (
+    Audience,
+    narrate_incident,
+    narrate_reading,
+    narrate_report,
+)
 from repro.core.drift import (
     DataDriftSensor,
     dataset_drift_score,
@@ -74,6 +79,7 @@ __all__ = [
     "dataset_drift_score",
     "generate_model_card",
     "ks_statistic",
+    "narrate_incident",
     "narrate_reading",
     "narrate_report",
     "population_stability_index",

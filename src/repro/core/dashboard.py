@@ -85,6 +85,8 @@ class AIDashboard:
         self._rules: List[AlertRule] = []
         self._alerts: List[Alert] = []
         self._subscribers: List[Callable[[Alert], None]] = []
+        self._slo_status: Optional[Callable[[], list]] = None
+        self._slo_last_incident: Optional[Callable[[], Optional[str]]] = None
 
     # -- ingestion ----------------------------------------------------------
 
@@ -108,6 +110,24 @@ class AIDashboard:
     def subscribe(self, callback: Callable[[Alert], None]) -> None:
         """Register an operator notification channel (pager, log, test spy)."""
         self._subscribers.append(callback)
+
+    def set_slo_provider(
+        self,
+        status: Callable[[], list],
+        last_incident: Optional[Callable[[], Optional[str]]] = None,
+    ) -> None:
+        """Attach the SLO engine's health feed.
+
+        ``status`` returns the evaluator's current
+        :class:`repro.slo.SLOStatusSummary` list (called lazily at render
+        time, so the strip is always current); ``last_incident`` returns
+        the most recent incident id, if any.  The provider is duck-typed
+        — the dashboard reads ``slo``/``source``/``budget_remaining``/
+        ``short_burn``/``long_burn``/``firing_rules`` — so tests can feed
+        it plain stand-ins.
+        """
+        self._slo_status = status
+        self._slo_last_incident = last_incident
 
     # -- queries --------------------------------------------------------------
 
@@ -209,11 +229,55 @@ class AIDashboard:
                 for a in self._alerts
             ],
         }
+        if self._slo_status is not None:
+            payload["slo"] = {
+                "objectives": [
+                    {
+                        "slo": s.slo,
+                        "source": s.source,
+                        "budget_remaining": s.budget_remaining,
+                        "short_burn": s.short_burn,
+                        "long_burn": s.long_burn,
+                        "firing": list(s.firing_rules),
+                    }
+                    for s in self._slo_status()
+                ],
+                "last_incident": (
+                    self._slo_last_incident()
+                    if self._slo_last_incident is not None
+                    else None
+                ),
+            }
         return json.dumps(payload, indent=2, sort_keys=True)
 
     def render_text(self, width: int = 60) -> str:
         """Terminal rendering: one sparkline-style row per sensor + alerts."""
         lines = ["AI DASHBOARD", "=" * width]
+        if self._slo_status is not None:
+            summaries = list(self._slo_status())
+            label_width = max(
+                (len(f"{s.slo}/{s.source}") for s in summaries), default=0
+            )
+            for summary in summaries:
+                state = (
+                    "FIRING:" + ",".join(summary.firing_rules)
+                    if summary.firing_rules
+                    else "ok"
+                )
+                label = f"{summary.slo}/{summary.source}"
+                lines.append(
+                    f"SLO {label:<{label_width}}  "
+                    f"budget {summary.budget_remaining:6.1%}  "
+                    f"burn {summary.short_burn:.1f}x/{summary.long_burn:.1f}x"
+                    f"  {state}"
+                )
+            last = (
+                self._slo_last_incident()
+                if self._slo_last_incident is not None
+                else None
+            )
+            lines.append(f"last incident: {last if last else '(none)'}")
+            lines.append("=" * width)
         for name in self.sensors:
             values = self.values(name)
             latest = values[-1]

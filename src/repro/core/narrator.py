@@ -22,6 +22,7 @@ import enum
 from typing import Dict, Iterable, List
 
 from repro.core.sensors import SensorReading
+from repro.slo.incidents import Incident
 from repro.trust.properties import TrustProperty, conflicting_properties
 
 
@@ -59,6 +60,12 @@ def _quality_word(value: float) -> str:
 
 def _narrate_end_user(reading: SensorReading) -> str:
     phrase = _END_USER_PHRASES.get(reading.property, _GENERIC_PHRASE)
+    if reading.error:
+        return (
+            f"We could not check {phrase} just now. "
+            "Please treat important decisions with extra care until the "
+            "check is back."
+        )
     quality = _quality_word(reading.value)
     sentence = (
         f"Right now, {phrase} looks {quality} "
@@ -70,6 +77,12 @@ def _narrate_end_user(reading: SensorReading) -> str:
 
 
 def _narrate_developer(reading: SensorReading) -> str:
+    if reading.error:
+        return (
+            f"[{reading.sensor}] poll FAILED on model "
+            f"v{reading.model_version}: {reading.error} "
+            f"(no {reading.property.value} measurement this round)"
+        )
     details = ", ".join(
         f"{key}={value:.4g}" for key, value in sorted(reading.details.items())[:6]
     )
@@ -89,6 +102,13 @@ def _narrate_developer(reading: SensorReading) -> str:
 
 
 def _narrate_auditor(reading: SensorReading) -> str:
+    if reading.error:
+        return (
+            f"Property '{reading.property.value}' measured by sensor "
+            f"'{reading.sensor}' on model version "
+            f"{reading.model_version} (timestamp {reading.timestamp:.3f}): "
+            f"MEASUREMENT UNAVAILABLE ({reading.error}). REQUIRES REVIEW."
+        )
     status = "COMPLIANT" if reading.value >= 0.7 else "REQUIRES REVIEW"
     return (
         f"Property '{reading.property.value}' measured by sensor "
@@ -118,3 +138,120 @@ def narrate_report(
     """Render a batch of readings, most alarming first."""
     ordered = sorted(readings, key=lambda r: r.value)
     return [narrate_reading(r, audience) for r in ordered]
+
+
+# -- incident narratives ------------------------------------------------------
+#
+# The same meta-model stance as reading narration, applied to the SLO
+# incident engine's evidence bundles: one deterministic template per
+# audience, byte-stable under a fixed seed so reports can be golden-file
+# tested and archived.
+
+
+def _incident_end_user(incident: Incident) -> str:
+    lines = [
+        f"Some requests to the {incident.route} service are currently "
+        "slower or less reliable than we promise.",
+        "We detected this automatically and engineers have been notified "
+        f"(reference {incident.incident_id}).",
+    ]
+    if incident.severity == "page":
+        lines.append("Someone is being paged to look at it right away.")
+    else:
+        lines.append("It will be reviewed during working hours.")
+    return "\n".join(lines)
+
+
+def _incident_developer(incident: Incident) -> str:
+    lines = [
+        f"{incident.incident_id} [{incident.severity}] {incident.slo} on "
+        f"{incident.source} — rule '{incident.rule}' firing at "
+        f"t={incident.timestamp:.1f}s "
+        f"(burn {incident.short_burn:.1f}x short / "
+        f"{incident.long_burn:.1f}x long, threshold {incident.factor:.1f}x)"
+    ]
+    if incident.budget_remaining is not None:
+        lines.append(
+            f"  error budget remaining: {incident.budget_remaining:.1%}"
+        )
+    where = f"  route: {incident.route}"
+    if incident.suspect_node:
+        where += f"; suspect node: {incident.suspect_node}"
+    lines.append(where)
+    if incident.trace_ids:
+        resolved = len(incident.trace_ids) - len(incident.missing_trace_ids)
+        lines.append(
+            f"  exemplars: {resolved}/{len(incident.trace_ids)} trace(s) "
+            f"resolved ({', '.join(incident.trace_ids)})"
+        )
+    else:
+        lines.append("  exemplars: none (no trace-labelled events in window)")
+    if incident.stage_diffs:
+        lines.append(
+            f"  critical path vs healthy baseline "
+            f"({incident.baseline_ms:.2f}ms -> {incident.observed_ms:.2f}ms):"
+        )
+        regressed = incident.regressed_stage
+        for diff in incident.stage_diffs:
+            marker = (
+                "  <-- regressed"
+                if regressed is not None and diff.stage == regressed.stage
+                else ""
+            )
+            lines.append(
+                f"    {diff.stage:<24} {diff.baseline_ms:>9.2f}ms -> "
+                f"{diff.observed_ms:>9.2f}ms  ({diff.growth_ms:+.2f}ms)"
+                f"{marker}"
+            )
+    for entry in incident.error_evidence:
+        lines.append(
+            f"  correlated error: {entry['source']} at "
+            f"t={entry['timestamp']:.1f}s: {entry['error']}"
+        )
+    for entry in incident.sensor_evidence:
+        lines.append(
+            f"  correlated sensor: {entry['source']} "
+            f"({entry['property']}) = {entry['value']:.3f} at "
+            f"t={entry['timestamp']:.1f}s"
+        )
+    return "\n".join(lines)
+
+
+def _incident_auditor(incident: Incident) -> str:
+    lines = [
+        f"Incident {incident.incident_id}: objective '{incident.slo}' on "
+        f"monitored source '{incident.source}' breached its error-budget "
+        f"policy at timestamp {incident.timestamp:.3f} "
+        f"(severity: {incident.severity.upper()}).",
+        f"Observed burn rates: {incident.short_burn:.2f}x (short window), "
+        f"{incident.long_burn:.2f}x (long window) against a threshold of "
+        f"{incident.factor:.2f}x.",
+    ]
+    if incident.budget_remaining is not None:
+        lines.append(
+            f"Error budget remaining at detection: "
+            f"{incident.budget_remaining:.1%}."
+        )
+    evidence = (
+        f"Supporting evidence on file: {len(incident.trace_ids)} request "
+        f"trace(s), {len(incident.stage_diffs)} critical-path stage "
+        f"comparison(s), {len(incident.sensor_evidence)} sensor "
+        f"reading(s), {len(incident.error_evidence)} error event(s)."
+    )
+    lines.append(evidence)
+    lines.append("Status: REQUIRES REVIEW.")
+    return "\n".join(lines)
+
+
+_INCIDENT_NARRATORS = {
+    Audience.END_USER: _incident_end_user,
+    Audience.DEVELOPER: _incident_developer,
+    Audience.AUDITOR: _incident_auditor,
+}
+
+
+def narrate_incident(incident: Incident, audience: Audience) -> str:
+    """Render one SLO incident bundle for one audience (multi-line)."""
+    if audience not in _INCIDENT_NARRATORS:
+        raise ValueError(f"unknown audience {audience!r}")
+    return _INCIDENT_NARRATORS[audience](incident)

@@ -1,0 +1,69 @@
+"""Service-level objectives: declarative targets, burn-rate alerting,
+automated incident evidence.
+
+The observability layer that turns the stack's recording machinery
+(rollups, WAL, traces, exemplars) into an operational monitoring loop:
+
+* :mod:`repro.slo.definitions` — declarative objectives bound to
+  telemetry rollup sources, the single sanctioned home for threshold
+  literals (enforced by the ``slo-threshold-literal`` lint rule).
+* :mod:`repro.slo.burnrate` — the multi-window burn-rate evaluator,
+  error-budget ledgers, and typed alert events.
+* :mod:`repro.slo.incidents` — the incident engine that walks
+  metric→trace exemplar links, diffs critical paths against a healthy
+  baseline, and bundles correlated sensor/error evidence.
+
+Layering: ``slo → {telemetry, tracing}``.  The narrator/dashboard
+rendering of incidents lives in ``repro.core``, which imports this
+package — not the other way round.
+"""
+
+from repro.slo.burnrate import (
+    KIND_SLO_ALERT,
+    SLO_TOPIC,
+    BurnRateAlert,
+    ErrorBudgetLedger,
+    SLOEvaluator,
+    SLOStatusSummary,
+)
+from repro.slo.definitions import (
+    OBJECTIVE_AVAILABILITY,
+    OBJECTIVE_KINDS,
+    OBJECTIVE_LATENCY,
+    OBJECTIVE_SENSOR_HEALTH,
+    BurnRateRule,
+    SLODefinition,
+    default_definitions,
+    drill_definitions,
+    fraction_beyond,
+    load_definitions,
+)
+from repro.slo.incidents import (
+    BaselineProfile,
+    Incident,
+    IncidentEngine,
+    StageDiff,
+)
+
+__all__ = [
+    "KIND_SLO_ALERT",
+    "OBJECTIVE_AVAILABILITY",
+    "OBJECTIVE_KINDS",
+    "OBJECTIVE_LATENCY",
+    "OBJECTIVE_SENSOR_HEALTH",
+    "SLO_TOPIC",
+    "BaselineProfile",
+    "BurnRateAlert",
+    "BurnRateRule",
+    "ErrorBudgetLedger",
+    "Incident",
+    "IncidentEngine",
+    "SLODefinition",
+    "SLOEvaluator",
+    "SLOStatusSummary",
+    "StageDiff",
+    "default_definitions",
+    "drill_definitions",
+    "fraction_beyond",
+    "load_definitions",
+]

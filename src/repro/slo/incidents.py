@@ -1,0 +1,354 @@
+"""Incident assembly: from a burn-rate alert to a cross-source evidence bundle.
+
+When an alert fires, knowing *that* a route is slow is the easy half; the
+incident engine assembles the *why* evidence automatically, walking the
+same links an operator would click through on the dashboard:
+
+1. metric → traces: the alert carries its worst rollup window; exemplar
+   labels on the window's events resolve to recorded trace trees
+   (:func:`repro.tracing.exemplars.resolve_window`).
+2. trace → stage: the offending traces' critical paths are profiled and
+   diffed against a healthy-baseline profile captured before the breach,
+   naming the stage whose gating time grew.
+3. window → correlated signals: sensor readings and error-flagged events
+   from the same time range are attached, so drift or sensor faults that
+   coincide with the breach travel with it.
+
+The result is a structured :class:`Incident` — plain data, fully
+serialisable — which ``repro.core.narrator`` renders into audience-
+tailored prose.  Everything is deterministic: incident ids are a simple
+counter, timestamps are simulated time off the alert, and evidence lists
+are sorted/capped for byte-stable reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.slo.burnrate import BurnRateAlert, SLOEvaluator
+from repro.telemetry.events import KIND_SENSOR_READING, TelemetryEvent
+from repro.tracing.analysis import critical_path
+from repro.tracing.collector import TraceCollector, TraceTree
+from repro.tracing.exemplars import resolve_window
+
+__all__ = [
+    "BaselineProfile",
+    "Incident",
+    "IncidentEngine",
+    "StageDiff",
+]
+
+
+@dataclass(frozen=True)
+class BaselineProfile:
+    """Mean per-stage critical-path seconds over a set of healthy traces.
+
+    ``stages`` maps span name → mean seconds *on the critical path per
+    trace* (parallel work hidden behind the gating child contributes
+    nothing, exactly as in the live diff).
+    """
+
+    stages: Dict[str, float]
+    mean_duration: float
+    trace_count: int
+
+    @staticmethod
+    def from_traces(traces: Sequence[TraceTree]) -> "BaselineProfile":
+        if not traces:
+            raise ValueError("cannot build a baseline from zero traces")
+        totals: Dict[str, float] = {}
+        duration = 0.0
+        for tree in traces:
+            duration += tree.duration
+            for segment in critical_path(tree):
+                totals[segment.span.name] = (
+                    totals.get(segment.span.name, 0.0) + segment.seconds
+                )
+        n = len(traces)
+        return BaselineProfile(
+            stages={name: seconds / n for name, seconds in totals.items()},
+            mean_duration=duration / n,
+            trace_count=n,
+        )
+
+
+@dataclass(frozen=True)
+class StageDiff:
+    """One critical-path stage, baseline vs breach."""
+
+    stage: str
+    baseline_ms: float
+    observed_ms: float
+
+    @property
+    def growth_ms(self) -> float:
+        return self.observed_ms - self.baseline_ms
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "stage": self.stage,  # type: ignore[dict-item]
+            "baseline_ms": self.baseline_ms,
+            "observed_ms": self.observed_ms,
+            "growth_ms": self.growth_ms,
+        }
+
+
+def diff_profiles(
+    baseline: BaselineProfile, observed: BaselineProfile
+) -> List[StageDiff]:
+    """Per-stage diff over the union of stages, largest growth first."""
+    names = sorted(set(baseline.stages) | set(observed.stages))
+    diffs = [
+        StageDiff(
+            stage=name,
+            baseline_ms=baseline.stages.get(name, 0.0) * 1000.0,
+            observed_ms=observed.stages.get(name, 0.0) * 1000.0,
+        )
+        for name in names
+    ]
+    diffs.sort(key=lambda d: (-d.growth_ms, d.stage))
+    return diffs
+
+
+@dataclass
+class Incident:
+    """One breach, with the cross-source evidence assembled at fire time."""
+
+    incident_id: str
+    slo: str
+    source: str
+    rule: str
+    severity: str
+    timestamp: float
+    short_burn: float
+    long_burn: float
+    factor: float
+    route: str
+    #: Node parsed from a node-qualified SLI source, if any.
+    suspect_node: Optional[str] = None
+    budget_remaining: Optional[float] = None
+    #: Exemplar drill-down evidence.
+    trace_ids: List[str] = field(default_factory=list)
+    missing_trace_ids: List[str] = field(default_factory=list)
+    stage_diffs: List[StageDiff] = field(default_factory=list)
+    baseline_ms: float = 0.0
+    observed_ms: float = 0.0
+    #: Correlated same-window signals: sensor readings + error events.
+    sensor_evidence: List[Dict[str, object]] = field(default_factory=list)
+    error_evidence: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def regressed_stage(self) -> Optional[StageDiff]:
+        """The stage whose critical-path time grew the most (if it grew)."""
+        if not self.stage_diffs:
+            return None
+        top = self.stage_diffs[0]
+        return top if top.growth_ms > 0 else None
+
+    @property
+    def resolved_traces(self) -> bool:
+        return bool(self.trace_ids) and not self.missing_trace_ids
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "incident_id": self.incident_id,
+            "slo": self.slo,
+            "source": self.source,
+            "rule": self.rule,
+            "severity": self.severity,
+            "timestamp": self.timestamp,
+            "short_burn": self.short_burn,
+            "long_burn": self.long_burn,
+            "factor": self.factor,
+            "route": self.route,
+            "suspect_node": self.suspect_node,
+            "budget_remaining": self.budget_remaining,
+            "trace_ids": list(self.trace_ids),
+            "missing_trace_ids": list(self.missing_trace_ids),
+            "stage_diffs": [d.to_dict() for d in self.stage_diffs],
+            "baseline_ms": self.baseline_ms,
+            "observed_ms": self.observed_ms,
+            "sensor_evidence": list(self.sensor_evidence),
+            "error_evidence": list(self.error_evidence),
+        }
+
+
+class IncidentEngine:
+    """Turns firing alerts into :class:`Incident` evidence bundles.
+
+    Parameters
+    ----------
+    collector:
+        The trace collector holding recorded traces (live or rebuilt).
+    events:
+        A *live reference* to the event list the exemplar/correlation
+        scans read — typically the bus tap the drill harness keeps
+        appending to.  The engine never copies it, so events that arrive
+        after construction are visible.
+    baseline_until:
+        Traces whose root ended at or before this simulated time are the
+        healthy population the baseline profile is built from (e.g. the
+        fault-injection onset in a drill).  ``None`` disables
+        critical-path diffing (incidents still carry exemplars and
+        correlated signals).
+    evaluator:
+        Optional; lets incidents snapshot the breached series' remaining
+        error budget at fire time.
+    max_traces:
+        Exemplar resolution cap per incident.
+    max_evidence:
+        Cap on correlated sensor/error evidence entries (sorted before
+        capping, so reports stay byte-stable).
+    """
+
+    def __init__(
+        self,
+        collector: TraceCollector,
+        events: Sequence[TelemetryEvent],
+        baseline_until: Optional[float] = None,
+        evaluator: Optional[SLOEvaluator] = None,
+        max_traces: int = 8,
+        max_evidence: int = 8,
+    ) -> None:
+        self.collector = collector
+        self.events = events
+        self.baseline_until = baseline_until
+        self.evaluator = evaluator
+        self.max_traces = max_traces
+        self.max_evidence = max_evidence
+        self.incidents: List[Incident] = []
+        self._counter = 0
+        #: route -> lazily built healthy profile
+        self._baselines: Dict[str, Optional[BaselineProfile]] = {}
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach(self, evaluator: SLOEvaluator) -> None:
+        """Subscribe to an evaluator's alert stream (and use its ledgers)."""
+        if self.evaluator is None:
+            self.evaluator = evaluator
+        evaluator.on_alert(self.handle_alert)
+
+    # -- baseline ----------------------------------------------------------------
+
+    def _route_of(self, tree: TraceTree) -> Optional[str]:
+        root = tree.root
+        if root is None:
+            return None
+        return root.attributes.get("route")
+
+    def baseline_for(self, route: str) -> Optional[BaselineProfile]:
+        """Healthy critical-path profile for a route (cached)."""
+        if route in self._baselines:
+            return self._baselines[route]
+        profile: Optional[BaselineProfile] = None
+        if self.baseline_until is not None:
+            healthy = [
+                tree
+                for tree in self.collector.traces()
+                if tree.ok
+                and self._route_of(tree) == route
+                and tree.root.end_time <= self.baseline_until
+            ]
+            if healthy:
+                profile = BaselineProfile.from_traces(healthy)
+        self._baselines[route] = profile
+        return profile
+
+    # -- correlation -------------------------------------------------------------
+
+    def _correlated(
+        self, start: float, end: float
+    ) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
+        """Sensor readings and error-flagged events inside ``[start, end)``.
+
+        Both lists are sorted (timestamp, source) and capped so two runs
+        over the same window produce identical evidence.
+        """
+        sensors: List[Dict[str, object]] = []
+        errors: List[Dict[str, object]] = []
+        for event in self.events:
+            if not start <= event.timestamp < end:
+                continue
+            error = event.labels.get("error")
+            if error:
+                errors.append(
+                    {
+                        "source": event.source,
+                        "timestamp": event.timestamp,
+                        "error": error,
+                        "value": event.value,
+                    }
+                )
+            elif event.kind == KIND_SENSOR_READING:
+                sensors.append(
+                    {
+                        "source": event.source,
+                        "timestamp": event.timestamp,
+                        "value": event.value,
+                        "property": event.labels.get("property", ""),
+                    }
+                )
+        key = lambda entry: (entry["timestamp"], entry["source"])  # noqa: E731
+        sensors.sort(key=key)
+        errors.sort(key=key)
+        return sensors[: self.max_evidence], errors[: self.max_evidence]
+
+    # -- assembly ----------------------------------------------------------------
+
+    def handle_alert(self, alert: BurnRateAlert) -> Optional[Incident]:
+        """Evaluator callback: build an incident for each *firing* edge."""
+        if not alert.firing:
+            return None
+        self._counter += 1
+        route, __, node = alert.source.partition("@")
+        if route.startswith("ok:"):
+            route = route[len("ok:"):]
+        budget = None
+        if self.evaluator is not None:
+            ledger = self.evaluator.ledger(alert.slo, alert.source)
+            if ledger is not None:
+                budget = ledger.remaining_fraction
+        incident = Incident(
+            incident_id=f"INC-{self._counter:04d}",
+            slo=alert.slo,
+            source=alert.source,
+            rule=alert.rule,
+            severity=alert.severity,
+            timestamp=alert.timestamp,
+            short_burn=alert.short_burn,
+            long_burn=alert.long_burn,
+            factor=alert.factor,
+            route=route,
+            suspect_node=node or None,
+            budget_remaining=budget,
+        )
+        if alert.worst_window is not None:
+            resolution = resolve_window(
+                alert.worst_window,
+                self.events,
+                self.collector,
+                max_traces=self.max_traces,
+            )
+            incident.trace_ids = resolution.trace_ids
+            incident.missing_trace_ids = resolution.missing
+            if resolution.traces:
+                observed = BaselineProfile.from_traces(resolution.traces)
+                incident.observed_ms = observed.mean_duration * 1000.0
+                baseline = self.baseline_for(route)
+                if baseline is not None:
+                    incident.baseline_ms = baseline.mean_duration * 1000.0
+                    incident.stage_diffs = diff_profiles(baseline, observed)
+            incident.sensor_evidence, incident.error_evidence = (
+                self._correlated(
+                    alert.worst_window.window_start,
+                    alert.worst_window.window_end,
+                )
+            )
+        self.incidents.append(incident)
+        return incident
+
+    @property
+    def last_incident(self) -> Optional[Incident]:
+        return self.incidents[-1] if self.incidents else None

@@ -26,7 +26,12 @@ from repro.telemetry.events import (
     TelemetryEvent,
 )
 from repro.telemetry.pipeline import SENSOR_TOPIC, TelemetryPipeline
-from repro.telemetry.query import TelemetryQuery, resample
+from repro.telemetry.query import (
+    TelemetryQuery,
+    resample,
+    trailing_windows,
+    window_range,
+)
 from repro.telemetry.rollup import (
     TumblingWindowAggregator,
     WindowStat,
@@ -56,4 +61,6 @@ __all__ = [
     "merge_window_stats",
     "replay",
     "resample",
+    "trailing_windows",
+    "window_range",
 ]

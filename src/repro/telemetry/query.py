@@ -24,6 +24,51 @@ from repro.telemetry.rollup import (
 from repro.telemetry.wal import replay
 
 
+def window_range(
+    stats: Sequence[WindowStat],
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> List[WindowStat]:
+    """Windows overlapping ``[start, end)``, input order preserved.
+
+    Overlap semantics (not containment): a window is kept when any part
+    of its interval intersects the range, which is what both dashboards
+    ("show me 10:00–10:05") and the burn-rate evaluator (trailing
+    lookback windows rarely align with rollup boundaries) need.
+    """
+    if start is not None and end is not None and end <= start:
+        raise ValueError(f"empty range [{start}, {end})")
+    out = []
+    for stat in stats:
+        if start is not None and stat.window_end <= start:
+            continue
+        if end is not None and stat.window_start >= end:
+            continue
+        out.append(stat)
+    return out
+
+
+def trailing_windows(
+    stats: Sequence[WindowStat],
+    seconds: float,
+    at: Optional[float] = None,
+) -> List[WindowStat]:
+    """The windows covering the trailing ``seconds`` before ``at``.
+
+    ``at`` defaults to the newest window end in ``stats`` ("now" for a
+    finalised stream).  This is the lookback primitive under the
+    multi-window burn-rate evaluator: a 5 m/1 h window pair is two
+    ``trailing_windows`` calls over the same finalised series.
+    """
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    if not stats:
+        return []
+    if at is None:
+        at = max(stat.window_end for stat in stats)
+    return window_range(stats, start=at - seconds, end=at)
+
+
 def resample(
     stats: Sequence[WindowStat], window_seconds: float
 ) -> List[WindowStat]:

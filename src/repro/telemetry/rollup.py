@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from math import floor, inf
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -140,6 +140,31 @@ class TumblingWindowAggregator:
             {} for __ in sizes
         ]
         self._closed: List[Dict[str, Deque[WindowStat]]] = [{} for __ in sizes]
+        #: level -> callbacks fired once per finalised window.  Empty for
+        #: an unsubscribed aggregator, so the hot ingest path never pays
+        #: for the feature (the check in ``_finalize`` is one truthiness
+        #: test per *window*, not per event).
+        self._finalize_hooks: Dict[int, List[Callable[[WindowStat], None]]] = {}
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def on_finalize(
+        self, callback: Callable[[WindowStat], None], level: int = 0
+    ) -> None:
+        """Call ``callback(stat)`` for every window finalised at ``level``.
+
+        This is the incremental-consumption hook the SLO burn-rate
+        evaluator attaches to: subscribers see each window exactly once,
+        in finalisation order, the moment the watermark closes it — no
+        polling, no re-reading of the retention deques.  Callbacks run
+        synchronously inside :meth:`ingest`/:meth:`flush`; they must not
+        mutate the aggregator.
+        """
+        if not 0 <= level < len(self.window_sizes):
+            raise ValueError(
+                f"level must be in [0, {len(self.window_sizes)}), got {level}"
+            )
+        self._finalize_hooks.setdefault(level, []).append(callback)
 
     # -- ingest -----------------------------------------------------------------
 
@@ -206,6 +231,9 @@ class TumblingWindowAggregator:
             source, deque(maxlen=self.retention)
         )
         series.append(stat)
+        if self._finalize_hooks:
+            for hook in self._finalize_hooks.get(level, ()):
+                hook(stat)
         if level + 1 < len(self.window_sizes):
             parent_start = self._window_start(start, level + 1)
             parent = self._open[level + 1].setdefault(

@@ -158,6 +158,89 @@ class TestTelemetryCommand:
         assert code == 2
         assert "invalid rollup parameters" in capsys.readouterr().err
 
+    def test_source_filter_restricts_the_table(self, wal_dir, capsys):
+        code = main(
+            ["telemetry", "--wal", str(wal_dir), "--source", "perf", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert list(payload["sources"]) == ["perf"]
+
+    def test_unknown_source_exits_2(self, wal_dir, capsys):
+        code = main(["telemetry", "--wal", str(wal_dir), "--source", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown source" in err
+        assert "perf" in err  # the error lists what exists
+
+    def test_last_restricts_to_the_trailing_range(self, wal_dir, capsys):
+        code = main(
+            ["telemetry", "--wal", str(wal_dir), "--last", "5", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        # 5 trailing 1s windows out of the 30 ingested per source
+        assert payload["sources"]["perf"]["count"] == 5
+        assert payload["last_seconds"] == 5.0
+
+    def test_last_shows_in_the_text_report(self, wal_dir, capsys):
+        assert main(["telemetry", "--wal", str(wal_dir), "--last", "5"]) == 0
+        assert "trailing 5s" in capsys.readouterr().out
+
+    def test_nonpositive_last_exits_2(self, wal_dir, capsys):
+        assert main(["telemetry", "--wal", str(wal_dir), "--last", "0"]) == 2
+        assert "--last" in capsys.readouterr().err
+
+
+class TestSloCommand:
+    def test_json_covers_alerts_incidents_and_status(self, capsys):
+        assert main(["slo", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faulted_node"] == "node-5"
+        assert payload["errors"] == 0
+        firing = [a for a in payload["alerts"] if a["state"] == "firing"]
+        assert any(
+            a["slo"] == "shap-latency" and a["severity"] == "page"
+            for a in firing
+        )
+        assert payload["incidents"]
+        assert payload["incidents"][0]["incident_id"] == "INC-0001"
+        assert {s["slo"] for s in payload["status"]} == {
+            "sensor-health", "shap-availability", "shap-latency",
+        }
+        assert "suspect node: node-5" in payload["report"]
+
+    def test_watch_and_report_render_the_drill(self, capsys):
+        code = main(["slo", "--watch", "--report", "--audience", "auditor"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alert stream:" in out
+        assert "FIRING" in out and "resolved" in out
+        assert "AI DASHBOARD" in out
+        assert "last incident: INC-" in out
+        assert "REQUIRES REVIEW" in out  # the auditor narrative
+
+    def test_definitions_file_overrides_the_drill_catalogue(
+        self, tmp_path, capsys
+    ):
+        from repro.slo import drill_definitions
+
+        catalogue = [d.to_dict() for d in drill_definitions("shap")]
+        for entry in catalogue:
+            entry["name"] = "custom-" + entry["name"]
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(catalogue))
+        code = main(["slo", "--definitions", str(path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(s["slo"].startswith("custom-") for s in payload["status"])
+
+    def test_bad_definitions_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "slo.json"
+        path.write_text('{"not": "a list"}')
+        assert main(["slo", "--definitions", str(path)]) == 2
+        assert "bad SLO definitions" in capsys.readouterr().err
+
 
 class TestLintCommand:
     def test_tree_is_clean(self, capsys):

@@ -159,3 +159,57 @@ class TestExport:
         for v in (0.2, 0.2, 0.9, 0.9):
             dash.add_reading(reading(value=v))
         assert "↑" in dash.render_text()
+
+
+class TestSloStrip:
+    """The SLO provider feed: duck-typed stand-ins, no slo import needed."""
+
+    class Summary:
+        def __init__(self, slo, source, firing=()):
+            self.slo = slo
+            self.source = source
+            self.budget_remaining = 0.42
+            self.short_burn = 1.5
+            self.long_burn = 0.9
+            self.firing_rules = tuple(firing)
+
+    def test_render_includes_budget_burns_and_last_incident(self):
+        dash = AIDashboard()
+        dash.set_slo_provider(
+            lambda: [self.Summary("route-latency", "shap@node-1")],
+            lambda: "INC-0002",
+        )
+        text = dash.render_text()
+        assert "SLO route-latency/shap@node-1" in text
+        assert "budget  42.0%" in text
+        assert "burn 1.5x/0.9x" in text
+        assert "ok" in text
+        assert "last incident: INC-0002" in text
+
+    def test_firing_rules_replace_the_ok_marker(self):
+        dash = AIDashboard()
+        dash.set_slo_provider(
+            lambda: [
+                self.Summary("avail", "ok:shap", firing=("fast", "slow"))
+            ]
+        )
+        text = dash.render_text()
+        assert "FIRING:fast,slow" in text
+        assert "last incident: (none)" in text
+
+    def test_json_export_carries_the_slo_block(self):
+        dash = AIDashboard()
+        dash.set_slo_provider(
+            lambda: [self.Summary("avail", "ok:shap")], lambda: "INC-0009"
+        )
+        payload = json.loads(dash.to_json())
+        objective = payload["slo"]["objectives"][0]
+        assert objective["slo"] == "avail"
+        assert objective["budget_remaining"] == 0.42
+        assert objective["firing"] == []
+        assert payload["slo"]["last_incident"] == "INC-0009"
+
+    def test_no_provider_means_no_slo_surface(self):
+        dash = AIDashboard()
+        assert "slo" not in json.loads(dash.to_json())
+        assert "SLO" not in dash.render_text()

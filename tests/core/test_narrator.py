@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.core.narrator import Audience, narrate_reading, narrate_report
+from repro.core.narrator import (
+    Audience,
+    narrate_incident,
+    narrate_reading,
+    narrate_report,
+)
 from repro.core.sensors import SensorReading
+from repro.slo import Incident
 from repro.trust.properties import TrustProperty
 
 
@@ -15,6 +21,17 @@ def reading(value=0.9, prop=TrustProperty.ACCURACY, sensor="performance", v=2):
         timestamp=12.5,
         model_version=v,
         details={"accuracy": value, "recall": value - 0.02},
+    )
+
+
+def failed_reading():
+    return SensorReading(
+        sensor="performance",
+        property=TrustProperty.ACCURACY,
+        value=0.0,
+        timestamp=12.5,
+        model_version=2,
+        error="TimeoutError",
     )
 
 
@@ -84,3 +101,91 @@ class TestReport:
             for value in (0.1, 0.6, 0.95):
                 text = narrate_reading(reading(value), audience)
                 assert isinstance(text, str) and text
+
+    def test_empty_report_renders_empty(self):
+        for audience in Audience:
+            assert narrate_report([], audience) == []
+
+
+class TestErrorFlaggedReadings:
+    """A failed poll must never read as a (terrible) measurement."""
+
+    def test_end_user_hears_the_check_is_down_not_a_score(self):
+        text = narrate_reading(failed_reading(), Audience.END_USER)
+        assert "could not check" in text
+        assert "0%" not in text  # the substitute 0.0 is not a score
+
+    def test_developer_sees_the_exception_and_the_failed_sensor(self):
+        text = narrate_reading(failed_reading(), Audience.DEVELOPER)
+        assert "FAILED" in text
+        assert "TimeoutError" in text
+        assert "[performance]" in text
+
+    def test_auditor_flags_the_gap_for_review(self):
+        text = narrate_reading(failed_reading(), Audience.AUDITOR)
+        assert "MEASUREMENT UNAVAILABLE" in text
+        assert "REQUIRES REVIEW" in text
+        assert "TimeoutError" in text
+
+    def test_error_readings_sort_first_in_reports(self):
+        lines = narrate_report(
+            [reading(0.9), failed_reading()], Audience.DEVELOPER
+        )
+        assert "FAILED" in lines[0]
+
+
+def incident(**overrides):
+    fields = dict(
+        incident_id="INC-0007",
+        slo="shap-latency",
+        source="shap@node-2",
+        rule="fast",
+        severity="page",
+        timestamp=54.0,
+        short_burn=10.0,
+        long_burn=4.1,
+        factor=4.0,
+        route="shap",
+        suspect_node="node-2",
+        budget_remaining=0.25,
+    )
+    fields.update(overrides)
+    return Incident(**fields)
+
+
+class TestIncidentNarration:
+    def test_end_user_gets_a_reference_id_and_no_jargon(self):
+        text = narrate_incident(incident(), Audience.END_USER)
+        assert "INC-0007" in text
+        assert "shap" in text
+        assert "paged" in text  # page severity -> someone is looking now
+        assert "burn" not in text and "exemplar" not in text
+
+    def test_ticket_severity_softens_the_end_user_message(self):
+        text = narrate_incident(
+            incident(severity="ticket"), Audience.END_USER
+        )
+        assert "working hours" in text
+
+    def test_developer_header_names_rule_burns_and_node(self):
+        text = narrate_incident(incident(), Audience.DEVELOPER)
+        assert "INC-0007 [page] shap-latency on shap@node-2" in text
+        assert "burn 10.0x short / 4.1x long" in text
+        assert "suspect node: node-2" in text
+        assert "error budget remaining: 25.0%" in text
+
+    def test_developer_notes_when_no_exemplars_resolved(self):
+        text = narrate_incident(incident(), Audience.DEVELOPER)
+        assert "exemplars: none" in text
+
+    def test_auditor_counts_the_evidence_on_file(self):
+        text = narrate_incident(incident(), Audience.AUDITOR)
+        assert "Incident INC-0007" in text
+        assert "severity: PAGE" in text
+        assert "0 request trace(s)" in text
+        assert "REQUIRES REVIEW" in text
+
+    def test_every_audience_renders_a_minimal_incident(self):
+        bare = incident(suspect_node=None, budget_remaining=None)
+        for audience in Audience:
+            assert narrate_incident(bare, audience)

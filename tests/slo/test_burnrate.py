@@ -1,0 +1,185 @@
+"""Unit tests for the multi-window burn-rate evaluator."""
+
+import pytest
+
+from repro.slo import (
+    KIND_SLO_ALERT,
+    OBJECTIVE_AVAILABILITY,
+    OBJECTIVE_LATENCY,
+    BurnRateRule,
+    SLODefinition,
+    SLOEvaluator,
+)
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.rollup import TumblingWindowAggregator, WindowStat
+
+
+RULE = BurnRateRule("fast", short_seconds=2.0, long_seconds=10.0, factor=4.0)
+
+
+def availability_slo(source="ok:shap", name="avail"):
+    # target 0.9 -> error budget 10%; a fully-failing window burns at 10x
+    return SLODefinition(
+        name, source, OBJECTIVE_AVAILABILITY, target=0.9, burn_rules=(RULE,)
+    )
+
+
+def window(source, start, mean, count=100):
+    return WindowStat(
+        source=source,
+        window_start=start,
+        window_seconds=1.0,
+        count=count,
+        mean=mean,
+        min=mean,
+        max=mean,
+        p50=mean,
+        p95=mean,
+    )
+
+
+def feed(evaluator, source, means, start=0.0):
+    for i, mean in enumerate(means):
+        evaluator.observe(window(source, start + float(i), mean))
+
+
+class TestAlertEdges:
+    def test_fires_only_when_both_windows_breach(self):
+        evaluator = SLOEvaluator([availability_slo()])
+        # short window breaches immediately, long window (10s) needs the
+        # burn sustained: one bad second in ten is 1x, not 4x
+        feed(evaluator, "ok:shap", [1.0] * 9 + [0.0])
+        assert evaluator.alerts == []
+        # sustain it: the long window's bad fraction climbs past 0.4
+        feed(evaluator, "ok:shap", [0.0] * 4, start=10.0)
+        firing = [a for a in evaluator.alerts if a.firing]
+        assert len(firing) == 1
+        alert = firing[0]
+        assert (alert.slo, alert.source, alert.rule) == (
+            "avail", "ok:shap", "fast",
+        )
+        assert alert.short_burn >= alert.factor
+        assert alert.long_burn >= alert.factor
+
+    def test_fire_edge_emits_once_not_per_window(self):
+        evaluator = SLOEvaluator([availability_slo()])
+        feed(evaluator, "ok:shap", [0.0] * 10)
+        firing = [a for a in evaluator.alerts if a.firing]
+        assert len(firing) == 1
+        assert evaluator.firing  # still active, no duplicate edges
+
+    def test_resolve_edge_when_either_window_recovers(self):
+        evaluator = SLOEvaluator([availability_slo()])
+        feed(evaluator, "ok:shap", [0.0] * 10)
+        assert evaluator.firing
+        # healthy again: the 2s short window empties of bad events fast
+        feed(evaluator, "ok:shap", [1.0] * 3, start=10.0)
+        states = [a.state for a in evaluator.alerts]
+        assert states == ["firing", "resolved"]
+        assert evaluator.firing == []
+
+    def test_firing_alert_carries_its_worst_window(self):
+        evaluator = SLOEvaluator([availability_slo()])
+        feed(evaluator, "ok:shap", [0.0] * 10)
+        alert = evaluator.alerts[0]
+        assert alert.worst_window is not None
+        assert alert.worst_window.source == "ok:shap"
+        # the worst window sits inside the short lookback
+        assert alert.worst_window.window_end > alert.timestamp - 2.0
+
+
+class TestWildcardBinding:
+    def test_each_concrete_node_source_is_its_own_series(self):
+        slo = SLODefinition(
+            "lat", "shap@*", OBJECTIVE_LATENCY, target=0.9,
+            threshold=40.0, burn_rules=(RULE,),
+        )
+        evaluator = SLOEvaluator([slo])
+        # node-0 healthy (10ms), node-1 breaching (100ms > threshold)
+        for i in range(12):
+            evaluator.observe(window("shap@node-0", float(i), 10.0))
+            evaluator.observe(window("shap@node-1", float(i), 100.0))
+        sources = {a.source for a in evaluator.alerts if a.firing}
+        assert sources == {"shap@node-1"}
+        assert evaluator.ledger("lat", "shap@node-0") is not None
+        assert evaluator.ledger("lat", "shap@node-1") is not None
+
+
+class TestBudgetLedger:
+    def test_ledger_tracks_consumption_against_target(self):
+        evaluator = SLOEvaluator([availability_slo()])
+        # mean 0.9 at target 0.9: burning exactly at the sustainable rate
+        feed(evaluator, "ok:shap", [0.9] * 5)
+        ledger = evaluator.ledger("avail", "ok:shap")
+        assert ledger.consumed_fraction == pytest.approx(1.0)
+        assert ledger.remaining_fraction == pytest.approx(0.0)
+
+    def test_healthy_series_keeps_its_budget(self):
+        evaluator = SLOEvaluator([availability_slo()])
+        feed(evaluator, "ok:shap", [1.0] * 5)
+        ledger = evaluator.ledger("avail", "ok:shap")
+        assert ledger.remaining_fraction == pytest.approx(1.0)
+
+
+class TestEmissionAndStatus:
+    def test_alert_edges_become_typed_bus_events(self):
+        emitted = []
+        evaluator = SLOEvaluator([availability_slo()], emit=emitted.append)
+        feed(evaluator, "ok:shap", [0.0] * 10)
+        assert len(emitted) == 1
+        event = emitted[0]
+        assert isinstance(event, TelemetryEvent)
+        assert event.kind == KIND_SLO_ALERT
+        assert event.source == "slo:avail"
+        assert event.labels["state"] == "firing"
+        assert event.labels["sli_source"] == "ok:shap"
+
+    def test_observers_see_fire_and_resolve(self):
+        seen = []
+        evaluator = SLOEvaluator([availability_slo()])
+        evaluator.on_alert(seen.append)
+        feed(evaluator, "ok:shap", [0.0] * 10 + [1.0] * 3)
+        assert [a.state for a in seen] == ["firing", "resolved"]
+
+    def test_status_snapshots_every_bound_series(self):
+        evaluator = SLOEvaluator([availability_slo()])
+        feed(evaluator, "ok:shap", [0.0] * 10)
+        (summary,) = evaluator.status()
+        assert summary.slo == "avail"
+        assert summary.source == "ok:shap"
+        assert summary.firing_rules == ("fast",)
+        assert not summary.healthy
+        assert summary.budget_remaining == 0.0
+        assert summary.short_burn >= 4.0
+
+    def test_duplicate_definition_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            SLOEvaluator([availability_slo(), availability_slo("other")])
+
+
+class TestAggregatorAttachment:
+    def test_observes_windows_as_the_aggregator_finalises_them(self):
+        aggregator = TumblingWindowAggregator(window_seconds=1.0, cascades=())
+        evaluator = SLOEvaluator([availability_slo()])
+        evaluator.attach(aggregator)
+        for i in range(30):
+            aggregator.ingest(
+                TelemetryEvent(
+                    source="ok:shap", value=0.0, timestamp=i * 0.5
+                )
+            )
+        aggregator.flush()
+        assert evaluator.windows_seen == 15
+        assert any(a.firing for a in evaluator.alerts)
+
+    def test_unrelated_sources_cost_nothing_but_a_match_check(self):
+        aggregator = TumblingWindowAggregator(window_seconds=1.0, cascades=())
+        evaluator = SLOEvaluator([availability_slo()])
+        evaluator.attach(aggregator)
+        for i in range(10):
+            aggregator.ingest(
+                TelemetryEvent(source="noise", value=1.0, timestamp=float(i))
+            )
+        aggregator.flush()
+        assert evaluator.windows_seen == 10
+        assert evaluator.status() == []  # no series ever bound

@@ -1,0 +1,206 @@
+"""Unit tests for declarative SLO definitions and the SLI estimators."""
+
+import json
+
+import pytest
+
+from repro.slo import (
+    OBJECTIVE_AVAILABILITY,
+    OBJECTIVE_LATENCY,
+    OBJECTIVE_SENSOR_HEALTH,
+    BurnRateRule,
+    SLODefinition,
+    default_definitions,
+    drill_definitions,
+    fraction_beyond,
+    load_definitions,
+)
+from repro.telemetry.rollup import WindowStat
+
+
+def stat(mean=1.0, lo=1.0, p50=1.0, p95=1.0, hi=1.0, count=100):
+    return WindowStat(
+        source="s",
+        window_start=0.0,
+        window_seconds=1.0,
+        count=count,
+        mean=mean,
+        min=lo,
+        max=hi,
+        p50=p50,
+        p95=p95,
+    )
+
+
+class TestBurnRateRule:
+    def test_short_must_be_shorter_than_long(self):
+        with pytest.raises(ValueError, match="shorter"):
+            BurnRateRule("r", short_seconds=60.0, long_seconds=60.0, factor=2.0)
+
+    def test_windows_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            BurnRateRule("r", short_seconds=-1.0, long_seconds=60.0, factor=2.0)
+
+    def test_factor_must_be_positive(self):
+        with pytest.raises(ValueError, match="factor"):
+            BurnRateRule("r", short_seconds=5.0, long_seconds=60.0, factor=0.0)
+
+    def test_severity_is_validated(self):
+        with pytest.raises(ValueError, match="severity"):
+            BurnRateRule(
+                "r", short_seconds=5.0, long_seconds=60.0, factor=2.0,
+                severity="shrug",
+            )
+
+    def test_round_trips_through_dict(self):
+        rule = BurnRateRule(
+            "fast", short_seconds=5.0, long_seconds=30.0, factor=4.0,
+            severity="ticket",
+        )
+        assert BurnRateRule.from_dict(rule.to_dict()) == rule
+
+
+class TestSLODefinitionValidation:
+    def test_target_must_leave_a_budget(self):
+        with pytest.raises(ValueError, match="error budget"):
+            SLODefinition("a", "src", OBJECTIVE_AVAILABILITY, target=1.0)
+
+    def test_target_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SLODefinition("a", "src", OBJECTIVE_AVAILABILITY, target=0.0)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            SLODefinition("a", "src", "vibes", target=0.9)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SLODefinition("a", "src", OBJECTIVE_LATENCY, target=0.9)
+
+    def test_burn_window_cannot_exceed_budget(self):
+        rule = BurnRateRule(
+            "r", short_seconds=60.0, long_seconds=7200.0, factor=2.0
+        )
+        with pytest.raises(ValueError, match="exceeds the budget"):
+            SLODefinition(
+                "a", "src", OBJECTIVE_AVAILABILITY, target=0.9,
+                budget_seconds=3600.0, burn_rules=(rule,),
+            )
+
+
+class TestSourceBinding:
+    def test_exact_source_matches_only_itself(self):
+        d = SLODefinition("a", "ok:shap", OBJECTIVE_AVAILABILITY, target=0.9)
+        assert not d.per_node
+        assert d.matches("ok:shap")
+        assert not d.matches("ok:shap@node-0")
+        assert not d.matches("lime")
+
+    def test_wildcard_matches_every_node_qualified_variant(self):
+        d = SLODefinition(
+            "a", "shap@*", OBJECTIVE_LATENCY, target=0.9, threshold=40.0
+        )
+        assert d.per_node
+        assert d.matches("shap@node-0")
+        assert d.matches("shap@node-11")
+        assert not d.matches("shap")  # bare route is a different series
+        assert not d.matches("lime@node-0")
+
+    def test_route_strips_the_node_qualifier(self):
+        d = SLODefinition(
+            "a", "shap@*", OBJECTIVE_LATENCY, target=0.9, threshold=40.0
+        )
+        assert d.route == "shap"
+
+
+class TestFractionBeyond:
+    def test_exact_at_recorded_quantiles(self):
+        s = stat(mean=10.0, lo=1.0, p50=10.0, p95=20.0, hi=30.0)
+        assert fraction_beyond(s, 10.0, "above") == pytest.approx(0.5)
+        assert fraction_beyond(s, 20.0, "above") == pytest.approx(0.05)
+        assert fraction_beyond(s, 10.0, "below") == pytest.approx(0.5)
+
+    def test_clamps_outside_the_recorded_range(self):
+        s = stat(mean=10.0, lo=5.0, p50=10.0, p95=20.0, hi=30.0)
+        assert fraction_beyond(s, 1.0, "above") == 1.0
+        assert fraction_beyond(s, 99.0, "above") == 0.0
+        assert fraction_beyond(s, 1.0, "below") == 0.0
+        assert fraction_beyond(s, 99.0, "below") == 1.0
+
+    def test_interpolates_between_knots(self):
+        s = stat(mean=10.0, lo=0.0, p50=10.0, p95=20.0, hi=30.0)
+        # halfway between p50 (0.5) and p95 (0.95)
+        assert fraction_beyond(s, 15.0, "below") == pytest.approx(0.725)
+
+    def test_empty_window_has_no_bad_fraction(self):
+        assert fraction_beyond(stat(count=0), 5.0, "above") == 0.0
+
+    def test_direction_is_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            fraction_beyond(stat(), 5.0, "sideways")
+
+
+class TestBadFraction:
+    def test_availability_is_exact_one_minus_mean(self):
+        d = SLODefinition("a", "ok:shap", OBJECTIVE_AVAILABILITY, target=0.9)
+        assert d.bad_fraction(stat(mean=0.98)) == pytest.approx(0.02)
+        # clamped even if the series drifts out of [0, 1]
+        assert d.bad_fraction(stat(mean=1.5)) == 0.0
+
+    def test_latency_counts_above_threshold(self):
+        d = SLODefinition(
+            "a", "shap@*", OBJECTIVE_LATENCY, target=0.9, threshold=20.0
+        )
+        s = stat(mean=10.0, lo=1.0, p50=10.0, p95=20.0, hi=30.0)
+        assert d.bad_fraction(s) == pytest.approx(0.05)
+
+    def test_sensor_health_counts_below_floor(self):
+        d = SLODefinition(
+            "a", "performance", OBJECTIVE_SENSOR_HEALTH,
+            target=0.9, threshold=0.7,
+        )
+        s = stat(mean=0.9, lo=0.7, p50=0.9, p95=0.95, hi=1.0)
+        assert d.bad_fraction(s) == 0.0
+        degraded = stat(mean=0.5, lo=0.4, p50=0.5, p95=0.6, hi=0.65)
+        assert d.bad_fraction(degraded) == 1.0
+
+
+class TestLoadDefinitions:
+    def test_round_trips_the_drill_catalogue(self, tmp_path):
+        catalogue = drill_definitions("shap")
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps([d.to_dict() for d in catalogue]))
+        assert load_definitions(path) == catalogue
+
+    def test_rejects_duplicate_names(self, tmp_path):
+        entry = drill_definitions("shap")[0].to_dict()
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps([entry, entry]))
+        with pytest.raises(ValueError, match="duplicate"):
+            load_definitions(path)
+
+    def test_rejects_non_list_payloads(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"name": "a"}))
+        with pytest.raises(ValueError, match="list"):
+            load_definitions(path)
+
+
+class TestCanonicalCatalogues:
+    def test_both_catalogues_pair_fast_page_with_slow_ticket(self):
+        for catalogue in (default_definitions(), drill_definitions()):
+            for definition in catalogue:
+                by_name = {r.name: r for r in definition.burn_rules}
+                assert by_name["fast"].severity == "page"
+                assert by_name["slow"].severity == "ticket"
+                assert (
+                    by_name["fast"].short_seconds
+                    < by_name["slow"].short_seconds
+                )
+                assert by_name["fast"].factor > by_name["slow"].factor
+
+    def test_drill_catalogue_has_a_per_node_latency_slo(self):
+        per_node = [d for d in drill_definitions("lime") if d.per_node]
+        assert len(per_node) == 1
+        assert per_node[0].source == "lime@*"
+        assert per_node[0].route == "lime"

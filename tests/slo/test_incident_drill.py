@@ -1,0 +1,186 @@
+"""End-to-end incident drill: fault → burn-rate page → byte-stable report.
+
+The drill is the acceptance gate for the whole SLO stack: a seeded
+cluster run with an injected slow-node fault must page within the fast
+window pair, name the faulted node and regressed route, diff the grown
+critical-path stage against the healthy baseline, and render a
+byte-identical developer report under the fixed seed (golden file).
+
+The replay tests mirror ``tests/cluster/test_cross_node_exemplars.py``:
+everything the evaluator and incident engine consumed live must be
+reconstructible cold from the WAL, down to identical alert edges and
+exemplar-to-trace resolution.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.narrator import Audience
+from repro.slo import IncidentEngine, SLOEvaluator, drill_definitions
+from repro.slo_scenario import run_incident_drill
+from repro.telemetry import replay
+from repro.telemetry.rollup import TumblingWindowAggregator
+
+GOLDEN = Path(__file__).parent / "golden" / "incident_developer.txt"
+
+
+@pytest.fixture(scope="module")
+def drill():
+    return run_incident_drill()
+
+
+@pytest.fixture(scope="module")
+def wal_drill(tmp_path_factory):
+    wal_dir = tmp_path_factory.mktemp("slo") / "wal"
+    return wal_dir, run_incident_drill(wal_dir=wal_dir)
+
+
+class TestBurnRateDetection:
+    def test_latency_page_fires_within_the_fast_window_pair(self, drill):
+        pages = [
+            a
+            for a in drill.alerts
+            if a.firing and a.slo == "shap-latency" and a.rule == "fast"
+        ]
+        assert len(pages) == 1
+        page = pages[0]
+        assert page.severity == "page"
+        # detection latency bounded by the fast pair's long window (30s)
+        assert drill.fault_at < page.timestamp <= drill.fault_at + 30.0
+
+    def test_page_names_the_faulted_node(self, drill):
+        page = next(
+            a
+            for a in drill.alerts
+            if a.firing and a.slo == "shap-latency" and a.rule == "fast"
+        )
+        assert page.source == f"shap@{drill.faulted_node}"
+
+    def test_every_fired_alert_eventually_resolves(self, drill):
+        fired = [
+            (a.slo, a.source, a.rule) for a in drill.alerts if a.firing
+        ]
+        resolved = [
+            (a.slo, a.source, a.rule) for a in drill.alerts if not a.firing
+        ]
+        assert sorted(fired) == sorted(resolved)
+        assert drill.evaluator.firing == []
+
+    def test_healthy_availability_slo_stays_quiet(self, drill):
+        assert drill.report.n_errors == 0
+        assert not any(
+            a.slo == "shap-availability" for a in drill.alerts
+        )
+
+    def test_sensor_health_slo_catches_the_correlated_degradation(
+        self, drill
+    ):
+        sensor_pages = [
+            a
+            for a in drill.alerts
+            if a.firing and a.slo == "sensor-health" and a.severity == "page"
+        ]
+        assert len(sensor_pages) == 1
+        assert sensor_pages[0].source == "performance"
+
+
+class TestIncidentEvidence:
+    def test_primary_incident_is_the_node_attributed_page(self, drill):
+        incident = drill.primary_incident
+        assert incident is not None
+        assert incident.severity == "page"
+        assert incident.route == drill.route
+        assert incident.suspect_node == drill.faulted_node
+
+    def test_critical_path_diff_names_the_grown_stage(self, drill):
+        regressed = drill.primary_incident.regressed_stage
+        assert regressed is not None
+        assert regressed.stage == "service.process"
+        assert regressed.growth_ms > 0
+        assert (
+            drill.primary_incident.observed_ms
+            > drill.primary_incident.baseline_ms
+        )
+
+    def test_exemplars_resolve_to_recorded_traces(self, drill):
+        incident = drill.primary_incident
+        assert incident.resolved_traces
+        recorded = {t.trace_id for t in drill.runner.collector.traces()}
+        assert set(incident.trace_ids) <= recorded
+
+    def test_correlated_sensor_evidence_travels_with_the_incident(
+        self, drill
+    ):
+        incident = drill.primary_incident
+        assert incident.sensor_evidence
+        assert all(
+            e["source"] == "performance" for e in incident.sensor_evidence
+        )
+
+    def test_developer_report_is_byte_stable(self, drill):
+        report = drill.incident_report(Audience.DEVELOPER) + "\n"
+        assert report == GOLDEN.read_text()
+
+    def test_report_renders_for_every_audience(self, drill):
+        for audience in Audience:
+            text = drill.incident_report(audience)
+            assert text
+        end_user = drill.incident_report(Audience.END_USER)
+        assert "burn" not in end_user  # no SRE jargon for end users
+        assert drill.route in end_user
+
+    def test_dashboard_strip_shows_objectives_and_last_incident(self, drill):
+        text = drill.dashboard().render_text()
+        assert "SLO shap-latency" in text
+        assert (
+            f"last incident: {drill.engine.last_incident.incident_id}" in text
+        )
+
+
+class TestWalReplay:
+    def test_alert_edges_are_reproducible_from_the_wal(self, wal_drill):
+        wal_dir, live = wal_drill
+        replayed = list(replay(wal_dir))
+        aggregator = TumblingWindowAggregator(
+            window_seconds=1.0, cascades=()
+        )
+        evaluator = SLOEvaluator(drill_definitions(live.route))
+        evaluator.attach(aggregator)
+        aggregator.ingest_many(replayed)
+        aggregator.flush()
+        edge = lambda a: (  # noqa: E731
+            a.slo, a.source, a.rule, a.state, a.timestamp,
+        )
+        assert [edge(a) for a in evaluator.alerts] == [
+            edge(a) for a in live.alerts
+        ]
+
+    def test_incident_exemplars_survive_wal_replay(self, wal_drill):
+        wal_dir, live = wal_drill
+        replayed = list(replay(wal_dir))
+        aggregator = TumblingWindowAggregator(
+            window_seconds=1.0, cascades=()
+        )
+        evaluator = SLOEvaluator(drill_definitions(live.route))
+        evaluator.attach(aggregator)
+        engine = IncidentEngine(
+            live.runner.collector,  # traces outlive the telemetry pipeline
+            replayed,
+            baseline_until=live.fault_at,
+            evaluator=evaluator,
+        )
+        engine.attach(evaluator)
+        aggregator.ingest_many(replayed)
+        aggregator.flush()
+        rebuilt = next(
+            i
+            for i in engine.incidents
+            if i.suspect_node is not None and i.severity == "page"
+        )
+        original = live.primary_incident
+        assert rebuilt.resolved_traces
+        assert rebuilt.trace_ids == original.trace_ids
+        assert [d.to_dict() for d in rebuilt.stage_diffs] == [
+            d.to_dict() for d in original.stage_diffs
+        ]

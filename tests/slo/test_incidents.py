@@ -1,0 +1,141 @@
+"""Unit tests for incident assembly from burn-rate alerts."""
+
+import pytest
+
+from repro.slo import (
+    BaselineProfile,
+    BurnRateAlert,
+    IncidentEngine,
+    StageDiff,
+)
+from repro.slo.incidents import diff_profiles
+from repro.telemetry.events import KIND_SENSOR_READING, TelemetryEvent
+from repro.tracing.collector import TraceCollector
+
+
+def alert(state="firing", source="shap@node-3", worst_window=None):
+    return BurnRateAlert(
+        slo="shap-latency",
+        source=source,
+        rule="fast",
+        severity="page",
+        state=state,
+        timestamp=54.0,
+        short_burn=10.0,
+        long_burn=4.1,
+        factor=4.0,
+        worst_window=worst_window,
+    )
+
+
+class TestProfiles:
+    def test_baseline_needs_at_least_one_trace(self):
+        with pytest.raises(ValueError, match="zero traces"):
+            BaselineProfile.from_traces([])
+
+    def test_diff_orders_by_growth_then_name(self):
+        baseline = BaselineProfile(
+            stages={"route": 0.002, "process": 0.010, "respond": 0.002},
+            mean_duration=0.014,
+            trace_count=5,
+        )
+        observed = BaselineProfile(
+            stages={"route": 0.002, "process": 0.060, "respond": 0.002},
+            mean_duration=0.064,
+            trace_count=5,
+        )
+        diffs = diff_profiles(baseline, observed)
+        assert [d.stage for d in diffs] == ["process", "respond", "route"]
+        assert diffs[0].growth_ms == pytest.approx(50.0)
+        assert diffs[1].growth_ms == pytest.approx(0.0)
+
+    def test_diff_covers_the_union_of_stages(self):
+        baseline = BaselineProfile(
+            stages={"old": 0.005}, mean_duration=0.005, trace_count=1
+        )
+        observed = BaselineProfile(
+            stages={"new": 0.005}, mean_duration=0.005, trace_count=1
+        )
+        stages = {d.stage for d in diff_profiles(baseline, observed)}
+        assert stages == {"old", "new"}
+
+    def test_growth_is_observed_minus_baseline(self):
+        diff = StageDiff(stage="s", baseline_ms=10.0, observed_ms=61.0)
+        assert diff.growth_ms == pytest.approx(51.0)
+        assert diff.to_dict()["growth_ms"] == pytest.approx(51.0)
+
+
+class TestIncidentAssembly:
+    def engine(self, events=()):
+        return IncidentEngine(TraceCollector(), list(events))
+
+    def test_resolve_edges_do_not_open_incidents(self):
+        engine = self.engine()
+        assert engine.handle_alert(alert(state="resolved")) is None
+        assert engine.incidents == []
+
+    def test_node_qualified_source_names_the_suspect(self):
+        incident = self.engine().handle_alert(alert(source="shap@node-3"))
+        assert incident.route == "shap"
+        assert incident.suspect_node == "node-3"
+
+    def test_availability_source_strips_the_ok_prefix(self):
+        incident = self.engine().handle_alert(alert(source="ok:shap"))
+        assert incident.route == "shap"
+        assert incident.suspect_node is None
+
+    def test_ids_are_a_deterministic_counter(self):
+        engine = self.engine()
+        first = engine.handle_alert(alert())
+        second = engine.handle_alert(alert())
+        assert first.incident_id == "INC-0001"
+        assert second.incident_id == "INC-0002"
+        assert engine.last_incident is second
+
+    def test_no_worst_window_means_no_exemplar_evidence(self):
+        incident = self.engine().handle_alert(alert(worst_window=None))
+        assert incident.trace_ids == []
+        assert incident.stage_diffs == []
+        assert incident.sensor_evidence == []
+        assert not incident.resolved_traces
+
+
+class TestCorrelation:
+    def test_evidence_is_windowed_sorted_and_capped(self):
+        events = [
+            TelemetryEvent(
+                source=f"sensor-{i % 3}",
+                value=0.5,
+                timestamp=50.0 + i * 0.1,
+                kind=KIND_SENSOR_READING,
+                labels={"property": "accuracy"},
+            )
+            for i in range(20)
+        ]
+        # out-of-window reading must not appear
+        events.append(
+            TelemetryEvent(
+                source="sensor-late",
+                value=0.1,
+                timestamp=99.0,
+                kind=KIND_SENSOR_READING,
+            )
+        )
+        # an error-flagged event lands in the error list, not the sensor one
+        events.append(
+            TelemetryEvent(
+                source="registry",
+                value=0.0,
+                timestamp=50.5,
+                labels={"error": "TimeoutError"},
+            )
+        )
+        engine = IncidentEngine(
+            TraceCollector(), events, max_evidence=4
+        )
+        sensors, errors = engine._correlated(50.0, 52.0)
+        assert len(sensors) == 4
+        timestamps = [entry["timestamp"] for entry in sensors]
+        assert timestamps == sorted(timestamps)
+        assert all(50.0 <= t < 52.0 for t in timestamps)
+        assert [e["error"] for e in errors] == ["TimeoutError"]

@@ -138,3 +138,62 @@ class TestColdQueries:
         rebuilt = cold.rebuild_rollups(window_seconds=1.0, cascades=(10.0,))
         for source in ("good", "bad"):
             assert rebuilt.totals(source) == hot.rollups.totals(source)
+
+
+class TestWindowFilters:
+    """The time-range/trailing helpers under the burn-rate evaluator."""
+
+    def windows(self, hot):
+        return hot.rollups.windows(source="good")
+
+    def test_window_range_uses_overlap_not_containment(self, hot):
+        from repro.telemetry import window_range
+
+        # [2.5, 4.5) clips windows [2,3) and [4,5) partially: both kept
+        kept = window_range(self.windows(hot), start=2.5, end=4.5)
+        assert [w.window_start for w in kept] == [2.0, 3.0, 4.0]
+
+    def test_window_range_bounds_are_half_open(self, hot):
+        from repro.telemetry import window_range
+
+        kept = window_range(self.windows(hot), start=2.0, end=4.0)
+        assert [w.window_start for w in kept] == [2.0, 3.0]
+
+    def test_window_range_open_ends(self, hot):
+        from repro.telemetry import window_range
+
+        windows = self.windows(hot)
+        assert window_range(windows) == windows
+        assert window_range(windows, start=28.0) == windows[-2:]
+        assert window_range(windows, end=2.0) == windows[:2]
+
+    def test_window_range_rejects_empty_ranges(self, hot):
+        from repro.telemetry import window_range
+
+        with pytest.raises(ValueError, match="empty range"):
+            window_range(self.windows(hot), start=5.0, end=5.0)
+
+    def test_trailing_defaults_to_the_newest_window_end(self, hot):
+        from repro.telemetry import trailing_windows
+
+        kept = trailing_windows(self.windows(hot), 3.0)
+        # newest end is 30.0 -> [27, 30)
+        assert [w.window_start for w in kept] == [27.0, 28.0, 29.0]
+
+    def test_trailing_at_an_explicit_instant(self, hot):
+        from repro.telemetry import trailing_windows
+
+        kept = trailing_windows(self.windows(hot), 2.0, at=10.5)
+        # [8.5, 10.5) overlaps [8,9), [9,10), [10,11)
+        assert [w.window_start for w in kept] == [8.0, 9.0, 10.0]
+
+    def test_trailing_rejects_nonpositive_lookback(self, hot):
+        from repro.telemetry import trailing_windows
+
+        with pytest.raises(ValueError, match="positive"):
+            trailing_windows(self.windows(hot), 0.0)
+
+    def test_trailing_over_no_windows_is_empty(self):
+        from repro.telemetry import trailing_windows
+
+        assert trailing_windows([], 5.0) == []

@@ -51,6 +51,7 @@ class TestLintSelfCheck:
             "predict-in-loop",
             "span-leak",
             "unreachable-code",
+            "slo-threshold-literal",
         } <= ids
 
     def test_project_catalogue_covers_the_flow_rules(self):
@@ -131,6 +132,10 @@ class TestLintSelfCheck:
                 "def f(x):\n"
                 "    return x\n"
                 "    x += 1\n",
+                "mod.py",
+            ),
+            "slo-threshold-literal": (
+                "x = SLODefinition('api-availability', target=0.99)",
                 "mod.py",
             ),
         }
