@@ -32,7 +32,8 @@ __all__ = ["AnalysisCache", "CACHE_VERSION", "ModuleRecord"]
 
 # Bump when the per-module result shape or any rule semantics change in
 # a way the rule-id list does not capture.
-CACHE_VERSION = 1
+# v2: CallSite records grew the in_loop flag (unbatched-kernel-call).
+CACHE_VERSION = 2
 
 RawImport = Tuple[str, Optional[Tuple[str, ...]], int]
 

@@ -57,13 +57,22 @@ class CallGraph:
         self.edges: Dict[str, Dict[str, Tuple[int, int]]] = {}
         # in-tree node -> (relpath, def lineno)
         self.locations: Dict[str, Tuple[str, int]] = {}
+        # (caller, callee) -> lineno of a call issued inside a loop
+        self.loop_edges: Dict[Tuple[str, str], int] = {}
 
     def add_edge(
-        self, caller: str, callee: str, lineno: int, nargs: int
+        self,
+        caller: str,
+        callee: str,
+        lineno: int,
+        nargs: int,
+        in_loop: bool = False,
     ) -> None:
         callees = self.edges.setdefault(caller, {})
         if callee not in callees:
             callees[callee] = (lineno, nargs)
+        if in_loop and (caller, callee) not in self.loop_edges:
+            self.loop_edges[(caller, callee)] = lineno
 
     def callees(self, node: str) -> Dict[str, Tuple[int, int]]:
         return self.edges.get(node, {})
@@ -287,5 +296,7 @@ def build_call_graph(
             callee = resolve_call(table, summary, func, site)
             if callee is None or callee == caller:
                 continue
-            graph.add_edge(caller, callee, site.lineno, site.nargs)
+            graph.add_edge(
+                caller, callee, site.lineno, site.nargs, site.in_loop
+            )
     return graph

@@ -26,6 +26,7 @@ __all__ = [
     "CLOCK_INJECTED_PACKAGES",
     "PURE_PACKAGES",
     "RNG_TAINT_PACKAGES",
+    "SERVING_PATH_PACKAGES",
     "WALLCLOCK_TAINT_PACKAGES",
     "ImportGraphAnalyzer",
     "TOP_PACKAGE",
@@ -54,11 +55,15 @@ ALLOWED_IMPORTS: Dict[str, frozenset] = {
     # the SLO engine evaluates rollup windows and drills into traces;
     # incident *rendering* (narrator/dashboard) lives in core, above it
     "slo": frozenset({"telemetry", "tracing"}),
+    # the serving layer fuses per-request work into kernel calls; it
+    # sits between the request sources (gateway/cluster) and the pure
+    # kernels, publishing its counters through telemetry
+    "serving": frozenset({"ml", "xai", "telemetry", "tracing"}),
     # layer 2 — serving and adversarial workloads
-    "gateway": frozenset({"ml", "telemetry", "tracing"}),
+    "gateway": frozenset({"ml", "serving", "telemetry", "tracing"}),
     # the multi-node deployment composes the single-node serving engine
     # with the observability substrates; it must not reach into ml/core
-    "cluster": frozenset({"gateway", "telemetry", "tracing"}),
+    "cluster": frozenset({"gateway", "serving", "telemetry", "tracing"}),
     "attacks": frozenset({"ml", "privacy", "gateway", "datasets"}),
     # layer 3 — orchestration: may use everything below, never the CLI
     "core": frozenset(
@@ -80,7 +85,19 @@ ALLOWED_IMPORTS: Dict[str, frozenset] = {
 # Packages where wall-clock access is banned outright (see the
 # wallclock-in-compute rule): results must be a function of inputs+seed.
 PURE_PACKAGES = frozenset(
-    {"ml", "xai", "trust", "datasets", "privacy", "federated", "attacks"}
+    {
+        "ml",
+        "xai",
+        "trust",
+        "datasets",
+        "privacy",
+        "federated",
+        "attacks",
+        # the serving layer is pure given (inputs, now): every entry
+        # point takes the caller's clock reading, so batching/caching
+        # decisions replay identically under simulated time
+        "serving",
+    }
 )
 
 # Packages whose timestamps must come from an injected clock: tracing
@@ -106,6 +123,12 @@ WALLCLOCK_TAINT_PACKAGES = PURE_PACKAGES | CLOCK_INJECTED_PACKAGES
 RNG_TAINT_PACKAGES = PURE_PACKAGES | frozenset(
     {"gateway", "cluster", "tracing"}
 )
+
+# Scope of the unbatched-kernel-call flow rule: packages on the serving
+# path, where a per-request model/XAI kernel call inside a loop defeats
+# the micro-batcher (DESIGN.md §15).  The pure kernel layers themselves
+# are out of scope — their internal loops are the batched endpoints.
+SERVING_PATH_PACKAGES = frozenset({"serving", "gateway", "cluster"})
 
 
 def _module_name(relpath: str) -> str:

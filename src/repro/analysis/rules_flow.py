@@ -31,6 +31,7 @@ from repro.analysis.callgraph import (
 from repro.analysis.contracts import (
     PURE_PACKAGES,
     RNG_TAINT_PACKAGES,
+    SERVING_PATH_PACKAGES,
     WALLCLOCK_TAINT_PACKAGES,
 )
 from repro.analysis.engine import Finding, ModuleContext, rule
@@ -471,3 +472,87 @@ def off_lock_mutation(context: ProjectContext) -> Iterator[Finding]:
                     f"write in `with {write.param}.{lock}:`"
                 ),
             )
+
+
+#: In-tree kernel entry points whose per-request use the serving layer
+#: exists to amortise.  Terminal names containing "batch" are the fused
+#: endpoints and never count as per-request sinks.
+_KERNEL_CALL_NAMES = frozenset(
+    {"predict", "predict_proba", "decision_function", "shap_values"}
+)
+_KERNEL_PACKAGES = frozenset({"ml", "xai"})
+
+
+def _kernel_sink(table: SymbolTable) -> Callable[[str, int], bool]:
+    """Predicate: is this resolved callee a per-request ml/xai kernel?"""
+
+    def predicate(node: str, nargs: int) -> bool:
+        if is_external(node):
+            return False
+        module_name, _, qualname = node.partition("::")
+        summary = table.modules.get(module_name)
+        if summary is None or summary.package not in _KERNEL_PACKAGES:
+            return False
+        return qualname.rsplit(".", 1)[-1] in _KERNEL_CALL_NAMES
+
+    return predicate
+
+
+@project_rule("unbatched-kernel-call")
+def unbatched_kernel_call(context: ProjectContext) -> Iterator[Finding]:
+    """Serving-path loops must not issue per-request kernel calls.
+
+    The whole point of ``repro.serving`` (DESIGN.md §15) is that queued
+    requests coalesce into *one* fused ``predict`` / SHAP call, so a
+    loop on the serving path (``serving``/``gateway``/``cluster``) whose
+    body reaches an ml/xai kernel — directly or through helpers — is
+    dispatching per request again, exactly the regression the batcher
+    removed.  The sanctioned shape is a loop over *flushed batches*
+    (one fused kernel call per iteration): a loop edge whose callee's
+    terminal name contains ``batch`` is therefore exempt, as are the
+    kernels' own internal loops (``ml``/``xai`` are out of scope).
+    Reported at the loop-edge frontier like ``wallclock-taint``, with
+    the full chain available via ``--explain``.
+    """
+    graph = context.graph
+    table = context.table
+    sink = _kernel_sink(table)
+    tainted = graph.taint_from_sinks(sink)
+    for (caller, callee), lineno in sorted(graph.loop_edges.items()):
+        module_name, _, qualname = caller.partition("::")
+        summary = table.modules.get(module_name)
+        if summary is None or summary.package not in SERVING_PATH_PACKAGES:
+            continue
+        if is_external(callee):
+            continue
+        callee_terminal = callee.partition("::")[2].rsplit(".", 1)[-1]
+        if "batch" in callee_terminal:
+            continue  # loop over flushed batches: the coalescing endpoint
+        edge = graph.edges.get(caller, {}).get(callee)
+        nargs = edge[1] if edge is not None else 0
+        if sink(callee, nargs):
+            chain = [(caller, lineno), (callee, 0)]
+        elif callee in tainted:
+            chain = [(caller, lineno)] + graph.chain(callee, tainted)
+        else:
+            continue
+        kernel = chain[-1][0].partition("::")[2]
+        hops = " -> ".join(
+            external_name(step) if is_external(step) else step.split("::", 1)[1]
+            for step, _line in chain
+        )
+        finding = Finding(
+            path=summary.relpath,
+            line=lineno,
+            rule="unbatched-kernel-call",
+            message=(
+                f"{qualname} calls a per-request kernel inside a loop "
+                f"({hops} reaches {kernel}) — coalesce the loop through "
+                f"repro.serving's micro-batcher into one fused "
+                f"predict/shap_values_batch call"
+            ),
+        )
+        context.explanations[
+            (summary.relpath, lineno, "unbatched-kernel-call")
+        ] = graph.render_chain(chain)
+        yield finding

@@ -65,19 +65,34 @@ class CallSite:
     ``self``-rooted chains keep the literal ``"self"`` head; receiver
     resolution happens later against the enclosing class.  ``nargs``
     counts positional + keyword arguments so sink predicates can tell a
-    seeded ``Random(0)`` from a seedless ``Random()``.
+    seeded ``Random(0)`` from a seedless ``Random()``.  ``in_loop``
+    marks calls issued from a repeated position (``for``/``while``
+    bodies, comprehension elements) — the signal the
+    ``unbatched-kernel-call`` rule uses to spot per-request kernel
+    dispatch on the serving path.
     """
 
     chain: Tuple[str, ...]
     lineno: int
     nargs: int
+    in_loop: bool = False
 
     def to_dict(self) -> Dict[str, object]:
-        return {"chain": list(self.chain), "lineno": self.lineno, "nargs": self.nargs}
+        return {
+            "chain": list(self.chain),
+            "lineno": self.lineno,
+            "nargs": self.nargs,
+            "in_loop": self.in_loop,
+        }
 
     @classmethod
     def from_dict(cls, raw: Dict[str, object]) -> "CallSite":
-        return cls(tuple(raw["chain"]), int(raw["lineno"]), int(raw["nargs"]))
+        return cls(
+            tuple(raw["chain"]),
+            int(raw["lineno"]),
+            int(raw["nargs"]),
+            bool(raw.get("in_loop", False)),
+        )
 
 
 @dataclass(frozen=True)
@@ -309,6 +324,8 @@ class _FunctionScanner:
         # `with <owner>.X:` currently held, as (owner key, lock attr)
         # pairs where the owner key is "param" or "self.attr".
         self.held: List[Tuple[str, str]] = []
+        # statement-loop nesting: calls scanned at depth > 0 are repeated
+        self.loop_depth = 0
 
     def _owner_key(self, chain: Tuple[str, ...]) -> Optional[str]:
         if len(chain) == 1 and (chain[0] in self.params or chain[0] == "self"):
@@ -334,6 +351,22 @@ class _FunctionScanner:
             self.held.extend(newly_held)
             self.scan_body(stmt.body)
             del self.held[len(self.held) - len(newly_held) :]
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # the iterable is evaluated once; target/body repeat per item
+            self.scan_expr(stmt.iter)
+            self.scan_expr(stmt.target)
+            self.loop_depth += 1
+            self.scan_body(stmt.body)
+            self.loop_depth -= 1
+            self.scan_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self.loop_depth += 1
+            self.scan_expr(stmt.test)
+            self.scan_body(stmt.body)
+            self.loop_depth -= 1
+            self.scan_body(stmt.orelse)
             return
         if isinstance(stmt, ast.AnnAssign):
             declared = _annotation_type(stmt.annotation)
@@ -361,34 +394,56 @@ class _FunctionScanner:
                     elif isinstance(element, ast.AST):
                         self.scan_expr(element)
 
-    def scan_expr(self, node: ast.AST) -> None:
-        for sub in ast.walk(node):
-            if isinstance(sub, ast.Call):
-                chain = _dotted_chain(sub.func)
-                if chain:
-                    self.info.calls.append(
-                        CallSite(chain, sub.lineno, _call_nargs(sub))
-                    )
-            elif isinstance(sub, ast.Attribute) and isinstance(
-                sub.ctx, (ast.Store, ast.Del)
-            ):
-                owner_chain = _dotted_chain(sub.value)
-                owner = (
-                    self._owner_key(owner_chain) if owner_chain else None
+    def scan_expr(
+        self, node: ast.AST, in_loop: Optional[bool] = None
+    ) -> None:
+        if in_loop is None:
+            in_loop = self.loop_depth > 0
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            # the first iterable is evaluated once; everything else in
+            # the comprehension is a repeated position
+            generators = node.generators
+            self.scan_expr(generators[0].iter, in_loop)
+            for gen in generators[1:]:
+                self.scan_expr(gen.iter, True)
+            for gen in generators:
+                self.scan_expr(gen.target, True)
+                for cond in gen.ifs:
+                    self.scan_expr(cond, True)
+            if isinstance(node, ast.DictComp):
+                self.scan_expr(node.key, True)
+                self.scan_expr(node.value, True)
+            else:
+                self.scan_expr(node.elt, True)
+            return
+        if isinstance(node, ast.Call):
+            chain = _dotted_chain(node.func)
+            if chain:
+                self.info.calls.append(
+                    CallSite(chain, node.lineno, _call_nargs(node), in_loop)
                 )
-                if owner is not None and owner != "self":
-                    self.info.param_writes.append(
-                        ParamWrite(
-                            param=owner,
-                            attr=sub.attr,
-                            lineno=sub.lineno,
-                            held=tuple(
-                                attr
-                                for held_owner, attr in self.held
-                                if held_owner == owner
-                            ),
-                        )
+        elif isinstance(node, ast.Attribute) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            owner_chain = _dotted_chain(node.value)
+            owner = self._owner_key(owner_chain) if owner_chain else None
+            if owner is not None and owner != "self":
+                self.info.param_writes.append(
+                    ParamWrite(
+                        param=owner,
+                        attr=node.attr,
+                        lineno=node.lineno,
+                        held=tuple(
+                            attr
+                            for held_owner, attr in self.held
+                            if held_owner == owner
+                        ),
                     )
+                )
+        for child in ast.iter_child_nodes(node):
+            self.scan_expr(child, in_loop)
 
 
 def _function_params(fn: ast.AST) -> List[Tuple[str, Optional[str]]]:

@@ -96,6 +96,76 @@ def _cmd_poison(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_policy_from_args(args: argparse.Namespace):
+    """Build a ServingPolicy when any serving flag was given, else None."""
+    from repro.serving import ServingPolicy
+
+    flags = (args.batch_window, args.max_batch, args.cache_size,
+             args.shed_depth)
+    if all(value is None for value in flags):
+        return None
+    defaults = ServingPolicy()
+    return ServingPolicy(
+        max_batch=(
+            args.max_batch if args.max_batch is not None
+            else defaults.max_batch
+        ),
+        batch_window=(
+            args.batch_window / 1000.0 if args.batch_window is not None
+            else defaults.batch_window
+        ),
+        cache_size=args.cache_size if args.cache_size is not None else 0,
+        shed_depth=args.shed_depth if args.shed_depth is not None else 0,
+    )
+
+
+def _add_serving_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-window", type=float, default=None, metavar="MS",
+        help="micro-batch flush deadline in milliseconds "
+             "(enables the serving layer)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=None, metavar="N",
+        help="micro-batch size trigger (enables the serving layer)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="explanation-cache capacity, 0 disables "
+             "(enables the serving layer)",
+    )
+    parser.add_argument(
+        "--shed-depth", type=int, default=None, metavar="N",
+        help="admission-control queue depth per service, 0 disables "
+             "(enables the serving layer)",
+    )
+
+
+def _print_serving_summary(summary: dict) -> None:
+    from repro.core.dashboard import AIDashboard
+
+    rows = AIDashboard._serving_rows(summary)
+    if not rows:
+        return
+    print("  serving layer:")
+    for row in rows:
+        line = (
+            f"    {row['route']:>12}  {row['batches']:>6} batches "
+            f"(mean {row['mean_batch']:4.1f} rows)"
+        )
+        if row["cache_hits"] or row["cache_misses"]:
+            line += f"  cache hit-rate {row['cache_hit_rate']:.1%}"
+        if row["shed_rows"]:
+            line += f"  shed {row['shed_rows']}"
+        print(line)
+    totals = summary.get("_totals")
+    if totals:
+        print(
+            "    totals: "
+            + ", ".join(f"{key}={value}" for key, value in totals.items())
+        )
+
+
 def _cmd_capacity(args: argparse.Namespace) -> int:
     import time as _time
 
@@ -108,9 +178,17 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
         print(f"unknown route {args.route!r}; available: {gateway.routes}",
               file=sys.stderr)
         return 2
+    serving = _serving_policy_from_args(args)
     if args.engine == "records":
         if args.open_loop is not None:
             print("--open-loop requires --engine columnar", file=sys.stderr)
+            return 2
+        if serving is not None:
+            print(
+                "--batch-window/--max-batch/--cache-size/--shed-depth "
+                "require --engine columnar",
+                file=sys.stderr,
+            )
             return 2
         generator = LoadGenerator(sim, gateway)
         generator.add_thread_group(
@@ -133,6 +211,7 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
         retain_records=not args.no_retain,
         seed=args.seed,
         trace_every=args.trace_every,
+        serving=serving,
     )
     if args.open_loop is not None:
         runner.add_open_loop(
@@ -162,6 +241,8 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
           f"payload={args.payload} engine=columnar"
           f"{' (ring)' if args.no_retain else ''}")
     print("  " + report.render_text())
+    if serving is not None:
+        _print_serving_summary(runner.serving_summary())
     print(f"  {sim.processed_events} events in {elapsed:.3f}s wall "
           f"({sim.processed_events / elapsed:,.0f} events/s), "
           f"log capacity {runner.log.capacity} rows"
@@ -215,11 +296,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    serving = _serving_policy_from_args(args)
     runner = ClusterRunner(
         topology,
         retain_records=not args.no_retain,
         seed=args.seed,
         trace_every=args.trace_every,
+        serving=serving,
     )
     per_route = max(1, args.requests // len(routes))
     if args.open_loop is not None:
@@ -272,6 +355,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"{node_report.n_errors:>6} err  "
             f"p95 {node_report.p95_response_ms:8.2f}ms"
         )
+    if serving is not None:
+        _print_serving_summary(runner.serving_summary())
     ledger = runner.conservation()
     print(
         "  failover ledger: "
@@ -424,6 +509,18 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         )
         return ranked[: args.top]
 
+    cache_sources = [name for name in sources if name.startswith("cache:")]
+
+    def cache_series():
+        # per-window hit-rate samples for each cache:<route> source
+        return {
+            name: [
+                {"t": w.window_start, "hit_rate": w.mean, "count": w.count}
+                for w in windows_for(name)
+            ]
+            for name in cache_sources
+        }
+
     if args.json:
         payload = {
             "segments": len(segments),
@@ -437,6 +534,8 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             },
             "worst": worst_sources(),
         }
+        if cache_sources:
+            payload["cache_hit_rate"] = cache_series()
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     total_bytes = sum(os.path.getsize(p) for p in segments)
@@ -466,6 +565,13 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             f"{totals['min']:>8.3f} {totals['max']:>8.3f} "
             f"{p50:>8.3f} {p95:>8.3f}"
         )
+    if cache_sources:
+        print("\nexplanation-cache hit-rate series:")
+        for name, samples in cache_series().items():
+            trail = " ".join(
+                f"{s['t']:g}s={s['hit_rate']:.2f}" for s in samples[-8:]
+            )
+            print(f"  {name:<24} {trail}")
     ranked = worst_sources()
     if ranked:
         print(f"\nworst sources (lowest mean, top {args.top}):")
@@ -820,6 +926,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="ring mode: recycle completed rows (memory bounded by "
         "in-flight count, enables million-request runs)",
     )
+    _add_serving_flags(capacity)
     capacity.set_defaults(func=_cmd_capacity)
 
     cluster = sub.add_parser(
@@ -872,6 +979,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable the rollup-pressure autoscaler",
     )
+    _add_serving_flags(cluster)
     cluster.set_defaults(func=_cmd_cluster)
 
     demo = sub.add_parser(

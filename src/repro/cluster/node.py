@@ -33,6 +33,7 @@ from typing import Deque, Dict, List, Set
 from repro.gateway.records import RecordLog
 from repro.gateway.services import SERVICE_TIME_BATCH, ServiceTimeModel
 from repro.gateway.simulation import Simulator
+from repro.serving.admission import SHED_ERROR_MESSAGE
 
 __all__ = [
     "NODE_DOWN",
@@ -85,6 +86,23 @@ class NodeService:
         "_st_last_id",
         "_st_last_buf",
         "_err_queue_full",
+        "serving",
+        "shed_rows",
+        "batches_flushed",
+        "rows_batched",
+        "flushed_by_size",
+        "flushed_by_deadline",
+        "batch_size_peak",
+        "_srv_pending",
+        "_srv_epochs",
+        "_srv_queued",
+        "_srv_max_batch",
+        "_srv_window",
+        "_srv_marginal",
+        "_srv_shed_depth",
+        "_err_shed",
+        "_flush_deadline_cb",
+        "_finish_batch_cb",
     )
 
     def __init__(
@@ -126,6 +144,25 @@ class NodeService:
         self._st_last_id = -1
         self._st_last_buf: list = []
         self._err_queue_full = 0
+        # Serving-mode bindings (configure_serving); None keeps the
+        # classic per-row path untouched.
+        self.serving = None
+        self.shed_rows = 0
+        self.batches_flushed = 0
+        self.rows_batched = 0
+        self.flushed_by_size = 0
+        self.flushed_by_deadline = 0
+        self.batch_size_peak = 0
+        self._srv_pending: Dict[int, list] = {}
+        self._srv_epochs: Dict[int, int] = {}
+        self._srv_queued = 0
+        self._srv_max_batch = 0
+        self._srv_window = 0.0
+        self._srv_marginal = 0.0
+        self._srv_shed_depth = 0
+        self._err_shed = 0
+        self._flush_deadline_cb = self._flush_deadline
+        self._finish_batch_cb = self._finish_batch
 
     # -- wiring --------------------------------------------------------------
 
@@ -144,6 +181,39 @@ class NodeService:
         self._sim_counter = sim._counter
         self._err_queue_full = log.intern_error(
             f"queue full at {self.node.node_id}/{self.route} (503)"
+        )
+        if self.serving is not None:
+            self._intern_shed_error()
+
+    def configure_serving(self, policy) -> None:
+        """Enable micro-batched dispatch + admission control on this station.
+
+        The cluster mirror of ``MicroService.configure_serving``: rows
+        submitted through :meth:`submit_row_serving` coalesce per
+        payload shape, flush on size or window expiry, and occupy one
+        worker for ``draw * (1 + (n-1)*batch_marginal)``.  Batch
+        completions ride the same epoch guard as row completions, so a
+        crash mid-batch drops the stale finish and the runner fails the
+        rows over.  The shed error keeps the ``503 shed`` prefix (with
+        a node/route suffix) so WAL replay and SLO attribution can
+        separate deliberate shedding from failure cluster-wide.
+        """
+        self.serving = policy
+        self._srv_pending = {}
+        self._srv_epochs = {}
+        self._srv_queued = 0
+        self._srv_max_batch = policy.max_batch
+        self._srv_window = policy.batch_window
+        self._srv_marginal = policy.batch_marginal
+        self._srv_shed_depth = policy.shed_depth
+        if self._log is not None:
+            self._intern_shed_error()
+
+    def _intern_shed_error(self) -> None:
+        # SHED_ERROR_MESSAGE prefix + node/route suffix: is_shed_error()
+        # still matches, per-node attribution stays possible
+        self._err_shed = self._log.intern_error(
+            f"{SHED_ERROR_MESSAGE} at {self.node.node_id}/{self.route}"
         )
 
     # -- hot path ------------------------------------------------------------
@@ -208,10 +278,149 @@ class NodeService:
         # freed worker takes the queue head *before* the sink runs, so a
         # saturated station never idles across a completion
         if self._waiting:
-            self._start_row(self._waiting.popleft())
+            entry = self._waiting.popleft()
+            if type(entry) is list:
+                self._start_batch(entry)
+            else:
+                self._start_row(entry)
         else:
             self._busy -= 1
         self._sink(self, row, True)
+
+    # -- serving mode (micro-batched) hot path -------------------------------
+
+    def submit_row_serving(self, row: int) -> None:
+        """Accept, batch, or shed a columnar request at the current time."""
+        if self._srv_shed_depth and self._srv_queued >= self._srv_shed_depth:
+            self.shed_rows += 1
+            self._log.fail(row, self._err_shed, self._sim.now)
+            self._sink(self, row, False)
+            return
+        payload_id = self._log.v_payload_ids[row]
+        pending = self._srv_pending.get(payload_id)
+        if pending is None:
+            pending = []
+            self._srv_pending[payload_id] = pending
+            self._srv_epochs[payload_id] = 0
+        pending.append(row)
+        self._srv_queued += 1
+        if len(pending) >= self._srv_max_batch:
+            self.flushed_by_size += 1
+            self._flush_payload(payload_id)
+        elif len(pending) == 1:
+            _heappush(
+                self._sim_queue,
+                (
+                    self._sim.now + self._srv_window,
+                    next(self._sim_counter),
+                    self._flush_deadline_cb,
+                    (self._srv_epochs[payload_id], payload_id),
+                ),
+            )
+
+    def _flush_deadline(self, token) -> None:
+        """Window-expiry flush; stale epochs are already-flushed groups."""
+        epoch, payload_id = token
+        if epoch != self._srv_epochs.get(payload_id, -1):
+            return
+        if self._srv_pending.get(payload_id):
+            self.flushed_by_deadline += 1
+            self._flush_payload(payload_id)
+
+    def _flush_payload(self, payload_id: int) -> None:
+        batch = self._srv_pending[payload_id]
+        self._srv_pending[payload_id] = []
+        self._srv_epochs[payload_id] += 1
+        if self._busy < self.concurrency:
+            self._busy += 1
+            self._start_batch(batch)
+        elif len(self._waiting) < self.queue_capacity:
+            # a parked batch is one fused unit of work — one queue entry
+            self._waiting.append(batch)
+        else:
+            log = self._log
+            now = self._sim.now
+            code = self._err_queue_full
+            n = len(batch)
+            self.rejected_rows += n
+            self._srv_queued -= n
+            sink = self._sink
+            for row in batch:
+                log.fail(row, code, now)
+                sink(self, row, False)
+
+    def _start_batch(self, batch: list) -> None:
+        """Start one fused batch on a claimed worker (one draw, n rows)."""
+        log = self._log
+        now = self._sim.now
+        n = len(batch)
+        self._srv_queued -= n
+        inflight = self._inflight
+        for row in batch:
+            log.v_start[row] = now
+            inflight.add(row)
+        payload_id = log.v_payload_ids[batch[0]]
+        if payload_id == self._st_last_id:
+            buffer = self._st_last_buf
+        else:
+            buffer = self._st_buffers.get(payload_id)
+            if buffer is None:
+                buffer = [self.service_time.sample_batch(
+                    log.payload_name(payload_id), SERVICE_TIME_BATCH
+                ).tolist(), 0]
+                self._st_buffers[payload_id] = buffer
+            self._st_last_id = payload_id
+            self._st_last_buf = buffer
+        values, pos = buffer
+        if pos >= len(values):
+            values = self.service_time.sample_batch(
+                log.payload_name(payload_id), SERVICE_TIME_BATCH
+            ).tolist()
+            buffer[0] = values
+            pos = 0
+        buffer[1] = pos + 1
+        duration = (
+            values[pos] * self._slow * (1.0 + (n - 1) * self._srv_marginal)
+        )
+        self.batches_flushed += 1
+        self.rows_batched += n
+        if n > self.batch_size_peak:
+            self.batch_size_peak = n
+        _heappush(
+            self._sim_queue,
+            (
+                now + duration,
+                next(self._sim_counter),
+                self._finish_batch_cb,
+                (self._epoch, batch),
+            ),
+        )
+
+    def _finish_batch(self, token) -> None:
+        epoch, batch = token
+        if epoch != self._epoch:
+            # scheduled before a crash: every row was failed over already
+            self.stale_completions += len(batch)
+            return
+        now = self._sim.now
+        log = self._log
+        inflight = self._inflight
+        for row in batch:
+            inflight.discard(row)
+        # one worker held for the whole fused call
+        self._busy_seconds += now - log.v_start[batch[0]]
+        self.completed_rows += len(batch)
+        if self._waiting:
+            entry = self._waiting.popleft()
+            if type(entry) is list:
+                self._start_batch(entry)
+            else:
+                self._start_row(entry)
+        else:
+            self._busy -= 1
+        sink = self._sink
+        for row in batch:
+            sink(self, row, True)
 
     # -- fault surface -------------------------------------------------------
 
@@ -219,12 +428,24 @@ class NodeService:
         """Invalidate the station: return every owned row for failover.
 
         Bumping the epoch orphans all scheduled completions (they arrive
-        stale); in-flight and queued rows are handed back to the runner
-        to retry on a replica or typed-fail.
+        stale); in-flight, queued and batch-pending rows are handed back
+        to the runner to retry on a replica or typed-fail.
         """
         self._epoch += 1
         lost = list(self._inflight)
-        lost.extend(self._waiting)
+        for entry in self._waiting:
+            if type(entry) is list:
+                lost.extend(entry)
+            else:
+                lost.append(entry)
+        # serving mode: unflushed coalescing groups die with the node;
+        # bumping each payload epoch orphans their pending window timers
+        for payload_id, pending in self._srv_pending.items():
+            if pending:
+                lost.extend(pending)
+                self._srv_pending[payload_id] = []
+            self._srv_epochs[payload_id] += 1
+        self._srv_queued = 0
         self._inflight.clear()
         self._waiting.clear()
         self._busy = 0

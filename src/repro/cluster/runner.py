@@ -52,13 +52,15 @@ from repro.cluster.faults import (
 from repro.cluster.node import ClusterNode, NodeService
 from repro.cluster.topology import ClusterTopology
 from repro.gateway.arrivals import PoissonArrivalGroup, arrival_chunks
-from repro.gateway.capacity import ARRIVAL_CHUNK
+from repro.gateway.capacity import ARRIVAL_CHUNK, _SimCacheGate
 from repro.gateway.loadgen import SummaryReport, ThreadGroup
 from repro.gateway.records import RecordLog
 from repro.gateway.simulation import _NO_ARG
 from repro.gateway.sketches import QuantileSketch, RouteStats, StreamingMoments
+from repro.serving.policy import ServingPolicy
 from repro.telemetry.events import (
     KIND_RESPONSE,
+    KIND_SERVING,
     KIND_UTILIZATION,
     TelemetryEvent,
 )
@@ -369,6 +371,7 @@ class ClusterRunner:
         initial_capacity: int = 4096,
         max_traces: int = 1024,
         response_every: int = 0,
+        serving: Optional[ServingPolicy] = None,
     ) -> None:
         if trace_every < 0:
             raise ValueError("trace_every must be >= 0")
@@ -435,6 +438,17 @@ class ClusterRunner:
         self._err_partition = self.log.intern_error(
             "network partition: response lost (retried)"
         )
+        #: serving policy applied to every attached station; None keeps
+        #: the classic per-row dispatch path untouched
+        self.serving = serving
+        self.shed_requests = 0
+        self.cache_hits = 0
+        self._cache_gates: Dict[int, _SimCacheGate] = {}
+        self._cache_stats: Dict[int, RouteStats] = {}
+        if serving is not None:
+            # instance attribute shadows the method: workload drivers
+            # call ``runner.submit`` and land on the serving variant
+            self.submit = self._submit_serving
         topology.set_listener(self)
 
     # -- wiring --------------------------------------------------------------
@@ -449,6 +463,17 @@ class ClusterRunner:
         while len(self._route_services) <= route_id:
             self._route_services.append([])
         self._rebind_route(route_id)
+        policy = self.serving
+        if (
+            policy is not None
+            and policy.cache_size > 0
+            and route_id not in self._cache_gates
+        ):
+            # the gate only needs lookup(); the submit wrapper is unused
+            # here because the cluster completes hits via _cache_complete
+            self._cache_gates[route_id] = _SimCacheGate(
+                self, route, None, policy
+            )
         return route_id
 
     def _rebind_route(self, route_id: int) -> None:
@@ -466,6 +491,8 @@ class ClusterRunner:
         ordinal = self._node_ordinal.setdefault(
             node_id, len(self._node_ordinal)
         )
+        if self.serving is not None:
+            service.configure_serving(self.serving)
         service.bind(self.log, self.sim, self._row_completed)
         service.stats = RouteStats(
             service.route,
@@ -536,6 +563,117 @@ class ClusterRunner:
                 service.submit_row(row)
                 return
         self._final_fail(row, self._err_no_replica)
+
+    def _submit_serving(self, row: int, route_id: int) -> None:
+        """Serving-mode dispatch: cache probe, then the batched station.
+
+        Installed over :meth:`submit` when a policy is configured.  A
+        cache hit completes the row at the entry gateway without any
+        service work; misses flow to the first serving replica's
+        micro-batcher, which may coalesce, queue, or shed them.
+        """
+        gate = self._cache_gates.get(route_id)
+        if gate is not None and gate.lookup(self.sim.now):
+            self.cache_hits += 1
+            self._cache_complete(row, route_id)
+            return
+        for service in self._route_services[route_id]:
+            if service.node.serving:
+                service.submit_row_serving(row)
+                return
+        self._final_fail(row, self._err_no_replica)
+
+    def cache_stats(self, route_id: int) -> RouteStats:
+        """The entry-gateway aggregate for cache-served requests."""
+        stats = self._cache_stats.get(route_id)
+        if stats is None:
+            stats = RouteStats(
+                self.log.route_name(route_id),
+                seed=self.seed + 6_700_417 * (route_id + 1),
+                relative_accuracy=self.relative_accuracy,
+                series_slots=self.series_slots,
+                exemplar_slots=self.exemplar_slots,
+            )
+            self._cache_stats[route_id] = stats
+        return stats
+
+    def _cache_complete(self, row: int, route_id: int) -> None:
+        """Complete a cache-hit row at the entry gateway (no station work).
+
+        The row still pays the gateway legs (arrival → response), so a
+        hit's latency is the pure routing overhead — the cluster
+        analogue of serving a SHAP attribution out of the explanation
+        cache instead of re-running the kernel.
+        """
+        log = self.log
+        now = self.sim.now
+        log.v_start[row] = now
+        end = now + self.overhead
+        log.v_end[row] = end
+        ms = (end - log.v_arrival[row]) * 1000.0
+        stats = self.cache_stats(route_id)
+        stats.observe(end, ms, True, log.v_active[row])
+        owner = log.slots[row]
+        context = None
+        if owner is not None:
+            log.slots[row] = None
+            if owner.__class__ is _ClusterUser:
+                _heappush(
+                    self._sim_queue,
+                    (
+                        end + owner.delay,
+                        next(self._sim_counter),
+                        owner.step,
+                        _NO_ARG,
+                    ),
+                )
+            else:
+                # traced cache hit: a single-span tree at the entry node
+                root = self.tracer.start_span(
+                    "cluster.request",
+                    start_time=log.v_arrival[row],
+                    attributes={
+                        NODE_ID_ATTR: owner.entry.node_id,
+                        "route": log.route_name(route_id),
+                        "cache": "hit",
+                    },
+                )
+                root.end(at=end)
+                context = root.context
+                stats.exemplars.offer(
+                    ms, end, log.route_name(route_id), root.context
+                )
+                user = owner.user
+                if user is not None:
+                    _heappush(
+                        self._sim_queue,
+                        (
+                            end + user.delay,
+                            next(self._sim_counter),
+                            user.step,
+                            _NO_ARG,
+                        ),
+                    )
+        if self._publish_every:
+            self._completions += 1
+            if self._completions % self._publish_every == 0:
+                route = log.route_name(route_id)
+                event = TelemetryEvent(
+                    source=f"ok:{route}",
+                    value=1.0,
+                    timestamp=end,
+                    kind=KIND_RESPONSE,
+                )
+                if context is not None:
+                    event.with_trace(context.trace_id, context.span_id)
+                self.telemetry.publish(self.topic, event)
+        self.in_flight -= 1
+        self.observed += 1
+        if self._attempts:
+            self._attempts.pop(row, None)
+        free = self._free
+        if free is not None:
+            free.append(row)
 
     def _row_completed(self, service: NodeService, row: int, ok: bool) -> None:
         """Per-request completion sink (all replicas share this method).
@@ -655,11 +793,17 @@ class ClusterRunner:
             self.lost_responses += 1
             self._failover(row, service.node, self._err_partition)
         else:
+            code = int(self.log.v_error_codes[row])
+            if code == service._err_shed:
+                # admission control shed the request *deliberately* —
+                # retrying on a replica would convert load shedding into
+                # load spreading and defeat the overload protection, so
+                # a shed is final and keeps its typed 503
+                self._final_shed(row, code)
+                return
             # typed rejection (queue full): the log row already carries
             # the interned error; try the next replica before giving up
-            self._failover(
-                row, service.node, int(self.log.v_error_codes[row])
-            )
+            self._failover(row, service.node, code)
 
     def _failover(
         self, row: int, failed_node: ClusterNode, code: int
@@ -685,6 +829,32 @@ class ClusterRunner:
         else:
             final_code = self._err_exhausted
         self._final_fail(row, final_code)
+
+    def _final_shed(self, row: int, code: int) -> None:
+        """Finalise a deliberately-shed row; mark the stride sample.
+
+        Same ledger as :meth:`_final_fail`, plus the ``shed:<route>``
+        marker published on the *same* stride as the 0-valued
+        availability tick — so after WAL replay, a window's shed count
+        can be subtracted from its failure count to attribute burn to
+        "deliberately shed" vs "failed" (see
+        :func:`repro.slo.attribute_unavailability`).
+        """
+        self.shed_requests += 1
+        if self._publish_every and (
+            (self._completions + 1) % self._publish_every == 0
+        ):
+            route = self.log.route_name(self.log.v_route_ids[row])
+            self.telemetry.publish(
+                self.topic,
+                TelemetryEvent(
+                    source=f"shed:{route}",
+                    value=1.0,
+                    timestamp=self.sim.now,
+                    kind=KIND_SERVING,
+                ),
+            )
+        self._final_fail(row, code)
 
     def _final_fail(self, row: int, code: int) -> None:
         """Finalise a row nobody could serve: typed error, full ledger."""
@@ -763,6 +933,8 @@ class ClusterRunner:
                 for node in self.topology.nodes.values()
                 for service in node.services.values()
             ),
+            "shed_requests": self.shed_requests,
+            "cache_hits": self.cache_hits,
         }
 
     def _stats_by_route(self) -> Dict[int, List[RouteStats]]:
@@ -771,6 +943,9 @@ class ClusterRunner:
             if stats.n_requests > 0:
                 grouped.setdefault(route_id, []).append(stats)
         for route_id, stats in self._lost_stats.items():
+            if stats.n_requests > 0:
+                grouped.setdefault(route_id, []).append(stats)
+        for route_id, stats in self._cache_stats.items():
             if stats.n_requests > 0:
                 grouped.setdefault(route_id, []).append(stats)
         return grouped
@@ -863,6 +1038,100 @@ class ClusterRunner:
                 events.append(event)
         return events
 
+    def serving_summary(self) -> Dict[str, dict]:
+        """Per-(route, node) batching counters plus cluster cache/shed.
+
+        Shaped for reports and the CLI: one entry per route with a
+        ``nodes`` sub-map (batching counters per station), the route's
+        cache counters when the gate is enabled, and the cluster-wide
+        shed/hit ledger under ``"_totals"``.
+        """
+        if self.serving is None:
+            return {}
+        out: Dict[str, dict] = {}
+        for route_id, route in sorted(self._bound_routes.items()):
+            nodes: Dict[str, dict] = {}
+            for service in self._route_services[route_id]:
+                batches = service.batches_flushed
+                nodes[service.node.node_id] = {
+                    "batches": batches,
+                    "rows_batched": service.rows_batched,
+                    "mean_batch": (
+                        service.rows_batched / batches if batches else 0.0
+                    ),
+                    "by_size": service.flushed_by_size,
+                    "by_deadline": service.flushed_by_deadline,
+                    "peak_batch": service.batch_size_peak,
+                    "shed_rows": service.shed_rows,
+                }
+            entry: Dict[str, object] = {"nodes": nodes}
+            gate = self._cache_gates.get(route_id)
+            if gate is not None:
+                entry["cache"] = gate.cache.counters()
+                entry["cache_hit_rate"] = gate.cache.hit_rate
+            out[route] = entry
+        out["_totals"] = {
+            "shed_requests": self.shed_requests,
+            "cache_hits": self.cache_hits,
+        }
+        return out
+
+    def serving_events(self, at: float) -> List[TelemetryEvent]:
+        """Batch/cache/shed counters as ``KIND_SERVING`` events.
+
+        One node-qualified ``serving:<route>@<node>`` event per batching
+        station, one ``cache:<route>`` hit-rate event per gate, and one
+        cumulative ``shed_total:<route>`` counter snapshot.  The
+        snapshot rides a separate source from the per-sample
+        ``shed:<route>`` stride markers :meth:`_final_shed` publishes
+        live, so summing the marker series (what
+        :func:`repro.slo.attribute_unavailability` does per window)
+        never double-counts.
+        """
+        events: List[TelemetryEvent] = []
+        if self.serving is None:
+            return events
+        shed_by_route: Dict[str, int] = {}
+        for route_id, route in sorted(self._bound_routes.items()):
+            for service in self._route_services[route_id]:
+                batches = service.batches_flushed
+                node_id = service.node.node_id
+                event = TelemetryEvent(
+                    source="serving:" + node_source(route, node_id),
+                    value=(
+                        service.rows_batched / batches if batches else 0.0
+                    ),
+                    timestamp=at,
+                    kind=KIND_SERVING,
+                    attrs={
+                        "batches": float(batches),
+                        "rows": float(service.rows_batched),
+                        "by_size": float(service.flushed_by_size),
+                        "by_deadline": float(service.flushed_by_deadline),
+                        "peak": float(service.batch_size_peak),
+                        "shed": float(service.shed_rows),
+                    },
+                )
+                event.with_node(node_id)
+                events.append(event)
+                if service.shed_rows:
+                    shed_by_route[route] = (
+                        shed_by_route.get(route, 0) + service.shed_rows
+                    )
+            gate = self._cache_gates.get(route_id)
+            if gate is not None:
+                events.append(gate.event(at))
+        for route, count in sorted(shed_by_route.items()):
+            events.append(
+                TelemetryEvent(
+                    source=f"shed_total:{route}",
+                    value=float(count),
+                    timestamp=at,
+                    kind=KIND_SERVING,
+                )
+            )
+        return events
+
     def node_events(self, timestamp: float) -> List[TelemetryEvent]:
         """One utilization snapshot per node (queue depth + lifecycle)."""
         events = []
@@ -894,6 +1163,8 @@ class ClusterRunner:
             for event in self.exemplar_events():
                 self.telemetry.publish(self.topic, event)
             for event in self.node_events(end_time):
+                self.telemetry.publish(self.topic, event)
+            for event in self.serving_events(end_time):
                 self.telemetry.publish(self.topic, event)
             self.telemetry.pump()
         return report

@@ -87,6 +87,7 @@ class AIDashboard:
         self._subscribers: List[Callable[[Alert], None]] = []
         self._slo_status: Optional[Callable[[], list]] = None
         self._slo_last_incident: Optional[Callable[[], Optional[str]]] = None
+        self._serving_summary: Optional[Callable[[], Dict[str, dict]]] = None
 
     # -- ingestion ----------------------------------------------------------
 
@@ -128,6 +129,22 @@ class AIDashboard:
         """
         self._slo_status = status
         self._slo_last_incident = last_incident
+
+    def set_serving_provider(
+        self, summary: Callable[[], Dict[str, dict]]
+    ) -> None:
+        """Attach the serving layer's batching/cache feed.
+
+        ``summary`` returns a per-route stats mapping shaped like
+        :meth:`repro.gateway.CapacityRunner.serving_summary` or
+        :meth:`repro.cluster.ClusterRunner.serving_summary` (called
+        lazily at render time).  Duck-typed like the SLO provider — the
+        panel reads ``batches``/``rows_batched``/``mean_batch``/
+        ``shed_rows`` and the cache counters when present, tolerating
+        either the flat capacity shape or the cluster shape with a
+        per-node sub-map, so tests can feed plain dicts.
+        """
+        self._serving_summary = summary
 
     # -- queries --------------------------------------------------------------
 
@@ -196,6 +213,43 @@ class AIDashboard:
         tail = sum(values[-window:]) / window
         return tail - head
 
+    @staticmethod
+    def _serving_rows(summary: Dict[str, dict]) -> List[dict]:
+        """Flatten either serving-summary shape into per-route rows."""
+        rows: List[dict] = []
+        for route, entry in sorted(summary.items()):
+            if route == "_totals":
+                continue
+            nodes = entry.get("nodes")
+            if nodes:
+                batches = sum(n.get("batches", 0) for n in nodes.values())
+                rows_batched = sum(
+                    n.get("rows_batched", 0) for n in nodes.values()
+                )
+                shed = sum(n.get("shed_rows", 0) for n in nodes.values())
+            else:
+                batches = entry.get("batches", 0)
+                rows_batched = entry.get("rows_batched", 0)
+                shed = entry.get("shed_rows", 0)
+            cache = entry.get("cache") or {}
+            rows.append(
+                {
+                    "route": route,
+                    "batches": batches,
+                    "rows_batched": rows_batched,
+                    "mean_batch": (
+                        rows_batched / batches if batches else 0.0
+                    ),
+                    "shed_rows": shed,
+                    "cache_hits": int(cache.get("hits", 0)),
+                    "cache_misses": int(cache.get("misses", 0)),
+                    "cache_hit_rate": float(
+                        entry.get("cache_hit_rate", cache.get("hit_rate", 0.0))
+                    ),
+                }
+            )
+        return rows
+
     # -- export / rendering ---------------------------------------------------
 
     def to_json(self) -> str:
@@ -248,6 +302,10 @@ class AIDashboard:
                     else None
                 ),
             }
+        if self._serving_summary is not None:
+            payload["serving"] = {
+                "routes": self._serving_rows(self._serving_summary()),
+            }
         return json.dumps(payload, indent=2, sort_keys=True)
 
     def render_text(self, width: int = 60) -> str:
@@ -277,6 +335,18 @@ class AIDashboard:
                 else None
             )
             lines.append(f"last incident: {last if last else '(none)'}")
+            lines.append("=" * width)
+        if self._serving_summary is not None:
+            rows = self._serving_rows(self._serving_summary())
+            label_width = max((len(r["route"]) for r in rows), default=0)
+            for row in rows:
+                lines.append(
+                    f"SERVE {row['route']:<{label_width}}  "
+                    f"batches {row['batches']:>5} "
+                    f"(mean {row['mean_batch']:4.1f})  "
+                    f"cache {row['cache_hit_rate']:6.1%}  "
+                    f"shed {row['shed_rows']}"
+                )
             lines.append("=" * width)
         for name in self.sensors:
             values = self.values(name)

@@ -27,6 +27,7 @@ from repro.gateway.services import (
     ServiceTimeModel,
 )
 from repro.gateway.gateway import APIGateway
+from repro.gateway.admission import AdmittingGateway
 from repro.gateway.autoscale import Autoscaler, AutoscalerPolicy, ScalingEvent
 from repro.gateway.ratelimit import RateLimitRule, RateLimitedGateway
 from repro.gateway.cluster import (
@@ -53,6 +54,7 @@ from repro.gateway.capacity import CapacityRunner, summary_from_log
 
 __all__ = [
     "APIGateway",
+    "AdmittingGateway",
     "Autoscaler",
     "AutoscalerPolicy",
     "CapacityRunner",

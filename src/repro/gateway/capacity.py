@@ -52,7 +52,9 @@ from repro.gateway.sketches import (
     RouteStats,
     StreamingMoments,
 )
-from repro.telemetry.events import KIND_RESPONSE, TelemetryEvent
+from repro.serving.cache import ExplanationCache
+from repro.serving.policy import ServingPolicy
+from repro.telemetry.events import KIND_RESPONSE, KIND_SERVING, TelemetryEvent
 
 __all__ = ["CapacityRunner", "summary_from_log"]
 
@@ -85,14 +87,10 @@ class _VirtualUser:
         self.sim = runner.sim  # hot-path locals: one load, not a chain
         self.overhead = runner.overhead
         self.log = runner.log
-        # a group's payload is fixed, so validate it here once and take
-        # the probe-free submit; unsupported payloads keep the checking
-        # variant so they fail through the normal per-request path
-        self.submit = (
-            service.submit_trusted_row
-            if service.service_time.supports(group.payload)
-            else service.submit_row
-        )
+        # a group's payload is fixed, so the submit callable is chosen
+        # here once: probe-free trusted, checking, or (in serving mode)
+        # the micro-batched path behind the optional cache gate
+        self.submit = runner.submit_for(service, group.route, group.payload)
         self.route = group.route
         self.route_id = runner.log.intern_route(group.route)
         #: the route's streaming aggregate — the completion sink takes it
@@ -201,10 +199,8 @@ class _OpenLoopDriver:
         self.overhead = runner.overhead
         self.log = runner.log
         # fixed payload per arrival process — see _VirtualUser.submit
-        self.submit = (
-            self.service.submit_trusted_row
-            if self.service.service_time.supports(group.payload)
-            else self.service.submit_row
+        self.submit = runner.submit_for(
+            self.service, group.route, group.payload
         )
         self.route = group.route
         self.route_id = runner.log.intern_route(group.route)
@@ -264,6 +260,85 @@ class _OpenLoopDriver:
         self.submit(row)
 
 
+class _SimCacheGate:
+    """Zipf-addressed explanation-cache model on the submit path.
+
+    Columnar rows carry no feature payloads, so the gate models content
+    addressing the way capacity runs model service time: a seeded Zipf
+    stream over ``cache_items`` distinct feature vectors stands in for
+    the request bodies.  A hit completes the row immediately at the
+    gateway (the SHAP attribution is served from memory, no service
+    work); a miss warms the cache and falls through to the batched
+    service path.  The content-id stream is pre-drawn in chunks like
+    the arrival processes, so the per-request cost is one list index
+    plus one :class:`~repro.serving.cache.ExplanationCache` probe.
+    """
+
+    CHUNK = 4096
+
+    __slots__ = ("runner", "route", "inner", "cache", "sim", "log",
+                 "_rng", "_probs", "_n_items", "_ids", "_pos")
+
+    def __init__(
+        self,
+        runner: "CapacityRunner",
+        route: str,
+        inner: Callable[[int], None],
+        policy: ServingPolicy,
+    ) -> None:
+        self.runner = runner
+        self.route = route
+        self.inner = inner
+        self.cache = ExplanationCache(policy.cache_size, ttl=policy.cache_ttl)
+        self.sim = runner.sim
+        self.log = runner.log
+        self._n_items = policy.cache_items
+        ranks = np.arange(1.0, policy.cache_items + 1.0)
+        weights = ranks ** -policy.cache_skew
+        self._probs = weights / weights.sum()
+        self._rng = np.random.default_rng(
+            runner.seed + 15485863 * (runner.log.intern_route(route) + 1)
+        )
+        self._ids: list = []
+        self._pos = 0
+
+    def lookup(self, now: float) -> bool:
+        """Draw the next content id; True on a hit (a miss warms the cache)."""
+        pos = self._pos
+        ids = self._ids
+        if pos == len(ids):
+            ids = self._rng.choice(
+                self._n_items, size=self.CHUNK, p=self._probs
+            ).tolist()
+            self._ids = ids
+            pos = 0
+        self._pos = pos + 1
+        key = ids[pos]
+        if self.cache.get(key, now) is not None:
+            return True
+        self.cache.put(key, True, now)
+        return False
+
+    def submit(self, row: int) -> None:
+        now = self.sim.now
+        if self.lookup(now):
+            self.log.v_start[row] = now
+            self.runner.row_completed(row, True)
+        else:
+            self.inner(row)
+
+    def event(self, at: float) -> TelemetryEvent:
+        """Hit-rate event (``cache:<route>``) carrying the raw counters."""
+        counters = self.cache.counters()
+        return TelemetryEvent(
+            source=f"cache:{self.route}",
+            value=self.cache.hit_rate,
+            timestamp=at,
+            kind=KIND_SERVING,
+            attrs={key: float(val) for key, val in sorted(counters.items())},
+        )
+
+
 class CapacityRunner:
     """Drives columnar workloads against a gateway's services.
 
@@ -305,6 +380,7 @@ class CapacityRunner:
         telemetry=None,
         topic: str = "gateway",
         initial_capacity: int = 4096,
+        serving: Optional[ServingPolicy] = None,
     ) -> None:
         if trace_every < 0:
             raise ValueError("trace_every must be >= 0")
@@ -346,6 +422,10 @@ class CapacityRunner:
         self._sim_counter = sim._counter
         self._bound: Dict[str, MicroService] = {}
         self._groups = 0
+        #: serving policy (batch window/size, cache, shed depth) applied
+        #: to every bound service; None keeps the classic per-row path
+        self.serving = serving
+        self._cache_gates: Dict[str, _SimCacheGate] = {}
 
     # -- wiring -------------------------------------------------------------
 
@@ -372,9 +452,40 @@ class CapacityRunner:
         if service is None:
             service = self.gateway.service(route)
             service.use_columnar(self.log, self.sim, self.row_completed)
+            if self.serving is not None:
+                service.configure_serving(self.serving)
             self._bound[route] = service
             self._stats_for(route, self.log.intern_route(route))
         return service
+
+    def submit_for(
+        self, service: MicroService, route: str, payload: str
+    ) -> Callable[[int], None]:
+        """The hot-path submit callable for one (service, workload) pair.
+
+        Classic mode picks the probe-free trusted submit when the
+        group's fixed payload validates up front (unsupported payloads
+        keep the checking variant so they fail through the normal
+        per-request path).  Serving mode routes through the
+        micro-batcher, behind a per-route :class:`_SimCacheGate` when
+        the policy enables the explanation cache.
+        """
+        if service.serving is None:
+            return (
+                service.submit_trusted_row
+                if service.service_time.supports(payload)
+                else service.submit_row
+            )
+        policy = service.serving
+        if policy.cache_size > 0:
+            gate = self._cache_gates.get(route)
+            if gate is None:
+                gate = _SimCacheGate(
+                    self, route, service.submit_row_serving, policy
+                )
+                self._cache_gates[route] = gate
+            return gate.submit
+        return service.submit_row_serving
 
     def add_thread_group(self, group: ThreadGroup) -> None:
         """Schedule a closed-loop group (JMeter linear ramp-up)."""
@@ -549,6 +660,60 @@ class CapacityRunner:
                 )
         return report
 
+    def serving_summary(self) -> Dict[str, dict]:
+        """Per-route batching/cache/shed counters for reports and the CLI."""
+        out: Dict[str, dict] = {}
+        for route in sorted(self._bound):
+            service = self._bound[route]
+            if service.serving is None:
+                continue
+            batches = service.batches_flushed
+            entry = {
+                "batches": batches,
+                "rows_batched": service.rows_batched,
+                "mean_batch": (
+                    service.rows_batched / batches if batches else 0.0
+                ),
+                "by_size": service.flushed_by_size,
+                "by_deadline": service.flushed_by_deadline,
+                "peak_batch": service.batch_size_peak,
+                "shed_rows": service.shed_rows,
+            }
+            gate = self._cache_gates.get(route)
+            if gate is not None:
+                entry["cache"] = gate.cache.counters()
+                entry["cache_hit_rate"] = gate.cache.hit_rate
+            out[route] = entry
+        return out
+
+    def serving_events(self, at: float) -> List[TelemetryEvent]:
+        """Per-route serving/cache/shed counters as telemetry events.
+
+        One ``serving:<route>`` event per batching service, one
+        ``shed:<route>`` count when admission control dropped rows, and
+        one ``cache:<route>`` hit-rate event per cache gate — all
+        ``KIND_SERVING``, so they ride the same bus → WAL → rollup
+        stream the dashboards and the SLO attribution read.
+        """
+        events = []
+        for route in sorted(self._bound):
+            service = self._bound[route]
+            if service.serving is None:
+                continue
+            events.append(service.serving_event(at))
+            if service.shed_rows:
+                events.append(
+                    TelemetryEvent(
+                        source=f"shed:{route}",
+                        value=float(service.shed_rows),
+                        timestamp=at,
+                        kind=KIND_SERVING,
+                    )
+                )
+        for route in sorted(self._cache_gates):
+            events.append(self._cache_gates[route].event(at))
+        return events
+
     def exemplar_events(self) -> List[TelemetryEvent]:
         """Kept trace exemplars as trace-linked ``KIND_RESPONSE`` events."""
         events = []
@@ -575,6 +740,8 @@ class CapacityRunner:
             for event in report.to_events(timestamp=end_time):
                 self.telemetry.publish(self.topic, event)
             for event in self.exemplar_events():
+                self.telemetry.publish(self.topic, event)
+            for event in self.serving_events(end_time):
                 self.telemetry.publish(self.topic, event)
             self.telemetry.pump()
         return report

@@ -17,6 +17,8 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.gateway.simulation import Simulator
+from repro.serving.admission import SHED_ERROR_MESSAGE
+from repro.serving.policy import ServingPolicy
 from repro.tracing import NULL_SPAN, NULL_TRACER, SpanContext
 
 
@@ -236,6 +238,25 @@ class MicroService:
         self._err_unsupported: Dict[int, int] = {}
         self._st_buffers: Dict[int, _SampleBuffer] = {}
         self._finish_cb = self._finish_row  # pre-bound: no per-event binding
+        # Serving-mode bindings (set by configure_serving); None keeps
+        # the classic one-row-per-worker dispatch untouched.
+        self.serving: Optional[ServingPolicy] = None
+        self._srv_pending: Dict[int, list] = {}
+        self._srv_epoch: Dict[int, int] = {}
+        self._srv_queued = 0
+        self._srv_max_batch = 0
+        self._srv_window = 0.0
+        self._srv_marginal = 0.0
+        self._srv_shed_depth = 0
+        self._err_shed = 0
+        self.batches_flushed = 0
+        self.rows_batched = 0
+        self.flushed_by_size = 0
+        self.flushed_by_deadline = 0
+        self.shed_rows = 0
+        self.batch_size_peak = 0
+        self._flush_deadline_cb = self._flush_deadline
+        self._finish_batch_cb = self._finish_batch
 
     def submit(
         self,
@@ -405,6 +426,7 @@ class MicroService:
             log.intern_payload(p) for p in self.service_time.base_seconds
         )
         self._err_queue_full = log.intern_error("queue full (503)")
+        self._err_shed = log.intern_error(SHED_ERROR_MESSAGE)
         self._err_unsupported = {}
         self._st_buffers = {}
         self._st_last_id = -1  # last payload's buffer, cached off the dict
@@ -528,6 +550,192 @@ class MicroService:
                 self.completed_rows += 1
                 self._sink(row, False)
 
+    def configure_serving(self, policy: ServingPolicy) -> None:
+        """Enable micro-batched dispatch + admission control (DESIGN §15).
+
+        Rows submitted through :meth:`submit_row_serving` coalesce per
+        payload shape and flush as one fused kernel call occupying one
+        worker for ``draw * (1 + (n-1)*batch_marginal)`` — the measured
+        sublinear scaling of the vectorized kernels.  Once the backlog
+        (pending + queued batch rows) reaches ``shed_depth``, new rows
+        are shed with the typed ``503 shed`` error the SLO attribution
+        layer keys on.  The classic per-row submit paths are untouched,
+        so unbatched and batched runs compare apples to apples.
+        """
+        self.serving = policy
+        self._srv_pending = {}
+        self._srv_epoch = {}
+        self._srv_queued = 0
+        self._srv_max_batch = policy.max_batch
+        self._srv_window = policy.batch_window
+        self._srv_marginal = policy.batch_marginal
+        self._srv_shed_depth = policy.shed_depth
+
+    def submit_row_serving(self, row: int) -> None:
+        """Accept, batch, or shed a columnar request at the current time."""
+        log = self._log
+        payload_id = log.v_payload_ids[row]
+        if payload_id not in self._supported_ids:
+            code = self._err_unsupported.get(payload_id)
+            if code is None:
+                payload = log.payload_name(payload_id)
+                code = log.intern_error(f"unsupported payload {payload!r}")
+                self._err_unsupported[payload_id] = code
+            log.fail(row, code, self._sim.now)
+            self.completed_rows += 1
+            self._sink(row, False)
+            return
+        if self._srv_shed_depth and self._srv_queued >= self._srv_shed_depth:
+            self.shed_rows += 1
+            log.fail(row, self._err_shed, self._sim.now)
+            self.completed_rows += 1
+            self._sink(row, False)
+            return
+        pending = self._srv_pending.get(payload_id)
+        if pending is None:
+            pending = []
+            self._srv_pending[payload_id] = pending
+            self._srv_epoch[payload_id] = 0
+        pending.append(row)
+        self._srv_queued += 1
+        if len(pending) >= self._srv_max_batch:
+            self.flushed_by_size += 1
+            self._flush_payload(payload_id)
+        elif len(pending) == 1:
+            self._sim.schedule_call(
+                self._srv_window,
+                self._flush_deadline_cb,
+                (self._srv_epoch[payload_id], payload_id),
+            )
+
+    def _flush_deadline(self, token) -> None:
+        """Window-expiry flush; stale epochs are already-flushed groups."""
+        epoch, payload_id = token
+        if epoch != self._srv_epoch.get(payload_id, -1):
+            return
+        if self._srv_pending.get(payload_id):
+            self.flushed_by_deadline += 1
+            self._flush_payload(payload_id)
+
+    def _flush_payload(self, payload_id: int) -> None:
+        batch = self._srv_pending[payload_id]
+        self._srv_pending[payload_id] = []
+        self._srv_epoch[payload_id] += 1
+        if self._busy < self.concurrency:
+            self._start_batch(batch)
+            return
+        waiting = self._waiting
+        depth = len(waiting)
+        # capacity is counted in queue *entries*: a parked batch is one
+        # fused unit of work, exactly like one record or one row
+        if depth < self.queue_capacity:
+            waiting.append(batch)
+            if depth >= self._peak_queue:
+                self._peak_queue = depth + 1
+            return
+        log = self._log
+        now = self._sim.now
+        code = self._err_queue_full
+        n = len(batch)
+        self.rejected += n
+        self._srv_queued -= n
+        self.completed_rows += n
+        sink = self._sink
+        for row in batch:
+            log.fail(row, code, now)
+            sink(row, False)
+
+    def _start_batch(self, batch: list) -> None:
+        """Start one fused batch on a freed worker (one draw, n rows)."""
+        self._busy += 1
+        log = self._log
+        now = self._sim.now
+        n = len(batch)
+        self._srv_queued -= n
+        for row in batch:
+            log.v_start[row] = now
+        payload_id = log.v_payload_ids[batch[0]]
+        if payload_id == self._st_last_id:
+            buffer = self._st_last_buf
+        else:
+            buffer = self._st_buffers.get(payload_id)
+            if buffer is None:
+                buffer = _SampleBuffer()
+                self._st_buffers[payload_id] = buffer
+            self._st_last_id = payload_id
+            self._st_last_buf = buffer
+        pos = buffer.pos
+        values = buffer.values
+        if pos >= len(values):
+            values = self.service_time.sample_batch(
+                log.payload_name(payload_id), SERVICE_TIME_BATCH
+            ).tolist()
+            buffer.values = values
+            pos = 0
+        buffer.pos = pos + 1
+        duration = values[pos] * (1.0 + (n - 1) * self._srv_marginal)
+        self.batches_flushed += 1
+        self.rows_batched += n
+        if n > self.batch_size_peak:
+            self.batch_size_peak = n
+        _heappush(
+            self._sim_queue,
+            (
+                now + duration,
+                next(self._sim_counter),
+                self._finish_batch_cb,
+                batch,
+            ),
+        )
+
+    def _finish_batch(self, batch: list) -> None:
+        now = self._sim.now
+        log = self._log
+        # one worker held for the whole fused call
+        self._busy_seconds += now - log.v_start[batch[0]]
+        self.completed_rows += len(batch)
+        self._busy -= 1
+        waiting = self._waiting
+        while self._busy < self.concurrency and waiting:
+            entry = waiting.popleft()
+            if type(entry) is list:
+                self._start_batch(entry)
+            elif type(entry) is int:
+                self._start_row(entry)
+            else:
+                self._start(
+                    entry[0], self._sim, entry[1], entry[2], entry[3], entry[4]
+                )
+        sink = self._sink
+        for row in batch:
+            sink(row, True)
+
+    def serving_event(self, at: float):
+        """Batching/shedding counters as a telemetry event.
+
+        ``value`` is the mean rows per fused kernel call; flush-trigger
+        splits, the batch-size peak and the shed count ride in ``attrs``
+        so serving efficiency lands on the same bus → WAL → rollup
+        stream as utilisation.
+        """
+        from repro.telemetry.events import KIND_SERVING, TelemetryEvent
+
+        batches = self.batches_flushed
+        return TelemetryEvent(
+            source=f"serving:{self.name}",
+            value=self.rows_batched / batches if batches else 0.0,
+            timestamp=at,
+            kind=KIND_SERVING,
+            attrs={
+                "batches": float(batches),
+                "rows": float(self.rows_batched),
+                "by_size": float(self.flushed_by_size),
+                "by_deadline": float(self.flushed_by_deadline),
+                "peak": float(self.batch_size_peak),
+                "shed": float(self.shed_rows),
+            },
+        )
+
     def _start_row(self, row: int) -> None:
         """Start a queued row on a freed worker (queue-drain path)."""
         self._busy += 1
@@ -601,6 +809,9 @@ class MicroService:
                         entry,
                     ),
                 )
+            elif type(entry) is list:
+                self._busy -= 1
+                self._start_batch(entry)
             else:
                 self._busy -= 1
                 self._start(
@@ -625,6 +836,8 @@ class MicroService:
             entry = self._waiting.popleft()
             if type(entry) is int:
                 self._start_row(entry)
+            elif type(entry) is list:
+                self._start_batch(entry)
             else:
                 self._start(entry[0], sim, entry[1], entry[2], entry[3], entry[4])
 

@@ -1,0 +1,97 @@
+"""Admission control ahead of the rate limiter: shed early, shed typed.
+
+Overload protection ("graceful degradation under overload" in the
+serving-desiderata paper) belongs *before* work is queued: once the
+batcher's backlog exceeds ``shed_depth`` rows, new work is refused with
+a typed 503 instead of growing an unbounded queue.  Interactive
+requests outrank batch requests — an interactive arrival may evict a
+queued batch-priority request rather than be shed itself.
+
+The shed error string is the contract the rest of the stack keys on:
+:mod:`repro.gateway` and :mod:`repro.cluster` intern errors with the
+same ``503 shed`` prefix, and the SLO attribution helper
+(:func:`repro.slo.attribute_unavailability`) uses the matching
+``shed:<route>`` telemetry series to separate "deliberately shed" from
+"failed" when a burn-rate alert fires.
+"""
+
+from typing import Dict, Optional
+
+__all__ = [
+    "AdmissionController",
+    "PRIORITY_BATCH",
+    "PRIORITY_INTERACTIVE",
+    "SHED_DEADLINE_MESSAGE",
+    "SHED_ERROR_MESSAGE",
+    "SHED_ERROR_PREFIX",
+    "is_shed_error",
+]
+
+#: Interactive traffic outranks offline/batch traffic (lower = higher).
+PRIORITY_INTERACTIVE = 0
+PRIORITY_BATCH = 1
+
+#: Every deliberately-shed request carries this prefix end to end, so
+#: WAL replay and SLO attribution can tell shedding from failure.
+SHED_ERROR_PREFIX = "503 shed"
+SHED_ERROR_MESSAGE = "503 shed (admission overload)"
+SHED_DEADLINE_MESSAGE = "503 shed (deadline expired)"
+
+
+def is_shed_error(error: Optional[str]) -> bool:
+    """True when an error string marks a deliberately-shed request."""
+    return bool(error) and error.startswith(SHED_ERROR_PREFIX)
+
+
+class AdmissionController:
+    """Queue-depth and deadline shedding decisions for the serving path.
+
+    The controller is pure policy: the engine (or a simulated station)
+    asks :meth:`over_depth` with its current backlog and records the
+    outcome via :meth:`note_admitted` / :meth:`note_shed`, so the same
+    counters describe both the real and the discrete-event path.
+    """
+
+    __slots__ = ("shed_depth", "admitted", "shed_overload", "shed_deadline")
+
+    def __init__(self, shed_depth: int = 0) -> None:
+        if shed_depth < 0:
+            raise ValueError("shed_depth must be >= 0")
+        self.shed_depth = shed_depth
+        self.admitted = 0
+        self.shed_overload = 0
+        self.shed_deadline = 0
+
+    def over_depth(self, queued_rows: int) -> bool:
+        """True when the backlog has reached the shedding threshold."""
+        return self.shed_depth > 0 and queued_rows >= self.shed_depth
+
+    @staticmethod
+    def expired(deadline: Optional[float], now: float) -> bool:
+        """True when a request's latency budget has already lapsed."""
+        return deadline is not None and now > deadline
+
+    def note_admitted(self) -> None:
+        """Record one admitted request."""
+        self.admitted += 1
+
+    def note_shed(self, deadline: bool = False) -> None:
+        """Record one shed request (overload unless ``deadline``)."""
+        if deadline:
+            self.shed_deadline += 1
+        else:
+            self.shed_overload += 1
+
+    @property
+    def shed(self) -> int:
+        """Total requests shed for any reason."""
+        return self.shed_overload + self.shed_deadline
+
+    def counters(self) -> Dict[str, float]:
+        """Counter snapshot for telemetry/dashboard publication."""
+        return {
+            "admitted": float(self.admitted),
+            "shed_overload": float(self.shed_overload),
+            "shed_deadline": float(self.shed_deadline),
+            "shed": float(self.shed),
+        }

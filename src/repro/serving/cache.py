@@ -1,0 +1,117 @@
+"""Content-hash explanation cache: feature digest -> SHAP attribution.
+
+Explanations are deterministic functions of (model, background, seed,
+feature vector), so identical inputs always produce identical
+attributions — the one precondition a content-addressed cache needs.
+Real traffic is heavily skewed (the same hot readings get explained
+again and again), which is why the serving-desiderata paper lists
+caching as a first-class serving requirement: a hit turns a ~ms kernel
+solve into a dict lookup.
+
+The cache is clock-agnostic: callers pass ``now`` (wall seconds on the
+real path, simulated seconds in capacity runs), so TTL expiry works
+identically in both worlds and results stay reproducible.
+"""
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ExplanationCache", "digest_features"]
+
+
+def digest_features(x: np.ndarray) -> bytes:
+    """Content hash of one feature vector (float64 canonical form).
+
+    Vectors are canonicalised to contiguous float64 before hashing so
+    the digest depends only on the numeric content, not on dtype or
+    striding of the caller's array.
+    """
+    canonical = np.ascontiguousarray(x, dtype=np.float64)
+    return hashlib.blake2b(canonical.tobytes(), digest_size=16).digest()
+
+
+class ExplanationCache:
+    """Bounded LRU of explanation results with optional TTL.
+
+    ``get``/``put`` take the caller's ``now``; an entry older than
+    ``ttl`` seconds is dropped on access (counted as both an expiration
+    and a miss).  Capacity overflow evicts the least-recently-used
+    entry.  Hit/miss/eviction counters feed ``cache:<route>`` telemetry
+    events and the dashboard serving panel.
+    """
+
+    __slots__ = (
+        "capacity",
+        "ttl",
+        "hits",
+        "misses",
+        "evictions",
+        "expirations",
+        "_entries",
+    )
+
+    def __init__(self, capacity: int, ttl: Optional[float] = None) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("cache ttl must be positive when set")
+        self.capacity = capacity
+        self.ttl = ttl
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self._entries: "OrderedDict[Hashable, Tuple[Any, float]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, now: float) -> Optional[Any]:
+        """Stored value for ``key``, or None on miss/expiry."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        value, stored_at = entry
+        if self.ttl is not None and now - stored_at > self.ttl:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any, now: float) -> None:
+        """Insert/refresh ``key``; evicts LRU entries beyond capacity."""
+        entries = self._entries
+        if key in entries:
+            entries[key] = (value, now)
+            entries.move_to_end(key)
+            return
+        entries[key] = (value, now)
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups so far (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def counters(self) -> Dict[str, float]:
+        """Counter snapshot for telemetry/dashboard publication."""
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "expirations": float(self.expirations),
+            "size": float(len(self._entries)),
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,328 @@
+"""The serving engine: admission -> cache -> micro-batcher -> kernels.
+
+:class:`ServingEngine` is the in-process layer between request sources
+(the gateway, the bench harness, a property test) and the vectorized
+kernels.  Each submitted request passes through
+
+1. the explanation cache (explain requests only) — a content-hash hit
+   resolves immediately with the stored attribution;
+2. admission control — once the batcher's backlog reaches
+   ``shed_depth`` the request is shed with a typed 503, unless it is
+   interactive and can displace queued batch-priority work;
+3. the micro-batcher — grouped per (kind, payload shape) and flushed by
+   size or deadline into one fused kernel call.
+
+Fused execution is bitwise-faithful to per-request calls:
+``FlatForest`` prediction is row-stable across batch widths, and SHAP
+batches go through
+:meth:`~repro.xai.shap.KernelShapExplainer.shap_values_batch_exact`,
+which shares the coalition design and marginal evaluation but solves
+each instance independently (the shared multi-column solve is *not*
+bitwise-stable; see xai/shap.py).  ``benchmarks/bench_serving.py``
+gates both the equality and the >=3x throughput win.
+
+The engine never reads a clock — every entry point takes ``now`` — so
+it is pure given (inputs, now) and runs identically under wall time and
+simulated time.
+"""
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.serving.admission import (
+    AdmissionController,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    SHED_DEADLINE_MESSAGE,
+    SHED_ERROR_MESSAGE,
+)
+from repro.serving.batcher import (
+    Batch,
+    KIND_EXPLAIN,
+    KIND_PREDICT,
+    MicroBatcher,
+    ServingRequest,
+)
+from repro.serving.cache import ExplanationCache, digest_features
+from repro.serving.policy import ServingPolicy
+from repro.telemetry.events import KIND_SERVING, TelemetryEvent
+
+__all__ = ["ServingEngine"]
+
+
+class ServingEngine:
+    """Batching/caching/shedding facade over predict + SHAP kernels.
+
+    ``predict_fn`` maps an (n, d) float64 array to per-row outputs;
+    ``explainer`` (optional) must expose ``shap_values`` and
+    ``shap_values_batch_exact``.  ``tracer`` (optional) gets one
+    ``serving.batch`` span per fused call with per-request child spans,
+    so traces show the fan-in/fan-out explicitly.
+    """
+
+    def __init__(
+        self,
+        predict_fn: Callable[[np.ndarray], np.ndarray],
+        explainer=None,
+        policy: Optional[ServingPolicy] = None,
+        tracer=None,
+    ) -> None:
+        self.policy = policy if policy is not None else ServingPolicy()
+        self.predict_fn = predict_fn
+        self.explainer = explainer
+        self.tracer = tracer
+        self.batcher = MicroBatcher(
+            max_batch=self.policy.max_batch, window=self.policy.batch_window
+        )
+        self.admission = AdmissionController(self.policy.shed_depth)
+        self.cache: Optional[ExplanationCache] = (
+            ExplanationCache(self.policy.cache_size, ttl=self.policy.cache_ttl)
+            if self.policy.cache_size > 0
+            else None
+        )
+        self.batches = 0
+        self.rows_batched = 0
+        self.flushed_by_size = 0
+        self.flushed_by_deadline = 0
+        self.flushed_by_drain = 0
+        self.batch_size_peak = 0
+
+    # -- submission ---------------------------------------------------------
+
+    def submit_predict(
+        self,
+        x: np.ndarray,
+        now: float,
+        priority: int = PRIORITY_INTERACTIVE,
+        deadline: Optional[float] = None,
+    ) -> ServingRequest:
+        """Queue one prediction; resolves when its batch flushes."""
+        return self._submit(KIND_PREDICT, x, now, priority, deadline)
+
+    def submit_explain(
+        self,
+        x: np.ndarray,
+        now: float,
+        priority: int = PRIORITY_INTERACTIVE,
+        deadline: Optional[float] = None,
+    ) -> ServingRequest:
+        """Queue one SHAP explanation; cache hits resolve immediately."""
+        if self.explainer is None:
+            raise RuntimeError("engine built without an explainer")
+        return self._submit(KIND_EXPLAIN, x, now, priority, deadline)
+
+    def _submit(
+        self,
+        kind: str,
+        x: np.ndarray,
+        now: float,
+        priority: int,
+        deadline: Optional[float],
+    ) -> ServingRequest:
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError("submit one feature vector at a time")
+        request = ServingRequest(kind, x, priority, now, deadline)
+        if kind == KIND_EXPLAIN and self.cache is not None:
+            cached = self.cache.get(digest_features(x), now)
+            if cached is not None:
+                request.cache_hit = True
+                request.complete(cached, now)
+                self.admission.note_admitted()
+                return request
+        if self.admission.over_depth(self.batcher.pending):
+            if priority == PRIORITY_INTERACTIVE:
+                victim = self.batcher.evict_one(PRIORITY_BATCH)
+                if victim is not None:
+                    self._shed(victim, now)
+                else:
+                    self._shed(request, now)
+                    return request
+            else:
+                self._shed(request, now)
+                return request
+        self.admission.note_admitted()
+        ready = self.batcher.add(request, now)
+        if ready is not None:
+            self.flushed_by_size += 1
+            self._run_batch(ready, now)
+        return request
+
+    def _shed(self, request: ServingRequest, now: float) -> None:
+        request.fail(SHED_ERROR_MESSAGE, now)
+        self.admission.note_shed()
+
+    # -- flushing -----------------------------------------------------------
+
+    def flush_due(self, now: float) -> int:
+        """Flush every group whose batch window has lapsed; returns rows."""
+        rows = 0
+        for batch in self.batcher.due(now):
+            self.flushed_by_deadline += 1
+            rows += len(batch)
+            self._run_batch(batch, now)
+        return rows
+
+    def drain(self, now: float) -> int:
+        """Flush all queued work regardless of triggers; returns rows."""
+        rows = 0
+        for batch in self.batcher.drain():
+            self.flushed_by_drain += 1
+            rows += len(batch)
+            self._run_batch(batch, now)
+        return rows
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest pending flush deadline, for the caller's event loop."""
+        return self.batcher.next_deadline()
+
+    def _run_batch(self, batch: Batch, now: float) -> None:
+        requests = []
+        for request in batch.requests:
+            if self.admission.expired(request.deadline, now):
+                request.fail(SHED_DEADLINE_MESSAGE, now)
+                self.admission.note_shed(deadline=True)
+            else:
+                requests.append(request)
+        if not requests:
+            return
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "serving.batch",
+                start_time=now,
+                attributes={
+                    "kind": batch.kind,
+                    "rows": len(requests),
+                    "trigger": batch.trigger,
+                },
+            )
+        X = np.stack([request.x for request in requests])
+        if batch.kind == KIND_PREDICT:
+            values = self.predict_fn(X)
+            for i, request in enumerate(requests):
+                request.batch_size = len(requests)
+                request.complete(values[i], now)
+        else:
+            self._run_explain_batch(requests, X, now)
+        if span is not None:
+            for request in requests:
+                child = self.tracer.start_span(
+                    "serving.request",
+                    parent=span,
+                    start_time=request.enqueued_at,
+                    attributes={"kind": request.kind},
+                )
+                child.end(at=now)
+            span.end(at=now)
+        self.batches += 1
+        self.rows_batched += len(requests)
+        if len(requests) > self.batch_size_peak:
+            self.batch_size_peak = len(requests)
+
+    def _run_explain_batch(
+        self, requests: List[ServingRequest], X: np.ndarray, now: float
+    ) -> None:
+        # Duplicate feature vectors within one batch are explained once;
+        # attribution is a pure function of the vector, so sharing the
+        # result is exact.
+        unique_index: Dict[bytes, int] = {}
+        digests = []
+        for request in requests:
+            digest = digest_features(request.x)
+            digests.append(digest)
+            if digest not in unique_index:
+                unique_index[digest] = len(unique_index)
+        rows = []
+        seen: Dict[bytes, int] = {}
+        for i, digest in enumerate(digests):
+            if digest not in seen:
+                seen[digest] = i
+                rows.append(i)
+        unique = X[rows]
+        phi = self.explainer.shap_values_batch_exact(unique)
+        for request, digest in zip(requests, digests):
+            value = phi[unique_index[digest]]
+            request.batch_size = len(requests)
+            request.complete(value, now)
+        if self.cache is not None:
+            for digest, position in unique_index.items():
+                self.cache.put(digest, phi[position], now)
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average rows per fused kernel call so far."""
+        return self.rows_batched / self.batches if self.batches else 0.0
+
+    def counters(self) -> Dict[str, float]:
+        """Combined batcher/cache/admission counters for publication."""
+        counters = {
+            "batches": float(self.batches),
+            "rows_batched": float(self.rows_batched),
+            "flushed_by_size": float(self.flushed_by_size),
+            "flushed_by_deadline": float(self.flushed_by_deadline),
+            "flushed_by_drain": float(self.flushed_by_drain),
+            "batch_size_peak": float(self.batch_size_peak),
+            "mean_batch_size": self.mean_batch_size,
+            "pending": float(self.batcher.pending),
+        }
+        counters.update(self.admission.counters())
+        if self.cache is not None:
+            for key, value in self.cache.counters().items():
+                counters[f"cache_{key}"] = value
+        return counters
+
+    def telemetry_events(
+        self, now: float, route: str = "serving"
+    ) -> List[TelemetryEvent]:
+        """Serving/cache/shed events for a telemetry pipeline or bus.
+
+        ``cache:<route>`` carries the hit rate (with hit/miss/eviction
+        attrs), ``serving:<route>`` the mean batch size, and
+        ``shed:<route>`` the deliberate-shed count the SLO attribution
+        helper keys on.
+        """
+        events = [
+            TelemetryEvent(
+                source=f"serving:{route}",
+                value=self.mean_batch_size,
+                timestamp=now,
+                kind=KIND_SERVING,
+                attrs={
+                    "batches": float(self.batches),
+                    "rows": float(self.rows_batched),
+                    "by_size": float(self.flushed_by_size),
+                    "by_deadline": float(self.flushed_by_deadline),
+                    "peak": float(self.batch_size_peak),
+                },
+            ),
+            TelemetryEvent(
+                source=f"shed:{route}",
+                value=float(self.admission.shed),
+                timestamp=now,
+                kind=KIND_SERVING,
+                attrs={
+                    "overload": float(self.admission.shed_overload),
+                    "deadline": float(self.admission.shed_deadline),
+                },
+            ),
+        ]
+        if self.cache is not None:
+            events.append(
+                TelemetryEvent(
+                    source=f"cache:{route}",
+                    value=self.cache.hit_rate,
+                    timestamp=now,
+                    kind=KIND_SERVING,
+                    attrs={
+                        "hits": float(self.cache.hits),
+                        "misses": float(self.cache.misses),
+                        "evictions": float(self.cache.evictions),
+                        "size": float(len(self.cache)),
+                    },
+                )
+            )
+        return events

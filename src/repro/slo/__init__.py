@@ -18,6 +18,10 @@ rendering of incidents lives in ``repro.core``, which imports this
 package — not the other way round.
 """
 
+from repro.slo.attribution import (
+    UnavailabilityAttribution,
+    attribute_unavailability,
+)
 from repro.slo.burnrate import (
     KIND_SLO_ALERT,
     SLO_TOPIC,
@@ -62,6 +66,8 @@ __all__ = [
     "SLOEvaluator",
     "SLOStatusSummary",
     "StageDiff",
+    "UnavailabilityAttribution",
+    "attribute_unavailability",
     "default_definitions",
     "drill_definitions",
     "fraction_beyond",

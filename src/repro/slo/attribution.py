@@ -1,0 +1,131 @@
+"""Burn attribution: deliberately shed vs actually failed.
+
+Admission control (DESIGN.md §15) converts overload into *typed*
+503s — requests the serving path refused on purpose to protect its
+latency objective.  Those refusals land in the availability ledger as
+0-valued ``ok:<route>`` ticks like any failure, which is correct for
+the error budget (the user still got a 503) but misleading for
+response: a burn-rate page caused by shedding calls for capacity, not
+for a bug hunt.
+
+The split is reconstructable from the telemetry stream alone, because
+the cluster publishes a ``shed:<route>`` marker event *on the same
+sampling stride* as each shed request's 0-valued availability tick.
+Per window: failures come from the ``ok:`` series (count minus sum),
+the deliberate share is the ``shed:`` series' value sum, and the
+difference is what actually failed.  Both series flow bus → WAL →
+rollup, so the attribution survives replay and can be computed
+offline, exactly like the objectives themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.telemetry.rollup import WindowStat
+
+__all__ = [
+    "OK_SOURCE_PREFIX",
+    "SHED_SOURCE_PREFIX",
+    "UnavailabilityAttribution",
+    "attribute_unavailability",
+]
+
+#: Source prefixes of the two series the attribution joins.
+OK_SOURCE_PREFIX = "ok:"
+SHED_SOURCE_PREFIX = "shed:"
+
+
+@dataclass(frozen=True)
+class UnavailabilityAttribution:
+    """One window's unavailability, split by cause."""
+
+    route: str
+    window_start: float
+    window_seconds: float
+    #: sampled completions observed in the window (the ``ok:`` count)
+    total: int
+    #: 0-valued availability ticks (every kind of unsuccess)
+    failures: int
+    #: failures that were deliberate admission-control sheds
+    shed: int
+
+    @property
+    def failed(self) -> int:
+        """Failures that were *not* deliberate (crashes, rejections...)."""
+        return self.failures - self.shed
+
+    @property
+    def availability(self) -> float:
+        return 1.0 - self.failures / self.total if self.total else 1.0
+
+    @property
+    def shed_fraction(self) -> float:
+        """Share of the window's burn that shedding accounts for."""
+        return self.shed / self.failures if self.failures else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "route": self.route,
+            "window_start": self.window_start,
+            "window_seconds": self.window_seconds,
+            "total": self.total,
+            "failures": self.failures,
+            "shed": self.shed,
+            "failed": self.failed,
+            "availability": self.availability,
+            "shed_fraction": self.shed_fraction,
+        }
+
+
+def _route_of(source: str, prefix: str) -> str:
+    return source[len(prefix):]
+
+
+def attribute_unavailability(
+    stats: Iterable[WindowStat],
+) -> List[UnavailabilityAttribution]:
+    """Join ``ok:`` and ``shed:`` window series into per-window splits.
+
+    ``stats`` is any rollup output (live or WAL-replayed); windows of
+    other sources are ignored.  For each ``ok:<route>`` window the
+    failure count is ``count - sum`` (the series carries 1/0 values)
+    and the shed count is the value sum of the matching
+    ``shed:<route>`` window, clamped to the failure count — a shed
+    marker without its tick (window-edge straddle) must not drive the
+    "failed" share negative.  Returns attributions sorted by (route,
+    window start), one per ``ok:`` window that saw traffic.
+    """
+    shed_by_key: Dict[Tuple[str, float], float] = {}
+    ok_windows: List[WindowStat] = []
+    for stat in stats:
+        if stat.source.startswith(OK_SOURCE_PREFIX):
+            ok_windows.append(stat)
+        elif stat.source.startswith(SHED_SOURCE_PREFIX):
+            key = (
+                _route_of(stat.source, SHED_SOURCE_PREFIX),
+                stat.window_start,
+            )
+            shed_by_key[key] = (
+                shed_by_key.get(key, 0.0) + stat.count * stat.mean
+            )
+    out = []
+    for stat in ok_windows:
+        if stat.count == 0:
+            continue
+        route = _route_of(stat.source, OK_SOURCE_PREFIX)
+        failures = int(round(stat.count * (1.0 - stat.mean)))
+        shed = int(round(shed_by_key.get((route, stat.window_start), 0.0)))
+        out.append(
+            UnavailabilityAttribution(
+                route=route,
+                window_start=stat.window_start,
+                window_seconds=stat.window_seconds,
+                total=stat.count,
+                failures=failures,
+                shed=min(shed, failures),
+            )
+        )
+    out.sort(key=lambda a: (a.route, a.window_start))
+    return out

@@ -19,6 +19,7 @@ from repro.telemetry.events import (
     KIND_LOAD_SUMMARY,
     KIND_RESPONSE,
     KIND_SENSOR_READING,
+    KIND_SERVING,
     KIND_UTILIZATION,
     NODE_ID_LABEL,
     SPAN_ID_LABEL,
@@ -44,6 +45,7 @@ __all__ = [
     "KIND_LOAD_SUMMARY",
     "KIND_RESPONSE",
     "KIND_SENSOR_READING",
+    "KIND_SERVING",
     "KIND_UTILIZATION",
     "NODE_ID_LABEL",
     "SENSOR_TOPIC",

@@ -158,3 +158,49 @@ class TestDotExport:
         graph = build_call_graph(table, packages=["ml"])
         assert graph.callees("core.c::run") == {}
         assert node_id("core.c", "run") in graph.locations
+
+
+class TestLoopEdges:
+    KERNEL = "def predict(X):\n    return X\n"
+
+    def test_call_inside_for_loop_is_a_loop_edge(self):
+        graph = build_call_graph(
+            table_for(
+                {
+                    "ml/m.py": self.KERNEL,
+                    "gateway/g.py": "from repro.ml.m import predict\n"
+                    "def pump(rows):\n"
+                    "    for row in rows:\n"
+                    "        predict(row)\n",
+                }
+            )
+        )
+        assert graph.loop_edges == {("gateway.g::pump", "ml.m::predict"): 4}
+
+    def test_call_inside_while_loop_is_a_loop_edge(self):
+        graph = build_call_graph(
+            table_for(
+                {
+                    "ml/m.py": self.KERNEL,
+                    "gateway/g.py": "from repro.ml.m import predict\n"
+                    "def pump(queue):\n"
+                    "    while queue:\n"
+                    "        predict(queue.pop())\n",
+                }
+            )
+        )
+        assert ("gateway.g::pump", "ml.m::predict") in graph.loop_edges
+
+    def test_straight_line_call_is_not_a_loop_edge(self):
+        graph = build_call_graph(
+            table_for(
+                {
+                    "ml/m.py": self.KERNEL,
+                    "gateway/g.py": "from repro.ml.m import predict\n"
+                    "def once(row):\n"
+                    "    return predict(row)\n",
+                }
+            )
+        )
+        assert graph.loop_edges == {}
+        assert "ml.m::predict" in graph.callees("gateway.g::once")

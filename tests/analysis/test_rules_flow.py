@@ -277,3 +277,97 @@ class TestOffLockMutation:
             ["off-lock-mutation"],
         )
         assert findings == []
+
+
+class TestUnbatchedKernelCall:
+    KERNEL = "def predict(X):\n    return X\n"
+
+    def test_flags_per_request_kernel_call_in_serving_loop(self):
+        findings, context = project_findings(
+            {
+                "ml/model.py": self.KERNEL,
+                "gateway/path.py": (
+                    "from repro.ml.model import predict\n"
+                    "def pump(rows):\n"
+                    "    for row in rows:\n"
+                    "        predict(row)\n"
+                ),
+            },
+            ["unbatched-kernel-call"],
+        )
+        assert [(f.path, f.line, f.rule) for f in findings] == [
+            ("gateway/path.py", 4, "unbatched-kernel-call")
+        ]
+        assert "micro-batcher" in findings[0].message
+        assert (
+            "gateway/path.py", 4, "unbatched-kernel-call"
+        ) in context.explanations
+
+    def test_flags_chain_through_helper(self):
+        findings, _ = project_findings(
+            {
+                "ml/model.py": self.KERNEL,
+                "serving/helper.py": (
+                    "from repro.ml.model import predict\n"
+                    "def score_one(row):\n"
+                    "    return predict(row)\n"
+                ),
+                "serving/loop.py": (
+                    "from repro.serving.helper import score_one\n"
+                    "def pump(rows):\n"
+                    "    for row in rows:\n"
+                    "        score_one(row)\n"
+                ),
+            },
+            ["unbatched-kernel-call"],
+        )
+        assert ("serving/loop.py", 4) in [(f.path, f.line) for f in findings]
+
+    def test_batch_named_callee_is_the_sanctioned_shape(self):
+        findings, _ = project_findings(
+            {
+                "ml/model.py": self.KERNEL,
+                "serving/engine.py": (
+                    "from repro.ml.model import predict\n"
+                    "def run_batch(batch):\n"
+                    "    return predict(batch)\n"
+                ),
+                "serving/loop.py": (
+                    "from repro.serving.engine import run_batch\n"
+                    "def drain(batches):\n"
+                    "    for batch in batches:\n"
+                    "        run_batch(batch)\n"
+                ),
+            },
+            ["unbatched-kernel-call"],
+        )
+        assert findings == []
+
+    def test_kernel_internal_loops_are_out_of_scope(self):
+        findings, _ = project_findings(
+            {
+                "ml/model.py": (
+                    "def predict(X):\n"
+                    "    return X\n"
+                    "def predict_all(rows):\n"
+                    "    for row in rows:\n"
+                    "        predict(row)\n"
+                ),
+            },
+            ["unbatched-kernel-call"],
+        )
+        assert findings == []
+
+    def test_straight_line_kernel_call_is_fine(self):
+        findings, _ = project_findings(
+            {
+                "ml/model.py": self.KERNEL,
+                "gateway/path.py": (
+                    "from repro.ml.model import predict\n"
+                    "def once(row):\n"
+                    "    return predict(row)\n"
+                ),
+            },
+            ["unbatched-kernel-call"],
+        )
+        assert findings == []

@@ -213,3 +213,62 @@ class TestSloStrip:
         dash = AIDashboard()
         assert "slo" not in json.loads(dash.to_json())
         assert "SLO" not in dash.render_text()
+
+
+class TestServingProvider:
+    """The serving feed: plain dicts in either runner's summary shape."""
+
+    CAPACITY_SHAPE = {
+        "shap": {
+            "batches": 40,
+            "rows_batched": 100,
+            "mean_batch": 2.5,
+            "shed_rows": 3,
+            "cache": {"hits": 60.0, "misses": 40.0, "hit_rate": 0.6},
+            "cache_hit_rate": 0.6,
+        }
+    }
+
+    CLUSTER_SHAPE = {
+        "shap": {
+            "nodes": {
+                "node-1": {"batches": 10, "rows_batched": 30, "shed_rows": 1},
+                "node-2": {"batches": 10, "rows_batched": 20, "shed_rows": 0},
+            },
+            "cache": {"hits": 5.0, "misses": 5.0, "hit_rate": 0.5},
+            "cache_hit_rate": 0.5,
+        },
+        "_totals": {"shed_requests": 1, "cache_hits": 5},
+    }
+
+    def test_render_includes_batches_cache_and_shed(self):
+        dash = AIDashboard()
+        dash.set_serving_provider(lambda: self.CAPACITY_SHAPE)
+        text = dash.render_text()
+        assert "SERVE shap" in text
+        assert "batches    40" in text
+        assert "cache  60.0%" in text
+        assert "shed 3" in text
+
+    def test_cluster_shape_aggregates_over_nodes(self):
+        dash = AIDashboard()
+        dash.set_serving_provider(lambda: self.CLUSTER_SHAPE)
+        payload = json.loads(dash.to_json())
+        row = payload["serving"]["routes"][0]
+        assert row["route"] == "shap"
+        assert row["batches"] == 20
+        assert row["rows_batched"] == 50
+        assert row["mean_batch"] == 2.5
+        assert row["shed_rows"] == 1
+        assert row["cache_hit_rate"] == 0.5
+
+    def test_totals_entry_is_not_a_route(self):
+        dash = AIDashboard()
+        dash.set_serving_provider(lambda: self.CLUSTER_SHAPE)
+        payload = json.loads(dash.to_json())
+        assert [r["route"] for r in payload["serving"]["routes"]] == ["shap"]
+
+    def test_no_provider_means_no_serving_surface(self):
+        dash = AIDashboard()
+        assert "serving" not in json.loads(dash.to_json())
+        assert "SERVE" not in dash.render_text()

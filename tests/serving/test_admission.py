@@ -1,0 +1,65 @@
+"""AdmissionController policy + the typed shed-error contract."""
+
+import pytest
+
+from repro.serving import (
+    AdmissionController,
+    SHED_DEADLINE_MESSAGE,
+    SHED_ERROR_MESSAGE,
+    SHED_ERROR_PREFIX,
+    is_shed_error,
+)
+
+
+class TestShedErrorContract:
+    def test_messages_carry_the_prefix(self):
+        assert is_shed_error(SHED_ERROR_MESSAGE)
+        assert is_shed_error(SHED_DEADLINE_MESSAGE)
+
+    def test_node_qualified_variants_still_match(self):
+        # the cluster appends " at <node>/<route>"; the prefix match is
+        # what keeps attribution working end to end
+        assert is_shed_error(f"{SHED_ERROR_MESSAGE} at node-3/shap")
+
+    def test_other_errors_do_not_match(self):
+        assert not is_shed_error(None)
+        assert not is_shed_error("")
+        assert not is_shed_error("429 rate limited")
+        assert not is_shed_error("503 service unavailable")
+
+    def test_shed_total_source_does_not_alias_markers(self):
+        # the cluster's end-of-run cumulative snapshot must not be
+        # double-counted by the window-sum attribution join
+        assert not "shed_total:shap".startswith("shed:")
+
+
+class TestAdmissionController:
+    def test_disabled_never_sheds(self):
+        controller = AdmissionController(0)
+        assert not controller.over_depth(10**6)
+
+    def test_depth_threshold(self):
+        controller = AdmissionController(4)
+        assert not controller.over_depth(3)
+        assert controller.over_depth(4)
+        assert controller.over_depth(5)
+
+    def test_deadline_expiry(self):
+        assert not AdmissionController.expired(None, 100.0)
+        assert not AdmissionController.expired(1.0, 1.0)
+        assert AdmissionController.expired(1.0, 1.001)
+
+    def test_counters(self):
+        controller = AdmissionController(1)
+        controller.note_admitted()
+        controller.note_shed()
+        controller.note_shed(deadline=True)
+        assert controller.shed == 2
+        counters = controller.counters()
+        assert counters["admitted"] == 1.0
+        assert counters["shed_overload"] == 1.0
+        assert counters["shed_deadline"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(-1)

@@ -1,0 +1,115 @@
+"""MicroBatcher: size/deadline triggers, shape grouping, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    KIND_EXPLAIN,
+    KIND_PREDICT,
+    MicroBatcher,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    ServingRequest,
+    TRIGGER_DEADLINE,
+    TRIGGER_DRAIN,
+    TRIGGER_SIZE,
+)
+
+
+def _request(kind=KIND_PREDICT, d=4, priority=PRIORITY_INTERACTIVE, at=0.0):
+    return ServingRequest(kind, np.zeros(d), priority, at)
+
+
+class TestTriggers:
+    def test_size_trigger_flushes_exactly_max_batch(self):
+        batcher = MicroBatcher(max_batch=3, window=1.0)
+        assert batcher.add(_request(), now=0.0) is None
+        assert batcher.add(_request(), now=0.0) is None
+        batch = batcher.add(_request(), now=0.0)
+        assert batch is not None
+        assert batch.trigger == TRIGGER_SIZE
+        assert len(batch) == 3
+        assert batcher.pending == 0
+
+    def test_deadline_trigger_keyed_to_oldest_request(self):
+        batcher = MicroBatcher(max_batch=8, window=0.010)
+        batcher.add(_request(at=0.0), now=0.0)
+        batcher.add(_request(at=0.008), now=0.008)
+        assert batcher.due(0.009) == []
+        batches = batcher.due(0.010)
+        assert len(batches) == 1
+        assert batches[0].trigger == TRIGGER_DEADLINE
+        assert len(batches[0]) == 2
+
+    def test_next_deadline_tracks_live_groups(self):
+        batcher = MicroBatcher(max_batch=8, window=0.005)
+        assert batcher.next_deadline() is None
+        batcher.add(_request(), now=1.0)
+        assert batcher.next_deadline() == pytest.approx(1.005)
+        batcher.due(2.0)
+        assert batcher.next_deadline() is None
+
+    def test_drain_flushes_everything(self):
+        batcher = MicroBatcher(max_batch=8, window=1.0)
+        batcher.add(_request(KIND_PREDICT), now=0.0)
+        batcher.add(_request(KIND_EXPLAIN), now=0.0)
+        batches = batcher.drain()
+        assert {b.trigger for b in batches} == {TRIGGER_DRAIN}
+        assert sum(len(b) for b in batches) == 2
+        assert batcher.pending == 0
+
+
+class TestGrouping:
+    def test_kinds_never_mix(self):
+        batcher = MicroBatcher(max_batch=2, window=1.0)
+        batcher.add(_request(KIND_PREDICT), now=0.0)
+        batch = None
+        for __ in range(2):
+            batch = batcher.add(_request(KIND_EXPLAIN), now=0.0)
+        assert batch is not None
+        assert batch.kind == KIND_EXPLAIN
+        assert all(r.kind == KIND_EXPLAIN for r in batch.requests)
+
+    def test_payload_shapes_never_mix(self):
+        batcher = MicroBatcher(max_batch=2, window=1.0)
+        batcher.add(_request(d=4), now=0.0)
+        batcher.add(_request(d=6), now=0.0)
+        batch = batcher.add(_request(d=6), now=0.0)
+        assert batch is not None
+        assert all(r.x.shape == (6,) for r in batch.requests)
+        assert batcher.pending == 1  # the d=4 request still queued
+
+
+class TestEviction:
+    def test_evicts_newest_batch_priority_victim(self):
+        batcher = MicroBatcher(max_batch=8, window=1.0)
+        old = _request(priority=PRIORITY_BATCH)
+        new = _request(priority=PRIORITY_BATCH)
+        batcher.add(old, now=0.0)
+        batcher.add(new, now=0.1)
+        victim = batcher.evict_one(PRIORITY_BATCH)
+        assert victim is new
+        assert batcher.pending == 1
+
+    def test_never_evicts_interactive_work(self):
+        batcher = MicroBatcher(max_batch=8, window=1.0)
+        batcher.add(_request(priority=PRIORITY_INTERACTIVE), now=0.0)
+        assert batcher.evict_one(PRIORITY_BATCH) is None
+        assert batcher.pending == 1
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(window=-0.1)
+
+    def test_result_raises_until_done(self):
+        request = _request()
+        with pytest.raises(RuntimeError):
+            request.result()
+        request.fail("503 shed (admission overload)", now=1.0)
+        with pytest.raises(RuntimeError, match="503 shed"):
+            request.result()
+        assert request.latency == pytest.approx(1.0)

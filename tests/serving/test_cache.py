@@ -1,0 +1,76 @@
+"""ExplanationCache: LRU bounds, TTL expiry, digest canonicalisation."""
+
+import numpy as np
+import pytest
+
+from repro.serving import ExplanationCache, digest_features
+
+
+class TestDigest:
+    def test_content_addressed(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert digest_features(x) == digest_features(x.copy())
+        assert digest_features(x) != digest_features(x + 1e-12)
+
+    def test_dtype_and_striding_canonicalised(self):
+        x = np.array([1, 2, 3], dtype=np.int32)
+        y = np.array([1.0, 2.0, 3.0])
+        assert digest_features(x) == digest_features(y)
+        wide = np.array([[1.0, 9.0], [2.0, 9.0], [3.0, 9.0]])
+        assert digest_features(wide[:, 0]) == digest_features(y)
+
+
+class TestExplanationCache:
+    def test_miss_then_hit(self):
+        cache = ExplanationCache(4)
+        assert cache.get(b"k", now=0.0) is None
+        cache.put(b"k", "value", now=0.0)
+        assert cache.get(b"k", now=1.0) == "value"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_is_bounded(self):
+        cache = ExplanationCache(2)
+        cache.put(b"a", 1, now=0.0)
+        cache.put(b"b", 2, now=0.0)
+        cache.get(b"a", now=0.0)  # refresh a; b becomes LRU
+        cache.put(b"c", 3, now=0.0)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(b"b", now=0.0) is None
+        assert cache.get(b"a", now=0.0) == 1
+
+    def test_ttl_expiry_counts_as_miss(self):
+        cache = ExplanationCache(4, ttl=1.0)
+        cache.put(b"k", "v", now=0.0)
+        assert cache.get(b"k", now=0.5) == "v"
+        assert cache.get(b"k", now=2.0) is None
+        assert cache.expirations == 1
+        assert cache.misses == 1
+        assert len(cache) == 0
+
+    def test_put_refresh_does_not_evict(self):
+        cache = ExplanationCache(2)
+        cache.put(b"a", 1, now=0.0)
+        cache.put(b"b", 2, now=0.0)
+        cache.put(b"a", 10, now=1.0)
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get(b"a", now=1.0) == 10
+
+    def test_counters_snapshot(self):
+        cache = ExplanationCache(2)
+        cache.put(b"a", 1, now=0.0)
+        cache.get(b"a", now=0.0)
+        cache.get(b"z", now=0.0)
+        counters = cache.counters()
+        assert counters["hits"] == 1.0
+        assert counters["misses"] == 1.0
+        assert counters["size"] == 1.0
+        assert counters["hit_rate"] == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExplanationCache(0)
+        with pytest.raises(ValueError):
+            ExplanationCache(4, ttl=0.0)

@@ -1,0 +1,156 @@
+"""ServingEngine: fused execution, cache hits, shedding, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    SHED_DEADLINE_MESSAGE,
+    ServingEngine,
+    ServingPolicy,
+    is_shed_error,
+)
+from repro.xai.shap import KernelShapExplainer
+
+D = 4
+
+
+def _predict(X):
+    X = np.asarray(X, dtype=np.float64)
+    # row-wise reductions only: bitwise row-stable across batch widths
+    return np.stack([X.sum(axis=1), (X * X).sum(axis=1)], axis=1)
+
+
+@pytest.fixture()
+def explainer():
+    rng = np.random.default_rng(0)
+    return KernelShapExplainer(
+        _predict, rng.normal(size=(16, D)), n_coalitions=16, seed=0
+    )
+
+
+def _engine(explainer, **overrides):
+    defaults = dict(max_batch=4, batch_window=0.010)
+    defaults.update(overrides)
+    return ServingEngine(_predict, explainer, ServingPolicy(**defaults))
+
+
+class TestFusedExecution:
+    def test_predict_batch_matches_per_request_bitwise(self, explainer):
+        engine = _engine(explainer)
+        rng = np.random.default_rng(1)
+        xs = rng.normal(size=(4, D))
+        requests = [engine.submit_predict(x, now=0.0) for x in xs]
+        assert all(r.done for r in requests)  # size trigger fired
+        for x, request in zip(xs, requests):
+            assert np.array_equal(request.result(), _predict(x[None])[0])
+        assert engine.batches == 1
+        assert engine.flushed_by_size == 1
+
+    def test_explain_batch_matches_per_request_bitwise(self, explainer):
+        engine = _engine(explainer)
+        rng = np.random.default_rng(2)
+        xs = rng.normal(size=(3, D))
+        requests = [engine.submit_explain(x, now=0.0) for x in xs]
+        engine.drain(now=0.001)
+        for x, request in zip(xs, requests):
+            assert np.array_equal(request.result(), explainer.shap_values(x))
+
+    def test_deadline_flush(self, explainer):
+        engine = _engine(explainer, batch_window=0.005)
+        request = engine.submit_predict(np.ones(D), now=0.0)
+        assert not request.done
+        assert engine.next_deadline() == pytest.approx(0.005)
+        assert engine.flush_due(0.004) == 0
+        assert engine.flush_due(0.005) == 1
+        assert request.done
+        assert engine.flushed_by_deadline == 1
+
+    def test_explain_requires_explainer(self):
+        engine = ServingEngine(_predict, explainer=None)
+        with pytest.raises(RuntimeError):
+            engine.submit_explain(np.ones(D), now=0.0)
+
+
+class TestCache:
+    def test_repeat_explains_hit_and_bits_match(self, explainer):
+        engine = _engine(explainer, cache_size=8)
+        x = np.array([0.5, -1.0, 2.0, 0.25])
+        first = engine.submit_explain(x, now=0.0)
+        engine.drain(now=0.001)
+        second = engine.submit_explain(x.copy(), now=0.002)
+        assert second.cache_hit
+        assert second.done
+        assert np.array_equal(second.result(), first.result())
+        assert engine.cache.hits == 1
+
+    def test_in_batch_duplicates_share_one_solve(self, explainer):
+        engine = _engine(explainer, cache_size=8)
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        a = engine.submit_explain(x, now=0.0)
+        b = engine.submit_explain(x.copy(), now=0.0)
+        engine.drain(now=0.001)
+        assert np.array_equal(a.result(), b.result())
+        assert np.array_equal(a.result(), explainer.shap_values(x))
+
+
+class TestAdmission:
+    def test_batch_priority_shed_at_depth(self, explainer):
+        engine = _engine(explainer, max_batch=16, shed_depth=2)
+        for __ in range(2):
+            engine.submit_predict(np.ones(D), now=0.0, priority=PRIORITY_BATCH)
+        shed = engine.submit_predict(
+            np.ones(D), now=0.0, priority=PRIORITY_BATCH
+        )
+        assert shed.done
+        assert is_shed_error(shed.error)
+        assert engine.admission.shed_overload == 1
+
+    def test_interactive_displaces_queued_batch_work(self, explainer):
+        engine = _engine(explainer, max_batch=16, shed_depth=2)
+        victims = [
+            engine.submit_predict(
+                np.ones(D), now=0.0, priority=PRIORITY_BATCH
+            )
+            for __ in range(2)
+        ]
+        vip = engine.submit_predict(
+            np.ones(D), now=0.0, priority=PRIORITY_INTERACTIVE
+        )
+        assert not vip.done  # admitted into the queue
+        assert any(v.done and is_shed_error(v.error) for v in victims)
+
+    def test_interactive_shed_when_no_victim(self, explainer):
+        engine = _engine(explainer, max_batch=16, shed_depth=2)
+        for __ in range(2):
+            engine.submit_predict(
+                np.ones(D), now=0.0, priority=PRIORITY_INTERACTIVE
+            )
+        shed = engine.submit_predict(
+            np.ones(D), now=0.0, priority=PRIORITY_INTERACTIVE
+        )
+        assert shed.done
+        assert is_shed_error(shed.error)
+
+    def test_expired_deadline_fails_typed_at_flush(self, explainer):
+        engine = _engine(explainer, batch_window=0.010)
+        request = engine.submit_predict(np.ones(D), now=0.0, deadline=0.002)
+        engine.flush_due(0.010)
+        assert request.error == SHED_DEADLINE_MESSAGE
+        assert engine.admission.shed_deadline == 1
+
+
+class TestTelemetry:
+    def test_event_sources_and_counters(self, explainer):
+        engine = _engine(explainer, cache_size=8)
+        x = np.ones(D)
+        engine.submit_explain(x, now=0.0)
+        engine.drain(now=0.001)
+        engine.submit_explain(x, now=0.002)
+        events = engine.telemetry_events(now=1.0, route="shap")
+        sources = {event.source for event in events}
+        assert sources == {"serving:shap", "shed:shap", "cache:shap"}
+        counters = engine.counters()
+        assert counters["batches"] == 1.0
+        assert counters["cache_hits"] == 1.0

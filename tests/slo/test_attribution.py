@@ -1,0 +1,106 @@
+"""Unavailability attribution: shed vs failed from window series."""
+
+import pytest
+
+from repro.slo import UnavailabilityAttribution, attribute_unavailability
+from repro.telemetry.rollup import WindowStat
+
+
+def _stat(source, start, count, mean):
+    return WindowStat(
+        source=source,
+        window_start=start,
+        window_seconds=1.0,
+        count=count,
+        mean=mean,
+        min=0.0,
+        max=1.0,
+        p50=mean,
+        p95=1.0,
+    )
+
+
+class TestJoin:
+    def test_splits_failures_into_shed_and_failed(self):
+        # 20 ticks at mean 0.8 -> 4 failures; 3 shed markers of value 1
+        stats = [
+            _stat("ok:shap", 0.0, 20, 0.8),
+            _stat("shed:shap", 0.0, 3, 1.0),
+        ]
+        (attribution,) = attribute_unavailability(stats)
+        assert attribution.route == "shap"
+        assert attribution.total == 20
+        assert attribution.failures == 4
+        assert attribution.shed == 3
+        assert attribution.failed == 1
+        assert attribution.availability == pytest.approx(0.8)
+        assert attribution.shed_fraction == pytest.approx(0.75)
+
+    def test_no_shed_series_means_all_failed(self):
+        (attribution,) = attribute_unavailability([_stat("ok:shap", 0.0, 10, 0.5)])
+        assert attribution.failures == 5
+        assert attribution.shed == 0
+        assert attribution.failed == 5
+        assert attribution.shed_fraction == 0.0
+
+    def test_windows_join_on_route_and_start(self):
+        stats = [
+            _stat("ok:shap", 0.0, 10, 0.5),
+            _stat("ok:shap", 1.0, 10, 1.0),
+            _stat("shed:shap", 1.0, 2, 1.0),  # markers in the clean window
+            _stat("ok:lime", 0.0, 10, 0.9),
+            _stat("shed:lime", 0.0, 1, 1.0),
+        ]
+        attributions = attribute_unavailability(stats)
+        by_key = {(a.route, a.window_start): a for a in attributions}
+        assert by_key[("shap", 0.0)].shed == 0
+        assert by_key[("lime", 0.0)].shed == 1
+        # sorted by (route, window_start)
+        assert [(a.route, a.window_start) for a in attributions] == [
+            ("lime", 0.0),
+            ("shap", 0.0),
+            ("shap", 1.0),
+        ]
+
+    def test_orphan_markers_clamped_to_failures(self):
+        # a window-edge straddle: more markers than 0-ticks in the window
+        stats = [
+            _stat("ok:shap", 0.0, 10, 0.9),  # 1 failure
+            _stat("shed:shap", 0.0, 5, 1.0),  # 5 markers
+        ]
+        (attribution,) = attribute_unavailability(stats)
+        assert attribution.failures == 1
+        assert attribution.shed == 1
+        assert attribution.failed == 0
+
+    def test_shed_total_snapshot_is_not_a_marker_series(self):
+        stats = [
+            _stat("ok:shap", 0.0, 10, 0.6),
+            _stat("shed:shap", 0.0, 2, 1.0),
+            _stat("shed_total:shap", 0.0, 1, 500.0),  # cumulative snapshot
+        ]
+        (attribution,) = attribute_unavailability(stats)
+        assert attribution.shed == 2  # the snapshot did not double-count
+
+    def test_other_sources_and_empty_windows_ignored(self):
+        stats = [
+            _stat("latency:shap", 0.0, 10, 0.5),
+            _stat("ok:shap", 0.0, 0, 0.0),
+        ]
+        assert attribute_unavailability(stats) == []
+
+
+class TestDataclass:
+    def test_to_dict_round_trip(self):
+        attribution = UnavailabilityAttribution(
+            route="shap",
+            window_start=2.0,
+            window_seconds=1.0,
+            total=10,
+            failures=4,
+            shed=3,
+        )
+        payload = attribution.to_dict()
+        assert payload["failed"] == 1
+        assert payload["shed_fraction"] == pytest.approx(0.75)
+        assert payload["availability"] == pytest.approx(0.6)

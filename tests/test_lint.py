@@ -62,6 +62,7 @@ class TestLintSelfCheck:
             "wallclock-taint",
             "rng-taint",
             "off-lock-mutation",
+            "unbatched-kernel-call",
         } <= ids
 
     def test_catches_missing_placeholder(self):

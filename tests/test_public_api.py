@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.telemetry",
     "repro.tracing",
     "repro.cluster",
+    "repro.serving",
 ]
 
 
