@@ -1,0 +1,392 @@
+"""Kernel-pool gate: multi-core overlap must pay without changing bits.
+
+The pool (DESIGN.md §16) makes four promises, each gated here:
+
+- **throughput**: on the simulated deployment (a concurrency-1 station,
+  so kernel execution is the bottleneck), four pool workers complete a
+  saturating SHAP workload at >= ``POOL_SPEEDUP_FLOOR`` (2.5x) the
+  single-process station at equal-or-better p95;
+- **fidelity**: every result the forked pool returns — predict rows and
+  SHAP attributions alike — is bitwise-equal to the in-process kernels
+  (``np.array_equal``, no tolerance);
+- **resilience**: with workers crashing mid-run, every submitted batch
+  still resolves exactly once (0 lost requests, no double-counted
+  dispatches);
+- **zero tax when off**: ``NullPool`` (the ``--pool-workers 0`` tier)
+  stays within ``NULLPOOL_OVERHEAD_CEILING`` (5%) of the plain engine.
+
+A real-fork wall-clock speedup is also recorded; it is only *gated*
+when the host has >= 4 cores, since a single-core container cannot
+overlap anything (CI images vary — the simulated gate carries the
+scaling claim deterministically).
+
+``python benchmarks/bench_pool.py`` writes the measured numbers to
+``BENCH_pool.json`` as the committed baseline.
+"""
+
+import json
+import multiprocessing
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.gateway import (
+    APIGateway,
+    CapacityRunner,
+    Machine,
+    MicroService,
+    PoissonArrivalGroup,
+    ServiceTimeModel,
+)
+from repro.gateway.simulation import Simulator
+from repro.ml import RandomForestClassifier
+from repro.pool import KernelPool, NullPool
+from repro.serving import ServingEngine, ServingPolicy
+from repro.xai.shap import KernelShapExplainer
+
+#: Four simulated pool workers vs the single-process station.
+POOL_SPEEDUP_FLOOR = 2.5
+
+#: NullPool must cost at most 5% over calling the engine without a pool.
+NULLPOOL_OVERHEAD_CEILING = 1.05
+
+#: Wall-clock budget for the whole measurement pass.
+MEASUREMENT_BUDGET_S = 120.0
+
+N_FEATURES = 6
+#: Real-pool fidelity/crash workload: mixed batches through the fork.
+N_BATCHES = 16
+BATCH_ROWS = 6
+#: NullPool parity workload: the serving mix the pool exists for —
+#: mostly predictions with a stream of SHAP explanations mixed in.
+PARITY_REQUESTS = 2000
+PARITY_EXPLAIN_EVERY = 10
+PARITY_BATCH = 8
+PARITY_TRIALS = 5
+
+#: Simulated saturating workload on the concurrency-1 station.
+SIM_RATE_RPS = 2000.0
+SIM_REQUESTS = 3000
+SIM_SERVICE_S = 0.016
+
+_BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_pool.json"
+
+
+def _fixtures():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(400, N_FEATURES))
+    y = (X[:, 0] + X[:, 1] * X[:, 2] > 0).astype(int)
+    model = RandomForestClassifier(n_estimators=10, max_depth=6, seed=0).fit(
+        X, y
+    )
+    explainer = KernelShapExplainer(
+        model.predict_proba, X[:32], n_coalitions=64, seed=0
+    )
+    batches = [
+        rng.normal(size=(BATCH_ROWS, N_FEATURES)) for _ in range(N_BATCHES)
+    ]
+    return model, explainer, batches
+
+
+def _fidelity_pass(model, explainer, batches, crash_every=0):
+    """Submit every batch through a forked pool; count mismatches/losses.
+
+    With ``crash_every`` > 0 a worker is killed before every k-th
+    submission, exercising respawn + resubmission under load.
+    """
+    pool = KernelPool(
+        model.predict_proba, explainer, workers=2, arena_mb=4.0
+    )
+    try:
+        futures = []
+        for index, X in enumerate(batches):
+            if crash_every and index % crash_every == 0:
+                pool.inject_crash(worker_id=index % pool.workers)
+            if index % 2 == 0:
+                futures.append(("predict", X, pool.submit_predict(X)))
+            else:
+                futures.append(("explain", X, pool.submit_explain(X)))
+        released = pool.drain(now=1.0)
+        lost = len(batches) - len(released)
+        mismatches = 0
+        for kind, X, future in futures:
+            if not future.done or future.error is not None:
+                mismatches += 1
+                continue
+            oracle = (
+                model.predict_proba(X)
+                if kind == "predict"
+                else explainer.shap_values_batch_exact(X)
+            )
+            if not np.array_equal(future.result(), oracle):
+                mismatches += 1
+        counters = pool.counters()
+        return {
+            "mismatches": mismatches,
+            "lost": lost,
+            "dispatched": counters["dispatched"],
+            "completed": counters["completed"],
+            "crashes": counters["crashes"],
+            "resubmitted": counters["resubmitted"],
+        }
+    finally:
+        pool.close()
+
+
+def _parity_workload(rng):
+    vectors = rng.normal(size=(32, N_FEATURES))
+    ids = rng.integers(0, 32, size=PARITY_REQUESTS)
+    return vectors, ids
+
+
+def _engine_pass(model, explainer, vectors, ids, pool):
+    """Wall-clock seconds for one engine replay (pool=None or NullPool)."""
+    policy = ServingPolicy(
+        max_batch=PARITY_BATCH, batch_window=0.004, cache_size=0
+    )
+    engine = ServingEngine(model.predict_proba, explainer, policy, pool=pool)
+    start = time.perf_counter()
+    for i, vector_id in enumerate(ids):
+        if i % PARITY_EXPLAIN_EVERY == 0:
+            engine.submit_explain(vectors[vector_id], now=i * 0.001)
+        else:
+            engine.submit_predict(vectors[vector_id], now=i * 0.001)
+    engine.drain(now=PARITY_REQUESTS * 0.001)
+    return time.perf_counter() - start
+
+
+def _real_speedup(model, explainer, batches):
+    """Forked-pool vs inline wall-clock on the SHAP workload (recorded)."""
+    inline_start = time.perf_counter()
+    for X in batches:
+        explainer.shap_values_batch_exact(X)
+    inline_seconds = time.perf_counter() - inline_start
+    workers = min(4, multiprocessing.cpu_count())
+    with KernelPool(
+        model.predict_proba, explainer, workers=workers, arena_mb=4.0
+    ) as pool:
+        start = time.perf_counter()
+        for X in batches:
+            pool.submit_explain(X)
+        pool.drain(now=1.0)
+        pooled_seconds = time.perf_counter() - start
+    return inline_seconds / pooled_seconds, workers
+
+
+def _sim_pass(pool_workers):
+    """Saturating open loop against one concurrency-1 simulated station."""
+    sim = Simulator()
+    gateway = APIGateway(sim, overhead_seconds=0.0)
+    gateway.register(
+        MicroService(
+            name="shap",
+            machine=Machine("host", vcpus=4, ram_gb=8),
+            service_time=ServiceTimeModel(
+                {"tabular": SIM_SERVICE_S}, jitter=0.1
+            ),
+            concurrency=1,
+        )
+    )
+    policy = ServingPolicy(
+        max_batch=8,
+        batch_window=0.004,
+        cache_size=0,
+        shed_depth=0,
+        pool_workers=pool_workers,
+    )
+    runner = CapacityRunner(sim, gateway, serving=policy, seed=11)
+    runner.add_open_loop(
+        PoissonArrivalGroup(
+            route="shap", rate_rps=SIM_RATE_RPS, n_requests=SIM_REQUESTS
+        )
+    )
+    return runner.run()
+
+
+def measure_all():
+    """Run every measurement once; returns the figures the asserts gate."""
+    started = time.perf_counter()
+    model, explainer, batches = _fixtures()
+    explainer.shap_values_batch_exact(batches[0][:2])  # warm the kernels
+
+    clean = _fidelity_pass(model, explainer, batches)
+    crashed = _fidelity_pass(model, explainer, batches, crash_every=5)
+
+    rng = np.random.default_rng(3)
+    vectors, ids = _parity_workload(rng)
+    # alternate inline/NullPool trials so clock drift hits both equally;
+    # min-of-N is the usual noise floor for sub-second passes
+    inline_trials, nullpool_trials = [], []
+    for __ in range(PARITY_TRIALS):
+        inline_trials.append(
+            _engine_pass(model, explainer, vectors, ids, None)
+        )
+        nullpool_trials.append(
+            _engine_pass(
+                model,
+                explainer,
+                vectors,
+                ids,
+                NullPool(model.predict_proba, explainer),
+            )
+        )
+    inline_seconds = min(inline_trials)
+    nullpool_seconds = min(nullpool_trials)
+
+    real_speedup, real_workers = _real_speedup(model, explainer, batches)
+
+    single = _sim_pass(pool_workers=1)
+    pooled = _sim_pass(pool_workers=4)
+
+    return {
+        "n_batches": N_BATCHES,
+        "batch_rows": BATCH_ROWS,
+        "bitwise_mismatches": clean["mismatches"],
+        "lost_requests": clean["lost"],
+        "crash_bitwise_mismatches": crashed["mismatches"],
+        "crash_lost_requests": crashed["lost"],
+        "crash_worker_crashes": crashed["crashes"],
+        "crash_resubmitted": crashed["resubmitted"],
+        "crash_dispatched": crashed["dispatched"],
+        "crash_completed": crashed["completed"],
+        "inline_engine_seconds": inline_seconds,
+        "nullpool_engine_seconds": nullpool_seconds,
+        "nullpool_overhead": nullpool_seconds / inline_seconds,
+        "real_pool_workers": real_workers,
+        "real_pool_speedup": real_speedup,
+        "cpu_count": multiprocessing.cpu_count(),
+        "sim_rate_rps": SIM_RATE_RPS,
+        "sim_tput_single_rps": single.throughput_rps,
+        "sim_tput_pooled_rps": pooled.throughput_rps,
+        "sim_pool_speedup": single.throughput_rps
+        and pooled.throughput_rps / single.throughput_rps,
+        "sim_p95_single_ms": single.p95_response_ms,
+        "sim_p95_pooled_ms": pooled.p95_response_ms,
+        "sim_errors": single.n_errors + pooled.n_errors,
+        "measurement_seconds": time.perf_counter() - started,
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements(figure_printer):
+    results = measure_all()
+    figure_printer(
+        "kernel pool: pooled vs single-process",
+        ["metric", "value"],
+        [
+            ("sim pool speedup", f"{results['sim_pool_speedup']:.1f}x"),
+            ("sim p95 single", f"{results['sim_p95_single_ms']:.0f}ms"),
+            ("sim p95 pooled", f"{results['sim_p95_pooled_ms']:.0f}ms"),
+            ("bitwise mismatches", results["bitwise_mismatches"]),
+            ("crash lost requests", results["crash_lost_requests"]),
+            ("crash resubmitted", results["crash_resubmitted"]),
+            ("nullpool overhead", f"{results['nullpool_overhead']:.3f}x"),
+            ("real-fork speedup", f"{results['real_pool_speedup']:.2f}x"),
+        ],
+    )
+    return results
+
+
+def bench_pooled_station_is_2p5x_single_process(check, measurements):
+    """Four simulated pool workers must beat one process >=2.5x."""
+
+    def verify():
+        speedup = measurements["sim_pool_speedup"]
+        assert speedup >= POOL_SPEEDUP_FLOOR, (
+            f"4-worker pool ran at {speedup:.2f}x the single-process "
+            f"station, below the {POOL_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        assert (
+            measurements["sim_p95_pooled_ms"]
+            <= measurements["sim_p95_single_ms"]
+        ), "pooling must not trade p95 away"
+        assert measurements["sim_errors"] == 0
+
+    check(verify)
+
+
+def bench_pool_results_bitwise_equal(check, measurements):
+    """The forked pool never changes a result bit."""
+
+    def verify():
+        assert measurements["bitwise_mismatches"] == 0
+        assert measurements["lost_requests"] == 0
+
+    check(verify)
+
+
+def bench_crashes_lose_nothing(check, measurements):
+    """Worker crashes resubmit; every batch resolves exactly once."""
+
+    def verify():
+        assert measurements["crash_lost_requests"] == 0
+        assert measurements["crash_bitwise_mismatches"] == 0
+        # telemetry advanced once per submission, crashes notwithstanding
+        assert (
+            measurements["crash_dispatched"]
+            == measurements["crash_completed"]
+            == N_BATCHES
+        )
+
+    check(verify)
+
+
+def bench_nullpool_within_5_percent(check, measurements):
+    """The tier-off wrapper must be free when the pool is disabled."""
+
+    def verify():
+        overhead = measurements["nullpool_overhead"]
+        assert overhead <= NULLPOOL_OVERHEAD_CEILING, (
+            f"NullPool engine ran at {overhead:.3f}x the plain engine, "
+            f"over the {NULLPOOL_OVERHEAD_CEILING:.2f}x ceiling"
+        )
+
+    check(verify)
+
+
+def bench_real_fork_speedup_on_multicore(check, measurements):
+    """Wall-clock overlap gated only where cores exist to overlap on."""
+
+    def verify():
+        if measurements["cpu_count"] < 4:
+            return  # recorded, not gated, on small containers
+        assert measurements["real_pool_speedup"] >= 1.5
+
+    check(verify)
+
+
+def bench_measurement_under_budget(check, measurements):
+    """Whole pass stays interactive (wall-clock-budget pattern)."""
+
+    def verify():
+        elapsed = measurements["measurement_seconds"]
+        assert elapsed < MEASUREMENT_BUDGET_S, (
+            f"pool measurements took {elapsed:.1f}s, "
+            f"budget {MEASUREMENT_BUDGET_S}s"
+        )
+
+    check(verify)
+
+
+def bench_matches_committed_baseline(check, measurements):
+    """Committed BENCH_pool.json must still clear the same floors."""
+
+    def verify():
+        if not _BASELINE_PATH.exists():
+            return
+        baseline = json.loads(_BASELINE_PATH.read_text())
+        assert baseline["sim_pool_speedup"] >= POOL_SPEEDUP_FLOOR
+        assert baseline["bitwise_mismatches"] == 0
+        assert baseline["crash_lost_requests"] == 0
+        assert baseline["nullpool_overhead"] <= NULLPOOL_OVERHEAD_CEILING
+
+    check(verify)
+
+
+if __name__ == "__main__":
+    figures = measure_all()
+    _BASELINE_PATH.write_text(json.dumps(figures, indent=2) + "\n")
+    for key, value in figures.items():
+        print(f"{key:28s} {value}")

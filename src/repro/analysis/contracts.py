@@ -24,6 +24,7 @@ __all__ = [
     "ALLOWED_IMPORTS",
     "CLOCK_IMPORT_BANNED_PACKAGES",
     "CLOCK_INJECTED_PACKAGES",
+    "CROSS_PROCESS_PACKAGES",
     "PURE_PACKAGES",
     "RNG_TAINT_PACKAGES",
     "SERVING_PATH_PACKAGES",
@@ -52,13 +53,18 @@ ALLOWED_IMPORTS: Dict[str, frozenset] = {
     # tracing sits just above telemetry: spans are the interval-valued
     # sibling of events, and the exemplar join needs both vocabularies
     "tracing": frozenset({"telemetry"}),
+    # the kernel pool ships batches to forked workers through shared
+    # memory; it publishes occupancy/crash counters through telemetry
+    # but must stay ignorant of the layers that feed it
+    "pool": frozenset({"telemetry"}),
     # the SLO engine evaluates rollup windows and drills into traces;
     # incident *rendering* (narrator/dashboard) lives in core, above it
     "slo": frozenset({"telemetry", "tracing"}),
     # the serving layer fuses per-request work into kernel calls; it
     # sits between the request sources (gateway/cluster) and the pure
-    # kernels, publishing its counters through telemetry
-    "serving": frozenset({"ml", "xai", "telemetry", "tracing"}),
+    # kernels, publishing its counters through telemetry; the engine
+    # may hand flushed batches to a repro.pool worker pool
+    "serving": frozenset({"ml", "xai", "telemetry", "tracing", "pool"}),
     # layer 2 — serving and adversarial workloads
     "gateway": frozenset({"ml", "serving", "telemetry", "tracing"}),
     # the multi-node deployment composes the single-node serving engine
@@ -129,6 +135,13 @@ RNG_TAINT_PACKAGES = PURE_PACKAGES | frozenset(
 # the micro-batcher (DESIGN.md §15).  The pure kernel layers themselves
 # are out of scope — their internal loops are the batched endpoints.
 SERVING_PATH_PACKAGES = frozenset({"serving", "gateway", "cluster"})
+
+# Scope of the cross-process-pickle rule: packages that own or drive the
+# multi-process kernel pool (DESIGN.md §16).  Inside them, ndarray/bytes
+# payloads must cross process boundaries through the shared-memory
+# arena, never by pickling through a multiprocessing queue or executor
+# submit — the zero-copy hot path is the whole point of repro.pool.
+CROSS_PROCESS_PACKAGES = SERVING_PATH_PACKAGES | frozenset({"pool"})
 
 
 def _module_name(relpath: str) -> str:

@@ -29,6 +29,7 @@ from repro.analysis.callgraph import (
     is_external,
 )
 from repro.analysis.contracts import (
+    CROSS_PROCESS_PACKAGES,
     PURE_PACKAGES,
     RNG_TAINT_PACKAGES,
     SERVING_PATH_PACKAGES,
@@ -36,7 +37,7 @@ from repro.analysis.contracts import (
 )
 from repro.analysis.engine import Finding, ModuleContext, rule
 from repro.analysis.flow import build_cfg, def_use_chains
-from repro.analysis.rules import _NP_RANDOM_OK, _RANDOM_OK
+from repro.analysis.rules import _NP_RANDOM_OK, _RANDOM_OK, _import_aliases
 from repro.analysis.symbols import ModuleSummary, SymbolTable
 
 __all__ = [
@@ -209,6 +210,209 @@ def unreachable_code(module: ModuleContext) -> Iterator[Tuple[int, str]]:
                 f"unreachable code in {fn.name}() — no path reaches this "
                 "statement (dead code after raise/return?)"
             )
+
+
+# -- cross-process payload hygiene (per module) ------------------------------
+
+#: ``recv.put(...)`` / ``recv.put_nowait(...)`` pickles its payload when
+#: ``recv`` is a multiprocessing queue; executor-style submits pickle
+#: every argument.  Receiver queue-ness is decided by name (any dotted
+#: component containing "queue") or by a local ``Queue()`` construction.
+_QUEUE_PUT_ATTRS = frozenset({"put", "put_nowait"})
+_EXECUTOR_SUBMIT_ATTRS = frozenset(
+    {"submit", "apply", "apply_async", "map_async", "starmap_async"}
+)
+_QUEUE_CTOR_NAMES = frozenset({"Queue", "SimpleQueue", "JoinableQueue"})
+
+#: Calls whose result is a bulk binary payload: serialised arrays,
+#: pickles, packed structs.  Any of these inside a cross-process send
+#: means the hot path is copying data the arena should carry.
+_PICKLED_PRODUCERS = frozenset(
+    {
+        "tobytes",
+        "tostring",
+        "dumps",
+        "asarray",
+        "ascontiguousarray",
+        "frombuffer",
+        "fromstring",
+        "pack",
+    }
+)
+_ARRAYISH_ANNOTATIONS = frozenset(
+    {"ndarray", "bytes", "bytearray", "memoryview"}
+)
+
+
+def _receiver_parts(node: ast.AST) -> List[str]:
+    """Identifier components of a call receiver, outermost first.
+
+    ``self._task_queues[worker_id]`` -> ``["self", "_task_queues"]``;
+    subscripts and chained calls are unwrapped so the queue-ness of the
+    *container* name decides.
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, (ast.Subscript, ast.Starred)):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return parts[::-1]
+        else:
+            return parts[::-1]
+
+
+def _annotation_names(annotation: Optional[ast.AST]) -> Set[str]:
+    if annotation is None:
+        return set()
+    names: Set[str] = set()
+    for sub in ast.walk(annotation):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            names.update(sub.value.replace(".", " ").split())
+    return names
+
+
+def _call_terminal(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _arrayish_names(module: ModuleContext) -> Set[str]:
+    """Names bound to ndarray/bytes-like values anywhere in the module.
+
+    Module-wide (not per scope) on purpose: the rule gates a repo where
+    queue payloads are small index tuples, so a name that is an array in
+    *any* function is suspicious in a cross-process send in all of them.
+    """
+    numpy_names = _import_aliases(module).get("numpy", set())
+    arrayish: Set[str] = set()
+
+    def producer(value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        terminal = _call_terminal(value.func)
+        if terminal in _PICKLED_PRODUCERS:
+            return True
+        base = _receiver_parts(value.func)
+        return bool(base) and base[0] in numpy_names
+
+    for node in module.walk(ast.Assign):
+        if producer(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    arrayish.add(target.id)
+    for node in module.walk(ast.AnnAssign):
+        if isinstance(node.target, ast.Name) and (
+            _annotation_names(node.annotation) & _ARRAYISH_ANNOTATIONS
+            or (node.value is not None and producer(node.value))
+        ):
+            arrayish.add(node.target.id)
+    for fn in module.walk(ast.FunctionDef, ast.AsyncFunctionDef):
+        args = fn.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + [args.vararg, args.kwarg]
+        ):
+            if arg is not None and (
+                _annotation_names(arg.annotation) & _ARRAYISH_ANNOTATIONS
+            ):
+                arrayish.add(arg.arg)
+    return arrayish
+
+
+def _queue_ctor_names_bound(module: ModuleContext) -> Set[str]:
+    bound: Set[str] = set()
+    for node in module.walk(ast.Assign):
+        if (
+            isinstance(node.value, ast.Call)
+            and _call_terminal(node.value.func) in _QUEUE_CTOR_NAMES
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    return bound
+
+
+def _payload_evidence(arg: ast.AST, arrayish: Set[str]) -> Optional[str]:
+    """Why this argument pickles a bulk payload, or None if it is clean."""
+    for sub in ast.walk(arg):
+        if isinstance(sub, ast.Constant) and isinstance(
+            sub.value, (bytes, bytearray)
+        ):
+            return "a bytes literal"
+        if isinstance(sub, ast.Call):
+            terminal = _call_terminal(sub.func)
+            if terminal in _PICKLED_PRODUCERS:
+                return f"{terminal}(...)"
+        if isinstance(sub, ast.Name) and sub.id in arrayish:
+            return f"array/bytes value {sub.id!r}"
+    return None
+
+
+@rule("cross-process-pickle")
+def cross_process_pickle(module: ModuleContext) -> Iterator[Tuple[int, str]]:
+    """Cross-process sends must carry slot indices, not pickled arrays.
+
+    The kernel pool's contract (DESIGN.md §16) is that ndarray payloads
+    cross the process boundary exactly once, through the shared-memory
+    arena; the queues only ever carry tiny ``(slot, seq, kind)`` control
+    tuples.  A ``queue.put`` whose payload serialises an array — or an
+    executor-style ``submit``/``apply_async`` handed an ndarray — puts
+    per-batch pickling back on the hot path, which is precisely the
+    copy tax the arena removes.  Scope is the pool package plus the
+    serving-path packages that drive it; in-process stores like the
+    explanation cache (``self.cache.put``) are not queues and pass.
+    """
+    if module.package not in CROSS_PROCESS_PACKAGES:
+        return
+    arrayish = _arrayish_names(module)
+    queue_bound = _queue_ctor_names_bound(module)
+    for node in module.walk(ast.Call):
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        if func.attr in _QUEUE_PUT_ATTRS:
+            parts = _receiver_parts(func.value)
+            queue_like = any("queue" in part.lower() for part in parts) or (
+                bool(parts) and parts[0] in queue_bound
+            )
+            if not queue_like:
+                continue
+            channel = "multiprocessing queue"
+        elif func.attr in _EXECUTOR_SUBMIT_ATTRS:
+            parts = _receiver_parts(func.value)
+            if parts[:1] in (["self"], ["cls"]):
+                # a class dispatching through its own submit() stays
+                # in-process until *its* implementation crosses — and
+                # that crossing is what the queue-put arm checks
+                continue
+            channel = f"executor {func.attr}()"
+        else:
+            continue
+        for arg in args:
+            evidence = _payload_evidence(arg, arrayish)
+            if evidence is not None:
+                yield node.lineno, (
+                    f"{evidence} pickled into a {channel} — cross-process "
+                    "payloads must travel through the shared-memory arena; "
+                    "send only slot/seq control tuples"
+                )
+                break
 
 
 # -- project rules (whole program) -------------------------------------------

@@ -101,7 +101,7 @@ def _serving_policy_from_args(args: argparse.Namespace):
     from repro.serving import ServingPolicy
 
     flags = (args.batch_window, args.max_batch, args.cache_size,
-             args.shed_depth)
+             args.shed_depth, args.pool_workers)
     if all(value is None for value in flags):
         return None
     defaults = ServingPolicy()
@@ -116,6 +116,13 @@ def _serving_policy_from_args(args: argparse.Namespace):
         ),
         cache_size=args.cache_size if args.cache_size is not None else 0,
         shed_depth=args.shed_depth if args.shed_depth is not None else 0,
+        pool_workers=(
+            args.pool_workers if args.pool_workers is not None else 0
+        ),
+        pool_arena_mb=(
+            args.pool_arena_mb if args.pool_arena_mb is not None
+            else defaults.pool_arena_mb
+        ),
     )
 
 
@@ -139,6 +146,18 @@ def _add_serving_flags(parser: argparse.ArgumentParser) -> None:
         help="admission-control queue depth per service, 0 disables "
              "(enables the serving layer)",
     )
+    parser.add_argument(
+        "--pool-workers", type=int, default=None, metavar="N",
+        help="kernel-pool workers per station: flushed batches run on "
+             "the pool tier instead of station workers, 0 keeps them "
+             "inline (enables the serving layer)",
+    )
+    parser.add_argument(
+        "--pool-arena-mb", type=float, default=None, metavar="MB",
+        help="shared-memory arena size for the real kernel pool "
+             "(documentation of the deployment; the simulation only "
+             "records it)",
+    )
 
 
 def _print_serving_summary(summary: dict) -> None:
@@ -157,6 +176,18 @@ def _print_serving_summary(summary: dict) -> None:
             line += f"  cache hit-rate {row['cache_hit_rate']:.1%}"
         if row["shed_rows"]:
             line += f"  shed {row['shed_rows']}"
+        print(line)
+    for row in AIDashboard._pool_rows(summary):
+        line = (
+            f"    {row['route']:>12}  pool x{row['workers']} "
+            f"(fan-out {row['mean_fan_out']:4.1f}, "
+            f"peak {row['peak_inflight']})"
+        )
+        if row["crashes"]:
+            line += (
+                f"  crashes {row['crashes']} "
+                f"(resubmitted {row['resubmitted']})"
+            )
         print(line)
     totals = summary.get("_totals")
     if totals:
@@ -945,7 +976,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="SPEC",
         help="comma-separated fault events: crash:node@t[:restart_t], "
-        "partition:node@t:duration, slow:node@t:duration:factor",
+        "partition:node@t:duration, slow:node@t:duration:factor, "
+        "poolcrash:node@t",
     )
     cluster.add_argument(
         "--requests",

@@ -34,6 +34,7 @@ from repro.cluster.faults import (
     FAULT_CRASH,
     FAULT_HEAL,
     FAULT_PARTITION,
+    FAULT_POOL_CRASH,
     FAULT_RESTART,
     FAULT_RESTORE,
     FAULT_SLOW,
@@ -65,6 +66,7 @@ __all__ = [
     "FAULT_CRASH",
     "FAULT_HEAL",
     "FAULT_PARTITION",
+    "FAULT_POOL_CRASH",
     "FAULT_RESTART",
     "FAULT_RESTORE",
     "FAULT_SLOW",

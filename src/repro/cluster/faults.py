@@ -14,6 +14,8 @@ or parsed from the compact CLI grammar (:meth:`FaultPlan.parse`)::
     crash:node-2@5:12         crash at 5s, restart at 12s
     partition:node-3@4:6      partition at 4s for 6s, then heal
     slow:node-1@2:8:3.0       3.0x service times from 2s for 8s
+    poolcrash:node-1@3        kill one kernel-pool worker at t=3s
+                              (instant restart; its batch resubmits)
 
 Multiple events are comma-separated; times are simulated seconds.
 """
@@ -27,6 +29,7 @@ __all__ = [
     "FAULT_CRASH",
     "FAULT_HEAL",
     "FAULT_PARTITION",
+    "FAULT_POOL_CRASH",
     "FAULT_RESTART",
     "FAULT_RESTORE",
     "FAULT_SLOW",
@@ -42,6 +45,10 @@ FAULT_PARTITION = "partition"
 FAULT_HEAL = "heal"
 FAULT_SLOW = "slow"
 FAULT_RESTORE = "restore"
+#: Kill one kernel-pool worker on the node: the worker restarts
+#: immediately and its in-flight batch is resubmitted — unlike a node
+#: crash, nothing is failed over, so conservation must still hold.
+FAULT_POOL_CRASH = "poolcrash"
 
 _KINDS = frozenset(
     {
@@ -51,6 +58,7 @@ _KINDS = frozenset(
         FAULT_HEAL,
         FAULT_SLOW,
         FAULT_RESTORE,
+        FAULT_POOL_CRASH,
     }
 )
 
@@ -123,6 +131,10 @@ class FaultPlan:
         self.add(FaultEvent(FAULT_RESTORE, node_id, at + duration))
         return self
 
+    def add_pool_crash(self, node_id: str, at: float) -> "FaultPlan":
+        """Kill one kernel-pool worker on ``node_id`` at ``at``."""
+        return self.add(FaultEvent(FAULT_POOL_CRASH, node_id, at))
+
     # -- parsing -------------------------------------------------------------
 
     @classmethod
@@ -148,11 +160,13 @@ class FaultPlan:
                 plan.add_partition(target, times[0], times[1])
             elif kind == FAULT_SLOW and len(times) == 3:
                 plan.add_slow(target, times[0], times[1], times[2])
+            elif kind == FAULT_POOL_CRASH and len(times) == 1:
+                plan.add_pool_crash(target, times[0])
             else:
                 raise ValueError(
                     f"malformed fault spec {chunk!r}: {kind!r} takes "
-                    "crash@t[:restart_t], partition@t:duration, or "
-                    "slow@t:duration:factor"
+                    "crash@t[:restart_t], partition@t:duration, "
+                    "slow@t:duration:factor, or poolcrash@t"
                 )
         return plan
 

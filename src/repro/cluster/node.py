@@ -103,6 +103,20 @@ class NodeService:
         "_err_shed",
         "_flush_deadline_cb",
         "_finish_batch_cb",
+        "_pool_workers",
+        "_pool_busy",
+        "_pool_waiting",
+        "_pool_inflight",
+        "_pool_seq",
+        "_pool_busy_seconds",
+        "_pool_peak_queue",
+        "pool_batches",
+        "pool_rows",
+        "pool_crashes",
+        "pool_restarts",
+        "pool_resubmitted",
+        "pool_peak_inflight",
+        "_finish_pool_batch_cb",
     )
 
     def __init__(
@@ -163,6 +177,24 @@ class NodeService:
         self._err_shed = 0
         self._flush_deadline_cb = self._flush_deadline
         self._finish_batch_cb = self._finish_batch
+        # Kernel-pool bindings (policy.pool_workers > 0): the cluster
+        # mirror of MicroService's pool tier, with the extra rule that a
+        # *node* crash loses pool work (failed over by the runner) while
+        # a pool-*worker* crash only resubmits it.
+        self._pool_workers = 0
+        self._pool_busy = 0
+        self._pool_waiting: Deque[list] = deque()
+        self._pool_inflight: Dict[int, tuple] = {}
+        self._pool_seq = 0
+        self._pool_busy_seconds = 0.0
+        self._pool_peak_queue = 0
+        self.pool_batches = 0
+        self.pool_rows = 0
+        self.pool_crashes = 0
+        self.pool_restarts = 0
+        self.pool_resubmitted = 0
+        self.pool_peak_inflight = 0
+        self._finish_pool_batch_cb = self._finish_pool_batch
 
     # -- wiring --------------------------------------------------------------
 
@@ -206,6 +238,7 @@ class NodeService:
         self._srv_window = policy.batch_window
         self._srv_marginal = policy.batch_marginal
         self._srv_shed_depth = policy.shed_depth
+        self._pool_workers = policy.pool_workers
         if self._log is not None:
             self._intern_shed_error()
 
@@ -331,6 +364,9 @@ class NodeService:
         batch = self._srv_pending[payload_id]
         self._srv_pending[payload_id] = []
         self._srv_epochs[payload_id] += 1
+        if self._pool_workers:
+            self._dispatch_pool_batch(batch)
+            return
         if self._busy < self.concurrency:
             self._busy += 1
             self._start_batch(batch)
@@ -422,6 +458,131 @@ class NodeService:
         for row in batch:
             sink(self, row, True)
 
+    # -- simulated kernel pool (policy.pool_workers > 0) ---------------------
+
+    def _sample_service(self, payload_id: int) -> float:
+        """One service-time draw off the pre-sampled buffers."""
+        if payload_id == self._st_last_id:
+            buffer = self._st_last_buf
+        else:
+            buffer = self._st_buffers.get(payload_id)
+            if buffer is None:
+                buffer = [self.service_time.sample_batch(
+                    self._log.payload_name(payload_id), SERVICE_TIME_BATCH
+                ).tolist(), 0]
+                self._st_buffers[payload_id] = buffer
+            self._st_last_id = payload_id
+            self._st_last_buf = buffer
+        values, pos = buffer
+        if pos >= len(values):
+            values = self.service_time.sample_batch(
+                self._log.payload_name(payload_id), SERVICE_TIME_BATCH
+            ).tolist()
+            buffer[0] = values
+            pos = 0
+        buffer[1] = pos + 1
+        return values[pos]
+
+    def _dispatch_pool_batch(self, batch: list) -> None:
+        """Route one flushed batch to the pool tier (park if saturated)."""
+        if self._pool_busy < self._pool_workers:
+            self._start_pool_batch(batch)
+        else:
+            waiting = self._pool_waiting
+            waiting.append(batch)
+            if len(waiting) > self._pool_peak_queue:
+                self._pool_peak_queue = len(waiting)
+
+    def _start_pool_batch(self, batch: list, resubmit: bool = False) -> None:
+        """Occupy one pool worker with a fused batch (one draw, n rows).
+
+        ``resubmit`` re-dispatches a crash-orphaned batch without
+        advancing the batch/row counters, so telemetry never
+        double-counts.  Dispatch ids are monotonic and never reused —
+        an orphaned completion can only miss the in-flight map, never
+        collide with a later batch.
+        """
+        log = self._log
+        now = self._sim.now
+        n = len(batch)
+        if not resubmit:
+            self._pool_busy += 1
+            self._srv_queued -= n
+            for row in batch:
+                log.v_start[row] = now
+            self.batches_flushed += 1
+            self.rows_batched += n
+            self.pool_batches += 1
+            self.pool_rows += n
+            if n > self.batch_size_peak:
+                self.batch_size_peak = n
+        inflight = len(self._pool_inflight) + 1
+        if inflight > self.pool_peak_inflight:
+            self.pool_peak_inflight = inflight
+        duration = (
+            self._sample_service(log.v_payload_ids[batch[0]])
+            * self._slow
+            * (1.0 + (n - 1) * self._srv_marginal)
+        )
+        self._pool_seq += 1
+        dispatch_id = self._pool_seq
+        self._pool_inflight[dispatch_id] = (batch, now)
+        _heappush(
+            self._sim_queue,
+            (
+                now + duration,
+                next(self._sim_counter),
+                self._finish_pool_batch_cb,
+                dispatch_id,
+            ),
+        )
+
+    def _finish_pool_batch(self, dispatch_id: int) -> None:
+        entry = self._pool_inflight.pop(dispatch_id, None)
+        if entry is None:
+            # orphaned: either a pool-worker crash resubmitted the batch
+            # under a new id, or a node crash failed its rows over —
+            # both already accounted the rows, so drop silently
+            return
+        batch, started = entry
+        now = self._sim.now
+        self._pool_busy_seconds += now - started
+        self.completed_rows += len(batch)
+        self._pool_busy -= 1
+        if self._pool_waiting and self._pool_busy < self._pool_workers:
+            self._start_pool_batch(self._pool_waiting.popleft())
+        sink = self._sink
+        for row in batch:
+            sink(self, row, True)
+
+    def crash_pool_worker(self) -> int:
+        """Kill one pool worker; returns rows re-dispatched.
+
+        The oldest in-flight batch is resubmitted onto the
+        instantly-restarted worker with a fresh draw — nothing is lost,
+        nothing double-counts, conservation holds by construction.
+        """
+        if not self._pool_workers:
+            return 0
+        self.pool_crashes += 1
+        self.pool_restarts += 1
+        if not self._pool_inflight:
+            return 0
+        dispatch_id = min(self._pool_inflight)
+        batch, _started = self._pool_inflight.pop(dispatch_id)
+        self.pool_resubmitted += len(batch)
+        self._start_pool_batch(batch, resubmit=True)
+        return len(batch)
+
+    @property
+    def pool_backlog(self) -> int:
+        """In-flight plus parked pool batches."""
+        return len(self._pool_inflight) + len(self._pool_waiting)
+
+    @property
+    def pool_busy_seconds(self) -> float:
+        return self._pool_busy_seconds
+
     # -- fault surface -------------------------------------------------------
 
     def crash(self) -> List[int]:
@@ -446,6 +607,15 @@ class NodeService:
                 self._srv_pending[payload_id] = []
             self._srv_epochs[payload_id] += 1
         self._srv_queued = 0
+        # pool tier: in-flight and parked pool batches die with the node
+        # (their orphaned completions find their dispatch ids gone)
+        for batch, _started in self._pool_inflight.values():
+            lost.extend(batch)
+        for batch in self._pool_waiting:
+            lost.extend(batch)
+        self._pool_inflight.clear()
+        self._pool_waiting.clear()
+        self._pool_busy = 0
         self._inflight.clear()
         self._waiting.clear()
         self._busy = 0
@@ -571,6 +741,20 @@ class ClusterNode:
         self.slow_factor = factor
         for service in self.services.values():
             service.set_slow(factor)
+
+    def crash_pool_worker(self) -> int:
+        """Kill one kernel-pool worker per pool-enabled station.
+
+        Returns the total rows re-dispatched.  A DOWN node has no pool
+        workers to kill (its pool state was already cleared), so this is
+        a no-op there.
+        """
+        if self.state == NODE_DOWN:
+            return 0
+        redispatched = 0
+        for service in self.services.values():
+            redispatched += service.crash_pool_worker()
+        return redispatched
 
     # -- introspection -------------------------------------------------------
 

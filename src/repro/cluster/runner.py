@@ -43,6 +43,7 @@ from repro.cluster.faults import (
     FAULT_CRASH,
     FAULT_HEAL,
     FAULT_PARTITION,
+    FAULT_POOL_CRASH,
     FAULT_RESTART,
     FAULT_RESTORE,
     FAULT_SLOW,
@@ -59,6 +60,7 @@ from repro.gateway.simulation import _NO_ARG
 from repro.gateway.sketches import QuantileSketch, RouteStats, StreamingMoments
 from repro.serving.policy import ServingPolicy
 from repro.telemetry.events import (
+    KIND_POOL,
     KIND_RESPONSE,
     KIND_SERVING,
     KIND_UTILIZATION,
@@ -408,6 +410,8 @@ class ClusterRunner:
         self.failovers = 0
         self.lost_in_flight = 0
         self.lost_responses = 0
+        self.pool_worker_crashes = 0
+        self.pool_redispatched = 0
         self.cross_node_traces = 0
         self.fault_log: List[Tuple[float, str, str]] = []
         #: (node_id, route_id) -> streaming aggregate
@@ -915,6 +919,13 @@ class ClusterRunner:
             topology.degrade_node(event.node_id, event.factor)
         elif kind == FAULT_RESTORE:
             topology.restore_node(event.node_id)
+        elif kind == FAULT_POOL_CRASH:
+            # resubmission is internal to the station: no failover, no
+            # ledger movement — conservation must reconcile unchanged
+            self.pool_worker_crashes += 1
+            self.pool_redispatched += topology.nodes[
+                event.node_id
+            ].crash_pool_worker()
 
     # -- reporting -----------------------------------------------------------
 
@@ -935,6 +946,11 @@ class ClusterRunner:
             ),
             "shed_requests": self.shed_requests,
             "cache_hits": self.cache_hits,
+            # pool-worker crashes resubmit internally: these two count
+            # the injections and the rows that went back out, while the
+            # appended == observed identity must hold regardless
+            "pool_worker_crashes": self.pool_worker_crashes,
+            "pool_redispatched": self.pool_redispatched,
         }
 
     def _stats_by_route(self) -> Dict[int, List[RouteStats]]:
@@ -1053,7 +1069,7 @@ class ClusterRunner:
             nodes: Dict[str, dict] = {}
             for service in self._route_services[route_id]:
                 batches = service.batches_flushed
-                nodes[service.node.node_id] = {
+                entry_node = {
                     "batches": batches,
                     "rows_batched": service.rows_batched,
                     "mean_batch": (
@@ -1064,6 +1080,17 @@ class ClusterRunner:
                     "peak_batch": service.batch_size_peak,
                     "shed_rows": service.shed_rows,
                 }
+                if service._pool_workers:
+                    entry_node["pool"] = {
+                        "workers": service._pool_workers,
+                        "batches": service.pool_batches,
+                        "rows": service.pool_rows,
+                        "crashes": service.pool_crashes,
+                        "restarts": service.pool_restarts,
+                        "resubmitted": service.pool_resubmitted,
+                        "peak_inflight": service.pool_peak_inflight,
+                    }
+                nodes[service.node.node_id] = entry_node
             entry: Dict[str, object] = {"nodes": nodes}
             gate = self._cache_gates.get(route_id)
             if gate is not None:
@@ -1114,6 +1141,33 @@ class ClusterRunner:
                 )
                 event.with_node(node_id)
                 events.append(event)
+                if service._pool_workers:
+                    batches = service.pool_batches
+                    pool_event = TelemetryEvent(
+                        source="pool:" + node_source(route, node_id),
+                        value=float(service.pool_backlog),
+                        timestamp=at,
+                        kind=KIND_POOL,
+                        attrs={
+                            "workers": float(service._pool_workers),
+                            "batches": float(batches),
+                            "rows": float(service.pool_rows),
+                            "mean_fan_out": (
+                                service.pool_rows / batches
+                                if batches
+                                else 0.0
+                            ),
+                            "peak_inflight": float(
+                                service.pool_peak_inflight
+                            ),
+                            "crashes": float(service.pool_crashes),
+                            "restarts": float(service.pool_restarts),
+                            "resubmitted": float(service.pool_resubmitted),
+                            "busy_seconds": service.pool_busy_seconds,
+                        },
+                    )
+                    pool_event.with_node(node_id)
+                    events.append(pool_event)
                 if service.shed_rows:
                     shed_by_route[route] = (
                         shed_by_route.get(route, 0) + service.shed_rows

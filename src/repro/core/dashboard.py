@@ -250,6 +250,46 @@ class AIDashboard:
             )
         return rows
 
+    @staticmethod
+    def _pool_rows(summary: Dict[str, dict]) -> List[dict]:
+        """Flatten kernel-pool sub-counters into per-route POOL rows.
+
+        Tolerates both serving-summary shapes: the capacity runner puts
+        ``pool`` directly on the route entry, the cluster runner nests
+        one per node.  Routes without a pool tier produce no row.
+        """
+        rows: List[dict] = []
+        for route, entry in sorted(summary.items()):
+            if route == "_totals":
+                continue
+            nodes = entry.get("nodes")
+            if nodes:
+                pools = [n["pool"] for n in nodes.values() if n.get("pool")]
+            else:
+                pools = [entry["pool"]] if entry.get("pool") else []
+            if not pools:
+                continue
+            batches = sum(p.get("batches", 0) for p in pools)
+            pooled = sum(p.get("rows", 0) for p in pools)
+            rows.append(
+                {
+                    "route": route,
+                    "workers": sum(p.get("workers", 0) for p in pools),
+                    "batches": batches,
+                    "rows": pooled,
+                    "mean_fan_out": pooled / batches if batches else 0.0,
+                    "peak_inflight": max(
+                        (p.get("peak_inflight", 0) for p in pools), default=0
+                    ),
+                    "crashes": sum(p.get("crashes", 0) for p in pools),
+                    "restarts": sum(p.get("restarts", 0) for p in pools),
+                    "resubmitted": sum(
+                        p.get("resubmitted", 0) for p in pools
+                    ),
+                }
+            )
+        return rows
+
     # -- export / rendering ---------------------------------------------------
 
     def to_json(self) -> str:
@@ -303,8 +343,10 @@ class AIDashboard:
                 ),
             }
         if self._serving_summary is not None:
+            summary = self._serving_summary()
             payload["serving"] = {
-                "routes": self._serving_rows(self._serving_summary()),
+                "routes": self._serving_rows(summary),
+                "pool": self._pool_rows(summary),
             }
         return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -337,7 +379,8 @@ class AIDashboard:
             lines.append(f"last incident: {last if last else '(none)'}")
             lines.append("=" * width)
         if self._serving_summary is not None:
-            rows = self._serving_rows(self._serving_summary())
+            summary = self._serving_summary()
+            rows = self._serving_rows(summary)
             label_width = max((len(r["route"]) for r in rows), default=0)
             for row in rows:
                 lines.append(
@@ -346,6 +389,15 @@ class AIDashboard:
                     f"(mean {row['mean_batch']:4.1f})  "
                     f"cache {row['cache_hit_rate']:6.1%}  "
                     f"shed {row['shed_rows']}"
+                )
+            for row in self._pool_rows(summary):
+                lines.append(
+                    f"POOL  {row['route']:<{label_width}}  "
+                    f"workers {row['workers']:>2}  "
+                    f"fan-out {row['mean_fan_out']:4.1f}  "
+                    f"peak {row['peak_inflight']}  "
+                    f"crashes {row['crashes']} "
+                    f"(resubmitted {row['resubmitted']})"
                 )
             lines.append("=" * width)
         for name in self.sensors:

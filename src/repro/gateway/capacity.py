@@ -679,6 +679,16 @@ class CapacityRunner:
                 "peak_batch": service.batch_size_peak,
                 "shed_rows": service.shed_rows,
             }
+            if service._pool_workers:
+                entry["pool"] = {
+                    "workers": service._pool_workers,
+                    "batches": service.pool_batches,
+                    "rows": service.pool_rows,
+                    "crashes": service.pool_crashes,
+                    "restarts": service.pool_restarts,
+                    "resubmitted": service.pool_resubmitted,
+                    "peak_inflight": service.pool_peak_inflight,
+                }
             gate = self._cache_gates.get(route)
             if gate is not None:
                 entry["cache"] = gate.cache.counters()
@@ -701,6 +711,8 @@ class CapacityRunner:
             if service.serving is None:
                 continue
             events.append(service.serving_event(at))
+            if service._pool_workers:
+                events.append(service.pool_event(at))
             if service.shed_rows:
                 events.append(
                     TelemetryEvent(

@@ -257,6 +257,24 @@ class MicroService:
         self.batch_size_peak = 0
         self._flush_deadline_cb = self._flush_deadline
         self._finish_batch_cb = self._finish_batch
+        # Kernel-pool bindings (policy.pool_workers > 0): flushed
+        # batches occupy simulated pool workers instead of station
+        # workers, so the station keeps admitting while kernels run —
+        # the discrete-event mirror of repro.pool.
+        self._pool_workers = 0
+        self._pool_busy = 0
+        self._pool_waiting: deque = deque()
+        self._pool_inflight: Dict[int, tuple] = {}
+        self._pool_seq = 0
+        self._pool_busy_seconds = 0.0
+        self._pool_peak_queue = 0
+        self.pool_batches = 0
+        self.pool_rows = 0
+        self.pool_crashes = 0
+        self.pool_restarts = 0
+        self.pool_resubmitted = 0
+        self.pool_peak_inflight = 0
+        self._finish_pool_batch_cb = self._finish_pool_batch
 
     def submit(
         self,
@@ -570,6 +588,7 @@ class MicroService:
         self._srv_window = policy.batch_window
         self._srv_marginal = policy.batch_marginal
         self._srv_shed_depth = policy.shed_depth
+        self._pool_workers = policy.pool_workers
 
     def submit_row_serving(self, row: int) -> None:
         """Accept, batch, or shed a columnar request at the current time."""
@@ -621,6 +640,9 @@ class MicroService:
         batch = self._srv_pending[payload_id]
         self._srv_pending[payload_id] = []
         self._srv_epoch[payload_id] += 1
+        if self._pool_workers:
+            self._dispatch_pool_batch(batch)
+            return
         if self._busy < self.concurrency:
             self._start_batch(batch)
             return
@@ -735,6 +757,169 @@ class MicroService:
                 "shed": float(self.shed_rows),
             },
         )
+
+    # -- simulated kernel pool (policy.pool_workers > 0) ---------------------
+    #
+    # The discrete-event mirror of repro.pool: flushed batches occupy
+    # pool workers, not station workers, so the station's event loop
+    # (admission, coalescing, window timers) overlaps with kernel
+    # execution.  A pool-worker crash re-dispatches its oldest in-flight
+    # batch onto the instantly-restarted worker with a fresh service
+    # draw; the orphaned completion callback finds its dispatch id gone
+    # and does nothing, so no row is ever lost or double-counted.
+
+    def _sample_service(self, payload_id: int) -> float:
+        """One service-time draw off the pre-sampled buffers."""
+        if payload_id == self._st_last_id:
+            buffer = self._st_last_buf
+        else:
+            buffer = self._st_buffers.get(payload_id)
+            if buffer is None:
+                buffer = _SampleBuffer()
+                self._st_buffers[payload_id] = buffer
+            self._st_last_id = payload_id
+            self._st_last_buf = buffer
+        pos = buffer.pos
+        values = buffer.values
+        if pos >= len(values):
+            values = self.service_time.sample_batch(
+                self._log.payload_name(payload_id), SERVICE_TIME_BATCH
+            ).tolist()
+            buffer.values = values
+            pos = 0
+        buffer.pos = pos + 1
+        return values[pos]
+
+    def _dispatch_pool_batch(self, batch: list) -> None:
+        """Route one flushed batch to the pool tier (park if saturated).
+
+        Parked batches stay in ``_srv_queued`` so admission control
+        back-pressures on the pool backlog exactly as it does on the
+        coalescing backlog.
+        """
+        if self._pool_busy < self._pool_workers:
+            self._start_pool_batch(batch)
+        else:
+            waiting = self._pool_waiting
+            waiting.append(batch)
+            if len(waiting) > self._pool_peak_queue:
+                self._pool_peak_queue = len(waiting)
+
+    def _start_pool_batch(self, batch: list, resubmit: bool = False) -> None:
+        """Occupy one pool worker with a fused batch (one draw, n rows).
+
+        ``resubmit`` re-dispatches a crash-orphaned batch: the rows were
+        already started and counted, so only a fresh completion is
+        scheduled — telemetry never double-counts a resubmission.
+        """
+        log = self._log
+        now = self._sim.now
+        n = len(batch)
+        if not resubmit:
+            self._pool_busy += 1
+            self._srv_queued -= n
+            for row in batch:
+                log.v_start[row] = now
+            # a pooled batch is still one fused serving batch — the
+            # serving counters stay comparable across pool on/off runs
+            self.batches_flushed += 1
+            self.rows_batched += n
+            self.pool_batches += 1
+            self.pool_rows += n
+            if n > self.batch_size_peak:
+                self.batch_size_peak = n
+        inflight = len(self._pool_inflight) + 1
+        if inflight > self.pool_peak_inflight:
+            self.pool_peak_inflight = inflight
+        duration = self._sample_service(
+            log.v_payload_ids[batch[0]]
+        ) * (1.0 + (n - 1) * self._srv_marginal)
+        self._pool_seq += 1
+        dispatch_id = self._pool_seq
+        self._pool_inflight[dispatch_id] = (batch, now)
+        _heappush(
+            self._sim_queue,
+            (
+                now + duration,
+                next(self._sim_counter),
+                self._finish_pool_batch_cb,
+                dispatch_id,
+            ),
+        )
+
+    def _finish_pool_batch(self, dispatch_id: int) -> None:
+        entry = self._pool_inflight.pop(dispatch_id, None)
+        if entry is None:
+            # the worker crashed mid-batch; the batch already went back
+            # out under a new dispatch id
+            return
+        batch, started = entry
+        now = self._sim.now
+        self._pool_busy_seconds += now - started
+        self.completed_rows += len(batch)
+        self._pool_busy -= 1
+        if self._pool_waiting and self._pool_busy < self._pool_workers:
+            self._start_pool_batch(self._pool_waiting.popleft())
+        sink = self._sink
+        for row in batch:
+            sink(row, True)
+
+    def crash_pool_worker(self) -> int:
+        """Kill one pool worker; returns rows re-dispatched.
+
+        The oldest in-flight batch dies with the worker and is
+        resubmitted onto the instantly-restarted replacement with a
+        fresh service draw.  Batch/row counters do not advance again.
+        """
+        if not self._pool_workers:
+            return 0
+        self.pool_crashes += 1
+        self.pool_restarts += 1
+        if not self._pool_inflight:
+            return 0
+        dispatch_id = min(self._pool_inflight)
+        batch, _started = self._pool_inflight.pop(dispatch_id)
+        self.pool_resubmitted += len(batch)
+        self._start_pool_batch(batch, resubmit=True)
+        return len(batch)
+
+    def pool_event(self, at: float):
+        """Pool queue depth + fan-out counters as a telemetry event.
+
+        ``value`` is the pool backlog (in-flight + parked batches);
+        worker occupancy, fan-out and the crash/resubmit ledger ride in
+        ``attrs`` so the POOL dashboard panel reads one source per
+        station.
+        """
+        from repro.telemetry.events import KIND_POOL, TelemetryEvent
+
+        batches = self.pool_batches
+        return TelemetryEvent(
+            source=f"pool:{self.name}",
+            value=float(len(self._pool_inflight) + len(self._pool_waiting)),
+            timestamp=at,
+            kind=KIND_POOL,
+            attrs={
+                "workers": float(self._pool_workers),
+                "busy": float(self._pool_busy),
+                "queued": float(len(self._pool_waiting)),
+                "batches": float(batches),
+                "rows": float(self.pool_rows),
+                "mean_fan_out": (
+                    self.pool_rows / batches if batches else 0.0
+                ),
+                "peak_inflight": float(self.pool_peak_inflight),
+                "crashes": float(self.pool_crashes),
+                "restarts": float(self.pool_restarts),
+                "resubmitted": float(self.pool_resubmitted),
+                "busy_seconds": self._pool_busy_seconds,
+            },
+        )
+
+    @property
+    def pool_backlog(self) -> int:
+        """In-flight plus parked pool batches (the POOL panel's value)."""
+        return len(self._pool_inflight) + len(self._pool_waiting)
 
     def _start_row(self, row: int) -> None:
         """Start a queued row on a freed worker (queue-drain path)."""

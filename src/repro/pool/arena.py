@@ -1,0 +1,194 @@
+"""Pinned shared-memory ring slots for cross-process batch transport.
+
+One :class:`SharedArena` is a single ``multiprocessing.shared_memory``
+segment carved into fixed-size slots.  Each slot is
+
+::
+
+    | header (64 B, eight int64 words) | input region | result region |
+
+with the input and result regions deliberately *separate*: a worker
+writing its result never clobbers the batch input, so after a worker
+crash the dispatcher can resubmit the slot's surviving input bytes to a
+fresh process without keeping a second copy anywhere.
+
+The arena is allocation-free on the hot path — ``write_input`` /
+``read_result`` move bytes through numpy views over the pinned buffer,
+and slot ownership transfers through queue messages of small integers,
+never through pickled arrays (the ``cross-process-pickle`` rule bans
+the latter).  Headers carry the submission sequence number, kind code
+and both matrix shapes, so a slot is self-describing to whichever
+process maps it.
+"""
+
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["HEADER_BYTES", "SharedArena"]
+
+#: Per-slot header: eight int64 words (seq, kind, input rows, input
+#: cols, result rank, then up to three result dims).  Rank 3 covers the
+#: widest in-tree result — SHAP's (rows, features, outputs) tensor.
+HEADER_BYTES = 64
+_H_SEQ = 0
+_H_KIND = 1
+_H_IN_ROWS = 2
+_H_IN_COLS = 3
+_H_OUT_NDIM = 4
+_H_OUT_DIMS = 5  # three words: 5, 6, 7
+_MAX_RESULT_NDIM = 3
+
+_ITEM = 8  # float64 / int64 width
+
+
+class SharedArena:
+    """A ring of pinned request/result slots in one shared segment.
+
+    ``slots`` and ``slot_bytes`` fix the geometry at creation; both
+    sides of a fork see the same mapping, so no per-batch attach cost.
+    The arena itself does no free-list bookkeeping — the dispatcher
+    owns slot lifecycle (a slot is writable by exactly one process at a
+    time, handed over via queue messages) — which is what keeps every
+    access lock-free.
+    """
+
+    __slots__ = ("slots", "slot_bytes", "input_capacity", "shm", "_headers")
+
+    def __init__(self, slots: int, slot_bytes: int) -> None:
+        if slots < 1:
+            raise ValueError("arena needs at least one slot")
+        if slot_bytes < HEADER_BYTES + 2 * _ITEM:
+            raise ValueError(
+                f"slot_bytes must be >= {HEADER_BYTES + 2 * _ITEM} "
+                "(header plus one float64 each way)"
+            )
+        self.slots = slots
+        # align the payload regions on 8-byte boundaries
+        payload = (slot_bytes - HEADER_BYTES) // (2 * _ITEM) * _ITEM
+        self.slot_bytes = HEADER_BYTES + 2 * payload
+        #: Bytes available to one batch's input (the result region is
+        #: the same size: predict outputs are narrower than their
+        #: inputs and SHAP outputs match them exactly).
+        self.input_capacity = payload
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=self.slots * self.slot_bytes
+        )
+        self._headers = [
+            np.frombuffer(
+                self.shm.buf,
+                dtype=np.int64,
+                count=HEADER_BYTES // _ITEM,
+                offset=slot * self.slot_bytes,
+            )
+            for slot in range(self.slots)
+        ]
+
+    # -- geometry ------------------------------------------------------------
+
+    def capacity_rows(self, n_cols: int) -> int:
+        """How many float64 rows of width ``n_cols`` fit in one slot."""
+        if n_cols < 1:
+            raise ValueError("n_cols must be >= 1")
+        return self.input_capacity // (n_cols * _ITEM)
+
+    def _region(self, slot: int, result: bool) -> int:
+        base = slot * self.slot_bytes + HEADER_BYTES
+        return base + self.input_capacity if result else base
+
+    # -- request side --------------------------------------------------------
+
+    def write_input(self, slot: int, seq: int, kind: int, X: np.ndarray) -> None:
+        """Pin one (n, d) float64 batch into a slot's input region."""
+        if X.dtype != np.float64 or X.ndim != 2:
+            raise ValueError("arena transports 2-D float64 batches")
+        if X.nbytes > self.input_capacity:
+            raise ValueError(
+                f"batch of {X.nbytes} bytes exceeds slot input capacity "
+                f"{self.input_capacity}"
+            )
+        header = self._headers[slot]
+        header[_H_SEQ] = seq
+        header[_H_KIND] = kind
+        header[_H_IN_ROWS] = X.shape[0]
+        header[_H_IN_COLS] = X.shape[1]
+        header[_H_OUT_NDIM] = 0
+        view = np.frombuffer(
+            self.shm.buf,
+            dtype=np.float64,
+            count=X.shape[0] * X.shape[1],
+            offset=self._region(slot, result=False),
+        )
+        view[:] = X.reshape(-1)
+
+    def read_input(self, slot: int) -> Tuple[int, int, np.ndarray]:
+        """(seq, kind, batch view) for the worker — no copy made."""
+        header = self._headers[slot]
+        n_rows = int(header[_H_IN_ROWS])
+        n_cols = int(header[_H_IN_COLS])
+        view = np.frombuffer(
+            self.shm.buf,
+            dtype=np.float64,
+            count=n_rows * n_cols,
+            offset=self._region(slot, result=False),
+        ).reshape(n_rows, n_cols)
+        return int(header[_H_SEQ]), int(header[_H_KIND]), view
+
+    # -- result side ---------------------------------------------------------
+
+    def write_result(self, slot: int, R: np.ndarray) -> None:
+        """Pin one float64 result (rank 1-3) into the slot's result region."""
+        if R.dtype != np.float64 or not 1 <= R.ndim <= _MAX_RESULT_NDIM:
+            raise ValueError(
+                f"arena transports float64 results of rank 1-"
+                f"{_MAX_RESULT_NDIM}, got {R.dtype} rank {R.ndim}"
+            )
+        if R.nbytes > self.input_capacity:
+            raise ValueError(
+                f"result of {R.nbytes} bytes exceeds slot result capacity "
+                f"{self.input_capacity}"
+            )
+        header = self._headers[slot]
+        view = np.frombuffer(
+            self.shm.buf,
+            dtype=np.float64,
+            count=R.size,
+            offset=self._region(slot, result=True),
+        )
+        view[:] = np.ascontiguousarray(R).reshape(-1)
+        # shape words last: a reader that sees them set sees the bytes
+        header[_H_OUT_NDIM] = R.ndim
+        for axis in range(R.ndim):
+            header[_H_OUT_DIMS + axis] = R.shape[axis]
+
+    def read_result(self, slot: int) -> np.ndarray:
+        """Copy the slot's result out (the slot is about to be reused)."""
+        header = self._headers[slot]
+        ndim = int(header[_H_OUT_NDIM])
+        shape = tuple(
+            int(header[_H_OUT_DIMS + axis]) for axis in range(ndim)
+        )
+        count = 1
+        for dim in shape:
+            count *= dim
+        view = np.frombuffer(
+            self.shm.buf,
+            dtype=np.float64,
+            count=count,
+            offset=self._region(slot, result=True),
+        ).reshape(shape)
+        return view.copy()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap this process's view of the segment."""
+        # numpy views hold exported pointers into the mmap; drop them
+        # before close() or BufferError
+        self._headers = []
+        self.shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment (creator only, after every close)."""
+        self.shm.unlink()

@@ -49,6 +49,7 @@ class ServingRequest:
         "priority",
         "deadline",
         "enqueued_at",
+        "digest",
         "value",
         "error",
         "done",
@@ -70,6 +71,10 @@ class ServingRequest:
         self.priority = priority
         self.deadline = deadline
         self.enqueued_at = enqueued_at
+        #: Canonical content digest, computed once at submission and
+        #: reused for the cache lookup, in-batch dedup keying and cache
+        #: population (it used to be recomputed at each stage).
+        self.digest: Optional[bytes] = None
         self.value: Optional[np.ndarray] = None
         self.error: Optional[str] = None
         self.done = False

@@ -24,6 +24,14 @@ gates both the equality and the >=3x throughput win.
 The engine never reads a clock — every entry point takes ``now`` — so
 it is pure given (inputs, now) and runs identically under wall time and
 simulated time.
+
+With a :mod:`repro.pool` kernel pool attached (``ServingEngine(pool=…)``)
+flushed batches are dispatched to forked worker processes through
+pinned shared-memory slots instead of running inline: the event loop
+keeps admitting and flushing while kernels execute on other cores, and
+:meth:`ServingEngine.poll` resolves completed batches in deterministic
+submission order.  The pooled path is bitwise-equal to the inline path
+because workers run the very same fused entry points.
 """
 
 from typing import Callable, Dict, List, Optional
@@ -58,7 +66,10 @@ class ServingEngine:
     ``explainer`` (optional) must expose ``shap_values`` and
     ``shap_values_batch_exact``.  ``tracer`` (optional) gets one
     ``serving.batch`` span per fused call with per-request child spans,
-    so traces show the fan-in/fan-out explicitly.
+    so traces show the fan-in/fan-out explicitly.  ``pool`` (optional)
+    is a :class:`repro.pool.KernelPool` / ``NullPool``: flushed batches
+    are then dispatched asynchronously and resolved by :meth:`poll` /
+    :meth:`drain` instead of executing inline.
     """
 
     def __init__(
@@ -67,11 +78,18 @@ class ServingEngine:
         explainer=None,
         policy: Optional[ServingPolicy] = None,
         tracer=None,
+        pool=None,
     ) -> None:
         self.policy = policy if policy is not None else ServingPolicy()
         self.predict_fn = predict_fn
         self.explainer = explainer
         self.tracer = tracer
+        self.pool = pool
+        #: In-flight pooled batches keyed by pool submission seq.
+        self._pool_pending: Dict[int, tuple] = {}
+        self._closed = False
+        #: Telemetry snapshot frozen by :meth:`shutdown`.
+        self.final_snapshot: List[TelemetryEvent] = []
         self.batcher = MicroBatcher(
             max_batch=self.policy.max_batch, window=self.policy.batch_window
         )
@@ -120,17 +138,24 @@ class ServingEngine:
         priority: int,
         deadline: Optional[float],
     ) -> ServingRequest:
+        if self._closed:
+            raise RuntimeError("engine is shut down")
         x = np.ascontiguousarray(x, dtype=np.float64)
         if x.ndim != 1:
             raise ValueError("submit one feature vector at a time")
         request = ServingRequest(kind, x, priority, now, deadline)
-        if kind == KIND_EXPLAIN and self.cache is not None:
-            cached = self.cache.get(digest_features(x), now)
-            if cached is not None:
-                request.cache_hit = True
-                request.complete(cached, now)
-                self.admission.note_admitted()
-                return request
+        if kind == KIND_EXPLAIN:
+            # Hash the payload exactly once; the same digest then keys
+            # the cache lookup here, the in-batch dedup and the cache
+            # population after the kernel call.
+            request.digest = digest_features(x)
+            if self.cache is not None:
+                cached = self.cache.get(request.digest, now)
+                if cached is not None:
+                    request.cache_hit = True
+                    request.complete(cached, now)
+                    self.admission.note_admitted()
+                    return request
         if self.admission.over_depth(self.batcher.pending):
             if priority == PRIORITY_INTERACTIVE:
                 victim = self.batcher.evict_one(PRIORITY_BATCH)
@@ -156,7 +181,14 @@ class ServingEngine:
     # -- flushing -----------------------------------------------------------
 
     def flush_due(self, now: float) -> int:
-        """Flush every group whose batch window has lapsed; returns rows."""
+        """Flush every group whose batch window has lapsed; returns rows.
+
+        With a pool attached this also resolves any pooled batches that
+        completed since the last call, so a plain flush-driven event
+        loop gets the overlap for free.
+        """
+        if self.pool is not None:
+            self.poll(now)
         rows = 0
         for batch in self.batcher.due(now):
             self.flushed_by_deadline += 1
@@ -164,14 +196,58 @@ class ServingEngine:
             self._run_batch(batch, now)
         return rows
 
+    def poll(self, now: float) -> int:
+        """Resolve completed pooled batches; returns rows resolved.
+
+        Futures come back from the pool in strict submission order, so
+        request resolution order is deterministic regardless of which
+        worker finished first.  No-op without a pool.
+        """
+        if self.pool is None:
+            return 0
+        rows = 0
+        for future in self.pool.poll(now):
+            entry = self._pool_pending.pop(future.seq)
+            rows += len(entry[2])
+            self._resolve_pool_batch(future, entry, now)
+        return rows
+
     def drain(self, now: float) -> int:
-        """Flush all queued work regardless of triggers; returns rows."""
+        """Flush all queued work regardless of triggers; returns rows.
+
+        With a pool attached this blocks until every in-flight pooled
+        batch has resolved as well, so after ``drain`` no request is
+        pending anywhere.
+        """
         rows = 0
         for batch in self.batcher.drain():
             self.flushed_by_drain += 1
             rows += len(batch)
             self._run_batch(batch, now)
+        if self.pool is not None:
+            for future in self.pool.drain(now):
+                entry = self._pool_pending.pop(future.seq)
+                self._resolve_pool_batch(future, entry, now)
         return rows
+
+    def shutdown(self, now: float, route: str = "serving") -> List[TelemetryEvent]:
+        """Drain, close the pool and freeze the final telemetry snapshot.
+
+        Cache and batcher counters keep advancing after the last
+        periodic publication, so short runs used to end with unreported
+        hits/sheds; the snapshot returned here carries the final values
+        of every counter.  Idempotent — repeat calls return the frozen
+        snapshot without re-draining.
+        """
+        if self._closed:
+            return list(self.final_snapshot)
+        self.drain(now)
+        events = self.telemetry_events(now, route)
+        if self.pool is not None:
+            self.pool.close()
+        self.final_snapshot = events
+        self._closed = True
+        return events
 
     def next_deadline(self) -> Optional[float]:
         """Earliest pending flush deadline, for the caller's event loop."""
@@ -186,6 +262,9 @@ class ServingEngine:
             else:
                 requests.append(request)
         if not requests:
+            return
+        if self.pool is not None:
+            self._dispatch_pool(batch, requests, now)
             return
         span = None
         if self.tracer is not None:
@@ -226,29 +305,103 @@ class ServingEngine:
     ) -> None:
         # Duplicate feature vectors within one batch are explained once;
         # attribution is a pure function of the vector, so sharing the
-        # result is exact.
-        unique_index: Dict[bytes, int] = {}
-        digests = []
-        for request in requests:
-            digest = digest_features(request.x)
-            digests.append(digest)
-            if digest not in unique_index:
-                unique_index[digest] = len(unique_index)
-        rows = []
-        seen: Dict[bytes, int] = {}
-        for i, digest in enumerate(digests):
-            if digest not in seen:
-                seen[digest] = i
-                rows.append(i)
+        # result is exact.  Requests carry the digest computed at
+        # submission, so no payload is ever hashed twice.
+        unique_index, rows = self._dedup_rows(requests)
         unique = X[rows]
         phi = self.explainer.shap_values_batch_exact(unique)
-        for request, digest in zip(requests, digests):
-            value = phi[unique_index[digest]]
+        for request in requests:
+            value = phi[unique_index[request.digest]]
             request.batch_size = len(requests)
             request.complete(value, now)
         if self.cache is not None:
             for digest, position in unique_index.items():
                 self.cache.put(digest, phi[position], now)
+
+    @staticmethod
+    def _dedup_rows(requests: List[ServingRequest]):
+        """(digest -> unique position, first-occurrence row indices)."""
+        unique_index: Dict[bytes, int] = {}
+        rows: List[int] = []
+        for i, request in enumerate(requests):
+            if request.digest not in unique_index:
+                unique_index[request.digest] = len(unique_index)
+                rows.append(i)
+        return unique_index, rows
+
+    # -- pooled execution -----------------------------------------------------
+
+    def _dispatch_pool(
+        self, batch: Batch, requests: List[ServingRequest], now: float
+    ) -> None:
+        """Hand one flushed batch to the kernel pool (non-blocking).
+
+        Only the unique rows of an explain batch travel through the
+        arena; duplicates fan back out at resolution using the digests
+        computed at submission.
+        """
+        X = np.stack([request.x for request in requests])
+        if batch.kind == KIND_PREDICT:
+            unique_index = None
+            future = self.pool.submit_predict(X, now)
+        else:
+            unique_index, rows = self._dedup_rows(requests)
+            future = self.pool.submit_explain(X[rows], now)
+        entry = (batch.kind, batch.trigger, requests, unique_index, now)
+        if future.done:  # NullPool executes inline; resolve right away
+            self._resolve_pool_batch(future, entry, now)
+        else:
+            self._pool_pending[future.seq] = entry
+
+    def _resolve_pool_batch(self, future, entry, now: float) -> None:
+        """Fan a pool result back out to its batch's requests.
+
+        Counters advance here, at resolution, exactly once per batch —
+        a worker crash and resubmission inside the pool is invisible at
+        this layer and can never double-count.
+        """
+        kind, trigger, requests, unique_index, dispatched_at = entry
+        if future.error is not None:
+            for request in requests:
+                request.fail(future.error, now)
+            return
+        values = future.value
+        size = len(requests)
+        if kind == KIND_PREDICT:
+            for i, request in enumerate(requests):
+                request.batch_size = size
+                request.complete(values[i], now)
+        else:
+            for request in requests:
+                request.batch_size = size
+                request.complete(values[unique_index[request.digest]], now)
+            if self.cache is not None:
+                for digest, position in unique_index.items():
+                    self.cache.put(digest, values[position], now)
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "serving.batch",
+                start_time=dispatched_at,
+                attributes={
+                    "kind": kind,
+                    "rows": len(requests),
+                    "trigger": trigger,
+                    "pooled": 1,
+                },
+            )
+            for request in requests:
+                child = self.tracer.start_span(
+                    "serving.request",
+                    parent=span,
+                    start_time=request.enqueued_at,
+                    attributes={"kind": request.kind},
+                )
+                child.end(at=now)
+            span.end(at=now)
+        self.batches += 1
+        self.rows_batched += len(requests)
+        if len(requests) > self.batch_size_peak:
+            self.batch_size_peak = len(requests)
 
     # -- accounting ---------------------------------------------------------
 
@@ -273,6 +426,10 @@ class ServingEngine:
         if self.cache is not None:
             for key, value in self.cache.counters().items():
                 counters[f"cache_{key}"] = value
+        if self.pool is not None:
+            counters["pool_inflight"] = float(len(self._pool_pending))
+            for key, value in self.pool.counters().items():
+                counters[f"pool_{key}"] = value
         return counters
 
     def telemetry_events(
@@ -296,7 +453,9 @@ class ServingEngine:
                     "rows": float(self.rows_batched),
                     "by_size": float(self.flushed_by_size),
                     "by_deadline": float(self.flushed_by_deadline),
+                    "by_drain": float(self.flushed_by_drain),
                     "peak": float(self.batch_size_peak),
+                    "pending": float(self.batcher.pending),
                 },
             ),
             TelemetryEvent(
@@ -321,8 +480,11 @@ class ServingEngine:
                         "hits": float(self.cache.hits),
                         "misses": float(self.cache.misses),
                         "evictions": float(self.cache.evictions),
+                        "expirations": float(self.cache.expirations),
                         "size": float(len(self.cache)),
                     },
                 )
             )
+        if self.pool is not None:
+            events.extend(self.pool.telemetry_events(now, route))
         return events

@@ -32,6 +32,12 @@ class ServingPolicy:
     vectorized kernels (BENCH_inference.json).  ``cache_items`` /
     ``cache_skew`` shape the simulated Zipf content-id stream that
     drives cache hits in capacity runs.
+
+    ``pool_workers`` routes flushed batches through the shared-memory
+    kernel pool (:mod:`repro.pool`) instead of the in-process kernels:
+    0 keeps execution inline, n > 0 fans batches out across n forked
+    workers while the event loop keeps admitting.  ``pool_arena_mb``
+    sizes the pinned shared-memory arena those batches travel through.
     """
 
     max_batch: int = 8
@@ -42,6 +48,8 @@ class ServingPolicy:
     batch_marginal: float = 0.25
     cache_items: int = 512
     cache_skew: float = 1.1
+    pool_workers: int = 0
+    pool_arena_mb: float = 8.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -60,3 +68,7 @@ class ServingPolicy:
             raise ValueError("cache_items must be >= 1")
         if self.cache_skew <= 0:
             raise ValueError("cache_skew must be positive")
+        if self.pool_workers < 0:
+            raise ValueError("pool_workers must be >= 0")
+        if self.pool_arena_mb <= 0:
+            raise ValueError("pool_arena_mb must be positive")

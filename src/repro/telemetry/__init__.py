@@ -17,6 +17,7 @@ from repro.telemetry.bus import (
 )
 from repro.telemetry.events import (
     KIND_LOAD_SUMMARY,
+    KIND_POOL,
     KIND_RESPONSE,
     KIND_SENSOR_READING,
     KIND_SERVING,
@@ -43,6 +44,7 @@ from repro.telemetry.wal import WalCorruptionError, WriteAheadLog, replay
 __all__ = [
     "BackpressureError",
     "KIND_LOAD_SUMMARY",
+    "KIND_POOL",
     "KIND_RESPONSE",
     "KIND_SENSOR_READING",
     "KIND_SERVING",

@@ -19,6 +19,7 @@ KIND_RESPONSE = "response"
 KIND_UTILIZATION = "utilization"
 KIND_LOAD_SUMMARY = "load_summary"
 KIND_SERVING = "serving"
+KIND_POOL = "pool"
 
 #: Well-known label keys linking an event to the span it was published
 #: under (the exemplar join used by ``repro.tracing.exemplars``).  They

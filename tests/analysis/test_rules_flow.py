@@ -371,3 +371,87 @@ class TestUnbatchedKernelCall:
             ["unbatched-kernel-call"],
         )
         assert findings == []
+
+
+class TestCrossProcessPickle:
+    def test_flags_serialised_array_on_queue(self):
+        findings = module_findings(
+            "cross-process-pickle",
+            "def ship(task_queue, X):\n"
+            "    task_queue.put(X.tobytes())\n",
+            relpath="pool/dispatch.py",
+        )
+        assert [f.line for f in findings] == [2]
+        assert "shared-memory arena" in findings[0].message
+
+    def test_flags_arrayish_local_on_queue(self):
+        findings = module_findings(
+            "cross-process-pickle",
+            "import numpy as np\n"
+            "def ship(result_queue):\n"
+            "    block = np.zeros((4, 4))\n"
+            "    result_queue.put_nowait(block)\n",
+            relpath="serving/hot.py",
+        )
+        assert [f.line for f in findings] == [4]
+
+    def test_flags_annotated_payload_into_executor_submit(self):
+        findings = module_findings(
+            "cross-process-pickle",
+            "import numpy as np\n"
+            "def fan_out(executor, X: np.ndarray):\n"
+            "    executor.submit(run, X)\n",
+            relpath="gateway/fan.py",
+        )
+        assert [f.line for f in findings] == [3]
+
+    def test_control_tuples_pass(self):
+        findings = module_findings(
+            "cross-process-pickle",
+            "def ship(task_queue, slot, seq, kind):\n"
+            "    task_queue.put((slot, seq, kind))\n",
+            relpath="pool/dispatch.py",
+        )
+        assert findings == []
+
+    def test_in_process_cache_put_is_not_a_queue(self):
+        findings = module_findings(
+            "cross-process-pickle",
+            "import numpy as np\n"
+            "def store(cache, digest, phi: np.ndarray, now):\n"
+            "    cache.put(digest, phi, now)\n",
+            relpath="serving/engine.py",
+        )
+        assert findings == []
+
+    def test_own_submit_method_is_in_process(self):
+        findings = module_findings(
+            "cross-process-pickle",
+            "import numpy as np\n"
+            "class Pool:\n"
+            "    def submit_predict(self, X: np.ndarray):\n"
+            "        return self.submit(0, X)\n",
+            relpath="pool/pool.py",
+        )
+        assert findings == []
+
+    def test_out_of_scope_packages_ignored(self):
+        findings = module_findings(
+            "cross-process-pickle",
+            "def ship(task_queue, X):\n"
+            "    task_queue.put(X.tobytes())\n",
+            relpath="ml/model.py",
+        )
+        assert findings == []
+
+    def test_queue_constructor_binding_detected(self):
+        findings = module_findings(
+            "cross-process-pickle",
+            "import multiprocessing\n"
+            "import numpy as np\n"
+            "def ship(X: np.ndarray):\n"
+            "    channel = multiprocessing.Queue()\n"
+            "    channel.put(X)\n",
+            relpath="cluster/fan.py",
+        )
+        assert [f.line for f in findings] == [5]

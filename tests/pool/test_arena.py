@@ -1,0 +1,72 @@
+"""SharedArena: slot layout, header roundtrip, input/result isolation."""
+
+import numpy as np
+import pytest
+
+from repro.pool import SharedArena
+
+
+@pytest.fixture()
+def arena():
+    a = SharedArena(slots=4, slot_bytes=64 * 1024)
+    yield a
+    a.close()
+    a.unlink()
+
+
+class TestRoundTrip:
+    def test_input_roundtrip_bitwise(self, arena):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(7, 5))
+        arena.write_input(2, seq=11, kind=1, X=X)
+        seq, kind, back = arena.read_input(2)
+        assert (seq, kind) == (11, 1)
+        assert np.array_equal(back, X)
+
+    def test_result_roundtrip_all_ranks(self, arena):
+        rng = np.random.default_rng(1)
+        arena.write_input(0, 0, 0, rng.normal(size=(3, 4)))
+        for shape in [(3,), (3, 2), (3, 4, 2)]:
+            R = rng.normal(size=shape)
+            arena.write_result(0, R)
+            assert np.array_equal(arena.read_result(0), R)
+
+    def test_result_write_leaves_input_intact(self, arena):
+        """Crash-safe resubmission depends on the regions being disjoint."""
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(6, 8))
+        arena.write_input(1, seq=3, kind=0, X=X)
+        arena.write_result(1, rng.normal(size=(6, 8, 3)))
+        __, __, back = arena.read_input(1)
+        assert np.array_equal(back, X)
+
+    def test_slots_are_independent(self, arena):
+        a = np.full((2, 3), 1.0)
+        b = np.full((2, 3), 2.0)
+        arena.write_input(0, 0, 0, a)
+        arena.write_input(3, 1, 0, b)
+        assert np.array_equal(arena.read_input(0)[2], a)
+        assert np.array_equal(arena.read_input(3)[2], b)
+
+
+class TestValidation:
+    def test_oversized_batch_rejected(self, arena):
+        rows = arena.capacity_rows(4) + 1
+        with pytest.raises(ValueError):
+            arena.write_input(0, 0, 0, np.zeros((rows, 4)))
+
+    def test_capacity_rows_fits_exactly(self, arena):
+        rows = arena.capacity_rows(4)
+        arena.write_input(0, 0, 0, np.zeros((rows, 4)))  # must not raise
+
+    def test_non_2d_input_rejected(self, arena):
+        with pytest.raises(ValueError):
+            arena.write_input(0, 0, 0, np.zeros(4))
+
+    def test_tiny_slot_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SharedArena(slots=2, slot_bytes=32)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            SharedArena(slots=0, slot_bytes=4096)

@@ -1,0 +1,164 @@
+"""Property suite: the pool is bitwise-indistinguishable from inline.
+
+Hypothesis drives random batch splits, interleaved arrival orders and
+injected worker crashes against one long-lived two-worker pool; every
+example must resolve to exactly the matrices the in-process kernels
+produce, with telemetry advancing by precisely the submitted work —
+crash resubmission must never double-count a batch or a row.
+
+The simulated tier gets the same treatment: random ``poolcrash`` fault
+plans against a pooled cluster must conserve requests (appended ==
+observed, nothing in flight) with pool counters advanced exactly once
+per batch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterRunner, ClusterTopology, FaultPlan
+from repro.cluster.topology import RouteSpec
+from repro.gateway.arrivals import PoissonArrivalGroup
+from repro.gateway.simulation import Simulator
+from repro.pool import KernelPool
+from repro.serving import ServingPolicy
+from repro.xai.shap import KernelShapExplainer
+
+D = 3
+
+
+def _predict(X):
+    X = np.asarray(X, dtype=np.float64)
+    return np.stack([X.sum(axis=1), (X * X).sum(axis=1)], axis=1)
+
+
+@pytest.fixture(scope="module")
+def explainer():
+    rng = np.random.default_rng(0)
+    return KernelShapExplainer(
+        _predict, rng.normal(size=(8, D)), n_coalitions=8, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def pool(explainer):
+    with KernelPool(_predict, explainer, workers=2, arena_mb=2.0) as p:
+        yield p
+
+
+def _split(total, sizes):
+    """Partition ``total`` rows into batches using the drawn sizes."""
+    batches, used = [], 0
+    for size in sizes:
+        if used == total:
+            break
+        take = min(size, total - used)
+        batches.append((used, used + take))
+        used += take
+    if used < total:
+        batches.append((used, total))
+    return batches
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    seed=st.integers(0, 2**16),
+    rows=st.integers(1, 12),
+    sizes=st.lists(st.integers(1, 5), min_size=1, max_size=12),
+    crash_before=st.integers(-1, 10),
+    explain_mask=st.integers(0, 2**12 - 1),
+)
+def test_random_splits_orders_and_crashes_stay_bitwise(
+    pool, explainer, seed, rows, sizes, crash_before, explain_mask
+):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(rows, D))
+    batches = _split(rows, sizes)
+    base = pool.counters()
+    futures = []
+    for index, (lo, hi) in enumerate(batches):
+        if index == crash_before:
+            pool.inject_crash(worker_id=index % pool.workers)
+        if (explain_mask >> index) & 1:
+            futures.append(("explain", lo, hi, pool.submit_explain(X[lo:hi])))
+        else:
+            futures.append(("predict", lo, hi, pool.submit_predict(X[lo:hi])))
+    released = pool.drain(now=1.0)
+
+    # deterministic ordering: release order == submission order
+    assert [f.seq for f in released] == [f.seq for (_, _, _, f) in futures]
+
+    # bitwise equality to the in-process kernels, per batch
+    for kind, lo, hi, future in futures:
+        expected = (
+            explainer.shap_values_batch_exact(X[lo:hi])
+            if kind == "explain"
+            else _predict(X[lo:hi])
+        )
+        assert np.array_equal(future.result(), expected)
+
+    # telemetry advanced by exactly the submitted work: resubmission
+    # after a crash re-runs a batch but never re-counts it
+    after = pool.counters()
+    assert after["dispatched"] - base["dispatched"] == len(batches)
+    assert after["completed"] - base["completed"] == len(batches)
+    assert after["rows"] - base["rows"] == rows
+    assert after["queue_depth"] == 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 2**12),
+    n_requests=st.integers(20, 120),
+    crash_times=st.lists(
+        st.floats(0.01, 0.4, allow_nan=False), max_size=3
+    ),
+)
+def test_simulated_pool_crashes_never_lose_or_double_count(
+    seed, n_requests, crash_times
+):
+    topology = ClusterTopology(
+        Simulator(),
+        [RouteSpec("shap", concurrency=1)],
+        n_nodes=2,
+        replication=2,
+        seed=seed,
+    )
+    runner = ClusterRunner(
+        topology,
+        seed=seed,
+        serving=ServingPolicy(
+            max_batch=4, batch_window=0.002, pool_workers=2
+        ),
+    )
+    runner.add_open_loop(
+        PoissonArrivalGroup(
+            "shap", rate_rps=500.0, n_requests=n_requests
+        )
+    )
+    plan = FaultPlan()
+    for index, at in enumerate(crash_times):
+        plan.add_pool_crash(f"node-{index % 2}", at)
+    runner.apply_fault_plan(plan)
+    runner.run()
+    cons = runner.conservation()
+    # conservation: every request completes exactly once, crashes or not
+    assert cons["appended"] == cons["observed"] == n_requests
+    assert cons["in_flight"] == 0
+    assert cons["pool_worker_crashes"] == len(crash_times)
+    summary = runner.serving_summary()["shap"]
+    nodes = summary["nodes"].values()
+    rows_batched = sum(n["rows_batched"] for n in nodes)
+    cache_hits = summary["cache"]["hits"] if "cache" in summary else 0
+    assert rows_batched + cache_hits == n_requests
+    # pooled rows equal batched rows: counted once, never re-advanced
+    # by a resubmission
+    pool_rows = sum(
+        n["pool"]["rows"] for n in nodes if "pool" in n
+    )
+    assert pool_rows == rows_batched
